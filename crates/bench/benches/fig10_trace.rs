@@ -1,0 +1,47 @@
+//! Figure 10: execution trace of one node of the distributed run, without
+//! and with the NUMA affinity policy, plus remote-access fractions.
+//!
+//! The paper's trace shows HPCCG rank-0 tasks (white), rank-1 tasks (gray)
+//! and N-Body tasks (red) over the 48 cores of both sockets; without
+//! affinity 70.4% of HPCCG's accesses are remote, with affinity the tasks
+//! pin to their data's socket. Here the trace renders as ASCII (one row
+//! per core, uppercase = local task, lowercase = remote; A/B = HPCCG
+//! ranks, C = N-Body).
+//!
+//! Regenerate with: `cargo bench -p bench --bench fig10_trace`
+
+use bench::{env_scale, env_seed};
+use mpisim::{run_distributed, DistConfig, DistStrategy};
+use simnode::SimOptions;
+
+fn main() {
+    let cfg = DistConfig {
+        nodes: 8,
+        scale: (env_scale() * 0.6).max(0.05), // keep the trace readable
+        sim: SimOptions {
+            seed: env_seed(),
+            record_trace: true,
+            ..Default::default()
+        },
+    };
+    println!("== Figure 10: execution trace, one Skylake node (48 cores) ==");
+    for (label, strategy) in [
+        ("w/o affinity", DistStrategy::Nosv),
+        ("with affinity", DistStrategy::NosvAffinity),
+    ] {
+        let o = run_distributed(strategy, &cfg);
+        let sim = o.sim.as_ref().expect("co-scheduled run has a simulation");
+        let trace = sim.trace.as_ref().expect("tracing enabled");
+        println!(
+            "\n-- {label}: HPCCG remote NUMA accesses {:.1}% (paper: {}) --",
+            o.hpccg_remote_fraction * 100.0,
+            if strategy == DistStrategy::Nosv {
+                "70.4%"
+            } else {
+                "negligible"
+            }
+        );
+        println!("   A/B = HPCCG rank 0/1, C = NBody; lowercase = remote socket");
+        print!("{}", trace.render_ascii(48, 100));
+    }
+}

@@ -1,0 +1,170 @@
+//! Figure 5: baseline overhead of the nOS-V integration.
+//!
+//! For each of the seven real kernels, runs the task graph at *peak* task
+//! granularity and at a deliberately-too-fine granularity (where runtime
+//! overhead dominates; the paper picks points near 50% of peak), on both
+//! runtime shapes:
+//!
+//! * original Nanos6 (standalone backend: own pool + scheduler), and
+//! * Nanos6 + nOS-V (scheduling/CPU management delegated to nOS-V),
+//!
+//! reporting per-kernel performance scores relative to the best of the
+//! four configurations — Fig. 5's bars. The expected shape is parity
+//! between backends at both granularities.
+//!
+//! Regenerate with: `cargo bench -p bench --bench fig5_baseline`
+//! (`NOSV_REPRO_SIZE=big` enlarges the problems.)
+
+use std::time::Instant;
+
+use nanos::{Backend, NanosRuntime};
+use workloads::kernels::{self, KernelRun};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Grain {
+    Peak,
+    Small,
+}
+
+struct Case {
+    name: &'static str,
+    run: fn(&NanosRuntime, Grain, usize) -> KernelRun,
+}
+
+fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            name: "Matmul",
+            run: |nr, g, s| match g {
+                Grain::Peak => kernels::matmul::run(nr, 4, 12 * s),
+                Grain::Small => kernels::matmul::run(nr, 16, 3 * s),
+            },
+        },
+        Case {
+            name: "Dot-product",
+            run: |nr, g, s| match g {
+                Grain::Peak => kernels::dot::run(nr, 100_000 * s, 8, 10),
+                Grain::Small => kernels::dot::run(nr, 100_000 * s, 256, 10),
+            },
+        },
+        Case {
+            name: "Heat",
+            run: |nr, g, s| match g {
+                Grain::Peak => kernels::heat::run(nr, 64 * s, 32 * s, 8, 6),
+                Grain::Small => kernels::heat::run(nr, 64 * s, 32 * s, 32, 6),
+            },
+        },
+        Case {
+            name: "HPCCG",
+            run: |nr, g, s| match g {
+                Grain::Peak => kernels::hpccg::run(nr, 50_000 * s, 8, 6),
+                Grain::Small => kernels::hpccg::run(nr, 50_000 * s, 96, 6),
+            },
+        },
+        Case {
+            name: "NBody",
+            run: |nr, g, s| match g {
+                Grain::Peak => kernels::nbody::run(nr, 256 * s, 8, 2),
+                Grain::Small => kernels::nbody::run(nr, 256 * s, 64, 2),
+            },
+        },
+        Case {
+            name: "Cholesky",
+            run: |nr, g, s| match g {
+                Grain::Peak => kernels::cholesky::run(nr, 6, 10 * s),
+                Grain::Small => kernels::cholesky::run(nr, 18, 3 * s + 1),
+            },
+        },
+        Case {
+            name: "Lulesh",
+            run: |nr, g, s| match g {
+                Grain::Peak => kernels::lulesh::run(nr, 10_000 * s, 8, 10),
+                Grain::Small => kernels::lulesh::run(nr, 10_000 * s, 192, 10),
+            },
+        },
+    ]
+}
+
+fn time_run(nr: &NanosRuntime, case: &Case, grain: Grain, s: usize) -> (f64, KernelRun) {
+    let _ = (case.run)(nr, grain, s); // warm-up
+    let t0 = Instant::now();
+    let out = (case.run)(nr, grain, s);
+    (t0.elapsed().as_secs_f64(), out)
+}
+
+fn main() {
+    let s = if std::env::var("NOSV_REPRO_SIZE").as_deref() == Ok("big") {
+        3
+    } else {
+        1
+    };
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get().max(2));
+    println!("== Figure 5: Nanos6 vs Nanos6+nOS-V baseline ({threads} workers, size x{s}) ==");
+    println!(
+        "  {:<12} {:>14} {:>14} {:>14} {:>14}",
+        "benchmark", "peak-nanos6", "peak-nosv", "small-nanos6", "small-nosv"
+    );
+
+    for case in cases() {
+        let mut times = [0.0f64; 4];
+        let mut sums = [0.0f64; 4];
+        for (slot, (grain, use_nosv)) in [
+            (Grain::Peak, false),
+            (Grain::Peak, true),
+            (Grain::Small, false),
+            (Grain::Small, true),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            if use_nosv {
+                let rt = nosv::Runtime::new(nosv::NosvConfig {
+                    cpus: threads,
+                    segment_size: 64 * 1024 * 1024,
+                    ..Default::default()
+                });
+                let nr = NanosRuntime::new(Backend::nosv(rt.attach(case.name)));
+                let (t, out) = time_run(&nr, &case, grain, s);
+                times[slot] = t;
+                sums[slot] = out.checksum;
+                nr.shutdown();
+                rt.shutdown();
+            } else {
+                let nr = NanosRuntime::new(Backend::standalone(threads));
+                let (t, out) = time_run(&nr, &case, grain, s);
+                times[slot] = t;
+                sums[slot] = out.checksum;
+                nr.shutdown();
+            }
+        }
+        // Both backends must compute identical results at each granularity.
+        assert!(
+            (sums[0] - sums[1]).abs() <= 1e-6 * sums[0].abs().max(1.0),
+            "{}: peak results diverge: {} vs {}",
+            case.name,
+            sums[0],
+            sums[1]
+        );
+        assert!(
+            (sums[2] - sums[3]).abs() <= 1e-6 * sums[2].abs().max(1.0),
+            "{}: small-grain results diverge: {} vs {}",
+            case.name,
+            sums[2],
+            sums[3]
+        );
+        let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!(
+            "  {:<12} {:>14.3} {:>14.3} {:>14.3} {:>14.3}   (score = best/time)",
+            case.name,
+            best / times[0],
+            best / times[1],
+            best / times[2],
+            best / times[3],
+        );
+    }
+    println!(
+        "\n  Expected shape (paper): within each granularity the two backends\n  \
+         score ~equally — the nOS-V integration introduces no relevant\n  \
+         performance penalty (Fig. 5)."
+    );
+}

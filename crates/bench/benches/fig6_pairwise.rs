@@ -1,0 +1,75 @@
+//! Figure 6: performance score of every pairwise benchmark combination
+//! under each of the six strategies, as six heatmaps (higher is better).
+//!
+//! Regenerate with:
+//! `cargo bench -p bench --bench fig6_pairwise`
+//! (`NOSV_REPRO_SCALE` scales the workloads; see `bench` crate docs.)
+
+use bench::{env_scale, env_seed, median, print_heatmap};
+use simnode::{NodeSpec, SimOptions};
+use strategies::{evaluate_combo, pairwise_combos, Strategy, StrategyConfig};
+use workloads::{all_benchmarks, benchmark};
+
+fn main() {
+    let scale = env_scale();
+    let node = NodeSpec::amd_rome();
+    let benches = all_benchmarks();
+    let names: Vec<&str> = benches.iter().map(|b| b.name()).collect();
+    let cfg = StrategyConfig {
+        sim: SimOptions {
+            seed: env_seed(),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+
+    println!("== Figure 6: pairwise co-scheduling performance scores ==");
+    println!(
+        "   node: 64-core AMD-Rome model, quantum 20 ms, scale {scale} \
+         ({} cells x 6 strategies)",
+        pairwise_combos(benches.len()).len()
+    );
+
+    let models: Vec<_> = benches.iter().map(|&b| benchmark(b, scale)).collect();
+    let combos = pairwise_combos(benches.len());
+    let mut outcomes = Vec::with_capacity(combos.len());
+    for combo in combos {
+        let apps = vec![models[combo[0]].clone(), models[combo[1]].clone()];
+        let out = evaluate_combo(&node, &apps, combo, &cfg);
+        eprintln!(
+            "   {} + {}: {:?} s",
+            names[out.combo[0]],
+            names[out.combo[1]],
+            out.makespans
+                .iter()
+                .map(|m| (*m as f64 / 1e8).round() / 10.0)
+                .collect::<Vec<_>>()
+        );
+        outcomes.push(out);
+    }
+
+    // Six heatmaps, one per strategy (paper layout: row >= col filled).
+    for (si, strategy) in Strategy::all().into_iter().enumerate() {
+        print_heatmap(strategy.name(), &names, |row, col| {
+            if row < col {
+                return None;
+            }
+            outcomes
+                .iter()
+                .find(|o| (o.combo[0], o.combo[1]) == (col, row))
+                .map(|o| o.scores()[si])
+        });
+    }
+
+    // §5.2 headline: median speedup of nOS-V over exclusive execution.
+    let speedups: Vec<f64> = outcomes
+        .iter()
+        .map(|o| o.speedup_vs_exclusive(Strategy::Nosv))
+        .collect();
+    println!(
+        "\n  median nOS-V speedup over exclusive (pairwise): {:.3}x (paper: 1.17x)",
+        median(&speedups)
+    );
+    let worst = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!("  minimum nOS-V speedup over exclusive: {worst:.3}x (paper: >= 1.0x)");
+}

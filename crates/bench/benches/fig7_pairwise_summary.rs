@@ -1,0 +1,53 @@
+//! Figure 7: box-plot summary of the pairwise performance scores of Fig. 6,
+//! one box per strategy.
+//!
+//! Regenerate with: `cargo bench -p bench --bench fig7_pairwise_summary`
+
+use bench::{env_scale, env_seed, print_box_row, score_samples};
+use simnode::{NodeSpec, SimOptions};
+use strategies::{evaluate_combo, pairwise_combos, BoxStats, Strategy, StrategyConfig};
+use workloads::{all_benchmarks, benchmark};
+
+fn main() {
+    let scale = env_scale();
+    let node = NodeSpec::amd_rome();
+    let benches = all_benchmarks();
+    let cfg = StrategyConfig {
+        sim: SimOptions {
+            seed: env_seed(),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+
+    println!("== Figure 7: pairwise performance-score distribution per strategy ==");
+    let models: Vec<_> = benches.iter().map(|&b| benchmark(b, scale)).collect();
+    let outcomes: Vec<_> = pairwise_combos(benches.len())
+        .into_iter()
+        .map(|combo| {
+            let apps = vec![models[combo[0]].clone(), models[combo[1]].clone()];
+            evaluate_combo(&node, &apps, combo, &cfg)
+        })
+        .collect();
+
+    let samples = score_samples(&outcomes);
+    let mut nosv_stats = None;
+    for (i, strategy) in Strategy::all().into_iter().enumerate() {
+        let stats = BoxStats::of(&samples[i]);
+        print_box_row(strategy, &stats);
+        if strategy == Strategy::Nosv {
+            nosv_stats = Some(stats);
+        }
+    }
+    let nosv = nosv_stats.expect("nOS-V evaluated");
+    println!(
+        "\n  Expected shape (paper): nOS-V has the best median (1.0) and the\n  \
+         smallest IQR; static co-location second-best median (~0.98) with\n  \
+         higher variability; oversubscription-busy worst."
+    );
+    println!(
+        "  measured: nOS-V median {:.3}, IQR {:.3}",
+        nosv.median,
+        nosv.iqr()
+    );
+}

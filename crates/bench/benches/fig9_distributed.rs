@@ -1,0 +1,58 @@
+//! Figure 9: total makespan of the distributed HPCCG + N-Body co-execution
+//! on the (simulated) 8-node dual-socket Skylake cluster, per strategy.
+//!
+//! Regenerate with: `cargo bench -p bench --bench fig9_distributed`
+
+use bench::{env_scale, env_seed};
+use mpisim::{run_all, DistConfig, DistStrategy};
+use simnode::SimOptions;
+
+fn main() {
+    let cfg = DistConfig {
+        nodes: 8,
+        scale: env_scale() * 4.0, // distributed runs are cheaper to simulate
+        sim: SimOptions {
+            seed: env_seed(),
+            ..Default::default()
+        },
+    };
+    println!(
+        "== Figure 9: distributed HPCCG (2 ranks/node) + N-Body (1 rank/node), {} nodes ==",
+        cfg.nodes
+    );
+    println!(
+        "  {:<24} {:>12} {:>12} {:>12} {:>14}",
+        "strategy", "HPCCG (s)", "NBody (s)", "total (s)", "HPCCG remote%"
+    );
+    let outcomes = run_all(&cfg);
+    let exclusive = outcomes
+        .iter()
+        .find(|o| o.strategy == DistStrategy::Exclusive)
+        .expect("exclusive present")
+        .makespan_ns;
+    for o in &outcomes {
+        println!(
+            "  {:<24} {:>12.2} {:>12.2} {:>12.2} {:>13.1}%",
+            o.strategy.name(),
+            o.hpccg_ns as f64 / 1e9,
+            o.nbody_ns as f64 / 1e9,
+            o.makespan_ns as f64 / 1e9,
+            o.hpccg_remote_fraction * 100.0
+        );
+    }
+    let affine = outcomes
+        .iter()
+        .find(|o| o.strategy == DistStrategy::NosvAffinity)
+        .expect("affinity present")
+        .makespan_ns;
+    println!(
+        "\n  nOS-V+affinity speedup over exclusive: {:.3}x (paper: 1.21x)",
+        exclusive as f64 / affine as f64
+    );
+    println!(
+        "  Expected shape (paper): co-location worst (halving the machine is\n  \
+         not the optimal split); DLB and plain nOS-V middle (cross-socket\n  \
+         task migration costs remote NUMA accesses); nOS-V + NUMA affinity\n  \
+         best."
+    );
+}

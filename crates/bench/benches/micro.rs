@@ -1,0 +1,206 @@
+//! Criterion microbenchmarks and design-choice ablations.
+//!
+//! * `dtlock` — the Delegation Ticket Lock against a plain ticket lock and
+//!   `parking_lot::Mutex` under producer/consumer contention (§3.4's
+//!   "state-of-the-art performance" claim for the scheduler lock).
+//! * `shmem_alloc` — the in-segment SLAB allocator against the system
+//!   allocator, including the cross-process free path (§3.5's
+//!   "competitive with other memory allocators").
+//! * `task_lifecycle` — `nosv_create`+`submit`+run+`destroy` end-to-end
+//!   latency (the overhead Fig. 5's small-granularity points stress).
+//! * `quantum` — scheduler ablation: context-switch count as a function of
+//!   the process quantum (the §3.4 fairness/locality trade-off).
+//!
+//! Run with: `cargo bench -p bench --bench micro`
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nosv_shmem::{SegmentConfig, ShmSegment};
+use nosv_sync::{Acquired, DtLock, TicketLock};
+
+fn bench_locks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dtlock");
+    g.sample_size(20);
+
+    // Uncontended acquire/release round-trips.
+    let dt: DtLock<u64, u64> = DtLock::new(0, 8);
+    g.bench_function("dtlock_uncontended", |b| {
+        b.iter(|| match dt.acquire(0) {
+            Acquired::Holder(mut guard) => {
+                *guard += 1;
+            }
+            Acquired::Served(_) => unreachable!(),
+        })
+    });
+
+    let ticket = TicketLock::new(0u64);
+    g.bench_function("ticket_uncontended", |b| {
+        b.iter(|| {
+            *ticket.lock() += 1;
+        })
+    });
+
+    let mutex = parking_lot::Mutex::new(0u64);
+    g.bench_function("parking_lot_uncontended", |b| {
+        b.iter(|| {
+            *mutex.lock() += 1;
+        })
+    });
+
+    // Contended: 3 threads hammer a shared counter through each lock.
+    g.bench_function("dtlock_contended_3t", |b| {
+        b.iter_custom(|iters| {
+            let lock: Arc<DtLock<u64, u64>> = Arc::new(DtLock::new(0, 8));
+            let start = std::time::Instant::now();
+            std::thread::scope(|s| {
+                for _ in 0..3 {
+                    let lock = Arc::clone(&lock);
+                    s.spawn(move || {
+                        for _ in 0..iters {
+                            match lock.acquire(0) {
+                                Acquired::Holder(mut g) => *g += 1,
+                                Acquired::Served(_) => {}
+                            }
+                        }
+                    });
+                }
+            });
+            start.elapsed()
+        })
+    });
+    g.bench_function("ticket_contended_3t", |b| {
+        b.iter_custom(|iters| {
+            let lock = Arc::new(TicketLock::new(0u64));
+            let start = std::time::Instant::now();
+            std::thread::scope(|s| {
+                for _ in 0..3 {
+                    let lock = Arc::clone(&lock);
+                    s.spawn(move || {
+                        for _ in 0..iters {
+                            *lock.lock() += 1;
+                        }
+                    });
+                }
+            });
+            start.elapsed()
+        })
+    });
+    g.finish();
+}
+
+fn bench_shmem_alloc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shmem_alloc");
+    g.sample_size(20);
+    let seg = ShmSegment::create(SegmentConfig {
+        size: 32 * 1024 * 1024,
+        max_cpus: 4,
+    });
+    for size in [64usize, 512, 4096] {
+        g.bench_with_input(BenchmarkId::new("slab", size), &size, |b, &size| {
+            b.iter(|| {
+                let off = seg.alloc(size, 0).expect("space");
+                seg.free(off, 0);
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("system", size), &size, |b, &size| {
+            b.iter(|| {
+                let v = vec![0u8; size];
+                std::hint::black_box(&v);
+            })
+        });
+    }
+    // Cross-"process" free: allocated on cpu 0 / freed through another
+    // mapping on cpu 3 — the property ordinary allocators lack.
+    let seg2 = seg.clone();
+    g.bench_function("slab_cross_process_free", |b| {
+        b.iter(|| {
+            let off = seg.alloc(256, 0).expect("space");
+            seg2.free(off, 3);
+        })
+    });
+    g.finish();
+}
+
+fn bench_task_lifecycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("task_lifecycle");
+    g.sample_size(10);
+    let rt = nosv::Runtime::new(nosv::NosvConfig {
+        cpus: 2,
+        ..Default::default()
+    });
+    let app = rt.attach("bench");
+    g.bench_function("create_submit_run_destroy", |b| {
+        b.iter(|| {
+            let t = app.create_task(|_| {});
+            t.submit();
+            t.wait();
+            t.destroy();
+        })
+    });
+    g.bench_function("create_destroy_only", |b| {
+        b.iter(|| {
+            let t = app.create_task(|_| {});
+            t.destroy();
+        })
+    });
+    g.finish();
+    drop(app);
+    rt.shutdown();
+}
+
+fn bench_quantum_ablation(c: &mut Criterion) {
+    use simnode::{AffinityMode, NodeSpec, RuntimeMode, SimOptions};
+    use workloads::{benchmark, Benchmark};
+
+    let mut g = c.benchmark_group("quantum_ablation");
+    g.sample_size(10);
+    let node = NodeSpec::amd_rome();
+    let apps = vec![
+        benchmark(Benchmark::Hpccg, 0.02),
+        benchmark(Benchmark::Nbody, 0.02),
+    ];
+    println!("\n-- ablation: process quantum vs cross-app switches (co-execution) --");
+    for quantum_ms in [1u64, 5, 20, 100] {
+        let r = simnode::run_simulation(
+            &node,
+            &apps,
+            &RuntimeMode::Nosv {
+                quantum_ns: quantum_ms * 1_000_000,
+                affinity: AffinityMode::Ignore,
+            },
+            &SimOptions::default(),
+        );
+        println!(
+            "   quantum {quantum_ms:>4} ms: makespan {:.3} s, cross-app switches {}, quantum switches {}",
+            r.makespan_ns as f64 / 1e9,
+            r.stats.cross_app_switches,
+            r.stats.quantum_switches
+        );
+    }
+    // Also expose one configuration as a criterion measurement.
+    g.bench_function("nosv_sim_quantum20ms", |b| {
+        b.iter(|| {
+            simnode::run_simulation(
+                &node,
+                &apps,
+                &RuntimeMode::Nosv {
+                    quantum_ns: 20_000_000,
+                    affinity: AffinityMode::Ignore,
+                },
+                &SimOptions::default(),
+            )
+            .makespan_ns
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_locks,
+    bench_shmem_alloc,
+    bench_task_lifecycle,
+    bench_quantum_ablation
+);
+criterion_main!(benches);

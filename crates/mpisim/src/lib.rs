@@ -1,0 +1,382 @@
+//! # mpisim: distributed MPI+tasks co-execution (paper §5.3)
+//!
+//! The paper's last experiment runs hybrid MPI+OmpSs-2 versions of HPCCG
+//! (2 ranks per node, one per socket — strong NUMA sensitivity) and N-Body
+//! (1 rank per node, compute-bound) on eight dual-socket Skylake nodes,
+//! comparing exclusive execution, static co-location, DLB, nOS-V, and
+//! nOS-V with per-task NUMA affinity (Fig. 9), plus execution traces and
+//! remote-access fractions for one node (Fig. 10).
+//!
+//! Both applications are Bulk-Synchronous Parallel: serial communication
+//! phases followed by node-wide parallel computation. Because all nodes are
+//! homogeneous and advance in lockstep at each BSP barrier, one node is
+//! representative of the whole machine; the cross-node network cost appears
+//! as the serial communication phase, whose duration grows with the
+//! allreduce tree depth (`log2(nodes)`).
+//!
+//! The NUMA content is in the task homes: each HPCCG rank's tasks live on
+//! that rank's socket. A scheduler that migrates them across sockets pays
+//! the remote-access penalty; the nOS-V affinity policy pins them home.
+
+#![warn(missing_docs)]
+
+use simnode::{
+    run_simulation, AffinityMode, AppModel, CoreRange, IdlePolicy, NodeSpec, Phase, RuntimeMode,
+    SimOptions, SimResult, TaskModel,
+};
+
+/// The five strategies of Fig. 9, in figure order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DistStrategy {
+    /// HPCCG (both ranks, socket-pinned) then N-Body, sequentially.
+    Exclusive,
+    /// Machine statically halved: HPCCG on socket 0's cores, N-Body on
+    /// socket 1's ("statically partitioning the machine in half proved not
+    /// to be the optimal distribution", §5.3).
+    Colocation,
+    /// The same halves with DLB core lending.
+    Dlb,
+    /// nOS-V co-execution, no affinity (tasks may migrate across sockets).
+    Nosv,
+    /// nOS-V co-execution with strict per-task NUMA affinity.
+    NosvAffinity,
+}
+
+impl DistStrategy {
+    /// All strategies in figure order.
+    pub fn all() -> [DistStrategy; 5] {
+        [
+            DistStrategy::Exclusive,
+            DistStrategy::Colocation,
+            DistStrategy::Dlb,
+            DistStrategy::Nosv,
+            DistStrategy::NosvAffinity,
+        ]
+    }
+
+    /// Display name matching Fig. 9.
+    pub fn name(self) -> &'static str {
+        match self {
+            DistStrategy::Exclusive => "Exclusive Execution",
+            DistStrategy::Colocation => "Co-location",
+            DistStrategy::Dlb => "DLB",
+            DistStrategy::Nosv => "nOS-V",
+            DistStrategy::NosvAffinity => "nOS-V + NUMA Affinity",
+        }
+    }
+}
+
+/// Experiment configuration (defaults follow §5.3).
+#[derive(Debug, Clone)]
+pub struct DistConfig {
+    /// Cluster size; communication grows with `log2(nodes)`.
+    pub nodes: usize,
+    /// Workload scale factor (iteration counts).
+    pub scale: f64,
+    /// Simulator options.
+    pub sim: SimOptions,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        DistConfig {
+            nodes: 8,
+            scale: 1.0,
+            sim: SimOptions::default(),
+        }
+    }
+}
+
+/// Index of each application in the simulated node's app list.
+pub const HPCCG_RANK0: usize = 0;
+/// Second HPCCG rank (socket 1).
+pub const HPCCG_RANK1: usize = 1;
+/// The N-Body rank.
+pub const NBODY: usize = 2;
+
+/// Builds the three per-node applications: HPCCG rank 0 (socket 0), HPCCG
+/// rank 1 (socket 1), and the node's N-Body rank.
+pub fn build_apps(cfg: &DistConfig) -> Vec<AppModel> {
+    let iters = |n: usize| ((n as f64 * cfg.scale).round() as usize).max(1);
+    let comm_ns = |base: u64| base + 400_000 * (cfg.nodes as f64).log2().ceil() as u64;
+
+    let hpccg_rank = |socket: usize| {
+        // Per BSP iteration: a serial exchange/allreduce phase, then a
+        // memory-bound sparse phase across the rank's 24 cores, with every
+        // task's data resident on the rank's socket.
+        let spmv = TaskModel {
+            work_ns: 18_000_000,
+            bw_gbps: 2.0,
+            mem_frac: 0.9,
+            home_socket: None,
+        }
+        .on_socket(socket);
+        let comm = TaskModel::compute(comm_ns(2_500_000)).on_socket(socket);
+        let mut phases = Vec::new();
+        for _ in 0..iters(55) {
+            phases.push(Phase::serial(comm));
+            phases.push(Phase::uniform(24, spmv));
+        }
+        AppModel::new(format!("HPCCG-rank{socket}"), phases)
+    };
+
+    let nbody = {
+        let forces = TaskModel {
+            work_ns: 22_000_000,
+            bw_gbps: 0.02,
+            mem_frac: 0.02,
+            home_socket: None,
+        };
+        let comm = TaskModel::compute(comm_ns(2_000_000));
+        let mut phases = Vec::new();
+        for _ in 0..iters(55) {
+            phases.push(Phase::serial(comm));
+            phases.push(Phase::uniform(48, forces));
+        }
+        AppModel::new("NBody", phases)
+    };
+
+    vec![hpccg_rank(0), hpccg_rank(1), nbody]
+}
+
+/// Outcome of one strategy run.
+#[derive(Debug, Clone)]
+pub struct DistOutcome {
+    /// The strategy.
+    pub strategy: DistStrategy,
+    /// Group makespan, ns.
+    pub makespan_ns: u64,
+    /// HPCCG elapsed time (max over its two ranks), ns.
+    pub hpccg_ns: u64,
+    /// N-Body elapsed time, ns.
+    pub nbody_ns: u64,
+    /// Fraction of HPCCG tasks executed on the wrong socket.
+    pub hpccg_remote_fraction: f64,
+    /// The final simulation (trace carrier for Fig. 10), when a single
+    /// co-scheduled simulation exists (not for Exclusive).
+    pub sim: Option<SimResult>,
+}
+
+/// Runs one Fig. 9 strategy.
+pub fn run_distributed(strategy: DistStrategy, cfg: &DistConfig) -> DistOutcome {
+    let node = NodeSpec::skylake();
+    let apps = build_apps(cfg);
+
+    let summarize = |r: &SimResult| {
+        let hpccg = r.stats.apps[HPCCG_RANK0]
+            .finish_ns
+            .max(r.stats.apps[HPCCG_RANK1].finish_ns);
+        let nbody = r.stats.apps[NBODY].finish_ns;
+        let remote = (r.stats.apps[HPCCG_RANK0].remote_tasks
+            + r.stats.apps[HPCCG_RANK1].remote_tasks) as f64;
+        let homed = (r.stats.apps[HPCCG_RANK0].homed_tasks
+            + r.stats.apps[HPCCG_RANK1].homed_tasks) as f64;
+        (hpccg, nbody, if homed > 0.0 { remote / homed } else { 0.0 })
+    };
+
+    match strategy {
+        DistStrategy::Exclusive => {
+            // HPCCG first: both ranks simultaneously, each pinned to its
+            // socket (the best configuration, §5.3). Then N-Body alone.
+            let hpccg = run_simulation(
+                &node,
+                &apps[0..2],
+                &RuntimeMode::PerApp {
+                    assignments: vec![node.socket_cores(0), node.socket_cores(1)],
+                    idle: IdlePolicy::Futex,
+                    dlb: false,
+                },
+                &cfg.sim,
+            );
+            let nbody = run_simulation(
+                &node,
+                &apps[2..3],
+                &RuntimeMode::PerApp {
+                    assignments: vec![node.all_cores()],
+                    idle: IdlePolicy::Futex,
+                    dlb: false,
+                },
+                &cfg.sim,
+            );
+            let hp = hpccg.stats.apps[HPCCG_RANK0]
+                .finish_ns
+                .max(hpccg.stats.apps[HPCCG_RANK1].finish_ns);
+            let remote = (hpccg.stats.apps[HPCCG_RANK0].remote_tasks
+                + hpccg.stats.apps[HPCCG_RANK1].remote_tasks) as f64
+                / (hpccg.stats.apps[HPCCG_RANK0].homed_tasks
+                    + hpccg.stats.apps[HPCCG_RANK1].homed_tasks)
+                    .max(1) as f64;
+            DistOutcome {
+                strategy,
+                makespan_ns: hpccg.makespan_ns + nbody.makespan_ns,
+                hpccg_ns: hp,
+                nbody_ns: nbody.makespan_ns,
+                hpccg_remote_fraction: remote,
+                sim: None,
+            }
+        }
+        DistStrategy::Colocation | DistStrategy::Dlb => {
+            // Machine halved per application: HPCCG's two ranks inside
+            // cores 0..24 (socket 0), N-Body on 24..48. HPCCG rank 1's
+            // data lives on socket 1 — every one of its tasks is remote,
+            // which is exactly why the paper finds the static halves
+            // suboptimal.
+            let half = 12;
+            let assignments = vec![
+                CoreRange::new(0, half),
+                CoreRange::new(half, 24),
+                CoreRange::new(24, 48),
+            ];
+            let r = run_simulation(
+                &node,
+                &apps,
+                &RuntimeMode::PerApp {
+                    assignments,
+                    idle: IdlePolicy::Futex,
+                    dlb: strategy == DistStrategy::Dlb,
+                },
+                &cfg.sim,
+            );
+            let (hp, nb, remote) = summarize(&r);
+            DistOutcome {
+                strategy,
+                makespan_ns: r.makespan_ns,
+                hpccg_ns: hp,
+                nbody_ns: nb,
+                hpccg_remote_fraction: remote,
+                sim: Some(r),
+            }
+        }
+        DistStrategy::Nosv | DistStrategy::NosvAffinity => {
+            let affinity = if strategy == DistStrategy::NosvAffinity {
+                AffinityMode::Strict
+            } else {
+                AffinityMode::Ignore
+            };
+            let r = run_simulation(
+                &node,
+                &apps,
+                &RuntimeMode::Nosv {
+                    quantum_ns: 20_000_000,
+                    affinity,
+                },
+                &cfg.sim,
+            );
+            let (hp, nb, remote) = summarize(&r);
+            DistOutcome {
+                strategy,
+                makespan_ns: r.makespan_ns,
+                hpccg_ns: hp,
+                nbody_ns: nb,
+                hpccg_remote_fraction: remote,
+                sim: Some(r),
+            }
+        }
+    }
+}
+
+/// Runs all five strategies (Fig. 9's bar groups).
+pub fn run_all(cfg: &DistConfig) -> Vec<DistOutcome> {
+    DistStrategy::all()
+        .into_iter()
+        .map(|s| run_distributed(s, cfg))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DistConfig {
+        DistConfig {
+            scale: 0.15,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn apps_have_the_paper_rank_structure() {
+        let apps = build_apps(&cfg());
+        assert_eq!(apps.len(), 3);
+        assert_eq!(apps[HPCCG_RANK0].name, "HPCCG-rank0");
+        assert_eq!(apps[HPCCG_RANK1].name, "HPCCG-rank1");
+        assert_eq!(apps[NBODY].name, "NBody");
+        // HPCCG tasks are homed; N-Body tasks are not.
+        let homed = |a: &AppModel, s: usize| {
+            a.phases
+                .iter()
+                .flat_map(|p| &p.groups)
+                .all(|(_, t)| t.home_socket == Some(s))
+        };
+        assert!(homed(&apps[0], 0));
+        assert!(homed(&apps[1], 1));
+        assert!(apps[2]
+            .phases
+            .iter()
+            .flat_map(|p| &p.groups)
+            .all(|(_, t)| t.home_socket.is_none()));
+    }
+
+    #[test]
+    fn exclusive_has_no_remote_accesses() {
+        let o = run_distributed(DistStrategy::Exclusive, &cfg());
+        assert_eq!(o.hpccg_remote_fraction, 0.0);
+        assert!(o.makespan_ns > 0);
+    }
+
+    #[test]
+    fn affinity_eliminates_remote_accesses() {
+        let plain = run_distributed(DistStrategy::Nosv, &cfg());
+        let affine = run_distributed(DistStrategy::NosvAffinity, &cfg());
+        assert!(
+            plain.hpccg_remote_fraction > 0.3,
+            "unpinned co-execution must migrate tasks: {}",
+            plain.hpccg_remote_fraction
+        );
+        assert_eq!(affine.hpccg_remote_fraction, 0.0);
+        assert!(
+            affine.makespan_ns <= plain.makespan_ns,
+            "affinity must not hurt: {} vs {}",
+            affine.makespan_ns,
+            plain.makespan_ns
+        );
+    }
+
+    #[test]
+    fn figure9_ordering_holds() {
+        // Co-location worst; nOS-V+affinity best and better than exclusive.
+        let outcomes = run_all(&cfg());
+        let get = |s: DistStrategy| {
+            outcomes
+                .iter()
+                .find(|o| o.strategy == s)
+                .expect("present")
+                .makespan_ns
+        };
+        let exclusive = get(DistStrategy::Exclusive);
+        let coloc = get(DistStrategy::Colocation);
+        let affine = get(DistStrategy::NosvAffinity);
+        assert!(
+            coloc > exclusive,
+            "static halves should be worse than exclusive: {coloc} vs {exclusive}"
+        );
+        assert!(
+            affine < exclusive,
+            "nOS-V+affinity should beat exclusive: {affine} vs {exclusive}"
+        );
+        let speedup = exclusive as f64 / affine as f64;
+        assert!(
+            (1.05..1.5).contains(&speedup),
+            "speedup {speedup} out of band (paper: 1.21x)"
+        );
+    }
+
+    #[test]
+    fn trace_is_available_for_figure10() {
+        let mut c = cfg();
+        c.sim.record_trace = true;
+        let o = run_distributed(DistStrategy::NosvAffinity, &c);
+        let trace = o.sim.expect("co-scheduled run").trace.expect("requested");
+        assert!(!trace.segments.is_empty());
+    }
+}

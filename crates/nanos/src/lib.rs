@@ -1,0 +1,58 @@
+//! # nanos: a mini Nanos6-style data-flow task runtime
+//!
+//! The paper integrates nOS-V into **Nanos6**, the reference runtime of the
+//! OmpSs-2 programming model (§4): tasks declare `in`/`out`/`inout` accesses
+//! over data regions, the runtime derives the dependency graph, and ready
+//! tasks are handed to a scheduler. For the adapted runtime, "there is no
+//! need for a scheduler or a CPU manager, as the tasking library provides
+//! those components".
+//!
+//! This crate reproduces that split exactly:
+//!
+//! * [`dep`] — region-based data-flow dependency tracking with proper
+//!   fragmentation on partial overlaps (readers-after-writer,
+//!   writer-after-readers, writer-after-writer chains);
+//! * [`Backend::standalone`] — the *original Nanos6* shape: the runtime owns
+//!   a thread pool and a process-local priority scheduler;
+//! * [`Backend::nosv`] — the *Nanos6 + nOS-V* shape: scheduling and CPU
+//!   management are delegated to a shared [`nosv::Runtime`], enabling
+//!   co-execution with other applications attached to the same runtime.
+//!
+//! The two backends run identical task graphs, which is what the paper's
+//! baseline experiment (Fig. 5) compares.
+//!
+//! ## Example
+//!
+//! ```
+//! use nanos::{NanosRuntime, Backend, Region};
+//!
+//! let nr = NanosRuntime::new(Backend::standalone(2));
+//! let data = vec![0u64; 4];
+//! let region = Region::of_slice(&data);
+//!
+//! // Two writers chained by an inout dependency on the same region.
+//! let d = nanos::shared_mut(data);
+//! let d1 = d.clone();
+//! nr.task().inout(region).body(move || d1.with(|v| v[0] += 1)).spawn();
+//! let d2 = d.clone();
+//! nr.task().inout(region).body(move || d2.with(|v| v[0] *= 10)).spawn();
+//! nr.taskwait();
+//! assert_eq!(d.with(|v| v[0]), 10); // (0 + 1) * 10: order enforced
+//! nr.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+mod backend;
+pub mod dep;
+mod region;
+mod runtime;
+mod shared;
+mod task;
+
+pub use backend::Backend;
+pub use dep::AccessMode;
+pub use region::Region;
+pub use runtime::{NanosRuntime, NanosStats};
+pub use shared::{shared_mut, SharedMut};
+pub use task::TaskSpec;

@@ -1,0 +1,133 @@
+//! Data regions: the byte ranges dependencies are computed over.
+
+use std::fmt;
+
+/// A half-open byte range `[start, start + len)` in some address space.
+///
+/// OmpSs-2 dependencies are declared over memory regions; this type carries
+/// the same information. Construct one from real data with
+/// [`Region::of_slice`]/[`Region::of_ref`] (the kernels do), or from logical
+/// coordinates with [`Region::logical`] when the "data" is conceptual (e.g.
+/// a block index space) — the dependency tracker only cares about interval
+/// arithmetic, exactly like Nanos6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Region {
+    /// First byte of the region.
+    pub start: u64,
+    /// Length in bytes (must be nonzero to impose ordering).
+    pub len: u64,
+}
+
+impl Region {
+    /// Creates a region from raw bounds.
+    pub const fn new(start: u64, len: u64) -> Region {
+        Region { start, len }
+    }
+
+    /// Region covering a slice's memory.
+    pub fn of_slice<T>(s: &[T]) -> Region {
+        Region {
+            start: s.as_ptr() as u64,
+            len: std::mem::size_of_val(s) as u64,
+        }
+    }
+
+    /// Region covering a single value's memory.
+    pub fn of_ref<T>(r: &T) -> Region {
+        Region {
+            start: r as *const T as u64,
+            len: std::mem::size_of::<T>() as u64,
+        }
+    }
+
+    /// A logical region in a synthetic coordinate space: `space` selects a
+    /// disjoint 2^40-byte arena, `index` a unit-length cell within it.
+    ///
+    /// Useful for expressing dependencies over block indices without any
+    /// backing memory (e.g. "block (i, j) of the matrix").
+    pub const fn logical(space: u64, index: u64) -> Region {
+        Region {
+            start: (space << 40) | index,
+            len: 1,
+        }
+    }
+
+    /// Exclusive end of the region.
+    #[inline]
+    pub const fn end(self) -> u64 {
+        self.start + self.len
+    }
+
+    /// Whether two regions overlap in at least one byte.
+    #[inline]
+    pub const fn overlaps(self, other: Region) -> bool {
+        self.start < other.end() && other.start < self.end()
+    }
+
+    /// Intersection of two regions, if non-empty.
+    pub fn intersect(self, other: Region) -> Option<Region> {
+        let start = self.start.max(other.start);
+        let end = self.end().min(other.end());
+        if start < end {
+            Some(Region {
+                start,
+                len: end - start,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:#x}, {:#x})", self.start, self.end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_region_covers_bytes() {
+        let v = [0u32; 10];
+        let r = Region::of_slice(&v);
+        assert_eq!(r.len, 40);
+        assert_eq!(r.start, v.as_ptr() as u64);
+    }
+
+    #[test]
+    fn subslice_regions_are_contained() {
+        let v = [0u8; 100];
+        let whole = Region::of_slice(&v);
+        let part = Region::of_slice(&v[10..20]);
+        assert!(whole.overlaps(part));
+        assert_eq!(part.intersect(whole), Some(part));
+    }
+
+    #[test]
+    fn disjoint_slices_do_not_overlap() {
+        let v = [0u8; 100];
+        let a = Region::of_slice(&v[0..50]);
+        let b = Region::of_slice(&v[50..100]);
+        assert!(!a.overlaps(b));
+        assert_eq!(a.intersect(b), None);
+    }
+
+    #[test]
+    fn logical_spaces_are_disjoint() {
+        let a = Region::logical(1, 5);
+        let b = Region::logical(2, 5);
+        assert!(!a.overlaps(b));
+        let c = Region::logical(1, 5);
+        assert!(a.overlaps(c));
+    }
+
+    #[test]
+    fn intersect_partial() {
+        let a = Region::new(0, 10);
+        let b = Region::new(5, 10);
+        assert_eq!(a.intersect(b), Some(Region::new(5, 5)));
+    }
+}

@@ -1,0 +1,369 @@
+//! The nanos runtime: task registration, dependency release, taskwait.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::backend::{Backend, BackendImpl, ReadyJob};
+use crate::dep::DepTracker;
+use crate::task::TaskSpec;
+
+/// Runtime statistics (task graph shape diagnostics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NanosStats {
+    /// Tasks spawned.
+    pub spawned: u64,
+    /// Tasks whose dependencies were already satisfied at spawn.
+    pub immediately_ready: u64,
+    /// Dependency edges created.
+    pub edges: u64,
+    /// Tasks completed.
+    pub completed: u64,
+}
+
+struct TaskNode {
+    /// Unsatisfied predecessor count.
+    pending: usize,
+    /// Tasks waiting on this one.
+    successors: Vec<u64>,
+    /// The job, present until the task becomes ready.
+    job: Option<ReadyJob>,
+}
+
+struct DepState {
+    tracker: DepTracker,
+    tasks: HashMap<u64, TaskNode>,
+    next_id: u64,
+    completions_since_compact: u64,
+}
+
+struct NrInner {
+    dep: Mutex<DepState>,
+    backend: BackendImpl,
+    inflight: AtomicU64,
+    done_mutex: Mutex<()>,
+    done_cv: Condvar,
+    spawned: AtomicU64,
+    immediately_ready: AtomicU64,
+    edges: AtomicU64,
+    completed: AtomicU64,
+}
+
+/// A Nanos6-style data-flow task runtime over a chosen [`Backend`].
+///
+/// See the [crate documentation](crate) for the programming model and an
+/// example.
+pub struct NanosRuntime {
+    inner: Arc<NrInner>,
+}
+
+impl NanosRuntime {
+    /// Creates a runtime over `backend`.
+    pub fn new(backend: Backend) -> NanosRuntime {
+        NanosRuntime {
+            inner: Arc::new(NrInner {
+                dep: Mutex::new(DepState {
+                    tracker: DepTracker::new(),
+                    tasks: HashMap::new(),
+                    next_id: 1,
+                    completions_since_compact: 0,
+                }),
+                backend: BackendImpl::build(backend),
+                inflight: AtomicU64::new(0),
+                done_mutex: Mutex::new(()),
+                done_cv: Condvar::new(),
+                spawned: AtomicU64::new(0),
+                immediately_ready: AtomicU64::new(0),
+                edges: AtomicU64::new(0),
+                completed: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Starts building a task.
+    pub fn task(&self) -> TaskSpec<'_> {
+        TaskSpec::new(self)
+    }
+
+    /// Registers and (when ready) dispatches `spec`. Used via
+    /// [`TaskSpec::spawn`].
+    pub(crate) fn spawn_spec(&self, spec: TaskSpec<'_>) -> u64 {
+        let body = spec.body.expect("task spawned without a body");
+        let inner = &self.inner;
+        inner.inflight.fetch_add(1, Ordering::AcqRel);
+        inner.spawned.fetch_add(1, Ordering::Relaxed);
+
+        let mut dep = inner.dep.lock();
+        let id = dep.next_id;
+        dep.next_id += 1;
+
+        // Register every access; collect predecessors still alive.
+        let mut preds: Vec<u64> = Vec::new();
+        for (region, mode) in &spec.accesses {
+            preds.extend(dep.tracker.register(id, *region, *mode));
+        }
+        preds.sort_unstable();
+        preds.dedup();
+
+        let mut pending = 0;
+        for p in preds {
+            if let Some(node) = dep.tasks.get_mut(&p) {
+                node.successors.push(id);
+                pending += 1;
+                inner.edges.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let inner2 = Arc::clone(inner);
+        let job = ReadyJob {
+            body,
+            on_done: Box::new(move || NrInner::on_complete(&inner2, id)),
+            priority: spec.priority,
+            affinity: spec.affinity,
+        };
+
+        dep.tasks.insert(
+            id,
+            TaskNode {
+                pending,
+                successors: Vec::new(),
+                job: Some(job),
+            },
+        );
+
+        if pending == 0 {
+            inner.immediately_ready.fetch_add(1, Ordering::Relaxed);
+            let job = dep
+                .tasks
+                .get_mut(&id)
+                .and_then(|n| n.job.take())
+                .expect("fresh node must hold its job");
+            drop(dep);
+            inner.backend.dispatch(job);
+        }
+        id
+    }
+
+    /// Blocks until every spawned task has completed (OmpSs-2 `taskwait`),
+    /// then reclaims backend resources of completed tasks.
+    pub fn taskwait(&self) {
+        let inner = &self.inner;
+        let mut g = inner.done_mutex.lock();
+        while inner.inflight.load(Ordering::Acquire) != 0 {
+            inner.done_cv.wait(&mut g);
+        }
+        drop(g);
+        inner.backend.reap();
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> NanosStats {
+        NanosStats {
+            spawned: self.inner.spawned.load(Ordering::Relaxed),
+            immediately_ready: self.inner.immediately_ready.load(Ordering::Relaxed),
+            edges: self.inner.edges.load(Ordering::Relaxed),
+            completed: self.inner.completed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Waits for all tasks and stops backend threads.
+    pub fn shutdown(self) {
+        self.taskwait();
+        self.inner.backend.shutdown();
+    }
+}
+
+impl NrInner {
+    fn on_complete(inner: &Arc<NrInner>, id: u64) {
+        let mut ready: Vec<ReadyJob> = Vec::new();
+        {
+            let mut dep = inner.dep.lock();
+            let node = dep.tasks.remove(&id).expect("completed unknown task");
+            debug_assert!(node.job.is_none(), "completed task still held its job");
+            for s in node.successors {
+                if let Some(succ) = dep.tasks.get_mut(&s) {
+                    succ.pending -= 1;
+                    if succ.pending == 0 {
+                        if let Some(job) = succ.job.take() {
+                            ready.push(job);
+                        }
+                    }
+                }
+            }
+            dep.completions_since_compact += 1;
+            if dep.completions_since_compact >= 1024 {
+                dep.completions_since_compact = 0;
+                // Drop dependency history that refers only to finished
+                // tasks, merging fragments back together.
+                let dep_state = &mut *dep;
+                let tasks = &dep_state.tasks;
+                dep_state.tracker.compact(&|t| !tasks.contains_key(&t));
+            }
+        }
+        for job in ready {
+            inner.backend.dispatch(job);
+        }
+        inner.completed.fetch_add(1, Ordering::Relaxed);
+        // Release taskwaiters last, after dependents were dispatched.
+        let remaining = inner.inflight.fetch_sub(1, Ordering::AcqRel) - 1;
+        if remaining == 0 {
+            let _g = inner.done_mutex.lock();
+            inner.done_cv.notify_all();
+        }
+    }
+}
+
+impl Drop for NanosRuntime {
+    fn drop(&mut self) {
+        // Backend threads are stopped on explicit shutdown; dropping without
+        // it leaves detached workers only in the standalone case, which
+        // would keep the process alive — so stop them here too.
+        self.inner.backend.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::Region;
+    use crate::shared::shared_mut;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn independent_tasks_all_run() {
+        let nr = NanosRuntime::new(Backend::standalone(4));
+        let count = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&count);
+            nr.task()
+                .body(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                })
+                .spawn();
+        }
+        nr.taskwait();
+        assert_eq!(count.load(Ordering::Relaxed), 100);
+        let stats = nr.stats();
+        assert_eq!(stats.spawned, 100);
+        assert_eq!(stats.immediately_ready, 100);
+        assert_eq!(stats.edges, 0);
+        nr.shutdown();
+    }
+
+    #[test]
+    fn chain_executes_in_order() {
+        let nr = NanosRuntime::new(Backend::standalone(4));
+        let cell = shared_mut(Vec::<u32>::new());
+        let region = Region::logical(1, 0);
+        for i in 0..50 {
+            let c = cell.clone();
+            nr.task()
+                .inout(region)
+                .body(move || c.with(|v| v.push(i)))
+                .spawn();
+        }
+        nr.taskwait();
+        cell.with(|v| assert_eq!(*v, (0..50).collect::<Vec<_>>()));
+        let stats = nr.stats();
+        assert_eq!(stats.edges, 49, "a chain has n-1 edges");
+        assert_eq!(stats.immediately_ready, 1);
+        nr.shutdown();
+    }
+
+    #[test]
+    fn diamond_dependency() {
+        // A writes; B and C read; D writes again. D must see both reads.
+        let nr = NanosRuntime::new(Backend::standalone(4));
+        let log = shared_mut(Vec::<&'static str>::new());
+        let data = Region::logical(2, 0);
+        let l = log.clone();
+        nr.task().output(data).body(move || l.with(|v| v.push("A"))).spawn();
+        for name in ["B", "C"] {
+            let l = log.clone();
+            nr.task()
+                .input(data)
+                .body(move || l.with(|v| v.push(name)))
+                .spawn();
+        }
+        let l = log.clone();
+        nr.task().inout(data).body(move || l.with(|v| v.push("D"))).spawn();
+        nr.taskwait();
+        log.with(|v| {
+            assert_eq!(v.len(), 4);
+            assert_eq!(v[0], "A");
+            assert_eq!(v[3], "D");
+        });
+        nr.shutdown();
+    }
+
+    #[test]
+    fn taskwait_then_more_tasks() {
+        let nr = NanosRuntime::new(Backend::standalone(2));
+        let count = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let c = Arc::clone(&count);
+            nr.task().body(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            }).spawn();
+        }
+        nr.taskwait();
+        assert_eq!(count.load(Ordering::Relaxed), 10);
+        for _ in 0..10 {
+            let c = Arc::clone(&count);
+            nr.task().body(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            }).spawn();
+        }
+        nr.taskwait();
+        assert_eq!(count.load(Ordering::Relaxed), 20);
+        nr.shutdown();
+    }
+
+    #[test]
+    fn priorities_reach_the_pool() {
+        // With one worker and a full queue, higher priority runs first.
+        let nr = NanosRuntime::new(Backend::standalone(1));
+        let order = shared_mut(Vec::<i32>::new());
+        let gate = Region::logical(3, 0);
+        // Head task blocks the single worker while we enqueue.
+        let o = order.clone();
+        nr.task()
+            .inout(gate)
+            .body(move || {
+                o.with(|_| std::thread::sleep(std::time::Duration::from_millis(50)));
+            })
+            .spawn();
+        for p in [1, 9, 5] {
+            let o = order.clone();
+            nr.task().priority(p).body(move || o.with(|v| v.push(p))).spawn();
+        }
+        nr.taskwait();
+        order.with(|v| assert_eq!(*v, vec![9, 5, 1]));
+        nr.shutdown();
+    }
+
+    #[test]
+    fn tasks_spawned_from_tasks() {
+        let nr = Arc::new(NanosRuntime::new(Backend::standalone(4)));
+        let count = Arc::new(AtomicUsize::new(0));
+        // Note: spawning from inside tasks is allowed; taskwait sees the
+        // incremented inflight count before the parent completes.
+        let nr2 = Arc::clone(&nr);
+        let c2 = Arc::clone(&count);
+        nr.task()
+            .body(move || {
+                for _ in 0..10 {
+                    let c = Arc::clone(&c2);
+                    nr2.task().body(move || {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    }).spawn();
+                }
+            })
+            .spawn();
+        nr.taskwait();
+        assert_eq!(count.load(Ordering::Relaxed), 10);
+        Arc::try_unwrap(nr).ok().expect("sole owner").shutdown();
+    }
+}

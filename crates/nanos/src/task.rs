@@ -1,0 +1,88 @@
+//! Task specification builder (`#pragma oss task in(...) out(...)` analog).
+
+use nosv::Affinity;
+
+use crate::dep::AccessMode;
+use crate::region::Region;
+use crate::runtime::NanosRuntime;
+
+/// Builder for one task: its data accesses, scheduling attributes and body.
+///
+/// Obtained from [`NanosRuntime::task`]; consumed by [`TaskSpec::spawn`].
+#[must_use = "a task spec does nothing until spawned"]
+pub struct TaskSpec<'rt> {
+    rt: &'rt NanosRuntime,
+    pub(crate) accesses: Vec<(Region, AccessMode)>,
+    pub(crate) priority: i32,
+    pub(crate) affinity: Affinity,
+    pub(crate) body: Option<Box<dyn FnOnce() + Send + 'static>>,
+    pub(crate) label: &'static str,
+}
+
+impl<'rt> TaskSpec<'rt> {
+    pub(crate) fn new(rt: &'rt NanosRuntime) -> TaskSpec<'rt> {
+        TaskSpec {
+            rt,
+            accesses: Vec::new(),
+            priority: 0,
+            affinity: Affinity::None,
+            body: None,
+            label: "",
+        }
+    }
+
+    /// Declares a read-only (`in`) access.
+    pub fn input(mut self, region: Region) -> Self {
+        self.accesses.push((region, AccessMode::In));
+        self
+    }
+
+    /// Declares a write-only (`out`) access.
+    pub fn output(mut self, region: Region) -> Self {
+        self.accesses.push((region, AccessMode::Out));
+        self
+    }
+
+    /// Declares a read-write (`inout`) access.
+    pub fn inout(mut self, region: Region) -> Self {
+        self.accesses.push((region, AccessMode::InOut));
+        self
+    }
+
+    /// Sets the task priority (forwarded to the scheduler; OmpSs-2's
+    /// `priority` clause).
+    pub fn priority(mut self, p: i32) -> Self {
+        self.priority = p;
+        self
+    }
+
+    /// Sets the task's core/NUMA affinity (forwarded to nOS-V when running
+    /// on the nOS-V backend; the standalone backend ignores it, like an
+    /// unmodified single-process Nanos6 would on a dedicated node).
+    pub fn affinity(mut self, a: Affinity) -> Self {
+        self.affinity = a;
+        self
+    }
+
+    /// Attaches a debugging label (visible in runtime statistics).
+    pub fn label(mut self, label: &'static str) -> Self {
+        self.label = label;
+        self
+    }
+
+    /// Sets the task body.
+    pub fn body(mut self, f: impl FnOnce() + Send + 'static) -> Self {
+        self.body = Some(Box::new(f));
+        self
+    }
+
+    /// Registers the task: computes its predecessors from the declared
+    /// accesses and either releases it to the scheduler immediately or
+    /// parks it until its dependencies complete.
+    ///
+    /// Returns the task's id (for diagnostics).
+    pub fn spawn(self) -> u64 {
+        let rt = self.rt;
+        rt.spawn_spec(self)
+    }
+}

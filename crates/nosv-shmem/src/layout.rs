@@ -1,0 +1,246 @@
+//! Segment geometry: where each metadata region lives inside the segment.
+//!
+//! The layout is computed once at segment creation and is a pure function
+//! of the configuration (segment size, number of CPUs), so every attached
+//! process derives the same geometry from the header alone:
+//!
+//! ```text
+//! +--------------------+ 0
+//! | Header             |   magic, config, region offsets, user root
+//! +--------------------+ header_end
+//! | Registry           |   MAX_PROCS process slots (attach/detach)
+//! +--------------------+ registry_off + ...
+//! | Slab global state  |   chunk-table lock, per-class partial lists
+//! +--------------------+
+//! | Per-CPU magazines  |   max_cpus x NUM_CLASSES padded magazine slots
+//! +--------------------+
+//! | Chunk headers      |   one descriptor per data chunk
+//! +--------------------+ data_off (chunk-aligned)
+//! | Data chunks ...    |   CHUNK_SIZE each, carved into slab objects
+//! +--------------------+ total_size
+//! ```
+
+/// Size of one allocator chunk. Every chunk serves a single size class, or
+/// participates in one contiguous "large" run.
+pub const CHUNK_SIZE: usize = 64 * 1024;
+
+/// The power-of-two object size classes served by the SLAB allocator.
+///
+/// 64 bytes (one cache line) up to half a chunk; larger requests take whole
+/// chunk runs. The smallest class must be able to hold the intra-chunk free
+/// list link (8 bytes), which it trivially does.
+pub const SIZE_CLASSES: [usize; 10] = [64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768];
+
+/// Number of size classes.
+pub const NUM_CLASSES: usize = SIZE_CLASSES.len();
+
+/// Maximum number of simultaneously attached processes.
+pub const MAX_PROCS: usize = 64;
+
+/// Capacity (entries) of one per-CPU magazine.
+pub const MAG_CAP: usize = 24;
+
+/// Bytes reserved per magazine (capacity + lock + len, padded so adjacent
+/// CPU magazines never share a cache line).
+pub const MAG_STRIDE: usize = 256;
+
+/// Bytes reserved for the segment header.
+pub const HEADER_BYTES: usize = 256;
+
+/// Bytes reserved per registry slot.
+pub const PROC_SLOT_BYTES: usize = 64;
+
+/// Bytes reserved for the slab global state (lock + per-class lists + stats).
+pub const SLAB_GLOBAL_BYTES: usize = 512;
+
+/// Bytes reserved per chunk header.
+pub const CHUNK_HDR_BYTES: usize = 32;
+
+/// Resolved offsets of every metadata region within a segment.
+///
+/// Derived deterministically from `(total_size, max_cpus)`; stored in the
+/// header at creation and recomputed (and cross-checked) on attach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentGeometry {
+    /// Total bytes in the segment.
+    pub total_size: usize,
+    /// Number of CPUs the per-CPU caches are sized for.
+    pub max_cpus: usize,
+    /// Offset of the process registry.
+    pub registry_off: usize,
+    /// Offset of the slab allocator's global state.
+    pub slab_global_off: usize,
+    /// Offset of the per-CPU magazine array.
+    pub mags_off: usize,
+    /// Offset of the chunk-header table.
+    pub chunk_hdrs_off: usize,
+    /// Offset of the first data chunk (multiple of [`CHUNK_SIZE`]).
+    pub data_off: usize,
+    /// Number of data chunks.
+    pub n_chunks: usize,
+}
+
+impl SegmentGeometry {
+    /// Computes the geometry for a segment of `total_size` bytes serving
+    /// `max_cpus` CPUs. Returns `None` if the segment is too small to hold
+    /// the metadata plus at least one data chunk.
+    pub fn compute(total_size: usize, max_cpus: usize) -> Option<SegmentGeometry> {
+        if max_cpus == 0 {
+            return None;
+        }
+        let registry_off = HEADER_BYTES;
+        let slab_global_off = registry_off + MAX_PROCS * PROC_SLOT_BYTES;
+        let mags_off = slab_global_off + SLAB_GLOBAL_BYTES;
+        let chunk_hdrs_off = mags_off + max_cpus * NUM_CLASSES * MAG_STRIDE;
+
+        // Solve for the largest n_chunks such that
+        //   align_up(chunk_hdrs_off + n * CHUNK_HDR_BYTES) + n * CHUNK_SIZE <= total
+        let mut n_chunks = total_size.saturating_sub(chunk_hdrs_off) / (CHUNK_SIZE + CHUNK_HDR_BYTES);
+        loop {
+            if n_chunks == 0 {
+                return None;
+            }
+            let data_off = align_up(chunk_hdrs_off + n_chunks * CHUNK_HDR_BYTES, CHUNK_SIZE);
+            if data_off + n_chunks * CHUNK_SIZE <= total_size {
+                return Some(SegmentGeometry {
+                    total_size,
+                    max_cpus,
+                    registry_off,
+                    slab_global_off,
+                    mags_off,
+                    chunk_hdrs_off,
+                    data_off,
+                    n_chunks,
+                });
+            }
+            n_chunks -= 1;
+        }
+    }
+
+    /// Offset of the header for chunk `idx`.
+    #[inline]
+    pub fn chunk_hdr(&self, idx: usize) -> usize {
+        debug_assert!(idx < self.n_chunks);
+        self.chunk_hdrs_off + idx * CHUNK_HDR_BYTES
+    }
+
+    /// Offset of the first byte of chunk `idx`.
+    #[inline]
+    pub fn chunk_data(&self, idx: usize) -> usize {
+        debug_assert!(idx < self.n_chunks);
+        self.data_off + idx * CHUNK_SIZE
+    }
+
+    /// Chunk index containing data offset `off`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `off` does not fall inside the data region — freeing a
+    /// pointer that the allocator never produced is always a caller bug.
+    #[inline]
+    pub fn chunk_of(&self, off: usize) -> usize {
+        assert!(
+            off >= self.data_off && off < self.data_off + self.n_chunks * CHUNK_SIZE,
+            "offset {off:#x} is outside the data region"
+        );
+        (off - self.data_off) / CHUNK_SIZE
+    }
+
+    /// Offset of the magazine for (`cpu`, `class`).
+    #[inline]
+    pub fn magazine(&self, cpu: usize, class: usize) -> usize {
+        debug_assert!(cpu < self.max_cpus && class < NUM_CLASSES);
+        self.mags_off + (cpu * NUM_CLASSES + class) * MAG_STRIDE
+    }
+}
+
+/// Smallest size class index that fits `size` bytes, or `None` for large
+/// allocations that need whole chunks.
+#[inline]
+pub fn class_for(size: usize) -> Option<usize> {
+    SIZE_CLASSES.iter().position(|&c| c >= size)
+}
+
+/// Rounds `x` up to a multiple of `align` (a power of two).
+#[inline]
+pub const fn align_up(x: usize, align: usize) -> usize {
+    (x + align - 1) & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_are_sorted_powers_of_two() {
+        for w in SIZE_CLASSES.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for c in SIZE_CLASSES {
+            assert!(c.is_power_of_two());
+            assert!(c <= CHUNK_SIZE / 2);
+        }
+    }
+
+    #[test]
+    fn class_for_boundaries() {
+        assert_eq!(class_for(1), Some(0));
+        assert_eq!(class_for(64), Some(0));
+        assert_eq!(class_for(65), Some(1));
+        assert_eq!(class_for(32768), Some(NUM_CLASSES - 1));
+        assert_eq!(class_for(32769), None);
+    }
+
+    #[test]
+    fn geometry_regions_are_disjoint_and_ordered() {
+        let g = SegmentGeometry::compute(16 * 1024 * 1024, 8).unwrap();
+        assert!(HEADER_BYTES <= g.registry_off);
+        assert!(g.registry_off < g.slab_global_off);
+        assert!(g.slab_global_off < g.mags_off);
+        assert!(g.mags_off < g.chunk_hdrs_off);
+        assert!(g.chunk_hdrs_off + g.n_chunks * CHUNK_HDR_BYTES <= g.data_off);
+        assert_eq!(g.data_off % CHUNK_SIZE, 0);
+        assert!(g.data_off + g.n_chunks * CHUNK_SIZE <= g.total_size);
+        assert!(g.n_chunks > 0);
+    }
+
+    #[test]
+    fn geometry_uses_most_of_the_segment() {
+        let total = 64 * 1024 * 1024;
+        let g = SegmentGeometry::compute(total, 64).unwrap();
+        let data_bytes = g.n_chunks * CHUNK_SIZE;
+        // Metadata overhead should stay small (< 5% at this size).
+        assert!(data_bytes * 100 / total >= 95, "data {data_bytes} of {total}");
+    }
+
+    #[test]
+    fn too_small_segment_is_rejected() {
+        assert!(SegmentGeometry::compute(4096, 4).is_none());
+        assert!(SegmentGeometry::compute(1024 * 1024, 0).is_none());
+    }
+
+    #[test]
+    fn chunk_of_roundtrip() {
+        let g = SegmentGeometry::compute(8 * 1024 * 1024, 4).unwrap();
+        for idx in [0, 1, g.n_chunks - 1] {
+            let base = g.chunk_data(idx);
+            assert_eq!(g.chunk_of(base), idx);
+            assert_eq!(g.chunk_of(base + CHUNK_SIZE - 1), idx);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the data region")]
+    fn chunk_of_rejects_metadata_offsets() {
+        let g = SegmentGeometry::compute(8 * 1024 * 1024, 4).unwrap();
+        g.chunk_of(g.chunk_hdrs_off);
+    }
+
+    #[test]
+    fn align_up_works() {
+        assert_eq!(align_up(0, 64), 0);
+        assert_eq!(align_up(1, 64), 64);
+        assert_eq!(align_up(64, 64), 64);
+        assert_eq!(align_up(65, 64), 128);
+    }
+}

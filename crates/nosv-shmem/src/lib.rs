@@ -1,0 +1,45 @@
+//! Shared-memory substrate for the nOS-V reproduction.
+//!
+//! In the paper (§3.1, §3.5), almost all of nOS-V's state lives in a POSIX
+//! shared-memory segment mapped by every participating process, and a custom
+//! SLAB-style allocator with per-CPU caches manages that fixed-size region
+//! so that *any* process can free memory allocated by *any other* process.
+//!
+//! This crate reproduces that substrate with one substitution, documented in
+//! `DESIGN.md`: the segment is a single in-process allocation instead of a
+//! `shm_open`/`mmap` mapping (the evaluation sandbox is a 1-CPU container
+//! where real multi-process co-execution cannot be demonstrated anyway).
+//! Everything else is built exactly as cross-process shared memory demands:
+//!
+//! * **No host pointers inside the segment.** All intra-segment references
+//!   are [`Shoff<T>`] / [`AtomicShoff<T>`] — typed byte offsets from the
+//!   segment base — so the segment would remain valid if mapped at a
+//!   different address in every process.
+//! * **Fixed-layout, zero-initializable metadata.** Headers, chunk tables,
+//!   the registry and all locks ([`nosv_sync::RawSpinMutex`]) are
+//!   plain-old-data and valid when zeroed, exactly as a fresh `ftruncate`d
+//!   POSIX segment would be.
+//! * **SLAB allocator with per-CPU magazines** ([`SlabAlloc`], §3.5): the
+//!   region is split into 64 KiB chunks; each chunk serves one power-of-two
+//!   size class; per-CPU magazine caches absorb the fast path; the global
+//!   chunk table handles refills, flushes and multi-chunk (large)
+//!   allocations. Free works from any attached process because the
+//!   allocator's metadata lives in the segment itself.
+//! * **Process registry** ([`Registry`], §3.3): processes attach to the
+//!   segment at startup and detach at exit; the last process to detach is
+//!   told so it can tear the segment down, mirroring the unlink-on-last-exit
+//!   life cycle of the paper.
+
+#![warn(missing_docs)]
+
+mod layout;
+mod offset;
+mod registry;
+mod segment;
+mod slab;
+
+pub use layout::{SegmentGeometry, CHUNK_SIZE, MAX_PROCS, NUM_CLASSES, SIZE_CLASSES};
+pub use offset::{AtomicShoff, Shoff};
+pub use registry::{AttachError, ProcessId};
+pub use segment::{SegmentConfig, ShmSegment};
+pub use slab::{AllocError, AllocStats};

@@ -1,0 +1,199 @@
+//! Process registry: attach/detach life cycle (paper §3.3).
+//!
+//! Every process using the segment registers itself in a fixed table of
+//! [`crate::MAX_PROCS`] slots. The registry backs two behaviours from the
+//! paper: the runtime knows which logical processes are attached (the
+//! scheduler iterates them for fairness), and "the last process to
+//! unregister will delete the whole shared memory segment" — surfaced here
+//! as the remaining-count return of [`ShmSegment::detach`].
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use crate::layout::{MAX_PROCS, PROC_SLOT_BYTES};
+use crate::offset::Shoff;
+use crate::segment::ShmSegment;
+
+/// Identity of an attached logical process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProcessId {
+    /// Unique id (never reused within a segment's lifetime).
+    pub pid: u64,
+    /// Registry slot index occupied by this process.
+    pub slot: u32,
+}
+
+/// Failure to attach to a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttachError {
+    /// All [`MAX_PROCS`] registry slots are occupied.
+    Full,
+}
+
+impl std::fmt::Display for AttachError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttachError::Full => write!(f, "registry full: {MAX_PROCS} processes attached"),
+        }
+    }
+}
+
+impl std::error::Error for AttachError {}
+
+const SLOT_FREE: u32 = 0;
+const SLOT_CLAIMED: u32 = 1;
+
+/// One registry slot, padded to [`PROC_SLOT_BYTES`]. Zero == free.
+#[repr(C)]
+struct ProcSlot {
+    state: AtomicU32,
+    _pad: u32,
+    pid: AtomicU64,
+}
+
+const _: () = assert!(std::mem::size_of::<ProcSlot>() <= PROC_SLOT_BYTES);
+
+fn slot(seg: &ShmSegment, i: usize) -> &ProcSlot {
+    debug_assert!(i < MAX_PROCS);
+    let off =
+        Shoff::<ProcSlot>::from_raw((seg.geometry().registry_off + i * PROC_SLOT_BYTES) as u64);
+    // SAFETY: region reserved by the geometry; zeroed state is a free slot.
+    unsafe { seg.sref(off) }
+}
+
+impl ShmSegment {
+    /// Registers a logical process with the segment and returns its identity.
+    pub fn attach(&self) -> Result<ProcessId, AttachError> {
+        for i in 0..MAX_PROCS {
+            let s = slot(self, i);
+            if s.state.load(Ordering::Relaxed) == SLOT_FREE
+                && s.state
+                    .compare_exchange(SLOT_FREE, SLOT_CLAIMED, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+            {
+                let pid = self.next_pid();
+                s.pid.store(pid, Ordering::Release);
+                return Ok(ProcessId { pid, slot: i as u32 });
+            }
+        }
+        Err(AttachError::Full)
+    }
+
+    /// Unregisters a process; returns how many processes remain attached.
+    ///
+    /// A return of `0` means the caller was the last process out and is
+    /// responsible for tearing the runtime state down (in the real system,
+    /// `shm_unlink`; here, dropping the last [`ShmSegment`] handle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not match an attached process (double detach).
+    pub fn detach(&self, id: ProcessId) -> usize {
+        let s = slot(self, id.slot as usize);
+        assert_eq!(
+            s.pid.load(Ordering::Acquire),
+            id.pid,
+            "detach of a process that is not attached (slot {})",
+            id.slot
+        );
+        assert_eq!(s.state.load(Ordering::Relaxed), SLOT_CLAIMED);
+        s.pid.store(0, Ordering::Relaxed);
+        s.state.store(SLOT_FREE, Ordering::Release);
+        self.attached_count()
+    }
+
+    /// Number of processes currently attached (racy snapshot).
+    pub fn attached_count(&self) -> usize {
+        (0..MAX_PROCS)
+            .filter(|&i| slot(self, i).state.load(Ordering::Relaxed) == SLOT_CLAIMED)
+            .count()
+    }
+
+    /// Pids of all attached processes (racy snapshot, ascending slot order).
+    pub fn attached_pids(&self) -> Vec<u64> {
+        (0..MAX_PROCS)
+            .filter_map(|i| {
+                let s = slot(self, i);
+                if s.state.load(Ordering::Relaxed) == SLOT_CLAIMED {
+                    Some(s.pid.load(Ordering::Relaxed))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::SegmentConfig;
+
+    fn seg() -> ShmSegment {
+        ShmSegment::create(SegmentConfig {
+            size: 4 * 1024 * 1024,
+            max_cpus: 2,
+        })
+    }
+
+    #[test]
+    fn attach_detach_lifecycle() {
+        let s = seg();
+        assert_eq!(s.attached_count(), 0);
+        let a = s.attach().unwrap();
+        let b = s.attach().unwrap();
+        assert_ne!(a.pid, b.pid);
+        assert_eq!(s.attached_count(), 2);
+        assert_eq!(s.detach(a), 1);
+        assert_eq!(s.detach(b), 0, "last detacher sees zero remaining");
+    }
+
+    #[test]
+    fn pids_visible_to_other_mappings() {
+        let s = seg();
+        let s2 = s.clone();
+        let a = s.attach().unwrap();
+        assert_eq!(s2.attached_pids(), vec![a.pid]);
+        s2.detach(a);
+        assert!(s.attached_pids().is_empty());
+    }
+
+    #[test]
+    fn registry_fills_up() {
+        let s = seg();
+        let ids: Vec<_> = (0..MAX_PROCS).map(|_| s.attach().unwrap()).collect();
+        assert_eq!(s.attach().unwrap_err(), AttachError::Full);
+        for id in ids {
+            s.detach(id);
+        }
+        assert!(s.attach().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "not attached")]
+    fn double_detach_panics() {
+        let s = seg();
+        let a = s.attach().unwrap();
+        s.detach(a);
+        s.detach(a);
+    }
+
+    #[test]
+    fn concurrent_attach_yields_unique_slots() {
+        use std::thread;
+        let s = seg();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let s = s.clone();
+                thread::spawn(move || s.attach().unwrap())
+            })
+            .collect();
+        let ids: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let mut slots: Vec<_> = ids.iter().map(|i| i.slot).collect();
+        slots.sort_unstable();
+        slots.dedup();
+        assert_eq!(slots.len(), 8, "slots must be unique");
+        for id in ids {
+            s.detach(id);
+        }
+    }
+}

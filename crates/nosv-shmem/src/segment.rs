@@ -1,0 +1,346 @@
+//! The shared segment: creation, "mapping" handles, and raw access.
+
+use std::alloc::{alloc_zeroed, dealloc, Layout};
+use std::collections::HashMap;
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+
+use crate::layout::{SegmentGeometry, CHUNK_SIZE, HEADER_BYTES};
+use crate::offset::Shoff;
+
+const MAGIC: u64 = 0x6e4f_5356_5348_4d31; // "nOSVSHM1"
+
+/// Configuration for creating a segment.
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentConfig {
+    /// Total size of the segment in bytes. Defaults to 64 MiB.
+    pub size: usize,
+    /// Number of CPUs the per-CPU structures are sized for. Defaults to 64.
+    pub max_cpus: usize,
+}
+
+impl Default for SegmentConfig {
+    fn default() -> Self {
+        SegmentConfig {
+            size: 64 * 1024 * 1024,
+            max_cpus: 64,
+        }
+    }
+}
+
+/// Fixed-layout header at offset 0 of every segment.
+///
+/// Everything an attaching process needs to rederive the geometry, plus the
+/// `user_root` anchor through which the runtime built on top (nOS-V) finds
+/// its own state. `repr(C)` and zero-validity mirror a freshly truncated
+/// POSIX segment.
+#[repr(C)]
+pub(crate) struct Header {
+    magic: AtomicU64,
+    total_size: u64,
+    max_cpus: u64,
+    /// Offset of the runtime's root object; 0 until published.
+    user_root: AtomicU64,
+    /// Monotonic source of logical process ids.
+    next_pid: AtomicU64,
+}
+
+struct SegmentInner {
+    base: NonNull<u8>,
+    layout: Layout,
+    geometry: SegmentGeometry,
+}
+
+// SAFETY: the raw region is shared intentionally; all concurrent access to
+// initialized metadata goes through atomics and in-segment locks, and the
+// allocator hands out disjoint object ranges.
+unsafe impl Send for SegmentInner {}
+unsafe impl Sync for SegmentInner {}
+
+impl Drop for SegmentInner {
+    fn drop(&mut self) {
+        // SAFETY: `base` was allocated with exactly this layout in `create`.
+        unsafe { dealloc(self.base.as_ptr(), self.layout) };
+    }
+}
+
+/// A handle to a shared segment — the in-process equivalent of one
+/// process's `mmap` of the POSIX segment.
+///
+/// Cloning a `ShmSegment` models another process mapping the same segment:
+/// all clones see the same memory, and the backing region is released when
+/// the last handle drops (the paper's "last process to unregister deletes
+/// the segment", §3.3). Named lookup via [`ShmSegment::open_or_create`]
+/// mirrors the `shm_open` check-then-initialize startup protocol.
+#[derive(Clone)]
+pub struct ShmSegment {
+    inner: Arc<SegmentInner>,
+}
+
+fn named_registry() -> &'static Mutex<HashMap<String, Weak<SegmentInner>>> {
+    static NAMED: OnceLock<Mutex<HashMap<String, Weak<SegmentInner>>>> = OnceLock::new();
+    NAMED.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+impl ShmSegment {
+    /// Creates a new anonymous segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration cannot hold the metadata plus one chunk
+    /// (see [`SegmentGeometry::compute`]).
+    pub fn create(config: SegmentConfig) -> ShmSegment {
+        let geometry = SegmentGeometry::compute(config.size, config.max_cpus)
+            .expect("segment too small for its metadata");
+        // Align the whole segment to CHUNK_SIZE so objects inside chunks are
+        // naturally aligned to their (power-of-two) size class.
+        let layout = Layout::from_size_align(config.size, CHUNK_SIZE).expect("bad layout");
+        // SAFETY: layout has nonzero size (geometry computation succeeded).
+        let raw = unsafe { alloc_zeroed(layout) };
+        let base = NonNull::new(raw).expect("segment allocation failed");
+        let seg = ShmSegment {
+            inner: Arc::new(SegmentInner {
+                base,
+                layout,
+                geometry,
+            }),
+        };
+        {
+            let h = seg.header();
+            // SAFETY-by-construction: region is zeroed; plain stores suffice
+            // before the segment is shared.
+            h.magic.store(MAGIC, Ordering::Relaxed);
+            let hp = h as *const Header as *mut Header;
+            // SAFETY: we are the only owner during creation.
+            unsafe {
+                (*hp).total_size = config.size as u64;
+                (*hp).max_cpus = config.max_cpus as u64;
+            }
+            h.next_pid.store(1, Ordering::Relaxed);
+        }
+        crate::slab::init_slab(&seg);
+        seg
+    }
+
+    /// Opens the segment registered under `name`, creating and registering
+    /// it if absent — the paper's startup protocol (§3.3): "the library
+    /// checks during startup for the existence of a specific POSIX shared
+    /// memory segment and initializes the segment if it does not exist".
+    ///
+    /// Returns the handle and whether this call created the segment.
+    pub fn open_or_create(name: &str, config: SegmentConfig) -> (ShmSegment, bool) {
+        let mut reg = named_registry().lock().expect("named registry poisoned");
+        if let Some(weak) = reg.get(name) {
+            if let Some(inner) = weak.upgrade() {
+                return (ShmSegment { inner }, false);
+            }
+        }
+        let seg = ShmSegment::create(config);
+        reg.insert(name.to_string(), Arc::downgrade(&seg.inner));
+        (seg, true)
+    }
+
+    /// The segment's geometry (region offsets, chunk count).
+    #[inline]
+    pub fn geometry(&self) -> &SegmentGeometry {
+        &self.inner.geometry
+    }
+
+    /// Total size in bytes.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.inner.geometry.total_size
+    }
+
+    /// Number of "mappings" (handles) currently alive, this one included.
+    pub fn mapping_count(&self) -> usize {
+        Arc::strong_count(&self.inner)
+    }
+
+    /// Resolves a typed offset to a raw pointer into this mapping.
+    ///
+    /// The returned pointer is only meaningful while the segment is alive;
+    /// callers must uphold aliasing rules for the pointee (the allocator
+    /// guarantees distinct allocations never overlap).
+    #[inline]
+    pub fn resolve<T>(&self, off: Shoff<T>) -> *mut T {
+        debug_assert!(!off.is_null(), "resolving null Shoff");
+        debug_assert!(
+            off.raw() as usize + std::mem::size_of::<T>() <= self.size(),
+            "Shoff {:#x} + {} escapes segment of {} bytes",
+            off.raw(),
+            std::mem::size_of::<T>(),
+            self.size()
+        );
+        // SAFETY: bounds checked above (in debug); offset arithmetic stays
+        // within the allocation.
+        unsafe { self.inner.base.as_ptr().add(off.raw() as usize).cast::<T>() }
+    }
+
+    /// Resolves an offset to a shared reference.
+    ///
+    /// # Safety
+    ///
+    /// The offset must point to an initialized `T` and no `&mut T` to the
+    /// same location may exist for the reference's lifetime.
+    #[inline]
+    pub unsafe fn sref<T>(&self, off: Shoff<T>) -> &T {
+        &*self.resolve(off)
+    }
+
+    /// Computes the offset of a pointer previously obtained from
+    /// [`ShmSegment::resolve`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ptr` does not point inside this segment.
+    pub fn offset_of<T>(&self, ptr: *const T) -> Shoff<T> {
+        let base = self.inner.base.as_ptr() as usize;
+        let p = ptr as usize;
+        assert!(
+            p >= base && p < base + self.size(),
+            "pointer is not inside the segment"
+        );
+        Shoff::from_raw((p - base) as u64)
+    }
+
+    pub(crate) fn header(&self) -> &Header {
+        // SAFETY: the header is written at creation and lives at offset 0.
+        unsafe { &*(self.inner.base.as_ptr() as *const Header) }
+    }
+
+    /// Verifies the segment magic (sanity check after "mapping").
+    pub fn validate(&self) -> bool {
+        let h = self.header();
+        h.magic.load(Ordering::Relaxed) == MAGIC
+            && h.total_size == self.size() as u64
+            && (HEADER_BYTES as u64) < h.total_size
+    }
+
+    /// Reads the user root anchor (offset of the runtime's root object).
+    pub fn user_root<T>(&self) -> Shoff<T> {
+        Shoff::from_raw(self.header().user_root.load(Ordering::Acquire))
+    }
+
+    /// Publishes the user root if it is still unset; returns the winner.
+    ///
+    /// The first attaching process initializes the runtime state and
+    /// publishes it here; latecomers adopt the published root. The CAS makes
+    /// the check-then-initialize race safe.
+    pub fn init_user_root_once<T>(&self, f: impl FnOnce() -> Shoff<T>) -> Shoff<T> {
+        let h = self.header();
+        if h.user_root.load(Ordering::Acquire) == 0 {
+            let candidate = f();
+            assert!(!candidate.is_null(), "user root must not be null");
+            match h.user_root.compare_exchange(
+                0,
+                candidate.raw(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return candidate,
+                Err(existing) => return Shoff::from_raw(existing),
+            }
+        }
+        Shoff::from_raw(h.user_root.load(Ordering::Acquire))
+    }
+
+    /// Allocates a fresh logical process id (unique per segment lifetime).
+    pub(crate) fn next_pid(&self) -> u64 {
+        self.header().next_pid.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for ShmSegment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShmSegment")
+            .field("size", &self.size())
+            .field("chunks", &self.geometry().n_chunks)
+            .field("mappings", &self.mapping_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SegmentConfig {
+        SegmentConfig {
+            size: 4 * 1024 * 1024,
+            max_cpus: 4,
+        }
+    }
+
+    #[test]
+    fn create_and_validate() {
+        let seg = ShmSegment::create(small());
+        assert!(seg.validate());
+        assert_eq!(seg.size(), 4 * 1024 * 1024);
+        assert!(seg.geometry().n_chunks > 0);
+    }
+
+    #[test]
+    fn clone_models_second_mapping() {
+        let seg = ShmSegment::create(small());
+        assert_eq!(seg.mapping_count(), 1);
+        let seg2 = seg.clone();
+        assert_eq!(seg.mapping_count(), 2);
+        // Both handles see the same memory.
+        let off = Shoff::<u64>::from_raw(seg.geometry().data_off as u64);
+        unsafe { seg.resolve(off).write(0xdead_beef) };
+        assert_eq!(unsafe { *seg2.resolve(off) }, 0xdead_beef);
+        drop(seg2);
+        assert_eq!(seg.mapping_count(), 1);
+    }
+
+    #[test]
+    fn open_or_create_returns_same_segment() {
+        let (a, created_a) = ShmSegment::open_or_create("test-seg-A", small());
+        let (b, created_b) = ShmSegment::open_or_create("test-seg-A", small());
+        assert!(created_a);
+        assert!(!created_b);
+        assert_eq!(a.mapping_count(), 2);
+        drop(a);
+        drop(b);
+        // After all handles drop, reopening creates a fresh segment.
+        let (_c, created_c) = ShmSegment::open_or_create("test-seg-A", small());
+        assert!(created_c);
+    }
+
+    #[test]
+    fn offset_of_roundtrip() {
+        let seg = ShmSegment::create(small());
+        let off = Shoff::<u32>::from_raw(seg.geometry().data_off as u64 + 128);
+        let ptr = seg.resolve(off);
+        assert_eq!(seg.offset_of(ptr), off);
+    }
+
+    #[test]
+    #[should_panic(expected = "not inside")]
+    fn offset_of_foreign_pointer_panics() {
+        let seg = ShmSegment::create(small());
+        let x = 5u32;
+        let _ = seg.offset_of(&x as *const u32);
+    }
+
+    #[test]
+    fn user_root_single_initialization() {
+        let seg = ShmSegment::create(small());
+        assert!(seg.user_root::<u8>().is_null());
+        let first = seg.init_user_root_once(|| Shoff::<u8>::from_raw(4096));
+        let second = seg.init_user_root_once(|| Shoff::<u8>::from_raw(8192));
+        assert_eq!(first.raw(), 4096);
+        assert_eq!(second.raw(), 4096, "second initializer must be ignored");
+        assert_eq!(seg.user_root::<u8>().raw(), 4096);
+    }
+
+    #[test]
+    fn pids_are_unique() {
+        let seg = ShmSegment::create(small());
+        let a = seg.next_pid();
+        let b = seg.next_pid();
+        assert_ne!(a, b);
+    }
+}

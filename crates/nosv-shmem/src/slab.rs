@@ -1,0 +1,755 @@
+//! SLAB allocator with per-CPU magazine caches (paper §3.5).
+//!
+//! The data region of the segment is split into [`CHUNK_SIZE`] chunks. A
+//! chunk is either FREE, a SLAB serving one power-of-two size class (carved
+//! into an intra-chunk free list of equal objects), or part of a contiguous
+//! LARGE run for allocations bigger than the largest class.
+//!
+//! The fast path is a per-(CPU, class) *magazine*: a small LIFO stack of
+//! object offsets. Misses refill the magazine in a batch from the global
+//! chunk table (one lock acquisition amortized over many objects); frees go
+//! back into the magazine and overflow flushes half of it back to the owning
+//! chunks. All metadata — chunk headers, partial lists, magazines — lives in
+//! the segment itself and is offset-linked, which is what makes the paper's
+//! key property work: *a pointer allocated by one process can be freed by
+//! any other process* (§3.5).
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use nosv_sync::RawSpinMutex;
+
+use crate::layout::{
+    class_for, CHUNK_HDR_BYTES, CHUNK_SIZE, MAG_CAP, NUM_CLASSES, SIZE_CLASSES, SLAB_GLOBAL_BYTES,
+};
+use crate::offset::Shoff;
+use crate::segment::ShmSegment;
+
+/// Allocation failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// The segment has no free chunk (or no contiguous run) left.
+    OutOfMemory,
+    /// The request exceeds what the segment could ever satisfy.
+    TooLarge,
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::OutOfMemory => write!(f, "shared segment exhausted"),
+            AllocError::TooLarge => write!(f, "request larger than the segment"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Snapshot of allocator counters (diagnostics, tests, benches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Bytes currently allocated (rounded up to class / chunk granularity).
+    pub allocated_bytes: u64,
+    /// Total successful allocations since creation.
+    pub total_allocs: u64,
+    /// Total frees since creation.
+    pub total_frees: u64,
+    /// Magazine refills from the global table (slow-path entries).
+    pub refills: u64,
+    /// Magazine flushes back to the global table.
+    pub flushes: u64,
+    /// Chunks currently FREE.
+    pub free_chunks: u32,
+    /// Total data chunks in the segment.
+    pub n_chunks: u32,
+}
+
+// Chunk states.
+const CH_FREE: u32 = 0;
+const CH_SLAB: u32 = 1;
+const CH_LARGE_HEAD: u32 = 2;
+const CH_LARGE_CONT: u32 = 3;
+
+/// Global allocator state (one per segment, inside the segment).
+#[repr(C)]
+struct SlabGlobal {
+    lock: RawSpinMutex,
+    _pad: u32,
+    free_chunks: AtomicU32,
+    _pad2: u32,
+    /// Head of the partial-chunk list per class, as chunk index + 1 (0 = none).
+    partial_head: [AtomicU32; NUM_CLASSES],
+    allocated_bytes: AtomicU64,
+    total_allocs: AtomicU64,
+    total_frees: AtomicU64,
+    refills: AtomicU64,
+    flushes: AtomicU64,
+}
+
+/// Per-chunk descriptor (in the chunk-header table, not in the chunk).
+#[repr(C)]
+struct ChunkHdr {
+    state: AtomicU32,
+    class: AtomicU32,
+    /// Objects currently on this chunk's free list.
+    free_count: AtomicU32,
+    /// Whether the chunk is linked in its class's partial list.
+    in_partial: AtomicU32,
+    /// Global offset of the first free object (0 = none).
+    free_head: AtomicU64,
+    /// Next chunk in the partial list, as index + 1 (0 = end).
+    next: AtomicU32,
+    /// Chunks in this LARGE run (head only).
+    run_len: AtomicU32,
+}
+
+/// Per-(CPU, class) magazine.
+#[repr(C)]
+struct Magazine {
+    lock: RawSpinMutex,
+    len: AtomicU32,
+    slots: [AtomicU64; MAG_CAP],
+}
+
+const _: () = {
+    assert!(std::mem::size_of::<SlabGlobal>() <= SLAB_GLOBAL_BYTES);
+    assert!(std::mem::size_of::<ChunkHdr>() <= CHUNK_HDR_BYTES);
+    assert!(std::mem::size_of::<Magazine>() <= crate::layout::MAG_STRIDE);
+};
+
+/// How many objects a refill tries to fetch (one returned + rest cached).
+const REFILL_BATCH: usize = MAG_CAP / 2;
+/// How many objects an overflow flush returns to the chunks.
+const FLUSH_BATCH: usize = MAG_CAP / 2;
+
+pub(crate) fn init_slab(seg: &ShmSegment) {
+    // The zeroed segment already encodes: all chunks FREE, empty partial
+    // lists, empty magazines, unlocked mutexes. Only the free-chunk count
+    // needs an explicit value.
+    global(seg)
+        .free_chunks
+        .store(seg.geometry().n_chunks as u32, Ordering::Relaxed);
+}
+
+fn global(seg: &ShmSegment) -> &SlabGlobal {
+    let off = Shoff::<SlabGlobal>::from_raw(seg.geometry().slab_global_off as u64);
+    // SAFETY: region reserved by geometry; zero-init is a valid SlabGlobal.
+    unsafe { seg.sref(off) }
+}
+
+fn chunk_hdr(seg: &ShmSegment, idx: usize) -> &ChunkHdr {
+    let off = Shoff::<ChunkHdr>::from_raw(seg.geometry().chunk_hdr(idx) as u64);
+    // SAFETY: as above.
+    unsafe { seg.sref(off) }
+}
+
+fn magazine(seg: &ShmSegment, cpu: usize, class: usize) -> &Magazine {
+    let off = Shoff::<Magazine>::from_raw(seg.geometry().magazine(cpu, class) as u64);
+    // SAFETY: as above.
+    unsafe { seg.sref(off) }
+}
+
+/// Reads the intra-object "next free" link stored in the first 8 bytes of a
+/// free object.
+fn read_link(seg: &ShmSegment, off: u64) -> u64 {
+    // SAFETY: `off` designates a free object owned by the allocator; free
+    // objects store their link in their first word.
+    unsafe { *seg.resolve(Shoff::<u64>::from_raw(off)) }
+}
+
+fn write_link(seg: &ShmSegment, off: u64, link: u64) {
+    // SAFETY: as above.
+    unsafe { seg.resolve(Shoff::<u64>::from_raw(off)).write(link) };
+}
+
+impl ShmSegment {
+    /// Allocates `size` bytes on behalf of `cpu` (per-CPU cache index).
+    ///
+    /// The returned offset is aligned to the size class (a power of two of
+    /// at least 64). The memory content is unspecified (may be recycled).
+    pub fn alloc(&self, size: usize, cpu: usize) -> Result<Shoff<u8>, AllocError> {
+        let cpu = cpu % self.geometry().max_cpus;
+        match class_for(size.max(1)) {
+            Some(class) => self.alloc_class(class, cpu),
+            None => self.alloc_large(size),
+        }
+    }
+
+    /// Allocates and zeroes `size` bytes.
+    pub fn alloc_zeroed(&self, size: usize, cpu: usize) -> Result<Shoff<u8>, AllocError> {
+        let off = self.alloc(size, cpu)?;
+        let rounded = class_for(size.max(1)).map_or(size, |c| SIZE_CLASSES[c]);
+        // SAFETY: we own the freshly allocated object of at least `rounded`
+        // bytes (class-rounded) or `size` (large).
+        unsafe { std::ptr::write_bytes(self.resolve(off), 0, rounded) };
+        Ok(off)
+    }
+
+    /// Allocates a `T`-sized object and returns a typed offset.
+    ///
+    /// The object is *not* initialized; callers must `write` before reading.
+    pub fn alloc_t<T>(&self, cpu: usize) -> Result<Shoff<T>, AllocError> {
+        assert!(
+            std::mem::align_of::<T>() <= CHUNK_SIZE,
+            "alignment beyond chunk size is unsupported"
+        );
+        Ok(self.alloc(std::mem::size_of::<T>(), cpu)?.cast())
+    }
+
+    /// Frees an offset previously returned by [`ShmSegment::alloc`].
+    ///
+    /// May be called from any handle ("process") and any `cpu`, regardless
+    /// of which process or CPU allocated it — the paper's cross-process
+    /// free property.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid frees: offsets outside the data region, offsets
+    /// not at an object boundary, or double frees of a whole chunk state.
+    pub fn free(&self, off: Shoff<u8>, cpu: usize) {
+        let cpu = cpu % self.geometry().max_cpus;
+        let idx = self.geometry().chunk_of(off.raw() as usize);
+        let hdr = chunk_hdr(self, idx);
+        match hdr.state.load(Ordering::Acquire) {
+            CH_SLAB => self.free_class(off, idx, cpu),
+            CH_LARGE_HEAD => self.free_large(off, idx),
+            s => panic!("invalid free of {:#x}: chunk state {s}", off.raw()),
+        }
+    }
+
+    /// Frees a typed offset.
+    pub fn free_t<T>(&self, off: Shoff<T>, cpu: usize) {
+        self.free(off.cast(), cpu);
+    }
+
+    /// Snapshot of the allocator counters.
+    pub fn alloc_stats(&self) -> AllocStats {
+        let g = global(self);
+        AllocStats {
+            allocated_bytes: g.allocated_bytes.load(Ordering::Relaxed),
+            total_allocs: g.total_allocs.load(Ordering::Relaxed),
+            total_frees: g.total_frees.load(Ordering::Relaxed),
+            refills: g.refills.load(Ordering::Relaxed),
+            flushes: g.flushes.load(Ordering::Relaxed),
+            free_chunks: g.free_chunks.load(Ordering::Relaxed),
+            n_chunks: self.geometry().n_chunks as u32,
+        }
+    }
+
+    // ---- class (slab) path -------------------------------------------------
+
+    fn alloc_class(&self, class: usize, cpu: usize) -> Result<Shoff<u8>, AllocError> {
+        let g = global(self);
+        let mag = magazine(self, cpu, class);
+        mag.lock.lock();
+        let len = mag.len.load(Ordering::Relaxed);
+        if len > 0 {
+            let off = mag.slots[(len - 1) as usize].load(Ordering::Relaxed);
+            mag.len.store(len - 1, Ordering::Relaxed);
+            mag.lock.unlock();
+            g.total_allocs.fetch_add(1, Ordering::Relaxed);
+            g.allocated_bytes
+                .fetch_add(SIZE_CLASSES[class] as u64, Ordering::Relaxed);
+            return Ok(Shoff::from_raw(off));
+        }
+        // Miss: refill a batch from the global table while holding the
+        // magazine lock (lock order is always magazine -> global).
+        let mut batch = [0u64; REFILL_BATCH];
+        let got = self.refill_from_chunks(class, &mut batch);
+        if got == 0 {
+            mag.lock.unlock();
+            return Err(AllocError::OutOfMemory);
+        }
+        g.refills.fetch_add(1, Ordering::Relaxed);
+        for (i, &o) in batch[..got - 1].iter().enumerate() {
+            mag.slots[i].store(o, Ordering::Relaxed);
+        }
+        mag.len.store((got - 1) as u32, Ordering::Relaxed);
+        mag.lock.unlock();
+        g.total_allocs.fetch_add(1, Ordering::Relaxed);
+        g.allocated_bytes
+            .fetch_add(SIZE_CLASSES[class] as u64, Ordering::Relaxed);
+        Ok(Shoff::from_raw(batch[got - 1]))
+    }
+
+    /// Pops up to `out.len()` objects of `class` from partial chunks,
+    /// initializing fresh slab chunks as needed. Returns how many were
+    /// obtained. Takes the global lock.
+    fn refill_from_chunks(&self, class: usize, out: &mut [u64]) -> usize {
+        let g = global(self);
+        let csize = SIZE_CLASSES[class];
+        let objs_per_chunk = CHUNK_SIZE / csize;
+        let mut got = 0;
+        g.lock.lock();
+        while got < out.len() {
+            let head = g.partial_head[class].load(Ordering::Relaxed);
+            let idx = if head != 0 {
+                (head - 1) as usize
+            } else {
+                match self.take_free_chunk_locked() {
+                    Some(idx) => {
+                        self.carve_slab_chunk(idx, class, csize, objs_per_chunk);
+                        let hdr = chunk_hdr(self, idx);
+                        hdr.next.store(0, Ordering::Relaxed);
+                        hdr.in_partial.store(1, Ordering::Relaxed);
+                        g.partial_head[class].store(idx as u32 + 1, Ordering::Relaxed);
+                        idx
+                    }
+                    None => break,
+                }
+            };
+            let hdr = chunk_hdr(self, idx);
+            while got < out.len() {
+                let fc = hdr.free_count.load(Ordering::Relaxed);
+                if fc == 0 {
+                    break;
+                }
+                let off = hdr.free_head.load(Ordering::Relaxed);
+                debug_assert_ne!(off, 0);
+                hdr.free_head.store(read_link(self, off), Ordering::Relaxed);
+                hdr.free_count.store(fc - 1, Ordering::Relaxed);
+                out[got] = off;
+                got += 1;
+            }
+            if hdr.free_count.load(Ordering::Relaxed) == 0 {
+                // Exhausted: unlink from the partial list head.
+                g.partial_head[class].store(hdr.next.load(Ordering::Relaxed), Ordering::Relaxed);
+                hdr.next.store(0, Ordering::Relaxed);
+                hdr.in_partial.store(0, Ordering::Relaxed);
+            }
+        }
+        g.lock.unlock();
+        got
+    }
+
+    /// Finds and claims a FREE chunk. Caller holds the global lock.
+    fn take_free_chunk_locked(&self) -> Option<usize> {
+        let g = global(self);
+        if g.free_chunks.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        let n = self.geometry().n_chunks;
+        for idx in 0..n {
+            let hdr = chunk_hdr(self, idx);
+            if hdr.state.load(Ordering::Relaxed) == CH_FREE {
+                g.free_chunks.fetch_sub(1, Ordering::Relaxed);
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    /// Initializes chunk `idx` as a slab of `class`, linking all objects
+    /// into its free list. Caller holds the global lock.
+    fn carve_slab_chunk(&self, idx: usize, class: usize, csize: usize, objs: usize) {
+        let base = self.geometry().chunk_data(idx) as u64;
+        for i in 0..objs {
+            let obj = base + (i * csize) as u64;
+            let link = if i + 1 < objs {
+                base + ((i + 1) * csize) as u64
+            } else {
+                0
+            };
+            write_link(self, obj, link);
+        }
+        let hdr = chunk_hdr(self, idx);
+        hdr.class.store(class as u32, Ordering::Relaxed);
+        hdr.free_count.store(objs as u32, Ordering::Relaxed);
+        hdr.free_head.store(base, Ordering::Relaxed);
+        hdr.run_len.store(0, Ordering::Relaxed);
+        hdr.state.store(CH_SLAB, Ordering::Release);
+    }
+
+    fn free_class(&self, off: Shoff<u8>, idx: usize, cpu: usize) {
+        let g = global(self);
+        let hdr = chunk_hdr(self, idx);
+        let class = hdr.class.load(Ordering::Relaxed) as usize;
+        let csize = SIZE_CLASSES[class];
+        let chunk_base = self.geometry().chunk_data(idx) as u64;
+        assert_eq!(
+            (off.raw() - chunk_base) % csize as u64,
+            0,
+            "free of {:#x} not at an object boundary (class {csize})",
+            off.raw()
+        );
+        let mag = magazine(self, cpu, class);
+        mag.lock.lock();
+        let len = mag.len.load(Ordering::Relaxed);
+        if (len as usize) == MAG_CAP {
+            // Overflow: flush the top half back to the owning chunks.
+            let mut batch = [0u64; FLUSH_BATCH];
+            for (i, slot) in batch.iter_mut().enumerate() {
+                *slot = mag.slots[MAG_CAP - FLUSH_BATCH + i].load(Ordering::Relaxed);
+            }
+            mag.len.store((MAG_CAP - FLUSH_BATCH) as u32, Ordering::Relaxed);
+            self.flush_to_chunks(&batch);
+            g.flushes.fetch_add(1, Ordering::Relaxed);
+        }
+        let len = mag.len.load(Ordering::Relaxed);
+        mag.slots[len as usize].store(off.raw(), Ordering::Relaxed);
+        mag.len.store(len + 1, Ordering::Relaxed);
+        mag.lock.unlock();
+        g.total_frees.fetch_add(1, Ordering::Relaxed);
+        g.allocated_bytes
+            .fetch_sub(csize as u64, Ordering::Relaxed);
+    }
+
+    /// Returns a batch of object offsets to their owning chunks' free
+    /// lists, handling full->partial and partial->FREE transitions. Takes
+    /// the global lock.
+    fn flush_to_chunks(&self, batch: &[u64]) {
+        let g = global(self);
+        g.lock.lock();
+        for &off in batch {
+            let idx = self.geometry().chunk_of(off as usize);
+            let hdr = chunk_hdr(self, idx);
+            debug_assert_eq!(hdr.state.load(Ordering::Relaxed), CH_SLAB);
+            let class = hdr.class.load(Ordering::Relaxed) as usize;
+            write_link(self, off, hdr.free_head.load(Ordering::Relaxed));
+            hdr.free_head.store(off, Ordering::Relaxed);
+            let fc = hdr.free_count.load(Ordering::Relaxed) + 1;
+            hdr.free_count.store(fc, Ordering::Relaxed);
+            if hdr.in_partial.load(Ordering::Relaxed) == 0 {
+                hdr.next
+                    .store(g.partial_head[class].load(Ordering::Relaxed), Ordering::Relaxed);
+                hdr.in_partial.store(1, Ordering::Relaxed);
+                g.partial_head[class].store(idx as u32 + 1, Ordering::Relaxed);
+            }
+            let objs = (CHUNK_SIZE / SIZE_CLASSES[class]) as u32;
+            if fc == objs {
+                // Fully free: unlink and return the chunk to the free pool.
+                self.unlink_partial_locked(class, idx);
+                hdr.state.store(CH_FREE, Ordering::Relaxed);
+                hdr.free_head.store(0, Ordering::Relaxed);
+                hdr.free_count.store(0, Ordering::Relaxed);
+                g.free_chunks.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        g.lock.unlock();
+    }
+
+    /// Unlinks chunk `idx` from the `class` partial list. Caller holds the
+    /// global lock and guarantees the chunk is linked.
+    fn unlink_partial_locked(&self, class: usize, idx: usize) {
+        let g = global(self);
+        let target = idx as u32 + 1;
+        let mut cur = g.partial_head[class].load(Ordering::Relaxed);
+        if cur == target {
+            let next = chunk_hdr(self, idx).next.load(Ordering::Relaxed);
+            g.partial_head[class].store(next, Ordering::Relaxed);
+        } else {
+            while cur != 0 {
+                let cur_hdr = chunk_hdr(self, (cur - 1) as usize);
+                let next = cur_hdr.next.load(Ordering::Relaxed);
+                if next == target {
+                    let after = chunk_hdr(self, idx).next.load(Ordering::Relaxed);
+                    cur_hdr.next.store(after, Ordering::Relaxed);
+                    break;
+                }
+                cur = next;
+            }
+        }
+        let hdr = chunk_hdr(self, idx);
+        hdr.next.store(0, Ordering::Relaxed);
+        hdr.in_partial.store(0, Ordering::Relaxed);
+    }
+
+    /// Flushes every magazine of `cpu` back to the chunk table.
+    ///
+    /// Used on process detach (a departing process must not strand objects
+    /// in its CPU caches) and by tests that assert full reclamation.
+    pub fn drain_cpu_caches(&self, cpu: usize) {
+        let cpu = cpu % self.geometry().max_cpus;
+        for class in 0..NUM_CLASSES {
+            let mag = magazine(self, cpu, class);
+            mag.lock.lock();
+            let len = mag.len.load(Ordering::Relaxed) as usize;
+            if len > 0 {
+                let mut batch = [0u64; MAG_CAP];
+                for (i, slot) in batch[..len].iter_mut().enumerate() {
+                    *slot = mag.slots[i].load(Ordering::Relaxed);
+                }
+                mag.len.store(0, Ordering::Relaxed);
+                self.flush_to_chunks(&batch[..len]);
+                global(self).flushes.fetch_add(1, Ordering::Relaxed);
+            }
+            mag.lock.unlock();
+        }
+    }
+
+    // ---- large path --------------------------------------------------------
+
+    fn alloc_large(&self, size: usize) -> Result<Shoff<u8>, AllocError> {
+        let n = size.div_ceil(CHUNK_SIZE);
+        let g = global(self);
+        if n > self.geometry().n_chunks {
+            return Err(AllocError::TooLarge);
+        }
+        g.lock.lock();
+        // First-fit scan for `n` consecutive FREE chunks.
+        let total = self.geometry().n_chunks;
+        let mut run_start = 0;
+        let mut run_len = 0;
+        let mut found = None;
+        for idx in 0..total {
+            if chunk_hdr(self, idx).state.load(Ordering::Relaxed) == CH_FREE {
+                if run_len == 0 {
+                    run_start = idx;
+                }
+                run_len += 1;
+                if run_len == n {
+                    found = Some(run_start);
+                    break;
+                }
+            } else {
+                run_len = 0;
+            }
+        }
+        let Some(start) = found else {
+            g.lock.unlock();
+            return Err(AllocError::OutOfMemory);
+        };
+        for i in 0..n {
+            let hdr = chunk_hdr(self, start + i);
+            hdr.state.store(
+                if i == 0 { CH_LARGE_HEAD } else { CH_LARGE_CONT },
+                Ordering::Relaxed,
+            );
+            hdr.run_len
+                .store(if i == 0 { n as u32 } else { 0 }, Ordering::Relaxed);
+        }
+        g.free_chunks.fetch_sub(n as u32, Ordering::Relaxed);
+        g.lock.unlock();
+        g.total_allocs.fetch_add(1, Ordering::Relaxed);
+        g.allocated_bytes
+            .fetch_add((n * CHUNK_SIZE) as u64, Ordering::Relaxed);
+        Ok(Shoff::from_raw(self.geometry().chunk_data(start) as u64))
+    }
+
+    fn free_large(&self, off: Shoff<u8>, idx: usize) {
+        let g = global(self);
+        assert_eq!(
+            off.raw() as usize,
+            self.geometry().chunk_data(idx),
+            "large free must pass the run's base offset"
+        );
+        g.lock.lock();
+        let hdr = chunk_hdr(self, idx);
+        let n = hdr.run_len.load(Ordering::Relaxed) as usize;
+        debug_assert!(n >= 1);
+        for i in 0..n {
+            let h = chunk_hdr(self, idx + i);
+            h.state.store(CH_FREE, Ordering::Relaxed);
+            h.run_len.store(0, Ordering::Relaxed);
+        }
+        g.free_chunks.fetch_add(n as u32, Ordering::Relaxed);
+        g.lock.unlock();
+        g.total_frees.fetch_add(1, Ordering::Relaxed);
+        g.allocated_bytes
+            .fetch_sub((n * CHUNK_SIZE) as u64, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::SegmentConfig;
+
+    fn seg() -> ShmSegment {
+        ShmSegment::create(SegmentConfig {
+            size: 8 * 1024 * 1024,
+            max_cpus: 4,
+        })
+    }
+
+    #[test]
+    fn alloc_free_roundtrip_reuses_memory() {
+        let s = seg();
+        let a = s.alloc(100, 0).unwrap();
+        s.free(a, 0);
+        let b = s.alloc(100, 0).unwrap();
+        // LIFO magazine: the exact same object comes back.
+        assert_eq!(a, b);
+        s.free(b, 0);
+    }
+
+    #[test]
+    fn distinct_allocations_do_not_overlap() {
+        let s = seg();
+        let mut offs: Vec<(u64, usize)> = Vec::new();
+        for (i, &size) in [1usize, 64, 65, 500, 4096, 32768, 100, 100].iter().enumerate() {
+            let off = s.alloc(size, i % 4).unwrap();
+            let rounded = SIZE_CLASSES[class_for(size).unwrap()];
+            for &(o, r) in &offs {
+                let disjoint = off.raw() + rounded as u64 <= o || o + r as u64 <= off.raw();
+                assert!(disjoint, "{:#x}+{} overlaps {:#x}+{}", off.raw(), rounded, o, r);
+            }
+            offs.push((off.raw(), rounded));
+        }
+    }
+
+    #[test]
+    fn alignment_matches_class() {
+        let s = seg();
+        for &size in &[1usize, 64, 100, 1000, 5000, 32768] {
+            let class = class_for(size).unwrap();
+            let off = s.alloc(size, 0).unwrap();
+            assert_eq!(
+                off.raw() % SIZE_CLASSES[class] as u64,
+                0,
+                "size {size} not aligned to its class"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_process_cross_cpu_free() {
+        let s = seg();
+        let s2 = s.clone(); // second "process" mapping
+        let a = s.alloc(128, 0).unwrap();
+        s2.free(a, 3); // freed by the other process, different CPU cache
+        let stats = s.alloc_stats();
+        assert_eq!(stats.total_allocs, 1);
+        assert_eq!(stats.total_frees, 1);
+        assert_eq!(stats.allocated_bytes, 0);
+    }
+
+    #[test]
+    fn magazine_overflow_flushes_and_chunks_are_reclaimed() {
+        let s = seg();
+        let before = s.alloc_stats().free_chunks;
+        // Allocate enough objects to use several chunks, then free them all.
+        let n = 3 * (CHUNK_SIZE / 1024);
+        let offs: Vec<_> = (0..n).map(|_| s.alloc(1024, 0).unwrap()).collect();
+        assert!(s.alloc_stats().free_chunks < before);
+        for off in offs {
+            s.free(off, 0);
+        }
+        let stats = s.alloc_stats();
+        assert!(stats.flushes > 0, "overflow must have flushed");
+        assert_eq!(stats.allocated_bytes, 0);
+        // Objects parked in the magazine may pin a couple of chunks; after
+        // draining the CPU cache every chunk must return to FREE.
+        s.drain_cpu_caches(0);
+        assert_eq!(
+            s.alloc_stats().free_chunks,
+            before,
+            "all chunks reclaimed after drain"
+        );
+    }
+
+    #[test]
+    fn large_allocation_roundtrip() {
+        let s = seg();
+        let before = s.alloc_stats().free_chunks;
+        let size = 3 * CHUNK_SIZE + 17;
+        let off = s.alloc(size, 0).unwrap();
+        assert_eq!(off.raw() as usize % CHUNK_SIZE, 0);
+        assert_eq!(s.alloc_stats().free_chunks, before - 4);
+        // The whole run is writable.
+        unsafe { std::ptr::write_bytes(s.resolve(off), 0xAB, size) };
+        s.free(off, 0);
+        assert_eq!(s.alloc_stats().free_chunks, before);
+    }
+
+    #[test]
+    fn exhaustion_returns_oom_not_panic() {
+        let s = ShmSegment::create(SegmentConfig {
+            size: 2 * 1024 * 1024,
+            max_cpus: 2,
+        });
+        let mut offs = Vec::new();
+        loop {
+            match s.alloc(32768, 0) {
+                Ok(o) => offs.push(o),
+                Err(AllocError::OutOfMemory) => break,
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        assert!(!offs.is_empty());
+        // Everything can be freed and then reallocated.
+        let count = offs.len();
+        for o in offs.drain(..) {
+            s.free(o, 0);
+        }
+        for _ in 0..count {
+            offs.push(s.alloc(32768, 0).unwrap());
+        }
+        for o in offs {
+            s.free(o, 0);
+        }
+    }
+
+    #[test]
+    fn too_large_is_distinguished_from_oom() {
+        let s = seg();
+        let err = s.alloc(usize::MAX / 2, 0).unwrap_err();
+        assert_eq!(err, AllocError::TooLarge);
+    }
+
+    #[test]
+    fn alloc_zeroed_is_zeroed_even_after_recycling() {
+        let s = seg();
+        let a = s.alloc(256, 0).unwrap();
+        unsafe { std::ptr::write_bytes(s.resolve(a), 0xFF, 256) };
+        s.free(a, 0);
+        let b = s.alloc_zeroed(256, 0).unwrap();
+        assert_eq!(a, b, "expected LIFO reuse for this test to be meaningful");
+        let bytes = unsafe { std::slice::from_raw_parts(s.resolve(b), 256) };
+        assert!(bytes.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn typed_alloc() {
+        #[repr(C)]
+        struct Big {
+            a: u64,
+            b: [u8; 300],
+        }
+        let s = seg();
+        let off = s.alloc_t::<Big>(1).unwrap();
+        unsafe {
+            s.resolve(off).write(Big { a: 7, b: [1; 300] });
+            assert_eq!((*s.resolve(off)).a, 7);
+        }
+        s.free_t(off, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid free")]
+    fn double_free_of_reclaimed_chunk_panics() {
+        let s = seg();
+        let off = s.alloc(CHUNK_SIZE * 2, 0).unwrap(); // large run
+        s.free(off, 0);
+        s.free(off, 0); // chunk now FREE: must panic
+    }
+
+    #[test]
+    fn concurrent_alloc_free_across_threads() {
+        use std::thread;
+        let s = seg();
+        let handles: Vec<_> = (0..4)
+            .map(|cpu| {
+                let s = s.clone();
+                thread::spawn(move || {
+                    let mut offs = Vec::new();
+                    for i in 0..2_000 {
+                        if i % 3 != 2 {
+                            offs.push(s.alloc(64 + (i % 5) * 100, cpu).unwrap());
+                        } else if let Some(o) = offs.pop() {
+                            s.free(o, cpu);
+                        }
+                    }
+                    for o in offs {
+                        s.free(o, cpu);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = s.alloc_stats();
+        assert_eq!(stats.total_allocs, stats.total_frees);
+        assert_eq!(stats.allocated_bytes, 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests for the shared-memory SLAB allocator.
+//!
+//! Invariants checked against arbitrary allocation/free interleavings:
+//! 1. live allocations never overlap;
+//! 2. data written into an allocation survives unrelated alloc/free traffic
+//!    (nobody else scribbles on it);
+//! 3. the allocator balances (allocated_bytes returns to zero, every chunk
+//!    is reclaimed after draining caches);
+//! 4. allocation either succeeds or fails cleanly — never corrupts state.
+
+use nosv_shmem::{SegmentConfig, ShmSegment, Shoff, CHUNK_SIZE};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Allocate `size` bytes on behalf of `cpu`.
+    Alloc { size: usize, cpu: usize },
+    /// Free the `idx % live`-th live allocation from `cpu`.
+    Free { idx: usize, cpu: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (1usize..40_000, 0usize..4).prop_map(|(size, cpu)| Op::Alloc { size, cpu }),
+        2 => (any::<usize>(), 0usize..4).prop_map(|(idx, cpu)| Op::Free { idx, cpu }),
+    ]
+}
+
+/// A live allocation: offset, requested size, and the byte pattern written.
+struct Live {
+    off: Shoff<u8>,
+    size: usize,
+    pattern: u8,
+}
+
+fn fill(seg: &ShmSegment, l: &Live) {
+    // SAFETY: the allocation is live and exclusively ours.
+    unsafe { std::ptr::write_bytes(seg.resolve(l.off), l.pattern, l.size) };
+}
+
+fn check(seg: &ShmSegment, l: &Live) {
+    // SAFETY: as above.
+    let bytes = unsafe { std::slice::from_raw_parts(seg.resolve(l.off), l.size) };
+    assert!(
+        bytes.iter().all(|&b| b == l.pattern),
+        "allocation at {:#x} (size {}) was corrupted",
+        l.off.raw(),
+        l.size
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_traffic_preserves_contents_and_balances(
+        ops in proptest::collection::vec(op_strategy(), 1..200)
+    ) {
+        let seg = ShmSegment::create(SegmentConfig {
+            size: 8 * 1024 * 1024,
+            max_cpus: 4,
+        });
+        let initial_free = seg.alloc_stats().free_chunks;
+        let mut live: Vec<Live> = Vec::new();
+        let mut pattern = 1u8;
+
+        for op in ops {
+            match op {
+                Op::Alloc { size, cpu } => {
+                    match seg.alloc(size, cpu) {
+                        Ok(off) => {
+                            let l = Live { off, size, pattern };
+                            fill(&seg, &l);
+                            pattern = pattern.wrapping_add(1).max(1);
+                            // Overlap check against every live allocation,
+                            // using the conservative requested size.
+                            for other in &live {
+                                let a0 = l.off.raw();
+                                let a1 = a0 + l.size as u64;
+                                let b0 = other.off.raw();
+                                let b1 = b0 + other.size as u64;
+                                prop_assert!(a1 <= b0 || b1 <= a0,
+                                    "overlap {a0:#x}..{a1:#x} vs {b0:#x}..{b1:#x}");
+                            }
+                            live.push(l);
+                        }
+                        Err(_) => { /* clean failure is acceptable */ }
+                    }
+                }
+                Op::Free { idx, cpu } => {
+                    if !live.is_empty() {
+                        let l = live.swap_remove(idx % live.len());
+                        check(&seg, &l);
+                        seg.free(l.off, cpu);
+                    }
+                }
+            }
+            // All survivors still hold their pattern after every operation.
+            for l in &live {
+                check(&seg, l);
+            }
+        }
+
+        // Tear down: free everything, drain caches, verify full reclamation.
+        for l in live.drain(..) {
+            check(&seg, &l);
+            seg.free(l.off, 0);
+        }
+        for cpu in 0..4 {
+            seg.drain_cpu_caches(cpu);
+        }
+        let stats = seg.alloc_stats();
+        prop_assert_eq!(stats.allocated_bytes, 0);
+        prop_assert_eq!(stats.total_allocs, stats.total_frees);
+        prop_assert_eq!(stats.free_chunks, initial_free);
+    }
+
+    #[test]
+    fn large_runs_never_overlap_slab_chunks(
+        sizes in proptest::collection::vec(1usize..(4 * CHUNK_SIZE), 1..20)
+    ) {
+        let seg = ShmSegment::create(SegmentConfig {
+            size: 16 * 1024 * 1024,
+            max_cpus: 2,
+        });
+        let mut live: Vec<(Shoff<u8>, usize)> = Vec::new();
+        for size in sizes {
+            if let Ok(off) = seg.alloc(size, 0) {
+                for &(o, s) in &live {
+                    let a0 = off.raw();
+                    let a1 = a0 + size as u64;
+                    let b0 = o.raw();
+                    let b1 = b0 + s as u64;
+                    prop_assert!(a1 <= b0 || b1 <= a0);
+                }
+                live.push((off, size));
+            }
+        }
+        for (off, _) in live {
+            seg.free(off, 0);
+        }
+        seg.drain_cpu_caches(0);
+        prop_assert_eq!(seg.alloc_stats().allocated_bytes, 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Bounded exponential backoff for spin loops.
+
+use std::hint;
+use std::thread;
+
+/// Exponential backoff helper for contended spin loops.
+///
+/// Starts with a handful of `spin_loop` hints and doubles the spin count on
+/// every call to [`Backoff::snooze`] until a threshold, after which it
+/// yields the thread to the OS. This is the standard shape used by
+/// crossbeam-style backoff, implemented locally so the synchronization
+/// crate has no dependencies.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::atomic::{AtomicBool, Ordering};
+/// use nosv_sync::Backoff;
+///
+/// let flag = AtomicBool::new(true); // pretend another thread clears it
+/// flag.store(false, Ordering::Release);
+/// let mut backoff = Backoff::new();
+/// while flag.load(Ordering::Acquire) {
+///     backoff.snooze();
+/// }
+/// ```
+#[derive(Debug)]
+pub struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    /// Spin steps (as a power of two) before starting to yield to the OS.
+    const YIELD_THRESHOLD: u32 = 7;
+    /// Upper bound on the exponent so the spin count stays bounded.
+    const MAX_STEP: u32 = 10;
+
+    /// Creates a fresh backoff state.
+    #[inline]
+    pub fn new() -> Self {
+        Backoff { step: 0 }
+    }
+
+    /// Resets the backoff to its initial (shortest) delay.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    /// Returns `true` once the backoff has escalated to OS-level yields,
+    /// which is a good signal for callers that can block instead of spin.
+    #[inline]
+    pub fn is_yielding(&self) -> bool {
+        self.step > Self::YIELD_THRESHOLD
+    }
+
+    /// Busy-spins for the current delay without ever yielding to the OS.
+    ///
+    /// Use in very short critical-section waits where the holder is known
+    /// to be running.
+    #[inline]
+    pub fn spin(&mut self) {
+        let spins = 1u32 << self.step.min(Self::YIELD_THRESHOLD);
+        for _ in 0..spins {
+            hint::spin_loop();
+        }
+        if self.step <= Self::MAX_STEP {
+            self.step += 1;
+        }
+    }
+
+    /// Backs off, escalating from busy spinning to `thread::yield_now`.
+    ///
+    /// Preferred in waits of unknown duration (e.g. lock handoff under
+    /// oversubscription, where the holder may be preempted).
+    #[inline]
+    pub fn snooze(&mut self) {
+        if self.step <= Self::YIELD_THRESHOLD {
+            let spins = 1u32 << self.step;
+            for _ in 0..spins {
+                hint::spin_loop();
+            }
+        } else {
+            thread::yield_now();
+        }
+        if self.step <= Self::MAX_STEP {
+            self.step += 1;
+        }
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escalates_to_yield() {
+        let mut b = Backoff::new();
+        assert!(!b.is_yielding());
+        for _ in 0..=Backoff::YIELD_THRESHOLD {
+            b.snooze();
+        }
+        assert!(b.is_yielding());
+    }
+
+    #[test]
+    fn reset_restores_spinning() {
+        let mut b = Backoff::new();
+        for _ in 0..20 {
+            b.snooze();
+        }
+        assert!(b.is_yielding());
+        b.reset();
+        assert!(!b.is_yielding());
+    }
+
+    #[test]
+    fn spin_never_panics_at_saturation() {
+        let mut b = Backoff::new();
+        for _ in 0..1000 {
+            b.spin();
+        }
+    }
+}

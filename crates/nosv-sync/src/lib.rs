@@ -1,0 +1,42 @@
+//! Synchronization primitives used by the nOS-V runtime reproduction.
+//!
+//! The centerpiece is the [`DtLock`] (Delegation Ticket Lock), the lock the
+//! paper's shared scheduler is built on (§3.4, citing Álvarez et al.,
+//! PPoPP'21 "Advanced Synchronization Techniques for Task-Based Runtime
+//! Systems"). A `DtLock` is a FIFO ticket lock in which the current holder
+//! may *serve* waiting threads directly — depositing a value into their wait
+//! slot so they return without ever entering the critical section. In the
+//! nOS-V scheduler, a worker that wins the lock becomes a temporary *server*
+//! that assigns ready tasks to the CPUs of all waiting workers, which both
+//! removes contention on the scheduler state and lets the server apply a
+//! node-wide policy with a consistent view.
+//!
+//! The crate also provides the building blocks the rest of the workspace
+//! reuses:
+//!
+//! * [`TicketLock`] — a classic FIFO ticket spinlock (baseline for benches).
+//! * [`SpinLock`] — a test-and-test-and-set lock with exponential backoff.
+//! * [`RawSpinMutex`] — a plain-old-data spinlock suitable for placement
+//!   inside a shared-memory segment (no host pointers, fixed layout).
+//! * [`Backoff`] — bounded exponential backoff helper.
+//! * [`Padded`] — cache-line padding wrapper to avoid false sharing.
+//!
+//! All primitives are implemented from scratch on `std::sync::atomic` with
+//! explicit memory orderings; see the per-module documentation for the
+//! protocols and their correctness arguments.
+
+#![warn(missing_docs)]
+
+mod backoff;
+mod dtlock;
+mod padded;
+mod raw;
+mod spin;
+mod ticket;
+
+pub use backoff::Backoff;
+pub use dtlock::{Acquired, DtGuard, DtLock};
+pub use padded::Padded;
+pub use raw::RawSpinMutex;
+pub use spin::{SpinLock, SpinLockGuard};
+pub use ticket::{TicketLock, TicketLockGuard};

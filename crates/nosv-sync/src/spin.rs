@@ -1,0 +1,155 @@
+//! Test-and-test-and-set spinlock with exponential backoff.
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::Backoff;
+
+/// A simple TTAS spinlock guarding a `T`.
+///
+/// Used where critical sections are a handful of instructions (per-CPU
+/// allocator magazines, trace buffers) and in lock microbenchmarks as the
+/// unfair baseline against [`crate::TicketLock`] and [`crate::DtLock`].
+///
+/// Waiters first spin on a plain load (the *test-and*-test-and-set part) so
+/// that contended waiting happens on a shared cache line in shared state,
+/// and only attempt the RMW when the lock looks free.
+pub struct SpinLock<T: ?Sized> {
+    locked: AtomicBool,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: the lock provides the necessary exclusion; `T: Send` is enough
+// because only one thread accesses the value at a time.
+unsafe impl<T: ?Sized + Send> Send for SpinLock<T> {}
+unsafe impl<T: ?Sized + Send> Sync for SpinLock<T> {}
+
+impl<T> SpinLock<T> {
+    /// Creates an unlocked spinlock holding `value`.
+    pub const fn new(value: T) -> Self {
+        SpinLock {
+            locked: AtomicBool::new(false),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+}
+
+impl<T: ?Sized> SpinLock<T> {
+    /// Acquires the lock, spinning with backoff until it is available.
+    pub fn lock(&self) -> SpinLockGuard<'_, T> {
+        let mut backoff = Backoff::new();
+        loop {
+            if self.try_lock_fast() {
+                return SpinLockGuard { lock: self };
+            }
+            while self.locked.load(Ordering::Relaxed) {
+                backoff.snooze();
+            }
+        }
+    }
+
+    /// Attempts to acquire the lock without spinning.
+    pub fn try_lock(&self) -> Option<SpinLockGuard<'_, T>> {
+        if self.try_lock_fast() {
+            Some(SpinLockGuard { lock: self })
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn try_lock_fast(&self) -> bool {
+        !self.locked.load(Ordering::Relaxed)
+            && self
+                .locked
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+    }
+
+    /// Returns a mutable reference to the underlying data.
+    ///
+    /// No locking is needed: the `&mut self` receiver guarantees exclusivity.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.value.get_mut()
+    }
+}
+
+/// RAII guard for [`SpinLock`]; releases the lock on drop.
+pub struct SpinLockGuard<'a, T: ?Sized> {
+    lock: &'a SpinLock<T>,
+}
+
+impl<T: ?Sized> Deref for SpinLockGuard<'_, T> {
+    type Target = T;
+
+    #[inline]
+    fn deref(&self) -> &T {
+        // SAFETY: the guard proves exclusive ownership of the lock.
+        unsafe { &*self.lock.value.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for SpinLockGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as above.
+        unsafe { &mut *self.lock.value.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for SpinLockGuard<'_, T> {
+    #[inline]
+    fn drop(&mut self) {
+        self.lock.locked.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn mutual_exclusion_counter() {
+        const THREADS: usize = 4;
+        const ITERS: usize = 10_000;
+        let lock = Arc::new(SpinLock::new(0usize));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                thread::spawn(move || {
+                    for _ in 0..ITERS {
+                        *lock.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*lock.lock(), THREADS * ITERS);
+    }
+
+    #[test]
+    fn try_lock_contended() {
+        let lock = SpinLock::new(7u32);
+        let g = lock.lock();
+        assert!(lock.try_lock().is_none());
+        drop(g);
+        assert_eq!(*lock.try_lock().unwrap(), 7);
+    }
+
+    #[test]
+    fn get_mut_bypasses_lock() {
+        let mut lock = SpinLock::new(1);
+        *lock.get_mut() = 5;
+        assert_eq!(lock.into_inner(), 5);
+    }
+}

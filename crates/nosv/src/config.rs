@@ -1,0 +1,122 @@
+//! Runtime configuration.
+
+use nosv_shmem::SegmentConfig;
+
+/// Default process quantum: 20 ms, the value used for all experiments in
+/// the paper's evaluation (§5).
+pub const DEFAULT_QUANTUM_NS: u64 = 20_000_000;
+
+/// Configuration of a [`crate::Runtime`].
+#[derive(Debug, Clone)]
+pub struct NosvConfig {
+    /// Number of logical cores the runtime manages. The CPU manager keeps
+    /// exactly one runnable worker per core.
+    pub cpus: usize,
+    /// Cores per NUMA node, for the NUMA affinity policy. `0` means a
+    /// single NUMA domain spanning every core.
+    pub cpus_per_numa: usize,
+    /// Process time quantum in nanoseconds (§3.4): once a core has executed
+    /// tasks of one process for longer than this, the scheduler switches it
+    /// to another process with ready work.
+    pub quantum_ns: u64,
+    /// Size of the shared segment in bytes.
+    pub segment_size: usize,
+    /// Record a [`crate::TraceEvent`] stream (small overhead; used by the
+    /// trace experiments and the execution-trace figure).
+    pub tracing: bool,
+}
+
+impl Default for NosvConfig {
+    fn default() -> Self {
+        NosvConfig {
+            cpus: 4,
+            cpus_per_numa: 0,
+            quantum_ns: DEFAULT_QUANTUM_NS,
+            segment_size: 32 * 1024 * 1024,
+            tracing: false,
+        }
+    }
+}
+
+impl NosvConfig {
+    /// Number of NUMA nodes implied by the configuration.
+    pub fn numa_nodes(&self) -> usize {
+        if self.cpus_per_numa == 0 {
+            1
+        } else {
+            self.cpus.div_ceil(self.cpus_per_numa)
+        }
+    }
+
+    /// NUMA node of a core.
+    pub fn numa_of(&self, cpu: usize) -> usize {
+        if self.cpus_per_numa == 0 {
+            0
+        } else {
+            cpu / self.cpus_per_numa
+        }
+    }
+
+    pub(crate) fn segment_config(&self) -> SegmentConfig {
+        SegmentConfig {
+            size: self.segment_size,
+            max_cpus: self.cpus,
+        }
+    }
+
+    pub(crate) fn validate(&self) {
+        assert!(self.cpus > 0, "at least one CPU is required");
+        assert!(self.quantum_ns > 0, "quantum must be positive");
+        assert!(
+            self.cpus <= nosv_shmem::MAX_PROCS * 8,
+            "unreasonable CPU count"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_quantum() {
+        let c = NosvConfig::default();
+        assert_eq!(c.quantum_ns, 20_000_000);
+        c.validate();
+    }
+
+    #[test]
+    fn numa_mapping() {
+        let c = NosvConfig {
+            cpus: 48,
+            cpus_per_numa: 24,
+            ..Default::default()
+        };
+        assert_eq!(c.numa_nodes(), 2);
+        assert_eq!(c.numa_of(0), 0);
+        assert_eq!(c.numa_of(23), 0);
+        assert_eq!(c.numa_of(24), 1);
+        assert_eq!(c.numa_of(47), 1);
+    }
+
+    #[test]
+    fn single_numa_when_unconfigured() {
+        let c = NosvConfig {
+            cpus: 16,
+            cpus_per_numa: 0,
+            ..Default::default()
+        };
+        assert_eq!(c.numa_nodes(), 1);
+        assert_eq!(c.numa_of(15), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one CPU")]
+    fn zero_cpus_rejected() {
+        NosvConfig {
+            cpus: 0,
+            ..Default::default()
+        }
+        .validate();
+    }
+}

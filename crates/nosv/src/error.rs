@@ -1,0 +1,49 @@
+//! Error type for runtime operations.
+
+use std::fmt;
+
+/// Errors surfaced by the nOS-V runtime API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NosvError {
+    /// The shared segment could not satisfy an allocation.
+    OutOfSharedMemory,
+    /// The process registry is full.
+    TooManyProcesses,
+    /// An operation was attempted on a task in an incompatible state
+    /// (e.g. submitting a running task, destroying a ready task).
+    InvalidTaskState {
+        /// The task's state at the time of the call.
+        found: crate::TaskState,
+        /// What the operation required.
+        operation: &'static str,
+    },
+    /// [`crate::pause`] was called from outside a task body.
+    NotInTask,
+}
+
+impl fmt::Display for NosvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NosvError::OutOfSharedMemory => write!(f, "shared memory segment exhausted"),
+            NosvError::TooManyProcesses => write!(f, "process registry full"),
+            NosvError::InvalidTaskState { found, operation } => {
+                write!(f, "cannot {operation}: task is {found:?}")
+            }
+            NosvError::NotInTask => write!(f, "pause() called outside a task context"),
+        }
+    }
+}
+
+impl std::error::Error for NosvError {}
+
+impl From<nosv_shmem::AllocError> for NosvError {
+    fn from(_: nosv_shmem::AllocError) -> Self {
+        NosvError::OutOfSharedMemory
+    }
+}
+
+impl From<nosv_shmem::AttachError> for NosvError {
+    fn from(_: nosv_shmem::AttachError) -> Self {
+        NosvError::TooManyProcesses
+    }
+}

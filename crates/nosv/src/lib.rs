@@ -1,0 +1,75 @@
+//! # nOS-V: system-wide task scheduling for application co-execution
+//!
+//! This crate is the reproduction of the paper's primary contribution: a
+//! lightweight tasking library in which *one* runtime instance — whose state
+//! lives in a shared-memory segment — schedules tasks from *several*
+//! applications over the node's cores, so that at any time there is exactly
+//! one runnable worker thread per core regardless of how many applications
+//! are attached (paper §2–§3).
+//!
+//! ## The model
+//!
+//! * Applications attach to a [`Runtime`] as *logical processes*
+//!   ([`ProcessContext`]). In the original system these are OS processes
+//!   mapping a POSIX segment; here they are in-process attachments over the
+//!   same position-independent segment (see `nosv-shmem` and `DESIGN.md`).
+//! * A process creates tasks ([`ProcessContext::create_task`] ≈
+//!   `nosv_create`), submits them ([`TaskHandle::submit`] ≈ `nosv_submit`),
+//!   may pause from inside a task body ([`pause`] ≈ `nosv_pause`) and
+//!   destroys them ([`TaskHandle::destroy`] ≈ `nosv_destroy`).
+//! * The [shared scheduler](SchedulerSnapshot) is centralized behind a
+//!   [`nosv_sync::DtLock`]: whichever worker wins the lock serves ready
+//!   tasks to every waiting CPU with a node-wide view. The policy
+//!   (implemented in [`policy`] and shared with the discrete-event
+//!   simulator) prefers giving a CPU tasks from the process it already
+//!   runs, bounded by a configurable time *quantum*, and honours
+//!   per-process priorities, per-task priorities, and per-task CPU/NUMA
+//!   [`Affinity`] (strict or best-effort) — §3.4.
+//! * Tasks always execute on a worker thread *of their creating process*;
+//!   assigning a core a task from another process performs a thread
+//!   handoff, and pausing blocks the task's thread while the core picks up
+//!   other work — §3.3.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use nosv::{NosvConfig, Runtime};
+//! use std::sync::atomic::{AtomicU32, Ordering};
+//! use std::sync::Arc;
+//!
+//! let rt = Runtime::new(NosvConfig { cpus: 2, ..Default::default() });
+//! let app = rt.attach("demo");
+//! let ran = Arc::new(AtomicU32::new(0));
+//! let task = {
+//!     let ran = Arc::clone(&ran);
+//!     app.create_task(move |_ctx| { ran.fetch_add(1, Ordering::Relaxed); })
+//! };
+//! task.submit();
+//! task.wait();
+//! assert_eq!(ran.load(Ordering::Relaxed), 1);
+//! task.destroy();
+//! drop(app);
+//! rt.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod error;
+pub mod policy;
+mod queue;
+mod runtime;
+mod scheduler;
+mod stats;
+mod task;
+mod trace;
+mod worker;
+
+pub use config::{NosvConfig, DEFAULT_QUANTUM_NS};
+pub use error::NosvError;
+pub use runtime::{ProcessContext, Runtime};
+pub use scheduler::SchedulerSnapshot;
+pub use stats::RuntimeStats;
+pub use task::{Affinity, TaskBuilder, TaskCtx, TaskHandle, TaskId, TaskState};
+pub use trace::{TraceEvent, TraceEventKind};
+pub use worker::pause;

@@ -1,0 +1,287 @@
+//! The node-wide scheduling policy (paper §3.4), as pure decision logic.
+//!
+//! This module contains no synchronization and no shared-memory access: it
+//! answers one question — *which process should this core execute next?* —
+//! given a snapshot of the candidates. Both the real runtime's shared
+//! scheduler and the discrete-event simulator in `simnode` call this exact
+//! code, so the behaviour the evaluation figures measure is the behaviour
+//! the runtime implements.
+//!
+//! The rules, from the paper:
+//!
+//! 1. **Process preference.** To minimize cross-process context switches,
+//!    a core keeps taking tasks from the process it is already running —
+//!    as long as that process has ready work.
+//! 2. **Quantum.** Rule 1 could starve other processes, so once the core
+//!    has run one process for longer than the configurable quantum (20 ms
+//!    in all the paper's experiments) and some other process has ready
+//!    work, the core switches process at the next task boundary.
+//! 3. **Per-process ("application") priorities.** When choosing a new
+//!    process, higher application priority wins; ties rotate round-robin
+//!    so equal-priority processes share cores fairly.
+//!
+//! Per-*task* priorities and affinities are handled before this policy is
+//! consulted (strict-affinity queues are per-core/per-NUMA; task priority
+//! orders each process's queue), so they do not appear here.
+
+/// Per-core quantum accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CoreQuantum {
+    /// PID the core is currently dedicated to (0 = none yet).
+    pub current_pid: u64,
+    /// When the core started running `current_pid`, in runtime nanoseconds.
+    pub since_ns: u64,
+}
+
+/// A process with ready work, as seen by the policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CandidateProc {
+    /// The process id.
+    pub pid: u64,
+    /// Application-level priority (higher wins).
+    pub app_priority: i32,
+    /// Priority of the process's highest-priority ready task.
+    pub top_task_priority: i32,
+}
+
+/// Outcome of a policy decision, including the bookkeeping the caller must
+/// apply to the core's quantum state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// The process the core should take a task from.
+    pub pid: u64,
+    /// Whether this decision switches the core to a different process
+    /// (a cross-process context switch in the paper's accounting).
+    pub switched: bool,
+    /// Whether the switch was forced by quantum expiry (as opposed to the
+    /// current process simply running out of work).
+    pub quantum_expired: bool,
+}
+
+/// Whether `core`'s quantum has expired at time `now_ns`.
+#[inline]
+pub fn quantum_expired(core: &CoreQuantum, quantum_ns: u64, now_ns: u64) -> bool {
+    core.current_pid != 0 && now_ns.saturating_sub(core.since_ns) >= quantum_ns
+}
+
+/// Picks the process a core should serve next.
+///
+/// `candidates` must contain only processes with ready work, in a stable
+/// order (the caller iterates its process table in slot order). `rr_cursor`
+/// is a shared rotation cursor advanced on every round-robin choice so that
+/// equal-priority processes take turns across calls.
+///
+/// Returns `None` when `candidates` is empty.
+pub fn pick_process(
+    core: &CoreQuantum,
+    quantum_ns: u64,
+    now_ns: u64,
+    candidates: &[CandidateProc],
+    rr_cursor: &mut u64,
+) -> Option<Decision> {
+    if candidates.is_empty() {
+        return None;
+    }
+    let expired = quantum_expired(core, quantum_ns, now_ns);
+    let current = candidates.iter().find(|c| c.pid == core.current_pid);
+
+    // Rule 1 + 2: keep the current process while its quantum lasts, unless
+    // it has no work. When the quantum expired, keep it only if nobody else
+    // has work (switching to yourself is pointless).
+    if let Some(cur) = current {
+        let someone_else = candidates.len() > 1;
+        if !expired || !someone_else {
+            return Some(Decision {
+                pid: cur.pid,
+                switched: false,
+                quantum_expired: false,
+            });
+        }
+    }
+
+    // Rule 3: highest application priority; prefer top task priority next
+    // (a process with an urgent task wins among equals); break remaining
+    // ties by round-robin rotation. When switching away from an expired
+    // process, exclude it so the switch is real.
+    let exclude = if expired { core.current_pid } else { 0 };
+    let best_key = candidates
+        .iter()
+        .filter(|c| c.pid != exclude)
+        .map(|c| (c.app_priority, c.top_task_priority))
+        .max()?;
+    let ties: Vec<&CandidateProc> = candidates
+        .iter()
+        .filter(|c| c.pid != exclude && (c.app_priority, c.top_task_priority) == best_key)
+        .collect();
+    let chosen = ties[(*rr_cursor as usize) % ties.len()];
+    *rr_cursor = rr_cursor.wrapping_add(1);
+    Some(Decision {
+        pid: chosen.pid,
+        switched: chosen.pid != core.current_pid,
+        quantum_expired: expired && core.current_pid != 0,
+    })
+}
+
+/// Updates a core's quantum state after a decision: a switch restarts the
+/// quantum clock, staying with the same process keeps it running.
+#[inline]
+pub fn apply_decision(core: &mut CoreQuantum, decision: &Decision, now_ns: u64) {
+    if decision.switched || core.current_pid == 0 {
+        core.current_pid = decision.pid;
+        core.since_ns = now_ns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(pid: u64, app: i32, task: i32) -> CandidateProc {
+        CandidateProc {
+            pid,
+            app_priority: app,
+            top_task_priority: task,
+        }
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        let core = CoreQuantum::default();
+        let mut rr = 0;
+        assert!(pick_process(&core, 100, 0, &[], &mut rr).is_none());
+    }
+
+    #[test]
+    fn fresh_core_picks_highest_app_priority() {
+        let core = CoreQuantum::default();
+        let mut rr = 0;
+        let d = pick_process(
+            &core,
+            100,
+            0,
+            &[cand(1, 0, 0), cand(2, 5, 0), cand(3, 1, 0)],
+            &mut rr,
+        )
+        .unwrap();
+        assert_eq!(d.pid, 2);
+        assert!(d.switched);
+        assert!(!d.quantum_expired);
+    }
+
+    #[test]
+    fn keeps_current_process_within_quantum() {
+        let core = CoreQuantum {
+            current_pid: 7,
+            since_ns: 0,
+        };
+        let mut rr = 0;
+        // Another process even has higher priority — preference still wins
+        // inside the quantum (priority only applies at switch points).
+        let d = pick_process(&core, 1_000, 500, &[cand(7, 0, 0), cand(9, 10, 0)], &mut rr)
+            .unwrap();
+        assert_eq!(d.pid, 7);
+        assert!(!d.switched);
+    }
+
+    #[test]
+    fn quantum_expiry_forces_switch_when_others_have_work() {
+        let core = CoreQuantum {
+            current_pid: 7,
+            since_ns: 0,
+        };
+        let mut rr = 0;
+        let d = pick_process(&core, 1_000, 2_000, &[cand(7, 0, 0), cand(9, 0, 0)], &mut rr)
+            .unwrap();
+        assert_eq!(d.pid, 9);
+        assert!(d.switched);
+        assert!(d.quantum_expired);
+    }
+
+    #[test]
+    fn expired_quantum_without_competition_keeps_current() {
+        let core = CoreQuantum {
+            current_pid: 7,
+            since_ns: 0,
+        };
+        let mut rr = 0;
+        let d = pick_process(&core, 1_000, 5_000, &[cand(7, 0, 0)], &mut rr).unwrap();
+        assert_eq!(d.pid, 7);
+        assert!(!d.switched);
+        assert!(!d.quantum_expired, "no actual switch happened");
+    }
+
+    #[test]
+    fn current_out_of_work_switches_without_quantum_flag() {
+        let core = CoreQuantum {
+            current_pid: 7,
+            since_ns: 0,
+        };
+        let mut rr = 0;
+        // pid 7 not in candidates (no ready work); switch is not "expiry".
+        let d = pick_process(&core, 1_000, 10, &[cand(9, 0, 0)], &mut rr).unwrap();
+        assert_eq!(d.pid, 9);
+        assert!(d.switched);
+        assert!(!d.quantum_expired);
+    }
+
+    #[test]
+    fn round_robin_rotates_equal_priorities() {
+        let core = CoreQuantum::default();
+        let mut rr = 0;
+        let cands = [cand(1, 0, 0), cand(2, 0, 0), cand(3, 0, 0)];
+        let picks: Vec<u64> = (0..6)
+            .map(|_| pick_process(&core, 100, 0, &cands, &mut rr).unwrap().pid)
+            .collect();
+        assert_eq!(picks, vec![1, 2, 3, 1, 2, 3]);
+    }
+
+    #[test]
+    fn task_priority_breaks_app_priority_ties() {
+        let core = CoreQuantum::default();
+        let mut rr = 0;
+        let d = pick_process(
+            &core,
+            100,
+            0,
+            &[cand(1, 0, 2), cand(2, 0, 9), cand(3, 0, 1)],
+            &mut rr,
+        )
+        .unwrap();
+        assert_eq!(d.pid, 2);
+    }
+
+    #[test]
+    fn apply_decision_resets_clock_only_on_switch() {
+        let mut core = CoreQuantum {
+            current_pid: 1,
+            since_ns: 100,
+        };
+        apply_decision(
+            &mut core,
+            &Decision {
+                pid: 1,
+                switched: false,
+                quantum_expired: false,
+            },
+            900,
+        );
+        assert_eq!(core.since_ns, 100, "same pid keeps the quantum running");
+        apply_decision(
+            &mut core,
+            &Decision {
+                pid: 2,
+                switched: true,
+                quantum_expired: true,
+            },
+            900,
+        );
+        assert_eq!(core.current_pid, 2);
+        assert_eq!(core.since_ns, 900);
+    }
+
+    #[test]
+    fn quantum_expired_handles_unset_core() {
+        let core = CoreQuantum::default();
+        assert!(!quantum_expired(&core, 1, u64::MAX));
+    }
+}

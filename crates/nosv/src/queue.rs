@@ -1,0 +1,279 @@
+//! Intrusive, priority-ordered task queues living in the shared segment.
+//!
+//! Queues link [`TaskDesc`] descriptors through their `next` field, so a
+//! queue node costs zero extra memory and queues are position-independent.
+//! All mutation happens under the shared scheduler's DTLock, which is why
+//! plain `Relaxed` atomic accesses suffice here: the lock provides the
+//! ordering, the atomics only keep the types shareable.
+
+use std::sync::atomic::Ordering;
+
+use nosv_shmem::{AtomicShoff, Shoff, ShmSegment};
+
+use crate::task::TaskDesc;
+
+/// A FIFO queue ordered by descending task priority (FIFO within equal
+/// priority). `repr(C)` and zero-valid: a zeroed queue is empty.
+#[repr(C)]
+pub(crate) struct TaskQueue {
+    head: AtomicShoff<TaskDesc>,
+    tail: AtomicShoff<TaskDesc>,
+    len: std::sync::atomic::AtomicU64,
+}
+
+fn priority_of(seg: &ShmSegment, t: Shoff<TaskDesc>) -> i32 {
+    // SAFETY: descriptors in a queue are alive by the scheduler's contract.
+    unsafe { seg.sref(t) }.priority.load(Ordering::Relaxed) as i32
+}
+
+fn next_of(seg: &ShmSegment, t: Shoff<TaskDesc>) -> Shoff<TaskDesc> {
+    // SAFETY: as above.
+    unsafe { seg.sref(t) }.next.load(Ordering::Relaxed)
+}
+
+fn set_next(seg: &ShmSegment, t: Shoff<TaskDesc>, next: Shoff<TaskDesc>) {
+    // SAFETY: as above.
+    unsafe { seg.sref(t) }.next.store(next, Ordering::Relaxed);
+}
+
+impl TaskQueue {
+    /// Number of queued tasks.
+    pub(crate) fn len(&self) -> u64 {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Whether the queue is empty.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts `task` in descending-priority order (FIFO among equals).
+    ///
+    /// The common case — every task at the same priority — is O(1): the new
+    /// task appends at the tail.
+    pub(crate) fn push(&self, seg: &ShmSegment, task: Shoff<TaskDesc>) {
+        debug_assert!(!task.is_null());
+        set_next(seg, task, Shoff::NULL);
+        let prio = priority_of(seg, task);
+        let head = self.head.load(Ordering::Relaxed);
+        if head.is_null() {
+            self.head.store(task, Ordering::Relaxed);
+            self.tail.store(task, Ordering::Relaxed);
+        } else {
+            let tail = self.tail.load(Ordering::Relaxed);
+            if priority_of(seg, tail) >= prio {
+                // Fast path: belongs at (or after) the tail.
+                set_next(seg, tail, task);
+                self.tail.store(task, Ordering::Relaxed);
+            } else if priority_of(seg, head) < prio {
+                // New highest priority: becomes the head.
+                set_next(seg, task, head);
+                self.head.store(task, Ordering::Relaxed);
+            } else {
+                // Walk to the last node with priority >= prio.
+                let mut prev = head;
+                loop {
+                    let nxt = next_of(seg, prev);
+                    if nxt.is_null() || priority_of(seg, nxt) < prio {
+                        break;
+                    }
+                    prev = nxt;
+                }
+                let nxt = next_of(seg, prev);
+                set_next(seg, task, nxt);
+                set_next(seg, prev, task);
+                if nxt.is_null() {
+                    self.tail.store(task, Ordering::Relaxed);
+                }
+            }
+        }
+        self.len.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Removes and returns the highest-priority (head) task.
+    pub(crate) fn pop(&self, seg: &ShmSegment) -> Option<Shoff<TaskDesc>> {
+        let head = self.head.load(Ordering::Relaxed);
+        if head.is_null() {
+            return None;
+        }
+        let next = next_of(seg, head);
+        self.head.store(next, Ordering::Relaxed);
+        if next.is_null() {
+            self.tail.store(Shoff::NULL, Ordering::Relaxed);
+        }
+        set_next(seg, head, Shoff::NULL);
+        self.len.fetch_sub(1, Ordering::Relaxed);
+        Some(head)
+    }
+
+    /// Removes and returns the first task satisfying `pred`, scanning at
+    /// most `limit` entries from the head (bounding the policy's search
+    /// cost, as a real scheduler must).
+    pub(crate) fn pop_if(
+        &self,
+        seg: &ShmSegment,
+        limit: usize,
+        pred: impl Fn(&TaskDesc) -> bool,
+    ) -> Option<Shoff<TaskDesc>> {
+        let mut prev = Shoff::NULL;
+        let mut cur = self.head.load(Ordering::Relaxed);
+        let mut scanned = 0;
+        while !cur.is_null() && scanned < limit {
+            // SAFETY: queue members are alive.
+            let desc = unsafe { seg.sref(cur) };
+            if pred(desc) {
+                let next = next_of(seg, cur);
+                if prev.is_null() {
+                    self.head.store(next, Ordering::Relaxed);
+                } else {
+                    set_next(seg, prev, next);
+                }
+                if next.is_null() {
+                    self.tail.store(prev, Ordering::Relaxed);
+                }
+                set_next(seg, cur, Shoff::NULL);
+                self.len.fetch_sub(1, Ordering::Relaxed);
+                return Some(cur);
+            }
+            prev = cur;
+            cur = next_of(seg, cur);
+            scanned += 1;
+        }
+        None
+    }
+
+    /// Priority of the head task, if any.
+    pub(crate) fn head_priority(&self, seg: &ShmSegment) -> Option<i32> {
+        let head = self.head.load(Ordering::Relaxed);
+        if head.is_null() {
+            None
+        } else {
+            Some(priority_of(seg, head))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nosv_shmem::SegmentConfig;
+    use std::sync::atomic::Ordering;
+
+    fn seg() -> ShmSegment {
+        ShmSegment::create(SegmentConfig {
+            size: 4 * 1024 * 1024,
+            max_cpus: 2,
+        })
+    }
+
+    fn queue(seg: &ShmSegment) -> &TaskQueue {
+        let off = seg.alloc_zeroed(std::mem::size_of::<TaskQueue>(), 0).unwrap();
+        // SAFETY: zeroed TaskQueue is a valid empty queue.
+        unsafe { seg.sref(off.cast()) }
+    }
+
+    fn mk_task(seg: &ShmSegment, id: u64, prio: i32) -> Shoff<TaskDesc> {
+        let off: Shoff<TaskDesc> = seg
+            .alloc_zeroed(std::mem::size_of::<TaskDesc>(), 0)
+            .unwrap()
+            .cast();
+        // SAFETY: freshly allocated, zeroed descriptor.
+        let d = unsafe { seg.sref(off) };
+        d.id.store(id, Ordering::Relaxed);
+        d.priority.store(prio as u32, Ordering::Relaxed);
+        off
+    }
+
+    fn drain_ids(seg: &ShmSegment, q: &TaskQueue) -> Vec<u64> {
+        let mut out = Vec::new();
+        while let Some(t) = q.pop(seg) {
+            out.push(unsafe { seg.sref(t) }.id.load(Ordering::Relaxed));
+        }
+        out
+    }
+
+    #[test]
+    fn fifo_within_equal_priority() {
+        let s = seg();
+        let q = queue(&s);
+        for id in 0..5 {
+            q.push(&s, mk_task(&s, id, 0));
+        }
+        assert_eq!(q.len(), 5);
+        assert_eq!(drain_ids(&s, q), vec![0, 1, 2, 3, 4]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn higher_priority_jumps_ahead() {
+        let s = seg();
+        let q = queue(&s);
+        q.push(&s, mk_task(&s, 1, 0));
+        q.push(&s, mk_task(&s, 2, 5));
+        q.push(&s, mk_task(&s, 3, 0));
+        q.push(&s, mk_task(&s, 4, 10));
+        q.push(&s, mk_task(&s, 5, 5));
+        // Expected order: 4 (p10), 2 (p5), 5 (p5, after 2), 1 (p0), 3 (p0).
+        assert_eq!(drain_ids(&s, q), vec![4, 2, 5, 1, 3]);
+    }
+
+    #[test]
+    fn negative_priorities_sort_last() {
+        let s = seg();
+        let q = queue(&s);
+        q.push(&s, mk_task(&s, 1, -5));
+        q.push(&s, mk_task(&s, 2, 0));
+        q.push(&s, mk_task(&s, 3, -1));
+        assert_eq!(drain_ids(&s, q), vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn pop_if_unlinks_middle() {
+        let s = seg();
+        let q = queue(&s);
+        for id in 0..5 {
+            q.push(&s, mk_task(&s, id, 0));
+        }
+        let got = q
+            .pop_if(&s, 16, |d| d.id.load(Ordering::Relaxed) == 2)
+            .unwrap();
+        assert_eq!(unsafe { s.sref(got) }.id.load(Ordering::Relaxed), 2);
+        assert_eq!(drain_ids(&s, q), vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn pop_if_respects_scan_limit() {
+        let s = seg();
+        let q = queue(&s);
+        for id in 0..10 {
+            q.push(&s, mk_task(&s, id, 0));
+        }
+        // Target is at position 5; a limit of 3 must not find it.
+        assert!(q
+            .pop_if(&s, 3, |d| d.id.load(Ordering::Relaxed) == 5)
+            .is_none());
+        assert_eq!(q.len(), 10);
+    }
+
+    #[test]
+    fn pop_if_tail_updates_tail() {
+        let s = seg();
+        let q = queue(&s);
+        q.push(&s, mk_task(&s, 0, 0));
+        q.push(&s, mk_task(&s, 1, 0));
+        q.pop_if(&s, 16, |d| d.id.load(Ordering::Relaxed) == 1)
+            .unwrap();
+        // Tail is task 0 again: appending keeps order.
+        q.push(&s, mk_task(&s, 2, 0));
+        assert_eq!(drain_ids(&s, q), vec![0, 2]);
+    }
+
+    #[test]
+    fn head_priority_reports() {
+        let s = seg();
+        let q = queue(&s);
+        assert_eq!(q.head_priority(&s), None);
+        q.push(&s, mk_task(&s, 0, 3));
+        assert_eq!(q.head_priority(&s), Some(3));
+    }
+}

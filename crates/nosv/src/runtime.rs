@@ -1,0 +1,449 @@
+//! Runtime life cycle: segment setup, process attach/detach, task
+//! creation/submission, worker management, shutdown (paper §3.3).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use nosv_shmem::{Shoff, ShmSegment};
+use parking_lot::{Condvar, Mutex};
+
+use crate::config::NosvConfig;
+use crate::error::NosvError;
+use crate::scheduler::{Scheduler, SchedulerSnapshot};
+use crate::stats::{Counters, RuntimeStats};
+use crate::task::{
+    TaskBuilder, TaskCallbacks, TaskCtx, TaskDesc, TaskHandle, TaskId, TaskSignal, TaskState,
+};
+use crate::trace::{TraceBuf, TraceEvent, TraceEventKind};
+use crate::worker::{self, Assignment, WorkerShared};
+
+/// A logical process attached to the runtime.
+pub(crate) struct ProcInner {
+    pub pid: u64,
+    pub slot: u32,
+    pub name: String,
+    /// Parked workers of this process, ready to be woken for handoffs.
+    pub idle: Mutex<Vec<Arc<WorkerShared>>>,
+    pub active: AtomicBool,
+}
+
+/// Everything shared between the API objects and the worker threads.
+pub(crate) struct RuntimeInner {
+    pub seg: ShmSegment,
+    pub config: NosvConfig,
+    pub sched: Scheduler,
+    pub counters: Counters,
+    pub shutdown: AtomicBool,
+    /// Tasks submitted but not yet completed (shutdown precondition).
+    pub pending_tasks: AtomicU64,
+    /// Descriptors created but not yet destroyed (leak check).
+    pub live_descriptors: AtomicU64,
+    pub idle_mutex: Mutex<()>,
+    pub idle_cv: Condvar,
+    trace: TraceBuf,
+    next_task_id: AtomicU64,
+    workers: Mutex<Vec<Arc<WorkerShared>>>,
+    joins: Mutex<Vec<JoinHandle<()>>>,
+    procs: Mutex<HashMap<u64, Arc<ProcInner>>>,
+    workers_started: AtomicBool,
+    start: Instant,
+}
+
+impl RuntimeInner {
+    /// Nanoseconds since runtime start (the scheduler's clock).
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    pub(crate) fn trace_event(&self, kind: TraceEventKind, cpu: u32, pid: u64, task: TaskId) {
+        self.trace.record(TraceEvent {
+            t_ns: self.now_ns(),
+            cpu,
+            pid,
+            task,
+            kind,
+        });
+    }
+
+    pub(crate) fn worker_by_index(&self, index: usize) -> Arc<WorkerShared> {
+        Arc::clone(&self.workers.lock()[index])
+    }
+
+    /// Pops an idle worker of `pid`, spawning a fresh one if none is parked.
+    pub(crate) fn worker_for_process(self: &Arc<Self>, pid: u64) -> Arc<WorkerShared> {
+        let proc = Arc::clone(
+            self.procs
+                .lock()
+                .get(&pid)
+                .expect("task belongs to an unknown process"),
+        );
+        if let Some(w) = proc.idle.lock().pop() {
+            return w;
+        }
+        self.spawn_worker(pid)
+    }
+
+    /// Parks a worker into its process's idle pool.
+    pub(crate) fn park_worker(&self, w: &Arc<WorkerShared>) {
+        let procs = self.procs.lock();
+        let proc = procs.get(&w.pid).expect("worker of unknown process");
+        proc.idle.lock().push(Arc::clone(w));
+    }
+
+    fn spawn_worker(self: &Arc<Self>, pid: u64) -> Arc<WorkerShared> {
+        let mut workers = self.workers.lock();
+        let shared = WorkerShared::new(workers.len(), pid);
+        workers.push(Arc::clone(&shared));
+        drop(workers);
+        self.counters.workers_spawned.fetch_add(1, Ordering::Relaxed);
+        let rt = Arc::clone(self);
+        let me = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("nosv-worker-{}", shared.index))
+            .spawn(move || worker::worker_main(rt, me))
+            .expect("failed to spawn worker thread");
+        self.joins.lock().push(handle);
+        shared
+    }
+
+    /// Submits a task descriptor (`nosv_submit`): initial submission or
+    /// resubmission of a paused task.
+    pub(crate) fn submit(&self, desc: Shoff<TaskDesc>) {
+        // SAFETY: handle-owned descriptor, alive until destroy.
+        let d = unsafe { self.seg.sref(desc) };
+        loop {
+            if d.transition(TaskState::Created, TaskState::Ready) {
+                self.pending_tasks.fetch_add(1, Ordering::AcqRel);
+                break;
+            }
+            if d.transition(TaskState::Paused, TaskState::Ready) {
+                break;
+            }
+            match d.state() {
+                // Submit racing with an in-progress pause(): the pausing
+                // thread is between "user decided to block" and the Paused
+                // store. Wait for it; this is the documented way to unblock.
+                TaskState::Running => std::thread::yield_now(),
+                s => panic!("nosv_submit on a task in state {s:?}"),
+            }
+        }
+        d.submits.fetch_add(1, Ordering::Relaxed);
+        self.counters.tasks_submitted.fetch_add(1, Ordering::Relaxed);
+        let cpu = worker::current_core().map_or(u32::MAX, |c| c as u32);
+        self.trace_event(
+            TraceEventKind::Submit,
+            cpu,
+            d.pid.load(Ordering::Relaxed),
+            TaskId(d.id.load(Ordering::Relaxed)),
+        );
+        self.sched.submit(desc);
+        // Wake idle cores. Taking the gate lock orders this notification
+        // after any in-flight "queue empty" check (no lost wakeups).
+        let _g = self.idle_mutex.lock();
+        self.idle_cv.notify_all();
+    }
+
+    /// Frees a descriptor and its host-side resources (`nosv_destroy`).
+    pub(crate) fn destroy_task(&self, desc: Shoff<TaskDesc>) {
+        // SAFETY: destroy is only reachable from the owning handle, once.
+        let d = unsafe { self.seg.sref(desc) };
+        let cbs_raw = d.callbacks.swap(0, Ordering::AcqRel);
+        if cbs_raw != 0 {
+            // Never-executed task: reclaim its callbacks.
+            // SAFETY: uniquely taken by the swap.
+            drop(unsafe { Box::from_raw(cbs_raw as *mut TaskCallbacks) });
+        }
+        let sig_raw = d.signal.swap(0, Ordering::AcqRel);
+        if sig_raw != 0 {
+            // SAFETY: as above.
+            drop(unsafe { Arc::from_raw(sig_raw as *const TaskSignal) });
+        }
+        let cpu = worker::current_core().unwrap_or(0);
+        self.seg.free_t(desc, cpu);
+        self.live_descriptors.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// The nOS-V runtime: one per node, shared by every co-executed application.
+pub struct Runtime {
+    inner: Arc<RuntimeInner>,
+    shut_down: AtomicBool,
+}
+
+impl Runtime {
+    /// Creates a runtime (segment, scheduler, CPU manager) from `config`.
+    pub fn new(config: NosvConfig) -> Runtime {
+        config.validate();
+        let seg = ShmSegment::create(config.segment_config());
+        let sched = Scheduler::new(seg.clone(), &config);
+        let tracing = config.tracing;
+        Runtime {
+            inner: Arc::new(RuntimeInner {
+                seg,
+                sched,
+                counters: Counters::default(),
+                shutdown: AtomicBool::new(false),
+                pending_tasks: AtomicU64::new(0),
+                live_descriptors: AtomicU64::new(0),
+                idle_mutex: Mutex::new(()),
+                idle_cv: Condvar::new(),
+                trace: TraceBuf::new(tracing),
+                next_task_id: AtomicU64::new(1),
+                workers: Mutex::new(Vec::new()),
+                joins: Mutex::new(Vec::new()),
+                procs: Mutex::new(HashMap::new()),
+                workers_started: AtomicBool::new(false),
+                start: Instant::now(),
+                config,
+            }),
+            shut_down: AtomicBool::new(false),
+        }
+    }
+
+    /// Attaches a logical process (an application) to the runtime.
+    ///
+    /// The first attachment spawns one worker per core (§3.3: "the first
+    /// process registered into this shared memory region spawns a new
+    /// thread for each core in the node").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process registry is full; use [`Runtime::try_attach`]
+    /// to handle that case.
+    pub fn attach(&self, name: &str) -> ProcessContext {
+        self.try_attach(name).expect("process registry full")
+    }
+
+    /// Fallible variant of [`Runtime::attach`].
+    pub fn try_attach(&self, name: &str) -> Result<ProcessContext, NosvError> {
+        let id = self.inner.seg.attach()?;
+        self.inner.sched.register_proc(id.slot, id.pid);
+        let proc = Arc::new(ProcInner {
+            pid: id.pid,
+            slot: id.slot,
+            name: name.to_string(),
+            idle: Mutex::new(Vec::new()),
+            active: AtomicBool::new(true),
+        });
+        self.inner.procs.lock().insert(id.pid, Arc::clone(&proc));
+        if !self.inner.workers_started.swap(true, Ordering::AcqRel) {
+            for core in 0..self.inner.config.cpus {
+                let w = self.inner.spawn_worker(id.pid);
+                w.assign(Assignment::Pull { core });
+            }
+        }
+        Ok(ProcessContext {
+            rt: Arc::clone(&self.inner),
+            proc,
+            detached: AtomicBool::new(false),
+        })
+    }
+
+    /// Number of cores the runtime manages.
+    pub fn cpus(&self) -> usize {
+        self.inner.config.cpus
+    }
+
+    /// Snapshot of the runtime counters.
+    pub fn stats(&self) -> RuntimeStats {
+        self.inner.counters.snapshot()
+    }
+
+    /// Racy snapshot of the shared scheduler's queues.
+    pub fn scheduler_snapshot(&self) -> SchedulerSnapshot {
+        self.inner.sched.snapshot()
+    }
+
+    /// Drains and returns the trace recorded so far (empty when tracing is
+    /// disabled in the configuration).
+    pub fn take_trace(&self) -> Vec<TraceEvent> {
+        self.inner.trace.take()
+    }
+
+    /// Nanoseconds since the runtime started (the clock trace events use).
+    pub fn now_ns(&self) -> u64 {
+        self.inner.now_ns()
+    }
+
+    /// Whether tracing was enabled in the configuration.
+    pub fn tracing_enabled(&self) -> bool {
+        self.inner.trace.enabled()
+    }
+
+    /// Stops all workers and tears the runtime down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if tasks are still pending (submitted but not completed):
+    /// shutting down under them would leave threads blocked forever.
+    pub fn shutdown(self) {
+        assert_eq!(
+            self.inner.pending_tasks.load(Ordering::Acquire),
+            0,
+            "shutdown with tasks still pending"
+        );
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&self) {
+        if self.shut_down.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.inner.shutdown.store(true, Ordering::Release);
+        {
+            let _g = self.inner.idle_mutex.lock();
+            self.inner.idle_cv.notify_all();
+        }
+        for w in self.inner.workers.lock().iter() {
+            w.signal_shutdown();
+        }
+        let joins: Vec<JoinHandle<()>> = std::mem::take(&mut *self.inner.joins.lock());
+        for j in joins {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        // Best-effort teardown for runtimes dropped without an explicit
+        // shutdown (e.g. tests unwinding on panic).
+        self.shutdown_inner();
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("cpus", &self.inner.config.cpus)
+            .field("pending_tasks", &self.inner.pending_tasks.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// A logical process attached to the runtime (one co-executed application).
+///
+/// Dropping the context detaches the process (§3.3 unregistration). All
+/// tasks created through it must have completed and been destroyed first.
+pub struct ProcessContext {
+    rt: Arc<RuntimeInner>,
+    proc: Arc<ProcInner>,
+    detached: AtomicBool,
+}
+
+impl ProcessContext {
+    /// This process's id.
+    pub fn pid(&self) -> u64 {
+        self.proc.pid
+    }
+
+    /// The name given at attach time.
+    pub fn name(&self) -> &str {
+        &self.proc.name
+    }
+
+    /// Sets this application's priority (§3.4 per-application priorities).
+    pub fn set_app_priority(&self, priority: i32) {
+        self.rt.sched.set_app_priority(self.proc.slot, priority);
+    }
+
+    /// Creates a task from a plain closure (`nosv_create` with defaults).
+    pub fn create_task(&self, body: impl FnOnce(&TaskCtx) + Send + 'static) -> TaskHandle {
+        self.build_task(TaskBuilder::new().run(body))
+    }
+
+    /// Creates a task from a full [`TaskBuilder`] (`nosv_create`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shared segment is exhausted; use
+    /// [`ProcessContext::try_build_task`] to handle allocation failure.
+    pub fn build_task(&self, builder: TaskBuilder) -> TaskHandle {
+        self.try_build_task(builder).expect("shared segment exhausted")
+    }
+
+    /// Fallible variant of [`ProcessContext::build_task`].
+    pub fn try_build_task(&self, builder: TaskBuilder) -> Result<TaskHandle, NosvError> {
+        assert!(
+            self.proc.active.load(Ordering::Acquire),
+            "create_task on a detached process"
+        );
+        let cpu = worker::current_core().unwrap_or(0);
+        let desc: Shoff<TaskDesc> = self
+            .rt
+            .seg
+            .alloc_zeroed(std::mem::size_of::<TaskDesc>(), cpu)?
+            .cast();
+        let id = TaskId(self.rt.next_task_id.fetch_add(1, Ordering::Relaxed));
+        let signal = TaskSignal::new();
+        // SAFETY: freshly allocated zeroed descriptor, exclusively ours.
+        let d = unsafe { self.rt.seg.sref(desc) };
+        d.id.store(id.0, Ordering::Relaxed);
+        d.slot.store(self.proc.slot, Ordering::Relaxed);
+        d.pid.store(self.proc.pid, Ordering::Relaxed);
+        d.priority.store(builder.priority as u32, Ordering::Relaxed);
+        d.affinity.store(builder.affinity.encode(), Ordering::Relaxed);
+        d.metadata.store(builder.metadata, Ordering::Relaxed);
+        let cbs = Box::new(TaskCallbacks {
+            run: builder.run,
+            completed: builder.completed,
+        });
+        d.callbacks
+            .store(Box::into_raw(cbs) as u64, Ordering::Release);
+        d.signal
+            .store(Arc::into_raw(Arc::clone(&signal)) as u64, Ordering::Release);
+        d.set_state(TaskState::Created);
+        self.rt.live_descriptors.fetch_add(1, Ordering::AcqRel);
+        Ok(TaskHandle {
+            rt: Arc::clone(&self.rt),
+            desc,
+            id,
+            signal,
+            destroyed: AtomicBool::new(false),
+        })
+    }
+
+    /// Convenience: create, submit, and return the handle.
+    pub fn spawn(&self, body: impl FnOnce(&TaskCtx) + Send + 'static) -> TaskHandle {
+        let t = self.create_task(body);
+        t.submit();
+        t
+    }
+
+    fn detach_inner(&self) {
+        if self.detached.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.proc.active.store(false, Ordering::Release);
+        self.rt.sched.unregister_proc(self.proc.slot);
+        self.rt
+            .seg
+            .detach(nosv_shmem::ProcessId {
+                pid: self.proc.pid,
+                slot: self.proc.slot,
+            });
+        // The process's entry stays in the table and its parked workers stay
+        // alive until runtime shutdown: active workers of this process may
+        // still be relaying cores (their pull loop hands foreign tasks off)
+        // and must be able to park; they just never execute a task body
+        // again because no task of this pid can exist anymore.
+    }
+}
+
+impl Drop for ProcessContext {
+    fn drop(&mut self) {
+        self.detach_inner();
+    }
+}
+
+impl std::fmt::Debug for ProcessContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProcessContext")
+            .field("pid", &self.proc.pid)
+            .field("name", &self.proc.name)
+            .finish()
+    }
+}

@@ -1,0 +1,569 @@
+//! The shared scheduler (paper §3.4).
+//!
+//! One instance per runtime, its state in the shared segment, its mutual
+//! exclusion provided by a [`DtLock`]. Workers asking for tasks either win
+//! the lock — becoming a transient *server* that picks tasks for themselves
+//! and every waiting CPU with a consistent node-wide view — or are served
+//! directly through their DTLock wait slot without entering the critical
+//! section.
+//!
+//! Ready tasks are distributed over three kinds of queues:
+//!
+//! * a per-process priority queue (tasks without placement constraints);
+//! * a per-core queue (tasks with [`Affinity::Core`]);
+//! * a per-NUMA-node queue (tasks with [`Affinity::Numa`]).
+//!
+//! A CPU looks in its own core queue first, then its NUMA queue, then asks
+//! the [process-preference policy](crate::policy) which process queue to
+//! pop, and finally tries to *steal* best-effort affinity tasks parked on
+//! other cores/nodes — strict tasks are never stolen.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use nosv_shmem::{Shoff, ShmSegment, MAX_PROCS};
+use nosv_sync::{Acquired, DtLock};
+
+use crate::config::NosvConfig;
+use crate::policy::{self, CandidateProc, CoreQuantum};
+use crate::queue::TaskQueue;
+use crate::stats::Counters;
+use crate::task::{Affinity, TaskDesc};
+
+/// Maximum cores the in-segment scheduler arrays are sized for.
+pub(crate) const MAX_CPUS: usize = 256;
+/// Maximum NUMA nodes.
+pub(crate) const MAX_NUMA: usize = 16;
+
+/// A ready task travelling from the scheduler to a worker (possibly through
+/// a DTLock delegation slot).
+pub(crate) type ReadyTask = Shoff<TaskDesc>;
+
+#[repr(C)]
+struct ProcSched {
+    active: AtomicU32,
+    /// Application priority (i32 bits).
+    app_priority: AtomicU32,
+    pid: AtomicU64,
+    queue: TaskQueue,
+}
+
+#[repr(C)]
+struct CoreSched {
+    /// [`CoreQuantum::current_pid`].
+    current_pid: AtomicU64,
+    /// [`CoreQuantum::since_ns`].
+    since_ns: AtomicU64,
+    /// Core-affinity tasks bound or preferring this core.
+    queue: TaskQueue,
+}
+
+#[repr(C)]
+struct SchedRoot {
+    total_ready: AtomicU64,
+    rr_cursor: AtomicU64,
+    procs: [ProcSched; MAX_PROCS],
+    cores: [CoreSched; MAX_CPUS],
+    numas: [TaskQueue; MAX_NUMA],
+}
+
+pub(crate) struct Scheduler {
+    seg: ShmSegment,
+    root: Shoff<SchedRoot>,
+    lock: DtLock<(), ReadyTask>,
+    cpus: usize,
+    cpus_per_numa: usize,
+    quantum_ns: u64,
+}
+
+/// Racy observability snapshot of the scheduler (for tests and tools).
+#[derive(Debug, Clone)]
+pub struct SchedulerSnapshot {
+    /// Ready tasks across all queues.
+    pub total_ready: u64,
+    /// `(pid, ready-task count)` for each attached process.
+    pub per_process: Vec<(u64, u64)>,
+    /// Current process per core (`0` = none yet).
+    pub per_core_pid: Vec<u64>,
+}
+
+/// Scan depth bound for steal scans (keeps the critical section short).
+const STEAL_SCAN_LIMIT: usize = 8;
+
+impl Scheduler {
+    pub(crate) fn new(seg: ShmSegment, config: &NosvConfig) -> Scheduler {
+        assert!(config.cpus <= MAX_CPUS, "too many CPUs for the scheduler");
+        assert!(config.numa_nodes() <= MAX_NUMA, "too many NUMA nodes");
+        let root: Shoff<SchedRoot> = seg
+            .alloc_zeroed(std::mem::size_of::<SchedRoot>(), 0)
+            .expect("segment too small for scheduler root")
+            .cast();
+        // Zeroed SchedRoot is valid: empty queues, inactive processes.
+        Scheduler {
+            seg,
+            root,
+            // Waiters are at most one worker per CPU, plus headroom for
+            // submitter threads taking the plain lock path.
+            lock: DtLock::new((), config.cpus + 64),
+            cpus: config.cpus,
+            cpus_per_numa: config.cpus_per_numa,
+            quantum_ns: config.quantum_ns,
+        }
+    }
+
+    fn root(&self) -> &SchedRoot {
+        // SAFETY: allocated zeroed at construction, never freed before drop.
+        unsafe { self.seg.sref(self.root) }
+    }
+
+    fn desc(&self, t: ReadyTask) -> &TaskDesc {
+        // SAFETY: ready tasks are alive while queued/owned by the scheduler.
+        unsafe { self.seg.sref(t) }
+    }
+
+    fn numa_of(&self, cpu: usize) -> usize {
+        if self.cpus_per_numa == 0 {
+            0
+        } else {
+            cpu / self.cpus_per_numa
+        }
+    }
+
+    pub(crate) fn register_proc(&self, slot: u32, pid: u64) {
+        let p = &self.root().procs[slot as usize];
+        p.pid.store(pid, Ordering::Relaxed);
+        p.app_priority.store(0, Ordering::Relaxed);
+        p.active.store(1, Ordering::Release);
+    }
+
+    pub(crate) fn unregister_proc(&self, slot: u32) {
+        let p = &self.root().procs[slot as usize];
+        assert!(
+            p.queue.is_empty(),
+            "process detached with ready tasks still queued"
+        );
+        p.active.store(0, Ordering::Release);
+        p.pid.store(0, Ordering::Relaxed);
+    }
+
+    pub(crate) fn set_app_priority(&self, slot: u32, priority: i32) {
+        self.root().procs[slot as usize]
+            .app_priority
+            .store(priority as u32, Ordering::Relaxed);
+    }
+
+    /// Whether any task is ready (fast, lock-free check for idle loops).
+    pub(crate) fn has_ready(&self) -> bool {
+        self.root().total_ready.load(Ordering::Acquire) > 0
+    }
+
+    /// Inserts a ready task into the queue its affinity designates.
+    pub(crate) fn submit(&self, task: ReadyTask) {
+        let g = self.lock.lock();
+        self.enqueue_locked(task);
+        drop(g);
+    }
+
+    fn enqueue_locked(&self, task: ReadyTask) {
+        let root = self.root();
+        let d = self.desc(task);
+        let affinity = Affinity::decode(d.affinity.load(Ordering::Relaxed));
+        match affinity {
+            Affinity::Core { index, .. } => {
+                root.cores[index % self.cpus].queue.push(&self.seg, task);
+            }
+            Affinity::Numa { index, .. } => {
+                let n = index % self.numa_nodes();
+                root.numas[n].push(&self.seg, task);
+            }
+            Affinity::None => {
+                let slot = d.slot.load(Ordering::Relaxed) as usize;
+                root.procs[slot].queue.push(&self.seg, task);
+            }
+        }
+        root.total_ready.fetch_add(1, Ordering::Release);
+    }
+
+    fn numa_nodes(&self) -> usize {
+        if self.cpus_per_numa == 0 {
+            1
+        } else {
+            self.cpus.div_ceil(self.cpus_per_numa)
+        }
+    }
+
+    /// Fetches the next task for `cpu`, either by winning the DTLock and
+    /// scheduling (also serving all waiting CPUs), or by being served.
+    pub(crate) fn get_task(
+        &self,
+        cpu: usize,
+        now_ns: u64,
+        counters: &Counters,
+    ) -> Option<ReadyTask> {
+        if !self.has_ready() {
+            return None;
+        }
+        match self.lock.acquire(cpu as u64) {
+            Acquired::Served(task) => {
+                counters.delegations_served.fetch_add(1, Ordering::Relaxed);
+                Some(task)
+            }
+            Acquired::Holder(mut guard) => {
+                let mine = self.pick_for_cpu(cpu, now_ns, counters);
+                // Serve every waiting CPU we can see while we are the
+                // server — the DTLock delegation pattern (§3.4).
+                while let Some(meta) = guard.next_waiter_meta() {
+                    match self.pick_for_cpu(meta as usize, now_ns, counters) {
+                        Some(task) => {
+                            if let Err(task) = guard.serve_next(task) {
+                                // Waiter vanished mid-publication: requeue.
+                                self.enqueue_locked(task);
+                                break;
+                            }
+                        }
+                        None => break,
+                    }
+                }
+                mine
+            }
+        }
+    }
+
+    /// The scheduling decision for one CPU. Caller holds the lock.
+    fn pick_for_cpu(&self, cpu: usize, now_ns: u64, counters: &Counters) -> Option<ReadyTask> {
+        let root = self.root();
+        let cpu = cpu % self.cpus;
+
+        // 1. This core's affinity queue (strict and best-effort alike).
+        let picked = root.cores[cpu]
+            .queue
+            .pop(&self.seg)
+            // 2. This core's NUMA node queue.
+            .or_else(|| root.numas[self.numa_of(cpu)].pop(&self.seg))
+            // 3. Process queues, by preference + quantum + priority.
+            .or_else(|| self.pick_from_processes(cpu, now_ns, counters))
+            // 4. Steal a best-effort task parked elsewhere.
+            .or_else(|| self.steal(cpu, counters));
+
+        let task = picked?;
+        root.total_ready.fetch_sub(1, Ordering::Release);
+
+        // Update the core's quantum accounting to the task's process.
+        let pid = self.desc(task).pid.load(Ordering::Relaxed);
+        let core = &root.cores[cpu];
+        if core.current_pid.load(Ordering::Relaxed) != pid {
+            core.current_pid.store(pid, Ordering::Relaxed);
+            core.since_ns.store(now_ns, Ordering::Relaxed);
+        }
+        Some(task)
+    }
+
+    fn pick_from_processes(
+        &self,
+        cpu: usize,
+        now_ns: u64,
+        counters: &Counters,
+    ) -> Option<ReadyTask> {
+        let root = self.root();
+        let mut candidates: Vec<CandidateProc> = Vec::with_capacity(4);
+        let mut slots: Vec<usize> = Vec::with_capacity(4);
+        for (slot, p) in root.procs.iter().enumerate() {
+            if p.active.load(Ordering::Relaxed) == 1 {
+                if let Some(top) = p.queue.head_priority(&self.seg) {
+                    candidates.push(CandidateProc {
+                        pid: p.pid.load(Ordering::Relaxed),
+                        app_priority: p.app_priority.load(Ordering::Relaxed) as i32,
+                        top_task_priority: top,
+                    });
+                    slots.push(slot);
+                }
+            }
+        }
+        let core_state = CoreQuantum {
+            current_pid: root.cores[cpu].current_pid.load(Ordering::Relaxed),
+            since_ns: root.cores[cpu].since_ns.load(Ordering::Relaxed),
+        };
+        let mut rr = root.rr_cursor.load(Ordering::Relaxed);
+        let decision =
+            policy::pick_process(&core_state, self.quantum_ns, now_ns, &candidates, &mut rr)?;
+        root.rr_cursor.store(rr, Ordering::Relaxed);
+        if decision.quantum_expired {
+            counters.quantum_switches.fetch_add(1, Ordering::Relaxed);
+        }
+        let idx = candidates.iter().position(|c| c.pid == decision.pid)?;
+        root.procs[slots[idx]].queue.pop(&self.seg)
+    }
+
+    /// Steals a best-effort affinity task from another core or NUMA queue.
+    fn steal(&self, cpu: usize, counters: &Counters) -> Option<ReadyTask> {
+        let root = self.root();
+        let not_strict =
+            |d: &TaskDesc| !Affinity::decode(d.affinity.load(Ordering::Relaxed)).is_strict();
+        for i in 1..self.cpus {
+            let victim = (cpu + i) % self.cpus;
+            if let Some(t) = root.cores[victim]
+                .queue
+                .pop_if(&self.seg, STEAL_SCAN_LIMIT, not_strict)
+            {
+                counters.affinity_steals.fetch_add(1, Ordering::Relaxed);
+                return Some(t);
+            }
+        }
+        let my_numa = self.numa_of(cpu);
+        for n in 0..self.numa_nodes() {
+            if n == my_numa {
+                continue;
+            }
+            if let Some(t) = root.numas[n].pop_if(&self.seg, STEAL_SCAN_LIMIT, not_strict) {
+                counters.affinity_steals.fetch_add(1, Ordering::Relaxed);
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Racy snapshot for observability.
+    pub(crate) fn snapshot(&self) -> SchedulerSnapshot {
+        let root = self.root();
+        SchedulerSnapshot {
+            total_ready: root.total_ready.load(Ordering::Relaxed),
+            per_process: root
+                .procs
+                .iter()
+                .filter(|p| p.active.load(Ordering::Relaxed) == 1)
+                .map(|p| (p.pid.load(Ordering::Relaxed), p.queue.len()))
+                .collect(),
+            per_core_pid: (0..self.cpus)
+                .map(|c| root.cores[c].current_pid.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskState;
+    use nosv_shmem::SegmentConfig;
+
+    fn setup(cpus: usize, cpus_per_numa: usize, quantum_ns: u64) -> (ShmSegment, Scheduler) {
+        let seg = ShmSegment::create(SegmentConfig {
+            size: 8 * 1024 * 1024,
+            max_cpus: cpus,
+        });
+        let cfg = NosvConfig {
+            cpus,
+            cpus_per_numa,
+            quantum_ns,
+            ..Default::default()
+        };
+        let sched = Scheduler::new(seg.clone(), &cfg);
+        (seg, sched)
+    }
+
+    fn mk_task(
+        seg: &ShmSegment,
+        id: u64,
+        slot: u32,
+        pid: u64,
+        priority: i32,
+        affinity: Affinity,
+    ) -> ReadyTask {
+        let off: Shoff<TaskDesc> = seg
+            .alloc_zeroed(std::mem::size_of::<TaskDesc>(), 0)
+            .unwrap()
+            .cast();
+        // SAFETY: fresh zeroed descriptor.
+        let d = unsafe { seg.sref(off) };
+        d.id.store(id, Ordering::Relaxed);
+        d.slot.store(slot, Ordering::Relaxed);
+        d.pid.store(pid, Ordering::Relaxed);
+        d.priority.store(priority as u32, Ordering::Relaxed);
+        d.affinity.store(affinity.encode(), Ordering::Relaxed);
+        d.set_state(TaskState::Ready);
+        off
+    }
+
+    fn id_of(seg: &ShmSegment, t: ReadyTask) -> u64 {
+        unsafe { seg.sref(t) }.id.load(Ordering::Relaxed)
+    }
+
+    #[test]
+    fn single_process_fifo() {
+        let (seg, sched) = setup(2, 0, 1_000_000);
+        let c = Counters::default();
+        sched.register_proc(0, 10);
+        for id in 0..3 {
+            sched.submit(mk_task(&seg, id, 0, 10, 0, Affinity::None));
+        }
+        assert!(sched.has_ready());
+        for id in 0..3 {
+            let t = sched.get_task(0, 0, &c).unwrap();
+            assert_eq!(id_of(&seg, t), id);
+        }
+        assert!(!sched.has_ready());
+        assert!(sched.get_task(0, 0, &c).is_none());
+    }
+
+    #[test]
+    fn process_preference_sticks_within_quantum() {
+        let (seg, sched) = setup(1, 0, 1_000_000);
+        let c = Counters::default();
+        sched.register_proc(0, 10);
+        sched.register_proc(1, 20);
+        // Interleave submissions from two processes.
+        for id in 0..4 {
+            sched.submit(mk_task(&seg, 100 + id, 0, 10, 0, Affinity::None));
+            sched.submit(mk_task(&seg, 200 + id, 1, 20, 0, Affinity::None));
+        }
+        // Within the quantum the core should drain one process first.
+        let first = sched.get_task(0, 0, &c).unwrap();
+        let first_pid = unsafe { seg.sref(first) }.pid.load(Ordering::Relaxed);
+        for _ in 0..3 {
+            let t = sched.get_task(0, 10, &c).unwrap();
+            assert_eq!(
+                unsafe { seg.sref(t) }.pid.load(Ordering::Relaxed),
+                first_pid,
+                "process preference must hold inside the quantum"
+            );
+        }
+        // Only the other process remains.
+        let t = sched.get_task(0, 20, &c).unwrap();
+        assert_ne!(unsafe { seg.sref(t) }.pid.load(Ordering::Relaxed), first_pid);
+    }
+
+    #[test]
+    fn quantum_expiry_switches_processes() {
+        let (seg, sched) = setup(1, 0, 100);
+        let c = Counters::default();
+        sched.register_proc(0, 10);
+        sched.register_proc(1, 20);
+        for id in 0..4 {
+            sched.submit(mk_task(&seg, 100 + id, 0, 10, 0, Affinity::None));
+            sched.submit(mk_task(&seg, 200 + id, 1, 20, 0, Affinity::None));
+        }
+        let t0 = sched.get_task(0, 0, &c).unwrap();
+        let pid0 = unsafe { seg.sref(t0) }.pid.load(Ordering::Relaxed);
+        // Past the quantum: the next pick must switch processes.
+        let t1 = sched.get_task(0, 500, &c).unwrap();
+        let pid1 = unsafe { seg.sref(t1) }.pid.load(Ordering::Relaxed);
+        assert_ne!(pid0, pid1);
+        assert_eq!(c.quantum_switches.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn strict_core_affinity_is_never_stolen() {
+        let (seg, sched) = setup(4, 0, 1_000_000);
+        let c = Counters::default();
+        sched.register_proc(0, 10);
+        sched.submit(mk_task(
+            &seg,
+            1,
+            0,
+            10,
+            0,
+            Affinity::Core {
+                index: 2,
+                strict: true,
+            },
+        ));
+        // CPUs 0, 1, 3 must not get it.
+        for cpu in [0usize, 1, 3] {
+            assert!(sched.get_task(cpu, 0, &c).is_none(), "cpu {cpu} stole");
+        }
+        let t = sched.get_task(2, 0, &c).unwrap();
+        assert_eq!(id_of(&seg, t), 1);
+    }
+
+    #[test]
+    fn best_effort_affinity_is_stolen_when_idle() {
+        let (seg, sched) = setup(4, 0, 1_000_000);
+        let c = Counters::default();
+        sched.register_proc(0, 10);
+        sched.submit(mk_task(
+            &seg,
+            1,
+            0,
+            10,
+            0,
+            Affinity::Core {
+                index: 2,
+                strict: false,
+            },
+        ));
+        let t = sched.get_task(0, 0, &c).unwrap();
+        assert_eq!(id_of(&seg, t), 1);
+        assert_eq!(c.affinity_steals.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn numa_affinity_routes_to_node_cpus() {
+        // 4 CPUs, 2 per NUMA node.
+        let (seg, sched) = setup(4, 2, 1_000_000);
+        let c = Counters::default();
+        sched.register_proc(0, 10);
+        sched.submit(mk_task(
+            &seg,
+            1,
+            0,
+            10,
+            0,
+            Affinity::Numa {
+                index: 1,
+                strict: true,
+            },
+        ));
+        // Node 0 CPUs see nothing.
+        assert!(sched.get_task(0, 0, &c).is_none());
+        assert!(sched.get_task(1, 0, &c).is_none());
+        // Node 1 CPU gets it.
+        let t = sched.get_task(3, 0, &c).unwrap();
+        assert_eq!(id_of(&seg, t), 1);
+    }
+
+    #[test]
+    fn app_priority_beats_round_robin() {
+        let (seg, sched) = setup(1, 0, 1_000_000);
+        let c = Counters::default();
+        sched.register_proc(0, 10);
+        sched.register_proc(1, 20);
+        sched.set_app_priority(1, 5);
+        sched.submit(mk_task(&seg, 100, 0, 10, 0, Affinity::None));
+        sched.submit(mk_task(&seg, 200, 1, 20, 0, Affinity::None));
+        let t = sched.get_task(0, 0, &c).unwrap();
+        assert_eq!(id_of(&seg, t), 200, "high-app-priority process first");
+    }
+
+    #[test]
+    fn task_priority_orders_within_process() {
+        let (seg, sched) = setup(1, 0, 1_000_000);
+        let c = Counters::default();
+        sched.register_proc(0, 10);
+        sched.submit(mk_task(&seg, 1, 0, 10, 0, Affinity::None));
+        sched.submit(mk_task(&seg, 2, 0, 10, 9, Affinity::None));
+        sched.submit(mk_task(&seg, 3, 0, 10, 4, Affinity::None));
+        let order: Vec<u64> = (0..3)
+            .map(|_| id_of(&seg, sched.get_task(0, 0, &c).unwrap()))
+            .collect();
+        assert_eq!(order, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn snapshot_reports_queues() {
+        let (seg, sched) = setup(2, 0, 1_000_000);
+        sched.register_proc(0, 10);
+        sched.submit(mk_task(&seg, 1, 0, 10, 0, Affinity::None));
+        sched.submit(mk_task(&seg, 2, 0, 10, 0, Affinity::None));
+        let snap = sched.snapshot();
+        assert_eq!(snap.total_ready, 2);
+        assert_eq!(snap.per_process, vec![(10, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ready tasks still queued")]
+    fn unregister_with_queued_tasks_panics() {
+        let (seg, sched) = setup(1, 0, 1_000_000);
+        sched.register_proc(0, 10);
+        sched.submit(mk_task(&seg, 1, 0, 10, 0, Affinity::None));
+        sched.unregister_proc(0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Runtime counters used by tests, benches and the evaluation harnesses.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal counter block (host-side; written by workers and the scheduler).
+#[derive(Default)]
+pub(crate) struct Counters {
+    pub tasks_executed: AtomicU64,
+    pub tasks_submitted: AtomicU64,
+    pub delegations_served: AtomicU64,
+    pub cross_process_handoffs: AtomicU64,
+    pub resumes: AtomicU64,
+    pub pauses: AtomicU64,
+    pub quantum_switches: AtomicU64,
+    pub affinity_steals: AtomicU64,
+    pub workers_spawned: AtomicU64,
+}
+
+impl Counters {
+    pub(crate) fn snapshot(&self) -> RuntimeStats {
+        RuntimeStats {
+            tasks_executed: self.tasks_executed.load(Ordering::Relaxed),
+            tasks_submitted: self.tasks_submitted.load(Ordering::Relaxed),
+            delegations_served: self.delegations_served.load(Ordering::Relaxed),
+            cross_process_handoffs: self.cross_process_handoffs.load(Ordering::Relaxed),
+            resumes: self.resumes.load(Ordering::Relaxed),
+            pauses: self.pauses.load(Ordering::Relaxed),
+            quantum_switches: self.quantum_switches.load(Ordering::Relaxed),
+            affinity_steals: self.affinity_steals.load(Ordering::Relaxed),
+            workers_spawned: self.workers_spawned.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A snapshot of the runtime's counters.
+///
+/// These counters are the observable side of the paper's design claims and
+/// are asserted on by the integration tests: e.g. the process-preference
+/// policy should keep [`RuntimeStats::cross_process_handoffs`] low relative
+/// to tasks executed, while quantum expiry guarantees
+/// [`RuntimeStats::quantum_switches`] is nonzero under sustained
+/// co-execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Task bodies run to completion.
+    pub tasks_executed: u64,
+    /// `submit` calls (initial submissions and resubmissions of paused tasks).
+    pub tasks_submitted: u64,
+    /// Tasks handed to waiting CPUs through DTLock delegation rather than a
+    /// separate critical section.
+    pub delegations_served: u64,
+    /// Times a core was handed a task from a different process than the
+    /// worker that fetched it (each costs a thread context switch, §3.3).
+    pub cross_process_handoffs: u64,
+    /// Paused tasks resumed by waking their attached thread.
+    pub resumes: u64,
+    /// `pause` calls.
+    pub pauses: u64,
+    /// Process switches forced by quantum expiry (§3.4).
+    pub quantum_switches: u64,
+    /// Best-effort-affinity tasks executed away from their preferred
+    /// core/NUMA node.
+    pub affinity_steals: u64,
+    /// Worker threads created over the runtime's lifetime.
+    pub workers_spawned: u64,
+}

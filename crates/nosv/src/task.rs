@@ -1,0 +1,537 @@
+//! Task descriptors, handles, and builders (paper §3.2).
+//!
+//! A task is represented by a *descriptor* in the shared segment — the
+//! paper's `nosv_create` returns exactly such a descriptor, holding the
+//! creator PID, the run/completion callbacks, scheduling attributes and the
+//! intrusive link used by the shared scheduler's queues. The host-side
+//! [`TaskHandle`] owns the descriptor between `create` and `destroy`.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use nosv_shmem::{AtomicShoff, Shoff};
+use parking_lot::{Condvar, Mutex};
+
+/// Unique id of a task within a runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u64);
+
+/// Life-cycle state of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum TaskState {
+    /// Created, not yet submitted.
+    Created = 0,
+    /// In the shared scheduler, waiting for a core.
+    Ready = 1,
+    /// Executing on a worker thread.
+    Running = 2,
+    /// Paused via [`crate::pause`]; its thread is blocked and attached.
+    Paused = 3,
+    /// Body finished; safe to destroy.
+    Completed = 4,
+}
+
+impl TaskState {
+    pub(crate) fn from_u32(v: u32) -> TaskState {
+        match v {
+            0 => TaskState::Created,
+            1 => TaskState::Ready,
+            2 => TaskState::Running,
+            3 => TaskState::Paused,
+            4 => TaskState::Completed,
+            other => panic!("corrupt task state {other}"),
+        }
+    }
+}
+
+/// Per-task scheduling affinity (§3.4's locality policy).
+///
+/// `strict` affinity restricts execution to the named core/NUMA node;
+/// best-effort (`strict = false`) prefers it but allows any idle core to
+/// steal the task, trading locality for utilization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Affinity {
+    /// No placement preference (the default).
+    #[default]
+    None,
+    /// Prefer or require a specific core.
+    Core {
+        /// Target core index.
+        index: usize,
+        /// Whether the placement is mandatory.
+        strict: bool,
+    },
+    /// Prefer or require a specific NUMA node.
+    Numa {
+        /// Target NUMA node index.
+        index: usize,
+        /// Whether the placement is mandatory.
+        strict: bool,
+    },
+}
+
+const AFF_KIND_NONE: u64 = 0;
+const AFF_KIND_CORE: u64 = 1;
+const AFF_KIND_NUMA: u64 = 2;
+const AFF_STRICT: u64 = 1 << 2;
+
+impl Affinity {
+    pub(crate) fn encode(self) -> u64 {
+        match self {
+            Affinity::None => AFF_KIND_NONE,
+            Affinity::Core { index, strict } => {
+                AFF_KIND_CORE | if strict { AFF_STRICT } else { 0 } | ((index as u64) << 8)
+            }
+            Affinity::Numa { index, strict } => {
+                AFF_KIND_NUMA | if strict { AFF_STRICT } else { 0 } | ((index as u64) << 8)
+            }
+        }
+    }
+
+    pub(crate) fn decode(raw: u64) -> Affinity {
+        let strict = raw & AFF_STRICT != 0;
+        let index = (raw >> 8) as usize;
+        match raw & 0b11 {
+            AFF_KIND_CORE => Affinity::Core { index, strict },
+            AFF_KIND_NUMA => Affinity::Numa { index, strict },
+            _ => Affinity::None,
+        }
+    }
+
+    /// Whether the affinity is strict (placement mandatory).
+    pub fn is_strict(self) -> bool {
+        matches!(
+            self,
+            Affinity::Core { strict: true, .. } | Affinity::Numa { strict: true, .. }
+        )
+    }
+}
+
+/// Run and completion callbacks, boxed host-side.
+///
+/// The descriptor stores only a thin raw pointer to this box. In the real
+/// multi-process system the descriptor holds function pointers that are only
+/// meaningful — and only ever dereferenced — inside the creating process;
+/// the invariant here is identical: callbacks are taken and called
+/// exclusively by worker threads of the creating logical process.
+pub(crate) struct TaskCallbacks {
+    pub run: Option<Box<dyn FnOnce(&TaskCtx) + Send + 'static>>,
+    pub completed: Option<Box<dyn FnOnce() + Send + 'static>>,
+}
+
+/// The in-segment task descriptor (`nosv_create`'s result in the paper).
+///
+/// `repr(C)`, offset-linked, fully position-independent. Fields mutated
+/// concurrently use atomics; queue links are mutated only under the shared
+/// scheduler lock.
+#[repr(C)]
+pub(crate) struct TaskDesc {
+    /// Current [`TaskState`].
+    pub state: AtomicU32,
+    /// Registry slot of the creating process (queue index).
+    pub slot: AtomicU32,
+    /// PID of the creating process ("the PID of the process on which the
+    /// task was created", §3.2).
+    pub pid: AtomicU64,
+    /// Unique task id.
+    pub id: AtomicU64,
+    /// Task priority (higher runs first within a process).
+    pub priority: AtomicU32,
+    /// Encoded [`Affinity`].
+    pub affinity: AtomicU64,
+    /// Intrusive link for the scheduler queue this task sits in.
+    pub next: AtomicShoff<TaskDesc>,
+    /// Raw `Box<TaskCallbacks>` (see [`TaskCallbacks`] for the safety
+    /// argument). 0 after the callbacks are taken for execution.
+    pub callbacks: AtomicU64,
+    /// Global index + 1 of the worker thread attached to this paused task;
+    /// 0 when no thread is attached (§3.3 resume protocol).
+    pub attached_worker: AtomicU64,
+    /// User metadata word (the paper's embedded metadata pointer).
+    pub metadata: AtomicU64,
+    /// Times this task has been submitted (initial + resumes).
+    pub submits: AtomicU64,
+    /// Raw `Arc<TaskSignal>` used to wake host-side waiters on completion.
+    /// Like `callbacks`, only touched by the creating process's side.
+    pub signal: AtomicU64,
+}
+
+impl TaskDesc {
+    pub(crate) fn state(&self) -> TaskState {
+        TaskState::from_u32(self.state.load(Ordering::Acquire))
+    }
+
+    pub(crate) fn set_state(&self, s: TaskState) {
+        self.state.store(s as u32, Ordering::Release);
+    }
+
+    /// Atomically transition `from -> to`; returns whether it happened.
+    pub(crate) fn transition(&self, from: TaskState, to: TaskState) -> bool {
+        self.state
+            .compare_exchange(from as u32, to as u32, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+}
+
+/// Host-side completion latch shared by [`TaskHandle`] and the worker that
+/// finishes the task.
+///
+/// Besides the plain mutex/condvar latch for external threads, the signal
+/// keeps a list of *paused tasks* waiting for this completion: a task that
+/// calls [`TaskHandle::wait`] from inside its body must not block its worker
+/// thread (that would pin a core), so it registers itself here and pauses;
+/// `complete` resubmits every registered waiter (§3.2: unblocking a paused
+/// task is done by submitting it again).
+pub(crate) struct TaskSignal {
+    pub done: Mutex<bool>,
+    pub cv: Condvar,
+    /// `(runtime, descriptor offset)` of paused tasks to resubmit.
+    waiters: Mutex<Vec<(Arc<crate::runtime::RuntimeInner>, u64)>>,
+}
+
+impl TaskSignal {
+    pub(crate) fn new() -> Arc<TaskSignal> {
+        Arc::new(TaskSignal {
+            done: Mutex::new(false),
+            cv: Condvar::new(),
+            waiters: Mutex::new(Vec::new()),
+        })
+    }
+
+    pub(crate) fn complete(&self) {
+        {
+            let mut done = self.done.lock();
+            *done = true;
+            self.cv.notify_all();
+        }
+        // Resubmit paused waiters. `submit` tolerates a waiter that has
+        // decided to pause but not yet transitioned (it spins on Running).
+        let waiters = std::mem::take(&mut *self.waiters.lock());
+        for (rt, desc_raw) in waiters {
+            rt.submit(Shoff::from_raw(desc_raw));
+        }
+    }
+
+    /// Registers a paused-task waiter unless the task already completed.
+    /// Returns whether the waiter was registered (false = already done).
+    pub(crate) fn register_task_waiter(
+        &self,
+        rt: &Arc<crate::runtime::RuntimeInner>,
+        desc_raw: u64,
+    ) -> bool {
+        let done = self.done.lock();
+        if *done {
+            return false;
+        }
+        self.waiters.lock().push((Arc::clone(rt), desc_raw));
+        true
+    }
+
+    pub(crate) fn wait(&self) {
+        let mut done = self.done.lock();
+        while !*done {
+            self.cv.wait(&mut done);
+        }
+    }
+}
+
+/// Builder for a task's scheduling attributes and callbacks.
+///
+/// ```
+/// use nosv::{Affinity, NosvConfig, Runtime, TaskBuilder};
+///
+/// let rt = Runtime::new(NosvConfig { cpus: 2, ..Default::default() });
+/// let app = rt.attach("builder-demo");
+/// let task = app.build_task(
+///     TaskBuilder::new()
+///         .priority(7)
+///         .affinity(Affinity::Core { index: 1, strict: false })
+///         .metadata(0xfeed)
+///         .run(|ctx| assert_eq!(ctx.metadata(), 0xfeed)),
+/// );
+/// task.submit();
+/// task.wait();
+/// task.destroy();
+/// drop(app);
+/// rt.shutdown();
+/// ```
+pub struct TaskBuilder {
+    pub(crate) priority: i32,
+    pub(crate) affinity: Affinity,
+    pub(crate) metadata: u64,
+    pub(crate) run: Option<Box<dyn FnOnce(&TaskCtx) + Send + 'static>>,
+    pub(crate) completed: Option<Box<dyn FnOnce() + Send + 'static>>,
+}
+
+impl TaskBuilder {
+    /// Starts a builder with default attributes (priority 0, no affinity).
+    pub fn new() -> TaskBuilder {
+        TaskBuilder {
+            priority: 0,
+            affinity: Affinity::None,
+            metadata: 0,
+            run: None,
+            completed: None,
+        }
+    }
+
+    /// Sets the task priority (higher executes first within its process).
+    pub fn priority(mut self, p: i32) -> Self {
+        self.priority = p;
+        self
+    }
+
+    /// Sets the task's [`Affinity`].
+    pub fn affinity(mut self, a: Affinity) -> Self {
+        self.affinity = a;
+        self
+    }
+
+    /// Attaches a user metadata word, readable via [`TaskCtx::metadata`].
+    pub fn metadata(mut self, m: u64) -> Self {
+        self.metadata = m;
+        self
+    }
+
+    /// Sets the run callback (the task body).
+    pub fn run(mut self, f: impl FnOnce(&TaskCtx) + Send + 'static) -> Self {
+        self.run = Some(Box::new(f));
+        self
+    }
+
+    /// Sets the completion callback, invoked by the worker right after the
+    /// body returns (used by runtimes built on top to release dependents).
+    pub fn on_completed(mut self, f: impl FnOnce() + Send + 'static) -> Self {
+        self.completed = Some(Box::new(f));
+        self
+    }
+}
+
+impl Default for TaskBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Context passed to a running task body.
+pub struct TaskCtx {
+    pub(crate) task_id: TaskId,
+    pub(crate) pid: u64,
+    pub(crate) metadata: u64,
+}
+
+impl TaskCtx {
+    /// Id of the running task.
+    pub fn task_id(&self) -> TaskId {
+        self.task_id
+    }
+
+    /// PID of the logical process that created the task.
+    pub fn pid(&self) -> u64 {
+        self.pid
+    }
+
+    /// The metadata word set at creation.
+    pub fn metadata(&self) -> u64 {
+        self.metadata
+    }
+
+    /// Pauses the running task — identical to the free function
+    /// [`crate::pause`], provided here for discoverability.
+    pub fn pause(&self) {
+        crate::pause();
+    }
+}
+
+/// Owning handle to a created task (`nosv_create`..`nosv_destroy`).
+///
+/// The handle submits, awaits and destroys the descriptor. Dropping a
+/// handle destroys the descriptor automatically if the task is in a state
+/// where that is safe ([`TaskState::Created`] or [`TaskState::Completed`]);
+/// otherwise the descriptor is leaked with a debug assertion, mirroring the
+/// paper's requirement that `nosv_destroy` be called only after the task
+/// finished.
+pub struct TaskHandle {
+    pub(crate) rt: Arc<crate::runtime::RuntimeInner>,
+    pub(crate) desc: Shoff<TaskDesc>,
+    pub(crate) id: TaskId,
+    pub(crate) signal: Arc<TaskSignal>,
+    pub(crate) destroyed: std::sync::atomic::AtomicBool,
+}
+
+impl TaskHandle {
+    /// Id of this task.
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// Current state of the task.
+    pub fn state(&self) -> TaskState {
+        // SAFETY: the descriptor is alive until destroy().
+        unsafe { self.rt.seg.sref(self.desc) }.state()
+    }
+
+    /// Submits the task to the shared scheduler (`nosv_submit`).
+    ///
+    /// Valid for freshly created tasks and for paused tasks (resubmission
+    /// unblocks them, §3.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task is ready, running, or completed.
+    pub fn submit(&self) {
+        self.rt.submit(self.desc);
+    }
+
+    /// Blocks until the task's body has completed.
+    ///
+    /// Safe to call from anywhere: from an external thread it blocks on a
+    /// latch; from *inside another task* it pauses the calling task instead
+    /// of pinning its worker thread and core (the paper's `nosv_pause`
+    /// "wait for an event" pattern), and resumes when this task completes.
+    pub fn wait(&self) {
+        if let Some(caller_raw) = crate::worker::current_task_raw() {
+            // Cooperative path: pause the calling task; completion of this
+            // task resubmits it.
+            loop {
+                if !self
+                    .signal
+                    .register_task_waiter(&self.rt, caller_raw)
+                {
+                    return; // already completed
+                }
+                crate::pause();
+            }
+        }
+        self.signal.wait();
+    }
+
+    /// Destroys the task (`nosv_destroy`), returning its shared memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the task is [`TaskState::Created`] (never submitted)
+    /// or [`TaskState::Completed`].
+    pub fn destroy(self) {
+        self.destroy_inner();
+    }
+
+    fn destroy_inner(&self) {
+        if self.destroyed.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let state = self.state();
+        assert!(
+            matches!(state, TaskState::Created | TaskState::Completed),
+            "nosv_destroy on a task in state {state:?}"
+        );
+        self.rt.destroy_task(self.desc);
+    }
+}
+
+impl fmt::Debug for TaskHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TaskHandle")
+            .field("id", &self.id)
+            .field("state", &self.state())
+            .finish()
+    }
+}
+
+impl Drop for TaskHandle {
+    fn drop(&mut self) {
+        if self.destroyed.load(Ordering::Acquire) {
+            return;
+        }
+        let state = self.state();
+        if matches!(state, TaskState::Created | TaskState::Completed) {
+            self.destroy_inner();
+        } else {
+            // Dropping a live task's handle leaks the descriptor: freeing it
+            // under a running worker would be use-after-free. Surface the
+            // bug loudly in debug builds.
+            debug_assert!(
+                false,
+                "TaskHandle dropped while task {:?} is {state:?}; descriptor leaked",
+                self.id
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affinity_encode_decode_roundtrip() {
+        for a in [
+            Affinity::None,
+            Affinity::Core {
+                index: 0,
+                strict: true,
+            },
+            Affinity::Core {
+                index: 63,
+                strict: false,
+            },
+            Affinity::Numa {
+                index: 3,
+                strict: true,
+            },
+            Affinity::Numa {
+                index: 0,
+                strict: false,
+            },
+        ] {
+            assert_eq!(Affinity::decode(a.encode()), a, "{a:?}");
+        }
+    }
+
+    #[test]
+    fn strictness() {
+        assert!(!Affinity::None.is_strict());
+        assert!(Affinity::Core {
+            index: 1,
+            strict: true
+        }
+        .is_strict());
+        assert!(!Affinity::Numa {
+            index: 1,
+            strict: false
+        }
+        .is_strict());
+    }
+
+    #[test]
+    fn state_roundtrip() {
+        for s in [
+            TaskState::Created,
+            TaskState::Ready,
+            TaskState::Running,
+            TaskState::Paused,
+            TaskState::Completed,
+        ] {
+            assert_eq!(TaskState::from_u32(s as u32), s);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt")]
+    fn bogus_state_panics() {
+        TaskState::from_u32(99);
+    }
+
+    #[test]
+    fn signal_latch() {
+        let s = TaskSignal::new();
+        let s2 = Arc::clone(&s);
+        let t = std::thread::spawn(move || s2.wait());
+        s.complete();
+        t.join().unwrap();
+        // Waiting after completion returns immediately.
+        s.wait();
+    }
+}

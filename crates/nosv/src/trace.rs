@@ -1,0 +1,106 @@
+//! Execution tracing (paper §5.3: "the tracing features of nOS-V, which
+//! allow us to extract detailed execution traces").
+//!
+//! When enabled in [`crate::NosvConfig`], workers append one event per
+//! scheduling action to a host-side buffer. The trace drives the
+//! Fig. 10-style per-core timeline output and several integration tests
+//! (e.g. "tasks always run on a thread of their creating process").
+
+use parking_lot::Mutex;
+
+use crate::task::TaskId;
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// Task entered the shared scheduler.
+    Submit,
+    /// Task body started on `cpu`.
+    Start,
+    /// Task body finished.
+    End,
+    /// Task paused (its thread blocked, core released).
+    Pause,
+    /// Paused task resumed on `cpu`.
+    Resume,
+    /// A core was handed from one process's worker to another's.
+    Handoff,
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Nanoseconds since runtime start.
+    pub t_ns: u64,
+    /// Core on which the event happened (`u32::MAX` when not core-bound,
+    /// e.g. a submit from a non-worker thread).
+    pub cpu: u32,
+    /// Logical process id owning the task.
+    pub pid: u64,
+    /// The task.
+    pub task: TaskId,
+    /// Event kind.
+    pub kind: TraceEventKind,
+}
+
+/// Trace collector; no-op unless enabled.
+pub(crate) struct TraceBuf {
+    enabled: bool,
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl TraceBuf {
+    pub(crate) fn new(enabled: bool) -> TraceBuf {
+        TraceBuf {
+            enabled,
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn record(&self, ev: TraceEvent) {
+        if self.enabled {
+            self.events.lock().push(ev);
+        }
+    }
+
+    pub(crate) fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock())
+    }
+
+    pub(crate) fn enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: TraceEventKind) -> TraceEvent {
+        TraceEvent {
+            t_ns: 1,
+            cpu: 0,
+            pid: 1,
+            task: TaskId(1),
+            kind,
+        }
+    }
+
+    #[test]
+    fn disabled_buffer_records_nothing() {
+        let b = TraceBuf::new(false);
+        b.record(ev(TraceEventKind::Start));
+        assert!(b.take().is_empty());
+        assert!(!b.enabled());
+    }
+
+    #[test]
+    fn take_drains() {
+        let b = TraceBuf::new(true);
+        b.record(ev(TraceEventKind::Submit));
+        b.record(ev(TraceEventKind::Start));
+        assert_eq!(b.take().len(), 2);
+        assert!(b.take().is_empty());
+    }
+}

@@ -1,0 +1,380 @@
+//! Worker threads, the CPU manager protocol, and `nosv_pause` (paper §3.3).
+//!
+//! The invariant the whole design revolves around: **at any instant, each
+//! logical core has at most one runnable worker thread**, no matter how many
+//! processes are attached. Cores change hands only at explicit transfer
+//! points, each of which deactivates the current worker and activates
+//! exactly one successor:
+//!
+//! * **cross-process handoff** — a worker pulls a task belonging to another
+//!   process, wakes (or spawns) a worker of that process on its core, and
+//!   parks itself in its process's idle pool;
+//! * **pause** — a task blocks; its thread stays attached to it
+//!   (preserving the full pthread context, TLS included) and a replacement
+//!   worker takes over the core;
+//! * **resume** — a worker pulls a resubmitted paused task, wakes the
+//!   attached thread on its core, and parks itself.
+//!
+//! Workers communicate through single-slot mailboxes ([`Assignment`]):
+//! parked workers block on their mailbox; idle cores block on the runtime's
+//! idle gate until a submission arrives (the futex-idle behaviour of §5.2's
+//! "oversubscription idle" baseline — nOS-V never busy-waits for work).
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use nosv_shmem::Shoff;
+use parking_lot::{Condvar, Mutex};
+
+use crate::runtime::RuntimeInner;
+use crate::scheduler::ReadyTask;
+use crate::task::{TaskCallbacks, TaskCtx, TaskDesc, TaskId, TaskSignal, TaskState};
+use crate::trace::TraceEventKind;
+
+/// A work order delivered to a worker's mailbox.
+pub(crate) enum Assignment {
+    /// Take over `core` and pull tasks from the shared scheduler.
+    Pull {
+        /// The core to manage.
+        core: usize,
+    },
+    /// Take over `core` and execute `task` (cross-process handoff target).
+    RunTask {
+        /// The core to manage after the task.
+        core: usize,
+        /// The task to execute.
+        task: ReadyTask,
+    },
+    /// Continue a paused task on `core` (delivered inside [`pause`]).
+    Resume {
+        /// The core the task resumes on.
+        core: usize,
+    },
+}
+
+/// State shared between a worker thread and everyone who may wake it.
+pub(crate) struct WorkerShared {
+    /// Global index in the runtime's worker table.
+    pub index: usize,
+    /// PID of the process this worker belongs to (tasks of other processes
+    /// are never executed on this thread).
+    pub pid: u64,
+    mailbox: Mutex<Option<Assignment>>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl WorkerShared {
+    pub(crate) fn new(index: usize, pid: u64) -> Arc<WorkerShared> {
+        Arc::new(WorkerShared {
+            index,
+            pid,
+            mailbox: Mutex::new(None),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    /// Delivers an assignment. The mailbox must be empty: a worker only
+    /// becomes assignable after parking, and each transfer point assigns
+    /// exactly once.
+    pub(crate) fn assign(&self, a: Assignment) {
+        let mut m = self.mailbox.lock();
+        debug_assert!(m.is_none(), "double assignment to worker {}", self.index);
+        *m = Some(a);
+        self.cv.notify_one();
+    }
+
+    /// Signals the worker to exit once its mailbox drains.
+    pub(crate) fn signal_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        let _m = self.mailbox.lock();
+        self.cv.notify_one();
+    }
+
+    /// Blocks until an assignment (or shutdown) arrives.
+    fn wait(&self) -> Option<Assignment> {
+        let mut m = self.mailbox.lock();
+        loop {
+            if let Some(a) = m.take() {
+                return Some(a);
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            self.cv.wait(&mut m);
+        }
+    }
+}
+
+struct WorkerTls {
+    rt: Arc<RuntimeInner>,
+    me: Arc<WorkerShared>,
+    core: Cell<usize>,
+    /// Raw offset of the currently executing task (0 = none).
+    current_task: Cell<u64>,
+}
+
+thread_local! {
+    static TLS: RefCell<Option<WorkerTls>> = const { RefCell::new(None) };
+}
+
+/// The core the calling worker currently manages, if the caller is a worker.
+pub(crate) fn current_core() -> Option<usize> {
+    TLS.with(|t| t.borrow().as_ref().map(|w| w.core.get()))
+}
+
+/// Raw descriptor offset of the task executing on this thread, if any.
+pub(crate) fn current_task_raw() -> Option<u64> {
+    TLS.with(|t| {
+        t.borrow().as_ref().and_then(|w| {
+            let raw = w.current_task.get();
+            if raw == 0 {
+                None
+            } else {
+                Some(raw)
+            }
+        })
+    })
+}
+
+fn with_tls<R>(f: impl FnOnce(&WorkerTls) -> R) -> Option<R> {
+    TLS.with(|t| t.borrow().as_ref().map(f))
+}
+
+enum LoopExit {
+    /// The worker parked itself (core transferred); wait for reassignment.
+    Parked,
+    /// Runtime shutdown observed.
+    Shutdown,
+}
+
+/// Entry point of every worker thread.
+pub(crate) fn worker_main(rt: Arc<RuntimeInner>, me: Arc<WorkerShared>) {
+    TLS.with(|t| {
+        *t.borrow_mut() = Some(WorkerTls {
+            rt: Arc::clone(&rt),
+            me: Arc::clone(&me),
+            core: Cell::new(usize::MAX),
+            current_task: Cell::new(0),
+        });
+    });
+    loop {
+        let Some(assignment) = me.wait() else { break };
+        match assignment {
+            Assignment::Pull { core } => set_core(core),
+            Assignment::RunTask { core, task } => {
+                set_core(core);
+                execute(&rt, task);
+            }
+            Assignment::Resume { .. } => {
+                unreachable!("Resume must be delivered to a thread blocked in pause()")
+            }
+        }
+        match pull_loop(&rt, &me) {
+            LoopExit::Parked => continue,
+            LoopExit::Shutdown => break,
+        }
+    }
+    TLS.with(|t| *t.borrow_mut() = None);
+}
+
+fn set_core(core: usize) {
+    with_tls(|w| w.core.set(core)).expect("worker TLS missing");
+}
+
+/// Pulls and dispatches tasks on the current core until the core is handed
+/// to another worker or the runtime shuts down.
+fn pull_loop(rt: &Arc<RuntimeInner>, me: &Arc<WorkerShared>) -> LoopExit {
+    loop {
+        if rt.shutdown.load(Ordering::Acquire) {
+            return LoopExit::Shutdown;
+        }
+        let core = with_tls(|w| w.core.get()).expect("worker TLS missing");
+        debug_assert_ne!(core, usize::MAX);
+        match rt.sched.get_task(core, rt.now_ns(), &rt.counters) {
+            Some(task) => {
+                // SAFETY: a task handed out by the scheduler is alive.
+                let d = unsafe { rt.seg.sref(task) };
+                let attached = d.attached_worker.swap(0, Ordering::AcqRel);
+                if attached != 0 {
+                    // Resume handoff: wake the thread attached to this
+                    // paused task on our core; park ourselves.
+                    resume_handoff(rt, me, core, task, attached as usize - 1);
+                    return LoopExit::Parked;
+                }
+                let pid = d.pid.load(Ordering::Relaxed);
+                if pid == me.pid {
+                    execute(rt, task);
+                } else {
+                    // Cross-process handoff: the task must run on a thread
+                    // of its creating process (§3.3).
+                    cross_process_handoff(rt, me, core, task, pid);
+                    return LoopExit::Parked;
+                }
+            }
+            None => {
+                // Idle: block on the runtime's gate until a submission.
+                // The check-under-lock protocol prevents lost wakeups; the
+                // timeout is defence in depth only.
+                let mut g = rt.idle_mutex.lock();
+                if rt.shutdown.load(Ordering::Acquire) {
+                    return LoopExit::Shutdown;
+                }
+                if rt.sched.has_ready() {
+                    continue;
+                }
+                rt.idle_cv
+                    .wait_for(&mut g, Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+fn resume_handoff(
+    rt: &Arc<RuntimeInner>,
+    me: &Arc<WorkerShared>,
+    core: usize,
+    task: ReadyTask,
+    worker_index: usize,
+) {
+    // SAFETY: task alive (scheduler contract).
+    let d = unsafe { rt.seg.sref(task) };
+    d.set_state(TaskState::Running);
+    rt.counters.resumes.fetch_add(1, Ordering::Relaxed);
+    rt.trace_event(
+        TraceEventKind::Resume,
+        core as u32,
+        d.pid.load(Ordering::Relaxed),
+        TaskId(d.id.load(Ordering::Relaxed)),
+    );
+    let target = rt.worker_by_index(worker_index);
+    rt.park_worker(me);
+    target.assign(Assignment::Resume { core });
+}
+
+fn cross_process_handoff(
+    rt: &Arc<RuntimeInner>,
+    me: &Arc<WorkerShared>,
+    core: usize,
+    task: ReadyTask,
+    pid: u64,
+) {
+    // SAFETY: task alive.
+    let d = unsafe { rt.seg.sref(task) };
+    rt.counters
+        .cross_process_handoffs
+        .fetch_add(1, Ordering::Relaxed);
+    rt.trace_event(
+        TraceEventKind::Handoff,
+        core as u32,
+        pid,
+        TaskId(d.id.load(Ordering::Relaxed)),
+    );
+    let target = rt.worker_for_process(pid);
+    rt.park_worker(me);
+    target.assign(Assignment::RunTask { core, task });
+}
+
+/// Executes a task body on the calling worker thread.
+fn execute(rt: &Arc<RuntimeInner>, task: ReadyTask) {
+    // SAFETY: task alive until destroy, which the state machine forbids
+    // before completion.
+    let d = unsafe { rt.seg.sref(task) };
+    d.set_state(TaskState::Running);
+    let id = TaskId(d.id.load(Ordering::Relaxed));
+    let pid = d.pid.load(Ordering::Relaxed);
+    let metadata = d.metadata.load(Ordering::Relaxed);
+    let core = with_tls(|w| w.core.get()).expect("worker TLS missing");
+    rt.trace_event(TraceEventKind::Start, core as u32, pid, id);
+
+    let cbs_raw = d.callbacks.swap(0, Ordering::AcqRel);
+    assert_ne!(cbs_raw, 0, "task {id:?} has no callbacks (executed twice?)");
+    // SAFETY: the raw pointer was produced by Box::into_raw at creation and
+    // uniquely taken here (the swap gives us sole ownership).
+    let mut cbs = unsafe { Box::from_raw(cbs_raw as *mut TaskCallbacks) };
+
+    with_tls(|w| w.current_task.set(task.raw()));
+    let ctx = TaskCtx {
+        task_id: id,
+        pid,
+        metadata,
+    };
+    if let Some(run) = cbs.run.take() {
+        run(&ctx);
+    }
+    with_tls(|w| w.current_task.set(0));
+
+    d.set_state(TaskState::Completed);
+    // The core may have changed if the body paused and resumed elsewhere.
+    let end_core = with_tls(|w| w.core.get()).unwrap_or(core);
+    rt.trace_event(TraceEventKind::End, end_core as u32, pid, id);
+    // Order matters: the pending count must drop *before* any completion
+    // notification fires — both the user's completion callback (through
+    // which e.g. a taskwait may return) and the handle signal — so that
+    // code observing "all my tasks finished" immediately sees a consistent
+    // runtime (e.g. `shutdown()`'s no-pending check).
+    rt.counters.tasks_executed.fetch_add(1, Ordering::Relaxed);
+    rt.pending_tasks.fetch_sub(1, Ordering::AcqRel);
+    if let Some(completed) = cbs.completed.take() {
+        completed();
+    }
+    let sig_raw = d.signal.swap(0, Ordering::AcqRel);
+    if sig_raw != 0 {
+        // SAFETY: produced by Arc::into_raw at creation; taken exactly once.
+        let sig = unsafe { Arc::from_raw(sig_raw as *const TaskSignal) };
+        sig.complete();
+    }
+}
+
+/// Pauses the currently running task (`nosv_pause`, §3.2–3.3).
+///
+/// The calling thread blocks with the task attached; a replacement worker
+/// takes over the core. The task resumes — on whatever core picks it —
+/// after someone resubmits it with [`crate::TaskHandle::submit`].
+///
+/// # Panics
+///
+/// Panics if called from outside a task body.
+pub fn pause() {
+    let (rt, me, core, task_raw) = with_tls(|w| {
+        (
+            Arc::clone(&w.rt),
+            Arc::clone(&w.me),
+            w.core.get(),
+            w.current_task.get(),
+        )
+    })
+    .expect("pause() called outside a worker thread");
+    assert_ne!(task_raw, 0, "pause() called outside a task body");
+
+    let task: Shoff<TaskDesc> = Shoff::from_raw(task_raw);
+    // SAFETY: the task is running on this very thread.
+    let d = unsafe { rt.seg.sref(task) };
+    rt.counters.pauses.fetch_add(1, Ordering::Relaxed);
+    let id = TaskId(d.id.load(Ordering::Relaxed));
+    let pid = d.pid.load(Ordering::Relaxed);
+    rt.trace_event(TraceEventKind::Pause, core as u32, pid, id);
+
+    // Publish the attachment *before* the state changes: as soon as the
+    // task is Paused it may be resubmitted, scheduled and resume-handed
+    // to us, all concurrently with the lines below.
+    d.attached_worker
+        .store(me.index as u64 + 1, Ordering::Release);
+    d.set_state(TaskState::Paused);
+
+    // Hand the core to a replacement worker of our process.
+    let replacement = rt.worker_for_process(me.pid);
+    replacement.assign(Assignment::Pull { core });
+
+    // Block until a worker resumes us (possibly on a different core).
+    match me.wait() {
+        Some(Assignment::Resume { core: new_core }) => {
+            with_tls(|w| w.core.set(new_core));
+        }
+        Some(_) => unreachable!("paused thread received a non-Resume assignment"),
+        None => panic!("runtime shut down while a task was paused"),
+    }
+}

@@ -1,0 +1,453 @@
+//! Integration tests for the real nOS-V runtime: co-execution semantics,
+//! pause/resume, handoffs, priorities, affinity, quantum, and teardown.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+
+use nosv::{Affinity, NosvConfig, Runtime, TaskBuilder, TraceEventKind};
+use parking_lot::Mutex;
+
+fn cfg(cpus: usize) -> NosvConfig {
+    NosvConfig {
+        cpus,
+        tracing: true,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn three_processes_co_execute_to_completion() {
+    let rt = Runtime::new(cfg(4));
+    let apps: Vec<_> = (0..3).map(|i| rt.attach(&format!("app{i}"))).collect();
+    let per_app = 200;
+    let counters: Vec<Arc<AtomicUsize>> =
+        (0..3).map(|_| Arc::new(AtomicUsize::new(0))).collect();
+
+    let mut handles = Vec::new();
+    for (app, counter) in apps.iter().zip(&counters) {
+        let expect_pid = app.pid();
+        for _ in 0..per_app {
+            let c = Arc::clone(counter);
+            let t = app.create_task(move |ctx| {
+                // Tasks must run under the identity of their creator.
+                assert_eq!(ctx.pid(), expect_pid);
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+            t.submit();
+            handles.push(t);
+        }
+    }
+    for t in &handles {
+        t.wait();
+    }
+    for c in &counters {
+        assert_eq!(c.load(Ordering::Relaxed), per_app);
+    }
+    let stats = rt.stats();
+    assert_eq!(stats.tasks_executed, 3 * per_app as u64);
+    // Three applications sharing four cores must have caused cross-process
+    // core handoffs.
+    assert!(
+        stats.cross_process_handoffs > 0,
+        "expected handoffs, got {stats:?}"
+    );
+    for t in handles {
+        t.destroy();
+    }
+    drop(apps);
+    rt.shutdown();
+}
+
+#[test]
+fn pause_and_resume_roundtrip() {
+    let rt = Runtime::new(cfg(2));
+    let app = rt.attach("pauser");
+    let (tx, rx) = mpsc::channel::<()>();
+    let phase = Arc::new(AtomicUsize::new(0));
+
+    let t = {
+        let phase = Arc::clone(&phase);
+        app.create_task(move |_ctx| {
+            phase.store(1, Ordering::SeqCst);
+            tx.send(()).unwrap();
+            nosv::pause(); // blocks until resubmitted
+            phase.store(2, Ordering::SeqCst);
+        })
+    };
+    t.submit();
+    rx.recv().unwrap();
+    // The task is pausing or paused; resubmission unblocks it (§3.2).
+    t.submit();
+    t.wait();
+    assert_eq!(phase.load(Ordering::SeqCst), 2);
+    let stats = rt.stats();
+    assert_eq!(stats.pauses, 1);
+    assert_eq!(stats.resumes, 1);
+    t.destroy();
+    drop(app);
+    rt.shutdown();
+}
+
+#[test]
+fn many_concurrent_pauses_resume_correctly() {
+    let rt = Runtime::new(cfg(4));
+    let app = rt.attach("pausers");
+    let n = 32;
+    let resumed = Arc::new(AtomicUsize::new(0));
+    let (tx, rx) = mpsc::channel::<usize>();
+
+    let tasks: Vec<_> = (0..n)
+        .map(|i| {
+            let tx = tx.clone();
+            let resumed = Arc::clone(&resumed);
+            let t = app.create_task(move |_| {
+                tx.send(i).unwrap();
+                nosv::pause();
+                resumed.fetch_add(1, Ordering::Relaxed);
+            });
+            t.submit();
+            t
+        })
+        .collect();
+
+    // Resubmit each task as soon as it reports having started.
+    for _ in 0..n {
+        let i = rx.recv().unwrap();
+        tasks[i].submit();
+    }
+    for t in &tasks {
+        t.wait();
+    }
+    assert_eq!(resumed.load(Ordering::Relaxed), n);
+    assert_eq!(rt.stats().pauses, n as u64);
+    assert_eq!(rt.stats().resumes, n as u64);
+    for t in tasks {
+        t.destroy();
+    }
+    drop(app);
+    rt.shutdown();
+}
+
+#[test]
+fn task_priorities_order_execution() {
+    let rt = Runtime::new(cfg(1));
+    let app = rt.attach("prio");
+    let order = Arc::new(Mutex::new(Vec::<i32>::new()));
+    let (tx, rx) = mpsc::channel::<()>();
+
+    // A blocker occupies the single core while we enqueue the rest.
+    let blocker = app.create_task(move |_| {
+        rx.recv().unwrap();
+    });
+    blocker.submit();
+
+    let mut tasks = Vec::new();
+    for prio in [0, 5, 1, 9, 3] {
+        let order = Arc::clone(&order);
+        let t = app.build_task(
+            TaskBuilder::new()
+                .priority(prio)
+                .run(move |_| order.lock().push(prio)),
+        );
+        t.submit();
+        tasks.push(t);
+    }
+    tx.send(()).unwrap();
+    for t in &tasks {
+        t.wait();
+    }
+    assert_eq!(*order.lock(), vec![9, 5, 3, 1, 0]);
+    blocker.wait();
+    blocker.destroy();
+    for t in tasks {
+        t.destroy();
+    }
+    drop(app);
+    rt.shutdown();
+}
+
+#[test]
+fn strict_core_affinity_executes_on_that_core() {
+    let rt = Runtime::new(cfg(4));
+    let app = rt.attach("affine");
+    let mut tasks = Vec::new();
+    for i in 0..20 {
+        let core = i % 4;
+        let t = app.build_task(
+            TaskBuilder::new()
+                .affinity(Affinity::Core {
+                    index: core,
+                    strict: true,
+                })
+                .metadata(core as u64)
+                .run(|_| {}),
+        );
+        t.submit();
+        tasks.push(t);
+    }
+    for t in &tasks {
+        t.wait();
+    }
+    // Verify via the trace: every Start of a strict task is on its core.
+    let trace = rt.take_trace();
+    let mut starts = 0;
+    for ev in &trace {
+        if ev.kind == TraceEventKind::Start {
+            starts += 1;
+        }
+    }
+    assert_eq!(starts, 20);
+    // Start events carry the core; match by task id order of creation.
+    let ids: Vec<_> = tasks.iter().map(|t| t.id()).collect();
+    for ev in trace {
+        if ev.kind == TraceEventKind::Start {
+            let idx = ids.iter().position(|&i| i == ev.task).unwrap();
+            assert_eq!(ev.cpu as usize, idx % 4, "task {idx} on wrong core");
+        }
+    }
+    for t in tasks {
+        t.destroy();
+    }
+    drop(app);
+    rt.shutdown();
+}
+
+#[test]
+fn quantum_forces_sharing_between_processes() {
+    // Tiny quantum: cores must alternate between the two processes.
+    let rt = Runtime::new(NosvConfig {
+        cpus: 2,
+        quantum_ns: 50_000, // 50µs
+        tracing: false,
+        ..Default::default()
+    });
+    let a = rt.attach("a");
+    let b = rt.attach("b");
+    let mut tasks = Vec::new();
+    for _ in 0..300 {
+        for app in [&a, &b] {
+            let t = app.create_task(|_| {
+                // ~20µs of spinning so quanta actually elapse.
+                let t0 = std::time::Instant::now();
+                while t0.elapsed().as_micros() < 20 {
+                    std::hint::spin_loop();
+                }
+            });
+            t.submit();
+            tasks.push(t);
+        }
+    }
+    for t in &tasks {
+        t.wait();
+    }
+    let stats = rt.stats();
+    assert!(
+        stats.quantum_switches > 0,
+        "no quantum switches despite sustained co-execution: {stats:?}"
+    );
+    for t in tasks {
+        t.destroy();
+    }
+    drop((a, b));
+    rt.shutdown();
+}
+
+#[test]
+fn delegation_serves_waiting_cpus() {
+    // Delegation requires two workers to contend on the scheduler lock in
+    // the same instant — guaranteed under real parallelism, but on a
+    // single-CPU CI container it depends on preemption timing. Retry a few
+    // rounds; if contention never materializes, verify correctness and
+    // warn instead of failing on scheduler luck.
+    let rt = Runtime::new(cfg(8));
+    let app = rt.attach("deleg");
+    let mut total = 0u64;
+    for _round in 0..8 {
+        let mut tasks = Vec::new();
+        for _ in 0..2000 {
+            // A small spin makes workers overlap in the fetch path.
+            let t = app.create_task(|_| {
+                for _ in 0..500 {
+                    std::hint::spin_loop();
+                }
+            });
+            t.submit();
+            tasks.push(t);
+        }
+        for t in &tasks {
+            t.wait();
+        }
+        total += tasks.len() as u64;
+        for t in tasks {
+            t.destroy();
+        }
+        if rt.stats().delegations_served > 0 {
+            break;
+        }
+    }
+    let stats = rt.stats();
+    assert_eq!(stats.tasks_executed, total);
+    if stats.delegations_served == 0 {
+        eprintln!(
+            "warning: no DTLock delegations observed on this machine \
+             (single-CPU timing); delegation correctness is covered by \
+             nosv-sync's unit tests"
+        );
+    }
+    drop(app);
+    rt.shutdown();
+}
+
+#[test]
+fn metadata_reaches_the_task() {
+    let rt = Runtime::new(cfg(1));
+    let app = rt.attach("meta");
+    let seen = Arc::new(AtomicU64::new(0));
+    let t = {
+        let seen = Arc::clone(&seen);
+        app.build_task(
+            TaskBuilder::new()
+                .metadata(0xdead_beef)
+                .run(move |ctx| seen.store(ctx.metadata(), Ordering::SeqCst)),
+        )
+    };
+    t.submit();
+    t.wait();
+    assert_eq!(seen.load(Ordering::SeqCst), 0xdead_beef);
+    t.destroy();
+    drop(app);
+    rt.shutdown();
+}
+
+#[test]
+fn completion_callback_fires_before_wait_returns() {
+    let rt = Runtime::new(cfg(2));
+    let app = rt.attach("cb");
+    let flag = Arc::new(AtomicUsize::new(0));
+    let t = {
+        let flag = Arc::clone(&flag);
+        app.build_task(
+            TaskBuilder::new()
+                .run(|_| {})
+                .on_completed(move || {
+                    flag.store(7, Ordering::SeqCst);
+                }),
+        )
+    };
+    t.submit();
+    t.wait();
+    assert_eq!(flag.load(Ordering::SeqCst), 7);
+    t.destroy();
+    drop(app);
+    rt.shutdown();
+}
+
+#[test]
+fn tasks_submitted_from_inside_tasks() {
+    // A task tree: each root task spawns children through its own process
+    // context — exercising submission from worker threads.
+    let rt = Runtime::new(cfg(4));
+    let app = Arc::new(rt.attach("nested"));
+    let done = Arc::new(AtomicUsize::new(0));
+    let roots: Vec<_> = (0..8)
+        .map(|_| {
+            let app2 = Arc::clone(&app);
+            let done2 = Arc::clone(&done);
+            let t = app.create_task(move |_| {
+                for _ in 0..10 {
+                    let d = Arc::clone(&done2);
+                    let child = app2.create_task(move |_| {
+                        d.fetch_add(1, Ordering::Relaxed);
+                    });
+                    child.submit();
+                    child.wait();
+                    child.destroy();
+                }
+            });
+            t.submit();
+            t
+        })
+        .collect();
+    for t in &roots {
+        t.wait();
+    }
+    assert_eq!(done.load(Ordering::Relaxed), 80);
+    for t in roots {
+        t.destroy();
+    }
+    drop(app);
+    rt.shutdown();
+}
+
+#[test]
+fn destroy_unsubmitted_task_reclaims_memory() {
+    let rt = Runtime::new(cfg(1));
+    let app = rt.attach("unsub");
+    let t = app.create_task(|_| panic!("must never run"));
+    t.destroy();
+    drop(app);
+    rt.shutdown();
+}
+
+#[test]
+#[should_panic(expected = "outside a worker thread")]
+fn pause_outside_task_panics() {
+    nosv::pause();
+}
+
+#[test]
+fn trace_records_full_lifecycle() {
+    let rt = Runtime::new(cfg(2));
+    let app = rt.attach("traced");
+    let t = app.spawn(|_| {});
+    t.wait();
+    let trace = rt.take_trace();
+    let kinds: Vec<_> = trace
+        .iter()
+        .filter(|e| e.task == t.id())
+        .map(|e| e.kind)
+        .collect();
+    assert_eq!(
+        kinds,
+        vec![
+            TraceEventKind::Submit,
+            TraceEventKind::Start,
+            TraceEventKind::End
+        ]
+    );
+    t.destroy();
+    drop(app);
+    rt.shutdown();
+}
+
+#[test]
+fn stress_two_apps_small_tasks() {
+    let rt = Runtime::new(NosvConfig {
+        cpus: 4,
+        ..Default::default()
+    });
+    let a = rt.attach("stress-a");
+    let b = rt.attach("stress-b");
+    let n = 3000;
+    let count = Arc::new(AtomicUsize::new(0));
+    let mut tasks = Vec::with_capacity(2 * n);
+    for _ in 0..n {
+        for app in [&a, &b] {
+            let c = Arc::clone(&count);
+            let t = app.create_task(move |_| {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+            t.submit();
+            tasks.push(t);
+        }
+    }
+    for t in &tasks {
+        t.wait();
+    }
+    assert_eq!(count.load(Ordering::Relaxed), 2 * n);
+    for t in tasks {
+        t.destroy();
+    }
+    drop((a, b));
+    rt.shutdown();
+}

@@ -1,0 +1,1544 @@
+//! The discrete-event engine.
+//!
+//! Single-threaded, deterministic event loop over a simulated multicore
+//! NUMA node. See the crate docs for the modelled effects. The engine
+//! advances a heap of timestamped events; threads progress only while they
+//! are the running thread of their core, and progress rates change with
+//! memory-bandwidth contention (recomputed with hysteresis to keep the
+//! event count bounded).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use nosv::policy::{self, CandidateProc, CoreQuantum};
+
+use crate::model::{AppModel, TaskModel};
+use crate::spec::NodeSpec;
+use crate::stats::{AppSimStats, SimStats};
+use crate::trace::{SimTrace, TraceSegment};
+use crate::{AffinityMode, IdlePolicy, RuntimeMode};
+
+/// Simulation options.
+#[derive(Debug, Clone)]
+pub struct SimOptions {
+    /// RNG seed (task-duration jitter); same seed = identical results.
+    pub seed: u64,
+    /// Record an execution trace (costs memory).
+    pub record_trace: bool,
+    /// Relative task-duration jitter in `[0, 0.5)`; breaks lockstep.
+    pub jitter: f64,
+    /// Abort if simulated time exceeds this (deadlock guard), ns.
+    pub max_sim_ns: u64,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            seed: 0x5eed,
+            record_trace: false,
+            jitter: 0.03,
+            max_sim_ns: 3_600_000_000_000, // one simulated hour
+        }
+    }
+}
+
+/// Result of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Time at which the last application finished, ns.
+    pub makespan_ns: u64,
+    /// Detailed statistics.
+    pub stats: SimStats,
+    /// Execution trace, when requested.
+    pub trace: Option<SimTrace>,
+}
+
+const NOSV_FETCH_NS: u64 = 1_000; // central scheduler request cost (1 µs)
+/// An idle owner worker waits this long before lending its core (models
+/// the spin-then-sleep grace real runtimes pass through before DLB lends).
+const DLB_LEND_GRACE_NS: u64 = 1_500_000;
+
+type Tid = usize;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SegKind {
+    /// Nothing assigned; dispatching decides the next action.
+    Fresh,
+    /// Scheduler critical section (task fetch) or fixed overhead.
+    Cs,
+    /// Executing a task.
+    Exec,
+    /// Spinning on the application's scheduler lock.
+    SpinLock,
+    /// Busy-idling (no ready work, busy policy).
+    SpinIdle,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TaskInst {
+    app: usize,
+    bw: f64,
+    mem_frac: f64,
+    home: Option<usize>,
+    remote: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum TState {
+    /// In its core's run queue or currently running.
+    Runnable,
+    /// Blocked (futex idle, dormant DLB thread, or retired).
+    Blocked,
+    /// Permanently removed (application finished).
+    Finished,
+}
+
+struct Thread {
+    app: usize,
+    core: usize,
+    state: TState,
+    kind: SegKind,
+    /// Remaining work of the current segment at speed 1, ns.
+    remaining: f64,
+    /// Current progress rate (bandwidth factor applied), 0 < speed <= 1.
+    speed: f64,
+    /// Last time progress was settled while running.
+    last: u64,
+    /// Event generation for SegDone validation.
+    gen: u64,
+    /// Task being executed (Exec) or about to execute (handoff Cs).
+    task: Option<TaskInst>,
+    /// Task queued behind a handoff overhead segment.
+    pending_exec: Option<(TaskInst, f64)>,
+    /// Lock was granted while we were preempted or spinning.
+    lock_granted: bool,
+    /// Start of the current Exec segment (trace).
+    exec_start: u64,
+    /// Charged the OS context-switch penalty at next switch-in.
+    was_preempted: bool,
+}
+
+struct Core {
+    socket: usize,
+    runq: VecDeque<Tid>,
+    current: Option<Tid>,
+    slice_gen: u64,
+    /// Owner application in DLB mode.
+    owner: Option<usize>,
+    /// Application currently borrowing this core (DLB).
+    lease: Option<usize>,
+    /// Owner posted a reclaim request (DLB).
+    reclaim: bool,
+    /// nOS-V per-core quantum state (reuses the real policy type).
+    quantum: CoreQuantum,
+    /// Last application that executed on this core (nOS-V handoffs).
+    last_app: Option<usize>,
+}
+
+struct AppRt {
+    /// Remaining tasks of the current phase: (count, profile).
+    ready: Vec<(usize, TaskModel)>,
+    phase: usize,
+    /// Tasks popped but not yet completed.
+    outstanding: usize,
+    finished_ns: Option<u64>,
+    /// Scheduler lock (per-application runtimes).
+    lock_holder: Option<Tid>,
+    lock_waiters: VecDeque<Tid>,
+    /// Futex-blocked worker threads.
+    futex_blocked: Vec<Tid>,
+    /// DLB: dormant borrowable thread on each core (by core index).
+    dormant_on_core: Vec<Option<Tid>>,
+    priority: i32,
+}
+
+impl AppRt {
+    fn ready_count(&self) -> usize {
+        self.ready.iter().map(|(n, _)| n).sum()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EvKind {
+    SegDone { t: Tid, gen: u64 },
+    Slice { core: usize, gen: u64 },
+    Wake { t: Tid },
+    LendCheck { core: usize, app: usize },
+}
+
+struct Engine<'a> {
+    node: &'a NodeSpec,
+    mode: &'a RuntimeMode,
+    opts: &'a SimOptions,
+    now: u64,
+    seq: u64,
+    heap: BinaryHeap<Reverse<(u64, u64, EvKind)>>,
+    threads: Vec<Thread>,
+    cores: Vec<Core>,
+    apps: Vec<AppRt>,
+    models: &'a [AppModel],
+    /// Per-socket: current quantized bandwidth factor and raw demand.
+    socket_factor: Vec<f64>,
+    rr_cursor: u64,
+    rng: SmallRng,
+    stats: SimStats,
+    trace: Option<SimTrace>,
+    unfinished: usize,
+}
+
+/// Runs one simulation of `apps` co-executing on `node` under `mode`.
+///
+/// # Panics
+///
+/// Panics if the configuration is inconsistent (e.g. `PerApp` assignment
+/// count differing from the application count) or if the simulation
+/// exceeds `opts.max_sim_ns` (indicative of a modelling deadlock).
+pub fn run_simulation(
+    node: &NodeSpec,
+    apps: &[AppModel],
+    mode: &RuntimeMode,
+    opts: &SimOptions,
+) -> SimResult {
+    assert!(!apps.is_empty(), "no applications to simulate");
+    let mut eng = Engine::new(node, apps, mode, opts);
+    eng.run();
+    let makespan = eng
+        .stats
+        .apps
+        .iter()
+        .map(|a| a.finish_ns)
+        .max()
+        .unwrap_or(0);
+    SimResult {
+        makespan_ns: makespan,
+        stats: eng.stats,
+        trace: eng.trace,
+    }
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        node: &'a NodeSpec,
+        models: &'a [AppModel],
+        mode: &'a RuntimeMode,
+        opts: &'a SimOptions,
+    ) -> Engine<'a> {
+        let ncores = node.cores();
+        let mut cores: Vec<Core> = (0..ncores)
+            .map(|c| Core {
+                socket: node.socket_of(c),
+                runq: VecDeque::new(),
+                current: None,
+                slice_gen: 0,
+                owner: None,
+                lease: None,
+                reclaim: false,
+                quantum: CoreQuantum::default(),
+                last_app: None,
+            })
+            .collect();
+
+        let mut apps: Vec<AppRt> = models
+            .iter()
+            .map(|m| {
+                let mut rt = AppRt {
+                    ready: Vec::new(),
+                    phase: 0,
+                    outstanding: 0,
+                    finished_ns: None,
+                    lock_holder: None,
+                    lock_waiters: VecDeque::new(),
+                    futex_blocked: Vec::new(),
+                    dormant_on_core: vec![None; ncores],
+                    priority: m.app_priority,
+                };
+                rt.ready = m.phases[0]
+                    .groups
+                    .iter()
+                    .map(|&(n, t)| (n, t))
+                    .collect();
+                rt
+            })
+            .collect();
+
+        let mut threads: Vec<Thread> = Vec::new();
+        let mk_thread = |app: usize, core: usize, state: TState, threads: &mut Vec<Thread>| {
+            threads.push(Thread {
+                app,
+                core,
+                state,
+                kind: SegKind::Fresh,
+                remaining: 0.0,
+                speed: 1.0,
+                last: 0,
+                gen: 0,
+                task: None,
+                pending_exec: None,
+                lock_granted: false,
+                exec_start: 0,
+                was_preempted: false,
+            });
+            threads.len() - 1
+        };
+
+        match mode {
+            RuntimeMode::PerApp {
+                assignments, dlb, ..
+            } => {
+                assert_eq!(
+                    assignments.len(),
+                    models.len(),
+                    "one core assignment per application"
+                );
+                for (app, range) in assignments.iter().enumerate() {
+                    assert!(range.end <= ncores, "assignment beyond node cores");
+                    for core in range.iter() {
+                        let t = mk_thread(app, core, TState::Runnable, &mut threads);
+                        cores[core].runq.push_back(t);
+                        if *dlb {
+                            cores[core].owner = Some(app);
+                        }
+                    }
+                }
+                if *dlb {
+                    // Dormant borrowable threads on every non-owned core.
+                    for (app, range) in assignments.iter().enumerate() {
+                        for core in 0..ncores {
+                            if !range.contains(core) {
+                                let t = mk_thread(app, core, TState::Blocked, &mut threads);
+                                apps[app].dormant_on_core[core] = Some(t);
+                            }
+                        }
+                    }
+                }
+            }
+            RuntimeMode::Nosv { .. } => {
+                // One shared worker per core; `app` field unused (usize::MAX
+                // would be confusing — use 0, the worker never owns tasks).
+                for (core, core_state) in cores.iter_mut().enumerate() {
+                    let t = mk_thread(0, core, TState::Runnable, &mut threads);
+                    core_state.runq.push_back(t);
+                }
+            }
+        }
+
+        let stats = SimStats {
+            apps: vec![AppSimStats::default(); models.len()],
+            ..Default::default()
+        };
+
+        Engine {
+            node,
+            mode,
+            opts,
+            now: 0,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            threads,
+            cores,
+            apps,
+            models,
+            socket_factor: vec![1.0; node.sockets],
+            rr_cursor: 0,
+            rng: SmallRng::seed_from_u64(opts.seed),
+            stats,
+            trace: if opts.record_trace {
+                Some(SimTrace::default())
+            } else {
+                None
+            },
+            unfinished: models.len(),
+        }
+    }
+
+    // ---- event loop ---------------------------------------------------------
+
+    fn run(&mut self) {
+        // Kick every core: dispatch its first runnable thread.
+        for core in 0..self.cores.len() {
+            self.schedule_core(core);
+        }
+        while self.unfinished > 0 {
+            let Some(Reverse((time, _, ev))) = self.heap.pop() else {
+                panic!(
+                    "simulation deadlock at t={} ns: {} apps unfinished",
+                    self.now, self.unfinished
+                );
+            };
+            debug_assert!(time >= self.now);
+            self.now = time;
+            assert!(
+                self.now <= self.opts.max_sim_ns,
+                "simulation exceeded max_sim_ns (livelock?)"
+            );
+            self.stats.events += 1;
+            match ev {
+                EvKind::SegDone { t, gen } => {
+                    if self.threads[t].gen == gen && self.is_running(t) {
+                        self.segment_done(t);
+                    }
+                }
+                EvKind::Slice { core, gen } => {
+                    if self.cores[core].slice_gen == gen {
+                        self.preempt(core);
+                    }
+                }
+                EvKind::Wake { t } => {
+                    if self.threads[t].state == TState::Blocked {
+                        self.wake(t);
+                    }
+                }
+                EvKind::LendCheck { core, app } => {
+                    // Lend only if the owner is still idle-blocked on this
+                    // core and still has no ready work.
+                    if self.cores[core].lease.is_none()
+                        && self.apps[app].finished_ns.is_none()
+                        && self.apps[app].ready_count() == 0
+                        && self.apps[app]
+                            .futex_blocked
+                            .iter()
+                            .any(|&w| self.threads[w].core == core)
+                    {
+                        self.try_lend(core, app);
+                    }
+                }
+            }
+        }
+    }
+
+    fn push_event(&mut self, time: u64, ev: EvKind) {
+        self.seq += 1;
+        self.heap.push(Reverse((time, self.seq, ev)));
+    }
+
+    fn is_running(&self, t: Tid) -> bool {
+        self.cores[self.threads[t].core].current == Some(t)
+    }
+
+    // ---- progress accounting -------------------------------------------------
+
+    /// Settles the running thread's progress up to `now`.
+    fn settle(&mut self, t: Tid) {
+        let now = self.now;
+        let th = &mut self.threads[t];
+        let dt = now.saturating_sub(th.last) as f64;
+        th.last = now;
+        if dt <= 0.0 {
+            return;
+        }
+        match th.kind {
+            SegKind::Cs | SegKind::Exec => {
+                th.remaining = (th.remaining - dt * th.speed).max(0.0);
+                if th.kind == SegKind::Exec {
+                    self.stats.apps[th.task.expect("exec without task").app].busy_ns += dt as u64;
+                }
+            }
+            SegKind::SpinLock => self.stats.lock_spin_ns += dt as u64,
+            SegKind::SpinIdle => self.stats.idle_spin_ns += dt as u64,
+            SegKind::Fresh => {}
+        }
+    }
+
+    /// (Re)schedules the completion event of a running Cs/Exec segment.
+    fn schedule_completion(&mut self, t: Tid) {
+        let th = &mut self.threads[t];
+        debug_assert!(matches!(th.kind, SegKind::Cs | SegKind::Exec));
+        th.gen += 1;
+        let gen = th.gen;
+        let dt = (th.remaining / th.speed).ceil().max(1.0) as u64;
+        let when = self.now + dt;
+        self.push_event(when, EvKind::SegDone { t, gen });
+    }
+
+    /// Recomputes the bandwidth factor of `socket`; on (quantized) change,
+    /// rescales every running Exec thread on that socket.
+    fn recompute_socket(&mut self, socket: usize) {
+        let mut demand = 0.0;
+        for c in self.node.socket_cores(socket).iter() {
+            if let Some(t) = self.cores[c].current {
+                let th = &self.threads[t];
+                if th.kind == SegKind::Exec {
+                    demand += th.task.expect("exec without task").bw;
+                }
+            }
+        }
+        let cap = self.node.bw_per_socket_gbps;
+        let factor = if demand <= cap { 1.0 } else { cap / demand };
+        // 2% hysteresis buckets keep rescale storms bounded.
+        let quantized = (factor / 0.02).round() * 0.02;
+        if (quantized - self.socket_factor[socket]).abs() < 1e-9 {
+            return;
+        }
+        self.socket_factor[socket] = quantized;
+        for c in self.node.socket_cores(socket).iter() {
+            if let Some(t) = self.cores[c].current {
+                if self.threads[t].kind == SegKind::Exec {
+                    self.settle(t);
+                    let mf = self.threads[t].task.expect("exec").mem_frac;
+                    self.threads[t].speed = bw_speed(mf, quantized);
+                    self.schedule_completion(t);
+                }
+            }
+        }
+    }
+
+    // ---- core scheduling ------------------------------------------------------
+
+    /// Ensures the core runs something if possible and manages its slice.
+    fn schedule_core(&mut self, core: usize) {
+        if self.cores[core].current.is_none() {
+            if let Some(t) = self.cores[core].runq.pop_front() {
+                self.cores[core].current = Some(t);
+                self.switch_in(t);
+            }
+        }
+        self.manage_slice(core);
+    }
+
+    fn manage_slice(&mut self, core: usize) {
+        let c = &mut self.cores[core];
+        c.slice_gen += 1;
+        if c.current.is_some() && !c.runq.is_empty() {
+            let gen = c.slice_gen;
+            let when = self.now + self.node.timeslice_ns;
+            self.push_event(when, EvKind::Slice { core, gen });
+        }
+    }
+
+    fn switch_in(&mut self, t: Tid) {
+        self.threads[t].last = self.now;
+        if self.threads[t].was_preempted {
+            self.threads[t].was_preempted = false;
+            // Charge the OS context switch to the incoming segment.
+            if matches!(self.threads[t].kind, SegKind::Cs | SegKind::Exec) {
+                self.threads[t].remaining += self.node.os_ctx_switch_ns as f64;
+            }
+        }
+        match self.threads[t].kind {
+            SegKind::Fresh => self.dispatch(t),
+            SegKind::Cs => self.schedule_completion(t),
+            SegKind::Exec => {
+                let socket = self.cores[self.threads[t].core].socket;
+                // Demand re-enters the socket; rescale (also reschedules us
+                // unless the factor was unchanged — then do it explicitly).
+                let mf = self.threads[t].task.expect("exec").mem_frac;
+                self.threads[t].speed = bw_speed(mf, self.socket_factor[socket]);
+                self.schedule_completion(t);
+                self.recompute_socket(socket);
+            }
+            SegKind::SpinLock => {
+                if self.threads[t].lock_granted {
+                    self.begin_cs(t);
+                }
+                // else: keeps spinning; no event (lock release will act).
+            }
+            SegKind::SpinIdle => {
+                // Re-check for work every time we are scheduled back in.
+                if self.apps[self.threads[t].app].ready_count() > 0 {
+                    self.attempt_fetch(t);
+                }
+            }
+        }
+    }
+
+    fn preempt(&mut self, core: usize) {
+        let Some(cur) = self.cores[core].current else {
+            return;
+        };
+        if self.cores[core].runq.is_empty() {
+            self.manage_slice(core);
+            return;
+        }
+        self.settle(cur);
+        self.threads[cur].gen += 1; // invalidate any pending completion
+        self.threads[cur].was_preempted = true;
+        self.stats.preemptions += 1;
+        let was_exec = self.threads[cur].kind == SegKind::Exec;
+        self.cores[core].runq.push_back(cur);
+        let next = self.cores[core].runq.pop_front().expect("nonempty");
+        self.cores[core].current = Some(next);
+        self.switch_in(next);
+        self.manage_slice(core);
+        if was_exec {
+            self.recompute_socket(self.cores[core].socket);
+        }
+    }
+
+    /// Schedules a futex wake: the thread becomes runnable after the OS
+    /// wake-up latency.
+    fn wake_after_futex(&mut self, t: Tid) {
+        let when = self.now + self.node.futex_wake_ns;
+        self.push_event(when, EvKind::Wake { t });
+    }
+
+    /// Makes a blocked thread runnable on its core.
+    fn wake(&mut self, t: Tid) {
+        debug_assert_eq!(self.threads[t].state, TState::Blocked);
+        self.threads[t].state = TState::Runnable;
+        let core = self.threads[t].core;
+        self.cores[core].runq.push_back(t);
+        self.schedule_core(core);
+    }
+
+    /// Blocks the currently-running thread `t` and frees its core.
+    fn block_current(&mut self, t: Tid) {
+        debug_assert!(self.is_running(t));
+        self.settle(t);
+        self.threads[t].gen += 1;
+        self.threads[t].state = TState::Blocked;
+        self.threads[t].kind = SegKind::Fresh;
+        let core = self.threads[t].core;
+        self.cores[core].current = None;
+        self.schedule_core(core);
+    }
+
+    /// Permanently retires a thread (its application finished).
+    fn retire(&mut self, t: Tid) {
+        match self.threads[t].state {
+            TState::Finished => return,
+            TState::Blocked => {
+                self.threads[t].state = TState::Finished;
+            }
+            TState::Runnable => {
+                let core = self.threads[t].core;
+                if self.is_running(t) {
+                    self.settle(t);
+                    self.threads[t].gen += 1;
+                    self.cores[core].current = None;
+                } else {
+                    self.cores[core].runq.retain(|&x| x != t);
+                }
+                self.threads[t].state = TState::Finished;
+                self.threads[t].kind = SegKind::Fresh;
+                self.schedule_core(core);
+            }
+        }
+    }
+
+    // ---- segment completions ---------------------------------------------------
+
+    fn segment_done(&mut self, t: Tid) {
+        self.settle(t);
+        if self.threads[t].remaining > 0.5 {
+            // Stale wakeup after a rescale; a newer event exists.
+            self.schedule_completion(t);
+            return;
+        }
+        match self.threads[t].kind {
+            SegKind::Cs => self.cs_done(t),
+            SegKind::Exec => self.exec_done(t),
+            _ => unreachable!("only Cs/Exec have completion events"),
+        }
+    }
+
+    fn cs_done(&mut self, t: Tid) {
+        match self.mode {
+            RuntimeMode::PerApp { .. } => {
+                // Release the application's scheduler lock and pass it on.
+                let app = self.threads[t].app;
+                debug_assert_eq!(self.apps[app].lock_holder, Some(t));
+                self.apps[app].lock_holder = None;
+                self.threads[t].lock_granted = false;
+                self.grant_lock(app);
+                // Now act on the fetched result.
+                self.after_fetch(t);
+            }
+            RuntimeMode::Nosv { .. } => {
+                if let Some((task, work)) = self.threads[t].pending_exec.take() {
+                    // Handoff overhead finished; start the task.
+                    self.begin_exec(t, task, work);
+                } else {
+                    self.nosv_pick(t);
+                }
+            }
+        }
+    }
+
+    fn exec_done(&mut self, t: Tid) {
+        let task = self.threads[t].task.take().expect("exec without task");
+        let core = self.threads[t].core;
+        let app = task.app;
+        self.stats.apps[app].tasks += 1;
+        if task.home.is_some() {
+            self.stats.apps[app].homed_tasks += 1;
+            if task.remote {
+                self.stats.apps[app].remote_tasks += 1;
+            }
+        }
+        if let Some(trace) = &mut self.trace {
+            trace.segments.push(TraceSegment {
+                core,
+                app,
+                start_ns: self.threads[t].exec_start,
+                end_ns: self.now,
+                home_socket: task.home,
+                remote: task.remote,
+            });
+        }
+        self.threads[t].kind = SegKind::Fresh;
+        self.recompute_socket(self.cores[core].socket);
+
+        self.apps[app].outstanding -= 1;
+        if self.apps[app].ready_count() == 0 && self.apps[app].outstanding == 0 {
+            self.advance_phase(app);
+        }
+        // Fetch the next action for this thread.
+        self.dispatch(t);
+    }
+
+    // ---- per-app runtime logic ---------------------------------------------------
+
+    /// Decides the next action of a running thread with a fresh segment.
+    fn dispatch(&mut self, t: Tid) {
+        match self.mode {
+            RuntimeMode::PerApp { dlb, .. } => {
+                let app = self.threads[t].app;
+                if self.apps[app].finished_ns.is_some() {
+                    self.retire(t);
+                    return;
+                }
+                if *dlb {
+                    let core = self.threads[t].core;
+                    if self.cores[core].lease == Some(app) && self.cores[core].reclaim {
+                        self.return_core(t, core);
+                        return;
+                    }
+                    // A spuriously-woken dormant thread on a core we do not
+                    // hold (not owner, no lease) must go back to sleep.
+                    if self.cores[core].owner != Some(app)
+                        && self.cores[core].lease != Some(app)
+                    {
+                        self.block_current(t);
+                        return;
+                    }
+                }
+                self.attempt_fetch(t);
+            }
+            RuntimeMode::Nosv { .. } => {
+                // Pay the central scheduler request cost, then pick.
+                self.threads[t].kind = SegKind::Cs;
+                self.threads[t].remaining = NOSV_FETCH_NS as f64;
+                self.threads[t].speed = 1.0;
+                self.schedule_completion(t);
+            }
+        }
+    }
+
+    /// Tries to take the application's scheduler lock (running thread).
+    fn attempt_fetch(&mut self, t: Tid) {
+        let app = self.threads[t].app;
+        if self.apps[app].lock_holder.is_none() {
+            self.apps[app].lock_holder = Some(t);
+            self.threads[t].lock_granted = true;
+            self.begin_cs(t);
+        } else {
+            self.apps[app].lock_waiters.push_back(t);
+            self.threads[t].kind = SegKind::SpinLock;
+            self.threads[t].lock_granted = false;
+            self.threads[t].last = self.now;
+            self.threads[t].gen += 1;
+        }
+    }
+
+    fn begin_cs(&mut self, t: Tid) {
+        self.threads[t].kind = SegKind::Cs;
+        self.threads[t].remaining = self.node.sched_cs_ns as f64;
+        self.threads[t].speed = 1.0;
+        self.threads[t].last = self.now;
+        if self.is_running(t) {
+            self.schedule_completion(t);
+        }
+        // Not running: the lock is held by a preempted thread — the classic
+        // lock-holder preemption; waiters keep spinning until we run.
+    }
+
+    /// Passes the lock to the next waiter, if any.
+    fn grant_lock(&mut self, app: usize) {
+        while let Some(w) = self.apps[app].lock_waiters.pop_front() {
+            if self.threads[w].state != TState::Runnable
+                || self.threads[w].kind != SegKind::SpinLock
+            {
+                continue; // retired or repurposed
+            }
+            self.apps[app].lock_holder = Some(w);
+            self.threads[w].lock_granted = true;
+            if self.is_running(w) {
+                self.settle(w);
+                self.begin_cs(w);
+            }
+            // else: granted while preempted — CS starts when scheduled in.
+            return;
+        }
+    }
+
+    /// Acts on the outcome of a fetch critical section (PerApp mode).
+    fn after_fetch(&mut self, t: Tid) {
+        let app = self.threads[t].app;
+        let core = self.threads[t].core;
+        let socket = self.cores[core].socket;
+        if let Some((task, work)) = self.pop_task(app, socket, AffinityMode::Ignore) {
+            self.begin_exec(t, task, work);
+            return;
+        }
+        // No work.
+        if self.apps[app].finished_ns.is_some() {
+            self.retire(t);
+            return;
+        }
+        let RuntimeMode::PerApp { idle, dlb, .. } = self.mode else {
+            unreachable!()
+        };
+        if *dlb {
+            let is_borrowed = self.cores[core].lease == Some(app);
+            if is_borrowed {
+                if self.cores[core].reclaim {
+                    self.return_core(t, core);
+                } else {
+                    // LeWI semantics: a lent CPU stays with the borrower
+                    // until the owner reclaims it. Sleep holding the lease.
+                    self.apps[app].futex_blocked.push(t);
+                    self.block_current(t);
+                }
+                return;
+            }
+            // Owner out of work: sleep, and offer the core to others only
+            // if we are still idle after a grace period.
+            let when = self.now + DLB_LEND_GRACE_NS;
+            self.push_event(when, EvKind::LendCheck { core, app });
+        }
+        match idle {
+            IdlePolicy::Futex => {
+                self.apps[app].futex_blocked.push(t);
+                self.block_current(t);
+            }
+            IdlePolicy::Busy => {
+                self.threads[t].kind = SegKind::SpinIdle;
+                self.threads[t].last = self.now;
+                self.threads[t].gen += 1;
+            }
+        }
+    }
+
+    /// Lends `core` (owned by idle `app`) to another application with ready
+    /// work and a dormant thread here. Returns whether a lend happened.
+    fn try_lend(&mut self, core: usize, app: usize) -> bool {
+        debug_assert_eq!(self.cores[core].owner, Some(app));
+        if self.cores[core].lease.is_some() {
+            return false;
+        }
+        self.lend_to_any(core, Some(app))
+    }
+
+    /// Wakes the neediest other application's dormant thread on `core`.
+    fn lend_to_any(&mut self, core: usize, exclude: Option<usize>) -> bool {
+        let mut best: Option<(usize, usize)> = None; // (ready, borrower)
+        for (b, rt) in self.apps.iter().enumerate() {
+            if Some(b) == exclude || rt.finished_ns.is_some() {
+                continue;
+            }
+            let ready = rt.ready_count();
+            if ready > 0
+                && rt.dormant_on_core[core].is_some()
+                && best.map_or(true, |(r, _)| ready > r)
+            {
+                best = Some((ready, b));
+            }
+        }
+        let Some((_, borrower)) = best else {
+            return false;
+        };
+        let dormant = self.apps[borrower].dormant_on_core[core].expect("checked");
+        self.cores[core].lease = Some(borrower);
+        self.cores[core].reclaim = false;
+        self.stats.dlb_lends += 1;
+        self.wake_after_futex(dormant);
+        true
+    }
+
+    /// A borrowed thread returns its core to the owner (DLB reclaim or out
+    /// of work).
+    fn return_core(&mut self, t: Tid, core: usize) {
+        let borrower = self.threads[t].app;
+        debug_assert_eq!(self.cores[core].lease, Some(borrower));
+        self.cores[core].lease = None;
+        self.cores[core].reclaim = false;
+        self.stats.dlb_reclaims += 1;
+        // Wake the owner's worker blocked on this core, or re-lend the core
+        // if the owner has already finished.
+        let owner = self.cores[core].owner.expect("lent core has an owner");
+        if self.apps[owner].finished_ns.is_some() {
+            self.block_current(t);
+            self.lend_to_any(core, Some(borrower));
+            return;
+        }
+        if let Some(pos) = self.apps[owner]
+            .futex_blocked
+            .iter()
+            .position(|&w| self.threads[w].core == core)
+        {
+            let w = self.apps[owner].futex_blocked.swap_remove(pos);
+            self.wake_after_futex(w);
+        }
+        self.block_current(t);
+    }
+
+    // ---- shared helpers ------------------------------------------------------------
+
+    /// Pops a task for a core on `socket`, honouring the affinity mode.
+    /// Returns the instance and its effective work (jitter + NUMA penalty).
+    fn pop_task(
+        &mut self,
+        app: usize,
+        socket: usize,
+        affinity: AffinityMode,
+    ) -> Option<(TaskInst, f64)> {
+        let rtapp = &mut self.apps[app];
+        let pick = |groups: &Vec<(usize, TaskModel)>, want_local: bool| -> Option<usize> {
+            groups.iter().position(|&(n, ref tm)| {
+                n > 0
+                    && match (want_local, tm.home_socket) {
+                        (true, Some(h)) => h == socket,
+                        (true, None) => true,
+                        (false, _) => true,
+                    }
+            })
+        };
+        let idx = match affinity {
+            AffinityMode::Ignore => pick(&rtapp.ready, false),
+            AffinityMode::Strict => pick(&rtapp.ready, true),
+            AffinityMode::BestEffort => {
+                pick(&rtapp.ready, true).or_else(|| pick(&rtapp.ready, false))
+            }
+        }?;
+        let (count, tm) = &mut rtapp.ready[idx];
+        *count -= 1;
+        let tm = *tm;
+        if *count == 0 {
+            rtapp.ready.remove(idx);
+        }
+        rtapp.outstanding += 1;
+
+        let remote = tm.home_socket.is_some_and(|h| h != socket);
+        let jitter = if self.opts.jitter > 0.0 {
+            1.0 + self.rng.gen_range(-self.opts.jitter..self.opts.jitter)
+        } else {
+            1.0
+        };
+        let mut work = tm.work_ns as f64 * jitter;
+        if remote {
+            // Remote NUMA accesses stretch the memory-bound part.
+            work *= (1.0 - tm.mem_frac) + tm.mem_frac * self.node.remote_numa_penalty;
+        }
+        Some((
+            TaskInst {
+                app,
+                bw: tm.bw_gbps,
+                mem_frac: tm.mem_frac,
+                home: tm.home_socket,
+                remote,
+            },
+            work,
+        ))
+    }
+
+    fn begin_exec(&mut self, t: Tid, task: TaskInst, work: f64) {
+        let core = self.threads[t].core;
+        let socket = self.cores[core].socket;
+        self.threads[t].kind = SegKind::Exec;
+        self.threads[t].remaining = work;
+        self.threads[t].task = Some(task);
+        self.threads[t].exec_start = self.now;
+        self.threads[t].last = self.now;
+        self.threads[t].speed = bw_speed(task.mem_frac, self.socket_factor[socket]);
+        if self.is_running(t) {
+            self.schedule_completion(t);
+            self.recompute_socket(socket);
+        }
+    }
+
+    /// Opens the next phase of `app`, or marks it finished.
+    fn advance_phase(&mut self, app: usize) {
+        self.apps[app].phase += 1;
+        let phase = self.apps[app].phase;
+        if phase >= self.models[app].phases.len() {
+            self.apps[app].finished_ns = Some(self.now);
+            self.stats.apps[app].finish_ns = self.now;
+            self.unfinished -= 1;
+            // DLB: a finishing application's cores become available to the
+            // others (the final, permanent lend), and any cores it was
+            // borrowing return to their owners.
+            if matches!(self.mode, RuntimeMode::PerApp { dlb: true, .. }) {
+                for core in 0..self.cores.len() {
+                    if self.cores[core].owner == Some(app) && self.cores[core].lease.is_none() {
+                        self.lend_to_any(core, Some(app));
+                    }
+                    if self.cores[core].lease == Some(app) {
+                        self.cores[core].lease = None;
+                        self.cores[core].reclaim = false;
+                        let owner = self.cores[core].owner.expect("leased core has owner");
+                        if self.apps[owner].finished_ns.is_some() {
+                            self.lend_to_any(core, Some(app));
+                        } else if let Some(pos) = self.apps[owner]
+                            .futex_blocked
+                            .iter()
+                            .position(|&w| self.threads[w].core == core)
+                        {
+                            let w = self.apps[owner].futex_blocked.swap_remove(pos);
+                            self.wake_after_futex(w);
+                        }
+                    }
+                }
+            }
+            // Retire this application's threads (PerApp mode): the process
+            // exits, freeing its cores.
+            if matches!(self.mode, RuntimeMode::PerApp { .. }) {
+                let mine: Vec<Tid> = (0..self.threads.len())
+                    .filter(|&t| {
+                        self.threads[t].app == app && self.threads[t].state != TState::Finished
+                    })
+                    .collect();
+                for t in mine {
+                    // Threads inside a fetch CS or holding the lock retire
+                    // at their next dispatch point; spinning/idle/blocked
+                    // ones can go now.
+                    match self.threads[t].kind {
+                        SegKind::SpinIdle | SegKind::SpinLock | SegKind::Fresh => {
+                            if self.apps[app].lock_holder != Some(t) {
+                                self.retire(t)
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            return;
+        }
+        self.apps[app].ready = self.models[app].phases[phase]
+            .groups
+            .iter()
+            .map(|&(n, t)| (n, t))
+            .collect();
+        // New work: wake whoever waits for it.
+        match self.mode {
+            RuntimeMode::PerApp { dlb, .. } => {
+                let blocked = std::mem::take(&mut self.apps[app].futex_blocked);
+                for t in blocked {
+                    // DLB: a worker whose core is currently lent must wait
+                    // for the reclaim instead of waking onto a lent core.
+                    let core = self.threads[t].core;
+                    if *dlb && self.cores[core].lease.is_some() {
+                        self.cores[core].reclaim = true;
+                        self.apps[app].futex_blocked.push(t);
+                        // Nudge the borrower: if its thread on this core is
+                        // idle-blocked holding the lease, wake it so it can
+                        // return the core.
+                        let borrower = self.cores[core].lease.expect("checked");
+                        if let Some(bt) = self.apps[borrower].dormant_on_core[core] {
+                            if self.threads[bt].state == TState::Blocked
+                                && self.threads[bt].kind == SegKind::Fresh
+                            {
+                                self.wake_after_futex(bt);
+                            }
+                        }
+                    } else {
+                        self.wake_after_futex(t);
+                    }
+                }
+                // SpinIdle threads re-check at their next scheduled moment;
+                // running ones can re-check immediately.
+                let spinners: Vec<Tid> = (0..self.threads.len())
+                    .filter(|&t| {
+                        self.threads[t].app == app
+                            && self.threads[t].kind == SegKind::SpinIdle
+                            && self.is_running(t)
+                    })
+                    .collect();
+                for t in spinners {
+                    self.settle(t);
+                    self.attempt_fetch(t);
+                }
+            }
+            RuntimeMode::Nosv { .. } => {
+                // Wake all idle nOS-V workers (they futex-block when the
+                // global queue is empty).
+                let blocked: Vec<Tid> = (0..self.threads.len())
+                    .filter(|&t| self.threads[t].state == TState::Blocked)
+                    .collect();
+                for t in blocked {
+                    self.wake_after_futex(t);
+                }
+            }
+        }
+    }
+
+    // ---- nOS-V mode ------------------------------------------------------------------
+
+    /// The node-wide scheduler decision for worker `t` (runs at the end of
+    /// its fetch overhead), reusing the real `nosv::policy` code.
+    fn nosv_pick(&mut self, t: Tid) {
+        let RuntimeMode::Nosv {
+            quantum_ns,
+            affinity,
+        } = self.mode
+        else {
+            unreachable!()
+        };
+        let core = self.threads[t].core;
+        let socket = self.cores[core].socket;
+
+        // Candidates: applications with a task this core may take.
+        let mut candidates: Vec<CandidateProc> = Vec::new();
+        for (i, rtapp) in self.apps.iter().enumerate() {
+            if rtapp.finished_ns.is_some() {
+                continue;
+            }
+            let takeable = match affinity {
+                AffinityMode::Ignore | AffinityMode::BestEffort => rtapp.ready_count() > 0,
+                AffinityMode::Strict => rtapp.ready.iter().any(|&(n, ref tm)| {
+                    n > 0 && tm.home_socket.map_or(true, |h| h == socket)
+                }),
+            };
+            if takeable {
+                candidates.push(CandidateProc {
+                    // pid 0 is "none" in the policy; offset app ids by 1.
+                    pid: i as u64 + 1,
+                    app_priority: rtapp.priority,
+                    top_task_priority: 0,
+                });
+            }
+        }
+        let decision = policy::pick_process(
+            &self.cores[core].quantum,
+            *quantum_ns,
+            self.now,
+            &candidates,
+            &mut self.rr_cursor,
+        );
+        let Some(decision) = decision else {
+            // Nothing anywhere: idle until new work appears.
+            self.block_current(t);
+            return;
+        };
+        if decision.quantum_expired {
+            self.stats.quantum_switches += 1;
+        }
+        let mut q = self.cores[core].quantum;
+        policy::apply_decision(&mut q, &decision, self.now);
+        self.cores[core].quantum = q;
+        let app = (decision.pid - 1) as usize;
+        let Some((task, work)) = self.pop_task(app, socket, *affinity) else {
+            // Raced with phase exhaustion inside this event: idle.
+            self.block_current(t);
+            return;
+        };
+        // Charge a cross-process handoff when the core changes application.
+        let prev = self.cores[core].last_app.replace(app);
+        if prev != Some(app) && prev.is_some() {
+            self.stats.cross_app_switches += 1;
+            self.threads[t].kind = SegKind::Cs;
+            self.threads[t].remaining = self.node.handoff_ns as f64;
+            self.threads[t].speed = 1.0;
+            self.threads[t].pending_exec = Some((task, work));
+            self.schedule_completion(t);
+        } else {
+            self.begin_exec(t, task, work);
+        }
+    }
+}
+
+/// Speed of a task given its memory-bound fraction and the socket's
+/// bandwidth factor (Amdahl-style slowdown of the memory-bound part).
+fn bw_speed(mem_frac: f64, factor: f64) -> f64 {
+    1.0 / ((1.0 - mem_frac) + mem_frac / factor.max(1e-6))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Phase;
+    use crate::spec::CoreRange;
+
+    fn opts() -> SimOptions {
+        SimOptions {
+            jitter: 0.0,
+            ..Default::default()
+        }
+    }
+
+    fn exclusive(node: &NodeSpec, app: &AppModel) -> u64 {
+        run_simulation(
+            node,
+            std::slice::from_ref(app),
+            &RuntimeMode::PerApp {
+                assignments: vec![node.all_cores()],
+                idle: IdlePolicy::Futex,
+                dlb: false,
+            },
+            &opts(),
+        )
+        .makespan_ns
+    }
+
+    #[test]
+    fn single_app_matches_ideal_makespan() {
+        let node = NodeSpec::tiny(1, 4);
+        // 8 tasks x 1 ms on 4 cores: ideal 2 ms + small scheduling costs.
+        let app = AppModel::new(
+            "t",
+            vec![Phase::uniform(8, TaskModel::compute(1_000_000))],
+        );
+        let m = exclusive(&node, &app);
+        let ideal = app.ideal_makespan_ns(4);
+        assert!(m >= ideal, "makespan {m} below ideal {ideal}");
+        assert!(
+            m < ideal + ideal / 5 + 100_000,
+            "makespan {m} too far above ideal {ideal}"
+        );
+    }
+
+    #[test]
+    fn serial_phase_serializes() {
+        let node = NodeSpec::tiny(1, 4);
+        let app = AppModel::new(
+            "t",
+            vec![
+                Phase::serial(TaskModel::compute(5_000_000)),
+                Phase::uniform(4, TaskModel::compute(1_000_000)),
+            ],
+        );
+        let m = exclusive(&node, &app);
+        assert!(m >= 6_000_000, "serial + parallel must be sequential: {m}");
+    }
+
+    #[test]
+    fn bandwidth_contention_slows_memory_tasks() {
+        let node = NodeSpec::tiny(1, 4); // 50 GB/s socket
+        // 4 tasks each demanding 25 GB/s (total 100 > 50): factor 0.5, so
+        // the fully memory-bound part runs at half speed.
+        let hungry = AppModel::new(
+            "mem",
+            vec![Phase::uniform(4, TaskModel {
+                work_ns: 10_000_000,
+                bw_gbps: 25.0,
+                mem_frac: 1.0,
+                home_socket: None,
+            })],
+        );
+        let m = exclusive(&node, &hungry);
+        assert!(
+            m >= 19_000_000,
+            "4x25GB/s on 50GB/s should halve speed: {m}"
+        );
+        // The same tasks demanding 10 GB/s (total 40 < 50) run full speed.
+        let light = AppModel::new(
+            "light",
+            vec![Phase::uniform(4, TaskModel {
+                work_ns: 10_000_000,
+                bw_gbps: 10.0,
+                mem_frac: 1.0,
+                home_socket: None,
+            })],
+        );
+        let m2 = exclusive(&node, &light);
+        assert!(m2 < 12_000_000, "under capacity must not slow down: {m2}");
+    }
+
+    #[test]
+    fn compute_tasks_immune_to_bandwidth() {
+        let node = NodeSpec::tiny(1, 2);
+        let mixed = AppModel::new(
+            "mix",
+            vec![Phase {
+                groups: vec![
+                    (1, TaskModel {
+                        work_ns: 10_000_000,
+                        bw_gbps: 100.0, // saturates alone
+                        mem_frac: 1.0,
+                        home_socket: None,
+                    }),
+                    (1, TaskModel::compute(10_000_000)),
+                ],
+            }],
+        );
+        let r = run_simulation(
+            &node,
+            &[mixed],
+            &RuntimeMode::PerApp {
+                assignments: vec![node.all_cores()],
+                idle: IdlePolicy::Futex,
+                dlb: false,
+            },
+            &opts(),
+        );
+        // The compute task finishes near its nominal time even though the
+        // memory hog is slowed: busy time far below 2x the slowdown.
+        assert!(r.makespan_ns >= 19_000_000, "hog slowed: {}", r.makespan_ns);
+    }
+
+    #[test]
+    fn oversubscription_time_shares() {
+        let node = NodeSpec::tiny(1, 2);
+        let app = |name: &str| {
+            AppModel::new(
+                name,
+                vec![Phase::uniform(8, TaskModel::compute(2_000_000))],
+            )
+        };
+        let solo = exclusive(&node, &app("a"));
+        let both = run_simulation(
+            &node,
+            &[app("a"), app("b")],
+            &RuntimeMode::PerApp {
+                assignments: vec![node.all_cores(), node.all_cores()],
+                idle: IdlePolicy::Futex,
+                dlb: false,
+            },
+            &opts(),
+        );
+        // Two identical CPU-bound apps on shared cores take ~2x one.
+        assert!(both.makespan_ns as f64 > 1.7 * solo as f64);
+        assert!(both.stats.preemptions > 0, "no preemptions recorded");
+    }
+
+    #[test]
+    fn busy_idle_wastes_cpu_futex_does_not() {
+        let node = NodeSpec::tiny(1, 2);
+        // App with a long serial phase: its second worker idles.
+        let serial = AppModel::new(
+            "serial",
+            vec![Phase::serial(TaskModel::compute(20_000_000))],
+        );
+        let busy = run_simulation(
+            &node,
+            &[serial.clone()],
+            &RuntimeMode::PerApp {
+                assignments: vec![node.all_cores()],
+                idle: IdlePolicy::Busy,
+                dlb: false,
+            },
+            &opts(),
+        );
+        let futex = run_simulation(
+            &node,
+            &[serial],
+            &RuntimeMode::PerApp {
+                assignments: vec![node.all_cores()],
+                idle: IdlePolicy::Futex,
+                dlb: false,
+            },
+            &opts(),
+        );
+        assert!(busy.stats.idle_spin_ns > 10_000_000, "{:?}", busy.stats);
+        assert_eq!(futex.stats.idle_spin_ns, 0);
+    }
+
+    #[test]
+    fn colocation_confines_apps() {
+        let node = NodeSpec::tiny(1, 4);
+        let app = |n: &str| {
+            AppModel::new(n, vec![Phase::uniform(8, TaskModel::compute(1_000_000))])
+        };
+        let r = run_simulation(
+            &node,
+            &[app("a"), app("b")],
+            &RuntimeMode::PerApp {
+                assignments: vec![CoreRange::new(0, 2), CoreRange::new(2, 4)],
+                idle: IdlePolicy::Futex,
+                dlb: false,
+            },
+            &opts(),
+        );
+        // Each app: 8 x 1ms on 2 cores = ~4ms; and no OS preemptions since
+        // one thread per core.
+        assert_eq!(r.stats.preemptions, 0);
+        assert!(r.makespan_ns >= 4_000_000);
+        assert!(r.makespan_ns < 5_500_000, "{}", r.makespan_ns);
+    }
+
+    #[test]
+    fn dlb_lends_idle_partition() {
+        let node = NodeSpec::tiny(1, 4);
+        // App A is tiny; app B is heavy. Under plain co-location B is stuck
+        // on 2 cores; with DLB it borrows A's idle cores.
+        let a = AppModel::new("a", vec![Phase::uniform(2, TaskModel::compute(1_000_000))]);
+        let b = AppModel::new(
+            "b",
+            vec![Phase::uniform(40, TaskModel::compute(1_000_000))],
+        );
+        let assignments = vec![CoreRange::new(0, 2), CoreRange::new(2, 4)];
+        let coloc = run_simulation(
+            &node,
+            &[a.clone(), b.clone()],
+            &RuntimeMode::PerApp {
+                assignments: assignments.clone(),
+                idle: IdlePolicy::Futex,
+                dlb: false,
+            },
+            &opts(),
+        );
+        let dlb = run_simulation(
+            &node,
+            &[a, b],
+            &RuntimeMode::PerApp {
+                assignments,
+                idle: IdlePolicy::Futex,
+                dlb: true,
+            },
+            &opts(),
+        );
+        assert!(dlb.stats.dlb_lends > 0, "no lends: {:?}", dlb.stats);
+        assert!(
+            (dlb.makespan_ns as f64) < 0.8 * coloc.makespan_ns as f64,
+            "DLB {} vs coloc {}",
+            dlb.makespan_ns,
+            coloc.makespan_ns
+        );
+    }
+
+    #[test]
+    fn nosv_coexecution_fills_gaps() {
+        let node = NodeSpec::tiny(1, 4);
+        // One app alternates serial/parallel; the other is steady work.
+        let bursty = AppModel::new(
+            "bursty",
+            (0..5)
+                .flat_map(|_| {
+                    vec![
+                        Phase::serial(TaskModel::compute(2_000_000)),
+                        Phase::uniform(8, TaskModel::compute(1_000_000)),
+                    ]
+                })
+                .collect(),
+        );
+        let steady = AppModel::new(
+            "steady",
+            vec![Phase::uniform(40, TaskModel::compute(1_000_000))],
+        );
+        let nosv = run_simulation(
+            &node,
+            &[bursty.clone(), steady.clone()],
+            &RuntimeMode::Nosv {
+                quantum_ns: 20_000_000,
+                affinity: AffinityMode::Ignore,
+            },
+            &opts(),
+        );
+        let exclusive_sum = exclusive(&node, &bursty) + exclusive(&node, &steady);
+        assert!(
+            (nosv.makespan_ns as f64) < 0.9 * exclusive_sum as f64,
+            "co-execution {} vs exclusive {}",
+            nosv.makespan_ns,
+            exclusive_sum
+        );
+        assert!(nosv.stats.cross_app_switches > 0);
+    }
+
+    #[test]
+    fn nosv_strict_affinity_eliminates_remote_tasks() {
+        let node = NodeSpec::tiny(2, 2);
+        let homed = |socket: usize| TaskModel::memory(1_000_000, 5.0).on_socket(socket);
+        let app = AppModel::new(
+            "numa",
+            vec![Phase {
+                groups: vec![(20, homed(0)), (20, homed(1))],
+            }],
+        );
+        let ignore = run_simulation(
+            &node,
+            &[app.clone()],
+            &RuntimeMode::Nosv {
+                quantum_ns: 20_000_000,
+                affinity: AffinityMode::Ignore,
+            },
+            &opts(),
+        );
+        let strict = run_simulation(
+            &node,
+            &[app],
+            &RuntimeMode::Nosv {
+                quantum_ns: 20_000_000,
+                affinity: AffinityMode::Strict,
+            },
+            &opts(),
+        );
+        assert_eq!(strict.stats.apps[0].remote_tasks, 0);
+        assert!(
+            ignore.stats.apps[0].remote_tasks > 0,
+            "ignore mode should migrate tasks"
+        );
+        assert!(strict.makespan_ns <= ignore.makespan_ns);
+    }
+
+    #[test]
+    fn lock_holder_preemption_hurts_busy_oversubscription() {
+        let node = NodeSpec::tiny(1, 2);
+        // Fine-grained tasks (frequent lock acquisitions) under 2x busy
+        // oversubscription: spin time must appear.
+        let fine = |n: &str| {
+            AppModel::new(n, vec![Phase::uniform(400, TaskModel::compute(100_000))])
+        };
+        let r = run_simulation(
+            &node,
+            &[fine("a"), fine("b")],
+            &RuntimeMode::PerApp {
+                assignments: vec![node.all_cores(), node.all_cores()],
+                idle: IdlePolicy::Busy,
+                dlb: false,
+            },
+            &opts(),
+        );
+        assert!(r.stats.lock_spin_ns > 0, "{:?}", r.stats);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let node = NodeSpec::tiny(1, 4);
+        let apps = vec![
+            AppModel::new("a", vec![Phase::uniform(32, TaskModel::compute(500_000))]),
+            AppModel::new(
+                "b",
+                vec![Phase::uniform(16, TaskModel::memory(800_000, 10.0))],
+            ),
+        ];
+        let mode = RuntimeMode::Nosv {
+            quantum_ns: 5_000_000,
+            affinity: AffinityMode::Ignore,
+        };
+        let o = SimOptions {
+            jitter: 0.05,
+            ..Default::default()
+        };
+        let a = run_simulation(&node, &apps, &mode, &o);
+        let b = run_simulation(&node, &apps, &mode, &o);
+        assert_eq!(a.makespan_ns, b.makespan_ns);
+        assert_eq!(a.stats.events, b.stats.events);
+    }
+
+    #[test]
+    fn trace_records_all_tasks() {
+        let node = NodeSpec::tiny(1, 2);
+        let app = AppModel::new("t", vec![Phase::uniform(6, TaskModel::compute(1_000_000))]);
+        let r = run_simulation(
+            &node,
+            &[app],
+            &RuntimeMode::Nosv {
+                quantum_ns: 20_000_000,
+                affinity: AffinityMode::Ignore,
+            },
+            &SimOptions {
+                record_trace: true,
+                jitter: 0.0,
+                ..Default::default()
+            },
+        );
+        let trace = r.trace.expect("trace requested");
+        assert_eq!(trace.segments.len(), 6);
+        for s in &trace.segments {
+            assert!(s.end_ns > s.start_ns);
+            assert!(s.core < 2);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! # simnode: a deterministic discrete-event simulator of a multicore node
+//!
+//! The paper's evaluation (§5) runs on a 64-core AMD EPYC 7742 node and an
+//! 8-node dual-socket Intel Skylake cluster. This crate substitutes those
+//! machines (see `DESIGN.md`) with a discrete-event model that captures the
+//! four effects every figure in the paper hinges on:
+//!
+//! 1. **Instantaneous parallelism** — applications are phase-structured
+//!    task workloads ([`AppModel`]); serial phases and width-limited phases
+//!    leave cores idle that another co-executed application could use.
+//! 2. **Memory-bandwidth contention** — each socket has finite bandwidth;
+//!    co-running memory-bound tasks slow each other down
+//!    (processor-sharing with an Amdahl-style memory fraction per task).
+//! 3. **OS time-sharing artifacts** — under oversubscription, more runnable
+//!    threads than cores triggers round-robin preemption, busy-waiting
+//!    burns timeslices, and a preempted scheduler-lock holder stalls its
+//!    application's other workers (lock-holder preemption, §1–2).
+//! 4. **NUMA locality** — tasks have a home socket; executing them remotely
+//!    costs a latency multiplier and counts as remote accesses (§5.3).
+//!
+//! Runtimes are modelled at task granularity ([`RuntimeMode`]):
+//! per-application runtimes (with a scheduler lock, busy/futex idle
+//! policies, optional static partitions and DLB-style core lending) versus
+//! a single node-wide nOS-V scheduler — which reuses the *real* policy code
+//! from [`nosv::policy`], so the simulated co-execution behaves exactly
+//! like the implemented scheduler.
+//!
+//! The simulation is single-threaded and fully deterministic for a given
+//! seed: every figure regenerates bit-identically.
+
+#![warn(missing_docs)]
+
+mod engine;
+mod model;
+mod spec;
+mod stats;
+mod trace;
+
+pub use engine::{run_simulation, SimOptions, SimResult};
+pub use model::{AppModel, Phase, TaskModel};
+pub use spec::{CoreRange, NodeSpec};
+pub use stats::{AppSimStats, SimStats};
+pub use trace::{SimTrace, TraceSegment};
+
+/// Runtime organizations that can be simulated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeMode {
+    /// One runtime instance per application (the paper's baselines).
+    PerApp {
+        /// Cores each application's worker threads are pinned to;
+        /// `assignments[i]` is for application `i`. Overlapping ranges mean
+        /// oversubscription; disjoint ranges mean co-location.
+        assignments: Vec<CoreRange>,
+        /// What idle workers do when their application has no ready tasks.
+        idle: IdlePolicy,
+        /// Enable DLB/LeWI-style dynamic core lending between applications.
+        dlb: bool,
+    },
+    /// One shared nOS-V runtime for all applications (co-execution): one
+    /// worker per core, node-wide scheduler with process preference,
+    /// quantum, and optional task affinity.
+    Nosv {
+        /// Process time quantum in nanoseconds (paper uses 20 ms).
+        quantum_ns: u64,
+        /// How task home-socket affinity is honoured.
+        affinity: AffinityMode,
+    },
+}
+
+/// Idle behaviour of per-application runtime workers (paper §5.2's
+/// oversubscription-busy vs oversubscription-idle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdlePolicy {
+    /// Spin on the CPU while waiting for work (default of some OpenMP
+    /// runtimes); burns timeslices under oversubscription.
+    Busy,
+    /// Block on a futex until work arrives (Nanos6's default).
+    Futex,
+}
+
+/// How the nOS-V-mode scheduler treats task home sockets (§5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AffinityMode {
+    /// Ignore homes: any core takes any task.
+    Ignore,
+    /// Strict: tasks only run on cores of their home socket.
+    Strict,
+    /// Prefer the home socket, steal across sockets when otherwise idle.
+    BestEffort,
+}

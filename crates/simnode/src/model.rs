@@ -1,0 +1,189 @@
+//! Phase-structured application workload models.
+//!
+//! An application is a sequence of [`Phase`]s separated by barriers — the
+//! natural shape of the paper's benchmarks (iterative solvers, factorizations
+//! and proxy apps all alternate parallel kernels with synchronization or
+//! serial sections). Each phase contains tasks described by a compact
+//! [`TaskModel`]; identical tasks are stored once with a count.
+
+/// One task's resource profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskModel {
+    /// Service time at full speed, ns.
+    pub work_ns: u64,
+    /// Memory bandwidth demanded while running, GB/s.
+    pub bw_gbps: f64,
+    /// Fraction of the work that is bandwidth-bound (Amdahl-style): with a
+    /// bandwidth factor `f <= 1`, speed = 1 / ((1 - m) + m / f). Compute-
+    /// bound tasks (m ~ 0) are immune to bandwidth contention; streaming
+    /// kernels (m ~ 1) slow proportionally.
+    pub mem_frac: f64,
+    /// Home socket for NUMA experiments; `None` = no placement preference.
+    pub home_socket: Option<usize>,
+}
+
+impl TaskModel {
+    /// A compute-dominated task.
+    pub fn compute(work_ns: u64) -> TaskModel {
+        TaskModel {
+            work_ns,
+            bw_gbps: 0.05,
+            mem_frac: 0.05,
+            home_socket: None,
+        }
+    }
+
+    /// A bandwidth-dominated task demanding `bw_gbps`.
+    pub fn memory(work_ns: u64, bw_gbps: f64) -> TaskModel {
+        TaskModel {
+            work_ns,
+            bw_gbps,
+            mem_frac: 0.9,
+            home_socket: None,
+        }
+    }
+
+    /// Pins the task's data to a socket.
+    pub fn on_socket(mut self, socket: usize) -> TaskModel {
+        self.home_socket = Some(socket);
+        self
+    }
+
+    /// Sets the memory-bound fraction.
+    pub fn with_mem_frac(mut self, m: f64) -> TaskModel {
+        assert!((0.0..=1.0).contains(&m));
+        self.mem_frac = m;
+        self
+    }
+}
+
+/// A barrier-delimited group of independent tasks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// `(how many, profile)` groups; all tasks in the phase are mutually
+    /// independent and only the barrier orders phases.
+    pub groups: Vec<(usize, TaskModel)>,
+}
+
+impl Phase {
+    /// A phase of `count` identical tasks.
+    pub fn uniform(count: usize, task: TaskModel) -> Phase {
+        assert!(count > 0, "empty phase");
+        Phase {
+            groups: vec![(count, task)],
+        }
+    }
+
+    /// A serial phase: one task (initialization, communication, reduction).
+    pub fn serial(task: TaskModel) -> Phase {
+        Phase::uniform(1, task)
+    }
+
+    /// Total tasks in the phase.
+    pub fn task_count(&self) -> usize {
+        self.groups.iter().map(|(n, _)| n).sum()
+    }
+
+    /// Total work in the phase at full speed, ns.
+    pub fn total_work_ns(&self) -> u64 {
+        self.groups
+            .iter()
+            .map(|(n, t)| *n as u64 * t.work_ns)
+            .sum()
+    }
+}
+
+/// A complete application workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppModel {
+    /// Display name (benchmark name).
+    pub name: String,
+    /// Barrier-separated phases, in execution order.
+    pub phases: Vec<Phase>,
+    /// Application priority forwarded to the nOS-V policy.
+    pub app_priority: i32,
+}
+
+impl AppModel {
+    /// Creates a named application from its phases.
+    pub fn new(name: impl Into<String>, phases: Vec<Phase>) -> AppModel {
+        let name = name.into();
+        assert!(!phases.is_empty(), "application {name} has no phases");
+        AppModel {
+            name,
+            phases,
+            app_priority: 0,
+        }
+    }
+
+    /// Total task count.
+    pub fn task_count(&self) -> usize {
+        self.phases.iter().map(Phase::task_count).sum()
+    }
+
+    /// Total full-speed work, ns (a lower bound on exclusive runtime x
+    /// cores).
+    pub fn total_work_ns(&self) -> u64 {
+        self.phases.iter().map(Phase::total_work_ns).sum()
+    }
+
+    /// Ideal exclusive makespan on `cores` assuming perfect packing and no
+    /// bandwidth limits: max over phases of (critical path, work/cores).
+    pub fn ideal_makespan_ns(&self, cores: usize) -> u64 {
+        self.phases
+            .iter()
+            .map(|p| {
+                let longest = p
+                    .groups
+                    .iter()
+                    .map(|(_, t)| t.work_ns)
+                    .max()
+                    .unwrap_or(0);
+                let packed = p.total_work_ns().div_ceil(cores as u64);
+                longest.max(packed)
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_counts() {
+        let p = Phase {
+            groups: vec![(3, TaskModel::compute(100)), (2, TaskModel::compute(50))],
+        };
+        assert_eq!(p.task_count(), 5);
+        assert_eq!(p.total_work_ns(), 400);
+    }
+
+    #[test]
+    fn ideal_makespan_respects_critical_path() {
+        // One serial 1000ns phase + one wide phase of 8x100ns on 4 cores.
+        let app = AppModel::new(
+            "t",
+            vec![
+                Phase::serial(TaskModel::compute(1000)),
+                Phase::uniform(8, TaskModel::compute(100)),
+            ],
+        );
+        assert_eq!(app.ideal_makespan_ns(4), 1000 + 200);
+        // With more cores than tasks, the task length is the floor.
+        assert_eq!(app.ideal_makespan_ns(64), 1000 + 100);
+    }
+
+    #[test]
+    fn builders() {
+        let t = TaskModel::memory(1_000, 2.0).on_socket(1).with_mem_frac(0.8);
+        assert_eq!(t.home_socket, Some(1));
+        assert!((t.mem_frac - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no phases")]
+    fn empty_app_rejected() {
+        AppModel::new("x", vec![]);
+    }
+}

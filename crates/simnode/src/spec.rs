@@ -1,0 +1,211 @@
+//! Simulated node hardware specification.
+
+/// A contiguous range of cores (a static partition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreRange {
+    /// First core (inclusive).
+    pub start: usize,
+    /// One past the last core.
+    pub end: usize,
+}
+
+impl CoreRange {
+    /// `[start, end)`.
+    pub fn new(start: usize, end: usize) -> CoreRange {
+        assert!(start < end, "empty core range");
+        CoreRange { start, end }
+    }
+
+    /// Whether `core` belongs to the range.
+    pub fn contains(&self, core: usize) -> bool {
+        (self.start..self.end).contains(&core)
+    }
+
+    /// Number of cores.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterator over the cores.
+    pub fn iter(&self) -> impl Iterator<Item = usize> {
+        self.start..self.end
+    }
+}
+
+/// Hardware model of one node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSpec {
+    /// Number of sockets (NUMA domains).
+    pub sockets: usize,
+    /// Cores per socket.
+    pub cores_per_socket: usize,
+    /// Sustainable memory bandwidth per socket, GB/s.
+    pub bw_per_socket_gbps: f64,
+    /// OS round-robin timeslice (ns) when a core is oversubscribed.
+    pub timeslice_ns: u64,
+    /// OS thread context-switch cost (ns), charged on each preemptive
+    /// switch-in.
+    pub os_ctx_switch_ns: u64,
+    /// Latency multiplier for executing a task away from its home socket
+    /// (remote NUMA accesses; applied to the task's memory-bound fraction).
+    pub remote_numa_penalty: f64,
+    /// Cost (ns) of a runtime fetching one task from its scheduler while
+    /// holding the scheduler lock (the critical section whose preemption
+    /// causes lock-holder preemption).
+    pub sched_cs_ns: u64,
+    /// nOS-V cross-process handoff cost (ns): pthread switch between
+    /// processes when a core changes applications (§3: "higher
+    /// context-switch cost only when a task blocks or yields").
+    pub handoff_ns: u64,
+    /// Latency for a futex-blocked thread to become runnable after a wake
+    /// (OS wake-up + scheduling-in latency).
+    pub futex_wake_ns: u64,
+}
+
+impl NodeSpec {
+    /// The paper's single-node platform: one-socket AMD EPYC 7742, 64
+    /// cores, SMT off (§5). Half of the cores saturate the socket
+    /// bandwidth (§5.2), which the task models assume.
+    pub fn amd_rome() -> NodeSpec {
+        NodeSpec {
+            sockets: 1,
+            cores_per_socket: 64,
+            bw_per_socket_gbps: 130.0,
+            timeslice_ns: 4_000_000,   // 4 ms CFS-like slice
+            os_ctx_switch_ns: 5_000,   // 5 µs
+            remote_numa_penalty: 1.0,  // single socket: no remote accesses
+            sched_cs_ns: 3_000,        // 3 µs scheduler critical section
+            handoff_ns: 15_000,        // 15 µs cross-process pthread switch
+            futex_wake_ns: 30_000,     // 30 µs futex wake + schedule-in
+        }
+    }
+
+    /// The paper's cluster node: dual-socket Intel Xeon Platinum 8160,
+    /// 2 x 24 cores, SMT off (§5), with a significant NUMA effect (§5.3).
+    pub fn skylake() -> NodeSpec {
+        NodeSpec {
+            sockets: 2,
+            cores_per_socket: 24,
+            bw_per_socket_gbps: 105.0,
+            timeslice_ns: 4_000_000,
+            os_ctx_switch_ns: 5_000,
+            remote_numa_penalty: 1.55,
+            sched_cs_ns: 3_000,
+            handoff_ns: 15_000,
+            futex_wake_ns: 30_000,
+        }
+    }
+
+    /// A small node for fast unit tests.
+    pub fn tiny(sockets: usize, cores_per_socket: usize) -> NodeSpec {
+        NodeSpec {
+            sockets,
+            cores_per_socket,
+            bw_per_socket_gbps: 50.0,
+            timeslice_ns: 4_000_000,
+            os_ctx_switch_ns: 5_000,
+            remote_numa_penalty: 1.5,
+            sched_cs_ns: 3_000,
+            handoff_ns: 15_000,
+            futex_wake_ns: 30_000,
+        }
+    }
+
+    /// Total cores.
+    pub fn cores(&self) -> usize {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// Socket of a core.
+    pub fn socket_of(&self, core: usize) -> usize {
+        core / self.cores_per_socket
+    }
+
+    /// All cores as one range.
+    pub fn all_cores(&self) -> CoreRange {
+        CoreRange::new(0, self.cores())
+    }
+
+    /// The cores of one socket.
+    pub fn socket_cores(&self, socket: usize) -> CoreRange {
+        assert!(socket < self.sockets);
+        CoreRange::new(
+            socket * self.cores_per_socket,
+            (socket + 1) * self.cores_per_socket,
+        )
+    }
+
+    /// Splits the node into `n` near-equal contiguous partitions (static
+    /// co-location's "equal node slice", §5.2).
+    pub fn equal_partitions(&self, n: usize) -> Vec<CoreRange> {
+        assert!(n > 0 && n <= self.cores());
+        let total = self.cores();
+        let base = total / n;
+        let extra = total % n;
+        let mut out = Vec::with_capacity(n);
+        let mut start = 0;
+        for i in 0..n {
+            let len = base + usize::from(i < extra);
+            out.push(CoreRange::new(start, start + len));
+            start += len;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rome_matches_paper_platform() {
+        let n = NodeSpec::amd_rome();
+        assert_eq!(n.cores(), 64);
+        assert_eq!(n.sockets, 1);
+    }
+
+    #[test]
+    fn skylake_is_dual_socket_48_core() {
+        let n = NodeSpec::skylake();
+        assert_eq!(n.cores(), 48);
+        assert_eq!(n.socket_of(0), 0);
+        assert_eq!(n.socket_of(23), 0);
+        assert_eq!(n.socket_of(24), 1);
+        assert_eq!(n.socket_cores(1), CoreRange::new(24, 48));
+    }
+
+    #[test]
+    fn equal_partitions_cover_exactly() {
+        let n = NodeSpec::amd_rome();
+        for parts in 1..=5 {
+            let ps = n.equal_partitions(parts);
+            assert_eq!(ps.len(), parts);
+            assert_eq!(ps[0].start, 0);
+            assert_eq!(ps.last().unwrap().end, 64);
+            for w in ps.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+            let total: usize = ps.iter().map(|p| p.len()).sum();
+            assert_eq!(total, 64);
+        }
+    }
+
+    #[test]
+    fn partitions_of_odd_totals() {
+        let n = NodeSpec::tiny(1, 7);
+        let ps = n.equal_partitions(2);
+        assert_eq!(ps[0].len() + ps[1].len(), 7);
+        assert!((ps[0].len() as i64 - ps[1].len() as i64).abs() <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty core range")]
+    fn empty_range_rejected() {
+        CoreRange::new(3, 3);
+    }
+}

@@ -1,0 +1,123 @@
+//! Per-core execution traces (the paper's Fig. 10 raw material).
+
+/// One executed task segment on a core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceSegment {
+    /// Core the segment ran on.
+    pub core: usize,
+    /// Application index (input order).
+    pub app: usize,
+    /// Start time, ns.
+    pub start_ns: u64,
+    /// End time, ns.
+    pub end_ns: u64,
+    /// The task's home socket, if any.
+    pub home_socket: Option<usize>,
+    /// Whether the execution was remote to its home socket.
+    pub remote: bool,
+}
+
+/// A recorded execution trace.
+#[derive(Debug, Clone, Default)]
+pub struct SimTrace {
+    /// Task segments in completion order.
+    pub segments: Vec<TraceSegment>,
+}
+
+impl SimTrace {
+    /// Renders an ASCII timeline: one row per core, one column per time
+    /// bucket; each cell shows the app (letter) that dominated the bucket,
+    /// uppercase when executing locally, lowercase when remote, '.' idle.
+    ///
+    /// This is the textual equivalent of the paper's Fig. 10 trace plot.
+    pub fn render_ascii(&self, cores: usize, columns: usize) -> String {
+        let end = self
+            .segments
+            .iter()
+            .map(|s| s.end_ns)
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        let bucket = end.div_ceil(columns as u64).max(1);
+        // For each (core, column): accumulated (app, remote) time.
+        let mut cells: Vec<Vec<(u64, usize, bool)>> =
+            vec![vec![(0, usize::MAX, false); columns]; cores];
+        for s in &self.segments {
+            if s.core >= cores {
+                continue;
+            }
+            let first = (s.start_ns / bucket) as usize;
+            let last = ((s.end_ns.saturating_sub(1)) / bucket) as usize;
+            for col in first..=last.min(columns - 1) {
+                let cell_start = col as u64 * bucket;
+                let cell_end = cell_start + bucket;
+                let overlap =
+                    s.end_ns.min(cell_end).saturating_sub(s.start_ns.max(cell_start));
+                let cell = &mut cells[s.core][col];
+                if overlap > cell.0 {
+                    *cell = (overlap, s.app, s.remote);
+                }
+            }
+        }
+        let mut out = String::new();
+        for (core, row) in cells.iter().enumerate() {
+            out.push_str(&format!("core {core:>3} |"));
+            for &(t, app, remote) in row {
+                if t == 0 || app == usize::MAX {
+                    out.push('.');
+                } else {
+                    let c = (b'A' + (app as u8 % 26)) as char;
+                    out.push(if remote {
+                        c.to_ascii_lowercase()
+                    } else {
+                        c
+                    });
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_rendering_marks_apps_and_idle() {
+        let trace = SimTrace {
+            segments: vec![
+                TraceSegment {
+                    core: 0,
+                    app: 0,
+                    start_ns: 0,
+                    end_ns: 50,
+                    home_socket: None,
+                    remote: false,
+                },
+                TraceSegment {
+                    core: 1,
+                    app: 1,
+                    start_ns: 50,
+                    end_ns: 100,
+                    home_socket: Some(0),
+                    remote: true,
+                },
+            ],
+        };
+        let art = trace.render_ascii(2, 10);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains('A'), "{art}");
+        assert!(lines[1].contains('b'), "remote is lowercase: {art}");
+        assert!(lines[0].ends_with('.'), "second half of core 0 idle: {art}");
+    }
+
+    #[test]
+    fn empty_trace_renders_idle_grid() {
+        let t = SimTrace::default();
+        let art = t.render_ascii(1, 5);
+        assert_eq!(art.trim_end(), "core   0 |.....");
+    }
+}

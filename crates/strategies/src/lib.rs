@@ -1,0 +1,427 @@
+//! # strategies: the six node-sharing strategies and the paper's scoring
+//!
+//! §5.2 compares six ways of executing a set of applications on one node:
+//!
+//! 1. **Exclusive** — one after the other, each owning the whole node.
+//! 2. **Oversubscription (busy)** — all at once on all cores, idle workers
+//!    busy-waiting (the default of some OpenMP runtimes).
+//! 3. **Oversubscription (idle)** — all at once, idle workers blocked on a
+//!    futex (Nanos6's default).
+//! 4. **Static co-location** — the node statically split into equal slices.
+//! 5. **Dynamic co-location (DLB)** — equal slices plus LeWI-style core
+//!    lending.
+//! 6. **Co-execution (nOS-V)** — one shared runtime, node-wide scheduling.
+//!
+//! The metric is the paper's *performance score*
+//! `p_s(x, y) = min_σ t_σ(x, y) / t_s(x, y)`: how close strategy `s` gets
+//! to the best strategy for that combination (1.0 = best). This module
+//! also provides combination enumeration (pairwise with repetition — the
+//! lower triangle of Fig. 6 including the diagonal — and three-wise
+//! without repetition, Fig. 8) and box-plot summary statistics (Figs. 7–8).
+
+#![warn(missing_docs)]
+
+use simnode::{
+    run_simulation, AffinityMode, AppModel, IdlePolicy, NodeSpec, RuntimeMode, SimOptions,
+    SimResult,
+};
+
+/// The six strategies of §5.2, in the paper's figure order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Strategy {
+    /// One application after the other, each exclusive.
+    Exclusive,
+    /// Simultaneous on all cores; idle workers busy-wait.
+    OversubscriptionBusy,
+    /// Simultaneous on all cores; idle workers block.
+    OversubscriptionIdle,
+    /// Static equal partitions.
+    Colocation,
+    /// Dynamic co-location via core lending (DLB / LeWI).
+    Dlb,
+    /// Co-execution through system-wide task scheduling (nOS-V).
+    Nosv,
+}
+
+impl Strategy {
+    /// All strategies in figure order.
+    pub fn all() -> [Strategy; 6] {
+        [
+            Strategy::Exclusive,
+            Strategy::OversubscriptionBusy,
+            Strategy::OversubscriptionIdle,
+            Strategy::Colocation,
+            Strategy::Dlb,
+            Strategy::Nosv,
+        ]
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Exclusive => "Exclusive Execution",
+            Strategy::OversubscriptionBusy => "Oversubscription Busy",
+            Strategy::OversubscriptionIdle => "Oversubscription Idle",
+            Strategy::Colocation => "Co-location",
+            Strategy::Dlb => "DLB",
+            Strategy::Nosv => "nOS-V",
+        }
+    }
+}
+
+/// Knobs shared by all strategy runs.
+#[derive(Debug, Clone)]
+pub struct StrategyConfig {
+    /// nOS-V process quantum (paper: 20 ms for all experiments).
+    pub quantum_ns: u64,
+    /// nOS-V task affinity mode (Fig. 9's "nOS-V + NUMA affinity" uses
+    /// [`AffinityMode::Strict`]; everything else ignores homes).
+    pub affinity: AffinityMode,
+    /// Simulator options (seed, jitter, tracing).
+    pub sim: SimOptions,
+}
+
+impl Default for StrategyConfig {
+    fn default() -> Self {
+        StrategyConfig {
+            quantum_ns: 20_000_000,
+            affinity: AffinityMode::Ignore,
+            sim: SimOptions::default(),
+        }
+    }
+}
+
+/// Runs `apps` under `strategy` on `node`; returns the group makespan in
+/// nanoseconds ("elapsed time from the start of the application group's
+/// execution to when they all finished", §5.2) and, for non-exclusive
+/// strategies, the final [`SimResult`].
+pub fn run_strategy(
+    node: &NodeSpec,
+    apps: &[AppModel],
+    strategy: Strategy,
+    cfg: &StrategyConfig,
+) -> (u64, Option<SimResult>) {
+    match strategy {
+        Strategy::Exclusive => {
+            // Sequential: each application exclusively on the whole node.
+            let mut total = 0u64;
+            for app in apps {
+                let r = run_simulation(
+                    node,
+                    std::slice::from_ref(app),
+                    &RuntimeMode::PerApp {
+                        assignments: vec![node.all_cores()],
+                        idle: IdlePolicy::Futex,
+                        dlb: false,
+                    },
+                    &cfg.sim,
+                );
+                total += r.makespan_ns;
+            }
+            (total, None)
+        }
+        Strategy::OversubscriptionBusy | Strategy::OversubscriptionIdle => {
+            let idle = if strategy == Strategy::OversubscriptionBusy {
+                IdlePolicy::Busy
+            } else {
+                IdlePolicy::Futex
+            };
+            let r = run_simulation(
+                node,
+                apps,
+                &RuntimeMode::PerApp {
+                    assignments: vec![node.all_cores(); apps.len()],
+                    idle,
+                    dlb: false,
+                },
+                &cfg.sim,
+            );
+            (r.makespan_ns, Some(r))
+        }
+        Strategy::Colocation => {
+            let r = run_simulation(
+                node,
+                apps,
+                &RuntimeMode::PerApp {
+                    assignments: node.equal_partitions(apps.len()),
+                    idle: IdlePolicy::Futex,
+                    dlb: false,
+                },
+                &cfg.sim,
+            );
+            (r.makespan_ns, Some(r))
+        }
+        Strategy::Dlb => {
+            let r = run_simulation(
+                node,
+                apps,
+                &RuntimeMode::PerApp {
+                    assignments: node.equal_partitions(apps.len()),
+                    idle: IdlePolicy::Futex,
+                    dlb: true,
+                },
+                &cfg.sim,
+            );
+            (r.makespan_ns, Some(r))
+        }
+        Strategy::Nosv => {
+            let r = run_simulation(
+                node,
+                apps,
+                &RuntimeMode::Nosv {
+                    quantum_ns: cfg.quantum_ns,
+                    affinity: cfg.affinity,
+                },
+                &cfg.sim,
+            );
+            (r.makespan_ns, Some(r))
+        }
+    }
+}
+
+/// Makespans of one combination under every strategy (figure order).
+#[derive(Debug, Clone)]
+pub struct ComboOutcome {
+    /// Indices of the combined applications (into the benchmark list).
+    pub combo: Vec<usize>,
+    /// Makespan per strategy, ns, in [`Strategy::all`] order.
+    pub makespans: [u64; 6],
+}
+
+impl ComboOutcome {
+    /// The paper's performance score of each strategy for this combination:
+    /// best makespan / strategy makespan (1.0 = best).
+    pub fn scores(&self) -> [f64; 6] {
+        let best = *self.makespans.iter().min().expect("six entries") as f64;
+        let mut out = [0.0; 6];
+        for (i, &m) in self.makespans.iter().enumerate() {
+            out[i] = best / m as f64;
+        }
+        out
+    }
+
+    /// Speedup of strategy `s` over exclusive execution.
+    pub fn speedup_vs_exclusive(&self, s: Strategy) -> f64 {
+        let idx = Strategy::all().iter().position(|&x| x == s).expect("known");
+        self.makespans[0] as f64 / self.makespans[idx] as f64
+    }
+}
+
+/// Runs all six strategies on one combination of applications.
+pub fn evaluate_combo(
+    node: &NodeSpec,
+    apps: &[AppModel],
+    combo: Vec<usize>,
+    cfg: &StrategyConfig,
+) -> ComboOutcome {
+    let mut makespans = [0u64; 6];
+    for (i, s) in Strategy::all().into_iter().enumerate() {
+        makespans[i] = run_strategy(node, apps, s, cfg).0;
+    }
+    ComboOutcome { combo, makespans }
+}
+
+/// All pairwise combinations with repetition of `n` items — the cells of
+/// the Fig. 6 heatmaps (lower triangle including the diagonal).
+pub fn pairwise_combos(n: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    for a in 0..n {
+        for b in a..n {
+            out.push(vec![a, b]);
+        }
+    }
+    out
+}
+
+/// All three-wise combinations *without* repetition of `n` items — §5.2:
+/// "we then extended the evaluation to co-schedule all three-wise
+/// combinations ... the resulting 35 possible combinations".
+pub fn threewise_combos(n: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    for a in 0..n {
+        for b in a + 1..n {
+            for c in b + 1..n {
+                out.push(vec![a, b, c]);
+            }
+        }
+    }
+    out
+}
+
+/// Five-number summary for the box plots of Figs. 7 and 8.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxStats {
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl BoxStats {
+    /// Computes the summary of `values` (must be non-empty).
+    pub fn of(values: &[f64]) -> BoxStats {
+        assert!(!values.is_empty(), "empty sample");
+        let mut v = values.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        BoxStats {
+            min: v[0],
+            q1: quantile(&v, 0.25),
+            median: quantile(&v, 0.5),
+            q3: quantile(&v, 0.75),
+            max: *v.last().expect("non-empty"),
+        }
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+/// Linear-interpolation quantile of a sorted sample.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{benchmark, Benchmark};
+
+    fn cfg() -> StrategyConfig {
+        StrategyConfig {
+            sim: SimOptions {
+                jitter: 0.02,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn combo_enumeration_counts_match_paper() {
+        assert_eq!(pairwise_combos(7).len(), 28); // Fig. 6 cells
+        assert_eq!(threewise_combos(7).len(), 35); // §5.2 "35 combinations"
+        // Sanity on membership.
+        assert!(pairwise_combos(7).contains(&vec![3, 3]));
+        assert!(!threewise_combos(7).iter().any(|c| c[0] == c[1]));
+    }
+
+    #[test]
+    fn box_stats_five_numbers() {
+        let s = BoxStats::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.iqr(), 2.0);
+    }
+
+    #[test]
+    fn scores_are_normalized_to_best() {
+        let o = ComboOutcome {
+            combo: vec![0, 1],
+            makespans: [200, 400, 300, 100, 150, 100],
+        };
+        let s = o.scores();
+        assert_eq!(s[3], 1.0);
+        assert_eq!(s[5], 1.0);
+        assert_eq!(s[0], 0.5);
+        assert!((o.speedup_vs_exclusive(Strategy::Nosv) - 2.0).abs() < 1e-12);
+    }
+
+    /// The headline qualitative result on one representative pair:
+    /// HPCCG (serial comm phases) + N-Body (compute-bound). nOS-V must beat
+    /// exclusive execution and be at least competitive with every other
+    /// strategy (§5.2 reports its maximum speedup, 1.33x, on this pair).
+    #[test]
+    fn hpccg_nbody_shape() {
+        let node = NodeSpec::amd_rome();
+        let apps = vec![
+            benchmark(Benchmark::Hpccg, 0.04),
+            benchmark(Benchmark::Nbody, 0.04),
+        ];
+        let outcome = evaluate_combo(&node, &apps, vec![0, 1], &cfg());
+        let scores = outcome.scores();
+        let nosv = scores[5];
+        let exclusive = scores[0];
+        assert!(
+            nosv > exclusive,
+            "nOS-V must beat exclusive: {scores:?} ({:?})",
+            outcome.makespans
+        );
+        let speedup = outcome.speedup_vs_exclusive(Strategy::Nosv);
+        // At the tiny test scale the serial fraction shrinks relative to
+        // the full-size workload, so the band is wider than the paper's
+        // full-scale 1.33x (the fig6 harness at scale >= 0.1 lands 1.2-1.4).
+        assert!(
+            (1.05..1.6).contains(&speedup),
+            "speedup {speedup} out of the expected band (paper: 1.33x)"
+        );
+        assert!(nosv > 0.95, "nOS-V should be at or near best: {scores:?}");
+    }
+
+    /// dot-product + Heat: both memory-bound; §5.2 explains why *every*
+    /// strategy converges to the same makespan (bandwidth is the only
+    /// bottleneck) and nOS-V gains ~nothing over exclusive.
+    #[test]
+    fn dot_heat_bandwidth_bound_shape() {
+        let node = NodeSpec::amd_rome();
+        let apps = vec![
+            benchmark(Benchmark::DotProduct, 0.04),
+            benchmark(Benchmark::Heat, 0.04),
+        ];
+        let outcome = evaluate_combo(&node, &apps, vec![0, 1], &cfg());
+        let speedup = outcome.speedup_vs_exclusive(Strategy::Nosv);
+        assert!(
+            (0.9..1.15).contains(&speedup),
+            "memory-bound pair should gain ~nothing: {speedup} ({:?})",
+            outcome.makespans
+        );
+    }
+
+    /// Oversubscription-busy must be the clearly worst strategy on a pair
+    /// with fine-grained phases (Heat) — the paper's pathological cells.
+    #[test]
+    fn busy_oversubscription_pathology() {
+        let node = NodeSpec::amd_rome();
+        let apps = vec![
+            benchmark(Benchmark::Heat, 0.03),
+            benchmark(Benchmark::Nbody, 0.03),
+        ];
+        let outcome = evaluate_combo(&node, &apps, vec![0, 1], &cfg());
+        let scores = outcome.scores();
+        let busy = scores[1];
+        let idle = scores[2];
+        let nosv = scores[5];
+        // Robust shape claims (the magnitude of the busy collapse is
+        // model-limited; see EXPERIMENTS.md): nOS-V is best, and busy
+        // waiting is never better than futex idling on this pair.
+        assert!(
+            nosv >= scores.iter().cloned().fold(0.0, f64::max) - 1e-9,
+            "nOS-V must be the best strategy: {scores:?}"
+        );
+        assert!(
+            busy <= idle + 0.015,
+            "busy-waiting must not beat futex idling: {scores:?}"
+        );
+        assert!(
+            busy < nosv,
+            "busy oversubscription must lose to co-execution: {scores:?}"
+        );
+    }
+}

@@ -1,0 +1,297 @@
+//! Tiled right-looking Cholesky factorization (`A = L Lᵀ`).
+//!
+//! The classic four-kernel task graph: `potrf` on the diagonal tile,
+//! `trsm` down the panel, `syrk` on diagonal trailing tiles and `gemm` on
+//! off-diagonal trailing tiles, with dependencies declared per tile. The
+//! trailing-submatrix structure gives the decaying parallelism the
+//! evaluation discusses for Cholesky.
+
+use nanos::{shared_mut, NanosRuntime, Region, SharedMut};
+
+use super::KernelRun;
+
+const TILE_SPACE: u64 = 60;
+
+/// Symmetric positive-definite test matrix entry.
+fn spd_entry(r: usize, c: usize, n: usize) -> f64 {
+    let base = 1.0 / (1.0 + (r as f64 - c as f64).abs());
+    if r == c {
+        base + n as f64
+    } else {
+        base
+    }
+}
+
+struct Tiled {
+    tiles: Vec<SharedMut<Vec<f64>>>,
+    nb: usize,
+}
+
+impl Tiled {
+    fn build(nb: usize, bs: usize) -> Tiled {
+        let n = nb * bs;
+        let tiles = (0..nb * nb)
+            .map(|t| {
+                let (ti, tj) = (t / nb, t % nb);
+                let mut v = vec![0.0; bs * bs];
+                for r in 0..bs {
+                    for c in 0..bs {
+                        v[r * bs + c] = spd_entry(ti * bs + r, tj * bs + c, n);
+                    }
+                }
+                shared_mut(v)
+            })
+            .collect();
+        let _ = bs;
+        Tiled { tiles, nb }
+    }
+
+    fn tile(&self, i: usize, j: usize) -> &SharedMut<Vec<f64>> {
+        &self.tiles[i * self.nb + j]
+    }
+
+    fn region(&self, i: usize, j: usize) -> Region {
+        Region::logical(TILE_SPACE, (i * self.nb + j) as u64)
+    }
+}
+
+/// In-place Cholesky of one `bs x bs` tile (lower triangle).
+fn potrf(a: &mut [f64], bs: usize) {
+    for j in 0..bs {
+        let mut d = a[j * bs + j];
+        for k in 0..j {
+            d -= a[j * bs + k] * a[j * bs + k];
+        }
+        assert!(d > 0.0, "matrix not positive definite");
+        let d = d.sqrt();
+        a[j * bs + j] = d;
+        for i in j + 1..bs {
+            let mut s = a[i * bs + j];
+            for k in 0..j {
+                s -= a[i * bs + k] * a[j * bs + k];
+            }
+            a[i * bs + j] = s / d;
+        }
+        for i in 0..j {
+            a[i * bs + j] = 0.0; // zero the upper triangle for clarity
+        }
+    }
+}
+
+/// `b <- b * l^{-T}` for the lower-triangular diagonal tile `l`.
+fn trsm(l: &[f64], b: &mut [f64], bs: usize) {
+    for i in 0..bs {
+        for j in 0..bs {
+            let mut s = b[i * bs + j];
+            for k in 0..j {
+                s -= b[i * bs + k] * l[j * bs + k];
+            }
+            b[i * bs + j] = s / l[j * bs + j];
+        }
+    }
+}
+
+/// `c <- c - a * aᵀ` (symmetric rank-k update; full tile computed).
+fn syrk(a: &[f64], c: &mut [f64], bs: usize) {
+    for i in 0..bs {
+        for j in 0..bs {
+            let mut s = 0.0;
+            for k in 0..bs {
+                s += a[i * bs + k] * a[j * bs + k];
+            }
+            c[i * bs + j] -= s;
+        }
+    }
+}
+
+/// `c <- c - a * bᵀ`.
+fn gemm_nt(a: &[f64], b: &[f64], c: &mut [f64], bs: usize) {
+    for i in 0..bs {
+        for j in 0..bs {
+            let mut s = 0.0;
+            for k in 0..bs {
+                s += a[i * bs + k] * b[j * bs + k];
+            }
+            c[i * bs + j] -= s;
+        }
+    }
+}
+
+/// Factorizes an `nb x nb`-tile SPD matrix in place; returns the sum of the
+/// resulting `L` entries (lower triangle).
+pub fn run(nr: &NanosRuntime, nb: usize, bs: usize) -> KernelRun {
+    let a = Tiled::build(nb, bs);
+    let mut tasks = 0u64;
+    for k in 0..nb {
+        {
+            let t = a.tile(k, k).clone();
+            let bs2 = bs;
+            nr.task()
+                .inout(a.region(k, k))
+                .body(move || t.with(|v| potrf(v, bs2)))
+                .spawn();
+            tasks += 1;
+        }
+        for i in k + 1..nb {
+            let l = a.tile(k, k).clone();
+            let b = a.tile(i, k).clone();
+            let bs2 = bs;
+            nr.task()
+                .input(a.region(k, k))
+                .inout(a.region(i, k))
+                .body(move || l.with_read(|lv| b.with(|bv| trsm(lv, bv, bs2))))
+                .spawn();
+            tasks += 1;
+        }
+        for i in k + 1..nb {
+            {
+                let p = a.tile(i, k).clone();
+                let c = a.tile(i, i).clone();
+                let bs2 = bs;
+                nr.task()
+                    .input(a.region(i, k))
+                    .inout(a.region(i, i))
+                    .body(move || p.with_read(|pv| c.with(|cv| syrk(pv, cv, bs2))))
+                    .spawn();
+                tasks += 1;
+            }
+            for j in k + 1..i {
+                let pi = a.tile(i, k).clone();
+                let pj = a.tile(j, k).clone();
+                let c = a.tile(i, j).clone();
+                let bs2 = bs;
+                nr.task()
+                    .input(a.region(i, k))
+                    .input(a.region(j, k))
+                    .inout(a.region(i, j))
+                    .body(move || {
+                        pi.with_read(|iv| pj.with_read(|jv| c.with(|cv| gemm_nt(iv, jv, cv, bs2))))
+                    })
+                    .spawn();
+                tasks += 1;
+            }
+        }
+    }
+    nr.taskwait();
+    // Checksum: sum of the lower-triangular factor.
+    let mut checksum = 0.0;
+    for i in 0..nb {
+        for j in 0..=i {
+            checksum += a.tile(i, j).with(|v| {
+                if i == j {
+                    let mut s = 0.0;
+                    for r in 0..bs {
+                        for c in 0..=r {
+                            s += v[r * bs + c];
+                        }
+                    }
+                    s
+                } else {
+                    v.iter().sum::<f64>()
+                }
+            });
+        }
+    }
+    KernelRun { checksum, tasks }
+}
+
+/// Sequential dense Cholesky of the same matrix; returns the same checksum.
+pub fn reference(nb: usize, bs: usize) -> f64 {
+    let n = nb * bs;
+    let mut a: Vec<f64> = (0..n * n)
+        .map(|t| spd_entry(t / n, t % n, n))
+        .collect();
+    for j in 0..n {
+        let mut d = a[j * n + j];
+        for k in 0..j {
+            d -= a[j * n + k] * a[j * n + k];
+        }
+        let d = d.sqrt();
+        a[j * n + j] = d;
+        for i in j + 1..n {
+            let mut s = a[i * n + j];
+            for k in 0..j {
+                s -= a[i * n + k] * a[j * n + k];
+            }
+            a[i * n + j] = s / d;
+        }
+    }
+    let mut sum = 0.0;
+    for i in 0..n {
+        for j in 0..=i {
+            sum += a[i * n + j];
+        }
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::assert_close;
+    use nanos::Backend;
+
+    #[test]
+    fn matches_dense_reference() {
+        let nr = NanosRuntime::new(Backend::standalone(3));
+        let run = run(&nr, 3, 8);
+        // nb=3: 3 potrf + 3 trsm + 3 syrk + 1 gemm = 10 tasks.
+        assert_eq!(run.tasks, 10);
+        assert_close(run.checksum, reference(3, 8), 1e-9);
+        nr.shutdown();
+    }
+
+    #[test]
+    fn factor_reconstructs_the_matrix() {
+        // L Lᵀ must reproduce A: verify on the dense reference path by
+        // recomputing A from the factor produced by the task version.
+        let nb = 2;
+        let bs = 6;
+        let n = nb * bs;
+        let nr = NanosRuntime::new(Backend::standalone(2));
+        let task_sum = run(&nr, nb, bs).checksum;
+        let ref_sum = reference(nb, bs);
+        assert_close(task_sum, ref_sum, 1e-9);
+        // And the reference factor truly reconstructs A.
+        let mut a: Vec<f64> = (0..n * n).map(|t| spd_entry(t / n, t % n, n)).collect();
+        let orig = a.clone();
+        for j in 0..n {
+            let mut d = a[j * n + j];
+            for k in 0..j {
+                d -= a[j * n + k] * a[j * n + k];
+            }
+            let d = d.sqrt();
+            a[j * n + j] = d;
+            for i in j + 1..n {
+                let mut s = a[i * n + j];
+                for k in 0..j {
+                    s -= a[i * n + k] * a[j * n + k];
+                }
+                a[i * n + j] = s / d;
+            }
+        }
+        for r in 0..n {
+            for c in 0..=r {
+                let mut s = 0.0;
+                for k in 0..n {
+                    let l1 = if k <= r { a[r * n + k] } else { 0.0 };
+                    let l2 = if k <= c { a[c * n + k] } else { 0.0 };
+                    s += l1 * l2;
+                }
+                assert!(
+                    (s - orig[r * n + c]).abs() < 1e-8,
+                    "reconstruction mismatch at ({r},{c}): {s} vs {}",
+                    orig[r * n + c]
+                );
+            }
+        }
+        nr.shutdown();
+    }
+
+    #[test]
+    fn larger_tiling_matches_too() {
+        let nr = NanosRuntime::new(Backend::standalone(4));
+        assert_close(run(&nr, 4, 4).checksum, reference(4, 4), 1e-9);
+        nr.shutdown();
+    }
+}

@@ -1,0 +1,110 @@
+//! Chunked vector dot product with a task-based reduction.
+//!
+//! Each chunk task computes a partial sum (`out` on its partial slot); a
+//! final reduction task reads every partial (`in`) and accumulates. The
+//! kernel iterates the pattern, chaining iterations through the result
+//! scalar — the repeated-reduction structure that makes dot-product so
+//! barrier-heavy in the evaluation.
+
+use nanos::{shared_mut, NanosRuntime, Region};
+
+use super::{chunks, KernelRun};
+
+/// Runs `iters` chunked dot products of two `n`-element vectors split into
+/// `parts` chunks. Returns the accumulated result across iterations.
+pub fn run(nr: &NanosRuntime, n: usize, parts: usize, iters: usize) -> KernelRun {
+    let x: std::sync::Arc<Vec<f64>> =
+        std::sync::Arc::new((0..n).map(|i| ((i % 23) as f64) * 0.5).collect());
+    let y: std::sync::Arc<Vec<f64>> =
+        std::sync::Arc::new((0..n).map(|i| ((i % 19) as f64) * 0.25).collect());
+
+    let ranges = chunks(n, parts);
+    let partials: Vec<_> = (0..ranges.len()).map(|_| shared_mut(0.0f64)).collect();
+    let accum = shared_mut(0.0f64);
+
+    const PARTIAL_SPACE: u64 = 20;
+    const ACCUM_SPACE: u64 = 21;
+    let accum_region = Region::logical(ACCUM_SPACE, 0);
+
+    let mut tasks = 0u64;
+    for _ in 0..iters {
+        for (c, range) in ranges.iter().enumerate() {
+            let x = std::sync::Arc::clone(&x);
+            let y = std::sync::Arc::clone(&y);
+            let p = partials[c].clone();
+            let range = range.clone();
+            nr.task()
+                .output(Region::logical(PARTIAL_SPACE, c as u64))
+                .body(move || {
+                    let s: f64 = range.clone().map(|i| x[i] * y[i]).sum();
+                    p.with(|v| *v = s);
+                })
+                .spawn();
+            tasks += 1;
+        }
+        // Reduction: reads all partials, updates the accumulator.
+        let ps: Vec<_> = partials.clone();
+        let acc = accum.clone();
+        let mut spec = nr.task().inout(accum_region);
+        for c in 0..ranges.len() {
+            spec = spec.input(Region::logical(PARTIAL_SPACE, c as u64));
+        }
+        spec.body(move || {
+            let total: f64 = ps.iter().map(|p| p.with_read(|v| *v)).sum();
+            acc.with(|a| *a += total);
+        })
+        .spawn();
+        tasks += 1;
+    }
+    nr.taskwait();
+    KernelRun {
+        checksum: accum.with(|v| *v),
+        tasks,
+    }
+}
+
+/// Sequential reference.
+pub fn reference(n: usize, iters: usize) -> f64 {
+    let dot: f64 = (0..n)
+        .map(|i| ((i % 23) as f64 * 0.5) * ((i % 19) as f64 * 0.25))
+        .sum();
+    dot * iters as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::assert_close;
+    use nanos::Backend;
+
+    #[test]
+    fn matches_reference() {
+        let nr = NanosRuntime::new(Backend::standalone(3));
+        let run = run(&nr, 10_000, 8, 5);
+        assert_eq!(run.tasks, 5 * 9);
+        assert_close(run.checksum, reference(10_000, 5), 1e-9);
+        nr.shutdown();
+    }
+
+    #[test]
+    fn chunk_count_does_not_change_result() {
+        let nr = NanosRuntime::new(Backend::standalone(2));
+        let a = run(&nr, 5_000, 2, 3).checksum;
+        let b = run(&nr, 5_000, 16, 3).checksum;
+        assert_close(a, b, 1e-9);
+        nr.shutdown();
+    }
+
+    #[test]
+    fn runs_on_nosv_backend() {
+        let rt = nosv::Runtime::new(nosv::NosvConfig {
+            cpus: 2,
+            ..Default::default()
+        });
+        let nr = NanosRuntime::new(Backend::nosv(rt.attach("dot")));
+        let run = run(&nr, 4_000, 4, 2);
+        assert_close(run.checksum, reference(4_000, 2), 1e-9);
+        nr.shutdown();
+        rt.shutdown();
+    }
+}

@@ -1,0 +1,316 @@
+//! HPCCG proxy: conjugate gradient on a 1D Poisson operator.
+//!
+//! A faithful (small) CG: chunked SpMV over the tridiagonal Laplacian,
+//! chunked dot products with serial reduction tasks, and chunked AXPY
+//! updates — the serial reductions between parallel phases are exactly the
+//! BSP structure the paper exploits when co-executing HPCCG (§5.2–5.3).
+
+use std::sync::Arc;
+
+use nanos::{shared_mut, NanosRuntime, Region, SharedMut};
+
+use super::{chunks, KernelRun};
+
+const X_SPACE: u64 = 40;
+const R_SPACE: u64 = 41;
+const P_SPACE: u64 = 42;
+const AP_SPACE: u64 = 43;
+const PART_SPACE: u64 = 44;
+const SCALAR_SPACE: u64 = 45;
+
+struct ChunkedVec {
+    chunks: Vec<SharedMut<Vec<f64>>>,
+    space: u64,
+}
+
+impl ChunkedVec {
+    fn new(ranges: &[std::ops::Range<usize>], space: u64, f: impl Fn(usize) -> f64) -> ChunkedVec {
+        ChunkedVec {
+            chunks: ranges
+                .iter()
+                .map(|r| shared_mut(r.clone().map(&f).collect::<Vec<f64>>()))
+                .collect(),
+            space,
+        }
+    }
+
+    fn region(&self, c: usize) -> Region {
+        Region::logical(self.space, c as u64)
+    }
+}
+
+/// Runs `iters` CG iterations on an `n`-point 1D Poisson system split into
+/// `parts` chunks. Returns the final squared residual norm.
+pub fn run(nr: &NanosRuntime, n: usize, parts: usize, iters: usize) -> KernelRun {
+    let ranges = Arc::new(chunks(n, parts));
+    let nc = ranges.len();
+    // b = A * ones  =>  solution is the ones vector; x0 = 0, r0 = p0 = b.
+    let bval = |i: usize| {
+        let mut v = 2.0;
+        if i > 0 {
+            v -= 1.0;
+        }
+        if i + 1 < n {
+            v -= 1.0;
+        }
+        v
+    };
+    let x = ChunkedVec::new(&ranges, X_SPACE, |_| 0.0);
+    let r = ChunkedVec::new(&ranges, R_SPACE, bval);
+    let p = ChunkedVec::new(&ranges, P_SPACE, bval);
+    let ap = ChunkedVec::new(&ranges, AP_SPACE, |_| 0.0);
+    let partials: Vec<_> = (0..nc).map(|_| shared_mut(0.0f64)).collect();
+    // Scalars: [rr, pap, rr_new] as one task-serialized record.
+    let scalars = shared_mut([0.0f64; 3]);
+    let scalar_region = Region::logical(SCALAR_SPACE, 0);
+
+    let mut tasks = 0u64;
+
+    // rr0 = r . r
+    reduce_dot(nr, &r, &r, &partials, &scalars, 0, &mut tasks);
+
+    for _ in 0..iters {
+        // Ap = A p (chunked stencil SpMV; neighbors via `in` deps).
+        for c in 0..nc {
+            let pc = p.chunks[c].clone();
+            let left = (c > 0).then(|| p.chunks[c - 1].clone());
+            let right = (c + 1 < nc).then(|| p.chunks[c + 1].clone());
+            let out = ap.chunks[c].clone();
+            let range = ranges[c].clone();
+            let n_total = n;
+            let mut spec = nr.task().output(ap.region(c)).input(p.region(c));
+            if c > 0 {
+                spec = spec.input(p.region(c - 1));
+            }
+            if c + 1 < nc {
+                spec = spec.input(p.region(c + 1));
+            }
+            spec.body(move || {
+                let lb = left.map(|l| l.with_read(|v| *v.last().expect("nonempty")));
+                let rb = right.map(|r| r.with_read(|v| v[0]));
+                pc.with_read(|pv| {
+                    out.with(|ov| {
+                        for (k, i) in range.clone().enumerate() {
+                            let up = if k > 0 {
+                                pv[k - 1]
+                            } else {
+                                lb.unwrap_or(0.0)
+                            };
+                            let down = if k + 1 < pv.len() {
+                                pv[k + 1]
+                            } else {
+                                rb.unwrap_or(0.0)
+                            };
+                            let _ = i;
+                            let _ = n_total;
+                            ov[k] = 2.0 * pv[k] - up - down;
+                        }
+                    })
+                });
+            })
+            .spawn();
+            tasks += 1;
+        }
+        // pap = p . Ap
+        reduce_dot(nr, &p, &ap, &partials, &scalars, 1, &mut tasks);
+        // x += alpha p; r -= alpha Ap  (alpha = rr / pap)
+        for c in 0..nc {
+            let xc = x.chunks[c].clone();
+            let rc = r.chunks[c].clone();
+            let pc = p.chunks[c].clone();
+            let apc = ap.chunks[c].clone();
+            let sc = scalars.clone();
+            nr.task()
+                .inout(x.region(c))
+                .inout(r.region(c))
+                .input(p.region(c))
+                .input(ap.region(c))
+                .input(scalar_region)
+                .body(move || {
+                    let (rr, pap) = sc.with_read(|s| (s[0], s[1]));
+                    let alpha = if pap != 0.0 { rr / pap } else { 0.0 };
+                    pc.with_read(|pv| xc.with(|xv| {
+                        for k in 0..xv.len() {
+                            xv[k] += alpha * pv[k];
+                        }
+                    }));
+                    apc.with_read(|av| rc.with(|rv| {
+                        for k in 0..rv.len() {
+                            rv[k] -= alpha * av[k];
+                        }
+                    }));
+                })
+                .spawn();
+            tasks += 1;
+        }
+        // rr_new = r . r
+        reduce_dot(nr, &r, &r, &partials, &scalars, 2, &mut tasks);
+        // p = r + beta p (beta = rr_new / rr), then rr <- rr_new.
+        for c in 0..nc {
+            let rc = r.chunks[c].clone();
+            let pc = p.chunks[c].clone();
+            let sc = scalars.clone();
+            nr.task()
+                .inout(p.region(c))
+                .input(r.region(c))
+                .input(scalar_region)
+                .body(move || {
+                    let (rr, rr_new) = sc.with_read(|s| (s[0], s[2]));
+                    let beta = if rr != 0.0 { rr_new / rr } else { 0.0 };
+                    rc.with_read(|rv| pc.with(|pv| {
+                        for k in 0..pv.len() {
+                            pv[k] = rv[k] + beta * pv[k];
+                        }
+                    }));
+                })
+                .spawn();
+            tasks += 1;
+        }
+        // rr <- rr_new (serial bookkeeping task).
+        let sc = scalars.clone();
+        nr.task()
+            .inout(scalar_region)
+            .body(move || sc.with(|s| s[0] = s[2]))
+            .spawn();
+        tasks += 1;
+    }
+    nr.taskwait();
+    KernelRun {
+        checksum: scalars.with(|s| s[0]),
+        tasks,
+    }
+}
+
+/// Chunked dot product of `a . b` into `scalars[slot]`.
+fn reduce_dot(
+    nr: &NanosRuntime,
+    a: &ChunkedVec,
+    b: &ChunkedVec,
+    partials: &[SharedMut<f64>],
+    scalars: &SharedMut<[f64; 3]>,
+    slot: usize,
+    tasks: &mut u64,
+) {
+    let nc = partials.len();
+    for c in 0..nc {
+        let ac = a.chunks[c].clone();
+        let bc = b.chunks[c].clone();
+        let pt = partials[c].clone();
+        nr.task()
+            .output(Region::logical(PART_SPACE, c as u64))
+            .input(a.region(c))
+            .input(b.region(c))
+            .body(move || {
+                // `a . a` must not nest `with` on the same cell.
+                let s: f64 = if ac.same_cell(&bc) {
+                    ac.with_read(|av| av.iter().map(|x| x * x).sum())
+                } else {
+                    ac.with_read(|av| {
+                        bc.with_read(|bv| av.iter().zip(bv.iter()).map(|(x, y)| x * y).sum())
+                    })
+                };
+                pt.with(|v| *v = s);
+            })
+            .spawn();
+        *tasks += 1;
+    }
+    let ps: Vec<_> = partials.to_vec();
+    let sc = scalars.clone();
+    let mut spec = nr.task().inout(Region::logical(SCALAR_SPACE, 0));
+    for c in 0..nc {
+        spec = spec.input(Region::logical(PART_SPACE, c as u64));
+    }
+    spec.body(move || {
+        let total: f64 = ps.iter().map(|p| p.with_read(|v| *v)).sum();
+        sc.with(|s| s[slot] = total);
+    })
+    .spawn();
+    *tasks += 1;
+}
+
+/// Sequential reference CG with identical chunked summation order.
+pub fn reference(n: usize, parts: usize, iters: usize) -> f64 {
+    let ranges = chunks(n, parts);
+    let chunked_dot = |a: &[f64], b: &[f64]| -> f64 {
+        ranges
+            .iter()
+            .map(|r| r.clone().map(|i| a[i] * b[i]).sum::<f64>())
+            .sum()
+    };
+    let bval = |i: usize| {
+        let mut v = 2.0;
+        if i > 0 {
+            v -= 1.0;
+        }
+        if i + 1 < n {
+            v -= 1.0;
+        }
+        v
+    };
+    let mut x = vec![0.0; n];
+    let mut r: Vec<f64> = (0..n).map(bval).collect();
+    let mut p = r.clone();
+    let mut rr = chunked_dot(&r, &r);
+    for _ in 0..iters {
+        let ap: Vec<f64> = (0..n)
+            .map(|i| {
+                let up = if i > 0 { p[i - 1] } else { 0.0 };
+                let down = if i + 1 < n { p[i + 1] } else { 0.0 };
+                2.0 * p[i] - up - down
+            })
+            .collect();
+        let pap = chunked_dot(&p, &ap);
+        let alpha = if pap != 0.0 { rr / pap } else { 0.0 };
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        let rr_new = chunked_dot(&r, &r);
+        let beta = if rr != 0.0 { rr_new / rr } else { 0.0 };
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+        rr = rr_new;
+    }
+    rr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::assert_close;
+    use nanos::Backend;
+
+    #[test]
+    fn matches_reference() {
+        let nr = NanosRuntime::new(Backend::standalone(3));
+        let run = run(&nr, 256, 4, 5);
+        assert_close(run.checksum, reference(256, 4, 5), 1e-9);
+        nr.shutdown();
+    }
+
+    #[test]
+    fn residual_decreases() {
+        let nr = NanosRuntime::new(Backend::standalone(2));
+        let r1 = run(&nr, 128, 4, 1).checksum;
+        let r10 = run(&nr, 128, 4, 10).checksum;
+        assert!(
+            r10 < r1,
+            "CG must make progress: rr after 10 iters {r10} vs after 1 {r1}"
+        );
+        nr.shutdown();
+    }
+
+    #[test]
+    fn runs_on_nosv_backend() {
+        let rt = nosv::Runtime::new(nosv::NosvConfig {
+            cpus: 2,
+            ..Default::default()
+        });
+        let nr = NanosRuntime::new(Backend::nosv(rt.attach("hpccg")));
+        let run = run(&nr, 128, 4, 3);
+        assert_close(run.checksum, reference(128, 4, 3), 1e-9);
+        nr.shutdown();
+        rt.shutdown();
+    }
+}

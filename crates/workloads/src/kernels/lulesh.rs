@@ -1,0 +1,218 @@
+//! A LULESH-style explicit hydrodynamics proxy (1D shock tube).
+//!
+//! The real LULESH 2.0 is a 3D Lagrangian hydro code; this proxy keeps its
+//! *task structure* on a 1D staggered grid: per timestep a stress/force
+//! phase over element chunks (reading neighbour chunks), a node-update
+//! phase (`inout` on the chunk), and a serial timestep-control reduction —
+//! the mixed parallel/serial phase pattern the simulator model mirrors.
+
+use nanos::{shared_mut, NanosRuntime, Region, SharedMut};
+
+use super::{chunks, KernelRun};
+
+const STATE_SPACE: u64 = 70;
+const FORCE_SPACE: u64 = 71;
+const DT_SPACE: u64 = 72;
+
+const GAMMA: f64 = 1.4;
+const CFL: f64 = 0.3;
+
+#[derive(Clone, Copy)]
+struct Element {
+    /// Velocity at the element's left node.
+    vel: f64,
+    /// Internal energy.
+    energy: f64,
+    /// Density.
+    rho: f64,
+}
+
+fn init_element(i: usize, n: usize) -> Element {
+    // Sod-like: high pressure on the left half.
+    Element {
+        vel: 0.0,
+        energy: if i < n / 2 { 2.5 } else { 1.0 },
+        rho: if i < n / 2 { 1.0 } else { 0.125 },
+    }
+}
+
+fn pressure(e: &Element) -> f64 {
+    (GAMMA - 1.0) * e.rho * e.energy
+}
+
+/// Force on each element boundary from the pressure gradient.
+fn compute_forces(mine: &[Element], left: Option<Element>, right: Option<Element>, out: &mut [f64]) {
+    let n = mine.len();
+    for i in 0..n {
+        let pl = if i > 0 {
+            pressure(&mine[i - 1])
+        } else {
+            left.map_or(pressure(&mine[0]), |e| pressure(&e))
+        };
+        let pr = if i + 1 < n {
+            pressure(&mine[i + 1])
+        } else {
+            right.map_or(pressure(&mine[n - 1]), |e| pressure(&e))
+        };
+        out[i] = -(pr - pl) * 0.5;
+    }
+}
+
+fn integrate(mine: &mut [Element], forces: &[f64], dt: f64) {
+    for (e, &f) in mine.iter_mut().zip(forces) {
+        e.vel += dt * f / e.rho.max(1e-9);
+        e.energy = (e.energy + dt * f * e.vel).max(1e-9);
+    }
+}
+
+/// Runs `steps` hydro steps on `n` elements split into `parts` chunks.
+/// Returns the total energy.
+pub fn run(nr: &NanosRuntime, n: usize, parts: usize, steps: usize) -> KernelRun {
+    let ranges = chunks(n, parts);
+    let nc = ranges.len();
+    let state: Vec<SharedMut<Vec<Element>>> = ranges
+        .iter()
+        .map(|r| shared_mut(r.clone().map(|i| init_element(i, n)).collect()))
+        .collect();
+    let forces: Vec<SharedMut<Vec<f64>>> = ranges
+        .iter()
+        .map(|r| shared_mut(vec![0.0; r.len()]))
+        .collect();
+    let dt = shared_mut(0.01f64);
+    let dt_region = Region::logical(DT_SPACE, 0);
+
+    let mut tasks = 0u64;
+    for _ in 0..steps {
+        // Phase 1: forces from the pressure field (neighbour reads).
+        for c in 0..nc {
+            let mine = state[c].clone();
+            let left = (c > 0).then(|| state[c - 1].clone());
+            let right = (c + 1 < nc).then(|| state[c + 1].clone());
+            let out = forces[c].clone();
+            let mut spec = nr
+                .task()
+                .output(Region::logical(FORCE_SPACE, c as u64))
+                .input(Region::logical(STATE_SPACE, c as u64));
+            if c > 0 {
+                spec = spec.input(Region::logical(STATE_SPACE, c as u64 - 1));
+            }
+            if c + 1 < nc {
+                spec = spec.input(Region::logical(STATE_SPACE, c as u64 + 1));
+            }
+            spec.body(move || {
+                let l = left.map(|s| s.with_read(|v| *v.last().expect("nonempty")));
+                let r = right.map(|s| s.with_read(|v| v[0]));
+                mine.with_read(|mv| out.with(|ov| compute_forces(mv, l, r, ov)));
+            })
+            .spawn();
+            tasks += 1;
+        }
+        // Phase 2: integrate using the shared timestep.
+        for c in 0..nc {
+            let mine = state[c].clone();
+            let f = forces[c].clone();
+            let dtc = dt.clone();
+            nr.task()
+                .inout(Region::logical(STATE_SPACE, c as u64))
+                .input(Region::logical(FORCE_SPACE, c as u64))
+                .input(dt_region)
+                .body(move || {
+                    let step = dtc.with_read(|v| *v);
+                    f.with_read(|fv| mine.with(|mv| integrate(mv, fv, step)));
+                })
+                .spawn();
+            tasks += 1;
+        }
+        // Phase 3: serial timestep control (CFL-style reduction).
+        let all: Vec<_> = state.clone();
+        let dtc = dt.clone();
+        let mut spec = nr.task().inout(dt_region);
+        for c in 0..nc {
+            spec = spec.input(Region::logical(STATE_SPACE, c as u64));
+        }
+        spec.body(move || {
+            let max_c: f64 = all
+                .iter()
+                .map(|s| {
+                    s.with_read(|v| {
+                        v.iter()
+                            .map(|e| (GAMMA * pressure(e) / e.rho.max(1e-9)).sqrt())
+                            .fold(0.0f64, f64::max)
+                    })
+                })
+                .fold(0.0f64, f64::max);
+            dtc.with(|d| *d = (CFL / max_c.max(1e-9)).min(0.02));
+        })
+        .spawn();
+        tasks += 1;
+    }
+    nr.taskwait();
+    let checksum = state
+        .iter()
+        .map(|s| s.with(|v| v.iter().map(|e| e.energy).sum::<f64>()))
+        .sum();
+    KernelRun { checksum, tasks }
+}
+
+/// Sequential reference with identical phase ordering.
+pub fn reference(n: usize, parts: usize, steps: usize) -> f64 {
+    let ranges = chunks(n, parts);
+    let mut elems: Vec<Element> = (0..n).map(|i| init_element(i, n)).collect();
+    let mut dt = 0.01;
+    for _ in 0..steps {
+        let snapshot = elems.clone();
+        let mut forces = vec![0.0; n];
+        for r in &ranges {
+            let left = (r.start > 0).then(|| snapshot[r.start - 1]);
+            let right = (r.end < n).then(|| snapshot[r.end]);
+            compute_forces(
+                &snapshot[r.clone()],
+                left,
+                right,
+                &mut forces[r.clone()],
+            );
+        }
+        for r in &ranges {
+            integrate(&mut elems[r.clone()], &forces[r.clone()], dt);
+        }
+        let max_c = elems
+            .iter()
+            .map(|e| (GAMMA * pressure(e) / e.rho.max(1e-9)).sqrt())
+            .fold(0.0f64, f64::max);
+        dt = (CFL / max_c.max(1e-9)).min(0.02);
+    }
+    elems.iter().map(|e| e.energy).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::assert_close;
+    use nanos::Backend;
+
+    #[test]
+    fn matches_reference() {
+        let nr = NanosRuntime::new(Backend::standalone(3));
+        let run = run(&nr, 120, 4, 5);
+        assert_eq!(run.tasks, 5 * 9);
+        assert_close(run.checksum, reference(120, 4, 5), 1e-9);
+        nr.shutdown();
+    }
+
+    #[test]
+    fn chunking_invariant() {
+        let nr = NanosRuntime::new(Backend::standalone(2));
+        let a = run(&nr, 96, 2, 4).checksum;
+        let b = run(&nr, 96, 12, 4).checksum;
+        assert_close(a, b, 1e-9);
+        nr.shutdown();
+    }
+
+    #[test]
+    fn energy_stays_finite_and_positive() {
+        let nr = NanosRuntime::new(Backend::standalone(2));
+        let e = run(&nr, 64, 4, 20).checksum;
+        assert!(e.is_finite() && e > 0.0, "energy {e}");
+        nr.shutdown();
+    }
+}

@@ -1,0 +1,78 @@
+//! Real task-graph implementations of the seven benchmarks (§5.1).
+//!
+//! Unlike [`crate::models`], these kernels execute genuine floating-point
+//! work as `nanos` task graphs with data-flow dependencies, and run on
+//! either backend (standalone Nanos6-style pool, or delegated to nOS-V).
+//! They power the Fig. 5 baseline experiment — comparing the two backends
+//! at peak and at deliberately-too-fine task granularity — as well as the
+//! runnable examples, and every kernel's numerical output is verified
+//! against a reference in its tests.
+//!
+//! Sizes are parameterized: the benches use moderate problem sizes; tests
+//! use tiny ones. `grain` parameters control task granularity (the number
+//! of blocks/chunks the problem is split into).
+
+pub mod cholesky;
+pub mod dot;
+pub mod heat;
+pub mod hpccg;
+pub mod lulesh;
+pub mod matmul;
+pub mod nbody;
+
+/// Outcome of one kernel execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelRun {
+    /// A numeric digest of the result (compared against references).
+    pub checksum: f64,
+    /// Number of tasks the kernel spawned.
+    pub tasks: u64,
+}
+
+/// Asserts two values agree to a relative tolerance.
+pub fn assert_close(a: f64, b: f64, rel: f64) {
+    let denom = a.abs().max(b.abs()).max(1e-12);
+    assert!(
+        ((a - b).abs() / denom) < rel,
+        "checksums differ: {a} vs {b} (rel {})",
+        (a - b).abs() / denom
+    );
+}
+
+/// Splits `n` items into `parts` near-equal contiguous ranges.
+pub(crate) fn chunks(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.clamp(1, n.max(1));
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_everything() {
+        for (n, p) in [(10, 3), (7, 7), (5, 9), (100, 1)] {
+            let cs = chunks(n, p);
+            assert_eq!(cs.first().unwrap().start, 0);
+            assert_eq!(cs.last().unwrap().end, n);
+            for w in cs.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "checksums differ")]
+    fn assert_close_catches_mismatch() {
+        assert_close(1.0, 2.0, 1e-6);
+    }
+}

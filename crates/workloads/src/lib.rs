@@ -1,0 +1,26 @@
+//! # workloads: the paper's seven benchmarks
+//!
+//! §5.1 evaluates nOS-V on "a matrix multiplication, a vector dot-product,
+//! a Gauss-Seidel heat equation simulation, the HPCCG proxy application, an
+//! N-Body simulation, a Cholesky factorization, and the Lulesh 2.0 proxy
+//! application". This crate provides each of them twice:
+//!
+//! * [`models`] — calibrated phase-structured [`simnode::AppModel`]s for
+//!   the discrete-event simulator. The calibration targets are the exact
+//!   utilization/bandwidth numbers the paper reports for the 64-core AMD
+//!   Rome node (§5.2): dot-product 99.5 % CPU / 111 GB/s, heat 95.22 % /
+//!   68.95 GB/s, HPCCG 73.3 % / 90.21 GB/s, N-Body 98.38 % / 0.66 GB/s —
+//!   plus representative profiles for matmul, Cholesky and LULESH. These
+//!   models drive the Fig. 6–8 reproduction.
+//! * [`kernels`] — *real* task-graph implementations over the `nanos`
+//!   runtime (actual floating-point work with data-flow dependencies),
+//!   runnable on either backend. These drive the Fig. 5 baseline
+//!   comparison and the examples, and their numerical results are checked
+//!   in tests.
+
+#![warn(missing_docs)]
+
+pub mod kernels;
+pub mod models;
+
+pub use models::{all_benchmarks, benchmark, Benchmark};

@@ -1,0 +1,45 @@
+//! The §5.3 NUMA experiment in miniature: distributed HPCCG + N-Body on a
+//! simulated dual-socket node, across all five Fig. 9 strategies.
+//!
+//! Run with: `cargo run --release --example numa_affinity`
+
+use mpisim::{run_all, DistConfig, DistStrategy};
+use simnode::SimOptions;
+
+fn main() {
+    let cfg = DistConfig {
+        nodes: 8,
+        scale: 0.3,
+        sim: SimOptions::default(),
+    };
+    println!("distributed HPCCG (2 ranks/node, socket-homed) + N-Body, 8 nodes\n");
+    println!(
+        "{:<24} {:>10} {:>10} {:>10} {:>14}",
+        "strategy", "HPCCG(s)", "NBody(s)", "total(s)", "HPCCG remote%"
+    );
+    let outcomes = run_all(&cfg);
+    for o in &outcomes {
+        println!(
+            "{:<24} {:>10.2} {:>10.2} {:>10.2} {:>13.1}%",
+            o.strategy.name(),
+            o.hpccg_ns as f64 / 1e9,
+            o.nbody_ns as f64 / 1e9,
+            o.makespan_ns as f64 / 1e9,
+            o.hpccg_remote_fraction * 100.0
+        );
+    }
+    let exclusive = outcomes
+        .iter()
+        .find(|o| o.strategy == DistStrategy::Exclusive)
+        .expect("present")
+        .makespan_ns;
+    let affine = outcomes
+        .iter()
+        .find(|o| o.strategy == DistStrategy::NosvAffinity)
+        .expect("present")
+        .makespan_ns;
+    println!(
+        "\nnOS-V + NUMA affinity speedup over exclusive: {:.2}x (paper: 1.21x)",
+        exclusive as f64 / affine as f64
+    );
+}

@@ -1,0 +1,34 @@
+//! Dumps a Fig. 10-style per-core execution trace of a co-executed run on
+//! the simulated dual-socket node, with and without NUMA affinity.
+//!
+//! Run with: `cargo run --release --example trace_dump`
+
+use mpisim::{run_distributed, DistConfig, DistStrategy};
+use simnode::SimOptions;
+
+fn main() {
+    let cfg = DistConfig {
+        nodes: 8,
+        scale: 0.12,
+        sim: SimOptions {
+            record_trace: true,
+            ..Default::default()
+        },
+    };
+    for (label, strategy) in [
+        ("w/o affinity", DistStrategy::Nosv),
+        ("with affinity", DistStrategy::NosvAffinity),
+    ] {
+        let o = run_distributed(strategy, &cfg);
+        let sim = o.sim.expect("co-scheduled run");
+        let trace = sim.trace.expect("requested");
+        println!(
+            "\n== {label}: {} task segments, HPCCG remote accesses {:.1}% ==",
+            trace.segments.len(),
+            o.hpccg_remote_fraction * 100.0
+        );
+        println!("   rows = 48 cores (socket 0 then 1); A/B = HPCCG ranks, C = NBody");
+        println!("   uppercase = local to its data's socket, lowercase = remote\n");
+        print!("{}", trace.render_ascii(48, 110));
+    }
+}

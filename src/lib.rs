@@ -1,0 +1,15 @@
+//! # nosv-repro: umbrella crate
+//!
+//! Re-exports every crate of the reproduction of *"nOS-V: Co-Executing HPC
+//! Applications Using System-Wide Task Scheduling"* so examples and
+//! integration tests can use one dependency. See `README.md` for the tour
+//! and `DESIGN.md` for the system inventory.
+
+pub use mpisim;
+pub use nanos;
+pub use nosv;
+pub use nosv_shmem;
+pub use nosv_sync;
+pub use simnode;
+pub use strategies;
+pub use workloads;

@@ -1,0 +1,198 @@
+//! Cross-crate integration tests: the full stack from the shared-memory
+//! substrate up through nanos task graphs and the evaluation pipeline.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use nosv_repro::nanos::{Backend, NanosRuntime};
+use nosv_repro::nosv::{NosvConfig, Runtime};
+use nosv_repro::simnode::{AffinityMode, NodeSpec, RuntimeMode, SimOptions};
+use nosv_repro::strategies::{evaluate_combo, Strategy, StrategyConfig};
+use nosv_repro::workloads::kernels;
+use nosv_repro::workloads::{benchmark, Benchmark};
+
+/// Two nanos applications with *different* task graphs co-execute through
+/// one nOS-V runtime and both produce bit-correct results — the end-to-end
+/// claim of §4.
+#[test]
+fn two_nanos_apps_share_one_nosv_runtime() {
+    let rt = Runtime::new(NosvConfig {
+        cpus: 4,
+        ..Default::default()
+    });
+    let (mm, ch) = std::thread::scope(|s| {
+        let mm = s.spawn(|| {
+            let nr = NanosRuntime::new(Backend::nosv(rt.attach("matmul")));
+            let out = kernels::matmul::run(&nr, 3, 8);
+            nr.shutdown();
+            out
+        });
+        let ch = s.spawn(|| {
+            let nr = NanosRuntime::new(Backend::nosv(rt.attach("cholesky")));
+            let out = kernels::cholesky::run(&nr, 3, 8);
+            nr.shutdown();
+            out
+        });
+        (mm.join().expect("matmul"), ch.join().expect("cholesky"))
+    });
+    kernels::assert_close(mm.checksum, kernels::matmul::reference(3, 8), 1e-9);
+    kernels::assert_close(ch.checksum, kernels::cholesky::reference(3, 8), 1e-9);
+    let stats = rt.stats();
+    assert_eq!(stats.tasks_executed, mm.tasks + ch.tasks);
+    rt.shutdown();
+}
+
+/// Every kernel computes identical results on both backends — the paper's
+/// "requires no changes to user applications" integration claim.
+#[test]
+fn all_kernels_agree_across_backends() {
+    type K = (&'static str, fn(&NanosRuntime) -> f64);
+    let cases: Vec<K> = vec![
+        ("matmul", |nr| kernels::matmul::run(nr, 2, 8).checksum),
+        ("dot", |nr| kernels::dot::run(nr, 2_000, 4, 2).checksum),
+        ("heat", |nr| kernels::heat::run(nr, 24, 12, 3, 2).checksum),
+        ("hpccg", |nr| kernels::hpccg::run(nr, 96, 4, 2).checksum),
+        ("nbody", |nr| kernels::nbody::run(nr, 48, 4, 2).checksum),
+        ("cholesky", |nr| kernels::cholesky::run(nr, 2, 6).checksum),
+        ("lulesh", |nr| kernels::lulesh::run(nr, 60, 4, 3).checksum),
+    ];
+    for (name, f) in cases {
+        let standalone = {
+            let nr = NanosRuntime::new(Backend::standalone(2));
+            let v = f(&nr);
+            nr.shutdown();
+            v
+        };
+        let via_nosv = {
+            let rt = Runtime::new(NosvConfig {
+                cpus: 2,
+                ..Default::default()
+            });
+            let nr = NanosRuntime::new(Backend::nosv(rt.attach(name)));
+            let v = f(&nr);
+            nr.shutdown();
+            rt.shutdown();
+            v
+        };
+        kernels::assert_close(standalone, via_nosv, 1e-9);
+    }
+}
+
+/// The paper's qualitative headline on the evaluation pipeline: nOS-V
+/// co-execution never loses to exclusive execution, on a sample of pairs.
+#[test]
+fn nosv_never_worse_than_exclusive_sampled() {
+    let node = NodeSpec::amd_rome();
+    let cfg = StrategyConfig {
+        sim: SimOptions::default(),
+        ..Default::default()
+    };
+    for (a, b) in [
+        (Benchmark::Hpccg, Benchmark::Nbody),
+        (Benchmark::Lulesh, Benchmark::Matmul),
+        (Benchmark::Cholesky, Benchmark::DotProduct),
+    ] {
+        let apps = vec![benchmark(a, 0.03), benchmark(b, 0.03)];
+        let out = evaluate_combo(&node, &apps, vec![0, 1], &cfg);
+        let speedup = out.speedup_vs_exclusive(Strategy::Nosv);
+        assert!(
+            speedup >= 0.99,
+            "{:?}+{:?}: nOS-V lost to exclusive ({speedup})",
+            a,
+            b
+        );
+    }
+}
+
+/// Many applications (more than cores) attach, run, detach — exercising
+/// the registry life cycle and the one-worker-per-core invariant under
+/// heavy oversubscription of logical processes.
+#[test]
+fn many_small_apps_run_to_completion() {
+    let rt = Runtime::new(NosvConfig {
+        cpus: 2,
+        ..Default::default()
+    });
+    let done = Arc::new(AtomicUsize::new(0));
+    for wave in 0..3 {
+        let apps: Vec<_> = (0..6)
+            .map(|i| rt.attach(&format!("wave{wave}-app{i}")))
+            .collect();
+        let tasks: Vec<_> = apps
+            .iter()
+            .flat_map(|app| {
+                (0..10).map(|_| {
+                    let d = Arc::clone(&done);
+                    app.spawn(move |_| {
+                        d.fetch_add(1, Ordering::Relaxed);
+                    })
+                })
+            })
+            .collect();
+        for t in &tasks {
+            t.wait();
+        }
+        for t in tasks {
+            t.destroy();
+        }
+        // apps drop here: detach all six.
+    }
+    assert_eq!(done.load(Ordering::Relaxed), 3 * 6 * 10);
+    rt.shutdown();
+}
+
+/// The simulator and the real runtime share the same policy code: a
+/// quantum-expiry decision made by `nosv::policy` drives both. This test
+/// pins the policy's observable behaviour through the simulator.
+#[test]
+fn simulated_quantum_controls_switch_rate() {
+    let node = NodeSpec::tiny(1, 4);
+    let apps = vec![
+        benchmark(Benchmark::Matmul, 0.02),
+        benchmark(Benchmark::Nbody, 0.02),
+    ];
+    let run = |quantum_ns| {
+        nosv_repro::simnode::run_simulation(
+            &node,
+            &apps,
+            &RuntimeMode::Nosv {
+                quantum_ns,
+                affinity: AffinityMode::Ignore,
+            },
+            &SimOptions::default(),
+        )
+        .stats
+    };
+    let short = run(1_000_000);
+    let long = run(500_000_000);
+    assert!(
+        short.quantum_switches > long.quantum_switches,
+        "shorter quantum must force more switches: {} vs {}",
+        short.quantum_switches,
+        long.quantum_switches
+    );
+}
+
+/// Segment hygiene: a full create/attach/run/detach cycle leaves the
+/// shared segment balanced (no leaked descriptors or chunks).
+#[test]
+fn shared_segment_balances_after_workload() {
+    use nosv_repro::nosv_shmem::{SegmentConfig, ShmSegment};
+    let seg = ShmSegment::create(SegmentConfig {
+        size: 8 * 1024 * 1024,
+        max_cpus: 4,
+    });
+    let before = seg.alloc_stats();
+    let offs: Vec<_> = (0..500)
+        .map(|i| seg.alloc(64 + (i % 100) * 8, i % 4).expect("space"))
+        .collect();
+    for (i, off) in offs.into_iter().enumerate() {
+        seg.free(off, (i + 1) % 4);
+    }
+    for cpu in 0..4 {
+        seg.drain_cpu_caches(cpu);
+    }
+    let after = seg.alloc_stats();
+    assert_eq!(after.allocated_bytes, 0);
+    assert_eq!(after.free_chunks, before.free_chunks);
+}
