@@ -118,12 +118,13 @@ fn main() {
         .enumerate()
         {
             if use_nosv {
-                let rt = nosv::Runtime::new(nosv::NosvConfig {
-                    cpus: threads,
-                    segment_size: 64 * 1024 * 1024,
-                    ..Default::default()
-                });
-                let nr = NanosRuntime::new(Backend::nosv(rt.attach(case.name)));
+                let rt = nosv::Runtime::builder()
+                    .cpus(threads)
+                    .segment_size(64 * 1024 * 1024)
+                    .build()
+                    .expect("valid bench configuration");
+                let app = rt.attach(case.name).expect("attach bench app");
+                let nr = NanosRuntime::new(Backend::nosv(app));
                 let (t, out) = time_run(&nr, &case, grain, s);
                 times[slot] = t;
                 sums[slot] = out.checksum;

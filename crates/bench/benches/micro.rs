@@ -1,7 +1,7 @@
-//! Criterion microbenchmarks and design-choice ablations.
+//! Microbenchmarks and design-choice ablations (criterion-free harness).
 //!
 //! * `dtlock` — the Delegation Ticket Lock against a plain ticket lock and
-//!   `parking_lot::Mutex` under producer/consumer contention (§3.4's
+//!   `std::sync::Mutex` under producer/consumer contention (§3.4's
 //!   "state-of-the-art performance" claim for the scheduler lock).
 //! * `shmem_alloc` — the in-segment SLAB allocator against the system
 //!   allocator, including the cross-process free path (§3.5's
@@ -14,147 +14,144 @@
 //! Run with: `cargo bench -p bench --bench micro`
 
 use std::sync::Arc;
+use std::time::Instant;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nosv::prelude::*;
 use nosv_shmem::{SegmentConfig, ShmSegment};
 use nosv_sync::{Acquired, DtLock, TicketLock};
 
-fn bench_locks(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dtlock");
-    g.sample_size(20);
+/// Times `op` over enough iterations for a stable per-op estimate and
+/// prints nanoseconds per operation.
+fn report(name: &str, mut op: impl FnMut()) {
+    // Warm up, then scale the iteration count to ~50 ms of work.
+    let t0 = Instant::now();
+    let mut probe = 0u64;
+    while t0.elapsed().as_millis() < 5 {
+        op();
+        probe += 1;
+    }
+    let per_op = t0.elapsed().as_nanos() as f64 / probe as f64;
+    let iters = ((50_000_000.0 / per_op.max(1.0)) as u64).clamp(10, 10_000_000);
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        op();
+    }
+    let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+    println!("  {name:<28} {ns:>12.1} ns/op   ({iters} iters)");
+}
+
+/// Times a closure that runs `iters` operations across its own threads.
+fn report_threaded(name: &str, iters: u64, run: impl Fn(u64) -> std::time::Duration) {
+    let elapsed = run(iters);
+    let ns = elapsed.as_nanos() as f64 / iters as f64;
+    println!("  {name:<28} {ns:>12.1} ns/op   ({iters} iters x threads)");
+}
+
+fn bench_locks() {
+    println!("\n-- dtlock: scheduler-lock candidates --");
 
     // Uncontended acquire/release round-trips.
     let dt: DtLock<u64, u64> = DtLock::new(0, 8);
-    g.bench_function("dtlock_uncontended", |b| {
-        b.iter(|| match dt.acquire(0) {
-            Acquired::Holder(mut guard) => {
-                *guard += 1;
-            }
-            Acquired::Served(_) => unreachable!(),
-        })
+    report("dtlock_uncontended", || match dt.acquire(0) {
+        Acquired::Holder(mut guard) => {
+            *guard += 1;
+        }
+        Acquired::Served(_) => unreachable!(),
     });
 
     let ticket = TicketLock::new(0u64);
-    g.bench_function("ticket_uncontended", |b| {
-        b.iter(|| {
-            *ticket.lock() += 1;
-        })
+    report("ticket_uncontended", || {
+        *ticket.lock() += 1;
     });
 
-    let mutex = parking_lot::Mutex::new(0u64);
-    g.bench_function("parking_lot_uncontended", |b| {
-        b.iter(|| {
-            *mutex.lock() += 1;
-        })
+    let mutex = std::sync::Mutex::new(0u64);
+    report("std_mutex_uncontended", || {
+        *mutex.lock().unwrap() += 1;
     });
 
     // Contended: 3 threads hammer a shared counter through each lock.
-    g.bench_function("dtlock_contended_3t", |b| {
-        b.iter_custom(|iters| {
-            let lock: Arc<DtLock<u64, u64>> = Arc::new(DtLock::new(0, 8));
-            let start = std::time::Instant::now();
-            std::thread::scope(|s| {
-                for _ in 0..3 {
-                    let lock = Arc::clone(&lock);
-                    s.spawn(move || {
-                        for _ in 0..iters {
-                            match lock.acquire(0) {
-                                Acquired::Holder(mut g) => *g += 1,
-                                Acquired::Served(_) => {}
-                            }
+    report_threaded("dtlock_contended_3t", 200_000, |iters| {
+        let lock: Arc<DtLock<u64, u64>> = Arc::new(DtLock::new(0, 8));
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let lock = Arc::clone(&lock);
+                s.spawn(move || {
+                    for _ in 0..iters {
+                        match lock.acquire(0) {
+                            Acquired::Holder(mut g) => *g += 1,
+                            Acquired::Served(_) => {}
                         }
-                    });
-                }
-            });
-            start.elapsed()
-        })
+                    }
+                });
+            }
+        });
+        start.elapsed()
     });
-    g.bench_function("ticket_contended_3t", |b| {
-        b.iter_custom(|iters| {
-            let lock = Arc::new(TicketLock::new(0u64));
-            let start = std::time::Instant::now();
-            std::thread::scope(|s| {
-                for _ in 0..3 {
-                    let lock = Arc::clone(&lock);
-                    s.spawn(move || {
-                        for _ in 0..iters {
-                            *lock.lock() += 1;
-                        }
-                    });
-                }
-            });
-            start.elapsed()
-        })
+    report_threaded("ticket_contended_3t", 200_000, |iters| {
+        let lock = Arc::new(TicketLock::new(0u64));
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let lock = Arc::clone(&lock);
+                s.spawn(move || {
+                    for _ in 0..iters {
+                        *lock.lock() += 1;
+                    }
+                });
+            }
+        });
+        start.elapsed()
     });
-    g.finish();
 }
 
-fn bench_shmem_alloc(c: &mut Criterion) {
-    let mut g = c.benchmark_group("shmem_alloc");
-    g.sample_size(20);
+fn bench_shmem_alloc() {
+    println!("\n-- shmem_alloc: SLAB vs system allocator --");
     let seg = ShmSegment::create(SegmentConfig {
         size: 32 * 1024 * 1024,
         max_cpus: 4,
     });
     for size in [64usize, 512, 4096] {
-        g.bench_with_input(BenchmarkId::new("slab", size), &size, |b, &size| {
-            b.iter(|| {
-                let off = seg.alloc(size, 0).expect("space");
-                seg.free(off, 0);
-            })
+        report(&format!("slab_{size}"), || {
+            let off = seg.alloc(size, 0).expect("space");
+            seg.free(off, 0);
         });
-        g.bench_with_input(BenchmarkId::new("system", size), &size, |b, &size| {
-            b.iter(|| {
-                let v = vec![0u8; size];
-                std::hint::black_box(&v);
-            })
+        report(&format!("system_{size}"), || {
+            let v = vec![0u8; size];
+            std::hint::black_box(&v);
         });
     }
     // Cross-"process" free: allocated on cpu 0 / freed through another
     // mapping on cpu 3 — the property ordinary allocators lack.
     let seg2 = seg.clone();
-    g.bench_function("slab_cross_process_free", |b| {
-        b.iter(|| {
-            let off = seg.alloc(256, 0).expect("space");
-            seg2.free(off, 3);
-        })
+    report("slab_cross_process_free", || {
+        let off = seg.alloc(256, 0).expect("space");
+        seg2.free(off, 3);
     });
-    g.finish();
 }
 
-fn bench_task_lifecycle(c: &mut Criterion) {
-    let mut g = c.benchmark_group("task_lifecycle");
-    g.sample_size(10);
-    let rt = nosv::Runtime::new(nosv::NosvConfig {
-        cpus: 2,
-        ..Default::default()
+fn bench_task_lifecycle() {
+    println!("\n-- task_lifecycle: nosv_create..nosv_destroy --");
+    let rt = Runtime::builder().cpus(2).build().expect("valid");
+    let app = rt.attach("bench").expect("attach");
+    report("create_submit_run_destroy", || {
+        let t = app.create_task(|_| {});
+        t.submit().expect("fresh submit");
+        t.wait();
+        t.destroy();
     });
-    let app = rt.attach("bench");
-    g.bench_function("create_submit_run_destroy", |b| {
-        b.iter(|| {
-            let t = app.create_task(|_| {});
-            t.submit();
-            t.wait();
-            t.destroy();
-        })
+    report("create_destroy_only", || {
+        let t = app.create_task(|_| {});
+        t.destroy();
     });
-    g.bench_function("create_destroy_only", |b| {
-        b.iter(|| {
-            let t = app.create_task(|_| {});
-            t.destroy();
-        })
-    });
-    g.finish();
     drop(app);
     rt.shutdown();
 }
 
-fn bench_quantum_ablation(c: &mut Criterion) {
+fn bench_quantum_ablation() {
     use simnode::{AffinityMode, NodeSpec, RuntimeMode, SimOptions};
     use workloads::{benchmark, Benchmark};
 
-    let mut g = c.benchmark_group("quantum_ablation");
-    g.sample_size(10);
     let node = NodeSpec::amd_rome();
     let apps = vec![
         benchmark(Benchmark::Hpccg, 0.02),
@@ -178,29 +175,28 @@ fn bench_quantum_ablation(c: &mut Criterion) {
             r.stats.quantum_switches
         );
     }
-    // Also expose one configuration as a criterion measurement.
-    g.bench_function("nosv_sim_quantum20ms", |b| {
-        b.iter(|| {
-            simnode::run_simulation(
-                &node,
-                &apps,
-                &RuntimeMode::Nosv {
-                    quantum_ns: 20_000_000,
-                    affinity: AffinityMode::Ignore,
-                },
-                &SimOptions::default(),
-            )
-            .makespan_ns
-        })
-    });
-    g.finish();
+    // One configuration timed as a wall-clock measurement.
+    let t0 = Instant::now();
+    let r = simnode::run_simulation(
+        &node,
+        &apps,
+        &RuntimeMode::Nosv {
+            quantum_ns: 20_000_000,
+            affinity: AffinityMode::Ignore,
+        },
+        &SimOptions::default(),
+    );
+    println!(
+        "   nosv_sim_quantum20ms: simulated {:.3} s in {:.1} ms wall",
+        r.makespan_ns as f64 / 1e9,
+        t0.elapsed().as_secs_f64() * 1e3
+    );
 }
 
-criterion_group!(
-    benches,
-    bench_locks,
-    bench_shmem_alloc,
-    bench_task_lifecycle,
-    bench_quantum_ablation
-);
-criterion_main!(benches);
+fn main() {
+    println!("== microbenchmarks ==");
+    bench_locks();
+    bench_shmem_alloc();
+    bench_task_lifecycle();
+    bench_quantum_ablation();
+}

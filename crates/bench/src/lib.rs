@@ -32,11 +32,7 @@ pub fn env_seed() -> u64 {
 /// Prints one strategy's heatmap (lower triangle incl. diagonal) in the
 /// layout of Fig. 6: rows/columns are benchmarks, cells are performance
 /// scores.
-pub fn print_heatmap(
-    title: &str,
-    names: &[&str],
-    cell: impl Fn(usize, usize) -> Option<f64>,
-) {
+pub fn print_heatmap(title: &str, names: &[&str], cell: impl Fn(usize, usize) -> Option<f64>) {
     println!("\n  {title}");
     print!("  {:>12}", "");
     for n in names {

@@ -169,8 +169,8 @@ pub fn run_distributed(strategy: DistStrategy, cfg: &DistConfig) -> DistOutcome 
         let nbody = r.stats.apps[NBODY].finish_ns;
         let remote = (r.stats.apps[HPCCG_RANK0].remote_tasks
             + r.stats.apps[HPCCG_RANK1].remote_tasks) as f64;
-        let homed = (r.stats.apps[HPCCG_RANK0].homed_tasks
-            + r.stats.apps[HPCCG_RANK1].homed_tasks) as f64;
+        let homed =
+            (r.stats.apps[HPCCG_RANK0].homed_tasks + r.stats.apps[HPCCG_RANK1].homed_tasks) as f64;
         (hpccg, nbody, if homed > 0.0 { remote / homed } else { 0.0 })
     };
 

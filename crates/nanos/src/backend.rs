@@ -6,7 +6,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use nosv::{ProcessContext, TaskBuilder, TaskHandle};
-use parking_lot::{Condvar, Mutex};
+use nosv_sync::{Condvar, Mutex};
 
 /// Where ready tasks execute.
 ///
@@ -218,14 +218,19 @@ pub(crate) struct NosvBridge {
 impl NosvBridge {
     fn submit(&self, job: ReadyJob) {
         let body = job.body;
-        let handle = self.app.build_task(
-            TaskBuilder::new()
-                .priority(job.priority)
-                .affinity(job.affinity)
-                .run(move |_ctx| body())
-                .on_completed(job.on_done),
-        );
-        handle.submit();
+        let handle = self
+            .app
+            .build_task(
+                TaskBuilder::new()
+                    .priority(job.priority)
+                    .affinity(job.affinity)
+                    .run(move |_ctx| body())
+                    .on_completed(job.on_done),
+            )
+            .unwrap_or_else(|e| panic!("nOS-V rejected a nanos task: {e}"));
+        handle
+            .submit()
+            .unwrap_or_else(|e| panic!("nOS-V rejected a nanos task submission: {e}"));
         self.handles.lock().push(handle);
     }
 

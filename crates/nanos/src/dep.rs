@@ -151,7 +151,7 @@ impl DepTracker {
     /// (compaction; optional, keeps long-running programs bounded).
     pub fn compact(&mut self, completed: &dyn Fn(u64) -> bool) {
         self.intervals.retain(|_, (_, state)| {
-            let writer_done = state.last_writer.map_or(true, completed);
+            let writer_done = state.last_writer.is_none_or(completed);
             if writer_done {
                 state.readers.retain(|&r| !completed(r));
                 state.last_writer = state.last_writer.filter(|&w| !completed(w));
@@ -167,7 +167,6 @@ impl DepTracker {
             let state = state.clone();
             if let Some(&(next_end, ref next_state)) = self.intervals.get(&end) {
                 if *next_state == state {
-                    let next_end = next_end;
                     self.intervals.remove(&end);
                     self.intervals.get_mut(&key).expect("present").0 = next_end;
                 }
@@ -231,7 +230,7 @@ mod tests {
         let mut d = DepTracker::new();
         d.register(1, r(0, 10), AccessMode::Out); // writes [0,10)
         d.register(2, r(10, 10), AccessMode::Out); // writes [10,20)
-        // Reads [5,15): must wait on both writers.
+                                                   // Reads [5,15): must wait on both writers.
         let preds = d.register(3, r(5, 10), AccessMode::In);
         assert_eq!(preds, vec![1, 2]);
         // Writes [0,5): only writer 1 wrote there; reader 3 did not touch it.
@@ -280,7 +279,10 @@ mod tests {
         // the readers of rows 0 and 1.
         let p0 = d.register(20, row(0), AccessMode::InOut);
         assert!(p0.contains(&10), "WAW with iteration-0 row 0: {p0:?}");
-        assert!(p0.contains(&11), "WAR with row-1 task reading row 0: {p0:?}");
+        assert!(
+            p0.contains(&11),
+            "WAR with row-1 task reading row 0: {p0:?}"
+        );
     }
 
     #[test]

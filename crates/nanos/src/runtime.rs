@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex};
+use nosv_sync::{Condvar, Mutex};
 
 use crate::backend::{Backend, BackendImpl, ReadyJob};
 use crate::dep::DepTracker;
@@ -257,13 +257,28 @@ mod tests {
         let nr = NanosRuntime::new(Backend::standalone(4));
         let cell = shared_mut(Vec::<u32>::new());
         let region = Region::logical(1, 0);
-        for i in 0..50 {
+        // Gate the chain head until every task is registered, so the edge
+        // count below is deterministic (a completed predecessor is elided
+        // from the graph, which is correct but timing-dependent).
+        let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+        {
+            let c = cell.clone();
+            nr.task()
+                .inout(region)
+                .body(move || {
+                    gate_rx.recv().unwrap();
+                    c.with(|v| v.push(0));
+                })
+                .spawn();
+        }
+        for i in 1..50 {
             let c = cell.clone();
             nr.task()
                 .inout(region)
                 .body(move || c.with(|v| v.push(i)))
                 .spawn();
         }
+        gate_tx.send(()).unwrap();
         nr.taskwait();
         cell.with(|v| assert_eq!(*v, (0..50).collect::<Vec<_>>()));
         let stats = nr.stats();
@@ -279,7 +294,10 @@ mod tests {
         let log = shared_mut(Vec::<&'static str>::new());
         let data = Region::logical(2, 0);
         let l = log.clone();
-        nr.task().output(data).body(move || l.with(|v| v.push("A"))).spawn();
+        nr.task()
+            .output(data)
+            .body(move || l.with(|v| v.push("A")))
+            .spawn();
         for name in ["B", "C"] {
             let l = log.clone();
             nr.task()
@@ -288,7 +306,10 @@ mod tests {
                 .spawn();
         }
         let l = log.clone();
-        nr.task().inout(data).body(move || l.with(|v| v.push("D"))).spawn();
+        nr.task()
+            .inout(data)
+            .body(move || l.with(|v| v.push("D")))
+            .spawn();
         nr.taskwait();
         log.with(|v| {
             assert_eq!(v.len(), 4);
@@ -304,17 +325,21 @@ mod tests {
         let count = Arc::new(AtomicUsize::new(0));
         for _ in 0..10 {
             let c = Arc::clone(&count);
-            nr.task().body(move || {
-                c.fetch_add(1, Ordering::Relaxed);
-            }).spawn();
+            nr.task()
+                .body(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                })
+                .spawn();
         }
         nr.taskwait();
         assert_eq!(count.load(Ordering::Relaxed), 10);
         for _ in 0..10 {
             let c = Arc::clone(&count);
-            nr.task().body(move || {
-                c.fetch_add(1, Ordering::Relaxed);
-            }).spawn();
+            nr.task()
+                .body(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                })
+                .spawn();
         }
         nr.taskwait();
         assert_eq!(count.load(Ordering::Relaxed), 20);
@@ -337,7 +362,10 @@ mod tests {
             .spawn();
         for p in [1, 9, 5] {
             let o = order.clone();
-            nr.task().priority(p).body(move || o.with(|v| v.push(p))).spawn();
+            nr.task()
+                .priority(p)
+                .body(move || o.with(|v| v.push(p)))
+                .spawn();
         }
         nr.taskwait();
         order.with(|v| assert_eq!(*v, vec![9, 5, 1]));
@@ -356,9 +384,11 @@ mod tests {
             .body(move || {
                 for _ in 0..10 {
                     let c = Arc::clone(&c2);
-                    nr2.task().body(move || {
-                        c.fetch_add(1, Ordering::Relaxed);
-                    }).spawn();
+                    nr2.task()
+                        .body(move || {
+                            c.fetch_add(1, Ordering::Relaxed);
+                        })
+                        .spawn();
                 }
             })
             .spawn();

@@ -95,7 +95,8 @@ impl SegmentGeometry {
 
         // Solve for the largest n_chunks such that
         //   align_up(chunk_hdrs_off + n * CHUNK_HDR_BYTES) + n * CHUNK_SIZE <= total
-        let mut n_chunks = total_size.saturating_sub(chunk_hdrs_off) / (CHUNK_SIZE + CHUNK_HDR_BYTES);
+        let mut n_chunks =
+            total_size.saturating_sub(chunk_hdrs_off) / (CHUNK_SIZE + CHUNK_HDR_BYTES);
         loop {
             if n_chunks == 0 {
                 return None;
@@ -210,7 +211,10 @@ mod tests {
         let g = SegmentGeometry::compute(total, 64).unwrap();
         let data_bytes = g.n_chunks * CHUNK_SIZE;
         // Metadata overhead should stay small (< 5% at this size).
-        assert!(data_bytes * 100 / total >= 95, "data {data_bytes} of {total}");
+        assert!(
+            data_bytes * 100 / total >= 95,
+            "data {data_bytes} of {total}"
+        );
     }
 
     #[test]

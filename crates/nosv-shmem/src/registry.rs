@@ -72,7 +72,10 @@ impl ShmSegment {
             {
                 let pid = self.next_pid();
                 s.pid.store(pid, Ordering::Release);
-                return Ok(ProcessId { pid, slot: i as u32 });
+                return Ok(ProcessId {
+                    pid,
+                    slot: i as u32,
+                });
             }
         }
         Err(AttachError::Full)

@@ -380,7 +380,8 @@ impl ShmSegment {
             for (i, slot) in batch.iter_mut().enumerate() {
                 *slot = mag.slots[MAG_CAP - FLUSH_BATCH + i].load(Ordering::Relaxed);
             }
-            mag.len.store((MAG_CAP - FLUSH_BATCH) as u32, Ordering::Relaxed);
+            mag.len
+                .store((MAG_CAP - FLUSH_BATCH) as u32, Ordering::Relaxed);
             self.flush_to_chunks(&batch);
             g.flushes.fetch_add(1, Ordering::Relaxed);
         }
@@ -389,8 +390,7 @@ impl ShmSegment {
         mag.len.store(len + 1, Ordering::Relaxed);
         mag.lock.unlock();
         g.total_frees.fetch_add(1, Ordering::Relaxed);
-        g.allocated_bytes
-            .fetch_sub(csize as u64, Ordering::Relaxed);
+        g.allocated_bytes.fetch_sub(csize as u64, Ordering::Relaxed);
     }
 
     /// Returns a batch of object offsets to their owning chunks' free
@@ -409,8 +409,10 @@ impl ShmSegment {
             let fc = hdr.free_count.load(Ordering::Relaxed) + 1;
             hdr.free_count.store(fc, Ordering::Relaxed);
             if hdr.in_partial.load(Ordering::Relaxed) == 0 {
-                hdr.next
-                    .store(g.partial_head[class].load(Ordering::Relaxed), Ordering::Relaxed);
+                hdr.next.store(
+                    g.partial_head[class].load(Ordering::Relaxed),
+                    Ordering::Relaxed,
+                );
                 hdr.in_partial.store(1, Ordering::Relaxed);
                 g.partial_head[class].store(idx as u32 + 1, Ordering::Relaxed);
             }
@@ -576,12 +578,22 @@ mod tests {
     fn distinct_allocations_do_not_overlap() {
         let s = seg();
         let mut offs: Vec<(u64, usize)> = Vec::new();
-        for (i, &size) in [1usize, 64, 65, 500, 4096, 32768, 100, 100].iter().enumerate() {
+        for (i, &size) in [1usize, 64, 65, 500, 4096, 32768, 100, 100]
+            .iter()
+            .enumerate()
+        {
             let off = s.alloc(size, i % 4).unwrap();
             let rounded = SIZE_CLASSES[class_for(size).unwrap()];
             for &(o, r) in &offs {
                 let disjoint = off.raw() + rounded as u64 <= o || o + r as u64 <= off.raw();
-                assert!(disjoint, "{:#x}+{} overlaps {:#x}+{}", off.raw(), rounded, o, r);
+                assert!(
+                    disjoint,
+                    "{:#x}+{} overlaps {:#x}+{}",
+                    off.raw(),
+                    rounded,
+                    o,
+                    r
+                );
             }
             offs.push((off.raw(), rounded));
         }

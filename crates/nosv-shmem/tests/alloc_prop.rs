@@ -1,4 +1,4 @@
-//! Property-based tests for the shared-memory SLAB allocator.
+//! Randomized property tests for the shared-memory SLAB allocator.
 //!
 //! Invariants checked against arbitrary allocation/free interleavings:
 //! 1. live allocations never overlap;
@@ -7,9 +7,31 @@
 //! 3. the allocator balances (allocated_bytes returns to zero, every chunk
 //!    is reclaimed after draining caches);
 //! 4. allocation either succeeds or fails cleanly — never corrupts state.
+//!
+//! Operation sequences come from a seeded deterministic generator, so
+//! failures reproduce; set `NOSV_PROP_SEED` to explore another corner.
 
 use nosv_shmem::{SegmentConfig, ShmSegment, Shoff, CHUNK_SIZE};
-use proptest::prelude::*;
+use nosv_sync::SplitMix64;
+
+/// Deterministic operation-sequence generator over the workspace's shared
+/// PRNG.
+struct Gen(SplitMix64);
+
+impl Gen {
+    fn new() -> Gen {
+        let seed = std::env::var("NOSV_PROP_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0xa110_c8ed);
+        Gen(SplitMix64::new(seed))
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        self.0.range_u64(lo as u64, hi as u64) as usize
+    }
+}
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -19,11 +41,21 @@ enum Op {
     Free { idx: usize, cpu: usize },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => (1usize..40_000, 0usize..4).prop_map(|(size, cpu)| Op::Alloc { size, cpu }),
-        2 => (any::<usize>(), 0usize..4).prop_map(|(idx, cpu)| Op::Free { idx, cpu }),
-    ]
+impl Op {
+    /// 3:2 alloc/free mix, matching the original proptest strategy.
+    fn gen(g: &mut Gen) -> Op {
+        if g.range(0, 5) < 3 {
+            Op::Alloc {
+                size: g.range(1, 40_000),
+                cpu: g.range(0, 4),
+            }
+        } else {
+            Op::Free {
+                idx: g.range(0, usize::MAX),
+                cpu: g.range(0, 4),
+            }
+        }
+    }
 }
 
 /// A live allocation: offset, requested size, and the byte pattern written.
@@ -49,13 +81,14 @@ fn check(seg: &ShmSegment, l: &Live) {
     );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn no_overlap(a0: u64, a1: u64, b0: u64, b1: u64) -> bool {
+    a1 <= b0 || b1 <= a0
+}
 
-    #[test]
-    fn random_traffic_preserves_contents_and_balances(
-        ops in proptest::collection::vec(op_strategy(), 1..200)
-    ) {
+#[test]
+fn random_traffic_preserves_contents_and_balances() {
+    let mut g = Gen::new();
+    for _case in 0..64 {
         let seg = ShmSegment::create(SegmentConfig {
             size: 8 * 1024 * 1024,
             max_cpus: 4,
@@ -64,8 +97,9 @@ proptest! {
         let mut live: Vec<Live> = Vec::new();
         let mut pattern = 1u8;
 
-        for op in ops {
-            match op {
+        let ops = g.range(1, 200);
+        for _ in 0..ops {
+            match Op::gen(&mut g) {
                 Op::Alloc { size, cpu } => {
                     match seg.alloc(size, cpu) {
                         Ok(off) => {
@@ -75,12 +109,15 @@ proptest! {
                             // Overlap check against every live allocation,
                             // using the conservative requested size.
                             for other in &live {
-                                let a0 = l.off.raw();
-                                let a1 = a0 + l.size as u64;
-                                let b0 = other.off.raw();
-                                let b1 = b0 + other.size as u64;
-                                prop_assert!(a1 <= b0 || b1 <= a0,
-                                    "overlap {a0:#x}..{a1:#x} vs {b0:#x}..{b1:#x}");
+                                assert!(
+                                    no_overlap(
+                                        l.off.raw(),
+                                        l.off.raw() + l.size as u64,
+                                        other.off.raw(),
+                                        other.off.raw() + other.size as u64
+                                    ),
+                                    "overlapping allocations"
+                                );
                             }
                             live.push(l);
                         }
@@ -110,28 +147,35 @@ proptest! {
             seg.drain_cpu_caches(cpu);
         }
         let stats = seg.alloc_stats();
-        prop_assert_eq!(stats.allocated_bytes, 0);
-        prop_assert_eq!(stats.total_allocs, stats.total_frees);
-        prop_assert_eq!(stats.free_chunks, initial_free);
+        assert_eq!(stats.allocated_bytes, 0);
+        assert_eq!(stats.total_allocs, stats.total_frees);
+        assert_eq!(stats.free_chunks, initial_free);
     }
+}
 
-    #[test]
-    fn large_runs_never_overlap_slab_chunks(
-        sizes in proptest::collection::vec(1usize..(4 * CHUNK_SIZE), 1..20)
-    ) {
+#[test]
+fn large_runs_never_overlap_slab_chunks() {
+    let mut g = Gen::new();
+    for _case in 0..64 {
         let seg = ShmSegment::create(SegmentConfig {
             size: 16 * 1024 * 1024,
             max_cpus: 2,
         });
         let mut live: Vec<(Shoff<u8>, usize)> = Vec::new();
-        for size in sizes {
+        let n = g.range(1, 20);
+        for _ in 0..n {
+            let size = g.range(1, 4 * CHUNK_SIZE);
             if let Ok(off) = seg.alloc(size, 0) {
                 for &(o, s) in &live {
-                    let a0 = off.raw();
-                    let a1 = a0 + size as u64;
-                    let b0 = o.raw();
-                    let b1 = b0 + s as u64;
-                    prop_assert!(a1 <= b0 || b1 <= a0);
+                    assert!(
+                        no_overlap(
+                            off.raw(),
+                            off.raw() + size as u64,
+                            o.raw(),
+                            o.raw() + s as u64
+                        ),
+                        "overlapping large allocations"
+                    );
                 }
                 live.push((off, size));
             }
@@ -140,6 +184,6 @@ proptest! {
             seg.free(off, 0);
         }
         seg.drain_cpu_caches(0);
-        prop_assert_eq!(seg.alloc_stats().allocated_bytes, 0);
+        assert_eq!(seg.alloc_stats().allocated_bytes, 0);
     }
 }

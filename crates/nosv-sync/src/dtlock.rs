@@ -37,12 +37,25 @@
 //! all served tickets; a served ticket can never observe `serving == t`
 //! because `serving` jumps over it atomically.
 //!
-//! # Capacity
+//! # Capacity and slot tenure
 //!
-//! At most `capacity` tickets may be outstanding at once. Since every thread
-//! holds at most one ticket, passing the number of threads that will ever
-//! touch the lock (nOS-V uses the number of CPUs) is sufficient. This is the
-//! same sizing rule as the array-based queue locks the design descends from.
+//! At most `capacity` tickets can *wait on slots* efficiently at once;
+//! passing the number of threads that will ever touch the lock (nOS-V uses
+//! the number of CPUs) is sufficient for contention-free slot claims.
+//! Crucially, ticket numbers themselves are **not** bounded by capacity:
+//! during one long hold, served waiters can re-acquire and be re-served,
+//! so the outstanding ticket *span* can exceed the ring size. Correctness
+//! therefore never relies on `ticket % capacity` being collision-free.
+//! Instead, each slot is *claimed* exclusively (`EMPTY -> CLAIMING` CAS)
+//! before publication, and carries the claiming ticket number so the
+//! server can verify whose publication it is looking at. A waiter whose
+//! slot is still occupied by an earlier ticket spins (also watching
+//! `serving`, so it can take the lock directly if its turn arrives
+//! unpublished); a server that sees a foreign or in-progress slot simply
+//! stops delegating. Without the claim step, a wrapped ticket could
+//! overwrite a slot whose previous occupant had been served but not yet
+//! consumed the value — losing the value and skipping the overwritten
+//! waiter's ticket forever.
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
@@ -54,10 +67,16 @@ use crate::{Backoff, Padded};
 const SLOT_EMPTY: u32 = 0;
 const SLOT_WAITING: u32 = 1;
 const SLOT_SERVED: u32 = 2;
+/// Claimed by a waiter that is still writing `meta`/`ticket` (publication
+/// in progress), or consuming a served value. Never served.
+const SLOT_CLAIMING: u32 = 3;
 
 struct Slot<V> {
     state: AtomicU32,
     meta: AtomicU64,
+    /// Ticket number of the current claimant; lets the server distinguish
+    /// this publication from one by a ring-wrapped earlier/later ticket.
+    ticket: AtomicU64,
     value: UnsafeCell<MaybeUninit<V>>,
 }
 
@@ -66,6 +85,7 @@ impl<V> Slot<V> {
         Slot {
             state: AtomicU32::new(SLOT_EMPTY),
             meta: AtomicU64::new(0),
+            ticket: AtomicU64::new(0),
             value: UnsafeCell::new(MaybeUninit::uninit()),
         }
     }
@@ -126,8 +146,7 @@ impl<D, V> DtLock<D, V> {
     /// Panics if `capacity == 0`.
     pub fn new(data: D, capacity: usize) -> Self {
         assert!(capacity > 0, "DtLock capacity must be nonzero");
-        let slots: Vec<Padded<Slot<V>>> =
-            (0..capacity).map(|_| Padded::new(Slot::new())).collect();
+        let slots: Vec<Padded<Slot<V>>> = (0..capacity).map(|_| Padded::new(Slot::new())).collect();
         DtLock {
             next: Padded::new(AtomicU64::new(0)),
             serving: Padded::new(AtomicU64::new(0)),
@@ -155,7 +174,40 @@ impl<D, V> DtLock<D, V> {
             });
         }
         let slot = &self.slots[(ticket as usize) % self.slots.len()];
+
+        // Claim the slot exclusively before publishing: an earlier ticket
+        // mapping to the same ring position may still be waiting on it,
+        // being served, or consuming a served value — publishing over it
+        // would lose that value and desynchronize `serving` from the
+        // overwritten waiter. While spinning for the claim, also watch
+        // `serving`: our turn can arrive with the slot still unclaimed
+        // (servers stop delegating at an unpublished ticket), in which
+        // case we own the lock outright and never touch the slot.
+        let mut backoff = Backoff::new();
+        loop {
+            if self.serving.load(Ordering::Acquire) == ticket {
+                return Acquired::Holder(DtGuard {
+                    lock: self,
+                    ticket,
+                    served: 0,
+                });
+            }
+            if slot
+                .state
+                .compare_exchange_weak(
+                    SLOT_EMPTY,
+                    SLOT_CLAIMING,
+                    Ordering::Acquire,
+                    Ordering::Relaxed,
+                )
+                .is_ok()
+            {
+                break;
+            }
+            backoff.snooze();
+        }
         slot.meta.store(meta, Ordering::Relaxed);
+        slot.ticket.store(ticket, Ordering::Relaxed);
         slot.state.store(SLOT_WAITING, Ordering::Release);
 
         let mut backoff = Backoff::new();
@@ -169,10 +221,13 @@ impl<D, V> DtLock<D, V> {
                     return Acquired::Served(value);
                 }
                 _ => {
+                    // `serving == ticket` implies we were not served: a
+                    // holder that serves us counts us in its `served` and
+                    // its release skips our ticket.
                     if self.serving.load(Ordering::Acquire) == ticket {
-                        // We became the holder; clear our waiting slot so it
-                        // can be reused by a future ticket.
-                        slot.state.store(SLOT_EMPTY, Ordering::Relaxed);
+                        // We became the holder; release our slot so it can
+                        // be claimed by a future ticket.
+                        slot.state.store(SLOT_EMPTY, Ordering::Release);
                         return Acquired::Holder(DtGuard {
                             lock: self,
                             ticket,
@@ -253,10 +308,14 @@ impl<'a, D, V> DtGuard<'a, D, V> {
         let slot = &self.lock.slots[(w as usize) % self.lock.slots.len()];
         // The ticket exists, so its owner is between fetch_add and the slot
         // publication — normally a few instructions away. Give it a short
-        // bounded spin, then give up.
+        // bounded spin, then give up. The ticket word distinguishes `w`'s
+        // publication from a stale one by a ring-wrapped earlier ticket;
+        // seeing a foreign occupant also just ends delegation.
         let mut backoff = Backoff::new();
         for _ in 0..64 {
-            if slot.state.load(Ordering::Acquire) == SLOT_WAITING {
+            if slot.state.load(Ordering::Acquire) == SLOT_WAITING
+                && slot.ticket.load(Ordering::Relaxed) == w
+            {
                 return Some(slot.meta.load(Ordering::Relaxed));
             }
             backoff.spin();
@@ -277,7 +336,9 @@ impl<'a, D, V> DtGuard<'a, D, V> {
         let mut backoff = Backoff::new();
         let mut published = false;
         for _ in 0..64 {
-            if slot.state.load(Ordering::Acquire) == SLOT_WAITING {
+            if slot.state.load(Ordering::Acquire) == SLOT_WAITING
+                && slot.ticket.load(Ordering::Relaxed) == w
+            {
                 published = true;
                 break;
             }
@@ -286,8 +347,11 @@ impl<'a, D, V> DtGuard<'a, D, V> {
         if !published {
             return Err(value);
         }
-        // SAFETY: the slot is in WAITING state: its owner spins on `state`
-        // and does not touch `value` until it observes SLOT_SERVED.
+        // SAFETY: the slot is in WAITING state and claimed by ticket `w`
+        // (the slot's ticket word matches): its owner spins on `state` and
+        // does not touch `value` until it observes SLOT_SERVED, and it
+        // cannot leave WAITING by any other means — `serving` cannot reach
+        // `w` while we (an earlier ticket) hold the lock.
         unsafe { (*slot.value.get()).write(value) };
         slot.state.store(SLOT_SERVED, Ordering::Release);
         self.served += 1;
@@ -407,6 +471,68 @@ mod tests {
                                     got += 1;
                                 }
                                 // Serve as many waiters as we can see.
+                                while g.next_waiter_meta().is_some() {
+                                    match g.pop() {
+                                        Some(v) => {
+                                            if g.serve_next(v).is_err() {
+                                                g.push(v);
+                                                break;
+                                            }
+                                        }
+                                        None => break,
+                                    }
+                                }
+                            }
+                            Acquired::Served(v) => {
+                                seen[v as usize].fetch_add(1, Ordering::Relaxed);
+                                got += 1;
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for (i, c) in seen.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "item {i} seen wrong count");
+        }
+        assert!(lock.lock().is_empty());
+    }
+
+    /// Ring-wrap regression: the outstanding ticket *span* can exceed the
+    /// slot ring (served waiters re-acquire new tickets during one hold),
+    /// so tickets capacity apart coexist. Before slots were claimed
+    /// exclusively, a wrapped ticket could publish over a slot whose
+    /// previous occupant had been served but not yet consumed — losing the
+    /// value and stranding the overwritten waiter forever. A tiny ring
+    /// under the scheduler's usage pattern forces constant wrapping; every
+    /// item must still be delivered exactly once and every thread finish.
+    #[test]
+    fn tiny_ring_wraparound_loses_nothing() {
+        const THREADS: usize = 4;
+        const PER_THREAD: usize = 10_000;
+        const TOTAL: usize = THREADS * PER_THREAD;
+
+        let queue: Vec<u64> = (0..TOTAL as u64).collect();
+        // Capacity far below the thread count: every ticket collides.
+        let lock = Arc::new(DtLock::<Vec<u64>, u64>::new(queue, 2));
+        let seen = Arc::new((0..TOTAL).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>());
+
+        let handles: Vec<_> = (0..THREADS)
+            .map(|tid| {
+                let lock = Arc::clone(&lock);
+                let seen = Arc::clone(&seen);
+                thread::spawn(move || {
+                    let mut got = 0usize;
+                    while got < PER_THREAD {
+                        match lock.acquire(tid as u64) {
+                            Acquired::Holder(mut g) => {
+                                if let Some(v) = g.pop() {
+                                    seen[v as usize].fetch_add(1, Ordering::Relaxed);
+                                    got += 1;
+                                }
                                 while g.next_waiter_meta().is_some() {
                                     match g.pop() {
                                         Some(v) => {

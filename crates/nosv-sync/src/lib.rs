@@ -20,6 +20,11 @@
 //!   inside a shared-memory segment (no host pointers, fixed layout).
 //! * [`Backoff`] — bounded exponential backoff helper.
 //! * [`Padded`] — cache-line padding wrapper to avoid false sharing.
+//! * [`Mutex`] / [`Condvar`] — an ergonomic facade over `std::sync` (guard
+//!   from `lock()` directly, `wait(&mut guard)`) used by the host-side
+//!   runtime code across the workspace.
+//! * [`SplitMix64`] — the workspace's deterministic pseudo-random source
+//!   (simulator seeding, property-test input generation).
 //!
 //! All primitives are implemented from scratch on `std::sync::atomic` with
 //! explicit memory orderings; see the per-module documentation for the
@@ -29,14 +34,18 @@
 
 mod backoff;
 mod dtlock;
+mod mutex;
 mod padded;
 mod raw;
 mod spin;
+mod splitmix;
 mod ticket;
 
 pub use backoff::Backoff;
 pub use dtlock::{Acquired, DtGuard, DtLock};
+pub use mutex::{Condvar, Mutex, MutexGuard};
 pub use padded::Padded;
 pub use raw::RawSpinMutex;
 pub use spin::{SpinLock, SpinLockGuard};
+pub use splitmix::SplitMix64;
 pub use ticket::{TicketLock, TicketLockGuard};

@@ -1,0 +1,144 @@
+//! Builder-first construction of a [`Runtime`].
+//!
+//! The builder is the only public way to configure a runtime; the former
+//! `NosvConfig` struct is an internal detail. All setters are chainable
+//! and validation is deferred to [`RuntimeBuilder::build`], which returns
+//! `Result` instead of panicking — the error-first contract of the whole
+//! public surface.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::config::NosvConfig;
+use crate::error::NosvError;
+use crate::policy::{QuantumPolicy, SchedPolicy};
+use crate::runtime::Runtime;
+
+/// Chainable, fallible configuration of a [`Runtime`].
+///
+/// Obtained from [`Runtime::builder`]. Defaults: 4 CPUs, one NUMA domain,
+/// the paper's 20 ms quantum, a 32 MiB segment, tracing off, and the
+/// canonical [`QuantumPolicy`].
+///
+/// ```
+/// use nosv::prelude::*;
+///
+/// # fn main() -> Result<(), NosvError> {
+/// let rt = Runtime::builder()
+///     .cpus(2)
+///     .quantum(std::time::Duration::from_millis(5))
+///     .tracing(true)
+///     .build()?;
+/// assert_eq!(rt.cpus(), 2);
+/// rt.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+#[must_use = "a builder does nothing until build() is called"]
+pub struct RuntimeBuilder {
+    config: NosvConfig,
+    policy: Option<Arc<dyn SchedPolicy>>,
+}
+
+impl RuntimeBuilder {
+    pub(crate) fn new() -> RuntimeBuilder {
+        RuntimeBuilder {
+            config: NosvConfig::default(),
+            policy: None,
+        }
+    }
+
+    /// Number of logical cores the runtime manages (one runnable worker
+    /// per core at any instant). Must be at least 1.
+    pub fn cpus(mut self, cpus: usize) -> Self {
+        self.config.cpus = cpus;
+        self
+    }
+
+    /// Process time quantum in nanoseconds (§3.4). Must be positive and
+    /// sane (at most ten minutes).
+    pub fn quantum_ns(mut self, quantum_ns: u64) -> Self {
+        self.config.quantum_ns = quantum_ns;
+        self
+    }
+
+    /// Process time quantum as a [`Duration`] (convenience over
+    /// [`RuntimeBuilder::quantum_ns`]).
+    pub fn quantum(self, quantum: Duration) -> Self {
+        let ns = u64::try_from(quantum.as_nanos()).unwrap_or(u64::MAX);
+        self.quantum_ns(ns)
+    }
+
+    /// Cores per NUMA node for the NUMA affinity policy. `0` (the default)
+    /// means a single NUMA domain spanning every core.
+    pub fn numa(mut self, cpus_per_numa: usize) -> Self {
+        self.config.cpus_per_numa = cpus_per_numa;
+        self
+    }
+
+    /// Size of the shared segment in bytes (at least 1 MiB).
+    pub fn segment_size(mut self, bytes: usize) -> Self {
+        self.config.segment_size = bytes;
+        self
+    }
+
+    /// Record a [`crate::TraceEvent`] stream (small overhead; used by the
+    /// trace experiments and tests).
+    pub fn tracing(mut self, enabled: bool) -> Self {
+        self.config.tracing = enabled;
+        self
+    }
+
+    /// Installs a custom [`SchedPolicy`]. When set, the policy's own
+    /// quantum ([`SchedPolicy::quantum_ns`]) governs process switching and
+    /// any value passed to [`RuntimeBuilder::quantum_ns`] is ignored.
+    ///
+    /// The same policy value can drive the discrete-event simulator via
+    /// `simnode::run_simulation_with_policy`, so a policy is written once
+    /// and exercised in both backends.
+    pub fn policy(mut self, policy: impl SchedPolicy + 'static) -> Self {
+        self.policy = Some(Arc::new(policy));
+        self
+    }
+
+    /// Validates the configuration and constructs the runtime.
+    ///
+    /// Returns [`NosvError::InvalidConfig`] for unusable settings (zero
+    /// CPUs, zero or absurd quantum, oversized topology, undersized
+    /// segment) and [`NosvError::OutOfSharedMemory`] when the segment
+    /// cannot hold the scheduler state. With a custom policy installed,
+    /// the quantum that is validated is the policy's own
+    /// ([`SchedPolicy::quantum_ns`]), since that is the one that governs.
+    pub fn build(self) -> Result<Runtime, NosvError> {
+        let policy = self
+            .policy
+            .unwrap_or_else(|| Arc::new(QuantumPolicy::new(self.config.quantum_ns)));
+        // The policy is the single source of truth for the quantum: fold
+        // it back into the config so validation guards the governing value
+        // and the stored config never disagrees with the policy.
+        let mut config = self.config;
+        config.quantum_ns = policy.quantum_ns();
+        config.validate()?;
+        Runtime::from_parts(config, policy)
+    }
+}
+
+impl std::fmt::Debug for RuntimeBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuntimeBuilder")
+            .field("cpus", &self.config.cpus)
+            .field("cpus_per_numa", &self.config.cpus_per_numa)
+            .field("quantum_ns", &self.config.quantum_ns)
+            .field("segment_size", &self.config.segment_size)
+            .field("tracing", &self.config.tracing)
+            .field("custom_policy", &self.policy.is_some())
+            .finish()
+    }
+}
+
+impl Default for RuntimeBuilder {
+    fn default() -> Self {
+        RuntimeBuilder::new()
+    }
+}

@@ -1,14 +1,30 @@
-//! Runtime configuration.
+//! Runtime configuration (internal).
+//!
+//! `NosvConfig` is a crate-internal detail since the builder-first API
+//! redesign: external code configures a runtime exclusively through
+//! [`crate::RuntimeBuilder`], which validates and then carries one of
+//! these into [`crate::Runtime`].
 
 use nosv_shmem::SegmentConfig;
+
+use crate::error::NosvError;
 
 /// Default process quantum: 20 ms, the value used for all experiments in
 /// the paper's evaluation (§5).
 pub const DEFAULT_QUANTUM_NS: u64 = 20_000_000;
 
-/// Configuration of a [`crate::Runtime`].
+/// Quanta beyond this (ten minutes) are rejected as unit mistakes: the
+/// paper's whole design space is milliseconds.
+pub(crate) const MAX_QUANTUM_NS: u64 = 600_000_000_000;
+
+/// Smallest segment the runtime accepts: below this the scheduler root
+/// plus a handful of task descriptors cannot fit.
+pub(crate) const MIN_SEGMENT_SIZE: usize = 1024 * 1024;
+
+/// Configuration of a [`crate::Runtime`]. Built only by
+/// [`crate::RuntimeBuilder`].
 #[derive(Debug, Clone)]
-pub struct NosvConfig {
+pub(crate) struct NosvConfig {
     /// Number of logical cores the runtime manages. The CPU manager keeps
     /// exactly one runnable worker per core.
     pub cpus: usize,
@@ -48,15 +64,6 @@ impl NosvConfig {
         }
     }
 
-    /// NUMA node of a core.
-    pub fn numa_of(&self, cpu: usize) -> usize {
-        if self.cpus_per_numa == 0 {
-            0
-        } else {
-            cpu / self.cpus_per_numa
-        }
-    }
-
     pub(crate) fn segment_config(&self) -> SegmentConfig {
         SegmentConfig {
             size: self.segment_size,
@@ -64,13 +71,27 @@ impl NosvConfig {
         }
     }
 
-    pub(crate) fn validate(&self) {
-        assert!(self.cpus > 0, "at least one CPU is required");
-        assert!(self.quantum_ns > 0, "quantum must be positive");
-        assert!(
-            self.cpus <= nosv_shmem::MAX_PROCS * 8,
-            "unreasonable CPU count"
-        );
+    pub(crate) fn validate(&self) -> Result<(), NosvError> {
+        let fail = |reason| Err(NosvError::InvalidConfig { reason });
+        if self.cpus == 0 {
+            return fail("at least one CPU is required");
+        }
+        if self.cpus > crate::scheduler::MAX_CPUS {
+            return fail("more CPUs than the scheduler arrays support (256)");
+        }
+        if self.numa_nodes() > crate::scheduler::MAX_NUMA {
+            return fail("more NUMA nodes than the scheduler arrays support (16)");
+        }
+        if self.quantum_ns == 0 {
+            return fail("quantum must be positive");
+        }
+        if self.quantum_ns > MAX_QUANTUM_NS {
+            return fail("quantum above ten minutes; check the time unit");
+        }
+        if self.segment_size < MIN_SEGMENT_SIZE {
+            return fail("segment smaller than 1 MiB cannot hold the scheduler");
+        }
+        Ok(())
     }
 }
 
@@ -82,7 +103,7 @@ mod tests {
     fn defaults_match_paper_quantum() {
         let c = NosvConfig::default();
         assert_eq!(c.quantum_ns, 20_000_000);
-        c.validate();
+        c.validate().expect("defaults are valid");
     }
 
     #[test]
@@ -93,10 +114,6 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(c.numa_nodes(), 2);
-        assert_eq!(c.numa_of(0), 0);
-        assert_eq!(c.numa_of(23), 0);
-        assert_eq!(c.numa_of(24), 1);
-        assert_eq!(c.numa_of(47), 1);
     }
 
     #[test]
@@ -107,16 +124,37 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(c.numa_nodes(), 1);
-        assert_eq!(c.numa_of(15), 0);
     }
 
     #[test]
-    #[should_panic(expected = "at least one CPU")]
-    fn zero_cpus_rejected() {
-        NosvConfig {
-            cpus: 0,
-            ..Default::default()
+    fn invalid_configs_are_errors_not_panics() {
+        let cases = [
+            NosvConfig {
+                cpus: 0,
+                ..Default::default()
+            },
+            NosvConfig {
+                cpus: 10_000,
+                ..Default::default()
+            },
+            NosvConfig {
+                quantum_ns: 0,
+                ..Default::default()
+            },
+            NosvConfig {
+                quantum_ns: u64::MAX,
+                ..Default::default()
+            },
+            NosvConfig {
+                segment_size: 4096,
+                ..Default::default()
+            },
+        ];
+        for c in cases {
+            assert!(
+                matches!(c.validate(), Err(NosvError::InvalidConfig { .. })),
+                "{c:?} must be rejected"
+            );
         }
-        .validate();
     }
 }

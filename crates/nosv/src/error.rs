@@ -1,14 +1,44 @@
 //! Error type for runtime operations.
+//!
+//! Every fallible operation of the public surface — building a runtime,
+//! attaching a process, building and submitting tasks — reports through
+//! [`NosvError`]. The panicking entry points ([`crate::ProcessContext::create_task`],
+//! [`crate::ProcessContext::spawn`], …) are thin wrappers over these.
 
 use std::fmt;
+
+use crate::task::Affinity;
 
 /// Errors surfaced by the nOS-V runtime API.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NosvError {
+    /// A [`crate::RuntimeBuilder`] was given an unusable configuration
+    /// (zero CPUs, zero or absurd quantum, too many cores/NUMA nodes, a
+    /// segment too small to hold the scheduler, …).
+    InvalidConfig {
+        /// Human-readable description of the rejected setting.
+        reason: &'static str,
+    },
     /// The shared segment could not satisfy an allocation.
     OutOfSharedMemory,
     /// The process registry is full.
     TooManyProcesses,
+    /// The operation raced with (or followed) runtime shutdown.
+    ShutdownInProgress,
+    /// A task was built through a [`crate::ProcessContext`] that has
+    /// already detached from the runtime.
+    ProcessDetached,
+    /// A [`crate::TaskBuilder`] reached [`crate::ProcessContext::build_task`]
+    /// without a `run` callback.
+    MissingTaskBody,
+    /// A task's affinity names a core or NUMA node outside the runtime's
+    /// topology.
+    InvalidAffinity {
+        /// The offending affinity.
+        affinity: Affinity,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
     /// An operation was attempted on a task in an incompatible state
     /// (e.g. submitting a running task, destroying a ready task).
     InvalidTaskState {
@@ -17,6 +47,12 @@ pub enum NosvError {
         /// What the operation required.
         operation: &'static str,
     },
+    /// A task descriptor's state word held a value outside the
+    /// [`crate::TaskState`] encoding — shared-segment corruption.
+    CorruptTaskState {
+        /// The raw state word found.
+        raw: u32,
+    },
     /// [`crate::pause`] was called from outside a task body.
     NotInTask,
 }
@@ -24,10 +60,28 @@ pub enum NosvError {
 impl fmt::Display for NosvError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            NosvError::InvalidConfig { reason } => {
+                write!(f, "invalid runtime configuration: {reason}")
+            }
             NosvError::OutOfSharedMemory => write!(f, "shared memory segment exhausted"),
             NosvError::TooManyProcesses => write!(f, "process registry full"),
+            NosvError::ShutdownInProgress => {
+                write!(f, "operation raced with runtime shutdown")
+            }
+            NosvError::ProcessDetached => {
+                write!(f, "process context already detached from the runtime")
+            }
+            NosvError::MissingTaskBody => {
+                write!(f, "task built without a run callback")
+            }
+            NosvError::InvalidAffinity { affinity, reason } => {
+                write!(f, "invalid affinity {affinity:?}: {reason}")
+            }
             NosvError::InvalidTaskState { found, operation } => {
                 write!(f, "cannot {operation}: task is {found:?}")
+            }
+            NosvError::CorruptTaskState { raw } => {
+                write!(f, "corrupt task state word {raw} in shared segment")
             }
             NosvError::NotInTask => write!(f, "pause() called outside a task context"),
         }

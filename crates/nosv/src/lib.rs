@@ -32,28 +32,39 @@
 //!
 //! ## Quick start
 //!
+//! The public API is builder-first and error-first: runtimes are
+//! configured through [`Runtime::builder`], every fallible operation
+//! returns [`Result`], and [`prelude`] brings the whole working set into
+//! scope with one import.
+//!
 //! ```
-//! use nosv::{NosvConfig, Runtime};
+//! use nosv::prelude::*;
 //! use std::sync::atomic::{AtomicU32, Ordering};
 //! use std::sync::Arc;
 //!
-//! let rt = Runtime::new(NosvConfig { cpus: 2, ..Default::default() });
-//! let app = rt.attach("demo");
+//! # fn main() -> Result<(), NosvError> {
+//! let rt = Runtime::builder().cpus(2).build()?;
+//! let app = rt.attach("demo")?;
 //! let ran = Arc::new(AtomicU32::new(0));
 //! let task = {
 //!     let ran = Arc::clone(&ran);
-//!     app.create_task(move |_ctx| { ran.fetch_add(1, Ordering::Relaxed); })
+//!     app.build_task(
+//!         TaskBuilder::new().run(move |_ctx| { ran.fetch_add(1, Ordering::Relaxed); }),
+//!     )?
 //! };
-//! task.submit();
+//! task.submit()?;
 //! task.wait();
 //! assert_eq!(ran.load(Ordering::Relaxed), 1);
 //! task.destroy();
 //! drop(app);
 //! rt.shutdown();
+//! # Ok(())
+//! # }
 //! ```
 
 #![warn(missing_docs)]
 
+mod builder;
 mod config;
 mod error;
 pub mod policy;
@@ -65,11 +76,29 @@ mod task;
 mod trace;
 mod worker;
 
-pub use config::{NosvConfig, DEFAULT_QUANTUM_NS};
+pub use builder::RuntimeBuilder;
+pub use config::DEFAULT_QUANTUM_NS;
 pub use error::NosvError;
+pub use policy::{QuantumPolicy, SchedPolicy};
 pub use runtime::{ProcessContext, Runtime};
 pub use scheduler::SchedulerSnapshot;
 pub use stats::RuntimeStats;
 pub use task::{Affinity, TaskBuilder, TaskCtx, TaskHandle, TaskId, TaskState};
 pub use trace::{TraceEvent, TraceEventKind};
 pub use worker::pause;
+
+/// One-import working set for the builder-first API.
+///
+/// ```
+/// use nosv::prelude::*;
+///
+/// let rt = Runtime::builder().cpus(1).build().expect("valid");
+/// rt.shutdown();
+/// ```
+pub mod prelude {
+    pub use crate::policy::{QuantumPolicy, SchedPolicy};
+    pub use crate::{
+        pause, Affinity, NosvError, ProcessContext, Runtime, RuntimeBuilder, RuntimeStats,
+        TaskBuilder, TaskCtx, TaskHandle, TaskId, TaskState,
+    };
+}

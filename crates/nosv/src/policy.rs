@@ -23,6 +23,13 @@
 //! Per-*task* priorities and affinities are handled before this policy is
 //! consulted (strict-affinity queues are per-core/per-NUMA; task priority
 //! orders each process's queue), so they do not appear here.
+//!
+//! The policy is consumed through the [`SchedPolicy`] trait by **both**
+//! backends — the live runtime's shared scheduler and the `simnode`
+//! discrete-event engine — so a policy is written once and exercised
+//! everywhere. [`QuantumPolicy`] is the canonical implementation (the
+//! paper's rules, packaged); the free functions below are the underlying
+//! decision logic, kept public for direct use and testing.
 
 /// Per-core quantum accounting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -132,6 +139,83 @@ pub fn apply_decision(core: &mut CoreQuantum, decision: &Decision, now_ns: u64) 
     }
 }
 
+/// A node-wide process-selection policy, shared by the live runtime and
+/// the discrete-event simulator.
+///
+/// Implementations answer one question — *which process should this core
+/// serve next?* — from a snapshot of candidate processes plus the core's
+/// quantum accounting. The live scheduler consults the policy inside its
+/// DTLock critical section; the simulator consults it at every simulated
+/// fetch. Because both go through this exact trait, a custom policy plugged
+/// into [`crate::RuntimeBuilder::policy`] behaves identically under
+/// `simnode::run_simulation_with_policy`.
+///
+/// Implementations must be cheap and pure (no blocking, no interior
+/// I/O): the live runtime calls them while holding the scheduler lock.
+pub trait SchedPolicy: Send + Sync {
+    /// The process time quantum in nanoseconds (§3.4): how long a core may
+    /// serve one process while others have ready work.
+    fn quantum_ns(&self) -> u64;
+
+    /// Picks the process a core should serve next; see [`pick_process`]
+    /// for the contract on `candidates` and `rr_cursor`.
+    fn pick_process(
+        &self,
+        core: &CoreQuantum,
+        now_ns: u64,
+        candidates: &[CandidateProc],
+        rr_cursor: &mut u64,
+    ) -> Option<Decision>;
+
+    /// Updates a core's quantum accounting after a decision.
+    fn apply_decision(&self, core: &mut CoreQuantum, decision: &Decision, now_ns: u64) {
+        apply_decision(core, decision, now_ns);
+    }
+
+    /// Whether `core`'s quantum has expired at `now_ns`.
+    fn quantum_expired(&self, core: &CoreQuantum, now_ns: u64) -> bool {
+        quantum_expired(core, self.quantum_ns(), now_ns)
+    }
+}
+
+/// The paper's scheduling policy (§3.4) as a [`SchedPolicy`]: process
+/// preference bounded by a time quantum, application priorities, and
+/// round-robin rotation among equals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuantumPolicy {
+    quantum_ns: u64,
+}
+
+impl QuantumPolicy {
+    /// A policy with the given process quantum in nanoseconds.
+    pub fn new(quantum_ns: u64) -> QuantumPolicy {
+        QuantumPolicy { quantum_ns }
+    }
+}
+
+impl Default for QuantumPolicy {
+    /// The paper's 20 ms quantum ([`crate::DEFAULT_QUANTUM_NS`]).
+    fn default() -> Self {
+        QuantumPolicy::new(crate::DEFAULT_QUANTUM_NS)
+    }
+}
+
+impl SchedPolicy for QuantumPolicy {
+    fn quantum_ns(&self) -> u64 {
+        self.quantum_ns
+    }
+
+    fn pick_process(
+        &self,
+        core: &CoreQuantum,
+        now_ns: u64,
+        candidates: &[CandidateProc],
+        rr_cursor: &mut u64,
+    ) -> Option<Decision> {
+        pick_process(core, self.quantum_ns, now_ns, candidates, rr_cursor)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,8 +261,7 @@ mod tests {
         let mut rr = 0;
         // Another process even has higher priority — preference still wins
         // inside the quantum (priority only applies at switch points).
-        let d = pick_process(&core, 1_000, 500, &[cand(7, 0, 0), cand(9, 10, 0)], &mut rr)
-            .unwrap();
+        let d = pick_process(&core, 1_000, 500, &[cand(7, 0, 0), cand(9, 10, 0)], &mut rr).unwrap();
         assert_eq!(d.pid, 7);
         assert!(!d.switched);
     }
@@ -190,8 +273,14 @@ mod tests {
             since_ns: 0,
         };
         let mut rr = 0;
-        let d = pick_process(&core, 1_000, 2_000, &[cand(7, 0, 0), cand(9, 0, 0)], &mut rr)
-            .unwrap();
+        let d = pick_process(
+            &core,
+            1_000,
+            2_000,
+            &[cand(7, 0, 0), cand(9, 0, 0)],
+            &mut rr,
+        )
+        .unwrap();
         assert_eq!(d.pid, 9);
         assert!(d.switched);
         assert!(d.quantum_expired);
@@ -283,5 +372,28 @@ mod tests {
     fn quantum_expired_handles_unset_core() {
         let core = CoreQuantum::default();
         assert!(!quantum_expired(&core, 1, u64::MAX));
+    }
+
+    #[test]
+    fn quantum_policy_matches_free_functions_through_dyn_dispatch() {
+        // Both backends consume the policy as `&dyn SchedPolicy`; its
+        // decisions must be exactly the free-function logic.
+        let policy: &dyn SchedPolicy = &QuantumPolicy::new(1_000);
+        let cands = [cand(1, 0, 0), cand(2, 3, 0), cand(3, 0, 5)];
+        for (current, now) in [(0u64, 0u64), (1, 500), (1, 2_000), (2, 1_500)] {
+            let core = CoreQuantum {
+                current_pid: current,
+                since_ns: 0,
+            };
+            let (mut rr_a, mut rr_b) = (9, 9);
+            let via_trait = policy.pick_process(&core, now, &cands, &mut rr_a);
+            let via_free = pick_process(&core, 1_000, now, &cands, &mut rr_b);
+            assert_eq!(via_trait, via_free);
+            assert_eq!(rr_a, rr_b);
+            assert_eq!(
+                policy.quantum_expired(&core, now),
+                quantum_expired(&core, 1_000, now)
+            );
+        }
     }
 }

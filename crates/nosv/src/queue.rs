@@ -8,7 +8,7 @@
 
 use std::sync::atomic::Ordering;
 
-use nosv_shmem::{AtomicShoff, Shoff, ShmSegment};
+use nosv_shmem::{AtomicShoff, ShmSegment, Shoff};
 
 use crate::task::TaskDesc;
 
@@ -167,7 +167,9 @@ mod tests {
     }
 
     fn queue(seg: &ShmSegment) -> &TaskQueue {
-        let off = seg.alloc_zeroed(std::mem::size_of::<TaskQueue>(), 0).unwrap();
+        let off = seg
+            .alloc_zeroed(std::mem::size_of::<TaskQueue>(), 0)
+            .unwrap();
         // SAFETY: zeroed TaskQueue is a valid empty queue.
         unsafe { seg.sref(off.cast()) }
     }

@@ -7,13 +7,16 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use nosv_shmem::{Shoff, ShmSegment};
-use parking_lot::{Condvar, Mutex};
+use nosv_shmem::{ShmSegment, Shoff};
+use nosv_sync::{Condvar, Mutex};
 
+use crate::builder::RuntimeBuilder;
 use crate::config::NosvConfig;
 use crate::error::NosvError;
+use crate::policy::SchedPolicy;
 use crate::scheduler::{Scheduler, SchedulerSnapshot};
 use crate::stats::{Counters, RuntimeStats};
+use crate::task::Affinity;
 use crate::task::{
     TaskBuilder, TaskCallbacks, TaskCtx, TaskDesc, TaskHandle, TaskId, TaskSignal, TaskState,
 };
@@ -98,7 +101,9 @@ impl RuntimeInner {
         let shared = WorkerShared::new(workers.len(), pid);
         workers.push(Arc::clone(&shared));
         drop(workers);
-        self.counters.workers_spawned.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .workers_spawned
+            .fetch_add(1, Ordering::Relaxed);
         let rt = Arc::clone(self);
         let me = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
@@ -111,27 +116,37 @@ impl RuntimeInner {
 
     /// Submits a task descriptor (`nosv_submit`): initial submission or
     /// resubmission of a paused task.
-    pub(crate) fn submit(&self, desc: Shoff<TaskDesc>) {
+    pub(crate) fn submit(&self, desc: Shoff<TaskDesc>) -> Result<(), NosvError> {
         // SAFETY: handle-owned descriptor, alive until destroy.
         let d = unsafe { self.seg.sref(desc) };
-        loop {
+        // The state transition runs outside the idle gate: the wait for an
+        // in-progress pause() below can spin for as long as the task body
+        // takes to block, and must not stall the whole runtime.
+        let from = loop {
             if d.transition(TaskState::Created, TaskState::Ready) {
                 self.pending_tasks.fetch_add(1, Ordering::AcqRel);
-                break;
+                break TaskState::Created;
             }
             if d.transition(TaskState::Paused, TaskState::Ready) {
-                break;
+                break TaskState::Paused;
             }
-            match d.state() {
+            match d.try_state()? {
                 // Submit racing with an in-progress pause(): the pausing
                 // thread is between "user decided to block" and the Paused
                 // store. Wait for it; this is the documented way to unblock.
                 TaskState::Running => std::thread::yield_now(),
-                s => panic!("nosv_submit on a task in state {s:?}"),
+                found => {
+                    return Err(NosvError::InvalidTaskState {
+                        found,
+                        operation: "submit",
+                    })
+                }
             }
-        }
+        };
         d.submits.fetch_add(1, Ordering::Relaxed);
-        self.counters.tasks_submitted.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .tasks_submitted
+            .fetch_add(1, Ordering::Relaxed);
         let cpu = worker::current_core().map_or(u32::MAX, |c| c as u32);
         self.trace_event(
             TraceEventKind::Submit,
@@ -139,11 +154,29 @@ impl RuntimeInner {
             d.pid.load(Ordering::Relaxed),
             TaskId(d.id.load(Ordering::Relaxed)),
         );
+        // The idle gate serializes enqueueing against shutdown: `shutdown`
+        // raises the flag under this mutex, so we either observe the flag
+        // here — and roll the not-yet-enqueued transition back — or fully
+        // enqueue before shutdown's pending-task check runs. (A submit
+        // whose transition lands before shutdown's check trips the
+        // "tasks still pending" assert instead; either way, no task is
+        // ever queued with no worker left to serve it.) Holding the gate
+        // for the notification also orders it after any in-flight
+        // "queue empty" check by an idling worker (no lost wakeups).
+        let _gate = self.idle_mutex.lock();
+        if self.shutdown.load(Ordering::Acquire) {
+            // Not yet enqueued: workers cannot have seen the descriptor,
+            // so the rollback is invisible to everyone but racy state()
+            // observers.
+            if from == TaskState::Created {
+                self.pending_tasks.fetch_sub(1, Ordering::AcqRel);
+            }
+            d.set_state(from);
+            return Err(NosvError::ShutdownInProgress);
+        }
         self.sched.submit(desc);
-        // Wake idle cores. Taking the gate lock orders this notification
-        // after any in-flight "queue empty" check (no lost wakeups).
-        let _g = self.idle_mutex.lock();
         self.idle_cv.notify_all();
+        Ok(())
     }
 
     /// Frees a descriptor and its host-side resources (`nosv_destroy`).
@@ -174,13 +207,28 @@ pub struct Runtime {
 }
 
 impl Runtime {
-    /// Creates a runtime (segment, scheduler, CPU manager) from `config`.
-    pub fn new(config: NosvConfig) -> Runtime {
-        config.validate();
+    /// Starts configuring a runtime; see [`RuntimeBuilder`].
+    ///
+    /// ```
+    /// use nosv::prelude::*;
+    ///
+    /// let rt = Runtime::builder().cpus(2).build().expect("valid config");
+    /// rt.shutdown();
+    /// ```
+    pub fn builder() -> RuntimeBuilder {
+        RuntimeBuilder::new()
+    }
+
+    /// Creates a runtime (segment, scheduler, CPU manager) from a
+    /// validated configuration. Called by [`RuntimeBuilder::build`].
+    pub(crate) fn from_parts(
+        config: NosvConfig,
+        policy: Arc<dyn SchedPolicy>,
+    ) -> Result<Runtime, NosvError> {
         let seg = ShmSegment::create(config.segment_config());
-        let sched = Scheduler::new(seg.clone(), &config);
+        let sched = Scheduler::new(seg.clone(), &config, policy)?;
         let tracing = config.tracing;
-        Runtime {
+        Ok(Runtime {
             inner: Arc::new(RuntimeInner {
                 seg,
                 sched,
@@ -200,7 +248,7 @@ impl Runtime {
                 config,
             }),
             shut_down: AtomicBool::new(false),
-        }
+        })
     }
 
     /// Attaches a logical process (an application) to the runtime.
@@ -209,16 +257,18 @@ impl Runtime {
     /// process registered into this shared memory region spawns a new
     /// thread for each core in the node").
     ///
-    /// # Panics
-    ///
-    /// Panics if the process registry is full; use [`Runtime::try_attach`]
-    /// to handle that case.
-    pub fn attach(&self, name: &str) -> ProcessContext {
-        self.try_attach(name).expect("process registry full")
-    }
-
-    /// Fallible variant of [`Runtime::attach`].
-    pub fn try_attach(&self, name: &str) -> Result<ProcessContext, NosvError> {
+    /// Returns [`NosvError::TooManyProcesses`] when the registry is full
+    /// and [`NosvError::ShutdownInProgress`] when the runtime has begun
+    /// (or finished) shutting down.
+    pub fn attach(&self, name: &str) -> Result<ProcessContext, NosvError> {
+        // Registration happens under the idle gate so it cannot interleave
+        // with shutdown: either the flag is observed here, or the process
+        // (and its first-attach workers) is fully registered before
+        // shutdown raises the flag and joins workers.
+        let _gate = self.inner.idle_mutex.lock();
+        if self.shut_down.load(Ordering::Acquire) || self.inner.shutdown.load(Ordering::Acquire) {
+            return Err(NosvError::ShutdownInProgress);
+        }
         let id = self.inner.seg.attach()?;
         self.inner.sched.register_proc(id.slot, id.pid);
         let proc = Arc::new(ProcInner {
@@ -273,18 +323,28 @@ impl Runtime {
         self.inner.trace.enabled()
     }
 
-    /// Stops all workers and tears the runtime down.
+    /// Stops all workers and tears the runtime down. Idempotent; later
+    /// [`Runtime::attach`] and task submissions on shared handles return
+    /// [`NosvError::ShutdownInProgress`].
     ///
     /// # Panics
     ///
     /// Panics if tasks are still pending (submitted but not completed):
     /// shutting down under them would leave threads blocked forever.
-    pub fn shutdown(self) {
-        assert_eq!(
-            self.inner.pending_tasks.load(Ordering::Acquire),
-            0,
-            "shutdown with tasks still pending"
-        );
+    pub fn shutdown(&self) {
+        {
+            // Under the idle gate, submissions are serialized against this
+            // check-and-raise: any submit that already enqueued is counted
+            // in pending_tasks (asserted here), and any later submit
+            // observes the raised flag and errors. See RuntimeInner::submit.
+            let _gate = self.inner.idle_mutex.lock();
+            assert_eq!(
+                self.inner.pending_tasks.load(Ordering::Acquire),
+                0,
+                "shutdown with tasks still pending"
+            );
+            self.inner.shutdown.store(true, Ordering::Release);
+        }
         self.shutdown_inner();
     }
 
@@ -292,9 +352,9 @@ impl Runtime {
         if self.shut_down.swap(true, Ordering::AcqRel) {
             return;
         }
-        self.inner.shutdown.store(true, Ordering::Release);
         {
             let _g = self.inner.idle_mutex.lock();
+            self.inner.shutdown.store(true, Ordering::Release);
             self.inner.idle_cv.notify_all();
         }
         for w in self.inner.workers.lock().iter() {
@@ -319,7 +379,10 @@ impl std::fmt::Debug for Runtime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Runtime")
             .field("cpus", &self.inner.config.cpus)
-            .field("pending_tasks", &self.inner.pending_tasks.load(Ordering::Relaxed))
+            .field(
+                "pending_tasks",
+                &self.inner.pending_tasks.load(Ordering::Relaxed),
+            )
             .finish()
     }
 }
@@ -351,26 +414,33 @@ impl ProcessContext {
     }
 
     /// Creates a task from a plain closure (`nosv_create` with defaults).
+    ///
+    /// Thin panicking convenience over [`ProcessContext::build_task`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shared segment is exhausted or the process detached.
     pub fn create_task(&self, body: impl FnOnce(&TaskCtx) + Send + 'static) -> TaskHandle {
         self.build_task(TaskBuilder::new().run(body))
+            .expect("task creation failed")
     }
 
     /// Creates a task from a full [`TaskBuilder`] (`nosv_create`).
     ///
-    /// # Panics
-    ///
-    /// Panics if the shared segment is exhausted; use
-    /// [`ProcessContext::try_build_task`] to handle allocation failure.
-    pub fn build_task(&self, builder: TaskBuilder) -> TaskHandle {
-        self.try_build_task(builder).expect("shared segment exhausted")
-    }
-
-    /// Fallible variant of [`ProcessContext::build_task`].
-    pub fn try_build_task(&self, builder: TaskBuilder) -> Result<TaskHandle, NosvError> {
-        assert!(
-            self.proc.active.load(Ordering::Acquire),
-            "create_task on a detached process"
-        );
+    /// Errors:
+    /// * [`NosvError::MissingTaskBody`] — the builder has no `run` callback;
+    /// * [`NosvError::InvalidAffinity`] — the affinity names a core or NUMA
+    ///   node outside this runtime's topology;
+    /// * [`NosvError::ProcessDetached`] — this context already detached;
+    /// * [`NosvError::OutOfSharedMemory`] — the segment is exhausted.
+    pub fn build_task(&self, builder: TaskBuilder) -> Result<TaskHandle, NosvError> {
+        if builder.run.is_none() {
+            return Err(NosvError::MissingTaskBody);
+        }
+        self.validate_affinity(builder.affinity)?;
+        if !self.proc.active.load(Ordering::Acquire) {
+            return Err(NosvError::ProcessDetached);
+        }
         let cpu = worker::current_core().unwrap_or(0);
         let desc: Shoff<TaskDesc> = self
             .rt
@@ -385,7 +455,8 @@ impl ProcessContext {
         d.slot.store(self.proc.slot, Ordering::Relaxed);
         d.pid.store(self.proc.pid, Ordering::Relaxed);
         d.priority.store(builder.priority as u32, Ordering::Relaxed);
-        d.affinity.store(builder.affinity.encode(), Ordering::Relaxed);
+        d.affinity
+            .store(builder.affinity.encode(), Ordering::Relaxed);
         d.metadata.store(builder.metadata, Ordering::Relaxed);
         let cbs = Box::new(TaskCallbacks {
             run: builder.run,
@@ -407,10 +478,52 @@ impl ProcessContext {
     }
 
     /// Convenience: create, submit, and return the handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics where [`ProcessContext::create_task`] or
+    /// [`crate::TaskHandle::submit`] would return an error.
     pub fn spawn(&self, body: impl FnOnce(&TaskCtx) + Send + 'static) -> TaskHandle {
         let t = self.create_task(body);
-        t.submit();
+        t.submit().expect("fresh task submission failed");
         t
+    }
+
+    /// Checks a task affinity against the runtime topology.
+    fn validate_affinity(&self, affinity: Affinity) -> Result<(), NosvError> {
+        match affinity {
+            Affinity::None => Ok(()),
+            Affinity::Core { index, .. } => {
+                if index >= self.rt.config.cpus {
+                    Err(NosvError::InvalidAffinity {
+                        affinity,
+                        reason: "core index beyond the runtime's CPUs",
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+            Affinity::Numa { index, .. } => {
+                if index >= self.rt.config.numa_nodes() {
+                    Err(NosvError::InvalidAffinity {
+                        affinity,
+                        reason: "NUMA node index beyond the runtime's nodes",
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Detaches the process from the runtime (§3.3 unregistration).
+    ///
+    /// Idempotent, and also performed on drop. After detaching,
+    /// [`ProcessContext::build_task`] returns [`NosvError::ProcessDetached`].
+    /// All tasks created through this context must have completed and been
+    /// destroyed first.
+    pub fn detach(&self) {
+        self.detach_inner();
     }
 
     fn detach_inner(&self) {
@@ -419,12 +532,10 @@ impl ProcessContext {
         }
         self.proc.active.store(false, Ordering::Release);
         self.rt.sched.unregister_proc(self.proc.slot);
-        self.rt
-            .seg
-            .detach(nosv_shmem::ProcessId {
-                pid: self.proc.pid,
-                slot: self.proc.slot,
-            });
+        self.rt.seg.detach(nosv_shmem::ProcessId {
+            pid: self.proc.pid,
+            slot: self.proc.slot,
+        });
         // The process's entry stays in the table and its parked workers stay
         // alive until runtime shutdown: active workers of this process may
         // still be relaying cores (their pull loop hands foreign tasks off)

@@ -19,12 +19,14 @@
 //! other cores/nodes — strict tasks are never stolen.
 
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
 
-use nosv_shmem::{Shoff, ShmSegment, MAX_PROCS};
+use nosv_shmem::{ShmSegment, Shoff, MAX_PROCS};
 use nosv_sync::{Acquired, DtLock};
 
 use crate::config::NosvConfig;
-use crate::policy::{self, CandidateProc, CoreQuantum};
+use crate::error::NosvError;
+use crate::policy::{CandidateProc, CoreQuantum, SchedPolicy};
 use crate::queue::TaskQueue;
 use crate::stats::Counters;
 use crate::task::{Affinity, TaskDesc};
@@ -72,7 +74,8 @@ pub(crate) struct Scheduler {
     lock: DtLock<(), ReadyTask>,
     cpus: usize,
     cpus_per_numa: usize,
-    quantum_ns: u64,
+    /// The process-selection policy, shared with the simulator backend.
+    policy: Arc<dyn SchedPolicy>,
 }
 
 /// Racy observability snapshot of the scheduler (for tests and tools).
@@ -90,15 +93,18 @@ pub struct SchedulerSnapshot {
 const STEAL_SCAN_LIMIT: usize = 8;
 
 impl Scheduler {
-    pub(crate) fn new(seg: ShmSegment, config: &NosvConfig) -> Scheduler {
-        assert!(config.cpus <= MAX_CPUS, "too many CPUs for the scheduler");
-        assert!(config.numa_nodes() <= MAX_NUMA, "too many NUMA nodes");
+    pub(crate) fn new(
+        seg: ShmSegment,
+        config: &NosvConfig,
+        policy: Arc<dyn SchedPolicy>,
+    ) -> Result<Scheduler, NosvError> {
+        debug_assert!(config.cpus <= MAX_CPUS, "config validated upstream");
+        debug_assert!(config.numa_nodes() <= MAX_NUMA, "config validated upstream");
         let root: Shoff<SchedRoot> = seg
-            .alloc_zeroed(std::mem::size_of::<SchedRoot>(), 0)
-            .expect("segment too small for scheduler root")
+            .alloc_zeroed(std::mem::size_of::<SchedRoot>(), 0)?
             .cast();
         // Zeroed SchedRoot is valid: empty queues, inactive processes.
-        Scheduler {
+        Ok(Scheduler {
             seg,
             root,
             // Waiters are at most one worker per CPU, plus headroom for
@@ -106,8 +112,8 @@ impl Scheduler {
             lock: DtLock::new((), config.cpus + 64),
             cpus: config.cpus,
             cpus_per_numa: config.cpus_per_numa,
-            quantum_ns: config.quantum_ns,
-        }
+            policy,
+        })
     }
 
     fn root(&self) -> &SchedRoot {
@@ -121,11 +127,7 @@ impl Scheduler {
     }
 
     fn numa_of(&self, cpu: usize) -> usize {
-        if self.cpus_per_numa == 0 {
-            0
-        } else {
-            cpu / self.cpus_per_numa
-        }
+        cpu.checked_div(self.cpus_per_numa).unwrap_or(0)
     }
 
     pub(crate) fn register_proc(&self, slot: u32, pid: u64) {
@@ -283,8 +285,9 @@ impl Scheduler {
             since_ns: root.cores[cpu].since_ns.load(Ordering::Relaxed),
         };
         let mut rr = root.rr_cursor.load(Ordering::Relaxed);
-        let decision =
-            policy::pick_process(&core_state, self.quantum_ns, now_ns, &candidates, &mut rr)?;
+        let decision = self
+            .policy
+            .pick_process(&core_state, now_ns, &candidates, &mut rr)?;
         root.rr_cursor.store(rr, Ordering::Relaxed);
         if decision.quantum_expired {
             counters.quantum_switches.fetch_add(1, Ordering::Relaxed);
@@ -300,9 +303,10 @@ impl Scheduler {
             |d: &TaskDesc| !Affinity::decode(d.affinity.load(Ordering::Relaxed)).is_strict();
         for i in 1..self.cpus {
             let victim = (cpu + i) % self.cpus;
-            if let Some(t) = root.cores[victim]
-                .queue
-                .pop_if(&self.seg, STEAL_SCAN_LIMIT, not_strict)
+            if let Some(t) =
+                root.cores[victim]
+                    .queue
+                    .pop_if(&self.seg, STEAL_SCAN_LIMIT, not_strict)
             {
                 counters.affinity_steals.fetch_add(1, Ordering::Relaxed);
                 return Some(t);
@@ -356,7 +360,8 @@ mod tests {
             quantum_ns,
             ..Default::default()
         };
-        let sched = Scheduler::new(seg.clone(), &cfg);
+        let policy = Arc::new(crate::policy::QuantumPolicy::new(quantum_ns));
+        let sched = Scheduler::new(seg.clone(), &cfg, policy).expect("segment fits");
         (seg, sched)
     }
 
@@ -428,7 +433,10 @@ mod tests {
         }
         // Only the other process remains.
         let t = sched.get_task(0, 20, &c).unwrap();
-        assert_ne!(unsafe { seg.sref(t) }.pid.load(Ordering::Relaxed), first_pid);
+        assert_ne!(
+            unsafe { seg.sref(t) }.pid.load(Ordering::Relaxed),
+            first_pid
+        );
     }
 
     #[test]

@@ -11,7 +11,14 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use nosv_shmem::{AtomicShoff, Shoff};
-use parking_lot::{Condvar, Mutex};
+use nosv_sync::{Condvar, Mutex};
+
+use crate::error::NosvError;
+
+/// Boxed task body (the paper's run callback).
+pub(crate) type RunCallback = Box<dyn FnOnce(&TaskCtx) + Send + 'static>;
+/// Boxed completion callback.
+pub(crate) type CompletedCallback = Box<dyn FnOnce() + Send + 'static>;
 
 /// Unique id of a task within a runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -34,14 +41,18 @@ pub enum TaskState {
 }
 
 impl TaskState {
-    pub(crate) fn from_u32(v: u32) -> TaskState {
+    /// Decodes a raw state word.
+    ///
+    /// Returns [`NosvError::CorruptTaskState`] when the word is outside the
+    /// encoding — the error-first counterpart of trusting shared memory.
+    pub fn from_u32(v: u32) -> Result<TaskState, NosvError> {
         match v {
-            0 => TaskState::Created,
-            1 => TaskState::Ready,
-            2 => TaskState::Running,
-            3 => TaskState::Paused,
-            4 => TaskState::Completed,
-            other => panic!("corrupt task state {other}"),
+            0 => Ok(TaskState::Created),
+            1 => Ok(TaskState::Ready),
+            2 => Ok(TaskState::Running),
+            3 => Ok(TaskState::Paused),
+            4 => Ok(TaskState::Completed),
+            raw => Err(NosvError::CorruptTaskState { raw }),
         }
     }
 }
@@ -117,8 +128,8 @@ impl Affinity {
 /// the invariant here is identical: callbacks are taken and called
 /// exclusively by worker threads of the creating logical process.
 pub(crate) struct TaskCallbacks {
-    pub run: Option<Box<dyn FnOnce(&TaskCtx) + Send + 'static>>,
-    pub completed: Option<Box<dyn FnOnce() + Send + 'static>>,
+    pub run: Option<RunCallback>,
+    pub completed: Option<CompletedCallback>,
 }
 
 /// The in-segment task descriptor (`nosv_create`'s result in the paper).
@@ -159,7 +170,8 @@ pub(crate) struct TaskDesc {
 }
 
 impl TaskDesc {
-    pub(crate) fn state(&self) -> TaskState {
+    /// Fallible state read; `Err` means the shared segment is corrupt.
+    pub(crate) fn try_state(&self) -> Result<TaskState, NosvError> {
         TaskState::from_u32(self.state.load(Ordering::Acquire))
     }
 
@@ -210,7 +222,14 @@ impl TaskSignal {
         // decided to pause but not yet transitioned (it spins on Running).
         let waiters = std::mem::take(&mut *self.waiters.lock());
         for (rt, desc_raw) in waiters {
-            rt.submit(Shoff::from_raw(desc_raw));
+            match rt.submit(Shoff::from_raw(desc_raw)) {
+                // A runtime dropped mid-unwind with tasks still pending
+                // reaches here with shutdown already signalled; the waiter
+                // cannot be resumed (its worker is exiting), and panicking
+                // the completing worker would strand the rest of the list.
+                Ok(()) | Err(crate::NosvError::ShutdownInProgress) => {}
+                Err(e) => unreachable!("resubmitting a paused waiter failed: {e}"),
+            }
         }
     }
 
@@ -240,29 +259,32 @@ impl TaskSignal {
 /// Builder for a task's scheduling attributes and callbacks.
 ///
 /// ```
-/// use nosv::{Affinity, NosvConfig, Runtime, TaskBuilder};
+/// use nosv::prelude::*;
 ///
-/// let rt = Runtime::new(NosvConfig { cpus: 2, ..Default::default() });
-/// let app = rt.attach("builder-demo");
+/// # fn main() -> Result<(), NosvError> {
+/// let rt = Runtime::builder().cpus(2).build()?;
+/// let app = rt.attach("builder-demo")?;
 /// let task = app.build_task(
 ///     TaskBuilder::new()
 ///         .priority(7)
 ///         .affinity(Affinity::Core { index: 1, strict: false })
 ///         .metadata(0xfeed)
 ///         .run(|ctx| assert_eq!(ctx.metadata(), 0xfeed)),
-/// );
-/// task.submit();
+/// )?;
+/// task.submit()?;
 /// task.wait();
 /// task.destroy();
 /// drop(app);
 /// rt.shutdown();
+/// # Ok(())
+/// # }
 /// ```
 pub struct TaskBuilder {
     pub(crate) priority: i32,
     pub(crate) affinity: Affinity,
     pub(crate) metadata: u64,
-    pub(crate) run: Option<Box<dyn FnOnce(&TaskCtx) + Send + 'static>>,
-    pub(crate) completed: Option<Box<dyn FnOnce() + Send + 'static>>,
+    pub(crate) run: Option<RunCallback>,
+    pub(crate) completed: Option<CompletedCallback>,
 }
 
 impl TaskBuilder {
@@ -368,21 +390,31 @@ impl TaskHandle {
     }
 
     /// Current state of the task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the descriptor's state word is corrupt; use
+    /// [`TaskHandle::try_state`] to observe that as an error instead.
     pub fn state(&self) -> TaskState {
+        self.try_state()
+            .expect("corrupt task state in shared segment")
+    }
+
+    /// Fallible variant of [`TaskHandle::state`]: a corrupt state word in
+    /// the shared segment surfaces as [`NosvError::CorruptTaskState`].
+    pub fn try_state(&self) -> Result<TaskState, NosvError> {
         // SAFETY: the descriptor is alive until destroy().
-        unsafe { self.rt.seg.sref(self.desc) }.state()
+        unsafe { self.rt.seg.sref(self.desc) }.try_state()
     }
 
     /// Submits the task to the shared scheduler (`nosv_submit`).
     ///
     /// Valid for freshly created tasks and for paused tasks (resubmission
-    /// unblocks them, §3.2).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the task is ready, running, or completed.
-    pub fn submit(&self) {
-        self.rt.submit(self.desc);
+    /// unblocks them, §3.2). Submitting a ready, running, or completed task
+    /// returns [`NosvError::InvalidTaskState`]; a submission racing with
+    /// runtime shutdown returns [`NosvError::ShutdownInProgress`].
+    pub fn submit(&self) -> Result<(), NosvError> {
+        self.rt.submit(self.desc)
     }
 
     /// Blocks until the task's body has completed.
@@ -396,10 +428,7 @@ impl TaskHandle {
             // Cooperative path: pause the calling task; completion of this
             // task resubmits it.
             loop {
-                if !self
-                    .signal
-                    .register_task_waiter(&self.rt, caller_raw)
-                {
+                if !self.signal.register_task_waiter(&self.rt, caller_raw) {
                     return; // already completed
                 }
                 crate::pause();
@@ -514,14 +543,16 @@ mod tests {
             TaskState::Paused,
             TaskState::Completed,
         ] {
-            assert_eq!(TaskState::from_u32(s as u32), s);
+            assert_eq!(TaskState::from_u32(s as u32), Ok(s));
         }
     }
 
     #[test]
-    #[should_panic(expected = "corrupt")]
-    fn bogus_state_panics() {
-        TaskState::from_u32(99);
+    fn bogus_state_is_an_error_not_a_panic() {
+        assert_eq!(
+            TaskState::from_u32(99),
+            Err(NosvError::CorruptTaskState { raw: 99 })
+        );
     }
 
     #[test]

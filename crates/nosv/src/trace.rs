@@ -1,12 +1,12 @@
 //! Execution tracing (paper §5.3: "the tracing features of nOS-V, which
 //! allow us to extract detailed execution traces").
 //!
-//! When enabled in [`crate::NosvConfig`], workers append one event per
+//! When enabled via [`crate::RuntimeBuilder::tracing`], workers append one event per
 //! scheduling action to a host-side buffer. The trace drives the
 //! Fig. 10-style per-core timeline output and several integration tests
 //! (e.g. "tasks always run on a thread of their creating process").
 
-use parking_lot::Mutex;
+use nosv_sync::Mutex;
 
 use crate::task::TaskId;
 

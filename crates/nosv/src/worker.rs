@@ -26,7 +26,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use nosv_shmem::Shoff;
-use parking_lot::{Condvar, Mutex};
+use nosv_sync::{Condvar, Mutex};
 
 use crate::runtime::RuntimeInner;
 use crate::scheduler::ReadyTask;
@@ -161,8 +161,7 @@ pub(crate) fn worker_main(rt: Arc<RuntimeInner>, me: Arc<WorkerShared>) {
             current_task: Cell::new(0),
         });
     });
-    loop {
-        let Some(assignment) = me.wait() else { break };
+    while let Some(assignment) = me.wait() {
         match assignment {
             Assignment::Pull { core } => set_core(core),
             Assignment::RunTask { core, task } => {
@@ -226,8 +225,7 @@ fn pull_loop(rt: &Arc<RuntimeInner>, me: &Arc<WorkerShared>) -> LoopExit {
                 if rt.sched.has_ready() {
                     continue;
                 }
-                rt.idle_cv
-                    .wait_for(&mut g, Duration::from_millis(20));
+                rt.idle_cv.wait_for(&mut g, Duration::from_millis(20));
             }
         }
     }

@@ -4,24 +4,26 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 
-use nosv::{Affinity, NosvConfig, Runtime, TaskBuilder, TraceEventKind};
-use parking_lot::Mutex;
+use nosv::prelude::*;
+use nosv::TraceEventKind;
+use nosv_sync::Mutex;
 
-fn cfg(cpus: usize) -> NosvConfig {
-    NosvConfig {
-        cpus,
-        tracing: true,
-        ..Default::default()
-    }
+fn runtime(cpus: usize) -> Runtime {
+    Runtime::builder()
+        .cpus(cpus)
+        .tracing(true)
+        .build()
+        .expect("valid test configuration")
 }
 
 #[test]
 fn three_processes_co_execute_to_completion() {
-    let rt = Runtime::new(cfg(4));
-    let apps: Vec<_> = (0..3).map(|i| rt.attach(&format!("app{i}"))).collect();
+    let rt = runtime(4);
+    let apps: Vec<_> = (0..3)
+        .map(|i| rt.attach(&format!("app{i}")).unwrap())
+        .collect();
     let per_app = 200;
-    let counters: Vec<Arc<AtomicUsize>> =
-        (0..3).map(|_| Arc::new(AtomicUsize::new(0))).collect();
+    let counters: Vec<Arc<AtomicUsize>> = (0..3).map(|_| Arc::new(AtomicUsize::new(0))).collect();
 
     let mut handles = Vec::new();
     for (app, counter) in apps.iter().zip(&counters) {
@@ -33,7 +35,7 @@ fn three_processes_co_execute_to_completion() {
                 assert_eq!(ctx.pid(), expect_pid);
                 c.fetch_add(1, Ordering::Relaxed);
             });
-            t.submit();
+            t.submit().unwrap();
             handles.push(t);
         }
     }
@@ -60,8 +62,8 @@ fn three_processes_co_execute_to_completion() {
 
 #[test]
 fn pause_and_resume_roundtrip() {
-    let rt = Runtime::new(cfg(2));
-    let app = rt.attach("pauser");
+    let rt = runtime(2);
+    let app = rt.attach("pauser").unwrap();
     let (tx, rx) = mpsc::channel::<()>();
     let phase = Arc::new(AtomicUsize::new(0));
 
@@ -74,10 +76,10 @@ fn pause_and_resume_roundtrip() {
             phase.store(2, Ordering::SeqCst);
         })
     };
-    t.submit();
+    t.submit().unwrap();
     rx.recv().unwrap();
     // The task is pausing or paused; resubmission unblocks it (§3.2).
-    t.submit();
+    t.submit().unwrap();
     t.wait();
     assert_eq!(phase.load(Ordering::SeqCst), 2);
     let stats = rt.stats();
@@ -90,8 +92,8 @@ fn pause_and_resume_roundtrip() {
 
 #[test]
 fn many_concurrent_pauses_resume_correctly() {
-    let rt = Runtime::new(cfg(4));
-    let app = rt.attach("pausers");
+    let rt = runtime(4);
+    let app = rt.attach("pausers").unwrap();
     let n = 32;
     let resumed = Arc::new(AtomicUsize::new(0));
     let (tx, rx) = mpsc::channel::<usize>();
@@ -105,7 +107,7 @@ fn many_concurrent_pauses_resume_correctly() {
                 nosv::pause();
                 resumed.fetch_add(1, Ordering::Relaxed);
             });
-            t.submit();
+            t.submit().unwrap();
             t
         })
         .collect();
@@ -113,7 +115,7 @@ fn many_concurrent_pauses_resume_correctly() {
     // Resubmit each task as soon as it reports having started.
     for _ in 0..n {
         let i = rx.recv().unwrap();
-        tasks[i].submit();
+        tasks[i].submit().unwrap();
     }
     for t in &tasks {
         t.wait();
@@ -130,8 +132,8 @@ fn many_concurrent_pauses_resume_correctly() {
 
 #[test]
 fn task_priorities_order_execution() {
-    let rt = Runtime::new(cfg(1));
-    let app = rt.attach("prio");
+    let rt = runtime(1);
+    let app = rt.attach("prio").unwrap();
     let order = Arc::new(Mutex::new(Vec::<i32>::new()));
     let (tx, rx) = mpsc::channel::<()>();
 
@@ -139,17 +141,19 @@ fn task_priorities_order_execution() {
     let blocker = app.create_task(move |_| {
         rx.recv().unwrap();
     });
-    blocker.submit();
+    blocker.submit().unwrap();
 
     let mut tasks = Vec::new();
     for prio in [0, 5, 1, 9, 3] {
         let order = Arc::clone(&order);
-        let t = app.build_task(
-            TaskBuilder::new()
-                .priority(prio)
-                .run(move |_| order.lock().push(prio)),
-        );
-        t.submit();
+        let t = app
+            .build_task(
+                TaskBuilder::new()
+                    .priority(prio)
+                    .run(move |_| order.lock().push(prio)),
+            )
+            .unwrap();
+        t.submit().unwrap();
         tasks.push(t);
     }
     tx.send(()).unwrap();
@@ -168,21 +172,23 @@ fn task_priorities_order_execution() {
 
 #[test]
 fn strict_core_affinity_executes_on_that_core() {
-    let rt = Runtime::new(cfg(4));
-    let app = rt.attach("affine");
+    let rt = runtime(4);
+    let app = rt.attach("affine").unwrap();
     let mut tasks = Vec::new();
     for i in 0..20 {
         let core = i % 4;
-        let t = app.build_task(
-            TaskBuilder::new()
-                .affinity(Affinity::Core {
-                    index: core,
-                    strict: true,
-                })
-                .metadata(core as u64)
-                .run(|_| {}),
-        );
-        t.submit();
+        let t = app
+            .build_task(
+                TaskBuilder::new()
+                    .affinity(Affinity::Core {
+                        index: core,
+                        strict: true,
+                    })
+                    .metadata(core as u64)
+                    .run(|_| {}),
+            )
+            .unwrap();
+        t.submit().unwrap();
         tasks.push(t);
     }
     for t in &tasks {
@@ -215,14 +221,13 @@ fn strict_core_affinity_executes_on_that_core() {
 #[test]
 fn quantum_forces_sharing_between_processes() {
     // Tiny quantum: cores must alternate between the two processes.
-    let rt = Runtime::new(NosvConfig {
-        cpus: 2,
-        quantum_ns: 50_000, // 50µs
-        tracing: false,
-        ..Default::default()
-    });
-    let a = rt.attach("a");
-    let b = rt.attach("b");
+    let rt = Runtime::builder()
+        .cpus(2)
+        .quantum_ns(50_000) // 50µs
+        .build()
+        .expect("valid test configuration");
+    let a = rt.attach("a").unwrap();
+    let b = rt.attach("b").unwrap();
     let mut tasks = Vec::new();
     for _ in 0..300 {
         for app in [&a, &b] {
@@ -233,7 +238,7 @@ fn quantum_forces_sharing_between_processes() {
                     std::hint::spin_loop();
                 }
             });
-            t.submit();
+            t.submit().unwrap();
             tasks.push(t);
         }
     }
@@ -259,8 +264,8 @@ fn delegation_serves_waiting_cpus() {
     // single-CPU CI container it depends on preemption timing. Retry a few
     // rounds; if contention never materializes, verify correctness and
     // warn instead of failing on scheduler luck.
-    let rt = Runtime::new(cfg(8));
-    let app = rt.attach("deleg");
+    let rt = runtime(8);
+    let app = rt.attach("deleg").unwrap();
     let mut total = 0u64;
     for _round in 0..8 {
         let mut tasks = Vec::new();
@@ -271,7 +276,7 @@ fn delegation_serves_waiting_cpus() {
                     std::hint::spin_loop();
                 }
             });
-            t.submit();
+            t.submit().unwrap();
             tasks.push(t);
         }
         for t in &tasks {
@@ -300,8 +305,8 @@ fn delegation_serves_waiting_cpus() {
 
 #[test]
 fn metadata_reaches_the_task() {
-    let rt = Runtime::new(cfg(1));
-    let app = rt.attach("meta");
+    let rt = runtime(1);
+    let app = rt.attach("meta").unwrap();
     let seen = Arc::new(AtomicU64::new(0));
     let t = {
         let seen = Arc::clone(&seen);
@@ -310,8 +315,9 @@ fn metadata_reaches_the_task() {
                 .metadata(0xdead_beef)
                 .run(move |ctx| seen.store(ctx.metadata(), Ordering::SeqCst)),
         )
+        .unwrap()
     };
-    t.submit();
+    t.submit().unwrap();
     t.wait();
     assert_eq!(seen.load(Ordering::SeqCst), 0xdead_beef);
     t.destroy();
@@ -321,20 +327,17 @@ fn metadata_reaches_the_task() {
 
 #[test]
 fn completion_callback_fires_before_wait_returns() {
-    let rt = Runtime::new(cfg(2));
-    let app = rt.attach("cb");
+    let rt = runtime(2);
+    let app = rt.attach("cb").unwrap();
     let flag = Arc::new(AtomicUsize::new(0));
     let t = {
         let flag = Arc::clone(&flag);
-        app.build_task(
-            TaskBuilder::new()
-                .run(|_| {})
-                .on_completed(move || {
-                    flag.store(7, Ordering::SeqCst);
-                }),
-        )
+        app.build_task(TaskBuilder::new().run(|_| {}).on_completed(move || {
+            flag.store(7, Ordering::SeqCst);
+        }))
+        .unwrap()
     };
-    t.submit();
+    t.submit().unwrap();
     t.wait();
     assert_eq!(flag.load(Ordering::SeqCst), 7);
     t.destroy();
@@ -346,8 +349,8 @@ fn completion_callback_fires_before_wait_returns() {
 fn tasks_submitted_from_inside_tasks() {
     // A task tree: each root task spawns children through its own process
     // context — exercising submission from worker threads.
-    let rt = Runtime::new(cfg(4));
-    let app = Arc::new(rt.attach("nested"));
+    let rt = runtime(4);
+    let app = Arc::new(rt.attach("nested").unwrap());
     let done = Arc::new(AtomicUsize::new(0));
     let roots: Vec<_> = (0..8)
         .map(|_| {
@@ -359,12 +362,12 @@ fn tasks_submitted_from_inside_tasks() {
                     let child = app2.create_task(move |_| {
                         d.fetch_add(1, Ordering::Relaxed);
                     });
-                    child.submit();
+                    child.submit().unwrap();
                     child.wait();
                     child.destroy();
                 }
             });
-            t.submit();
+            t.submit().unwrap();
             t
         })
         .collect();
@@ -381,8 +384,8 @@ fn tasks_submitted_from_inside_tasks() {
 
 #[test]
 fn destroy_unsubmitted_task_reclaims_memory() {
-    let rt = Runtime::new(cfg(1));
-    let app = rt.attach("unsub");
+    let rt = runtime(1);
+    let app = rt.attach("unsub").unwrap();
     let t = app.create_task(|_| panic!("must never run"));
     t.destroy();
     drop(app);
@@ -397,8 +400,8 @@ fn pause_outside_task_panics() {
 
 #[test]
 fn trace_records_full_lifecycle() {
-    let rt = Runtime::new(cfg(2));
-    let app = rt.attach("traced");
+    let rt = runtime(2);
+    let app = rt.attach("traced").unwrap();
     let t = app.spawn(|_| {});
     t.wait();
     let trace = rt.take_trace();
@@ -422,12 +425,9 @@ fn trace_records_full_lifecycle() {
 
 #[test]
 fn stress_two_apps_small_tasks() {
-    let rt = Runtime::new(NosvConfig {
-        cpus: 4,
-        ..Default::default()
-    });
-    let a = rt.attach("stress-a");
-    let b = rt.attach("stress-b");
+    let rt = Runtime::builder().cpus(4).build().expect("valid");
+    let a = rt.attach("stress-a").unwrap();
+    let b = rt.attach("stress-b").unwrap();
     let n = 3000;
     let count = Arc::new(AtomicUsize::new(0));
     let mut tasks = Vec::with_capacity(2 * n);
@@ -437,7 +437,7 @@ fn stress_two_apps_small_tasks() {
             let t = app.create_task(move |_| {
                 c.fetch_add(1, Ordering::Relaxed);
             });
-            t.submit();
+            t.submit().unwrap();
             tasks.push(t);
         }
     }

@@ -10,12 +10,10 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
-use nosv::policy::{self, CandidateProc, CoreQuantum};
+use nosv::policy::{CandidateProc, CoreQuantum, QuantumPolicy, SchedPolicy};
 
 use crate::model::{AppModel, TaskModel};
+use crate::rng::SimRng;
 use crate::spec::NodeSpec;
 use crate::stats::{AppSimStats, SimStats};
 use crate::trace::{SimTrace, TraceSegment};
@@ -183,13 +181,18 @@ struct Engine<'a> {
     /// Per-socket: current quantized bandwidth factor and raw demand.
     socket_factor: Vec<f64>,
     rr_cursor: u64,
-    rng: SmallRng,
+    rng: SimRng,
+    /// Process-selection policy for nOS-V mode — the same trait object kind
+    /// the live runtime's scheduler consults.
+    policy: &'a dyn SchedPolicy,
     stats: SimStats,
     trace: Option<SimTrace>,
     unfinished: usize,
 }
 
-/// Runs one simulation of `apps` co-executing on `node` under `mode`.
+/// Runs one simulation of `apps` co-executing on `node` under `mode`,
+/// using the canonical [`QuantumPolicy`] (built from the mode's quantum)
+/// for nOS-V-mode scheduling decisions.
 ///
 /// # Panics
 ///
@@ -202,8 +205,32 @@ pub fn run_simulation(
     mode: &RuntimeMode,
     opts: &SimOptions,
 ) -> SimResult {
+    let quantum_ns = match mode {
+        RuntimeMode::Nosv { quantum_ns, .. } => *quantum_ns,
+        RuntimeMode::PerApp { .. } => nosv::DEFAULT_QUANTUM_NS, // never consulted
+    };
+    run_simulation_with_policy(node, apps, mode, opts, &QuantumPolicy::new(quantum_ns))
+}
+
+/// Like [`run_simulation`], but scheduling the nOS-V-mode node through an
+/// arbitrary [`SchedPolicy`] — the **same trait** the live runtime's
+/// shared scheduler consults (`nosv::RuntimeBuilder::policy`), so one
+/// policy implementation is exercised identically in both backends.
+///
+/// The policy is the single source of truth for scheduling: the
+/// `quantum_ns` field of [`RuntimeMode::Nosv`] is **ignored** on this
+/// path (the policy's own [`SchedPolicy::quantum_ns`] governs), mirroring
+/// how `RuntimeBuilder::policy` overrides the builder's quantum. In
+/// `PerApp` modes the policy is never consulted.
+pub fn run_simulation_with_policy(
+    node: &NodeSpec,
+    apps: &[AppModel],
+    mode: &RuntimeMode,
+    opts: &SimOptions,
+    policy: &dyn SchedPolicy,
+) -> SimResult {
     assert!(!apps.is_empty(), "no applications to simulate");
-    let mut eng = Engine::new(node, apps, mode, opts);
+    let mut eng = Engine::new(node, apps, mode, opts, policy);
     eng.run();
     let makespan = eng
         .stats
@@ -225,6 +252,7 @@ impl<'a> Engine<'a> {
         models: &'a [AppModel],
         mode: &'a RuntimeMode,
         opts: &'a SimOptions,
+        policy: &'a dyn SchedPolicy,
     ) -> Engine<'a> {
         let ncores = node.cores();
         let mut cores: Vec<Core> = (0..ncores)
@@ -255,11 +283,7 @@ impl<'a> Engine<'a> {
                     dormant_on_core: vec![None; ncores],
                     priority: m.app_priority,
                 };
-                rt.ready = m.phases[0]
-                    .groups
-                    .iter()
-                    .map(|&(n, t)| (n, t))
-                    .collect();
+                rt.ready = m.phases[0].groups.iter().map(|&(n, t)| (n, t)).collect();
                 rt
             })
             .collect();
@@ -343,7 +367,8 @@ impl<'a> Engine<'a> {
             models,
             socket_factor: vec![1.0; node.sockets],
             rr_cursor: 0,
-            rng: SmallRng::seed_from_u64(opts.seed),
+            rng: SimRng::seed_from_u64(opts.seed),
+            policy,
             stats,
             trace: if opts.record_trace {
                 Some(SimTrace::default())
@@ -598,7 +623,7 @@ impl<'a> Engine<'a> {
     /// Permanently retires a thread (its application finished).
     fn retire(&mut self, t: Tid) {
         match self.threads[t].state {
-            TState::Finished => return,
+            TState::Finished => (),
             TState::Blocked => {
                 self.threads[t].state = TState::Finished;
             }
@@ -708,9 +733,7 @@ impl<'a> Engine<'a> {
                     }
                     // A spuriously-woken dormant thread on a core we do not
                     // hold (not owner, no lease) must go back to sleep.
-                    if self.cores[core].owner != Some(app)
-                        && self.cores[core].lease != Some(app)
-                    {
+                    if self.cores[core].owner != Some(app) && self.cores[core].lease != Some(app) {
                         self.block_current(t);
                         return;
                     }
@@ -842,7 +865,7 @@ impl<'a> Engine<'a> {
             let ready = rt.ready_count();
             if ready > 0
                 && rt.dormant_on_core[core].is_some()
-                && best.map_or(true, |(r, _)| ready > r)
+                && best.is_none_or(|(r, _)| ready > r)
             {
                 best = Some((ready, b));
             }
@@ -923,7 +946,7 @@ impl<'a> Engine<'a> {
 
         let remote = tm.home_socket.is_some_and(|h| h != socket);
         let jitter = if self.opts.jitter > 0.0 {
-            1.0 + self.rng.gen_range(-self.opts.jitter..self.opts.jitter)
+            1.0 + self.rng.range_f64(-self.opts.jitter, self.opts.jitter)
         } else {
             1.0
         };
@@ -1005,10 +1028,10 @@ impl<'a> Engine<'a> {
                     // at their next dispatch point; spinning/idle/blocked
                     // ones can go now.
                     match self.threads[t].kind {
-                        SegKind::SpinIdle | SegKind::SpinLock | SegKind::Fresh => {
-                            if self.apps[app].lock_holder != Some(t) {
-                                self.retire(t)
-                            }
+                        SegKind::SpinIdle | SegKind::SpinLock | SegKind::Fresh
+                            if self.apps[app].lock_holder != Some(t) =>
+                        {
+                            self.retire(t)
                         }
                         _ => {}
                     }
@@ -1079,11 +1102,7 @@ impl<'a> Engine<'a> {
     /// The node-wide scheduler decision for worker `t` (runs at the end of
     /// its fetch overhead), reusing the real `nosv::policy` code.
     fn nosv_pick(&mut self, t: Tid) {
-        let RuntimeMode::Nosv {
-            quantum_ns,
-            affinity,
-        } = self.mode
-        else {
+        let RuntimeMode::Nosv { affinity, .. } = self.mode else {
             unreachable!()
         };
         let core = self.threads[t].core;
@@ -1097,9 +1116,10 @@ impl<'a> Engine<'a> {
             }
             let takeable = match affinity {
                 AffinityMode::Ignore | AffinityMode::BestEffort => rtapp.ready_count() > 0,
-                AffinityMode::Strict => rtapp.ready.iter().any(|&(n, ref tm)| {
-                    n > 0 && tm.home_socket.map_or(true, |h| h == socket)
-                }),
+                AffinityMode::Strict => rtapp
+                    .ready
+                    .iter()
+                    .any(|&(n, ref tm)| n > 0 && tm.home_socket.is_none_or(|h| h == socket)),
             };
             if takeable {
                 candidates.push(CandidateProc {
@@ -1110,9 +1130,8 @@ impl<'a> Engine<'a> {
                 });
             }
         }
-        let decision = policy::pick_process(
+        let decision = self.policy.pick_process(
             &self.cores[core].quantum,
-            *quantum_ns,
             self.now,
             &candidates,
             &mut self.rr_cursor,
@@ -1126,7 +1145,7 @@ impl<'a> Engine<'a> {
             self.stats.quantum_switches += 1;
         }
         let mut q = self.cores[core].quantum;
-        policy::apply_decision(&mut q, &decision, self.now);
+        self.policy.apply_decision(&mut q, &decision, self.now);
         self.cores[core].quantum = q;
         let app = (decision.pid - 1) as usize;
         let Some((task, work)) = self.pop_task(app, socket, *affinity) else {
@@ -1186,10 +1205,7 @@ mod tests {
     fn single_app_matches_ideal_makespan() {
         let node = NodeSpec::tiny(1, 4);
         // 8 tasks x 1 ms on 4 cores: ideal 2 ms + small scheduling costs.
-        let app = AppModel::new(
-            "t",
-            vec![Phase::uniform(8, TaskModel::compute(1_000_000))],
-        );
+        let app = AppModel::new("t", vec![Phase::uniform(8, TaskModel::compute(1_000_000))]);
         let m = exclusive(&node, &app);
         let ideal = app.ideal_makespan_ns(4);
         assert!(m >= ideal, "makespan {m} below ideal {ideal}");
@@ -1216,16 +1232,19 @@ mod tests {
     #[test]
     fn bandwidth_contention_slows_memory_tasks() {
         let node = NodeSpec::tiny(1, 4); // 50 GB/s socket
-        // 4 tasks each demanding 25 GB/s (total 100 > 50): factor 0.5, so
-        // the fully memory-bound part runs at half speed.
+                                         // 4 tasks each demanding 25 GB/s (total 100 > 50): factor 0.5, so
+                                         // the fully memory-bound part runs at half speed.
         let hungry = AppModel::new(
             "mem",
-            vec![Phase::uniform(4, TaskModel {
-                work_ns: 10_000_000,
-                bw_gbps: 25.0,
-                mem_frac: 1.0,
-                home_socket: None,
-            })],
+            vec![Phase::uniform(
+                4,
+                TaskModel {
+                    work_ns: 10_000_000,
+                    bw_gbps: 25.0,
+                    mem_frac: 1.0,
+                    home_socket: None,
+                },
+            )],
         );
         let m = exclusive(&node, &hungry);
         assert!(
@@ -1235,12 +1254,15 @@ mod tests {
         // The same tasks demanding 10 GB/s (total 40 < 50) run full speed.
         let light = AppModel::new(
             "light",
-            vec![Phase::uniform(4, TaskModel {
-                work_ns: 10_000_000,
-                bw_gbps: 10.0,
-                mem_frac: 1.0,
-                home_socket: None,
-            })],
+            vec![Phase::uniform(
+                4,
+                TaskModel {
+                    work_ns: 10_000_000,
+                    bw_gbps: 10.0,
+                    mem_frac: 1.0,
+                    home_socket: None,
+                },
+            )],
         );
         let m2 = exclusive(&node, &light);
         assert!(m2 < 12_000_000, "under capacity must not slow down: {m2}");
@@ -1253,12 +1275,15 @@ mod tests {
             "mix",
             vec![Phase {
                 groups: vec![
-                    (1, TaskModel {
-                        work_ns: 10_000_000,
-                        bw_gbps: 100.0, // saturates alone
-                        mem_frac: 1.0,
-                        home_socket: None,
-                    }),
+                    (
+                        1,
+                        TaskModel {
+                            work_ns: 10_000_000,
+                            bw_gbps: 100.0, // saturates alone
+                            mem_frac: 1.0,
+                            home_socket: None,
+                        },
+                    ),
                     (1, TaskModel::compute(10_000_000)),
                 ],
             }],
@@ -1282,10 +1307,7 @@ mod tests {
     fn oversubscription_time_shares() {
         let node = NodeSpec::tiny(1, 2);
         let app = |name: &str| {
-            AppModel::new(
-                name,
-                vec![Phase::uniform(8, TaskModel::compute(2_000_000))],
-            )
+            AppModel::new(name, vec![Phase::uniform(8, TaskModel::compute(2_000_000))])
         };
         let solo = exclusive(&node, &app("a"));
         let both = run_simulation(
@@ -1313,7 +1335,7 @@ mod tests {
         );
         let busy = run_simulation(
             &node,
-            &[serial.clone()],
+            std::slice::from_ref(&serial),
             &RuntimeMode::PerApp {
                 assignments: vec![node.all_cores()],
                 idle: IdlePolicy::Busy,
@@ -1338,9 +1360,8 @@ mod tests {
     #[test]
     fn colocation_confines_apps() {
         let node = NodeSpec::tiny(1, 4);
-        let app = |n: &str| {
-            AppModel::new(n, vec![Phase::uniform(8, TaskModel::compute(1_000_000))])
-        };
+        let app =
+            |n: &str| AppModel::new(n, vec![Phase::uniform(8, TaskModel::compute(1_000_000))]);
         let r = run_simulation(
             &node,
             &[app("a"), app("b")],
@@ -1364,10 +1385,7 @@ mod tests {
         // App A is tiny; app B is heavy. Under plain co-location B is stuck
         // on 2 cores; with DLB it borrows A's idle cores.
         let a = AppModel::new("a", vec![Phase::uniform(2, TaskModel::compute(1_000_000))]);
-        let b = AppModel::new(
-            "b",
-            vec![Phase::uniform(40, TaskModel::compute(1_000_000))],
-        );
+        let b = AppModel::new("b", vec![Phase::uniform(40, TaskModel::compute(1_000_000))]);
         let assignments = vec![CoreRange::new(0, 2), CoreRange::new(2, 4)];
         let coloc = run_simulation(
             &node,
@@ -1448,7 +1466,7 @@ mod tests {
         );
         let ignore = run_simulation(
             &node,
-            &[app.clone()],
+            std::slice::from_ref(&app),
             &RuntimeMode::Nosv {
                 quantum_ns: 20_000_000,
                 affinity: AffinityMode::Ignore,
@@ -1477,9 +1495,8 @@ mod tests {
         let node = NodeSpec::tiny(1, 2);
         // Fine-grained tasks (frequent lock acquisitions) under 2x busy
         // oversubscription: spin time must appear.
-        let fine = |n: &str| {
-            AppModel::new(n, vec![Phase::uniform(400, TaskModel::compute(100_000))])
-        };
+        let fine =
+            |n: &str| AppModel::new(n, vec![Phase::uniform(400, TaskModel::compute(100_000))]);
         let r = run_simulation(
             &node,
             &[fine("a"), fine("b")],

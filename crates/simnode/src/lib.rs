@@ -32,15 +32,21 @@
 
 mod engine;
 mod model;
+mod rng;
 mod spec;
 mod stats;
 mod trace;
 
-pub use engine::{run_simulation, SimOptions, SimResult};
+pub use engine::{run_simulation, run_simulation_with_policy, SimOptions, SimResult};
 pub use model::{AppModel, Phase, TaskModel};
 pub use spec::{CoreRange, NodeSpec};
 pub use stats::{AppSimStats, SimStats};
 pub use trace::{SimTrace, TraceSegment};
+
+// The scheduling policy surface shared with the live runtime, re-exported
+// so simulator users can implement or instantiate policies without a
+// direct `nosv` dependency.
+pub use nosv::policy::{CandidateProc, CoreQuantum, Decision, QuantumPolicy, SchedPolicy};
 
 /// Runtime organizations that can be simulated.
 #[derive(Debug, Clone, PartialEq)]

@@ -86,10 +86,7 @@ impl Phase {
 
     /// Total work in the phase at full speed, ns.
     pub fn total_work_ns(&self) -> u64 {
-        self.groups
-            .iter()
-            .map(|(n, t)| *n as u64 * t.work_ns)
-            .sum()
+        self.groups.iter().map(|(n, t)| *n as u64 * t.work_ns).sum()
     }
 }
 
@@ -133,12 +130,7 @@ impl AppModel {
         self.phases
             .iter()
             .map(|p| {
-                let longest = p
-                    .groups
-                    .iter()
-                    .map(|(_, t)| t.work_ns)
-                    .max()
-                    .unwrap_or(0);
+                let longest = p.groups.iter().map(|(_, t)| t.work_ns).max().unwrap_or(0);
                 let packed = p.total_work_ns().div_ceil(cores as u64);
                 longest.max(packed)
             })
@@ -176,7 +168,9 @@ mod tests {
 
     #[test]
     fn builders() {
-        let t = TaskModel::memory(1_000, 2.0).on_socket(1).with_mem_frac(0.8);
+        let t = TaskModel::memory(1_000, 2.0)
+            .on_socket(1)
+            .with_mem_frac(0.8);
         assert_eq!(t.home_socket, Some(1));
         assert!((t.mem_frac - 0.8).abs() < 1e-12);
     }

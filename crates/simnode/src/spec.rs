@@ -76,12 +76,12 @@ impl NodeSpec {
             sockets: 1,
             cores_per_socket: 64,
             bw_per_socket_gbps: 130.0,
-            timeslice_ns: 4_000_000,   // 4 ms CFS-like slice
-            os_ctx_switch_ns: 5_000,   // 5 µs
-            remote_numa_penalty: 1.0,  // single socket: no remote accesses
-            sched_cs_ns: 3_000,        // 3 µs scheduler critical section
-            handoff_ns: 15_000,        // 15 µs cross-process pthread switch
-            futex_wake_ns: 30_000,     // 30 µs futex wake + schedule-in
+            timeslice_ns: 4_000_000,  // 4 ms CFS-like slice
+            os_ctx_switch_ns: 5_000,  // 5 µs
+            remote_numa_penalty: 1.0, // single socket: no remote accesses
+            sched_cs_ns: 3_000,       // 3 µs scheduler critical section
+            handoff_ns: 15_000,       // 15 µs cross-process pthread switch
+            futex_wake_ns: 30_000,    // 30 µs futex wake + schedule-in
         }
     }
 

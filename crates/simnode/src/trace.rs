@@ -47,13 +47,15 @@ impl SimTrace {
                 continue;
             }
             let first = (s.start_ns / bucket) as usize;
-            let last = ((s.end_ns.saturating_sub(1)) / bucket) as usize;
-            for col in first..=last.min(columns - 1) {
+            let last = (((s.end_ns.saturating_sub(1)) / bucket) as usize).min(columns - 1);
+            let row = &mut cells[s.core];
+            for (col, cell) in row.iter_mut().enumerate().take(last + 1).skip(first) {
                 let cell_start = col as u64 * bucket;
                 let cell_end = cell_start + bucket;
-                let overlap =
-                    s.end_ns.min(cell_end).saturating_sub(s.start_ns.max(cell_start));
-                let cell = &mut cells[s.core][col];
+                let overlap = s
+                    .end_ns
+                    .min(cell_end)
+                    .saturating_sub(s.start_ns.max(cell_start));
                 if overlap > cell.0 {
                     *cell = (overlap, s.app, s.remote);
                 }
@@ -67,11 +69,7 @@ impl SimTrace {
                     out.push('.');
                 } else {
                     let c = (b'A' + (app as u8 % 26)) as char;
-                    out.push(if remote {
-                        c.to_ascii_lowercase()
-                    } else {
-                        c
-                    });
+                    out.push(if remote { c.to_ascii_lowercase() } else { c });
                 }
             }
             out.push('\n');

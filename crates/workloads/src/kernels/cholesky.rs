@@ -198,9 +198,7 @@ pub fn run(nr: &NanosRuntime, nb: usize, bs: usize) -> KernelRun {
 /// Sequential dense Cholesky of the same matrix; returns the same checksum.
 pub fn reference(nb: usize, bs: usize) -> f64 {
     let n = nb * bs;
-    let mut a: Vec<f64> = (0..n * n)
-        .map(|t| spd_entry(t / n, t % n, n))
-        .collect();
+    let mut a: Vec<f64> = (0..n * n).map(|t| spd_entry(t / n, t % n, n)).collect();
     for j in 0..n {
         let mut d = a[j * n + j];
         for k in 0..j {

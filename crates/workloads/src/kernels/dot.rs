@@ -97,11 +97,9 @@ mod tests {
 
     #[test]
     fn runs_on_nosv_backend() {
-        let rt = nosv::Runtime::new(nosv::NosvConfig {
-            cpus: 2,
-            ..Default::default()
-        });
-        let nr = NanosRuntime::new(Backend::nosv(rt.attach("dot")));
+        let rt = nosv::Runtime::builder().cpus(2).build().expect("valid");
+        let app = rt.attach("dot").expect("attach");
+        let nr = NanosRuntime::new(Backend::nosv(app));
         let run = run(&nr, 4_000, 4, 2);
         assert_close(run.checksum, reference(4_000, 2), 1e-9);
         nr.shutdown();

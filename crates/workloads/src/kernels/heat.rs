@@ -102,8 +102,7 @@ pub fn run(nr: &NanosRuntime, rows: usize, cols: usize, nblocks: usize, iters: u
                 spec = spec.input(Region::logical(BLOCK_SPACE, b as u64 + 1));
             }
             spec.body(move || {
-                let above_row =
-                    above.map(|a| a.with_read(|v| v[v.len() - cols..].to_vec()));
+                let above_row = above.map(|a| a.with_read(|v| v[v.len() - cols..].to_vec()));
                 let below_row = below.map(|d| d.with_read(|v| v[..cols].to_vec()));
                 me.with(|v| {
                     sweep_block(

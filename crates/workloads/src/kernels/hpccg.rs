@@ -91,11 +91,7 @@ pub fn run(nr: &NanosRuntime, n: usize, parts: usize, iters: usize) -> KernelRun
                 pc.with_read(|pv| {
                     out.with(|ov| {
                         for (k, i) in range.clone().enumerate() {
-                            let up = if k > 0 {
-                                pv[k - 1]
-                            } else {
-                                lb.unwrap_or(0.0)
-                            };
+                            let up = if k > 0 { pv[k - 1] } else { lb.unwrap_or(0.0) };
                             let down = if k + 1 < pv.len() {
                                 pv[k + 1]
                             } else {
@@ -129,16 +125,20 @@ pub fn run(nr: &NanosRuntime, n: usize, parts: usize, iters: usize) -> KernelRun
                 .body(move || {
                     let (rr, pap) = sc.with_read(|s| (s[0], s[1]));
                     let alpha = if pap != 0.0 { rr / pap } else { 0.0 };
-                    pc.with_read(|pv| xc.with(|xv| {
-                        for k in 0..xv.len() {
-                            xv[k] += alpha * pv[k];
-                        }
-                    }));
-                    apc.with_read(|av| rc.with(|rv| {
-                        for k in 0..rv.len() {
-                            rv[k] -= alpha * av[k];
-                        }
-                    }));
+                    pc.with_read(|pv| {
+                        xc.with(|xv| {
+                            for k in 0..xv.len() {
+                                xv[k] += alpha * pv[k];
+                            }
+                        })
+                    });
+                    apc.with_read(|av| {
+                        rc.with(|rv| {
+                            for k in 0..rv.len() {
+                                rv[k] -= alpha * av[k];
+                            }
+                        })
+                    });
                 })
                 .spawn();
             tasks += 1;
@@ -157,11 +157,13 @@ pub fn run(nr: &NanosRuntime, n: usize, parts: usize, iters: usize) -> KernelRun
                 .body(move || {
                     let (rr, rr_new) = sc.with_read(|s| (s[0], s[2]));
                     let beta = if rr != 0.0 { rr_new / rr } else { 0.0 };
-                    rc.with_read(|rv| pc.with(|pv| {
-                        for k in 0..pv.len() {
-                            pv[k] = rv[k] + beta * pv[k];
-                        }
-                    }));
+                    rc.with_read(|rv| {
+                        pc.with(|pv| {
+                            for k in 0..pv.len() {
+                                pv[k] = rv[k] + beta * pv[k];
+                            }
+                        })
+                    });
                 })
                 .spawn();
             tasks += 1;
@@ -192,10 +194,10 @@ fn reduce_dot(
     tasks: &mut u64,
 ) {
     let nc = partials.len();
-    for c in 0..nc {
+    for (c, partial) in partials.iter().enumerate() {
         let ac = a.chunks[c].clone();
         let bc = b.chunks[c].clone();
-        let pt = partials[c].clone();
+        let pt = partial.clone();
         nr.task()
             .output(Region::logical(PART_SPACE, c as u64))
             .input(a.region(c))
@@ -303,11 +305,9 @@ mod tests {
 
     #[test]
     fn runs_on_nosv_backend() {
-        let rt = nosv::Runtime::new(nosv::NosvConfig {
-            cpus: 2,
-            ..Default::default()
-        });
-        let nr = NanosRuntime::new(Backend::nosv(rt.attach("hpccg")));
+        let rt = nosv::Runtime::builder().cpus(2).build().expect("valid");
+        let app = rt.attach("hpccg").expect("attach");
+        let nr = NanosRuntime::new(Backend::nosv(app));
         let run = run(&nr, 128, 4, 3);
         assert_close(run.checksum, reference(128, 4, 3), 1e-9);
         nr.shutdown();

@@ -41,7 +41,12 @@ fn pressure(e: &Element) -> f64 {
 }
 
 /// Force on each element boundary from the pressure gradient.
-fn compute_forces(mine: &[Element], left: Option<Element>, right: Option<Element>, out: &mut [f64]) {
+fn compute_forces(
+    mine: &[Element],
+    left: Option<Element>,
+    right: Option<Element>,
+    out: &mut [f64],
+) {
     let n = mine.len();
     for i in 0..n {
         let pl = if i > 0 {
@@ -165,12 +170,7 @@ pub fn reference(n: usize, parts: usize, steps: usize) -> f64 {
         for r in &ranges {
             let left = (r.start > 0).then(|| snapshot[r.start - 1]);
             let right = (r.end < n).then(|| snapshot[r.end]);
-            compute_forces(
-                &snapshot[r.clone()],
-                left,
-                right,
-                &mut forces[r.clone()],
-            );
+            compute_forces(&snapshot[r.clone()], left, right, &mut forces[r.clone()]);
         }
         for r in &ranges {
             integrate(&mut elems[r.clone()], &forces[r.clone()], dt);

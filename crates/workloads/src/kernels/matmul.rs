@@ -146,11 +146,8 @@ mod tests {
 
     #[test]
     fn matches_reference_on_nosv_backend() {
-        let rt = nosv::Runtime::new(nosv::NosvConfig {
-            cpus: 3,
-            ..Default::default()
-        });
-        let app = rt.attach("matmul");
+        let rt = nosv::Runtime::builder().cpus(3).build().expect("valid");
+        let app = rt.attach("matmul").expect("attach");
         let nr = NanosRuntime::new(Backend::nosv(app));
         let run = run(&nr, 2, 8);
         assert_close(run.checksum, reference(2, 8), 1e-9);

@@ -53,8 +53,8 @@ fn accumulate_forces(targets: &[Body], all: &[Vec<Body>], out: &mut [[f64; 3]]) 
 
 fn integrate(bodies: &mut [Body], forces: &[[f64; 3]]) {
     for (b, f) in bodies.iter_mut().zip(forces) {
-        for d in 0..3 {
-            b.vel[d] += DT * f[d];
+        for (d, &fd) in f.iter().enumerate() {
+            b.vel[d] += DT * fd;
             b.pos[d] += DT * b.vel[d];
         }
     }

@@ -263,7 +263,11 @@ mod tests {
     #[test]
     fn heat_matches_paper_profile() {
         let pr = p(Benchmark::Heat);
-        assert!((pr.utilization - 0.9522).abs() < 0.01, "util {}", pr.utilization);
+        assert!(
+            (pr.utilization - 0.9522).abs() < 0.01,
+            "util {}",
+            pr.utilization
+        );
         assert!(
             (pr.mean_bw_gbps - 68.95).abs() < 5.0,
             "bw {}",
@@ -274,7 +278,11 @@ mod tests {
     #[test]
     fn hpccg_matches_paper_profile() {
         let pr = p(Benchmark::Hpccg);
-        assert!((pr.utilization - 0.733).abs() < 0.03, "util {}", pr.utilization);
+        assert!(
+            (pr.utilization - 0.733).abs() < 0.03,
+            "util {}",
+            pr.utilization
+        );
         assert!(
             (pr.mean_bw_gbps - 90.21).abs() < 8.0,
             "bw {}",
@@ -309,10 +317,7 @@ mod tests {
             .collect();
         let min = *spans.iter().min().unwrap() as f64;
         let max = *spans.iter().max().unwrap() as f64;
-        assert!(
-            max / min < 1.45,
-            "exclusive spreads too wide: {spans:?}"
-        );
+        assert!(max / min < 1.45, "exclusive spreads too wide: {spans:?}");
     }
 
     #[test]

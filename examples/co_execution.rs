@@ -16,7 +16,7 @@
 use std::time::Instant;
 
 use nanos::{Backend, NanosRuntime};
-use nosv::{NosvConfig, Runtime};
+use nosv::prelude::*;
 use workloads::kernels::{cholesky, heat};
 
 const CHOLESKY_NB: usize = 8;
@@ -26,7 +26,7 @@ const HEAT_COLS: usize = 96;
 const HEAT_BLOCKS: usize = 12;
 const HEAT_ITERS: usize = 12;
 
-fn main() {
+fn main() -> Result<(), NosvError> {
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get().max(2));
 
     // --- exclusive execution: one app after the other -----------------
@@ -40,21 +40,22 @@ fn main() {
     let exclusive = t0.elapsed();
 
     // --- co-execution: both apps share one nOS-V runtime --------------
-    let rt = Runtime::new(NosvConfig {
-        cpus: threads,
-        segment_size: 64 * 1024 * 1024,
-        ..Default::default()
-    });
+    let rt = Runtime::builder()
+        .cpus(threads)
+        .segment_size(64 * 1024 * 1024)
+        .build()?;
     let t0 = Instant::now();
     let (chol_run, heat_run) = std::thread::scope(|s| {
         let chol = s.spawn(|| {
-            let nr = NanosRuntime::new(Backend::nosv(rt.attach("cholesky")));
+            let app = rt.attach("cholesky").expect("attach cholesky");
+            let nr = NanosRuntime::new(Backend::nosv(app));
             let out = cholesky::run(&nr, CHOLESKY_NB, CHOLESKY_BS);
             nr.shutdown();
             out
         });
         let heat = s.spawn(|| {
-            let nr = NanosRuntime::new(Backend::nosv(rt.attach("heat")));
+            let app = rt.attach("heat").expect("attach heat");
+            let nr = NanosRuntime::new(Backend::nosv(app));
             let out = heat::run(&nr, HEAT_ROWS, HEAT_COLS, HEAT_BLOCKS, HEAT_ITERS);
             nr.shutdown();
             out
@@ -73,8 +74,14 @@ fn main() {
     );
 
     let stats = rt.stats();
-    println!("cholesky: {} tasks, checksum {:.6}", chol_run.tasks, chol_run.checksum);
-    println!("heat:     {} tasks, checksum {:.6}", heat_run.tasks, heat_run.checksum);
+    println!(
+        "cholesky: {} tasks, checksum {:.6}",
+        chol_run.tasks, chol_run.checksum
+    );
+    println!(
+        "heat:     {} tasks, checksum {:.6}",
+        heat_run.tasks, heat_run.checksum
+    );
     println!("exclusive (sequential) elapsed: {exclusive:?}");
     println!("co-execution elapsed:           {coexec:?}");
     println!(
@@ -87,4 +94,5 @@ fn main() {
          applications shared one scheduler.)"
     );
     rt.shutdown();
+    Ok(())
 }

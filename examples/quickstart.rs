@@ -2,29 +2,26 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 //!
-//! Demonstrates the paper's core API surface (§3.2): a single runtime
-//! instance, two attached logical processes, tasks created/submitted from
-//! both, priorities, pause/resume, and the runtime statistics showing
-//! cross-process core handoffs — the mechanics of co-execution.
+//! Demonstrates the paper's core API surface (§3.2) through the
+//! builder-first, error-first API: a single runtime instance, two attached
+//! logical processes, tasks created/submitted from both, priorities,
+//! pause/resume, and the runtime statistics showing cross-process core
+//! handoffs — the mechanics of co-execution.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 
-use nosv::{NosvConfig, Runtime, TaskBuilder};
+use nosv::prelude::*;
 
-fn main() {
+fn main() -> Result<(), NosvError> {
     // One runtime manages all cores; applications share it.
-    let rt = Runtime::new(NosvConfig {
-        cpus: 4,
-        tracing: true,
-        ..Default::default()
-    });
+    let rt = Runtime::builder().cpus(4).tracing(true).build()?;
 
     // Two "applications" attach as logical processes (in the original
     // system these would be separate OS processes mapping the shared
     // memory segment).
-    let alpha = rt.attach("alpha");
-    let beta = rt.attach("beta");
+    let alpha = rt.attach("alpha")?;
+    let beta = rt.attach("beta")?;
 
     // Submit a burst of tasks from both; the shared scheduler interleaves
     // them over the cores while keeping one runnable worker per core.
@@ -33,16 +30,12 @@ fn main() {
     for i in 0..20 {
         for app in [&alpha, &beta] {
             let c = Arc::clone(&counter);
-            let t = app.build_task(
-                TaskBuilder::new()
-                    .priority((i % 3) as i32)
-                    .run(move |ctx| {
-                        // Tasks always run under their creator's identity.
-                        let _ = ctx.pid();
-                        c.fetch_add(1, Ordering::Relaxed);
-                    }),
-            );
-            t.submit();
+            let t = app.build_task(TaskBuilder::new().priority(i % 3).run(move |ctx| {
+                // Tasks always run under their creator's identity.
+                let _ = ctx.pid();
+                c.fetch_add(1, Ordering::Relaxed);
+            }))?;
+            t.submit()?;
             tasks.push(t);
         }
     }
@@ -59,9 +52,9 @@ fn main() {
         nosv::pause(); // core is handed to other work while we sleep
         println!("paused task resumed and finished");
     });
-    paused.submit();
+    paused.submit()?;
     rx.recv().unwrap();
-    paused.submit(); // unblock it
+    paused.submit()?; // unblock it
     paused.wait();
     paused.destroy();
 
@@ -72,11 +65,9 @@ fn main() {
     let stats = rt.stats();
     println!(
         "stats: {} executed, {} cross-process handoffs, {} delegated fetches, {} pauses",
-        stats.tasks_executed,
-        stats.cross_process_handoffs,
-        stats.delegations_served,
-        stats.pauses
+        stats.tasks_executed, stats.cross_process_handoffs, stats.delegations_served, stats.pauses
     );
     drop((alpha, beta));
     rt.shutdown();
+    Ok(())
 }

@@ -1,9 +1,58 @@
-//! # nosv-repro: umbrella crate
+//! # nosv-repro: umbrella facade
 //!
-//! Re-exports every crate of the reproduction of *"nOS-V: Co-Executing HPC
-//! Applications Using System-Wide Task Scheduling"* so examples and
-//! integration tests can use one dependency. See `README.md` for the tour
-//! and `DESIGN.md` for the system inventory.
+//! One dependency for the whole reproduction of *"nOS-V: Co-Executing HPC
+//! Applications Using System-Wide Task Scheduling"*: the live runtime
+//! ([`nosv`]), its substrate crates ([`nosv_shmem`], [`nosv_sync`]), the
+//! mini Nanos6-style data-flow runtime ([`nanos`]), the discrete-event
+//! node simulator ([`simnode`]), the evaluation pipeline ([`strategies`],
+//! [`mpisim`]) and the benchmark workloads ([`workloads`]).
+//!
+//! The working set is curated in [`prelude`]; the individual crates remain
+//! reachable under their own names for everything else.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use nosv_repro::prelude::*;
+//!
+//! # fn main() -> Result<(), NosvError> {
+//! // Live runtime: two applications co-execute over one scheduler.
+//! let rt = Runtime::builder().cpus(2).build()?;
+//! let alpha = rt.attach("alpha")?;
+//! let beta = rt.attach("beta")?;
+//! let tasks: Vec<TaskHandle> = [&alpha, &beta]
+//!     .iter()
+//!     .map(|app| app.build_task(TaskBuilder::new().run(|_| {})))
+//!     .collect::<Result<_, _>>()?;
+//! for t in &tasks {
+//!     t.submit()?;
+//!     t.wait();
+//! }
+//! tasks.into_iter().for_each(TaskHandle::destroy);
+//! drop((alpha, beta));
+//! rt.shutdown();
+//!
+//! // Simulated node: the same policy code drives the co-execution model.
+//! let node = NodeSpec::tiny(1, 2);
+//! let apps = vec![AppModel::new(
+//!     "demo",
+//!     vec![Phase::uniform(4, TaskModel::compute(1_000_000))],
+//! )];
+//! let result = run_simulation(
+//!     &node,
+//!     &apps,
+//!     &RuntimeMode::Nosv {
+//!         quantum_ns: nosv::DEFAULT_QUANTUM_NS,
+//!         affinity: AffinityMode::Ignore,
+//!     },
+//!     &SimOptions::default(),
+//! );
+//! assert!(result.makespan_ns > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
 
 pub use mpisim;
 pub use nanos;
@@ -13,3 +62,23 @@ pub use nosv_sync;
 pub use simnode;
 pub use strategies;
 pub use workloads;
+
+/// The curated working set across the whole reproduction: the live
+/// runtime's [`nosv::prelude`], the simulator's entry points, the strategy
+/// pipeline, and the data-flow runtime.
+pub mod prelude {
+    pub use nosv::prelude::*;
+
+    pub use simnode::{
+        run_simulation, run_simulation_with_policy, AffinityMode, AppModel, CoreRange, IdlePolicy,
+        NodeSpec, Phase, RuntimeMode, SimOptions, SimResult, TaskModel,
+    };
+
+    pub use strategies::{
+        evaluate_combo, run_strategy, run_strategy_with_policy, Strategy, StrategyConfig,
+    };
+
+    pub use nanos::{Backend, NanosRuntime, Region};
+
+    pub use workloads::{benchmark, Benchmark};
+}

@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use nosv_repro::nanos::{Backend, NanosRuntime};
-use nosv_repro::nosv::{NosvConfig, Runtime};
+use nosv_repro::nosv::Runtime;
 use nosv_repro::simnode::{AffinityMode, NodeSpec, RuntimeMode, SimOptions};
 use nosv_repro::strategies::{evaluate_combo, Strategy, StrategyConfig};
 use nosv_repro::workloads::kernels;
@@ -16,19 +16,16 @@ use nosv_repro::workloads::{benchmark, Benchmark};
 /// claim of §4.
 #[test]
 fn two_nanos_apps_share_one_nosv_runtime() {
-    let rt = Runtime::new(NosvConfig {
-        cpus: 4,
-        ..Default::default()
-    });
+    let rt = Runtime::builder().cpus(4).build().expect("valid config");
     let (mm, ch) = std::thread::scope(|s| {
         let mm = s.spawn(|| {
-            let nr = NanosRuntime::new(Backend::nosv(rt.attach("matmul")));
+            let nr = NanosRuntime::new(Backend::nosv(rt.attach("matmul").unwrap()));
             let out = kernels::matmul::run(&nr, 3, 8);
             nr.shutdown();
             out
         });
         let ch = s.spawn(|| {
-            let nr = NanosRuntime::new(Backend::nosv(rt.attach("cholesky")));
+            let nr = NanosRuntime::new(Backend::nosv(rt.attach("cholesky").unwrap()));
             let out = kernels::cholesky::run(&nr, 3, 8);
             nr.shutdown();
             out
@@ -64,11 +61,8 @@ fn all_kernels_agree_across_backends() {
             v
         };
         let via_nosv = {
-            let rt = Runtime::new(NosvConfig {
-                cpus: 2,
-                ..Default::default()
-            });
-            let nr = NanosRuntime::new(Backend::nosv(rt.attach(name)));
+            let rt = Runtime::builder().cpus(2).build().expect("valid config");
+            let nr = NanosRuntime::new(Backend::nosv(rt.attach(name).unwrap()));
             let v = f(&nr);
             nr.shutdown();
             rt.shutdown();
@@ -109,14 +103,11 @@ fn nosv_never_worse_than_exclusive_sampled() {
 /// heavy oversubscription of logical processes.
 #[test]
 fn many_small_apps_run_to_completion() {
-    let rt = Runtime::new(NosvConfig {
-        cpus: 2,
-        ..Default::default()
-    });
+    let rt = Runtime::builder().cpus(2).build().expect("valid config");
     let done = Arc::new(AtomicUsize::new(0));
     for wave in 0..3 {
         let apps: Vec<_> = (0..6)
-            .map(|i| rt.attach(&format!("wave{wave}-app{i}")))
+            .map(|i| rt.attach(&format!("wave{wave}-app{i}")).unwrap())
             .collect();
         let tasks: Vec<_> = apps
             .iter()

@@ -1,0 +1,206 @@
+//! The `SchedPolicy` parity property: the live runtime and the `simnode`
+//! discrete-event engine consult the **same** policy trait, and neither
+//! backend reimplements or distorts its decisions.
+//!
+//! A recording wrapper captures every `(inputs, decision)` pair a backend
+//! feeds through the trait during a small trace; replaying the recorded
+//! inputs through the canonical free-function logic must reproduce every
+//! recorded decision exactly. A qualitative agreement check then pins the
+//! shared behaviour: under a microscopic quantum both backends observe
+//! quantum-expiry switches on a two-application trace, and neither does on
+//! a single-application trace.
+
+use std::sync::{Arc, Mutex};
+
+use nosv_repro::nosv::policy::{
+    pick_process, CandidateProc, CoreQuantum, Decision, QuantumPolicy, SchedPolicy,
+};
+use nosv_repro::prelude::*;
+
+/// One recorded policy consultation.
+#[derive(Debug, Clone)]
+struct Record {
+    core: CoreQuantum,
+    now_ns: u64,
+    candidates: Vec<CandidateProc>,
+    rr_before: u64,
+    decision: Option<Decision>,
+}
+
+/// A [`SchedPolicy`] that records every consultation before delegating to
+/// the canonical [`QuantumPolicy`].
+struct RecordingPolicy {
+    inner: QuantumPolicy,
+    log: Arc<Mutex<Vec<Record>>>,
+}
+
+impl RecordingPolicy {
+    fn new(quantum_ns: u64) -> (RecordingPolicy, Arc<Mutex<Vec<Record>>>) {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        (
+            RecordingPolicy {
+                inner: QuantumPolicy::new(quantum_ns),
+                log: Arc::clone(&log),
+            },
+            log,
+        )
+    }
+}
+
+impl SchedPolicy for RecordingPolicy {
+    fn quantum_ns(&self) -> u64 {
+        self.inner.quantum_ns()
+    }
+
+    fn pick_process(
+        &self,
+        core: &CoreQuantum,
+        now_ns: u64,
+        candidates: &[CandidateProc],
+        rr_cursor: &mut u64,
+    ) -> Option<Decision> {
+        let rr_before = *rr_cursor;
+        let decision = self.inner.pick_process(core, now_ns, candidates, rr_cursor);
+        self.log.lock().unwrap().push(Record {
+            core: *core,
+            now_ns,
+            candidates: candidates.to_vec(),
+            rr_before,
+            decision,
+        });
+        decision
+    }
+}
+
+/// Replays every recorded consultation through the free-function logic and
+/// asserts the backend neither altered inputs nor decisions.
+fn assert_replay_matches(records: &[Record], quantum_ns: u64, backend: &str) {
+    assert!(
+        !records.is_empty(),
+        "{backend}: the backend never consulted the policy"
+    );
+    for (i, r) in records.iter().enumerate() {
+        let mut rr = r.rr_before;
+        let replayed = pick_process(&r.core, quantum_ns, r.now_ns, &r.candidates, &mut rr);
+        assert_eq!(
+            replayed, r.decision,
+            "{backend}: consultation {i} diverged from the canonical policy"
+        );
+        if let Some(d) = r.decision {
+            assert!(
+                r.candidates.iter().any(|c| c.pid == d.pid),
+                "{backend}: consultation {i} chose a non-candidate"
+            );
+        }
+    }
+}
+
+fn quantum_switches(records: &[Record]) -> usize {
+    records
+        .iter()
+        .filter(|r| r.decision.is_some_and(|d| d.quantum_expired))
+        .count()
+}
+
+const TINY_QUANTUM_NS: u64 = 50_000;
+
+/// Drives the live runtime with a recording policy: two busy processes on
+/// one core, each task spinning past the quantum.
+fn live_trace(apps: usize, tasks_per_app: usize) -> Vec<Record> {
+    let (policy, log) = RecordingPolicy::new(TINY_QUANTUM_NS);
+    let rt = Runtime::builder()
+        .cpus(1)
+        .policy(policy)
+        .build()
+        .expect("valid");
+    let contexts: Vec<_> = (0..apps)
+        .map(|i| rt.attach(&format!("app{i}")).expect("attach"))
+        .collect();
+    let mut handles = Vec::new();
+    for app in &contexts {
+        for _ in 0..tasks_per_app {
+            let t = app.create_task(|_| {
+                let t0 = std::time::Instant::now();
+                while t0.elapsed().as_micros() < 60 {
+                    std::hint::spin_loop();
+                }
+            });
+            t.submit().expect("submit");
+            handles.push(t);
+        }
+    }
+    for t in &handles {
+        t.wait();
+    }
+    for t in handles {
+        t.destroy();
+    }
+    drop(contexts);
+    rt.shutdown();
+    let records = log.lock().unwrap().clone();
+    records
+}
+
+/// Drives the simulator with a recording policy over an equivalent trace.
+fn sim_trace(apps: usize, tasks_per_app: usize) -> Vec<Record> {
+    let (policy, log) = RecordingPolicy::new(TINY_QUANTUM_NS);
+    let node = NodeSpec::tiny(1, 1);
+    let models: Vec<AppModel> = (0..apps)
+        .map(|i| {
+            AppModel::new(
+                format!("app{i}"),
+                vec![Phase::uniform(tasks_per_app, TaskModel::compute(60_000))],
+            )
+        })
+        .collect();
+    run_simulation_with_policy(
+        &node,
+        &models,
+        &RuntimeMode::Nosv {
+            quantum_ns: TINY_QUANTUM_NS,
+            affinity: AffinityMode::Ignore,
+        },
+        &SimOptions {
+            jitter: 0.0,
+            ..Default::default()
+        },
+        &policy,
+    );
+    let records = log.lock().unwrap().clone();
+    records
+}
+
+#[test]
+fn live_runtime_faithfully_applies_the_shared_policy() {
+    let records = live_trace(2, 100);
+    assert_replay_matches(&records, TINY_QUANTUM_NS, "live");
+}
+
+#[test]
+fn simnode_faithfully_applies_the_shared_policy() {
+    let records = sim_trace(2, 100);
+    assert_replay_matches(&records, TINY_QUANTUM_NS, "simnode");
+}
+
+#[test]
+fn backends_agree_on_quantum_behaviour_of_a_small_trace() {
+    // Two busy applications, microscopic quantum: both backends must
+    // observe quantum-expiry switches.
+    let live = live_trace(2, 100);
+    let sim = sim_trace(2, 100);
+    assert!(
+        quantum_switches(&live) > 0,
+        "live runtime saw no quantum switches"
+    );
+    assert!(
+        quantum_switches(&sim) > 0,
+        "simulator saw no quantum switches"
+    );
+
+    // One application: a quantum switch is impossible in either backend
+    // (switching to yourself is not a switch).
+    let live_solo = live_trace(1, 50);
+    let sim_solo = sim_trace(1, 50);
+    assert_eq!(quantum_switches(&live_solo), 0, "live solo trace switched");
+    assert_eq!(quantum_switches(&sim_solo), 0, "sim solo trace switched");
+}
