@@ -4,15 +4,16 @@
 //! The paper's trace shows HPCCG rank-0 tasks (white), rank-1 tasks (gray)
 //! and N-Body tasks (red) over the 48 cores of both sockets; without
 //! affinity 70.4% of HPCCG's accesses are remote, with affinity the tasks
-//! pin to their data's socket. Here the trace renders as ASCII (one row
-//! per core, uppercase = local task, lowercase = remote; A/B = HPCCG
-//! ranks, C = N-Body).
+//! pin to their data's socket. Here the simulation streams its `ObsEvent`s
+//! into an `AsciiTimelineSink` (one row per core, uppercase = local task,
+//! lowercase = remote; A/B = HPCCG ranks, C = N-Body) — the same sink type
+//! that renders a live `nosv::Runtime` trace.
 //!
 //! Regenerate with: `cargo bench -p bench --bench fig10_trace`
 
 use bench::{env_scale, env_seed};
-use mpisim::{run_distributed, DistConfig, DistStrategy};
-use simnode::SimOptions;
+use mpisim::{run_distributed_observed, DistConfig, DistStrategy};
+use simnode::{AsciiTimelineSink, SimOptions};
 
 fn main() {
     let cfg = DistConfig {
@@ -20,7 +21,6 @@ fn main() {
         scale: (env_scale() * 0.6).max(0.05), // keep the trace readable
         sim: SimOptions {
             seed: env_seed(),
-            record_trace: true,
             ..Default::default()
         },
     };
@@ -29,9 +29,8 @@ fn main() {
         ("w/o affinity", DistStrategy::Nosv),
         ("with affinity", DistStrategy::NosvAffinity),
     ] {
-        let o = run_distributed(strategy, &cfg);
-        let sim = o.sim.as_ref().expect("co-scheduled run has a simulation");
-        let trace = sim.trace.as_ref().expect("tracing enabled");
+        let sink = AsciiTimelineSink::new(48, 100);
+        let o = run_distributed_observed(strategy, &cfg, Some(&sink));
         println!(
             "\n-- {label}: HPCCG remote NUMA accesses {:.1}% (paper: {}) --",
             o.hpccg_remote_fraction * 100.0,
@@ -42,6 +41,6 @@ fn main() {
             }
         );
         println!("   A/B = HPCCG rank 0/1, C = NBody; lowercase = remote socket");
-        print!("{}", trace.render_ascii(48, 100));
+        print!("{}", sink.render());
     }
 }

@@ -21,8 +21,8 @@
 #![warn(missing_docs)]
 
 use simnode::{
-    run_simulation, AffinityMode, AppModel, CoreRange, IdlePolicy, NodeSpec, Phase, RuntimeMode,
-    SimOptions, SimResult, TaskModel,
+    AffinityMode, AppModel, CoreRange, IdlePolicy, NodeSpec, Phase, RuntimeMode, SimOptions,
+    SimResult, SimSpec, TaskModel, TraceSink,
 };
 
 /// The five strategies of Fig. 9, in figure order.
@@ -152,15 +152,35 @@ pub struct DistOutcome {
     pub nbody_ns: u64,
     /// Fraction of HPCCG tasks executed on the wrong socket.
     pub hpccg_remote_fraction: f64,
-    /// The final simulation (trace carrier for Fig. 10), when a single
-    /// co-scheduled simulation exists (not for Exclusive).
+    /// The final simulation's result, when a single co-scheduled
+    /// simulation exists (not for Exclusive).
     pub sim: Option<SimResult>,
 }
 
 /// Runs one Fig. 9 strategy.
 pub fn run_distributed(strategy: DistStrategy, cfg: &DistConfig) -> DistOutcome {
+    run_distributed_observed(strategy, cfg, None)
+}
+
+/// [`run_distributed`] with an optional [`TraceSink`] observing every
+/// simulation the strategy performs — the Fig. 10 path: an
+/// `AsciiTimelineSink` (or `ChromeTraceSink`) here sees the same
+/// `ObsEvent` stream schema a live `nosv::Runtime` emits.
+pub fn run_distributed_observed(
+    strategy: DistStrategy,
+    cfg: &DistConfig,
+    sink: Option<&dyn TraceSink>,
+) -> DistOutcome {
     let node = NodeSpec::skylake();
     let apps = build_apps(cfg);
+    let run_simulation =
+        |node: &NodeSpec, apps: &[AppModel], mode: &RuntimeMode, opts: &SimOptions| {
+            let mut spec = SimSpec::new(node, apps, mode).opts(opts.clone());
+            if let Some(sink) = sink {
+                spec = spec.sink(sink);
+            }
+            spec.run()
+        };
 
     let summarize = |r: &SimResult| {
         let hpccg = r.stats.apps[HPCCG_RANK0]
@@ -373,10 +393,18 @@ mod tests {
 
     #[test]
     fn trace_is_available_for_figure10() {
-        let mut c = cfg();
-        c.sim.record_trace = true;
-        let o = run_distributed(DistStrategy::NosvAffinity, &c);
-        let trace = o.sim.expect("co-scheduled run").trace.expect("requested");
-        assert!(!trace.segments.is_empty());
+        use simnode::{exec_segments, MemorySink, ObsKind};
+
+        let sink = MemorySink::new();
+        let o = run_distributed_observed(DistStrategy::NosvAffinity, &cfg(), Some(&sink));
+        assert!(o.sim.is_some(), "co-scheduled run has a simulation");
+        let events = sink.take_sorted();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, ObsKind::Start { .. })));
+        let segments = exec_segments(&events);
+        assert!(!segments.is_empty());
+        // Strict affinity: no segment is remote.
+        assert!(segments.iter().all(|s| !s.remote));
     }
 }

@@ -3,7 +3,10 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
+use nosv::obs::{CounterKind, ObsEvent, ObsKind, TraceSink, NO_CPU};
+use nosv::TaskId;
 use nosv_sync::{Condvar, Mutex};
 
 use crate::backend::{Backend, BackendImpl, ReadyJob};
@@ -49,6 +52,25 @@ struct NrInner {
     immediately_ready: AtomicU64,
     edges: AtomicU64,
     completed: AtomicU64,
+    /// Observability sink (shared `nosv::obs` surface); task spawn/start/
+    /// end events and the final counter deltas are reported through it.
+    sink: Option<Arc<dyn TraceSink>>,
+    /// Clock origin for this runtime's `ObsEvent::t_ns`.
+    start: Instant,
+}
+
+impl NrInner {
+    fn emit(&self, task: u64, kind: ObsKind) {
+        if let Some(sink) = &self.sink {
+            sink.on_event(&ObsEvent {
+                t_ns: self.start.elapsed().as_nanos() as u64,
+                cpu: NO_CPU,
+                pid: 0,
+                task: TaskId(task),
+                kind,
+            });
+        }
+    }
 }
 
 /// A Nanos6-style data-flow task runtime over a chosen [`Backend`].
@@ -62,6 +84,24 @@ pub struct NanosRuntime {
 impl NanosRuntime {
     /// Creates a runtime over `backend`.
     pub fn new(backend: Backend) -> NanosRuntime {
+        NanosRuntime::build(backend, None)
+    }
+
+    /// Creates a runtime over `backend` with a [`TraceSink`] installed —
+    /// the same `nosv::obs` surface the tasking library and the simulator
+    /// report through. The sink receives a [`ObsKind::Submit`] per spawned
+    /// task, [`ObsKind::Start`]/[`ObsKind::End`] around each task body,
+    /// and the final [`NanosStats`] as counter deltas at shutdown.
+    ///
+    /// With [`Backend::nosv`], note that the underlying `nosv::Runtime`
+    /// reports its own scheduling events through *its* sink
+    /// (`RuntimeBuilder::sink`): this one sees the data-flow layer (graph
+    /// shape and task bodies), that one the scheduling layer.
+    pub fn with_sink(backend: Backend, sink: Arc<dyn TraceSink>) -> NanosRuntime {
+        NanosRuntime::build(backend, Some(sink))
+    }
+
+    fn build(backend: Backend, sink: Option<Arc<dyn TraceSink>>) -> NanosRuntime {
         NanosRuntime {
             inner: Arc::new(NrInner {
                 dep: Mutex::new(DepState {
@@ -78,6 +118,8 @@ impl NanosRuntime {
                 immediately_ready: AtomicU64::new(0),
                 edges: AtomicU64::new(0),
                 completed: AtomicU64::new(0),
+                sink,
+                start: Instant::now(),
             }),
         }
     }
@@ -98,6 +140,20 @@ impl NanosRuntime {
         let mut dep = inner.dep.lock();
         let id = dep.next_id;
         dep.next_id += 1;
+        // With a sink installed, bracket the body with Start/End events so
+        // the data-flow layer's execution is visible in the same stream.
+        // (The Submit itself is emitted after the dep lock is released —
+        // a user sink must never run under the graph mutex.)
+        let body: Box<dyn FnOnce() + Send + 'static> = if inner.sink.is_some() {
+            let obs = Arc::clone(inner);
+            Box::new(move || {
+                obs.emit(id, ObsKind::Start { remote: false });
+                body();
+                obs.emit(id, ObsKind::End);
+            })
+        } else {
+            body
+        };
 
         // Register every access; collect predecessors still alive.
         let mut preds: Vec<u64> = Vec::new();
@@ -133,14 +189,21 @@ impl NanosRuntime {
             },
         );
 
-        if pending == 0 {
+        let ready = if pending == 0 {
             inner.immediately_ready.fetch_add(1, Ordering::Relaxed);
-            let job = dep
-                .tasks
-                .get_mut(&id)
-                .and_then(|n| n.job.take())
-                .expect("fresh node must hold its job");
-            drop(dep);
+            Some(
+                dep.tasks
+                    .get_mut(&id)
+                    .and_then(|n| n.job.take())
+                    .expect("fresh node must hold its job"),
+            )
+        } else {
+            None
+        };
+        drop(dep);
+        // Emit before dispatching so the Submit precedes the task's Start.
+        inner.emit(id, ObsKind::Submit);
+        if let Some(job) = ready {
             inner.backend.dispatch(job);
         }
         id
@@ -168,10 +231,26 @@ impl NanosRuntime {
         }
     }
 
-    /// Waits for all tasks and stops backend threads.
+    /// Waits for all tasks and stops backend threads. With a sink
+    /// installed ([`NanosRuntime::with_sink`]), reports the final
+    /// [`NanosStats`] as counter deltas and flushes the sink.
     pub fn shutdown(self) {
         self.taskwait();
         self.inner.backend.shutdown();
+        if let Some(sink) = &self.inner.sink {
+            let stats = self.stats();
+            for (counter, delta) in [
+                (CounterKind::TasksSpawned, stats.spawned),
+                (CounterKind::ImmediatelyReady, stats.immediately_ready),
+                (CounterKind::DepEdges, stats.edges),
+                (CounterKind::TasksCompleted, stats.completed),
+            ] {
+                if delta > 0 {
+                    self.inner.emit(0, ObsKind::Counter { counter, delta });
+                }
+            }
+            sink.flush();
+        }
     }
 }
 
@@ -370,6 +449,39 @@ mod tests {
         nr.taskwait();
         order.with(|v| assert_eq!(*v, vec![9, 5, 1]));
         nr.shutdown();
+    }
+
+    #[test]
+    fn sink_sees_dataflow_lifecycle_and_counters() {
+        use nosv::obs::MemorySink;
+
+        let sink = Arc::new(MemorySink::new());
+        let nr = NanosRuntime::with_sink(Backend::standalone(2), sink.clone());
+        let region = Region::logical(9, 0);
+        for _ in 0..5 {
+            nr.task().inout(region).body(|| {}).spawn();
+        }
+        nr.shutdown();
+        let events = sink.take_sorted();
+        let count = |pred: fn(&ObsKind) -> bool| events.iter().filter(|e| pred(&e.kind)).count();
+        assert_eq!(count(|k| matches!(k, ObsKind::Submit)), 5);
+        assert_eq!(count(|k| matches!(k, ObsKind::Start { .. })), 5);
+        assert_eq!(count(|k| matches!(k, ObsKind::End)), 5);
+        assert!(events.iter().any(|e| matches!(
+            e.kind,
+            ObsKind::Counter {
+                counter: CounterKind::TasksCompleted,
+                delta: 5
+            }
+        )));
+        // A 5-chain on one region has 4 dependency edges.
+        assert!(events.iter().any(|e| matches!(
+            e.kind,
+            ObsKind::Counter {
+                counter: CounterKind::DepEdges,
+                delta: _
+            }
+        )));
     }
 
     #[test]

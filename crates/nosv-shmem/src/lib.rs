@@ -19,13 +19,13 @@
 //!   the registry and all locks ([`nosv_sync::RawSpinMutex`]) are
 //!   plain-old-data and valid when zeroed, exactly as a fresh `ftruncate`d
 //!   POSIX segment would be.
-//! * **SLAB allocator with per-CPU magazines** ([`SlabAlloc`], §3.5): the
+//! * **SLAB allocator with per-CPU magazines** (`SlabAlloc`, §3.5): the
 //!   region is split into 64 KiB chunks; each chunk serves one power-of-two
 //!   size class; per-CPU magazine caches absorb the fast path; the global
 //!   chunk table handles refills, flushes and multi-chunk (large)
 //!   allocations. Free works from any attached process because the
 //!   allocator's metadata lives in the segment itself.
-//! * **Process registry** ([`Registry`], §3.3): processes attach to the
+//! * **Process registry** (`Registry`, §3.3): processes attach to the
 //!   segment at startup and detach at exit; the last process to detach is
 //!   told so it can tear the segment down, mirroring the unlink-on-last-exit
 //!   life cycle of the paper.

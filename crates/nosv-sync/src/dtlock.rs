@@ -93,7 +93,7 @@ impl<V> Slot<V> {
 
 /// A Delegation Ticket Lock protecting data `D` with delegated values `V`.
 ///
-/// See the [module documentation](self) for the protocol. `D` is the state
+/// See the module-level documentation for the protocol. `D` is the state
 /// guarded by the lock (the scheduler, in nOS-V); `V` is the payload a
 /// holder can hand to waiters (a ready task).
 ///

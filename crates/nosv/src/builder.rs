@@ -11,23 +11,26 @@ use std::time::Duration;
 
 use crate::config::NosvConfig;
 use crate::error::NosvError;
+use crate::obs::TraceSink;
 use crate::policy::{QuantumPolicy, SchedPolicy};
 use crate::runtime::Runtime;
 
 /// Chainable, fallible configuration of a [`Runtime`].
 ///
 /// Obtained from [`Runtime::builder`]. Defaults: 4 CPUs, one NUMA domain,
-/// the paper's 20 ms quantum, a 32 MiB segment, tracing off, and the
+/// the paper's 20 ms quantum, a 32 MiB segment, no trace sink, and the
 /// canonical [`QuantumPolicy`].
 ///
 /// ```
+/// use std::sync::Arc;
 /// use nosv::prelude::*;
 ///
 /// # fn main() -> Result<(), NosvError> {
+/// let sink = Arc::new(MemorySink::new());
 /// let rt = Runtime::builder()
 ///     .cpus(2)
 ///     .quantum(std::time::Duration::from_millis(5))
-///     .tracing(true)
+///     .sink(sink.clone())
 ///     .build()?;
 /// assert_eq!(rt.cpus(), 2);
 /// rt.shutdown();
@@ -39,6 +42,7 @@ use crate::runtime::Runtime;
 pub struct RuntimeBuilder {
     config: NosvConfig,
     policy: Option<Arc<dyn SchedPolicy>>,
+    sink: Option<Arc<dyn TraceSink>>,
 }
 
 impl RuntimeBuilder {
@@ -46,6 +50,7 @@ impl RuntimeBuilder {
         RuntimeBuilder {
             config: NosvConfig::default(),
             policy: None,
+            sink: None,
         }
     }
 
@@ -83,10 +88,23 @@ impl RuntimeBuilder {
         self
     }
 
-    /// Record a [`crate::TraceEvent`] stream (small overhead; used by the
-    /// trace experiments and tests).
-    pub fn tracing(mut self, enabled: bool) -> Self {
-        self.config.tracing = enabled;
+    /// Installs a [`TraceSink`] to receive the runtime's [`crate::ObsEvent`]
+    /// stream (submit/start/end/pause/resume/handoff/steal actions plus
+    /// counter deltas at shutdown). Without a sink, tracing is off and the
+    /// hot path records nothing.
+    ///
+    /// Workers buffer events in lock-free per-worker buffers and drain
+    /// them at flush points; the full stream is guaranteed delivered (and
+    /// [`TraceSink::flush`] called) by the time [`Runtime::shutdown`]
+    /// returns. See [`crate::obs`] for the delivery contract and the
+    /// built-in sinks ([`crate::MemorySink`], [`crate::ChromeTraceSink`],
+    /// [`crate::AsciiTimelineSink`]).
+    ///
+    /// The same sink value can observe the discrete-event simulator via
+    /// `simnode::SimSpec::sink`, so one sink implementation sees the same
+    /// event stream from both backends.
+    pub fn sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.sink = Some(sink);
         self
     }
 
@@ -120,7 +138,7 @@ impl RuntimeBuilder {
         let mut config = self.config;
         config.quantum_ns = policy.quantum_ns();
         config.validate()?;
-        Runtime::from_parts(config, policy)
+        Runtime::from_parts(config, policy, self.sink)
     }
 }
 
@@ -131,7 +149,7 @@ impl std::fmt::Debug for RuntimeBuilder {
             .field("cpus_per_numa", &self.config.cpus_per_numa)
             .field("quantum_ns", &self.config.quantum_ns)
             .field("segment_size", &self.config.segment_size)
-            .field("tracing", &self.config.tracing)
+            .field("sink", &self.sink.is_some())
             .field("custom_policy", &self.policy.is_some())
             .finish()
     }

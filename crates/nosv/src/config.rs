@@ -37,9 +37,6 @@ pub(crate) struct NosvConfig {
     pub quantum_ns: u64,
     /// Size of the shared segment in bytes.
     pub segment_size: usize,
-    /// Record a [`crate::TraceEvent`] stream (small overhead; used by the
-    /// trace experiments and the execution-trace figure).
-    pub tracing: bool,
 }
 
 impl Default for NosvConfig {
@@ -49,7 +46,6 @@ impl Default for NosvConfig {
             cpus_per_numa: 0,
             quantum_ns: DEFAULT_QUANTUM_NS,
             segment_size: 32 * 1024 * 1024,
-            tracing: false,
         }
     }
 }

@@ -55,6 +55,10 @@ pub enum NosvError {
     },
     /// [`crate::pause`] was called from outside a task body.
     NotInTask,
+    /// [`crate::TaskHandle::wait_timeout`] elapsed before the task
+    /// completed. The task keeps running; wait again or keep the handle
+    /// alive until completion before destroying it.
+    WaitTimeout,
 }
 
 impl fmt::Display for NosvError {
@@ -84,6 +88,9 @@ impl fmt::Display for NosvError {
                 write!(f, "corrupt task state word {raw} in shared segment")
             }
             NosvError::NotInTask => write!(f, "pause() called outside a task context"),
+            NosvError::WaitTimeout => {
+                write!(f, "timed out waiting for task completion")
+            }
         }
     }
 }

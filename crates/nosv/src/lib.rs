@@ -67,24 +67,26 @@
 mod builder;
 mod config;
 mod error;
+pub mod obs;
 pub mod policy;
 mod queue;
 mod runtime;
 mod scheduler;
 mod stats;
 mod task;
-mod trace;
 mod worker;
 
 pub use builder::RuntimeBuilder;
 pub use config::DEFAULT_QUANTUM_NS;
 pub use error::NosvError;
+pub use obs::{
+    AsciiTimelineSink, ChromeTraceSink, CounterKind, MemorySink, ObsEvent, ObsKind, TraceSink,
+};
 pub use policy::{QuantumPolicy, SchedPolicy};
 pub use runtime::{ProcessContext, Runtime};
 pub use scheduler::SchedulerSnapshot;
 pub use stats::RuntimeStats;
 pub use task::{Affinity, TaskBuilder, TaskCtx, TaskHandle, TaskId, TaskState};
-pub use trace::{TraceEvent, TraceEventKind};
 pub use worker::pause;
 
 /// One-import working set for the builder-first API.
@@ -96,6 +98,9 @@ pub use worker::pause;
 /// rt.shutdown();
 /// ```
 pub mod prelude {
+    pub use crate::obs::{
+        AsciiTimelineSink, ChromeTraceSink, CounterKind, MemorySink, ObsEvent, ObsKind, TraceSink,
+    };
     pub use crate::policy::{QuantumPolicy, SchedPolicy};
     pub use crate::{
         pause, Affinity, NosvError, ProcessContext, Runtime, RuntimeBuilder, RuntimeStats,

@@ -13,6 +13,7 @@ use nosv_sync::{Condvar, Mutex};
 use crate::builder::RuntimeBuilder;
 use crate::config::NosvConfig;
 use crate::error::NosvError;
+use crate::obs::{CounterKind, ObsCollector, ObsEvent, ObsKind, TraceSink, NO_CPU};
 use crate::policy::SchedPolicy;
 use crate::scheduler::{Scheduler, SchedulerSnapshot};
 use crate::stats::{Counters, RuntimeStats};
@@ -20,7 +21,6 @@ use crate::task::Affinity;
 use crate::task::{
     TaskBuilder, TaskCallbacks, TaskCtx, TaskDesc, TaskHandle, TaskId, TaskSignal, TaskState,
 };
-use crate::trace::{TraceBuf, TraceEvent, TraceEventKind};
 use crate::worker::{self, Assignment, WorkerShared};
 
 /// A logical process attached to the runtime.
@@ -46,7 +46,7 @@ pub(crate) struct RuntimeInner {
     pub live_descriptors: AtomicU64,
     pub idle_mutex: Mutex<()>,
     pub idle_cv: Condvar,
-    trace: TraceBuf,
+    pub(crate) obs: ObsCollector,
     next_task_id: AtomicU64,
     workers: Mutex<Vec<Arc<WorkerShared>>>,
     joins: Mutex<Vec<JoinHandle<()>>>,
@@ -61,14 +61,18 @@ impl RuntimeInner {
         self.start.elapsed().as_nanos() as u64
     }
 
-    pub(crate) fn trace_event(&self, kind: TraceEventKind, cpu: u32, pid: u64, task: TaskId) {
-        self.trace.record(TraceEvent {
-            t_ns: self.now_ns(),
-            cpu,
-            pid,
-            task,
-            kind,
-        });
+    /// Records one observability event through the installed sink (no-op
+    /// without one). Worker threads buffer locally; see [`crate::obs`].
+    pub(crate) fn emit(&self, kind: ObsKind, cpu: u32, pid: u64, task: TaskId) {
+        if self.obs.enabled() {
+            self.obs.emit(ObsEvent {
+                t_ns: self.now_ns(),
+                cpu,
+                pid,
+                task,
+                kind,
+            });
+        }
     }
 
     pub(crate) fn worker_by_index(&self, index: usize) -> Arc<WorkerShared> {
@@ -147,9 +151,9 @@ impl RuntimeInner {
         self.counters
             .tasks_submitted
             .fetch_add(1, Ordering::Relaxed);
-        let cpu = worker::current_core().map_or(u32::MAX, |c| c as u32);
-        self.trace_event(
-            TraceEventKind::Submit,
+        let cpu = worker::current_core().map_or(NO_CPU, |c| c as u32);
+        self.emit(
+            ObsKind::Submit,
             cpu,
             d.pid.load(Ordering::Relaxed),
             TaskId(d.id.load(Ordering::Relaxed)),
@@ -224,10 +228,10 @@ impl Runtime {
     pub(crate) fn from_parts(
         config: NosvConfig,
         policy: Arc<dyn SchedPolicy>,
+        sink: Option<Arc<dyn TraceSink>>,
     ) -> Result<Runtime, NosvError> {
         let seg = ShmSegment::create(config.segment_config());
         let sched = Scheduler::new(seg.clone(), &config, policy)?;
-        let tracing = config.tracing;
         Ok(Runtime {
             inner: Arc::new(RuntimeInner {
                 seg,
@@ -238,7 +242,7 @@ impl Runtime {
                 live_descriptors: AtomicU64::new(0),
                 idle_mutex: Mutex::new(()),
                 idle_cv: Condvar::new(),
-                trace: TraceBuf::new(tracing),
+                obs: ObsCollector::new(sink),
                 next_task_id: AtomicU64::new(1),
                 workers: Mutex::new(Vec::new()),
                 joins: Mutex::new(Vec::new()),
@@ -307,20 +311,15 @@ impl Runtime {
         self.inner.sched.snapshot()
     }
 
-    /// Drains and returns the trace recorded so far (empty when tracing is
-    /// disabled in the configuration).
-    pub fn take_trace(&self) -> Vec<TraceEvent> {
-        self.inner.trace.take()
-    }
-
-    /// Nanoseconds since the runtime started (the clock trace events use).
+    /// Nanoseconds since the runtime started (the clock
+    /// [`crate::ObsEvent`]s use).
     pub fn now_ns(&self) -> u64 {
         self.inner.now_ns()
     }
 
-    /// Whether tracing was enabled in the configuration.
+    /// Whether a [`crate::TraceSink`] is installed (events are recorded).
     pub fn tracing_enabled(&self) -> bool {
-        self.inner.trace.enabled()
+        self.inner.obs.enabled()
     }
 
     /// Stops all workers and tears the runtime down. Idempotent; later
@@ -363,6 +362,32 @@ impl Runtime {
         let joins: Vec<JoinHandle<()>> = std::mem::take(&mut *self.inner.joins.lock());
         for j in joins {
             let _ = j.join();
+        }
+        // Workers are joined (their buffers drained on exit): the sink now
+        // holds the complete action stream. Report the final counter deltas
+        // through the same stream and let the sink materialize its output.
+        if self.inner.obs.enabled() {
+            let stats = self.inner.counters.snapshot();
+            for (counter, delta) in [
+                (CounterKind::TasksExecuted, stats.tasks_executed),
+                (CounterKind::TasksSubmitted, stats.tasks_submitted),
+                (CounterKind::DelegationsServed, stats.delegations_served),
+                (
+                    CounterKind::CrossProcessHandoffs,
+                    stats.cross_process_handoffs,
+                ),
+                (CounterKind::Resumes, stats.resumes),
+                (CounterKind::Pauses, stats.pauses),
+                (CounterKind::QuantumSwitches, stats.quantum_switches),
+                (CounterKind::AffinitySteals, stats.affinity_steals),
+                (CounterKind::WorkersSpawned, stats.workers_spawned),
+            ] {
+                if delta > 0 {
+                    self.inner
+                        .emit(ObsKind::Counter { counter, delta }, NO_CPU, 0, TaskId(0));
+                }
+            }
+            self.inner.obs.flush();
         }
     }
 }

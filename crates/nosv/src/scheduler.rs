@@ -26,10 +26,11 @@ use nosv_sync::{Acquired, DtLock};
 
 use crate::config::NosvConfig;
 use crate::error::NosvError;
+use crate::obs::{ObsCollector, ObsEvent, ObsKind};
 use crate::policy::{CandidateProc, CoreQuantum, SchedPolicy};
 use crate::queue::TaskQueue;
 use crate::stats::Counters;
-use crate::task::{Affinity, TaskDesc};
+use crate::task::{Affinity, TaskDesc, TaskId};
 
 /// Maximum cores the in-segment scheduler arrays are sized for.
 pub(crate) const MAX_CPUS: usize = 256;
@@ -200,6 +201,7 @@ impl Scheduler {
         cpu: usize,
         now_ns: u64,
         counters: &Counters,
+        obs: &ObsCollector,
     ) -> Option<ReadyTask> {
         if !self.has_ready() {
             return None;
@@ -210,11 +212,17 @@ impl Scheduler {
                 Some(task)
             }
             Acquired::Holder(mut guard) => {
-                let mine = self.pick_for_cpu(cpu, now_ns, counters);
+                // Events produced inside the critical section are deferred
+                // and emitted only after the lock is released: an emit can
+                // drain a full worker buffer into the user's sink, which
+                // must never run under the one lock every CPU's fetch
+                // waits on.
+                let mut deferred: Vec<ObsEvent> = Vec::new();
+                let mine = self.pick_for_cpu(cpu, now_ns, counters, obs, &mut deferred);
                 // Serve every waiting CPU we can see while we are the
                 // server — the DTLock delegation pattern (§3.4).
                 while let Some(meta) = guard.next_waiter_meta() {
-                    match self.pick_for_cpu(meta as usize, now_ns, counters) {
+                    match self.pick_for_cpu(meta as usize, now_ns, counters, obs, &mut deferred) {
                         Some(task) => {
                             if let Err(task) = guard.serve_next(task) {
                                 // Waiter vanished mid-publication: requeue.
@@ -225,13 +233,25 @@ impl Scheduler {
                         None => break,
                     }
                 }
+                drop(guard);
+                for ev in deferred {
+                    obs.emit(ev);
+                }
                 mine
             }
         }
     }
 
-    /// The scheduling decision for one CPU. Caller holds the lock.
-    fn pick_for_cpu(&self, cpu: usize, now_ns: u64, counters: &Counters) -> Option<ReadyTask> {
+    /// The scheduling decision for one CPU. Caller holds the lock;
+    /// observability events are pushed to `deferred`, not emitted.
+    fn pick_for_cpu(
+        &self,
+        cpu: usize,
+        now_ns: u64,
+        counters: &Counters,
+        obs: &ObsCollector,
+        deferred: &mut Vec<ObsEvent>,
+    ) -> Option<ReadyTask> {
         let root = self.root();
         let cpu = cpu % self.cpus;
 
@@ -244,7 +264,7 @@ impl Scheduler {
             // 3. Process queues, by preference + quantum + priority.
             .or_else(|| self.pick_from_processes(cpu, now_ns, counters))
             // 4. Steal a best-effort task parked elsewhere.
-            .or_else(|| self.steal(cpu, counters));
+            .or_else(|| self.steal(cpu, now_ns, counters, obs, deferred));
 
         let task = picked?;
         root.total_ready.fetch_sub(1, Ordering::Release);
@@ -297,32 +317,52 @@ impl Scheduler {
     }
 
     /// Steals a best-effort affinity task from another core or NUMA queue.
-    fn steal(&self, cpu: usize, counters: &Counters) -> Option<ReadyTask> {
+    /// Caller holds the lock; the Steal event goes to `deferred`.
+    fn steal(
+        &self,
+        cpu: usize,
+        now_ns: u64,
+        counters: &Counters,
+        obs: &ObsCollector,
+        deferred: &mut Vec<ObsEvent>,
+    ) -> Option<ReadyTask> {
         let root = self.root();
         let not_strict =
             |d: &TaskDesc| !Affinity::decode(d.affinity.load(Ordering::Relaxed)).is_strict();
-        for i in 1..self.cpus {
-            let victim = (cpu + i) % self.cpus;
-            if let Some(t) =
-                root.cores[victim]
-                    .queue
-                    .pop_if(&self.seg, STEAL_SCAN_LIMIT, not_strict)
-            {
-                counters.affinity_steals.fetch_add(1, Ordering::Relaxed);
-                return Some(t);
+        let stolen = 'found: {
+            for i in 1..self.cpus {
+                let victim = (cpu + i) % self.cpus;
+                if let Some(t) =
+                    root.cores[victim]
+                        .queue
+                        .pop_if(&self.seg, STEAL_SCAN_LIMIT, not_strict)
+                {
+                    break 'found Some(t);
+                }
             }
+            let my_numa = self.numa_of(cpu);
+            for n in 0..self.numa_nodes() {
+                if n == my_numa {
+                    continue;
+                }
+                if let Some(t) = root.numas[n].pop_if(&self.seg, STEAL_SCAN_LIMIT, not_strict) {
+                    break 'found Some(t);
+                }
+            }
+            None
+        }?;
+        counters.affinity_steals.fetch_add(1, Ordering::Relaxed);
+        if obs.enabled() {
+            let d = self.desc(stolen);
+            deferred.push(ObsEvent {
+                t_ns: now_ns,
+                cpu: cpu as u32,
+                pid: d.pid.load(Ordering::Relaxed),
+                task: TaskId(d.id.load(Ordering::Relaxed)),
+                kind: ObsKind::Steal,
+            });
         }
-        let my_numa = self.numa_of(cpu);
-        for n in 0..self.numa_nodes() {
-            if n == my_numa {
-                continue;
-            }
-            if let Some(t) = root.numas[n].pop_if(&self.seg, STEAL_SCAN_LIMIT, not_strict) {
-                counters.affinity_steals.fetch_add(1, Ordering::Relaxed);
-                return Some(t);
-            }
-        }
-        None
+        Some(stolen)
     }
 
     /// Racy snapshot for observability.
@@ -348,6 +388,10 @@ mod tests {
     use super::*;
     use crate::task::TaskState;
     use nosv_shmem::SegmentConfig;
+
+    fn obs() -> ObsCollector {
+        ObsCollector::disabled()
+    }
 
     fn setup(cpus: usize, cpus_per_numa: usize, quantum_ns: u64) -> (ShmSegment, Scheduler) {
         let seg = ShmSegment::create(SegmentConfig {
@@ -402,11 +446,11 @@ mod tests {
         }
         assert!(sched.has_ready());
         for id in 0..3 {
-            let t = sched.get_task(0, 0, &c).unwrap();
+            let t = sched.get_task(0, 0, &c, &obs()).unwrap();
             assert_eq!(id_of(&seg, t), id);
         }
         assert!(!sched.has_ready());
-        assert!(sched.get_task(0, 0, &c).is_none());
+        assert!(sched.get_task(0, 0, &c, &obs()).is_none());
     }
 
     #[test]
@@ -421,10 +465,10 @@ mod tests {
             sched.submit(mk_task(&seg, 200 + id, 1, 20, 0, Affinity::None));
         }
         // Within the quantum the core should drain one process first.
-        let first = sched.get_task(0, 0, &c).unwrap();
+        let first = sched.get_task(0, 0, &c, &obs()).unwrap();
         let first_pid = unsafe { seg.sref(first) }.pid.load(Ordering::Relaxed);
         for _ in 0..3 {
-            let t = sched.get_task(0, 10, &c).unwrap();
+            let t = sched.get_task(0, 10, &c, &obs()).unwrap();
             assert_eq!(
                 unsafe { seg.sref(t) }.pid.load(Ordering::Relaxed),
                 first_pid,
@@ -432,7 +476,7 @@ mod tests {
             );
         }
         // Only the other process remains.
-        let t = sched.get_task(0, 20, &c).unwrap();
+        let t = sched.get_task(0, 20, &c, &obs()).unwrap();
         assert_ne!(
             unsafe { seg.sref(t) }.pid.load(Ordering::Relaxed),
             first_pid
@@ -449,10 +493,10 @@ mod tests {
             sched.submit(mk_task(&seg, 100 + id, 0, 10, 0, Affinity::None));
             sched.submit(mk_task(&seg, 200 + id, 1, 20, 0, Affinity::None));
         }
-        let t0 = sched.get_task(0, 0, &c).unwrap();
+        let t0 = sched.get_task(0, 0, &c, &obs()).unwrap();
         let pid0 = unsafe { seg.sref(t0) }.pid.load(Ordering::Relaxed);
         // Past the quantum: the next pick must switch processes.
-        let t1 = sched.get_task(0, 500, &c).unwrap();
+        let t1 = sched.get_task(0, 500, &c, &obs()).unwrap();
         let pid1 = unsafe { seg.sref(t1) }.pid.load(Ordering::Relaxed);
         assert_ne!(pid0, pid1);
         assert_eq!(c.quantum_switches.load(Ordering::Relaxed), 1);
@@ -476,9 +520,12 @@ mod tests {
         ));
         // CPUs 0, 1, 3 must not get it.
         for cpu in [0usize, 1, 3] {
-            assert!(sched.get_task(cpu, 0, &c).is_none(), "cpu {cpu} stole");
+            assert!(
+                sched.get_task(cpu, 0, &c, &obs()).is_none(),
+                "cpu {cpu} stole"
+            );
         }
-        let t = sched.get_task(2, 0, &c).unwrap();
+        let t = sched.get_task(2, 0, &c, &obs()).unwrap();
         assert_eq!(id_of(&seg, t), 1);
     }
 
@@ -498,7 +545,7 @@ mod tests {
                 strict: false,
             },
         ));
-        let t = sched.get_task(0, 0, &c).unwrap();
+        let t = sched.get_task(0, 0, &c, &obs()).unwrap();
         assert_eq!(id_of(&seg, t), 1);
         assert_eq!(c.affinity_steals.load(Ordering::Relaxed), 1);
     }
@@ -521,10 +568,10 @@ mod tests {
             },
         ));
         // Node 0 CPUs see nothing.
-        assert!(sched.get_task(0, 0, &c).is_none());
-        assert!(sched.get_task(1, 0, &c).is_none());
+        assert!(sched.get_task(0, 0, &c, &obs()).is_none());
+        assert!(sched.get_task(1, 0, &c, &obs()).is_none());
         // Node 1 CPU gets it.
-        let t = sched.get_task(3, 0, &c).unwrap();
+        let t = sched.get_task(3, 0, &c, &obs()).unwrap();
         assert_eq!(id_of(&seg, t), 1);
     }
 
@@ -537,7 +584,7 @@ mod tests {
         sched.set_app_priority(1, 5);
         sched.submit(mk_task(&seg, 100, 0, 10, 0, Affinity::None));
         sched.submit(mk_task(&seg, 200, 1, 20, 0, Affinity::None));
-        let t = sched.get_task(0, 0, &c).unwrap();
+        let t = sched.get_task(0, 0, &c, &obs()).unwrap();
         assert_eq!(id_of(&seg, t), 200, "high-app-priority process first");
     }
 
@@ -550,7 +597,7 @@ mod tests {
         sched.submit(mk_task(&seg, 2, 0, 10, 9, Affinity::None));
         sched.submit(mk_task(&seg, 3, 0, 10, 4, Affinity::None));
         let order: Vec<u64> = (0..3)
-            .map(|_| id_of(&seg, sched.get_task(0, 0, &c).unwrap()))
+            .map(|_| id_of(&seg, sched.get_task(0, 0, &c, &obs()).unwrap()))
             .collect();
         assert_eq!(order, vec![2, 3, 1]);
     }

@@ -254,6 +254,20 @@ impl TaskSignal {
             self.cv.wait(&mut done);
         }
     }
+
+    /// Waits up to `timeout`; returns whether the task completed.
+    pub(crate) fn wait_timeout(&self, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut done = self.done.lock();
+        while !*done {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.cv.wait_for(&mut done, deadline - now);
+        }
+        true
+    }
 }
 
 /// Builder for a task's scheduling attributes and callbacks.
@@ -435,6 +449,58 @@ impl TaskHandle {
             }
         }
         self.signal.wait();
+    }
+
+    /// Blocks until the task's body has completed or `timeout` elapses,
+    /// returning [`NosvError::WaitTimeout`] in the latter case. The task
+    /// keeps running after a timeout; the handle stays valid and can be
+    /// waited again.
+    ///
+    /// The deadline applies to the **external-thread path only**. Called
+    /// from *inside another task*, this behaves exactly like
+    /// [`TaskHandle::wait`]: the calling task pauses cooperatively and the
+    /// deadline is ignored — a paused task's thread is parked and cannot
+    /// be woken by a timer, only by a resubmission (§3.2). Callers that
+    /// need a bounded wait from task context should restructure so the
+    /// bounded wait happens on an external thread.
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use nosv::prelude::*;
+    ///
+    /// # fn main() -> Result<(), NosvError> {
+    /// let rt = Runtime::builder().cpus(1).build()?;
+    /// let app = rt.attach("wt")?;
+    /// let (tx, rx) = std::sync::mpsc::channel::<()>();
+    /// let t = app.create_task(move |_| {
+    ///     rx.recv().unwrap();
+    /// });
+    /// t.submit()?;
+    /// // The task is blocked on the channel: a short wait must time out.
+    /// assert_eq!(
+    ///     t.wait_timeout(Duration::from_millis(10)),
+    ///     Err(NosvError::WaitTimeout)
+    /// );
+    /// tx.send(()).unwrap();
+    /// t.wait_timeout(Duration::from_secs(30))?;
+    /// t.destroy();
+    /// drop(app);
+    /// rt.shutdown();
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn wait_timeout(&self, timeout: std::time::Duration) -> Result<(), NosvError> {
+        if crate::worker::current_task_raw().is_some() {
+            // In-task cooperative path: the deadline cannot be honoured
+            // (see above); fall back to the pause-based wait.
+            self.wait();
+            return Ok(());
+        }
+        if self.signal.wait_timeout(timeout) {
+            Ok(())
+        } else {
+            Err(NosvError::WaitTimeout)
+        }
     }
 
     /// Destroys the task (`nosv_destroy`), returning its shared memory.

@@ -28,10 +28,10 @@ use std::time::Duration;
 use nosv_shmem::Shoff;
 use nosv_sync::{Condvar, Mutex};
 
+use crate::obs::{ObsEvent, ObsKind, OBS_BUF_CAP};
 use crate::runtime::RuntimeInner;
 use crate::scheduler::ReadyTask;
-use crate::task::{TaskCallbacks, TaskCtx, TaskDesc, TaskId, TaskSignal, TaskState};
-use crate::trace::TraceEventKind;
+use crate::task::{Affinity, TaskCallbacks, TaskCtx, TaskDesc, TaskId, TaskSignal, TaskState};
 
 /// A work order delivered to a worker's mailbox.
 pub(crate) enum Assignment {
@@ -115,6 +115,10 @@ struct WorkerTls {
     core: Cell<usize>,
     /// Raw offset of the currently executing task (0 = none).
     current_task: Cell<u64>,
+    /// This worker's lock-free observability buffer: only the owning
+    /// thread touches it, so recording an event is a plain vector push.
+    /// Drained to the runtime's sink at flush points ([`obs_flush_local`]).
+    obs: RefCell<Vec<ObsEvent>>,
 }
 
 thread_local! {
@@ -144,6 +148,39 @@ fn with_tls<R>(f: impl FnOnce(&WorkerTls) -> R) -> Option<R> {
     TLS.with(|t| t.borrow().as_ref().map(f))
 }
 
+/// Buffers `ev` in the calling worker's local trace buffer, draining it to
+/// the sink when full. Returns `false` when the event was *not* recorded —
+/// the caller is not a worker thread, or is a worker of a *different*
+/// runtime than the emitting collector `owner` (its buffer drains to the
+/// wrong sink) — in which case the collector delivers directly.
+pub(crate) fn obs_buffer(owner: &crate::obs::ObsCollector, ev: ObsEvent) -> bool {
+    with_tls(|w| {
+        if !std::ptr::eq(&w.rt.obs, owner) {
+            return false;
+        }
+        let mut buf = w.obs.borrow_mut();
+        buf.push(ev);
+        if buf.len() >= OBS_BUF_CAP {
+            w.rt.obs.drain_batch(&mut buf);
+        }
+        true
+    })
+    .unwrap_or(false)
+}
+
+/// Drains the calling worker's trace buffer to the sink. Called at flush
+/// points: before a core handoff parks this worker, before a pause blocks
+/// its thread, when the worker goes idle, and at worker exit — the moments
+/// after which the buffer could otherwise sit undelivered indefinitely.
+fn obs_flush_local() {
+    with_tls(|w| {
+        let mut buf = w.obs.borrow_mut();
+        if !buf.is_empty() {
+            w.rt.obs.drain_batch(&mut buf);
+        }
+    });
+}
+
 enum LoopExit {
     /// The worker parked itself (core transferred); wait for reassignment.
     Parked,
@@ -159,6 +196,7 @@ pub(crate) fn worker_main(rt: Arc<RuntimeInner>, me: Arc<WorkerShared>) {
             me: Arc::clone(&me),
             core: Cell::new(usize::MAX),
             current_task: Cell::new(0),
+            obs: RefCell::new(Vec::new()),
         });
     });
     while let Some(assignment) = me.wait() {
@@ -177,6 +215,7 @@ pub(crate) fn worker_main(rt: Arc<RuntimeInner>, me: Arc<WorkerShared>) {
             LoopExit::Shutdown => break,
         }
     }
+    obs_flush_local();
     TLS.with(|t| *t.borrow_mut() = None);
 }
 
@@ -193,7 +232,7 @@ fn pull_loop(rt: &Arc<RuntimeInner>, me: &Arc<WorkerShared>) -> LoopExit {
         }
         let core = with_tls(|w| w.core.get()).expect("worker TLS missing");
         debug_assert_ne!(core, usize::MAX);
-        match rt.sched.get_task(core, rt.now_ns(), &rt.counters) {
+        match rt.sched.get_task(core, rt.now_ns(), &rt.counters, &rt.obs) {
             Some(task) => {
                 // SAFETY: a task handed out by the scheduler is alive.
                 let d = unsafe { rt.seg.sref(task) };
@@ -215,8 +254,11 @@ fn pull_loop(rt: &Arc<RuntimeInner>, me: &Arc<WorkerShared>) -> LoopExit {
                 }
             }
             None => {
-                // Idle: block on the runtime's gate until a submission.
-                // The check-under-lock protocol prevents lost wakeups; the
+                // Idle: about to block, so make buffered trace events
+                // visible first (an idle worker may sleep indefinitely).
+                obs_flush_local();
+                // Block on the runtime's gate until a submission. The
+                // check-under-lock protocol prevents lost wakeups; the
                 // timeout is defence in depth only.
                 let mut g = rt.idle_mutex.lock();
                 if rt.shutdown.load(Ordering::Acquire) {
@@ -242,12 +284,15 @@ fn resume_handoff(
     let d = unsafe { rt.seg.sref(task) };
     d.set_state(TaskState::Running);
     rt.counters.resumes.fetch_add(1, Ordering::Relaxed);
-    rt.trace_event(
-        TraceEventKind::Resume,
+    rt.emit(
+        ObsKind::Resume,
         core as u32,
         d.pid.load(Ordering::Relaxed),
         TaskId(d.id.load(Ordering::Relaxed)),
     );
+    // Flush before the core changes hands so this core's events reach the
+    // sink ahead of anything the resumed thread will emit on it.
+    obs_flush_local();
     let target = rt.worker_by_index(worker_index);
     rt.park_worker(me);
     target.assign(Assignment::Resume { core });
@@ -265,12 +310,14 @@ fn cross_process_handoff(
     rt.counters
         .cross_process_handoffs
         .fetch_add(1, Ordering::Relaxed);
-    rt.trace_event(
-        TraceEventKind::Handoff,
+    rt.emit(
+        ObsKind::Handoff,
         core as u32,
         pid,
         TaskId(d.id.load(Ordering::Relaxed)),
     );
+    // Flush before the core changes hands (see resume_handoff).
+    obs_flush_local();
     let target = rt.worker_for_process(pid);
     rt.park_worker(me);
     target.assign(Assignment::RunTask { core, task });
@@ -286,7 +333,19 @@ fn execute(rt: &Arc<RuntimeInner>, task: ReadyTask) {
     let pid = d.pid.load(Ordering::Relaxed);
     let metadata = d.metadata.load(Ordering::Relaxed);
     let core = with_tls(|w| w.core.get()).expect("worker TLS missing");
-    rt.trace_event(TraceEventKind::Start, core as u32, pid, id);
+    // A best-effort-affinity task executing away from its preferred
+    // core/NUMA node is a *remote* execution (the lowercase cells of the
+    // Fig. 10 timeline); strict affinities never run remotely.
+    let remote = match Affinity::decode(d.affinity.load(Ordering::Relaxed)) {
+        Affinity::None => false,
+        Affinity::Core { index, .. } => index != core,
+        Affinity::Numa { index, .. } => {
+            let per_numa = rt.config.cpus_per_numa;
+            let numa_of_core = core.checked_div(per_numa).unwrap_or(0);
+            index != numa_of_core
+        }
+    };
+    rt.emit(ObsKind::Start { remote }, core as u32, pid, id);
 
     let cbs_raw = d.callbacks.swap(0, Ordering::AcqRel);
     assert_ne!(cbs_raw, 0, "task {id:?} has no callbacks (executed twice?)");
@@ -308,7 +367,7 @@ fn execute(rt: &Arc<RuntimeInner>, task: ReadyTask) {
     d.set_state(TaskState::Completed);
     // The core may have changed if the body paused and resumed elsewhere.
     let end_core = with_tls(|w| w.core.get()).unwrap_or(core);
-    rt.trace_event(TraceEventKind::End, end_core as u32, pid, id);
+    rt.emit(ObsKind::End, end_core as u32, pid, id);
     // Order matters: the pending count must drop *before* any completion
     // notification fires — both the user's completion callback (through
     // which e.g. a taskwait may return) and the handle signal — so that
@@ -354,7 +413,11 @@ pub fn pause() {
     rt.counters.pauses.fetch_add(1, Ordering::Relaxed);
     let id = TaskId(d.id.load(Ordering::Relaxed));
     let pid = d.pid.load(Ordering::Relaxed);
-    rt.trace_event(TraceEventKind::Pause, core as u32, pid, id);
+    rt.emit(ObsKind::Pause, core as u32, pid, id);
+    // This thread is about to block for arbitrarily long: deliver its
+    // buffered events (including the Pause above) before the replacement
+    // worker can emit anything on this core.
+    obs_flush_local();
 
     // Publish the attachment *before* the state changes: as soon as the
     // task is Paused it may be resubmitted, scheduled and resume-handed

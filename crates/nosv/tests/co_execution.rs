@@ -5,15 +5,24 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 
 use nosv::prelude::*;
-use nosv::TraceEventKind;
 use nosv_sync::Mutex;
 
 fn runtime(cpus: usize) -> Runtime {
     Runtime::builder()
         .cpus(cpus)
-        .tracing(true)
         .build()
         .expect("valid test configuration")
+}
+
+/// A runtime with a [`MemorySink`] installed (the trace-asserting tests).
+fn traced_runtime(cpus: usize) -> (Runtime, Arc<MemorySink>) {
+    let sink = Arc::new(MemorySink::new());
+    let rt = Runtime::builder()
+        .cpus(cpus)
+        .sink(sink.clone())
+        .build()
+        .expect("valid test configuration");
+    (rt, sink)
 }
 
 #[test]
@@ -172,7 +181,7 @@ fn task_priorities_order_execution() {
 
 #[test]
 fn strict_core_affinity_executes_on_that_core() {
-    let rt = runtime(4);
+    let (rt, sink) = traced_runtime(4);
     let app = rt.attach("affine").unwrap();
     let mut tasks = Vec::new();
     for i in 0..20 {
@@ -194,28 +203,26 @@ fn strict_core_affinity_executes_on_that_core() {
     for t in &tasks {
         t.wait();
     }
-    // Verify via the trace: every Start of a strict task is on its core.
-    let trace = rt.take_trace();
-    let mut starts = 0;
-    for ev in &trace {
-        if ev.kind == TraceEventKind::Start {
-            starts += 1;
-        }
-    }
-    assert_eq!(starts, 20);
-    // Start events carry the core; match by task id order of creation.
     let ids: Vec<_> = tasks.iter().map(|t| t.id()).collect();
-    for ev in trace {
-        if ev.kind == TraceEventKind::Start {
-            let idx = ids.iter().position(|&i| i == ev.task).unwrap();
-            assert_eq!(ev.cpu as usize, idx % 4, "task {idx} on wrong core");
-        }
-    }
     for t in tasks {
         t.destroy();
     }
     drop(app);
+    // The full stream is guaranteed delivered once shutdown returns.
     rt.shutdown();
+    // Verify via the trace: every Start of a strict task is on its core.
+    let trace = sink.take_sorted();
+    let starts: Vec<_> = trace
+        .iter()
+        .filter(|e| matches!(e.kind, ObsKind::Start { .. }))
+        .collect();
+    assert_eq!(starts.len(), 20);
+    for ev in starts {
+        let idx = ids.iter().position(|&i| i == ev.task).unwrap();
+        assert_eq!(ev.cpu as usize, idx % 4, "task {idx} on wrong core");
+        // Strict placements are never remote.
+        assert_eq!(ev.kind, ObsKind::Start { remote: false });
+    }
 }
 
 #[test]
@@ -400,25 +407,118 @@ fn pause_outside_task_panics() {
 
 #[test]
 fn trace_records_full_lifecycle() {
-    let rt = runtime(2);
+    let (rt, sink) = traced_runtime(2);
     let app = rt.attach("traced").unwrap();
     let t = app.spawn(|_| {});
     t.wait();
-    let trace = rt.take_trace();
+    let id = t.id();
+    t.destroy();
+    drop(app);
+    rt.shutdown();
+    let trace = sink.take_sorted();
     let kinds: Vec<_> = trace
         .iter()
-        .filter(|e| e.task == t.id())
+        .filter(|e| e.task == id)
         .map(|e| e.kind)
         .collect();
     assert_eq!(
         kinds,
         vec![
-            TraceEventKind::Submit,
-            TraceEventKind::Start,
-            TraceEventKind::End
+            ObsKind::Submit,
+            ObsKind::Start { remote: false },
+            ObsKind::End
         ]
     );
+    // Counter deltas ride the same stream: shutdown reported the totals.
+    assert!(trace.iter().any(|e| matches!(
+        e.kind,
+        ObsKind::Counter {
+            counter: CounterKind::TasksExecuted,
+            delta: 1
+        }
+    )));
+}
+
+/// Regression: a worker of runtime A emitting into runtime B (a task body
+/// driving a second runtime) must not route B's events through A's
+/// per-worker buffer — they belong to B's sink, delivered directly.
+#[test]
+fn cross_runtime_emission_reaches_the_right_sink() {
+    let rt_a = runtime(1); // no sink: would silently drop misrouted events
+    let (rt_b, sink_b) = traced_runtime(1);
+    let rt_b = Arc::new(rt_b);
+
+    let app_a = rt_a.attach("driver").unwrap();
+    let rt_b2 = Arc::clone(&rt_b);
+    let t = app_a.create_task(move |_| {
+        // From inside A's worker, run a full task lifecycle on B. Spin on
+        // the state instead of wait(): the cooperative wait path would
+        // pause the *calling* (A) task, which is not what this test is
+        // about.
+        let app_b = rt_b2.attach("driven").unwrap();
+        let tb = app_b.spawn(|_| {});
+        while tb.state() != TaskState::Completed {
+            std::thread::yield_now();
+        }
+        tb.destroy();
+    });
+    t.submit().unwrap();
+    t.wait();
     t.destroy();
+    drop(app_a);
+    rt_a.shutdown();
+    Arc::try_unwrap(rt_b).expect("sole owner").shutdown();
+
+    let events = sink_b.take_sorted();
+    let count = |pred: fn(&ObsKind) -> bool| events.iter().filter(|e| pred(&e.kind)).count();
+    assert_eq!(count(|k| matches!(k, ObsKind::Submit)), 1, "{events:?}");
+    assert_eq!(count(|k| matches!(k, ObsKind::Start { .. })), 1);
+    assert_eq!(count(|k| matches!(k, ObsKind::End)), 1);
+}
+
+#[test]
+fn wait_timeout_external_and_in_task_paths() {
+    use std::time::Duration;
+
+    let rt = runtime(2);
+    let app = rt.attach("wt").unwrap();
+
+    // External thread: a blocked task times out, then completes.
+    let (tx, rx) = mpsc::channel::<()>();
+    let t = app.create_task(move |_| {
+        rx.recv().unwrap();
+    });
+    t.submit().unwrap();
+    assert_eq!(
+        t.wait_timeout(Duration::from_millis(5)),
+        Err(NosvError::WaitTimeout)
+    );
+    tx.send(()).unwrap();
+    assert_eq!(t.wait_timeout(Duration::from_secs(30)), Ok(()));
+    t.destroy();
+
+    // In-task path: the deadline is ignored and the cooperative wait
+    // succeeds even though the child takes (much) longer than it.
+    let ok = Arc::new(AtomicUsize::new(0));
+    let app = Arc::new(app);
+    let parent = {
+        let app2 = Arc::clone(&app);
+        let ok = Arc::clone(&ok);
+        app.create_task(move |_| {
+            let child = app2.create_task(|_| {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            });
+            child.submit().unwrap();
+            // Zero timeout from task context: cooperative wait, Ok.
+            assert_eq!(child.wait_timeout(Duration::ZERO), Ok(()));
+            child.destroy();
+            ok.fetch_add(1, Ordering::Relaxed);
+        })
+    };
+    parent.submit().unwrap();
+    parent.wait();
+    parent.destroy();
+    assert_eq!(ok.load(Ordering::Relaxed), 1);
     drop(app);
     rt.shutdown();
 }

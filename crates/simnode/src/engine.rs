@@ -10,13 +10,14 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
+use nosv::obs::{CounterKind, ObsEvent, ObsKind, TraceSink, NO_CPU};
 use nosv::policy::{CandidateProc, CoreQuantum, QuantumPolicy, SchedPolicy};
+use nosv::TaskId;
 
 use crate::model::{AppModel, TaskModel};
 use crate::rng::SimRng;
 use crate::spec::NodeSpec;
 use crate::stats::{AppSimStats, SimStats};
-use crate::trace::{SimTrace, TraceSegment};
 use crate::{AffinityMode, IdlePolicy, RuntimeMode};
 
 /// Simulation options.
@@ -24,8 +25,6 @@ use crate::{AffinityMode, IdlePolicy, RuntimeMode};
 pub struct SimOptions {
     /// RNG seed (task-duration jitter); same seed = identical results.
     pub seed: u64,
-    /// Record an execution trace (costs memory).
-    pub record_trace: bool,
     /// Relative task-duration jitter in `[0, 0.5)`; breaks lockstep.
     pub jitter: f64,
     /// Abort if simulated time exceeds this (deadlock guard), ns.
@@ -36,22 +35,21 @@ impl Default for SimOptions {
     fn default() -> Self {
         SimOptions {
             seed: 0x5eed,
-            record_trace: false,
             jitter: 0.03,
             max_sim_ns: 3_600_000_000_000, // one simulated hour
         }
     }
 }
 
-/// Result of a simulation run.
+/// Result of a simulation run. Execution traces are no longer carried
+/// here: install a [`TraceSink`] through [`crate::SimSpec::sink`] to
+/// observe the run's `ObsEvent` stream.
 #[derive(Debug, Clone)]
 pub struct SimResult {
     /// Time at which the last application finished, ns.
     pub makespan_ns: u64,
     /// Detailed statistics.
     pub stats: SimStats,
-    /// Execution trace, when requested.
-    pub trace: Option<SimTrace>,
 }
 
 const NOSV_FETCH_NS: u64 = 1_000; // central scheduler request cost (1 µs)
@@ -77,6 +75,8 @@ enum SegKind {
 
 #[derive(Debug, Clone, Copy)]
 struct TaskInst {
+    /// Engine-assigned task id (the `ObsEvent::task` of its events).
+    id: u64,
     app: usize,
     bw: f64,
     mem_frac: f64,
@@ -113,8 +113,6 @@ struct Thread {
     pending_exec: Option<(TaskInst, f64)>,
     /// Lock was granted while we were preempted or spinning.
     lock_granted: bool,
-    /// Start of the current Exec segment (trace).
-    exec_start: u64,
     /// Charged the OS context-switch penalty at next switch-in.
     was_preempted: bool,
 }
@@ -185,8 +183,13 @@ struct Engine<'a> {
     /// Process-selection policy for nOS-V mode — the same trait object kind
     /// the live runtime's scheduler consults.
     policy: &'a dyn SchedPolicy,
+    /// Observability sink — the same trait the live runtime's
+    /// `RuntimeBuilder::sink` consumes. Single-threaded engine: events are
+    /// delivered directly, already in timestamp order.
+    sink: Option<&'a dyn TraceSink>,
+    /// Task ids for `ObsEvent::task` (assigned at scheduler pop).
+    next_task_id: u64,
     stats: SimStats,
-    trace: Option<SimTrace>,
     unfinished: usize,
 }
 
@@ -209,7 +212,14 @@ pub fn run_simulation(
         RuntimeMode::Nosv { quantum_ns, .. } => *quantum_ns,
         RuntimeMode::PerApp { .. } => nosv::DEFAULT_QUANTUM_NS, // never consulted
     };
-    run_simulation_with_policy(node, apps, mode, opts, &QuantumPolicy::new(quantum_ns))
+    run_simulation_inner(
+        node,
+        apps,
+        mode,
+        opts,
+        &QuantumPolicy::new(quantum_ns),
+        None,
+    )
 }
 
 /// Like [`run_simulation`], but scheduling the nOS-V-mode node through an
@@ -222,6 +232,9 @@ pub fn run_simulation(
 /// path (the policy's own [`SchedPolicy::quantum_ns`] governs), mirroring
 /// how `RuntimeBuilder::policy` overrides the builder's quantum. In
 /// `PerApp` modes the policy is never consulted.
+///
+/// To also observe the run through a [`TraceSink`], use
+/// [`crate::SimSpec`], which bundles policy and sink in one builder.
 pub fn run_simulation_with_policy(
     node: &NodeSpec,
     apps: &[AppModel],
@@ -229,8 +242,20 @@ pub fn run_simulation_with_policy(
     opts: &SimOptions,
     policy: &dyn SchedPolicy,
 ) -> SimResult {
+    run_simulation_inner(node, apps, mode, opts, policy, None)
+}
+
+/// The one implementation behind every public entry point.
+pub(crate) fn run_simulation_inner(
+    node: &NodeSpec,
+    apps: &[AppModel],
+    mode: &RuntimeMode,
+    opts: &SimOptions,
+    policy: &dyn SchedPolicy,
+    sink: Option<&dyn TraceSink>,
+) -> SimResult {
     assert!(!apps.is_empty(), "no applications to simulate");
-    let mut eng = Engine::new(node, apps, mode, opts, policy);
+    let mut eng = Engine::new(node, apps, mode, opts, policy, sink);
     eng.run();
     let makespan = eng
         .stats
@@ -239,10 +264,34 @@ pub fn run_simulation_with_policy(
         .map(|a| a.finish_ns)
         .max()
         .unwrap_or(0);
+    // Counter deltas ride the same stream the live runtime uses at
+    // shutdown; then the sink may materialize its output.
+    if let Some(sink) = sink {
+        let stats = &eng.stats;
+        for (counter, delta) in [
+            (CounterKind::Preemptions, stats.preemptions),
+            (CounterKind::LockSpinNs, stats.lock_spin_ns),
+            (CounterKind::IdleSpinNs, stats.idle_spin_ns),
+            (CounterKind::CrossAppSwitches, stats.cross_app_switches),
+            (CounterKind::QuantumSwitches, stats.quantum_switches),
+            (CounterKind::DlbLends, stats.dlb_lends),
+            (CounterKind::DlbReclaims, stats.dlb_reclaims),
+        ] {
+            if delta > 0 {
+                sink.on_event(&ObsEvent {
+                    t_ns: makespan,
+                    cpu: NO_CPU,
+                    pid: 0,
+                    task: TaskId(0),
+                    kind: ObsKind::Counter { counter, delta },
+                });
+            }
+        }
+        sink.flush();
+    }
     SimResult {
         makespan_ns: makespan,
         stats: eng.stats,
-        trace: eng.trace,
     }
 }
 
@@ -253,6 +302,7 @@ impl<'a> Engine<'a> {
         mode: &'a RuntimeMode,
         opts: &'a SimOptions,
         policy: &'a dyn SchedPolicy,
+        sink: Option<&'a dyn TraceSink>,
     ) -> Engine<'a> {
         let ncores = node.cores();
         let mut cores: Vec<Core> = (0..ncores)
@@ -302,7 +352,6 @@ impl<'a> Engine<'a> {
                 task: None,
                 pending_exec: None,
                 lock_granted: false,
-                exec_start: 0,
                 was_preempted: false,
             });
             threads.len() - 1
@@ -369,13 +418,26 @@ impl<'a> Engine<'a> {
             rr_cursor: 0,
             rng: SimRng::seed_from_u64(opts.seed),
             policy,
+            sink,
+            next_task_id: 1,
             stats,
-            trace: if opts.record_trace {
-                Some(SimTrace::default())
-            } else {
-                None
-            },
             unfinished: models.len(),
+        }
+    }
+
+    /// Delivers one [`ObsEvent`] to the sink (no-op without one). The
+    /// engine is single-threaded, so direct delivery is already in
+    /// timestamp order; `pid` is the application index + 1, matching the
+    /// candidate pids handed to the shared [`SchedPolicy`].
+    fn emit(&self, cpu: usize, app: usize, task: u64, kind: ObsKind) {
+        if let Some(sink) = self.sink {
+            sink.on_event(&ObsEvent {
+                t_ns: self.now,
+                cpu: cpu as u32,
+                pid: app as u64 + 1,
+                task: TaskId(task),
+                kind,
+            });
         }
     }
 
@@ -693,16 +755,7 @@ impl<'a> Engine<'a> {
                 self.stats.apps[app].remote_tasks += 1;
             }
         }
-        if let Some(trace) = &mut self.trace {
-            trace.segments.push(TraceSegment {
-                core,
-                app,
-                start_ns: self.threads[t].exec_start,
-                end_ns: self.now,
-                home_socket: task.home,
-                remote: task.remote,
-            });
-        }
+        self.emit(core, app, task.id, ObsKind::End);
         self.threads[t].kind = SegKind::Fresh;
         self.recompute_socket(self.cores[core].socket);
 
@@ -802,7 +855,7 @@ impl<'a> Engine<'a> {
         let app = self.threads[t].app;
         let core = self.threads[t].core;
         let socket = self.cores[core].socket;
-        if let Some((task, work)) = self.pop_task(app, socket, AffinityMode::Ignore) {
+        if let Some((task, work)) = self.pop_task(app, core, socket, AffinityMode::Ignore) {
             self.begin_exec(t, task, work);
             return;
         }
@@ -910,11 +963,16 @@ impl<'a> Engine<'a> {
 
     // ---- shared helpers ------------------------------------------------------------
 
-    /// Pops a task for a core on `socket`, honouring the affinity mode.
+    /// Pops a task for `core` on `socket`, honouring the affinity mode.
     /// Returns the instance and its effective work (jitter + NUMA penalty).
+    ///
+    /// The pop is where the simulator models `nosv_submit` + scheduler
+    /// fetch collapsing into one step, so this is where the task gets its
+    /// id and its [`ObsKind::Submit`] event.
     fn pop_task(
         &mut self,
         app: usize,
+        core: usize,
         socket: usize,
         affinity: AffinityMode,
     ) -> Option<(TaskInst, f64)> {
@@ -955,8 +1013,12 @@ impl<'a> Engine<'a> {
             // Remote NUMA accesses stretch the memory-bound part.
             work *= (1.0 - tm.mem_frac) + tm.mem_frac * self.node.remote_numa_penalty;
         }
+        let id = self.next_task_id;
+        self.next_task_id += 1;
+        self.emit(core, app, id, ObsKind::Submit);
         Some((
             TaskInst {
+                id,
                 app,
                 bw: tm.bw_gbps,
                 mem_frac: tm.mem_frac,
@@ -970,10 +1032,17 @@ impl<'a> Engine<'a> {
     fn begin_exec(&mut self, t: Tid, task: TaskInst, work: f64) {
         let core = self.threads[t].core;
         let socket = self.cores[core].socket;
+        self.emit(
+            core,
+            task.app,
+            task.id,
+            ObsKind::Start {
+                remote: task.remote,
+            },
+        );
         self.threads[t].kind = SegKind::Exec;
         self.threads[t].remaining = work;
         self.threads[t].task = Some(task);
-        self.threads[t].exec_start = self.now;
         self.threads[t].last = self.now;
         self.threads[t].speed = bw_speed(task.mem_frac, self.socket_factor[socket]);
         if self.is_running(t) {
@@ -1148,15 +1217,22 @@ impl<'a> Engine<'a> {
         self.policy.apply_decision(&mut q, &decision, self.now);
         self.cores[core].quantum = q;
         let app = (decision.pid - 1) as usize;
-        let Some((task, work)) = self.pop_task(app, socket, *affinity) else {
+        let Some((task, work)) = self.pop_task(app, core, socket, *affinity) else {
             // Raced with phase exhaustion inside this event: idle.
             self.block_current(t);
             return;
         };
+        // A best-effort pop that landed away from the task's home socket
+        // is the simulator's analogue of the live scheduler's affinity
+        // steal.
+        if *affinity == AffinityMode::BestEffort && task.remote {
+            self.emit(core, app, task.id, ObsKind::Steal);
+        }
         // Charge a cross-process handoff when the core changes application.
         let prev = self.cores[core].last_app.replace(app);
         if prev != Some(app) && prev.is_some() {
             self.stats.cross_app_switches += 1;
+            self.emit(core, app, task.id, ObsKind::Handoff);
             self.threads[t].kind = SegKind::Cs;
             self.threads[t].remaining = self.node.handoff_ns as f64;
             self.threads[t].speed = 1.0;
@@ -1535,25 +1611,33 @@ mod tests {
     }
 
     #[test]
-    fn trace_records_all_tasks() {
+    fn sink_receives_all_task_events() {
+        use nosv::obs::{exec_segments, MemorySink};
+
         let node = NodeSpec::tiny(1, 2);
         let app = AppModel::new("t", vec![Phase::uniform(6, TaskModel::compute(1_000_000))]);
-        let r = run_simulation(
+        let sink = MemorySink::new();
+        let r = crate::SimSpec::new(
             &node,
-            &[app],
+            std::slice::from_ref(&app),
             &RuntimeMode::Nosv {
                 quantum_ns: 20_000_000,
                 affinity: AffinityMode::Ignore,
             },
-            &SimOptions {
-                record_trace: true,
-                jitter: 0.0,
-                ..Default::default()
-            },
-        );
-        let trace = r.trace.expect("trace requested");
-        assert_eq!(trace.segments.len(), 6);
-        for s in &trace.segments {
+        )
+        .opts(opts())
+        .sink(&sink)
+        .run();
+        assert!(r.makespan_ns > 0);
+        let events = sink.take_sorted();
+        let count = |k: fn(&ObsKind) -> bool| events.iter().filter(|e| k(&e.kind)).count();
+        assert_eq!(count(|k| matches!(k, ObsKind::Submit)), 6);
+        assert_eq!(count(|k| matches!(k, ObsKind::Start { .. })), 6);
+        assert_eq!(count(|k| matches!(k, ObsKind::End)), 6);
+        // The busy segments reconstructed from the stream are well-formed.
+        let segs = exec_segments(&events);
+        assert_eq!(segs.len(), 6);
+        for s in &segs {
             assert!(s.end_ns > s.start_ns);
             assert!(s.core < 2);
         }

@@ -33,20 +33,29 @@
 mod engine;
 mod model;
 mod rng;
+mod simspec;
 mod spec;
 mod stats;
-mod trace;
 
 pub use engine::{run_simulation, run_simulation_with_policy, SimOptions, SimResult};
 pub use model::{AppModel, Phase, TaskModel};
+pub use simspec::SimSpec;
 pub use spec::{CoreRange, NodeSpec};
 pub use stats::{AppSimStats, SimStats};
-pub use trace::{SimTrace, TraceSegment};
 
 // The scheduling policy surface shared with the live runtime, re-exported
 // so simulator users can implement or instantiate policies without a
 // direct `nosv` dependency.
 pub use nosv::policy::{CandidateProc, CoreQuantum, Decision, QuantumPolicy, SchedPolicy};
+
+// The observability surface shared with the live runtime (see `nosv::obs`):
+// the same `TraceSink` implementations receive the same `ObsEvent` schema
+// from both backends. Re-exported so simulator users need no direct `nosv`
+// dependency.
+pub use nosv::obs::{
+    ascii_timeline, chrome_trace_json, exec_segments, AsciiTimelineSink, ChromeTraceSink,
+    CounterKind, ExecSegment, MemorySink, ObsEvent, ObsKind, TraceSink,
+};
 
 /// Runtime organizations that can be simulated.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,0 +1,135 @@
+//! [`SimSpec`]: the builder-first entry point of the simulator.
+//!
+//! `run_simulation` / `run_simulation_with_policy` remain as positional
+//! conveniences; `SimSpec` is the full surface — it is the only way to
+//! attach a [`TraceSink`], which receives the **same** [`nosv::ObsEvent`]
+//! stream schema the live runtime emits (see `nosv::obs`), making
+//! trace-level sim-vs-live parity checkable with one sink implementation.
+
+use nosv::obs::TraceSink;
+use nosv::policy::{QuantumPolicy, SchedPolicy};
+
+use crate::engine::{run_simulation_inner, SimOptions, SimResult};
+use crate::model::AppModel;
+use crate::spec::NodeSpec;
+use crate::RuntimeMode;
+
+/// A fully-specified simulation: node, applications, runtime mode, options,
+/// and (optionally) a scheduling policy and a trace sink.
+///
+/// ```
+/// use std::sync::Arc;
+/// use nosv::obs::{MemorySink, ObsKind};
+/// use simnode::{AffinityMode, AppModel, NodeSpec, Phase, RuntimeMode, SimSpec, TaskModel};
+///
+/// let node = NodeSpec::tiny(1, 2);
+/// let apps = vec![AppModel::new(
+///     "demo",
+///     vec![Phase::uniform(4, TaskModel::compute(1_000_000))],
+/// )];
+/// let mode = RuntimeMode::Nosv {
+///     quantum_ns: 20_000_000,
+///     affinity: AffinityMode::Ignore,
+/// };
+/// let sink = Arc::new(MemorySink::new());
+/// let result = SimSpec::new(&node, &apps, &mode).sink(&*sink).run();
+/// assert!(result.makespan_ns > 0);
+/// let events = sink.take_sorted();
+/// assert_eq!(
+///     events
+///         .iter()
+///         .filter(|e| matches!(e.kind, ObsKind::Start { .. }))
+///         .count(),
+///     4
+/// );
+/// ```
+#[must_use = "a SimSpec does nothing until run() is called"]
+pub struct SimSpec<'a> {
+    node: &'a NodeSpec,
+    apps: &'a [AppModel],
+    mode: &'a RuntimeMode,
+    opts: SimOptions,
+    policy: Option<&'a dyn SchedPolicy>,
+    sink: Option<&'a dyn TraceSink>,
+}
+
+impl<'a> SimSpec<'a> {
+    /// Specifies the mandatory parts: the node, the co-executed
+    /// applications, and the runtime organization. Defaults: default
+    /// [`SimOptions`], the canonical [`QuantumPolicy`] built from the
+    /// mode's quantum, no sink.
+    pub fn new(node: &'a NodeSpec, apps: &'a [AppModel], mode: &'a RuntimeMode) -> SimSpec<'a> {
+        SimSpec {
+            node,
+            apps,
+            mode,
+            opts: SimOptions::default(),
+            policy: None,
+            sink: None,
+        }
+    }
+
+    /// Sets the simulator options (seed, jitter, deadlock guard).
+    pub fn opts(mut self, opts: SimOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Installs a [`SchedPolicy`] for nOS-V-mode scheduling decisions —
+    /// the same trait the live runtime's `RuntimeBuilder::policy`
+    /// consumes. The policy's own quantum governs; the `quantum_ns` of
+    /// [`RuntimeMode::Nosv`] is ignored on this path.
+    pub fn policy(mut self, policy: &'a dyn SchedPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Installs a [`TraceSink`] to receive the simulation's
+    /// [`nosv::ObsEvent`] stream: submit/start/end at task granularity,
+    /// handoff/steal scheduling actions in nOS-V mode, and the final
+    /// counter deltas. The sink's `flush` is called when the run ends.
+    ///
+    /// This is the same trait the live runtime's
+    /// `RuntimeBuilder::sink` consumes, so one sink implementation
+    /// observes both backends.
+    pub fn sink(mut self, sink: &'a dyn TraceSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Runs the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent configuration or when the simulation exceeds
+    /// `opts.max_sim_ns` (see [`crate::run_simulation`]).
+    pub fn run(self) -> SimResult {
+        match self.policy {
+            Some(policy) => run_simulation_inner(
+                self.node, self.apps, self.mode, &self.opts, policy, self.sink,
+            ),
+            None => {
+                let quantum_ns = match self.mode {
+                    RuntimeMode::Nosv { quantum_ns, .. } => *quantum_ns,
+                    RuntimeMode::PerApp { .. } => nosv::DEFAULT_QUANTUM_NS, // never consulted
+                };
+                let policy = QuantumPolicy::new(quantum_ns);
+                run_simulation_inner(
+                    self.node, self.apps, self.mode, &self.opts, &policy, self.sink,
+                )
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for SimSpec<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimSpec")
+            .field("apps", &self.apps.len())
+            .field("mode", self.mode)
+            .field("opts", &self.opts)
+            .field("custom_policy", &self.policy.is_some())
+            .field("sink", &self.sink.is_some())
+            .finish()
+    }
+}

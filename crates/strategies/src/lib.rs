@@ -22,8 +22,8 @@
 #![warn(missing_docs)]
 
 use simnode::{
-    run_simulation_with_policy, AffinityMode, AppModel, IdlePolicy, NodeSpec, QuantumPolicy,
-    RuntimeMode, SchedPolicy, SimOptions, SimResult,
+    AffinityMode, AppModel, IdlePolicy, NodeSpec, QuantumPolicy, RuntimeMode, SchedPolicy,
+    SimOptions, SimResult, SimSpec, TraceSink,
 };
 
 /// The six strategies of §5.2, in the paper's figure order.
@@ -125,8 +125,31 @@ pub fn run_strategy_with_policy(
     cfg: &StrategyConfig,
     policy: &dyn SchedPolicy,
 ) -> (u64, Option<SimResult>) {
+    run_strategy_observed(node, apps, strategy, cfg, policy, None)
+}
+
+/// The fully-general strategy runner: custom [`SchedPolicy`] *and* an
+/// optional [`TraceSink`] observing every simulation the strategy performs
+/// (the exclusive strategy runs one simulation per application; the others
+/// run exactly one). The sink receives the same `ObsEvent` schema the live
+/// `nosv` runtime emits, so one sink implementation can compare a scored
+/// strategy against a live run event-for-event.
+pub fn run_strategy_observed(
+    node: &NodeSpec,
+    apps: &[AppModel],
+    strategy: Strategy,
+    cfg: &StrategyConfig,
+    policy: &dyn SchedPolicy,
+    sink: Option<&dyn TraceSink>,
+) -> (u64, Option<SimResult>) {
     let sim = |apps: &[AppModel], mode: &RuntimeMode| {
-        run_simulation_with_policy(node, apps, mode, &cfg.sim, policy)
+        let mut spec = SimSpec::new(node, apps, mode)
+            .opts(cfg.sim.clone())
+            .policy(policy);
+        if let Some(sink) = sink {
+            spec = spec.sink(sink);
+        }
+        spec.run()
     };
     match strategy {
         Strategy::Exclusive => {

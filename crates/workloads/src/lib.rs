@@ -17,6 +17,13 @@
 //!   runnable on either backend. These drive the Fig. 5 baseline
 //!   comparison and the examples, and their numerical results are checked
 //!   in tests.
+//!
+//! Both halves report through the unified observability API (`nosv::obs`):
+//! run a kernel on a `nanos::NanosRuntime::with_sink(..)` (data-flow
+//! layer) and/or a `nosv::Runtime` built with `RuntimeBuilder::sink`
+//! (scheduling layer), and drive the simulator models through
+//! `simnode::SimSpec::sink` — one `TraceSink` implementation sees the same
+//! `ObsEvent` schema from every path.
 
 #![warn(missing_docs)]
 

@@ -14,8 +14,11 @@ use std::sync::{mpsc, Arc};
 use nosv::prelude::*;
 
 fn main() -> Result<(), NosvError> {
-    // One runtime manages all cores; applications share it.
-    let rt = Runtime::builder().cpus(4).tracing(true).build()?;
+    // One runtime manages all cores; applications share it. A MemorySink
+    // collects the runtime's ObsEvent stream (the unified observability
+    // API; see `nosv::obs`).
+    let sink = Arc::new(MemorySink::new());
+    let rt = Runtime::builder().cpus(4).sink(sink.clone()).build()?;
 
     // Two "applications" attach as logical processes (in the original
     // system these would be separate OS processes mapping the shared
@@ -68,6 +71,15 @@ fn main() -> Result<(), NosvError> {
         stats.tasks_executed, stats.cross_process_handoffs, stats.delegations_served, stats.pauses
     );
     drop((alpha, beta));
-    rt.shutdown();
+    rt.shutdown(); // delivers every buffered trace event to the sink
+    let events = sink.take_sorted();
+    println!(
+        "trace: {} events ({} task starts)",
+        events.len(),
+        events
+            .iter()
+            .filter(|e| matches!(e.kind, ObsKind::Start { .. }))
+            .count()
+    );
     Ok(())
 }

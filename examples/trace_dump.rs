@@ -1,34 +1,48 @@
 //! Dumps a Fig. 10-style per-core execution trace of a co-executed run on
-//! the simulated dual-socket node, with and without NUMA affinity.
+//! the simulated dual-socket node, with and without NUMA affinity — and
+//! writes a loadable `trace.json` (Chrome Trace Event Format) for the
+//! affinity run: open it in `chrome://tracing` or <https://ui.perfetto.dev>.
+//!
+//! Both renderings come from the *same* `ObsEvent` stream through the
+//! unified `nosv::obs` sink API; an identically-built sink attached to a
+//! live `nosv::Runtime` (`RuntimeBuilder::sink`) produces the same output.
 //!
 //! Run with: `cargo run --release --example trace_dump`
 
-use mpisim::{run_distributed, DistConfig, DistStrategy};
-use simnode::SimOptions;
+use mpisim::{run_distributed_observed, DistConfig, DistStrategy};
+use nosv_repro::simnode::{ascii_timeline, chrome_trace_json, MemorySink, SimOptions};
 
 fn main() {
     let cfg = DistConfig {
         nodes: 8,
         scale: 0.12,
-        sim: SimOptions {
-            record_trace: true,
-            ..Default::default()
-        },
+        sim: SimOptions::default(),
     };
     for (label, strategy) in [
         ("w/o affinity", DistStrategy::Nosv),
         ("with affinity", DistStrategy::NosvAffinity),
     ] {
-        let o = run_distributed(strategy, &cfg);
-        let sim = o.sim.expect("co-scheduled run");
-        let trace = sim.trace.expect("requested");
+        let sink = MemorySink::new();
+        let o = run_distributed_observed(strategy, &cfg, Some(&sink));
+        let events = sink.take_sorted();
         println!(
-            "\n== {label}: {} task segments, HPCCG remote accesses {:.1}% ==",
-            trace.segments.len(),
+            "\n== {label}: {} events, HPCCG remote accesses {:.1}% ==",
+            events.len(),
             o.hpccg_remote_fraction * 100.0
         );
         println!("   rows = 48 cores (socket 0 then 1); A/B = HPCCG ranks, C = NBody");
         println!("   uppercase = local to its data's socket, lowercase = remote\n");
-        print!("{}", trace.render_ascii(48, 110));
+        print!("{}", ascii_timeline(&events, 48, 110));
+
+        if strategy == DistStrategy::NosvAffinity {
+            let json = chrome_trace_json(&events);
+            match std::fs::write("trace.json", &json) {
+                Ok(()) => println!(
+                    "\nwrote trace.json ({} bytes) — load it in chrome://tracing or ui.perfetto.dev",
+                    json.len()
+                ),
+                Err(e) => eprintln!("\nfailed to write trace.json: {e}"),
+            }
+        }
     }
 }

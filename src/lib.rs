@@ -69,13 +69,19 @@ pub use workloads;
 pub mod prelude {
     pub use nosv::prelude::*;
 
+    // The unified observability surface (shared by every backend): the
+    // renderers over raw event slices; the sinks themselves come through
+    // `nosv::prelude`.
+    pub use nosv::obs::{ascii_timeline, chrome_trace_json, exec_segments, ExecSegment};
+
     pub use simnode::{
         run_simulation, run_simulation_with_policy, AffinityMode, AppModel, CoreRange, IdlePolicy,
-        NodeSpec, Phase, RuntimeMode, SimOptions, SimResult, TaskModel,
+        NodeSpec, Phase, RuntimeMode, SimOptions, SimResult, SimSpec, TaskModel,
     };
 
     pub use strategies::{
-        evaluate_combo, run_strategy, run_strategy_with_policy, Strategy, StrategyConfig,
+        evaluate_combo, run_strategy, run_strategy_observed, run_strategy_with_policy, Strategy,
+        StrategyConfig,
     };
 
     pub use nanos::{Backend, NanosRuntime, Region};

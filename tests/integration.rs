@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use nosv_repro::nanos::{Backend, NanosRuntime};
-use nosv_repro::nosv::Runtime;
+use nosv_repro::nosv::{MemorySink, ObsKind, Runtime};
 use nosv_repro::simnode::{AffinityMode, NodeSpec, RuntimeMode, SimOptions};
 use nosv_repro::strategies::{evaluate_combo, Strategy, StrategyConfig};
 use nosv_repro::workloads::kernels;
@@ -70,6 +70,40 @@ fn all_kernels_agree_across_backends() {
         };
         kernels::assert_close(standalone, via_nosv, 1e-9);
     }
+}
+
+/// A real kernel is observable at both layers of the stack through the
+/// unified `nosv::obs` surface: the `nanos` data-flow layer reports task
+/// spawns/bodies to its sink while the underlying nOS-V runtime reports
+/// the scheduling of those same tasks to its own — one event schema, two
+/// vantage points, counts agreeing with the kernel's task count.
+#[test]
+fn kernel_run_is_observable_at_both_layers() {
+    let sched_sink = Arc::new(MemorySink::new());
+    let flow_sink = Arc::new(MemorySink::new());
+    let rt = Runtime::builder()
+        .cpus(2)
+        .sink(sched_sink.clone())
+        .build()
+        .expect("valid config");
+    let nr = NanosRuntime::with_sink(
+        Backend::nosv(rt.attach("observed").unwrap()),
+        flow_sink.clone(),
+    );
+    let out = kernels::matmul::run(&nr, 2, 8);
+    nr.shutdown();
+    rt.shutdown();
+
+    let starts = |events: &[nosv_repro::nosv::ObsEvent]| {
+        events
+            .iter()
+            .filter(|e| matches!(e.kind, ObsKind::Start { .. }))
+            .count() as u64
+    };
+    let flow = flow_sink.take_sorted();
+    let sched = sched_sink.take_sorted();
+    assert_eq!(starts(&flow), out.tasks, "data-flow layer saw every body");
+    assert_eq!(starts(&sched), out.tasks, "scheduling layer saw every task");
 }
 
 /// The paper's qualitative headline on the evaluation pipeline: nOS-V

@@ -1,0 +1,198 @@
+//! The observability parity property: the live runtime and the `simnode`
+//! discrete-event engine emit the **same** `ObsEvent` schema into the
+//! **same** `TraceSink` trait — one `MemorySink` value (the identical
+//! implementation, not merely an identical-looking type) receives both
+//! streams, and for the same seeded workload the streams are equivalent:
+//! the same per-application multiset of task-lifecycle events.
+//!
+//! This is the trace-level counterpart of `policy_parity.rs`, which proves
+//! the backends share scheduling *decisions*; here they share the
+//! *observable record* of those decisions.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use nosv_repro::nosv_sync::SplitMix64;
+use nosv_repro::prelude::*;
+
+/// The workload both backends execute: `tasks_per_app[i]` compute tasks of
+/// `work_ns` each for application `i`, derived from one seed.
+struct Workload {
+    tasks_per_app: Vec<usize>,
+    work_ns: u64,
+}
+
+fn seeded_workload(seed: u64, apps: usize) -> Workload {
+    let mut rng = SplitMix64::new(seed);
+    Workload {
+        tasks_per_app: (0..apps)
+            .map(|_| 4 + (rng.next_u64() % 28) as usize)
+            .collect(),
+        work_ns: 20_000 + rng.next_u64() % 80_000,
+    }
+}
+
+/// Canonical signature of an event stream: count of each lifecycle kind
+/// per application. Applications are ranked by ascending pid, which both
+/// backends assign in attach/input order, so rank i = application i.
+/// Scheduler-internal kinds (handoff/steal/counter) are backend-timing
+/// detail and excluded.
+fn signature(events: &[ObsEvent]) -> BTreeMap<(usize, &'static str), usize> {
+    let mut pids: Vec<u64> = events
+        .iter()
+        .filter(|e| e.pid != 0)
+        .map(|e| e.pid)
+        .collect();
+    pids.sort_unstable();
+    pids.dedup();
+    let mut sig = BTreeMap::new();
+    for ev in events {
+        let name = match ev.kind {
+            ObsKind::Submit => "submit",
+            ObsKind::Start { .. } => "start",
+            ObsKind::End => "end",
+            ObsKind::Pause => "pause",
+            ObsKind::Resume => "resume",
+            _ => continue,
+        };
+        let rank = pids
+            .binary_search(&ev.pid)
+            .expect("lifecycle events carry a pid");
+        *sig.entry((rank, name)).or_insert(0) += 1;
+    }
+    sig
+}
+
+/// Runs the workload on the live runtime with a `MemorySink`.
+fn live_stream(w: &Workload) -> Vec<ObsEvent> {
+    let sink = Arc::new(MemorySink::new());
+    let rt = Runtime::builder()
+        .cpus(2)
+        .sink(sink.clone())
+        .build()
+        .expect("valid");
+    let apps: Vec<_> = (0..w.tasks_per_app.len())
+        .map(|i| rt.attach(&format!("app{i}")).expect("attach"))
+        .collect();
+    let mut handles = Vec::new();
+    for (app, &n) in apps.iter().zip(&w.tasks_per_app) {
+        for _ in 0..n {
+            let work_ns = w.work_ns;
+            let t = app.create_task(move |_| {
+                let t0 = std::time::Instant::now();
+                while (t0.elapsed().as_nanos() as u64) < work_ns {
+                    std::hint::spin_loop();
+                }
+            });
+            t.submit().expect("submit");
+            handles.push(t);
+        }
+    }
+    for t in &handles {
+        t.wait();
+    }
+    for t in handles {
+        t.destroy();
+    }
+    drop(apps);
+    rt.shutdown(); // full stream guaranteed delivered
+    sink.take_sorted()
+}
+
+/// Runs the same workload on the simulator with the same sink type.
+fn sim_stream(w: &Workload) -> Vec<ObsEvent> {
+    let sink = MemorySink::new();
+    let node = NodeSpec::tiny(1, 2);
+    let models: Vec<AppModel> = w
+        .tasks_per_app
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            AppModel::new(
+                format!("app{i}"),
+                vec![Phase::uniform(n, TaskModel::compute(w.work_ns))],
+            )
+        })
+        .collect();
+    let mode = RuntimeMode::Nosv {
+        quantum_ns: nosv_repro::nosv::DEFAULT_QUANTUM_NS,
+        affinity: AffinityMode::Ignore,
+    };
+    SimSpec::new(&node, &models, &mode)
+        .opts(SimOptions {
+            jitter: 0.0,
+            ..Default::default()
+        })
+        .sink(&sink)
+        .run();
+    sink.take_sorted()
+}
+
+#[test]
+fn live_and_sim_emit_equivalent_event_streams() {
+    for seed in [0x5eed, 0xc0ffee, 42] {
+        let w = seeded_workload(seed, 2);
+        let live = live_stream(&w);
+        let sim = sim_stream(&w);
+        let live_sig = signature(&live);
+        let sim_sig = signature(&sim);
+        assert_eq!(
+            live_sig, sim_sig,
+            "seed {seed:#x}: backends disagree on the event stream \
+             (workload {:?} x {} ns)",
+            w.tasks_per_app, w.work_ns
+        );
+        // And the signature is what the workload dictates: per app,
+        // exactly one submit/start/end per task, no pauses.
+        for (rank, &n) in w.tasks_per_app.iter().enumerate() {
+            for kind in ["submit", "start", "end"] {
+                assert_eq!(
+                    live_sig.get(&(rank, kind)).copied().unwrap_or(0),
+                    n,
+                    "seed {seed:#x}: app {rank} {kind} count"
+                );
+            }
+            assert_eq!(live_sig.get(&(rank, "pause")), None);
+        }
+    }
+}
+
+/// The *same* sink value — not just the same type — can be fed by both
+/// backends: run live first, then the simulator, into one `MemorySink`.
+#[test]
+fn one_sink_value_serves_both_backends() {
+    let w = seeded_workload(7, 1);
+    let sink = Arc::new(MemorySink::new());
+
+    let rt = Runtime::builder()
+        .cpus(1)
+        .sink(sink.clone())
+        .build()
+        .expect("valid");
+    let app = rt.attach("shared").expect("attach");
+    let t = app.spawn(|_| {});
+    t.wait();
+    t.destroy();
+    drop(app);
+    rt.shutdown();
+    let live_events = sink.len();
+    assert!(live_events > 0, "live runtime reached the sink");
+
+    let node = NodeSpec::tiny(1, 1);
+    let models = vec![AppModel::new(
+        "shared",
+        vec![Phase::uniform(
+            w.tasks_per_app[0],
+            TaskModel::compute(w.work_ns),
+        )],
+    )];
+    let mode = RuntimeMode::Nosv {
+        quantum_ns: nosv_repro::nosv::DEFAULT_QUANTUM_NS,
+        affinity: AffinityMode::Ignore,
+    };
+    SimSpec::new(&node, &models, &mode).sink(&*sink).run();
+    assert!(
+        sink.len() > live_events,
+        "the simulator appended to the same sink value"
+    );
+}
