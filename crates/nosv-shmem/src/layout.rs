@@ -19,6 +19,12 @@
 //! | Data chunks ...    |   CHUNK_SIZE each, carved into slab objects
 //! +--------------------+ total_size
 //! ```
+//!
+//! Runtime-owned state — the scheduler root, task descriptors, and the
+//! per-process [`crate::SubmitRing`] slot arrays — is not part of this
+//! fixed geometry: it lives in the data chunks, reached through the
+//! header's `user_root` anchor, and is allocated through the SLAB like any
+//! other in-segment object.
 
 /// Size of one allocator chunk. Every chunk serves a single size class, or
 /// participates in one contiguous "large" run.

@@ -25,6 +25,11 @@
 //!   chunk table handles refills, flushes and multi-chunk (large)
 //!   allocations. Free works from any attached process because the
 //!   allocator's metadata lives in the segment itself.
+//! * **Lock-free submission rings** ([`SubmitRing`], §3.4): bounded
+//!   multi-producer/single-consumer rings of offset payloads, the channel
+//!   through which attached processes feed the shared scheduler without
+//!   touching its delegation lock. Zero-valid headers, slot arrays
+//!   allocated from the SLAB like every other in-segment object.
 //! * **Process registry** (`Registry`, §3.3): processes attach to the
 //!   segment at startup and detach at exit; the last process to detach is
 //!   told so it can tear the segment down, mirroring the unlink-on-last-exit
@@ -35,11 +40,13 @@
 mod layout;
 mod offset;
 mod registry;
+mod ring;
 mod segment;
 mod slab;
 
 pub use layout::{SegmentGeometry, CHUNK_SIZE, MAX_PROCS, NUM_CLASSES, SIZE_CLASSES};
 pub use offset::{AtomicShoff, Shoff};
 pub use registry::{AttachError, ProcessId};
+pub use ring::{RingSlot, SubmitRing};
 pub use segment::{SegmentConfig, ShmSegment};
 pub use slab::{AllocError, AllocStats};

@@ -1,0 +1,362 @@
+//! Bounded lock-free submission rings living in the shared segment.
+//!
+//! The paper's scheduler (§3.4) is fed through lock-free queues so that
+//! task *submission* never contends with the delegation-lock critical
+//! section: each process pushes into its own ring and the transient server
+//! drains every ring in one batch while it already holds the lock. This
+//! module provides that ring as a position-independent, fixed-layout
+//! structure: a bounded multi-producer/single-consumer queue of `u64`
+//! payloads (the runtime stores [`Shoff`]-encoded task descriptors).
+//!
+//! The algorithm is the classic sequence-numbered bounded queue (Vyukov's
+//! MPMC ring, restricted here to one consumer): each slot carries a
+//! sequence word that encodes whose turn it is.
+//!
+//! * slot `i` starts with `seq = i`;
+//! * a producer that claims position `pos` (CAS on `tail`, only possible
+//!   while `seq == pos`) writes the value and publishes `seq = pos + 1`;
+//! * the consumer at position `pos` waits for `seq == pos + 1`, reads the
+//!   value, and releases the slot for the next lap with
+//!   `seq = pos + capacity`.
+//!
+//! Producers never wait for the consumer and never spin on a full ring:
+//! [`SubmitRing::push`] fails fast so the caller can take its bounded
+//! fallback path (the runtime falls back to a locked enqueue). Pops are
+//! only ever issued by the scheduler-lock holder, which is what makes the
+//! single-consumer restriction free.
+//!
+//! A zeroed `SubmitRing` is a valid *uninitialized* ring (capacity 0,
+//! null buffer): pushes fail and pops return `None` until
+//! [`SubmitRing::init`] allocates the slot array — exactly the
+//! zero-validity contract every in-segment structure here follows.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::offset::{AtomicShoff, Shoff};
+use crate::segment::ShmSegment;
+use crate::slab::AllocError;
+
+/// One ring slot: the turn word plus the payload.
+#[repr(C)]
+pub struct RingSlot {
+    seq: AtomicU64,
+    value: AtomicU64,
+}
+
+/// A bounded multi-producer/single-consumer ring of `u64` payloads in the
+/// shared segment; see the module docs for the protocol.
+///
+/// `repr(C)`, offset-linked and zero-valid (zeroed = uninitialized, all
+/// operations fail benignly). All methods take the segment explicitly
+/// because the structure stores offsets, not pointers.
+#[repr(C)]
+pub struct SubmitRing {
+    /// Consumer cursor (monotonic position, not an index).
+    head: AtomicU64,
+    /// Producer cursor (monotonic position, not an index).
+    tail: AtomicU64,
+    /// Number of slots (a power of two); `0` until initialized.
+    cap: AtomicU64,
+    /// The slot array, allocated by [`SubmitRing::init`].
+    buf: AtomicShoff<RingSlot>,
+}
+
+impl SubmitRing {
+    /// Allocates and publishes the slot array.
+    ///
+    /// Idempotent: a ring that is already initialized is left untouched
+    /// (the existing capacity wins). `capacity` must be a power of two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or not a power of two.
+    pub fn init(&self, seg: &ShmSegment, capacity: usize) -> Result<(), AllocError> {
+        assert!(
+            capacity.is_power_of_two(),
+            "ring capacity must be a power of two, got {capacity}"
+        );
+        if self.cap.load(Ordering::Acquire) != 0 {
+            return Ok(());
+        }
+        let bytes = capacity * std::mem::size_of::<RingSlot>();
+        let buf: Shoff<RingSlot> = seg.alloc_zeroed(bytes, 0)?.cast();
+        for i in 0..capacity {
+            // SAFETY: freshly allocated, exclusively ours until published.
+            let slot = unsafe { seg.sref(Self::slot_off(buf, i as u64, capacity as u64 - 1)) };
+            slot.seq.store(i as u64, Ordering::Relaxed);
+        }
+        self.head.store(0, Ordering::Relaxed);
+        self.tail.store(0, Ordering::Relaxed);
+        self.buf.store(buf, Ordering::Release);
+        // Publishing a nonzero capacity is what makes the ring visible to
+        // producers; the Release pairs with their Acquire load of `cap`.
+        self.cap.store(capacity as u64, Ordering::Release);
+        Ok(())
+    }
+
+    /// Whether [`SubmitRing::init`] has run.
+    #[inline]
+    pub fn is_init(&self) -> bool {
+        self.cap.load(Ordering::Acquire) != 0
+    }
+
+    /// The slot count, `0` when uninitialized.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.cap.load(Ordering::Acquire) as usize
+    }
+
+    #[inline]
+    fn slot_off(buf: Shoff<RingSlot>, pos: u64, mask: u64) -> Shoff<RingSlot> {
+        buf.byte_add((pos & mask) * std::mem::size_of::<RingSlot>() as u64)
+    }
+
+    /// Pushes `value`; returns `false` when the ring is full or
+    /// uninitialized (the caller takes its fallback path). Lock-free and
+    /// multi-producer safe; never blocks on the consumer.
+    pub fn push(&self, seg: &ShmSegment, value: u64) -> bool {
+        let cap = self.cap.load(Ordering::Acquire);
+        if cap == 0 {
+            return false;
+        }
+        let mask = cap - 1;
+        let buf = self.buf.load(Ordering::Acquire);
+        let mut pos = self.tail.load(Ordering::Relaxed);
+        loop {
+            // SAFETY: `buf` is a live slot array of `cap` entries; the mask
+            // keeps the index in range.
+            let slot = unsafe { seg.sref(Self::slot_off(buf, pos, mask)) };
+            let seq = slot.seq.load(Ordering::Acquire);
+            match seq.cmp(&pos) {
+                std::cmp::Ordering::Equal => {
+                    // Our turn, if we can claim the position.
+                    match self.tail.compare_exchange_weak(
+                        pos,
+                        pos + 1,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            slot.value.store(value, Ordering::Relaxed);
+                            slot.seq.store(pos + 1, Ordering::Release);
+                            return true;
+                        }
+                        Err(current) => pos = current,
+                    }
+                }
+                // The slot is still occupied by the entry one lap behind:
+                // the ring is full (the consumer has not released it yet).
+                std::cmp::Ordering::Less => return false,
+                // A racing producer advanced past us; catch up.
+                std::cmp::Ordering::Greater => pos = self.tail.load(Ordering::Relaxed),
+            }
+        }
+    }
+
+    /// Pops the oldest value, or `None` when the ring is empty (or
+    /// uninitialized).
+    ///
+    /// Single-consumer: callers must guarantee mutual exclusion among
+    /// poppers (the runtime pops only while holding the scheduler lock).
+    pub fn pop(&self, seg: &ShmSegment) -> Option<u64> {
+        let cap = self.cap.load(Ordering::Acquire);
+        if cap == 0 {
+            return None;
+        }
+        let mask = cap - 1;
+        let buf = self.buf.load(Ordering::Acquire);
+        let pos = self.head.load(Ordering::Relaxed);
+        // SAFETY: as in `push`.
+        let slot = unsafe { seg.sref(Self::slot_off(buf, pos, mask)) };
+        if slot.seq.load(Ordering::Acquire) != pos + 1 {
+            return None; // empty, or the producer has not published yet
+        }
+        let value = slot.value.load(Ordering::Relaxed);
+        // Release the slot for the producer one lap ahead.
+        slot.seq.store(pos + cap, Ordering::Release);
+        self.head.store(pos + 1, Ordering::Relaxed);
+        Some(value)
+    }
+
+    /// Racy occupancy estimate (exact when quiescent).
+    #[inline]
+    pub fn len(&self) -> u64 {
+        let tail = self.tail.load(Ordering::Acquire);
+        let head = self.head.load(Ordering::Acquire);
+        tail.saturating_sub(head)
+    }
+
+    /// Whether the ring currently holds no entries (racy).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for SubmitRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubmitRing")
+            .field("capacity", &self.capacity())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::SegmentConfig;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn seg() -> ShmSegment {
+        ShmSegment::create(SegmentConfig {
+            size: 4 * 1024 * 1024,
+            max_cpus: 2,
+        })
+    }
+
+    fn ring(seg: &ShmSegment, cap: usize) -> &SubmitRing {
+        let off = seg
+            .alloc_zeroed(std::mem::size_of::<SubmitRing>(), 0)
+            .unwrap();
+        // SAFETY: zeroed SubmitRing is a valid uninitialized ring.
+        let r: &SubmitRing = unsafe { seg.sref(off.cast()) };
+        if cap > 0 {
+            r.init(seg, cap).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn uninitialized_ring_fails_benignly() {
+        let s = seg();
+        let r = ring(&s, 0);
+        assert!(!r.is_init());
+        assert!(!r.push(&s, 7));
+        assert_eq!(r.pop(&s), None);
+        assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn fifo_roundtrip() {
+        let s = seg();
+        let r = ring(&s, 8);
+        for v in 1..=5u64 {
+            assert!(r.push(&s, v));
+        }
+        assert_eq!(r.len(), 5);
+        for v in 1..=5u64 {
+            assert_eq!(r.pop(&s), Some(v));
+        }
+        assert_eq!(r.pop(&s), None);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn full_ring_rejects_instead_of_blocking() {
+        let s = seg();
+        let r = ring(&s, 4);
+        for v in 0..4u64 {
+            assert!(r.push(&s, v));
+        }
+        assert!(!r.push(&s, 99), "full ring must fail fast");
+        assert_eq!(r.pop(&s), Some(0));
+        assert!(r.push(&s, 99), "one pop frees one slot");
+    }
+
+    #[test]
+    fn wraps_across_many_laps() {
+        let s = seg();
+        let r = ring(&s, 2);
+        for lap in 0..1000u64 {
+            assert!(r.push(&s, lap * 2));
+            assert!(r.push(&s, lap * 2 + 1));
+            assert_eq!(r.pop(&s), Some(lap * 2));
+            assert_eq!(r.pop(&s), Some(lap * 2 + 1));
+        }
+    }
+
+    #[test]
+    fn init_is_idempotent() {
+        let s = seg();
+        let r = ring(&s, 8);
+        r.push(&s, 42);
+        r.init(&s, 16).unwrap(); // must not clobber the live ring
+        assert_eq!(r.capacity(), 8);
+        assert_eq!(r.pop(&s), Some(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_capacity_panics() {
+        let s = seg();
+        let _ = ring(&s, 6);
+    }
+
+    /// Many producers, one consumer, a tiny ring: every pushed value must
+    /// come out exactly once, in a per-producer FIFO order.
+    #[test]
+    fn multi_producer_delivery_is_exactly_once_and_fifo_per_producer() {
+        const PRODUCERS: u64 = 4;
+        const PER_PRODUCER: u64 = 5_000;
+        let s = seg();
+        let r = ring(&s, 8) as *const SubmitRing as usize;
+        let seen = Arc::new(
+            (0..PRODUCERS * PER_PRODUCER)
+                .map(|_| AtomicUsize::new(0))
+                .collect::<Vec<_>>(),
+        );
+
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let s = s.clone();
+                thread::spawn(move || {
+                    // SAFETY: the ring lives in the segment for the whole test.
+                    let r = unsafe { &*(r as *const SubmitRing) };
+                    for i in 0..PER_PRODUCER {
+                        let v = p * PER_PRODUCER + i;
+                        while !r.push(&s, v) {
+                            thread::yield_now(); // full: consumer will drain
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        let consumer = {
+            let s = s.clone();
+            let seen = Arc::clone(&seen);
+            thread::spawn(move || {
+                // SAFETY: as above.
+                let r = unsafe { &*(r as *const SubmitRing) };
+                let mut last = vec![None::<u64>; PRODUCERS as usize];
+                let mut got = 0;
+                while got < PRODUCERS * PER_PRODUCER {
+                    match r.pop(&s) {
+                        Some(v) => {
+                            let p = (v / PER_PRODUCER) as usize;
+                            let i = v % PER_PRODUCER;
+                            if let Some(prev) = last[p] {
+                                assert!(i > prev, "producer {p} reordered: {i} after {prev}");
+                            }
+                            last[p] = Some(i);
+                            seen[v as usize].fetch_add(1, Ordering::Relaxed);
+                            got += 1;
+                        }
+                        None => thread::yield_now(),
+                    }
+                }
+            })
+        };
+
+        for p in producers {
+            p.join().unwrap();
+        }
+        consumer.join().unwrap();
+        for (v, c) in seen.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "value {v} delivered wrong");
+        }
+    }
+}

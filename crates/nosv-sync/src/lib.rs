@@ -18,6 +18,9 @@
 //! * [`SpinLock`] — a test-and-test-and-set lock with exponential backoff.
 //! * [`RawSpinMutex`] — a plain-old-data spinlock suitable for placement
 //!   inside a shared-memory segment (no host pointers, fixed layout).
+//! * [`IdleGate`] — an event-counted gate for idle threads: wait-free
+//!   notification when nobody sleeps, and no lost wakeups without a
+//!   periodic-poll timeout (the runtime's submit→wake path).
 //! * [`Backoff`] — bounded exponential backoff helper.
 //! * [`Padded`] — cache-line padding wrapper to avoid false sharing.
 //! * [`Mutex`] / [`Condvar`] — an ergonomic facade over `std::sync` (guard
@@ -34,6 +37,7 @@
 
 mod backoff;
 mod dtlock;
+mod idle_gate;
 mod mutex;
 mod padded;
 mod raw;
@@ -43,6 +47,7 @@ mod ticket;
 
 pub use backoff::Backoff;
 pub use dtlock::{Acquired, DtGuard, DtLock};
+pub use idle_gate::IdleGate;
 pub use mutex::{Condvar, Mutex, MutexGuard};
 pub use padded::Padded;
 pub use raw::RawSpinMutex;

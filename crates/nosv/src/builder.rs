@@ -88,6 +88,24 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Capacity (entries) of each process's lock-free submission ring —
+    /// the channel through which `submit` feeds the shared scheduler
+    /// without taking its delegation lock (§3.4: processes feed the
+    /// central scheduler through lock-free queues, drained in batches by
+    /// the transient server).
+    ///
+    /// Must be zero or a power of two, at most 65536. The default is
+    /// [`crate::DEFAULT_SUBMIT_RING_CAP`]. `0` disables the rings: every
+    /// submission then takes the locked path, which is the pre-ring
+    /// behaviour the `sched_throughput` bench uses as its baseline. A full
+    /// ring is not an error — overflowing submissions fall back to the
+    /// locked path, which may reorder them relative to ring contents (the
+    /// priority order *within* each queue is unaffected).
+    pub fn submit_ring(mut self, capacity: usize) -> Self {
+        self.config.submit_ring_cap = capacity;
+        self
+    }
+
     /// Installs a [`TraceSink`] to receive the runtime's [`crate::ObsEvent`]
     /// stream (submit/start/end/pause/resume/handoff/steal actions plus
     /// counter deltas at shutdown). Without a sink, tracing is off and the
@@ -149,6 +167,7 @@ impl std::fmt::Debug for RuntimeBuilder {
             .field("cpus_per_numa", &self.config.cpus_per_numa)
             .field("quantum_ns", &self.config.quantum_ns)
             .field("segment_size", &self.config.segment_size)
+            .field("submit_ring_cap", &self.config.submit_ring_cap)
             .field("sink", &self.sink.is_some())
             .field("custom_policy", &self.policy.is_some())
             .finish()

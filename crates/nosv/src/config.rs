@@ -21,6 +21,14 @@ pub(crate) const MAX_QUANTUM_NS: u64 = 600_000_000_000;
 /// plus a handful of task descriptors cannot fit.
 pub(crate) const MIN_SEGMENT_SIZE: usize = 1024 * 1024;
 
+/// Default per-process submission-ring capacity (entries). Large enough
+/// that a batch-draining server keeps up with bursts; small enough that
+/// 64 process slots cost well under a megabyte of segment.
+pub const DEFAULT_SUBMIT_RING_CAP: usize = 256;
+
+/// Largest accepted submission-ring capacity (entries per process).
+pub(crate) const MAX_SUBMIT_RING_CAP: usize = 1 << 16;
+
 /// Configuration of a [`crate::Runtime`]. Built only by
 /// [`crate::RuntimeBuilder`].
 #[derive(Debug, Clone)]
@@ -37,6 +45,10 @@ pub(crate) struct NosvConfig {
     pub quantum_ns: u64,
     /// Size of the shared segment in bytes.
     pub segment_size: usize,
+    /// Capacity (entries) of each process's lock-free submission ring;
+    /// `0` disables the rings and routes every submission through the
+    /// locked path (the pre-ring behaviour, kept for benchmarking).
+    pub submit_ring_cap: usize,
 }
 
 impl Default for NosvConfig {
@@ -46,6 +58,7 @@ impl Default for NosvConfig {
             cpus_per_numa: 0,
             quantum_ns: DEFAULT_QUANTUM_NS,
             segment_size: 32 * 1024 * 1024,
+            submit_ring_cap: DEFAULT_SUBMIT_RING_CAP,
         }
     }
 }
@@ -86,6 +99,12 @@ impl NosvConfig {
         }
         if self.segment_size < MIN_SEGMENT_SIZE {
             return fail("segment smaller than 1 MiB cannot hold the scheduler");
+        }
+        if self.submit_ring_cap != 0 && !self.submit_ring_cap.is_power_of_two() {
+            return fail("submission ring capacity must be zero or a power of two");
+        }
+        if self.submit_ring_cap > MAX_SUBMIT_RING_CAP {
+            return fail("submission ring capacity above 65536 entries");
         }
         Ok(())
     }
@@ -143,6 +162,14 @@ mod tests {
             },
             NosvConfig {
                 segment_size: 4096,
+                ..Default::default()
+            },
+            NosvConfig {
+                submit_ring_cap: 48, // not a power of two
+                ..Default::default()
+            },
+            NosvConfig {
+                submit_ring_cap: 1 << 20, // absurdly large
                 ..Default::default()
             },
         ];

@@ -77,7 +77,7 @@ mod task;
 mod worker;
 
 pub use builder::RuntimeBuilder;
-pub use config::DEFAULT_QUANTUM_NS;
+pub use config::{DEFAULT_QUANTUM_NS, DEFAULT_SUBMIT_RING_CAP};
 pub use error::NosvError;
 pub use obs::{
     AsciiTimelineSink, ChromeTraceSink, CounterKind, MemorySink, ObsEvent, ObsKind, TraceSink,

@@ -110,6 +110,10 @@ pub enum CounterKind {
     AffinitySteals,
     /// Worker threads created.
     WorkersSpawned,
+    /// Submissions through the lock-free per-process rings.
+    RingSubmits,
+    /// Submissions through the locked fallback path.
+    LockedSubmits,
     /// OS preemptions (simulator, oversubscribed baselines).
     Preemptions,
     /// Core-nanoseconds spent spinning on a held scheduler lock (simulator).
@@ -145,6 +149,8 @@ impl CounterKind {
             CounterKind::QuantumSwitches => "quantum_switches",
             CounterKind::AffinitySteals => "affinity_steals",
             CounterKind::WorkersSpawned => "workers_spawned",
+            CounterKind::RingSubmits => "ring_submits",
+            CounterKind::LockedSubmits => "locked_submits",
             CounterKind::Preemptions => "preemptions",
             CounterKind::LockSpinNs => "lock_spin_ns",
             CounterKind::IdleSpinNs => "idle_spin_ns",

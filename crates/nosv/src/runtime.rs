@@ -8,14 +8,14 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use nosv_shmem::{ShmSegment, Shoff};
-use nosv_sync::{Condvar, Mutex};
+use nosv_sync::{IdleGate, Mutex};
 
 use crate::builder::RuntimeBuilder;
 use crate::config::NosvConfig;
 use crate::error::NosvError;
 use crate::obs::{CounterKind, ObsCollector, ObsEvent, ObsKind, TraceSink, NO_CPU};
 use crate::policy::SchedPolicy;
-use crate::scheduler::{Scheduler, SchedulerSnapshot};
+use crate::scheduler::{Scheduler, SchedulerSnapshot, SubmitPath};
 use crate::stats::{Counters, RuntimeStats};
 use crate::task::Affinity;
 use crate::task::{
@@ -44,8 +44,14 @@ pub(crate) struct RuntimeInner {
     pub pending_tasks: AtomicU64,
     /// Descriptors created but not yet destroyed (leak check).
     pub live_descriptors: AtomicU64,
-    pub idle_mutex: Mutex<()>,
-    pub idle_cv: Condvar,
+    /// Event-counted gate idle workers sleep on. Submissions notify it
+    /// without taking any lock in the common (no sleeper) case; see
+    /// [`RuntimeInner::submit`].
+    pub idle_gate: IdleGate,
+    /// Serializes process registration against shutdown (cold paths only;
+    /// the submit hot path synchronizes with shutdown via SeqCst atomics
+    /// instead — see [`RuntimeInner::submit`]).
+    pub life_mutex: Mutex<()>,
     pub(crate) obs: ObsCollector,
     next_task_id: AtomicU64,
     workers: Mutex<Vec<Arc<WorkerShared>>>,
@@ -120,15 +126,31 @@ impl RuntimeInner {
 
     /// Submits a task descriptor (`nosv_submit`): initial submission or
     /// resubmission of a paused task.
+    ///
+    /// This is the lock-free hot path: no runtime mutex is taken. The
+    /// enqueue is a push into the process's submission ring (drained in
+    /// batches by whoever holds the scheduler lock) and the wakeup is an
+    /// event-counted gate notification that costs two atomic operations
+    /// when no worker sleeps.
     pub(crate) fn submit(&self, desc: Shoff<TaskDesc>) -> Result<(), NosvError> {
         // SAFETY: handle-owned descriptor, alive until destroy.
         let d = unsafe { self.seg.sref(desc) };
-        // The state transition runs outside the idle gate: the wait for an
-        // in-progress pause() below can spin for as long as the task body
-        // takes to block, and must not stall the whole runtime.
+        // Validate the placement against the topology before anything is
+        // enqueued: the scheduler trusts affinity indices outright (no
+        // silent wrapping), so out-of-range values must error here. The
+        // builder validated at creation; revalidating at submission keeps
+        // the scheduler's trust independent of how the descriptor was
+        // produced.
+        let affinity = Affinity::decode(d.affinity.load(Ordering::Relaxed));
+        affinity.validate(self.config.cpus, self.config.numa_nodes())?;
+        // The state transition runs first: the wait for an in-progress
+        // pause() below can spin for as long as the task body takes to
+        // block, and must not stall the whole runtime.
         let from = loop {
             if d.transition(TaskState::Created, TaskState::Ready) {
-                self.pending_tasks.fetch_add(1, Ordering::AcqRel);
+                // SeqCst: pairs with shutdown's flag store + pending load
+                // (see below).
+                self.pending_tasks.fetch_add(1, Ordering::SeqCst);
                 break TaskState::Created;
             }
             if d.transition(TaskState::Paused, TaskState::Ready) {
@@ -147,6 +169,27 @@ impl RuntimeInner {
                 }
             }
         };
+        // Shutdown synchronization without a lock (store-buffer pairing):
+        // we bump `pending_tasks` (SeqCst) *then* load the shutdown flag;
+        // `shutdown` stores the flag (SeqCst) *then* loads the pending
+        // count. In any SeqCst total order at least one side observes the
+        // other, so either we see the flag here — and roll the
+        // not-yet-enqueued transition back — or shutdown's pending check
+        // sees our increment and trips its "tasks still pending" assert.
+        // Either way no task is ever queued with no worker left to serve
+        // it. (A submit racing shutdown this closely is a program error by
+        // shutdown's precondition; the race resolves to an error, the
+        // assert, or both.)
+        if self.shutdown.load(Ordering::SeqCst) {
+            // Not yet enqueued: workers cannot have seen the descriptor,
+            // so the rollback is invisible to everyone but racy state()
+            // observers.
+            if from == TaskState::Created {
+                self.pending_tasks.fetch_sub(1, Ordering::SeqCst);
+            }
+            d.set_state(from);
+            return Err(NosvError::ShutdownInProgress);
+        }
         d.submits.fetch_add(1, Ordering::Relaxed);
         self.counters
             .tasks_submitted
@@ -158,28 +201,19 @@ impl RuntimeInner {
             d.pid.load(Ordering::Relaxed),
             TaskId(d.id.load(Ordering::Relaxed)),
         );
-        // The idle gate serializes enqueueing against shutdown: `shutdown`
-        // raises the flag under this mutex, so we either observe the flag
-        // here — and roll the not-yet-enqueued transition back — or fully
-        // enqueue before shutdown's pending-task check runs. (A submit
-        // whose transition lands before shutdown's check trips the
-        // "tasks still pending" assert instead; either way, no task is
-        // ever queued with no worker left to serve it.) Holding the gate
-        // for the notification also orders it after any in-flight
-        // "queue empty" check by an idling worker (no lost wakeups).
-        let _gate = self.idle_mutex.lock();
-        if self.shutdown.load(Ordering::Acquire) {
-            // Not yet enqueued: workers cannot have seen the descriptor,
-            // so the rollback is invisible to everyone but racy state()
-            // observers.
-            if from == TaskState::Created {
-                self.pending_tasks.fetch_sub(1, Ordering::AcqRel);
-            }
-            d.set_state(from);
-            return Err(NosvError::ShutdownInProgress);
+        match self.sched.submit(desc) {
+            SubmitPath::Ring => self.counters.ring_submits.fetch_add(1, Ordering::Relaxed),
+            SubmitPath::Locked => self.counters.locked_submits.fetch_add(1, Ordering::Relaxed),
+        };
+        // Wake exactly the sleepers this task needs: one worker for an
+        // unconstrained task (any core can take it, handing off if the
+        // pid differs), every sleeper for a placed task (only the target
+        // core/node's worker can execute a strict one, and which worker
+        // that is cannot be told apart on the gate).
+        match affinity {
+            Affinity::None => self.idle_gate.notify_one(),
+            _ => self.idle_gate.notify_all(),
         }
-        self.sched.submit(desc);
-        self.idle_cv.notify_all();
         Ok(())
     }
 
@@ -240,8 +274,8 @@ impl Runtime {
                 shutdown: AtomicBool::new(false),
                 pending_tasks: AtomicU64::new(0),
                 live_descriptors: AtomicU64::new(0),
-                idle_mutex: Mutex::new(()),
-                idle_cv: Condvar::new(),
+                idle_gate: IdleGate::new(),
+                life_mutex: Mutex::new(()),
                 obs: ObsCollector::new(sink),
                 next_task_id: AtomicU64::new(1),
                 workers: Mutex::new(Vec::new()),
@@ -265,11 +299,11 @@ impl Runtime {
     /// and [`NosvError::ShutdownInProgress`] when the runtime has begun
     /// (or finished) shutting down.
     pub fn attach(&self, name: &str) -> Result<ProcessContext, NosvError> {
-        // Registration happens under the idle gate so it cannot interleave
-        // with shutdown: either the flag is observed here, or the process
-        // (and its first-attach workers) is fully registered before
-        // shutdown raises the flag and joins workers.
-        let _gate = self.inner.idle_mutex.lock();
+        // Registration happens under the life mutex so it cannot
+        // interleave with shutdown: either the flag is observed here, or
+        // the process (and its first-attach workers) is fully registered
+        // before shutdown raises the flag and joins workers.
+        let _gate = self.inner.life_mutex.lock();
         if self.shut_down.load(Ordering::Acquire) || self.inner.shutdown.load(Ordering::Acquire) {
             return Err(NosvError::ShutdownInProgress);
         }
@@ -332,17 +366,19 @@ impl Runtime {
     /// shutting down under them would leave threads blocked forever.
     pub fn shutdown(&self) {
         {
-            // Under the idle gate, submissions are serialized against this
-            // check-and-raise: any submit that already enqueued is counted
-            // in pending_tasks (asserted here), and any later submit
-            // observes the raised flag and errors. See RuntimeInner::submit.
-            let _gate = self.inner.idle_mutex.lock();
+            // The life mutex serializes against attach; submissions are
+            // serialized lock-free instead: the flag store (SeqCst) comes
+            // *before* the pending-count check, pairing with submit's
+            // increment-then-load order, so either a racing submit errors
+            // with ShutdownInProgress or the assert below sees its
+            // increment. See RuntimeInner::submit.
+            let _gate = self.inner.life_mutex.lock();
+            self.inner.shutdown.store(true, Ordering::SeqCst);
             assert_eq!(
-                self.inner.pending_tasks.load(Ordering::Acquire),
+                self.inner.pending_tasks.load(Ordering::SeqCst),
                 0,
                 "shutdown with tasks still pending"
             );
-            self.inner.shutdown.store(true, Ordering::Release);
         }
         self.shutdown_inner();
     }
@@ -351,11 +387,10 @@ impl Runtime {
         if self.shut_down.swap(true, Ordering::AcqRel) {
             return;
         }
-        {
-            let _g = self.inner.idle_mutex.lock();
-            self.inner.shutdown.store(true, Ordering::Release);
-            self.inner.idle_cv.notify_all();
-        }
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        // Wake every idle worker so it observes the flag; the gate's epoch
+        // bump catches workers between their flag check and their sleep.
+        self.inner.idle_gate.notify_all();
         for w in self.inner.workers.lock().iter() {
             w.signal_shutdown();
         }
@@ -381,6 +416,8 @@ impl Runtime {
                 (CounterKind::QuantumSwitches, stats.quantum_switches),
                 (CounterKind::AffinitySteals, stats.affinity_steals),
                 (CounterKind::WorkersSpawned, stats.workers_spawned),
+                (CounterKind::RingSubmits, stats.ring_submits),
+                (CounterKind::LockedSubmits, stats.locked_submits),
             ] {
                 if delta > 0 {
                     self.inner
@@ -462,7 +499,9 @@ impl ProcessContext {
         if builder.run.is_none() {
             return Err(NosvError::MissingTaskBody);
         }
-        self.validate_affinity(builder.affinity)?;
+        builder
+            .affinity
+            .validate(self.rt.config.cpus, self.rt.config.numa_nodes())?;
         if !self.proc.active.load(Ordering::Acquire) {
             return Err(NosvError::ProcessDetached);
         }
@@ -512,33 +551,6 @@ impl ProcessContext {
         let t = self.create_task(body);
         t.submit().expect("fresh task submission failed");
         t
-    }
-
-    /// Checks a task affinity against the runtime topology.
-    fn validate_affinity(&self, affinity: Affinity) -> Result<(), NosvError> {
-        match affinity {
-            Affinity::None => Ok(()),
-            Affinity::Core { index, .. } => {
-                if index >= self.rt.config.cpus {
-                    Err(NosvError::InvalidAffinity {
-                        affinity,
-                        reason: "core index beyond the runtime's CPUs",
-                    })
-                } else {
-                    Ok(())
-                }
-            }
-            Affinity::Numa { index, .. } => {
-                if index >= self.rt.config.numa_nodes() {
-                    Err(NosvError::InvalidAffinity {
-                        affinity,
-                        reason: "NUMA node index beyond the runtime's nodes",
-                    })
-                } else {
-                    Ok(())
-                }
-            }
-        }
     }
 
     /// Detaches the process from the runtime (§3.3 unregistration).

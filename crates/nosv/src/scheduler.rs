@@ -17,11 +17,41 @@
 //! the [process-preference policy](crate::policy) which process queue to
 //! pop, and finally tries to *steal* best-effort affinity tasks parked on
 //! other cores/nodes — strict tasks are never stolen.
+//!
+//! # The hot path: rings, bitmaps, no allocation
+//!
+//! Three mechanisms keep the delegation-lock critical section — the one
+//! serialization point every CPU's fetch waits on — as short as the paper
+//! prescribes:
+//!
+//! * **Lock-free submission.** [`Scheduler::submit`] does not take the
+//!   lock: it pushes the descriptor into the submitting process's
+//!   [`SubmitRing`] in the shared segment. Whoever next holds the lock
+//!   ([`Scheduler::get_task`]'s server, or a locked-path submitter) drains
+//!   *all* rings in one batch before scheduling, amortizing lock traffic
+//!   across many submissions. A full ring falls back to a bounded locked
+//!   enqueue (which may reorder the overflow relative to ring contents;
+//!   priority order within each queue is unaffected).
+//! * **Readiness bitmaps.** `AtomicU64` non-empty masks over the core
+//!   queues, the NUMA queues, and the process slots let every scan —
+//!   candidate collection, steal victims — jump between non-empty queues
+//!   with `trailing_zeros` instead of walking `MAX_PROCS` slots and every
+//!   core queue per pick. The masks are maintained under the lock, so
+//!   inside the critical section they are exact, not heuristics.
+//! * **No allocation in the critical section.** Candidate collection uses
+//!   fixed-size stack arrays; deferred observability events reuse a
+//!   thread-local buffer. The lock hold never touches the host allocator.
+//!
+//! Batching changes *mechanism*, not *decisions*: queues are drained and
+//! scanned in the same order the unbatched scheduler used, so scheduling
+//! decisions (and the simulator parity properties built on them) are
+//! unchanged.
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use nosv_shmem::{ShmSegment, Shoff, MAX_PROCS};
+use nosv_shmem::{ShmSegment, Shoff, SubmitRing, MAX_PROCS};
 use nosv_sync::{Acquired, DtLock};
 
 use crate::config::NosvConfig;
@@ -36,6 +66,11 @@ use crate::task::{Affinity, TaskDesc, TaskId};
 pub(crate) const MAX_CPUS: usize = 256;
 /// Maximum NUMA nodes.
 pub(crate) const MAX_NUMA: usize = 16;
+/// Words of the per-core readiness bitmap.
+const CORE_MASK_WORDS: usize = MAX_CPUS / 64;
+
+// The process and NUMA readiness masks are single words.
+const _: () = assert!(MAX_PROCS <= 64 && MAX_NUMA <= 64);
 
 /// A ready task travelling from the scheduler to a worker (possibly through
 /// a DTLock delegation slot).
@@ -48,6 +83,9 @@ struct ProcSched {
     app_priority: AtomicU32,
     pid: AtomicU64,
     queue: TaskQueue,
+    /// This process's lock-free submission ring (initialized at first
+    /// registration of the slot; reused across re-registrations).
+    ring: SubmitRing,
 }
 
 #[repr(C)]
@@ -64,6 +102,17 @@ struct CoreSched {
 struct SchedRoot {
     total_ready: AtomicU64,
     rr_cursor: AtomicU64,
+    /// Bit per process slot whose submission ring may hold entries. Set by
+    /// producers after a push; cleared by the draining lock holder before
+    /// it empties the ring (so a concurrent push re-dirties it).
+    ring_mask: AtomicU64,
+    /// Bit per process slot with a non-empty process queue (exact under
+    /// the lock: queue pushes/pops maintain it).
+    proc_mask: AtomicU64,
+    /// Bit per NUMA node with a non-empty node queue.
+    numa_mask: AtomicU64,
+    /// Bit per core with a non-empty core queue.
+    core_mask: [AtomicU64; CORE_MASK_WORDS],
     procs: [ProcSched; MAX_PROCS],
     cores: [CoreSched; MAX_CPUS],
     numas: [TaskQueue; MAX_NUMA],
@@ -75,16 +124,29 @@ pub(crate) struct Scheduler {
     lock: DtLock<(), ReadyTask>,
     cpus: usize,
     cpus_per_numa: usize,
+    /// Per-process submission ring capacity; `0` = rings disabled.
+    ring_cap: usize,
     /// The process-selection policy, shared with the simulator backend.
     policy: Arc<dyn SchedPolicy>,
+}
+
+/// Which path a submission took (drives the runtime's counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SubmitPath {
+    /// Pushed into the process's lock-free ring.
+    Ring,
+    /// Enqueued under the delegation lock (rings disabled, uninitialized
+    /// slot, or ring full).
+    Locked,
 }
 
 /// Racy observability snapshot of the scheduler (for tests and tools).
 #[derive(Debug, Clone)]
 pub struct SchedulerSnapshot {
-    /// Ready tasks across all queues.
+    /// Ready tasks across all queues (submission rings included).
     pub total_ready: u64,
-    /// `(pid, ready-task count)` for each attached process.
+    /// `(pid, ready-task count)` for each attached process, counting both
+    /// its queue and its not-yet-drained submission ring.
     pub per_process: Vec<(u64, u64)>,
     /// Current process per core (`0` = none yet).
     pub per_core_pid: Vec<u64>,
@@ -92,6 +154,16 @@ pub struct SchedulerSnapshot {
 
 /// Scan depth bound for steal scans (keeps the critical section short).
 const STEAL_SCAN_LIMIT: usize = 8;
+
+thread_local! {
+    /// Reusable buffer for observability events produced inside the
+    /// critical section: they are deferred and emitted only after the lock
+    /// is released (an emit can drain a full worker buffer into the user's
+    /// sink, which must never run under the one lock every CPU's fetch
+    /// waits on). Thread-local so the buffer's capacity is reused across
+    /// calls without allocating while the lock is held.
+    static DEFERRED: RefCell<Vec<ObsEvent>> = const { RefCell::new(Vec::new()) };
+}
 
 impl Scheduler {
     pub(crate) fn new(
@@ -104,7 +176,8 @@ impl Scheduler {
         let root: Shoff<SchedRoot> = seg
             .alloc_zeroed(std::mem::size_of::<SchedRoot>(), 0)?
             .cast();
-        // Zeroed SchedRoot is valid: empty queues, inactive processes.
+        // Zeroed SchedRoot is valid: empty queues, inactive processes,
+        // uninitialized rings, all-clear readiness masks.
         Ok(Scheduler {
             seg,
             root,
@@ -113,6 +186,7 @@ impl Scheduler {
             lock: DtLock::new((), config.cpus + 64),
             cpus: config.cpus,
             cpus_per_numa: config.cpus_per_numa,
+            ring_cap: config.submit_ring_cap,
             policy,
         })
     }
@@ -133,6 +207,12 @@ impl Scheduler {
 
     pub(crate) fn register_proc(&self, slot: u32, pid: u64) {
         let p = &self.root().procs[slot as usize];
+        if self.ring_cap > 0 {
+            // Idempotent: a re-registered slot reuses its existing ring
+            // (same capacity for every slot). Allocation failure is not
+            // fatal — the slot simply submits through the locked path.
+            let _ = p.ring.init(&self.seg, self.ring_cap);
+        }
         p.pid.store(pid, Ordering::Relaxed);
         p.app_priority.store(0, Ordering::Relaxed);
         p.active.store(1, Ordering::Release);
@@ -141,7 +221,7 @@ impl Scheduler {
     pub(crate) fn unregister_proc(&self, slot: u32) {
         let p = &self.root().procs[slot as usize];
         assert!(
-            p.queue.is_empty(),
+            p.queue.is_empty() && p.ring.is_empty(),
             "process detached with ready tasks still queued"
         );
         p.active.store(0, Ordering::Release);
@@ -155,35 +235,127 @@ impl Scheduler {
     }
 
     /// Whether any task is ready (fast, lock-free check for idle loops).
+    /// Counts tasks still sitting in submission rings.
     pub(crate) fn has_ready(&self) -> bool {
         self.root().total_ready.load(Ordering::Acquire) > 0
     }
 
-    /// Inserts a ready task into the queue its affinity designates.
-    pub(crate) fn submit(&self, task: ReadyTask) {
+    /// Inserts a ready task into the scheduler: a lock-free push into the
+    /// submitting process's ring when possible, otherwise a locked enqueue
+    /// (which first drains every ring, so the fallback also amortizes).
+    pub(crate) fn submit(&self, task: ReadyTask) -> SubmitPath {
+        let root = self.root();
+        let d = self.desc(task);
+        let slot = d.slot.load(Ordering::Relaxed) as usize;
+        // Count the task as ready *before* it becomes drainable: once the
+        // ring push lands, a concurrent server can drain, pick, and
+        // `fetch_sub` the counter — an increment ordered after that would
+        // let it transiently wrap below zero, leaving has_ready() stuck
+        // true until this thread resumes. The pre-increment's own
+        // transient (ready count ahead of a not-yet-visible task) is
+        // benign: a fetch finds nothing and the worker retries.
+        root.total_ready.fetch_add(1, Ordering::Release);
+        if self.ring_cap > 0
+            && slot < MAX_PROCS
+            && root.procs[slot].ring.push(&self.seg, task.raw())
+        {
+            // Dirty-mark the slot only after the push: a server that
+            // drains on an earlier mark either takes this entry or leaves
+            // the re-marking to us, but a mark before the push could be
+            // consumed by an empty drain and strand the entry.
+            root.ring_mask.fetch_or(1 << slot, Ordering::Release);
+            return SubmitPath::Ring;
+        }
         let g = self.lock.lock();
-        self.enqueue_locked(task);
+        self.drain_rings_locked();
+        self.route_locked(task);
         drop(g);
+        SubmitPath::Locked
     }
 
-    fn enqueue_locked(&self, task: ReadyTask) {
+    /// Moves every ring entry into its destination queue. Caller holds the
+    /// lock. One batch per lock hold: this is the paper's amortization —
+    /// many lock-free submissions, one critical-section traversal.
+    fn drain_rings_locked(&self) {
+        let root = self.root();
+        let mut mask = root.ring_mask.load(Ordering::Acquire);
+        while mask != 0 {
+            let slot = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            // Clear the dirty bit *before* draining: a producer that pushes
+            // while we drain re-sets it, so the entry is either taken by
+            // this batch or advertised for the next holder.
+            root.ring_mask.fetch_and(!(1 << slot), Ordering::AcqRel);
+            let p = &root.procs[slot];
+            while let Some(raw) = p.ring.pop(&self.seg) {
+                // total_ready was counted at push time; routing moves the
+                // task between scheduler-internal homes.
+                self.route_locked(Shoff::from_raw(raw));
+            }
+        }
+    }
+
+    /// Routes a task to the queue its affinity designates and maintains
+    /// the readiness bitmaps. Caller holds the lock. Does not touch
+    /// `total_ready` (counted at submission).
+    fn route_locked(&self, task: ReadyTask) {
         let root = self.root();
         let d = self.desc(task);
         let affinity = Affinity::decode(d.affinity.load(Ordering::Relaxed));
         match affinity {
             Affinity::Core { index, .. } => {
-                root.cores[index % self.cpus].queue.push(&self.seg, task);
+                // Validated at build/submit time; never wrapped silently.
+                debug_assert!(index < self.cpus, "unvalidated core affinity");
+                root.cores[index].queue.push(&self.seg, task);
+                root.core_mask[index / 64].fetch_or(1 << (index % 64), Ordering::Relaxed);
             }
             Affinity::Numa { index, .. } => {
-                let n = index % self.numa_nodes();
-                root.numas[n].push(&self.seg, task);
+                debug_assert!(index < self.numa_nodes(), "unvalidated NUMA affinity");
+                root.numas[index].push(&self.seg, task);
+                root.numa_mask.fetch_or(1 << index, Ordering::Relaxed);
             }
             Affinity::None => {
                 let slot = d.slot.load(Ordering::Relaxed) as usize;
                 root.procs[slot].queue.push(&self.seg, task);
+                root.proc_mask.fetch_or(1 << slot, Ordering::Relaxed);
             }
         }
-        root.total_ready.fetch_add(1, Ordering::Release);
+    }
+
+    /// Re-inserts a task the scheduler already handed out (a vanished
+    /// delegation target). Caller holds the lock.
+    fn requeue_locked(&self, task: ReadyTask) {
+        self.route_locked(task);
+        self.root().total_ready.fetch_add(1, Ordering::Release);
+    }
+
+    // -- bitmap-maintaining pops (all under the lock) ----------------------
+
+    fn pop_core(&self, cpu: usize) -> Option<ReadyTask> {
+        let root = self.root();
+        let t = root.cores[cpu].queue.pop(&self.seg)?;
+        if root.cores[cpu].queue.is_empty() {
+            root.core_mask[cpu / 64].fetch_and(!(1 << (cpu % 64)), Ordering::Relaxed);
+        }
+        Some(t)
+    }
+
+    fn pop_numa(&self, node: usize) -> Option<ReadyTask> {
+        let root = self.root();
+        let t = root.numas[node].pop(&self.seg)?;
+        if root.numas[node].is_empty() {
+            root.numa_mask.fetch_and(!(1 << node), Ordering::Relaxed);
+        }
+        Some(t)
+    }
+
+    fn pop_proc(&self, slot: usize) -> Option<ReadyTask> {
+        let root = self.root();
+        let t = root.procs[slot].queue.pop(&self.seg)?;
+        if root.procs[slot].queue.is_empty() {
+            root.proc_mask.fetch_and(!(1 << slot), Ordering::Relaxed);
+        }
+        Some(t)
     }
 
     fn numa_nodes(&self) -> usize {
@@ -211,13 +383,13 @@ impl Scheduler {
                 counters.delegations_served.fetch_add(1, Ordering::Relaxed);
                 Some(task)
             }
-            Acquired::Holder(mut guard) => {
-                // Events produced inside the critical section are deferred
-                // and emitted only after the lock is released: an emit can
-                // drain a full worker buffer into the user's sink, which
-                // must never run under the one lock every CPU's fetch
-                // waits on.
-                let mut deferred: Vec<ObsEvent> = Vec::new();
+            Acquired::Holder(mut guard) => DEFERRED.with(|cell| {
+                let mut deferred = cell.borrow_mut();
+                debug_assert!(deferred.is_empty());
+                // The server's batch: first move every lock-free
+                // submission into the queues, then schedule for ourselves
+                // and every waiting CPU under the same hold.
+                self.drain_rings_locked();
                 let mine = self.pick_for_cpu(cpu, now_ns, counters, obs, &mut deferred);
                 // Serve every waiting CPU we can see while we are the
                 // server — the DTLock delegation pattern (§3.4).
@@ -226,7 +398,7 @@ impl Scheduler {
                         Some(task) => {
                             if let Err(task) = guard.serve_next(task) {
                                 // Waiter vanished mid-publication: requeue.
-                                self.enqueue_locked(task);
+                                self.requeue_locked(task);
                                 break;
                             }
                         }
@@ -234,11 +406,11 @@ impl Scheduler {
                     }
                 }
                 drop(guard);
-                for ev in deferred {
+                for ev in deferred.drain(..) {
                     obs.emit(ev);
                 }
                 mine
-            }
+            }),
         }
     }
 
@@ -256,11 +428,10 @@ impl Scheduler {
         let cpu = cpu % self.cpus;
 
         // 1. This core's affinity queue (strict and best-effort alike).
-        let picked = root.cores[cpu]
-            .queue
-            .pop(&self.seg)
+        let picked = self
+            .pop_core(cpu)
             // 2. This core's NUMA node queue.
-            .or_else(|| root.numas[self.numa_of(cpu)].pop(&self.seg))
+            .or_else(|| self.pop_numa(self.numa_of(cpu)))
             // 3. Process queues, by preference + quantum + priority.
             .or_else(|| self.pick_from_processes(cpu, now_ns, counters))
             // 4. Steal a best-effort task parked elsewhere.
@@ -286,20 +457,35 @@ impl Scheduler {
         counters: &Counters,
     ) -> Option<ReadyTask> {
         let root = self.root();
-        let mut candidates: Vec<CandidateProc> = Vec::with_capacity(4);
-        let mut slots: Vec<usize> = Vec::with_capacity(4);
-        for (slot, p) in root.procs.iter().enumerate() {
+        // Fixed-size scratch: the candidate set is bounded by MAX_PROCS,
+        // so collection never allocates inside the critical section. The
+        // readiness bitmap walks straight from one non-empty queue to the
+        // next (ascending slot order, same order the full scan used).
+        let mut candidates = [CandidateProc {
+            pid: 0,
+            app_priority: 0,
+            top_task_priority: 0,
+        }; MAX_PROCS];
+        let mut slots = [0u32; MAX_PROCS];
+        let mut n = 0;
+        let mut mask = root.proc_mask.load(Ordering::Relaxed);
+        while mask != 0 {
+            let slot = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let p = &root.procs[slot];
             if p.active.load(Ordering::Relaxed) == 1 {
                 if let Some(top) = p.queue.head_priority(&self.seg) {
-                    candidates.push(CandidateProc {
+                    candidates[n] = CandidateProc {
                         pid: p.pid.load(Ordering::Relaxed),
                         app_priority: p.app_priority.load(Ordering::Relaxed) as i32,
                         top_task_priority: top,
-                    });
-                    slots.push(slot);
+                    };
+                    slots[n] = slot as u32;
+                    n += 1;
                 }
             }
         }
+        let candidates = &candidates[..n];
         let core_state = CoreQuantum {
             current_pid: root.cores[cpu].current_pid.load(Ordering::Relaxed),
             since_ns: root.cores[cpu].since_ns.load(Ordering::Relaxed),
@@ -307,17 +493,21 @@ impl Scheduler {
         let mut rr = root.rr_cursor.load(Ordering::Relaxed);
         let decision = self
             .policy
-            .pick_process(&core_state, now_ns, &candidates, &mut rr)?;
+            .pick_process(&core_state, now_ns, candidates, &mut rr)?;
         root.rr_cursor.store(rr, Ordering::Relaxed);
         if decision.quantum_expired {
             counters.quantum_switches.fetch_add(1, Ordering::Relaxed);
         }
         let idx = candidates.iter().position(|c| c.pid == decision.pid)?;
-        root.procs[slots[idx]].queue.pop(&self.seg)
+        self.pop_proc(slots[idx] as usize)
     }
 
     /// Steals a best-effort affinity task from another core or NUMA queue.
     /// Caller holds the lock; the Steal event goes to `deferred`.
+    ///
+    /// Victims are visited in the same rotated order the pre-bitmap
+    /// scheduler scanned (`cpu+1, cpu+2, … mod cpus`), but the bitmap
+    /// jumps over empty queues instead of probing each one.
     fn steal(
         &self,
         cpu: usize,
@@ -329,23 +519,35 @@ impl Scheduler {
         let root = self.root();
         let not_strict =
             |d: &TaskDesc| !Affinity::decode(d.affinity.load(Ordering::Relaxed)).is_strict();
+        let pop_victim = |victim: usize| -> Option<ReadyTask> {
+            let t = root.cores[victim]
+                .queue
+                .pop_if(&self.seg, STEAL_SCAN_LIMIT, not_strict)?;
+            if root.cores[victim].queue.is_empty() {
+                root.core_mask[victim / 64].fetch_and(!(1 << (victim % 64)), Ordering::Relaxed);
+            }
+            Some(t)
+        };
         let stolen = 'found: {
-            for i in 1..self.cpus {
-                let victim = (cpu + i) % self.cpus;
-                if let Some(t) =
-                    root.cores[victim]
-                        .queue
-                        .pop_if(&self.seg, STEAL_SCAN_LIMIT, not_strict)
-                {
+            // Non-empty core queues after us, then before us (== the
+            // rotated (cpu+i) % cpus scan, skipping empty victims).
+            for victim in self
+                .set_core_bits(cpu + 1, self.cpus)
+                .chain(self.set_core_bits(0, cpu))
+            {
+                if let Some(t) = pop_victim(victim) {
                     break 'found Some(t);
                 }
             }
             let my_numa = self.numa_of(cpu);
-            for n in 0..self.numa_nodes() {
-                if n == my_numa {
-                    continue;
-                }
+            let mut nmask = root.numa_mask.load(Ordering::Relaxed) & !(1 << my_numa);
+            while nmask != 0 {
+                let n = nmask.trailing_zeros() as usize;
+                nmask &= nmask - 1;
                 if let Some(t) = root.numas[n].pop_if(&self.seg, STEAL_SCAN_LIMIT, not_strict) {
+                    if root.numas[n].is_empty() {
+                        root.numa_mask.fetch_and(!(1 << n), Ordering::Relaxed);
+                    }
                     break 'found Some(t);
                 }
             }
@@ -365,6 +567,33 @@ impl Scheduler {
         Some(stolen)
     }
 
+    /// Iterates the set bits of the core readiness bitmap within
+    /// `[lo, hi)`, ascending. Word-at-a-time: empty words cost one load.
+    fn set_core_bits(&self, lo: usize, hi: usize) -> impl Iterator<Item = usize> + '_ {
+        let root = self.root();
+        let lo_word = lo / 64;
+        let hi_word = hi.div_ceil(64).min(CORE_MASK_WORDS);
+        (lo_word..hi_word).flat_map(move |w| {
+            let mut word = root.core_mask[w].load(Ordering::Relaxed);
+            // Trim bits outside [lo, hi) in the boundary words.
+            if w == lo / 64 {
+                word &= u64::MAX.checked_shl((lo % 64) as u32).unwrap_or(0);
+            }
+            if (w + 1) * 64 > hi {
+                let keep = hi - w * 64;
+                word &= u64::MAX.checked_shr(64 - keep as u32).unwrap_or(0);
+            }
+            std::iter::from_fn(move || {
+                if word == 0 {
+                    return None;
+                }
+                let bit = word.trailing_zeros() as usize;
+                word &= word - 1;
+                Some(w * 64 + bit)
+            })
+        })
+    }
+
     /// Racy snapshot for observability.
     pub(crate) fn snapshot(&self) -> SchedulerSnapshot {
         let root = self.root();
@@ -374,12 +603,42 @@ impl Scheduler {
                 .procs
                 .iter()
                 .filter(|p| p.active.load(Ordering::Relaxed) == 1)
-                .map(|p| (p.pid.load(Ordering::Relaxed), p.queue.len()))
+                .map(|p| (p.pid.load(Ordering::Relaxed), p.queue.len() + p.ring.len()))
                 .collect(),
             per_core_pid: (0..self.cpus)
                 .map(|c| root.cores[c].current_pid.load(Ordering::Relaxed))
                 .collect(),
         }
+    }
+
+    /// Asserts every readiness bitmap agrees with a naive recount of its
+    /// queues (test support; takes the lock for an exact view).
+    #[cfg(test)]
+    fn assert_masks_consistent(&self) {
+        let g = self.lock.lock();
+        let root = self.root();
+        for slot in 0..MAX_PROCS {
+            assert_eq!(
+                root.proc_mask.load(Ordering::Relaxed) >> slot & 1 == 1,
+                !root.procs[slot].queue.is_empty(),
+                "proc_mask bit {slot} disagrees with queue emptiness"
+            );
+        }
+        for node in 0..MAX_NUMA {
+            assert_eq!(
+                root.numa_mask.load(Ordering::Relaxed) >> node & 1 == 1,
+                !root.numas[node].is_empty(),
+                "numa_mask bit {node} disagrees with queue emptiness"
+            );
+        }
+        for cpu in 0..MAX_CPUS {
+            assert_eq!(
+                root.core_mask[cpu / 64].load(Ordering::Relaxed) >> (cpu % 64) & 1 == 1,
+                !root.cores[cpu].queue.is_empty(),
+                "core_mask bit {cpu} disagrees with queue emptiness"
+            );
+        }
+        drop(g);
     }
 }
 
@@ -394,6 +653,15 @@ mod tests {
     }
 
     fn setup(cpus: usize, cpus_per_numa: usize, quantum_ns: u64) -> (ShmSegment, Scheduler) {
+        setup_ring(cpus, cpus_per_numa, quantum_ns, 256)
+    }
+
+    fn setup_ring(
+        cpus: usize,
+        cpus_per_numa: usize,
+        quantum_ns: u64,
+        ring_cap: usize,
+    ) -> (ShmSegment, Scheduler) {
         let seg = ShmSegment::create(SegmentConfig {
             size: 8 * 1024 * 1024,
             max_cpus: cpus,
@@ -402,6 +670,7 @@ mod tests {
             cpus,
             cpus_per_numa,
             quantum_ns,
+            submit_ring_cap: ring_cap,
             ..Default::default()
         };
         let policy = Arc::new(crate::policy::QuantumPolicy::new(quantum_ns));
@@ -451,6 +720,63 @@ mod tests {
         }
         assert!(!sched.has_ready());
         assert!(sched.get_task(0, 0, &c, &obs()).is_none());
+    }
+
+    #[test]
+    fn submission_goes_through_the_ring() {
+        let (seg, sched) = setup(1, 0, 1_000_000);
+        let c = Counters::default();
+        sched.register_proc(0, 10);
+        assert_eq!(
+            sched.submit(mk_task(&seg, 1, 0, 10, 0, Affinity::None)),
+            SubmitPath::Ring
+        );
+        // The task is ready (counted) but still in the ring, not a queue.
+        assert!(sched.has_ready());
+        let snap = sched.snapshot();
+        assert_eq!(snap.per_process, vec![(10, 1)], "ring contents count");
+        // The server drains the ring and picks the task in one hold.
+        let t = sched.get_task(0, 0, &c, &obs()).unwrap();
+        assert_eq!(id_of(&seg, t), 1);
+        assert!(!sched.has_ready());
+    }
+
+    #[test]
+    fn ring_disabled_falls_back_to_locked_path() {
+        let (seg, sched) = setup_ring(1, 0, 1_000_000, 0);
+        let c = Counters::default();
+        sched.register_proc(0, 10);
+        assert_eq!(
+            sched.submit(mk_task(&seg, 1, 0, 10, 0, Affinity::None)),
+            SubmitPath::Locked
+        );
+        let t = sched.get_task(0, 0, &c, &obs()).unwrap();
+        assert_eq!(id_of(&seg, t), 1);
+    }
+
+    #[test]
+    fn full_ring_overflows_to_locked_path_and_loses_nothing() {
+        let (seg, sched) = setup_ring(1, 0, 1_000_000, 2);
+        let c = Counters::default();
+        sched.register_proc(0, 10);
+        let mut ring = 0;
+        let mut locked = 0;
+        for id in 0..5 {
+            match sched.submit(mk_task(&seg, id, 0, 10, 0, Affinity::None)) {
+                SubmitPath::Ring => ring += 1,
+                SubmitPath::Locked => locked += 1,
+            }
+        }
+        // Submissions 1–2 fill the ring; 3 overflows to the locked path,
+        // whose drain empties the ring again, so 4–5 ride the ring.
+        assert_eq!(ring, 4, "drain-on-overflow reopens the ring");
+        assert_eq!(locked, 1, "only the overflow takes the locked path");
+        let mut got: Vec<u64> = (0..5)
+            .map(|_| id_of(&seg, sched.get_task(0, 0, &c, &obs()).unwrap()))
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        assert!(!sched.has_ready());
     }
 
     #[test]
@@ -620,5 +946,89 @@ mod tests {
         sched.register_proc(0, 10);
         sched.submit(mk_task(&seg, 1, 0, 10, 0, Affinity::None));
         sched.unregister_proc(0);
+    }
+
+    /// Seeded property test: after every random submit / get_task step,
+    /// each readiness bitmap must agree with a naive recount of its
+    /// queues' emptiness. Random affinities exercise core/NUMA/process
+    /// routing; random consumers exercise pops and (best-effort) steals.
+    #[test]
+    fn readiness_bitmaps_match_naive_recount_under_random_ops() {
+        use nosv_sync::SplitMix64;
+        for seed in 0..8u64 {
+            let mut rng = SplitMix64::new(0x05ee_db17 ^ seed);
+            let cpus = 1 + (rng.next_u64() % 6) as usize; // 1..=6
+            let per_numa = [0usize, 2][(rng.next_u64() % 2) as usize];
+            let (seg, sched) = setup_ring(cpus, per_numa, 1_000_000, 4);
+            let c = Counters::default();
+            let procs = 1 + (rng.next_u64() % 3) as u32;
+            for slot in 0..procs {
+                sched.register_proc(slot, 10 + slot as u64);
+            }
+            let numa_nodes = if per_numa == 0 {
+                1
+            } else {
+                cpus.div_ceil(per_numa)
+            };
+            let mut outstanding = 0u64;
+            let mut next_id = 1u64;
+            for _ in 0..400 {
+                let op = rng.next_u64() % 100;
+                if op < 55 || outstanding == 0 {
+                    // Submit with a random (valid) affinity. The tiny ring
+                    // capacity forces frequent locked-path overflows.
+                    let slot = rng.next_u64() % procs as u64;
+                    let strict = rng.next_u64().is_multiple_of(2);
+                    let affinity = match rng.next_u64() % 3 {
+                        0 => Affinity::None,
+                        1 => Affinity::Core {
+                            index: (rng.next_u64() % cpus as u64) as usize,
+                            strict,
+                        },
+                        _ => Affinity::Numa {
+                            index: (rng.next_u64() % numa_nodes as u64) as usize,
+                            strict,
+                        },
+                    };
+                    let prio = (rng.next_u64() % 5) as i32;
+                    sched.submit(mk_task(
+                        &seg,
+                        next_id,
+                        slot as u32,
+                        10 + slot,
+                        prio,
+                        affinity,
+                    ));
+                    next_id += 1;
+                    outstanding += 1;
+                } else {
+                    // A random CPU fetches (pop or steal, per affinity).
+                    let cpu = (rng.next_u64() % cpus as u64) as usize;
+                    if sched
+                        .get_task(cpu, rng.next_u64() % 1_000, &c, &obs())
+                        .is_some()
+                    {
+                        outstanding -= 1;
+                    }
+                }
+                sched.assert_masks_consistent();
+            }
+            // Drain everything; masks must end all-clear.
+            let mut spins = 0;
+            while outstanding > 0 {
+                let mut progress = false;
+                for cpu in 0..cpus {
+                    if sched.get_task(cpu, u64::MAX / 2, &c, &obs()).is_some() {
+                        outstanding -= 1;
+                        progress = true;
+                    }
+                }
+                assert!(progress || outstanding == 0, "undrainable tasks remain");
+                spins += 1;
+                assert!(spins < 10_000, "drain did not converge");
+            }
+            sched.assert_masks_consistent();
+            assert!(!sched.has_ready(), "seed {seed}: ready count leaked");
+        }
     }
 }

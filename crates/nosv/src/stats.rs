@@ -14,6 +14,8 @@ pub(crate) struct Counters {
     pub quantum_switches: AtomicU64,
     pub affinity_steals: AtomicU64,
     pub workers_spawned: AtomicU64,
+    pub ring_submits: AtomicU64,
+    pub locked_submits: AtomicU64,
 }
 
 impl Counters {
@@ -28,6 +30,8 @@ impl Counters {
             quantum_switches: self.quantum_switches.load(Ordering::Relaxed),
             affinity_steals: self.affinity_steals.load(Ordering::Relaxed),
             workers_spawned: self.workers_spawned.load(Ordering::Relaxed),
+            ring_submits: self.ring_submits.load(Ordering::Relaxed),
+            locked_submits: self.locked_submits.load(Ordering::Relaxed),
         }
     }
 }
@@ -63,4 +67,10 @@ pub struct RuntimeStats {
     pub affinity_steals: u64,
     /// Worker threads created over the runtime's lifetime.
     pub workers_spawned: u64,
+    /// Submissions that took the lock-free ring path (§3.4: processes
+    /// feed the scheduler without touching its delegation lock).
+    pub ring_submits: u64,
+    /// Submissions that took the locked fallback path (rings disabled via
+    /// [`crate::RuntimeBuilder::submit_ring`]`(0)`, or a full ring).
+    pub locked_submits: u64,
 }

@@ -118,6 +118,31 @@ impl Affinity {
             Affinity::Core { strict: true, .. } | Affinity::Numa { strict: true, .. }
         )
     }
+
+    /// Checks this affinity against a runtime topology of `cpus` cores and
+    /// `numa_nodes` NUMA nodes.
+    ///
+    /// The runtime validates at *both* ends of a task's life —
+    /// [`crate::ProcessContext::build_task`] and
+    /// [`crate::TaskHandle::submit`] — and the scheduler then trusts the
+    /// index outright: an out-of-range affinity is an error surfaced to
+    /// the caller, never silently wrapped onto some other core.
+    pub fn validate(self, cpus: usize, numa_nodes: usize) -> Result<(), NosvError> {
+        match self {
+            Affinity::None => Ok(()),
+            Affinity::Core { index, .. } if index >= cpus => Err(NosvError::InvalidAffinity {
+                affinity: self,
+                reason: "core index beyond the runtime's CPUs",
+            }),
+            Affinity::Numa { index, .. } if index >= numa_nodes => {
+                Err(NosvError::InvalidAffinity {
+                    affinity: self,
+                    reason: "NUMA node index beyond the runtime's nodes",
+                })
+            }
+            _ => Ok(()),
+        }
+    }
 }
 
 /// Run and completion callbacks, boxed host-side.

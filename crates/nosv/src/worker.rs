@@ -23,7 +23,6 @@
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
 
 use nosv_shmem::Shoff;
 use nosv_sync::{Condvar, Mutex};
@@ -257,17 +256,20 @@ fn pull_loop(rt: &Arc<RuntimeInner>, me: &Arc<WorkerShared>) -> LoopExit {
                 // Idle: about to block, so make buffered trace events
                 // visible first (an idle worker may sleep indefinitely).
                 obs_flush_local();
-                // Block on the runtime's gate until a submission. The
-                // check-under-lock protocol prevents lost wakeups; the
-                // timeout is defence in depth only.
-                let mut g = rt.idle_mutex.lock();
+                // Sleep on the runtime's event-counted idle gate until a
+                // submission (or shutdown) notifies. The capture-check-wait
+                // protocol prevents lost wakeups without any timeout: a
+                // notification after `prepare_wait` makes `wait` return
+                // immediately, so a submission enqueued after our
+                // `has_ready` check can never strand us asleep.
+                let key = rt.idle_gate.prepare_wait();
                 if rt.shutdown.load(Ordering::Acquire) {
                     return LoopExit::Shutdown;
                 }
                 if rt.sched.has_ready() {
                     continue;
                 }
-                rt.idle_cv.wait_for(&mut g, Duration::from_millis(20));
+                rt.idle_gate.wait(key);
             }
         }
     }

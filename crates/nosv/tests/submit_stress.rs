@@ -1,0 +1,125 @@
+//! Many-producer stress over the lock-free submission path.
+//!
+//! N submitter threads per process × M processes hammer `submit`
+//! concurrently while the workers drain. Every task must execute exactly
+//! once, every handle must observe completion, and the runtime counters
+//! must balance — under the default ring capacity, under a tiny ring that
+//! forces constant overflow onto the locked fallback path, and with rings
+//! disabled outright.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use nosv::prelude::*;
+
+/// Drives `threads_per_proc * procs` concurrent submitters, each creating
+/// and submitting `tasks_per_thread` tasks; returns the observed execution
+/// count and the final stats.
+fn hammer(
+    cpus: usize,
+    procs: usize,
+    threads_per_proc: usize,
+    tasks_per_thread: usize,
+    ring_cap: usize,
+) -> (u64, RuntimeStats) {
+    let rt = Arc::new(
+        Runtime::builder()
+            .cpus(cpus)
+            .submit_ring(ring_cap)
+            .build()
+            .expect("valid config"),
+    );
+    let executed = Arc::new(AtomicU64::new(0));
+    let apps: Vec<Arc<ProcessContext>> = (0..procs)
+        .map(|i| Arc::new(rt.attach(&format!("stress{i}")).expect("attach")))
+        .collect();
+
+    let submitters: Vec<_> = apps
+        .iter()
+        .flat_map(|app| {
+            (0..threads_per_proc).map(|_| {
+                let app = Arc::clone(app);
+                let executed = Arc::clone(&executed);
+                std::thread::spawn(move || {
+                    let mut handles = Vec::with_capacity(tasks_per_thread);
+                    for _ in 0..tasks_per_thread {
+                        let executed = Arc::clone(&executed);
+                        let t = app.create_task(move |_| {
+                            executed.fetch_add(1, Ordering::Relaxed);
+                        });
+                        t.submit().expect("submit");
+                        handles.push(t);
+                    }
+                    for t in &handles {
+                        t.wait();
+                        assert_eq!(t.state(), TaskState::Completed);
+                    }
+                    for t in handles {
+                        t.destroy();
+                    }
+                })
+            })
+        })
+        .collect();
+    for s in submitters {
+        s.join().expect("submitter thread panicked");
+    }
+    drop(apps);
+    let stats = rt.stats();
+    rt.shutdown();
+    (executed.load(Ordering::Relaxed), stats)
+}
+
+fn check(cpus: usize, procs: usize, threads_per_proc: usize, per_thread: usize, ring_cap: usize) {
+    let total = (procs * threads_per_proc * per_thread) as u64;
+    let (executed, stats) = hammer(cpus, procs, threads_per_proc, per_thread, ring_cap);
+    let label = format!("cpus={cpus} procs={procs} threads={threads_per_proc} ring={ring_cap}");
+    assert_eq!(executed, total, "{label}: body execution count");
+    assert_eq!(stats.tasks_executed, total, "{label}: tasks_executed");
+    assert_eq!(stats.tasks_submitted, total, "{label}: tasks_submitted");
+    assert_eq!(
+        stats.ring_submits + stats.locked_submits,
+        total,
+        "{label}: every submission took exactly one path"
+    );
+    if ring_cap == 0 {
+        assert_eq!(stats.ring_submits, 0, "{label}: rings disabled");
+    }
+}
+
+#[test]
+fn many_producers_one_process() {
+    check(2, 1, 4, 300, nosv::DEFAULT_SUBMIT_RING_CAP);
+}
+
+#[test]
+fn many_producers_many_processes() {
+    check(2, 3, 2, 200, nosv::DEFAULT_SUBMIT_RING_CAP);
+}
+
+#[test]
+fn tiny_ring_forces_overflow_fallback() {
+    // Capacity 2 with many producers: the locked fallback path and the
+    // ring path interleave constantly; nothing may be lost or doubled.
+    let total = 3 * 2 * 200;
+    let (executed, stats) = hammer(2, 3, 2, 200, 2);
+    assert_eq!(executed, total);
+    assert_eq!(stats.tasks_executed, total);
+    assert_eq!(stats.ring_submits + stats.locked_submits, total);
+    assert!(
+        stats.locked_submits > 0,
+        "a capacity-2 ring under 6 producers must overflow"
+    );
+}
+
+#[test]
+fn rings_disabled_is_correct_too() {
+    check(2, 2, 2, 150, 0);
+}
+
+#[test]
+fn single_cpu_oversubscribed() {
+    // Every submitter, worker and handoff fights over one core: the
+    // harshest interleaving for the wake/drain protocol.
+    check(1, 2, 3, 150, nosv::DEFAULT_SUBMIT_RING_CAP);
+}

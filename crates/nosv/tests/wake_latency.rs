@@ -1,0 +1,60 @@
+//! Submit→dispatch wake-latency regression test.
+//!
+//! The worker idle loop used to sleep on a condvar with a 20 ms timeout as
+//! "defence in depth" against lost wakeups; the event-counted idle gate
+//! removes the timeout entirely, so a submission must wake a sleeping
+//! worker *by notification alone*. Two regressions are caught here:
+//!
+//! * a **lost wakeup** (the gate protocol is wrong): with no poll to paper
+//!   over it, the task never starts and the generous outer deadline trips;
+//! * a **poll regression** (someone reintroduces a timer-driven idle
+//!   loop): the median submit→start latency jumps to the poll period;
+//!   asserting the median stays well under the old 20 ms period pins the
+//!   notification path as the mechanism that wakes workers.
+
+use std::time::{Duration, Instant};
+
+use nosv::prelude::*;
+
+#[test]
+fn sleeping_workers_wake_by_notification_not_by_poll() {
+    const ROUNDS: usize = 40;
+    let rt = Runtime::builder().cpus(2).build().expect("valid");
+    let app = rt.attach("latency").expect("attach");
+
+    let mut latencies: Vec<Duration> = Vec::with_capacity(ROUNDS);
+    for round in 0..ROUNDS {
+        // Let both workers drain and fall asleep on the idle gate.
+        std::thread::sleep(Duration::from_millis(2));
+        let t0 = Instant::now();
+        let started = Instant::now(); // overwritten by the body via channel
+        let (tx, rx) = std::sync::mpsc::channel::<Instant>();
+        let t = app.create_task(move |_| {
+            let _ = tx.send(Instant::now());
+        });
+        t.submit().expect("submit");
+        // A lost wakeup means no poll will ever run this task; fail loudly
+        // instead of hanging the suite.
+        t.wait_timeout(Duration::from_secs(10))
+            .unwrap_or_else(|e| panic!("round {round}: task never dispatched: {e}"));
+        let start = rx.recv().expect("body ran");
+        latencies.push(start.saturating_duration_since(t0));
+        t.destroy();
+        let _ = started;
+    }
+    drop(app);
+    rt.shutdown();
+
+    latencies.sort_unstable();
+    let median = latencies[ROUNDS / 2];
+    let worst = *latencies.last().unwrap();
+    println!("wake latency: median {median:?}, worst {worst:?}");
+    // The old poll fired every 20 ms, so a timer-driven idle loop puts the
+    // median around half the period. The notification path is microseconds;
+    // 10 ms keeps the assertion robust on a loaded 1-CPU CI container
+    // while still ruling out a 20 ms poll as the wake mechanism.
+    assert!(
+        median < Duration::from_millis(10),
+        "median submit→start latency {median:?} suggests workers wake by polling"
+    );
+}
