@@ -1,0 +1,184 @@
+//! Per-task scheduling affinity (§3.4's locality policy).
+//!
+//! Shared by both backends: the live runtime encodes an [`Affinity`] into
+//! the shared-memory task descriptor, the simulator attaches one to each
+//! simulated task instance, and [`crate::SchedCore`] routes tasks to
+//! queues from it — the exact same routing decision in both.
+
+use std::fmt;
+
+/// Per-task scheduling affinity (§3.4's locality policy).
+///
+/// `strict` affinity restricts execution to the named core/NUMA node;
+/// best-effort (`strict = false`) prefers it but allows any idle core to
+/// steal the task, trading locality for utilization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Affinity {
+    /// No placement preference (the default).
+    #[default]
+    None,
+    /// Prefer or require a specific core.
+    Core {
+        /// Target core index.
+        index: usize,
+        /// Whether the placement is mandatory.
+        strict: bool,
+    },
+    /// Prefer or require a specific NUMA node.
+    Numa {
+        /// Target NUMA node index.
+        index: usize,
+        /// Whether the placement is mandatory.
+        strict: bool,
+    },
+}
+
+const AFF_KIND_NONE: u64 = 0;
+const AFF_KIND_CORE: u64 = 1;
+const AFF_KIND_NUMA: u64 = 2;
+const AFF_STRICT: u64 = 1 << 2;
+
+/// Rejection of an out-of-topology [`Affinity`] by
+/// [`Affinity::validate`]. The live runtime wraps this into its own error
+/// type (`nosv::NosvError::InvalidAffinity`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidAffinity {
+    /// The offending affinity.
+    pub affinity: Affinity,
+    /// Why it was rejected.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for InvalidAffinity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid affinity {:?}: {}", self.affinity, self.reason)
+    }
+}
+
+impl std::error::Error for InvalidAffinity {}
+
+impl Affinity {
+    /// Encodes the affinity into one word (the shared-memory descriptor
+    /// representation the live runtime stores).
+    pub fn encode(self) -> u64 {
+        match self {
+            Affinity::None => AFF_KIND_NONE,
+            Affinity::Core { index, strict } => {
+                AFF_KIND_CORE | if strict { AFF_STRICT } else { 0 } | ((index as u64) << 8)
+            }
+            Affinity::Numa { index, strict } => {
+                AFF_KIND_NUMA | if strict { AFF_STRICT } else { 0 } | ((index as u64) << 8)
+            }
+        }
+    }
+
+    /// Decodes a word produced by [`Affinity::encode`]. Unknown kinds
+    /// decode as [`Affinity::None`].
+    pub fn decode(raw: u64) -> Affinity {
+        let strict = raw & AFF_STRICT != 0;
+        let index = (raw >> 8) as usize;
+        match raw & 0b11 {
+            AFF_KIND_CORE => Affinity::Core { index, strict },
+            AFF_KIND_NUMA => Affinity::Numa { index, strict },
+            _ => Affinity::None,
+        }
+    }
+
+    /// Whether the affinity is strict (placement mandatory).
+    pub fn is_strict(self) -> bool {
+        matches!(
+            self,
+            Affinity::Core { strict: true, .. } | Affinity::Numa { strict: true, .. }
+        )
+    }
+
+    /// Checks this affinity against a topology of `cpus` cores and
+    /// `numa_nodes` NUMA nodes.
+    ///
+    /// The runtime validates at *both* ends of a task's life — task
+    /// creation and submission — and the scheduling core then trusts the
+    /// index outright: an out-of-range affinity is an error surfaced to
+    /// the caller, never silently wrapped onto some other core.
+    pub fn validate(self, cpus: usize, numa_nodes: usize) -> Result<(), InvalidAffinity> {
+        match self {
+            Affinity::None => Ok(()),
+            Affinity::Core { index, .. } if index >= cpus => Err(InvalidAffinity {
+                affinity: self,
+                reason: "core index beyond the runtime's CPUs",
+            }),
+            Affinity::Numa { index, .. } if index >= numa_nodes => Err(InvalidAffinity {
+                affinity: self,
+                reason: "NUMA node index beyond the runtime's nodes",
+            }),
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affinity_encode_decode_roundtrip() {
+        for a in [
+            Affinity::None,
+            Affinity::Core {
+                index: 0,
+                strict: true,
+            },
+            Affinity::Core {
+                index: 63,
+                strict: false,
+            },
+            Affinity::Numa {
+                index: 3,
+                strict: true,
+            },
+            Affinity::Numa {
+                index: 0,
+                strict: false,
+            },
+        ] {
+            assert_eq!(Affinity::decode(a.encode()), a, "{a:?}");
+        }
+    }
+
+    #[test]
+    fn strictness() {
+        assert!(!Affinity::None.is_strict());
+        assert!(Affinity::Core {
+            index: 1,
+            strict: true
+        }
+        .is_strict());
+        assert!(!Affinity::Numa {
+            index: 1,
+            strict: false
+        }
+        .is_strict());
+    }
+
+    #[test]
+    fn validate_bounds() {
+        assert!(Affinity::None.validate(1, 1).is_ok());
+        assert!(Affinity::Core {
+            index: 3,
+            strict: false
+        }
+        .validate(4, 1)
+        .is_ok());
+        assert!(Affinity::Core {
+            index: 4,
+            strict: false
+        }
+        .validate(4, 1)
+        .is_err());
+        assert!(Affinity::Numa {
+            index: 2,
+            strict: true
+        }
+        .validate(4, 2)
+        .is_err());
+    }
+}

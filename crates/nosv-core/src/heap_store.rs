@@ -1,0 +1,274 @@
+//! [`HeapStore`]: the reference in-memory [`TaskStore`].
+//!
+//! The simulator's backend — and the store the driver-parity tests feed
+//! directly. Queue semantics match the live runtime's shared-segment
+//! intrusive queues exactly: descending task priority, FIFO within equal
+//! priority, bounded head scans for steals.
+
+use std::collections::VecDeque;
+
+use crate::affinity::Affinity;
+use crate::sched::{QueueId, TaskStore};
+
+/// Handle to a task inside a [`HeapStore`].
+///
+/// Valid from [`HeapStore::insert`] until [`HeapStore::remove`]; the
+/// store reuses removed slots, so a stale handle may alias a newer task —
+/// remove tasks promptly once popped and executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskRef(u32);
+
+struct TaskEntry<P> {
+    pid: u64,
+    slot: u32,
+    priority: i32,
+    affinity: Affinity,
+    /// `None` marks a free (removed) entry awaiting reuse.
+    payload: Option<P>,
+}
+
+/// An in-memory task store: heap task instances plus one priority queue
+/// per [`QueueId`].
+pub struct HeapStore<P> {
+    tasks: Vec<TaskEntry<P>>,
+    free: Vec<u32>,
+    core_qs: Vec<VecDeque<TaskRef>>,
+    numa_qs: Vec<VecDeque<TaskRef>>,
+    proc_qs: Vec<VecDeque<TaskRef>>,
+}
+
+impl<P> HeapStore<P> {
+    /// A store with queues for `cpus` cores, `numa_nodes` NUMA nodes and
+    /// `procs` process slots.
+    pub fn new(cpus: usize, numa_nodes: usize, procs: usize) -> HeapStore<P> {
+        HeapStore {
+            tasks: Vec::new(),
+            free: Vec::new(),
+            core_qs: (0..cpus).map(|_| VecDeque::new()).collect(),
+            numa_qs: (0..numa_nodes).map(|_| VecDeque::new()).collect(),
+            proc_qs: (0..procs).map(|_| VecDeque::new()).collect(),
+        }
+    }
+
+    /// Creates a task instance (not yet queued — route it through
+    /// [`crate::SchedCore::route`]).
+    pub fn insert(
+        &mut self,
+        slot: u32,
+        pid: u64,
+        priority: i32,
+        affinity: Affinity,
+        payload: P,
+    ) -> TaskRef {
+        let entry = TaskEntry {
+            pid,
+            slot,
+            priority,
+            affinity,
+            payload: Some(payload),
+        };
+        match self.free.pop() {
+            Some(i) => {
+                self.tasks[i as usize] = entry;
+                TaskRef(i)
+            }
+            None => {
+                self.tasks.push(entry);
+                TaskRef((self.tasks.len() - 1) as u32)
+            }
+        }
+    }
+
+    /// The task's payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` was removed.
+    pub fn payload(&self, t: TaskRef) -> &P {
+        self.tasks[t.0 as usize]
+            .payload
+            .as_ref()
+            .expect("payload of a removed task")
+    }
+
+    /// Removes a (popped) task, returning its payload and freeing the slot
+    /// for reuse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` was already removed.
+    pub fn remove(&mut self, t: TaskRef) -> P {
+        let payload = self.tasks[t.0 as usize]
+            .payload
+            .take()
+            .expect("double remove of a task");
+        self.free.push(t.0);
+        payload
+    }
+
+    /// Number of live (inserted, not removed) tasks.
+    pub fn live_tasks(&self) -> usize {
+        self.tasks.len() - self.free.len()
+    }
+
+    fn queue(&self, q: QueueId) -> &VecDeque<TaskRef> {
+        match q {
+            QueueId::Core(i) => &self.core_qs[i],
+            QueueId::Numa(i) => &self.numa_qs[i],
+            QueueId::Proc(i) => &self.proc_qs[i],
+        }
+    }
+
+    fn queue_mut(&mut self, q: QueueId) -> &mut VecDeque<TaskRef> {
+        match q {
+            QueueId::Core(i) => &mut self.core_qs[i],
+            QueueId::Numa(i) => &mut self.numa_qs[i],
+            QueueId::Proc(i) => &mut self.proc_qs[i],
+        }
+    }
+}
+
+impl<P> TaskStore for HeapStore<P> {
+    type Task = TaskRef;
+
+    fn push(&mut self, queue: QueueId, task: TaskRef) {
+        let prio = self.tasks[task.0 as usize].priority;
+        // Insert behind every task of priority >= ours: descending
+        // priority order, FIFO among equals (same contract as the live
+        // runtime's intrusive queues).
+        let q = match queue {
+            QueueId::Core(i) => &mut self.core_qs[i],
+            QueueId::Numa(i) => &mut self.numa_qs[i],
+            QueueId::Proc(i) => &mut self.proc_qs[i],
+        };
+        let tasks = &self.tasks;
+        // Fast path: belongs at (or after) the tail — the all-equal-
+        // priority common case stays O(1) (phase materialization pushes
+        // thousands of equal-priority tasks back to back).
+        match q.back() {
+            None => q.push_back(task),
+            Some(back) if tasks[back.0 as usize].priority >= prio => q.push_back(task),
+            _ => {
+                let pos = q
+                    .iter()
+                    .position(|r| tasks[r.0 as usize].priority < prio)
+                    .unwrap_or(q.len());
+                q.insert(pos, task);
+            }
+        }
+    }
+
+    fn pop(&mut self, queue: QueueId) -> Option<TaskRef> {
+        self.queue_mut(queue).pop_front()
+    }
+
+    fn pop_stealable(&mut self, queue: QueueId, limit: usize) -> Option<TaskRef> {
+        let idx = {
+            let q = self.queue(queue);
+            let tasks = &self.tasks;
+            q.iter()
+                .take(limit)
+                .position(|r| !tasks[r.0 as usize].affinity.is_strict())?
+        };
+        self.queue_mut(queue).remove(idx)
+    }
+
+    fn queue_is_empty(&self, queue: QueueId) -> bool {
+        self.queue(queue).is_empty()
+    }
+
+    fn head_priority(&self, queue: QueueId) -> Option<i32> {
+        self.queue(queue)
+            .front()
+            .map(|r| self.tasks[r.0 as usize].priority)
+    }
+
+    fn affinity(&self, task: TaskRef) -> Affinity {
+        self.tasks[task.0 as usize].affinity
+    }
+
+    fn pid(&self, task: TaskRef) -> u64 {
+        self.tasks[task.0 as usize].pid
+    }
+
+    fn slot(&self, task: TaskRef) -> usize {
+        self.tasks[task.0 as usize].slot as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> HeapStore<u64> {
+        HeapStore::new(2, 1, 2)
+    }
+
+    #[test]
+    fn fifo_within_equal_priority() {
+        let mut s = store();
+        let q = QueueId::Proc(0);
+        for id in 0..5u64 {
+            let t = s.insert(0, 1, 0, Affinity::None, id);
+            s.push(q, t);
+        }
+        let mut out = Vec::new();
+        while let Some(t) = s.pop(q) {
+            out.push(s.remove(t));
+        }
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        assert_eq!(s.live_tasks(), 0);
+    }
+
+    #[test]
+    fn higher_priority_jumps_ahead() {
+        let mut s = store();
+        let q = QueueId::Proc(0);
+        for (id, prio) in [(1u64, 0), (2, 5), (3, 0), (4, 10), (5, 5)] {
+            let t = s.insert(0, 1, prio, Affinity::None, id);
+            s.push(q, t);
+        }
+        let mut out = Vec::new();
+        while let Some(t) = s.pop(q) {
+            out.push(s.remove(t));
+        }
+        // Same order the live runtime's queue produces.
+        assert_eq!(out, vec![4, 2, 5, 1, 3]);
+    }
+
+    #[test]
+    fn pop_stealable_respects_limit_and_strictness() {
+        let mut s = store();
+        let q = QueueId::Core(0);
+        let strict = Affinity::Core {
+            index: 0,
+            strict: true,
+        };
+        let loose = Affinity::Core {
+            index: 0,
+            strict: false,
+        };
+        for (id, aff) in [(1u64, strict), (2, strict), (3, loose)] {
+            let t = s.insert(0, 1, 0, aff, id);
+            s.push(q, t);
+        }
+        assert!(
+            s.pop_stealable(q, 2).is_none(),
+            "limit 2 misses the loose task"
+        );
+        let t = s.pop_stealable(q, 8).unwrap();
+        assert_eq!(s.remove(t), 3);
+        assert_eq!(s.head_priority(q), Some(0));
+    }
+
+    #[test]
+    fn slot_reuse() {
+        let mut s = store();
+        let a = s.insert(0, 1, 0, Affinity::None, 7);
+        s.remove(a);
+        let b = s.insert(1, 2, 3, Affinity::None, 8);
+        assert_eq!(s.pid(b), 2);
+        assert_eq!(*s.payload(b), 8);
+        assert_eq!(s.live_tasks(), 1);
+    }
+}

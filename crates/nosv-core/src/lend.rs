@@ -1,0 +1,65 @@
+//! CPU-lending decisions (DLB/LeWI-style core lending).
+//!
+//! When an application's core sits idle, the runtime may lend it to
+//! another application with ready work. *Which* application borrows is a
+//! scheduling decision, so it lives here: the neediest candidate — most
+//! ready tasks — wins, first among equals. The simulator's DLB mode
+//! drives this for every lend; a live lending backend shares it the day
+//! it exists, by construction.
+
+/// An application eligible to borrow a lent core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LendCandidate {
+    /// Identifier the caller uses for the application (index, slot, …).
+    pub app: usize,
+    /// Number of ready tasks the application could run on the core.
+    pub ready: usize,
+}
+
+/// Picks the borrower for a lent core: the candidate with the most ready
+/// tasks; the first such candidate wins ties. Candidates with no ready
+/// work never borrow. Returns `None` when nobody qualifies.
+///
+/// Callers pre-filter eligibility (a dormant thread on the core, not
+/// finished, not the lender itself); this function owns only the
+/// neediness decision, so both backends rank borrowers identically.
+pub fn choose_borrower(candidates: impl IntoIterator<Item = LendCandidate>) -> Option<usize> {
+    let mut best: Option<(usize, usize)> = None; // (ready, app)
+    for c in candidates {
+        if c.ready > 0 && best.is_none_or(|(r, _)| c.ready > r) {
+            best = Some((c.ready, c.app));
+        }
+    }
+    best.map(|(_, app)| app)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(app: usize, ready: usize) -> LendCandidate {
+        LendCandidate { app, ready }
+    }
+
+    #[test]
+    fn neediest_wins() {
+        assert_eq!(
+            choose_borrower([cand(0, 2), cand(1, 9), cand(2, 4)]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn first_wins_ties() {
+        assert_eq!(
+            choose_borrower([cand(3, 5), cand(1, 5), cand(2, 5)]),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn idle_candidates_never_borrow() {
+        assert_eq!(choose_borrower([cand(0, 0), cand(1, 0)]), None);
+        assert_eq!(choose_borrower([]), None);
+    }
+}

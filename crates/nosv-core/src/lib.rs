@@ -1,0 +1,51 @@
+//! # nosv-core: the backend-agnostic scheduling core
+//!
+//! The paper's central claim is that **one** node-wide scheduler governs
+//! every application on the node — and our evaluation is only as credible
+//! as the promise that the discrete-event simulator schedules *exactly*
+//! like the live runtime. This crate makes that promise hold by
+//! construction: the complete scheduling state machine lives here once, as
+//! pure, synchronization-free, time-abstract logic, and is *driven* twice —
+//! by the live runtime's shared-memory scheduler (`nosv`) and by the
+//! simulator's event loop (`simnode`).
+//!
+//! What lives here:
+//!
+//! * [`policy`] — the process-selection policy (§3.4): process preference
+//!   bounded by a quantum, application priorities, round-robin rotation.
+//! * [`Affinity`] — per-task placement (core/NUMA, strict/best-effort).
+//! * [`SchedCore`] — the full per-node scheduler state machine: queue
+//!   routing, readiness bitmaps, candidate collection, per-core quantum
+//!   accounting, steal-victim rotation, and yield requeueing — generic
+//!   over a [`TaskStore`] (shared-segment descriptors in the live runtime,
+//!   heap instances in the simulator) and fed explicit timestamps (real
+//!   nanoseconds or virtual simulated time).
+//! * [`HeapStore`] — the reference in-memory [`TaskStore`] the simulator
+//!   builds on (and tests drive directly).
+//! * [`lend`] — DLB/LeWI-style CPU-lending decisions (which application
+//!   borrows an idle core).
+//!
+//! Nothing in this crate blocks, allocates on the decision path (scratch
+//! buffers are preallocated), or reads a clock: callers pass `now_ns`. A
+//! driver supplies mutual exclusion (the live runtime's delegation lock),
+//! storage (`TaskStore`), and time; the decisions are shared.
+
+#![warn(missing_docs)]
+
+mod affinity;
+mod heap_store;
+pub mod lend;
+pub mod policy;
+mod sched;
+
+pub use affinity::{Affinity, InvalidAffinity};
+pub use heap_store::{HeapStore, TaskRef};
+pub use policy::{
+    apply_decision, pick_process, quantum_expired, CandidateProc, CoreQuantum, Decision,
+    QuantumPolicy, SchedPolicy,
+};
+pub use sched::{Pick, PickSource, QueueId, SchedCore, TaskStore, STEAL_SCAN_LIMIT};
+
+/// Default process quantum: 20 ms, the value used for all experiments in
+/// the paper's evaluation (§5).
+pub const DEFAULT_QUANTUM_NS: u64 = 20_000_000;

@@ -147,8 +147,8 @@ pub fn apply_decision(core: &mut CoreQuantum, decision: &Decision, now_ns: u64) 
 /// quantum accounting. The live scheduler consults the policy inside its
 /// DTLock critical section; the simulator consults it at every simulated
 /// fetch. Because both go through this exact trait, a custom policy plugged
-/// into [`crate::RuntimeBuilder::policy`] behaves identically under
-/// `simnode::run_simulation_with_policy`.
+/// into the live runtime's builder (`nosv::RuntimeBuilder::policy`) behaves
+/// identically under `simnode::run_simulation_with_policy`.
 ///
 /// Implementations must be cheap and pure (no blocking, no interior
 /// I/O): the live runtime calls them while holding the scheduler lock.

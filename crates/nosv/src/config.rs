@@ -9,9 +9,7 @@ use nosv_shmem::SegmentConfig;
 
 use crate::error::NosvError;
 
-/// Default process quantum: 20 ms, the value used for all experiments in
-/// the paper's evaluation (§5).
-pub const DEFAULT_QUANTUM_NS: u64 = 20_000_000;
+pub(crate) use nosv_core::DEFAULT_QUANTUM_NS;
 
 /// Quanta beyond this (ten minutes) are rejected as unit mistakes: the
 /// paper's whole design space is milliseconds.

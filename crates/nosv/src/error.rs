@@ -28,6 +28,10 @@ pub enum NosvError {
     /// A task was built through a [`crate::ProcessContext`] that has
     /// already detached from the runtime.
     ProcessDetached,
+    /// [`crate::ProcessContext::detach`] found tasks of the process still
+    /// queued in the scheduler. Wait for (or cancel) the outstanding work
+    /// and detach again; the process stays attached and fully usable.
+    ProcessBusy,
     /// A [`crate::TaskBuilder`] reached [`crate::ProcessContext::build_task`]
     /// without a `run` callback.
     MissingTaskBody,
@@ -75,6 +79,9 @@ impl fmt::Display for NosvError {
             NosvError::ProcessDetached => {
                 write!(f, "process context already detached from the runtime")
             }
+            NosvError::ProcessBusy => {
+                write!(f, "process cannot detach: ready tasks still queued")
+            }
             NosvError::MissingTaskBody => {
                 write!(f, "task built without a run callback")
             }
@@ -96,6 +103,15 @@ impl fmt::Display for NosvError {
 }
 
 impl std::error::Error for NosvError {}
+
+impl From<nosv_core::InvalidAffinity> for NosvError {
+    fn from(e: nosv_core::InvalidAffinity) -> Self {
+        NosvError::InvalidAffinity {
+            affinity: e.affinity,
+            reason: e.reason,
+        }
+    }
+}
 
 impl From<nosv_shmem::AllocError> for NosvError {
     fn from(_: nosv_shmem::AllocError) -> Self {

@@ -68,17 +68,28 @@ mod builder;
 mod config;
 mod error;
 pub mod obs;
-pub mod policy;
 mod queue;
 mod runtime;
 mod scheduler;
 mod stats;
 mod task;
+#[doc(hidden)]
+pub mod testing;
 mod worker;
 
+/// The node-wide scheduling policy (paper §3.4), re-exported from
+/// [`nosv_core::policy`].
+///
+/// The decision logic itself lives in the backend-agnostic `nosv-core`
+/// crate so the live runtime and the `simnode` simulator consume the
+/// *same* code; `nosv::policy` remains as a compatibility path (existing
+/// `use nosv::policy::…` imports keep working).
+pub use nosv_core::policy;
+
 pub use builder::RuntimeBuilder;
-pub use config::{DEFAULT_QUANTUM_NS, DEFAULT_SUBMIT_RING_CAP};
+pub use config::DEFAULT_SUBMIT_RING_CAP;
 pub use error::NosvError;
+pub use nosv_core::DEFAULT_QUANTUM_NS;
 pub use obs::{
     AsciiTimelineSink, ChromeTraceSink, CounterKind, MemorySink, ObsEvent, ObsKind, TraceSink,
 };
@@ -87,7 +98,7 @@ pub use runtime::{ProcessContext, Runtime};
 pub use scheduler::SchedulerSnapshot;
 pub use stats::RuntimeStats;
 pub use task::{Affinity, TaskBuilder, TaskCtx, TaskHandle, TaskId, TaskState};
-pub use worker::pause;
+pub use worker::{pause, yield_now};
 
 /// One-import working set for the builder-first API.
 ///
@@ -103,7 +114,7 @@ pub mod prelude {
     };
     pub use crate::policy::{QuantumPolicy, SchedPolicy};
     pub use crate::{
-        pause, Affinity, NosvError, ProcessContext, Runtime, RuntimeBuilder, RuntimeStats,
-        TaskBuilder, TaskCtx, TaskHandle, TaskId, TaskState,
+        pause, yield_now, Affinity, NosvError, ProcessContext, Runtime, RuntimeBuilder,
+        RuntimeStats, TaskBuilder, TaskCtx, TaskHandle, TaskId, TaskState,
     };
 }

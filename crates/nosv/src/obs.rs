@@ -672,8 +672,8 @@ impl ObsCollector {
         ObsCollector { sink }
     }
 
-    /// A collector that drops everything (tracing disabled).
-    #[cfg(test)]
+    /// A collector that drops everything (tracing disabled). Used by
+    /// scheduler unit tests and the doc-hidden [`crate::testing`] driver.
     pub(crate) fn disabled() -> ObsCollector {
         ObsCollector { sink: None }
     }

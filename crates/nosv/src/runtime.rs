@@ -169,6 +169,36 @@ impl RuntimeInner {
                 }
             }
         };
+        self.enqueue_ready(desc, from)
+    }
+
+    /// The yield self-resubmission (`nosv_yield`'s requeue half): exactly
+    /// one `Paused -> Ready` attempt, no waiting.
+    ///
+    /// Losing the transition means a concurrent external submission
+    /// already requeued the task — the yield's goal is accomplished, so
+    /// this returns `Ok` instead of entering [`RuntimeInner::submit`]'s
+    /// wait-for-pause loop. That loop would deadlock here: the racing
+    /// resubmission can be popped and resume-handed to *this very thread*
+    /// (state `Running`, Resume parked in our mailbox), and the state only
+    /// leaves `Running` once we stop submitting and go consume the Resume.
+    pub(crate) fn submit_yielded(&self, desc: Shoff<TaskDesc>) -> Result<(), NosvError> {
+        // SAFETY: the descriptor belongs to the task running on the
+        // calling worker thread; alive until destroy.
+        let d = unsafe { self.seg.sref(desc) };
+        if !d.transition(TaskState::Paused, TaskState::Ready) {
+            return Ok(());
+        }
+        self.enqueue_ready(desc, TaskState::Paused)
+    }
+
+    /// Enqueues a descriptor whose `Ready` transition (from `from`) the
+    /// caller just performed: shutdown handshake, counters, the actual
+    /// scheduler insert, and the idle-gate wakeup.
+    fn enqueue_ready(&self, desc: Shoff<TaskDesc>, from: TaskState) -> Result<(), NosvError> {
+        // SAFETY: as in the callers.
+        let d = unsafe { self.seg.sref(desc) };
+        let affinity = Affinity::decode(d.affinity.load(Ordering::Relaxed));
         // Shutdown synchronization without a lock (store-buffer pairing):
         // we bump `pending_tasks` (SeqCst) *then* load the shutdown flag;
         // `shutdown` stores the flag (SeqCst) *then* loads the pending
@@ -326,7 +356,7 @@ impl Runtime {
         Ok(ProcessContext {
             rt: Arc::clone(&self.inner),
             proc,
-            detached: AtomicBool::new(false),
+            state: std::sync::atomic::AtomicU32::new(CTX_ATTACHED),
         })
     }
 
@@ -340,7 +370,10 @@ impl Runtime {
         self.inner.counters.snapshot()
     }
 
-    /// Racy snapshot of the shared scheduler's queues.
+    /// Snapshot of the shared scheduler's queues and per-core process
+    /// assignment. Taken under the scheduler's delegation lock, so it is
+    /// internally consistent — which also means a call contends with
+    /// every worker's task fetch; avoid calling it in a tight loop.
     pub fn scheduler_snapshot(&self) -> SchedulerSnapshot {
         self.inner.sched.snapshot()
     }
@@ -456,8 +489,17 @@ impl std::fmt::Debug for Runtime {
 pub struct ProcessContext {
     rt: Arc<RuntimeInner>,
     proc: Arc<ProcInner>,
-    detached: AtomicBool,
+    /// Detach life cycle: [`CTX_ATTACHED`] → [`CTX_DETACHING`] →
+    /// ([`CTX_DETACHED`] | back to attached on `ProcessBusy`). A CAS gate
+    /// rather than a boolean: the teardown must run at most once even
+    /// under concurrent `detach()` calls, while a refused attempt must
+    /// return the context to fully-attached.
+    state: std::sync::atomic::AtomicU32,
 }
+
+const CTX_ATTACHED: u32 = 0;
+const CTX_DETACHING: u32 = 1;
+const CTX_DETACHED: u32 = 2;
 
 impl ProcessContext {
     /// This process's id.
@@ -557,33 +599,71 @@ impl ProcessContext {
     ///
     /// Idempotent, and also performed on drop. After detaching,
     /// [`ProcessContext::build_task`] returns [`NosvError::ProcessDetached`].
-    /// All tasks created through this context must have completed and been
-    /// destroyed first.
-    pub fn detach(&self) {
-        self.detach_inner();
+    ///
+    /// Returns [`NosvError::ProcessBusy`] when ready tasks of this process
+    /// are still queued in the scheduler — in its process queue *or* in
+    /// the core/NUMA queues its placed tasks routed to — a *recoverable*
+    /// condition: the context stays attached and fully usable; wait for
+    /// the outstanding work and detach again. (Earlier versions panicked
+    /// here.) In-flight lock-free submissions are flushed into the queues
+    /// before the check, so a detach never strands a ring entry.
+    pub fn detach(&self) -> Result<(), NosvError> {
+        self.detach_inner()
     }
 
-    fn detach_inner(&self) {
-        if self.detached.swap(true, Ordering::AcqRel) {
-            return;
+    fn detach_inner(&self) -> Result<(), NosvError> {
+        // Win the DETACHING gate before touching any shared state: the
+        // teardown below must run at most once even when several threads
+        // share the context and race detach() — a loser that unregistered
+        // a slot the registry already reused would deactivate a *new*
+        // process. On ProcessBusy the gate reopens (context stays
+        // attached); a concurrent caller waits for the in-flight attempt
+        // and then observes its outcome.
+        loop {
+            match self.state.compare_exchange(
+                CTX_ATTACHED,
+                CTX_DETACHING,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(CTX_DETACHED) => return Ok(()),
+                Err(_) => std::thread::yield_now(), // DETACHING: retry
+            }
+        }
+        if let Err(e) = self.rt.sched.unregister_proc(self.proc.slot) {
+            // Refused (tasks still queued): fully reopen.
+            self.state.store(CTX_ATTACHED, Ordering::Release);
+            return Err(e);
         }
         self.proc.active.store(false, Ordering::Release);
-        self.rt.sched.unregister_proc(self.proc.slot);
         self.rt.seg.detach(nosv_shmem::ProcessId {
             pid: self.proc.pid,
             slot: self.proc.slot,
         });
+        self.state.store(CTX_DETACHED, Ordering::Release);
         // The process's entry stays in the table and its parked workers stay
         // alive until runtime shutdown: active workers of this process may
         // still be relaying cores (their pull loop hands foreign tasks off)
         // and must be able to park; they just never execute a task body
         // again because no task of this pid can exist anymore.
+        Ok(())
     }
 }
 
 impl Drop for ProcessContext {
     fn drop(&mut self) {
-        self.detach_inner();
+        // Dropping a context whose tasks are still queued is a program
+        // error (tasks must complete and be destroyed first); the explicit
+        // detach() path reports it recoverably, the drop path flags it in
+        // debug builds and leaves the slot registered (leaking it) rather
+        // than pulling the scheduler state out from under queued tasks.
+        let result = self.detach_inner();
+        debug_assert!(
+            result.is_ok(),
+            "ProcessContext {} dropped with ready tasks still queued",
+            self.proc.pid
+        );
     }
 }
 

@@ -1,22 +1,22 @@
-//! The shared scheduler (paper §3.4).
+//! The shared scheduler (paper §3.4): the live driver of the
+//! backend-agnostic scheduling core.
 //!
-//! One instance per runtime, its state in the shared segment, its mutual
-//! exclusion provided by a [`DtLock`]. Workers asking for tasks either win
-//! the lock — becoming a transient *server* that picks tasks for themselves
-//! and every waiting CPU with a consistent node-wide view — or are served
-//! directly through their DTLock wait slot without entering the critical
-//! section.
+//! One instance per runtime. Since the `nosv-core` extraction, this module
+//! contains **no scheduling decisions**: queue routing, priority ordering,
+//! readiness bitmaps, candidate collection, quantum accounting, steal
+//! rotation, and yield requeueing all live in [`nosv_core::SchedCore`],
+//! the exact code the `simnode` discrete-event simulator drives. What
+//! remains here is the live backend's *concurrency shell*:
 //!
-//! Ready tasks are distributed over three kinds of queues:
-//!
-//! * a per-process priority queue (tasks without placement constraints);
-//! * a per-core queue (tasks with [`Affinity::Core`]);
-//! * a per-NUMA-node queue (tasks with [`Affinity::Numa`]).
-//!
-//! A CPU looks in its own core queue first, then its NUMA queue, then asks
-//! the [process-preference policy](crate::policy) which process queue to
-//! pop, and finally tries to *steal* best-effort affinity tasks parked on
-//! other cores/nodes — strict tasks are never stolen.
+//! * the shared-memory layout (descriptor queues, per-process submission
+//!   rings) and the [`ShmStore`] adapter that exposes it to the core as a
+//!   [`TaskStore`];
+//! * the [`DtLock`] protecting the core: workers asking for tasks either
+//!   win the lock — becoming a transient *server* that picks tasks for
+//!   themselves and every waiting CPU with a consistent node-wide view —
+//!   or are served directly through their DTLock wait slot;
+//! * the lock-free submission path and its amortized batch drain;
+//! * counters and deferred observability events.
 //!
 //! # The hot path: rings, bitmaps, no allocation
 //!
@@ -32,32 +32,27 @@
 //!   across many submissions. A full ring falls back to a bounded locked
 //!   enqueue (which may reorder the overflow relative to ring contents;
 //!   priority order within each queue is unaffected).
-//! * **Readiness bitmaps.** `AtomicU64` non-empty masks over the core
+//! * **Readiness bitmaps.** The core's non-empty masks over the core
 //!   queues, the NUMA queues, and the process slots let every scan —
 //!   candidate collection, steal victims — jump between non-empty queues
 //!   with `trailing_zeros` instead of walking `MAX_PROCS` slots and every
-//!   core queue per pick. The masks are maintained under the lock, so
-//!   inside the critical section they are exact, not heuristics.
-//! * **No allocation in the critical section.** Candidate collection uses
-//!   fixed-size stack arrays; deferred observability events reuse a
+//!   core queue per pick. The masks are part of the lock-protected core
+//!   state, so inside the critical section they are exact, not heuristics.
+//! * **No allocation in the critical section.** The core's candidate
+//!   scratch is preallocated; deferred observability events reuse a
 //!   thread-local buffer. The lock hold never touches the host allocator.
-//!
-//! Batching changes *mechanism*, not *decisions*: queues are drained and
-//! scanned in the same order the unbatched scheduler used, so scheduling
-//! decisions (and the simulator parity properties built on them) are
-//! unchanged.
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use nosv_core::{Pick, PickSource, QueueId, SchedCore, SchedPolicy, TaskStore};
 use nosv_shmem::{ShmSegment, Shoff, SubmitRing, MAX_PROCS};
 use nosv_sync::{Acquired, DtLock};
 
 use crate::config::NosvConfig;
 use crate::error::NosvError;
 use crate::obs::{ObsCollector, ObsEvent, ObsKind};
-use crate::policy::{CandidateProc, CoreQuantum, SchedPolicy};
 use crate::queue::TaskQueue;
 use crate::stats::Counters;
 use crate::task::{Affinity, TaskDesc, TaskId};
@@ -66,10 +61,7 @@ use crate::task::{Affinity, TaskDesc, TaskId};
 pub(crate) const MAX_CPUS: usize = 256;
 /// Maximum NUMA nodes.
 pub(crate) const MAX_NUMA: usize = 16;
-/// Words of the per-core readiness bitmap.
-const CORE_MASK_WORDS: usize = MAX_CPUS / 64;
 
-// The process and NUMA readiness masks are single words.
 const _: () = assert!(MAX_PROCS <= 64 && MAX_NUMA <= 64);
 
 /// A ready task travelling from the scheduler to a worker (possibly through
@@ -78,10 +70,6 @@ pub(crate) type ReadyTask = Shoff<TaskDesc>;
 
 #[repr(C)]
 struct ProcSched {
-    active: AtomicU32,
-    /// Application priority (i32 bits).
-    app_priority: AtomicU32,
-    pid: AtomicU64,
     queue: TaskQueue,
     /// This process's lock-free submission ring (initialized at first
     /// registration of the slot; reused across re-registrations).
@@ -89,41 +77,87 @@ struct ProcSched {
 }
 
 #[repr(C)]
-struct CoreSched {
-    /// [`CoreQuantum::current_pid`].
-    current_pid: AtomicU64,
-    /// [`CoreQuantum::since_ns`].
-    since_ns: AtomicU64,
-    /// Core-affinity tasks bound or preferring this core.
-    queue: TaskQueue,
-}
-
-#[repr(C)]
 struct SchedRoot {
     total_ready: AtomicU64,
-    rr_cursor: AtomicU64,
     /// Bit per process slot whose submission ring may hold entries. Set by
     /// producers after a push; cleared by the draining lock holder before
     /// it empties the ring (so a concurrent push re-dirties it).
     ring_mask: AtomicU64,
-    /// Bit per process slot with a non-empty process queue (exact under
-    /// the lock: queue pushes/pops maintain it).
-    proc_mask: AtomicU64,
-    /// Bit per NUMA node with a non-empty node queue.
-    numa_mask: AtomicU64,
-    /// Bit per core with a non-empty core queue.
-    core_mask: [AtomicU64; CORE_MASK_WORDS],
     procs: [ProcSched; MAX_PROCS],
-    cores: [CoreSched; MAX_CPUS],
+    cores: [TaskQueue; MAX_CPUS],
     numas: [TaskQueue; MAX_NUMA],
+}
+
+/// Adapter exposing the shared-segment queues to [`SchedCore`] as a
+/// [`TaskStore`]: intrusive descriptor queues, one per core/NUMA
+/// node/process slot. All mutation happens under the scheduler's DTLock
+/// (the queues use interior atomics only to be shareable).
+struct ShmStore<'a> {
+    seg: &'a ShmSegment,
+    root: &'a SchedRoot,
+}
+
+impl ShmStore<'_> {
+    fn queue(&self, q: QueueId) -> &TaskQueue {
+        match q {
+            QueueId::Core(i) => &self.root.cores[i],
+            QueueId::Numa(i) => &self.root.numas[i],
+            QueueId::Proc(i) => &self.root.procs[i].queue,
+        }
+    }
+
+    fn desc(&self, t: ReadyTask) -> &TaskDesc {
+        // SAFETY: ready tasks are alive while queued/owned by the scheduler.
+        unsafe { self.seg.sref(t) }
+    }
+}
+
+impl TaskStore for ShmStore<'_> {
+    type Task = ReadyTask;
+
+    fn push(&mut self, q: QueueId, t: ReadyTask) {
+        self.queue(q).push(self.seg, t);
+    }
+
+    fn pop(&mut self, q: QueueId) -> Option<ReadyTask> {
+        self.queue(q).pop(self.seg)
+    }
+
+    fn pop_stealable(&mut self, q: QueueId, limit: usize) -> Option<ReadyTask> {
+        self.queue(q).pop_if(self.seg, limit, |d| {
+            !Affinity::decode(d.affinity.load(Ordering::Relaxed)).is_strict()
+        })
+    }
+
+    fn queue_is_empty(&self, q: QueueId) -> bool {
+        self.queue(q).is_empty()
+    }
+
+    fn head_priority(&self, q: QueueId) -> Option<i32> {
+        self.queue(q).head_priority(self.seg)
+    }
+
+    fn affinity(&self, t: ReadyTask) -> Affinity {
+        Affinity::decode(self.desc(t).affinity.load(Ordering::Relaxed))
+    }
+
+    fn pid(&self, t: ReadyTask) -> u64 {
+        self.desc(t).pid.load(Ordering::Relaxed)
+    }
+
+    fn slot(&self, t: ReadyTask) -> usize {
+        self.desc(t).slot.load(Ordering::Relaxed) as usize
+    }
 }
 
 pub(crate) struct Scheduler {
     seg: ShmSegment,
     root: Shoff<SchedRoot>,
-    lock: DtLock<(), ReadyTask>,
+    /// The delegation lock *protecting the scheduling core*: decision
+    /// state (bitmaps, quantum accounting, process table, rr cursor) is
+    /// only reachable through a holder's guard.
+    lock: DtLock<SchedCore, ReadyTask>,
     cpus: usize,
-    cpus_per_numa: usize,
     /// Per-process submission ring capacity; `0` = rings disabled.
     ring_cap: usize,
     /// The process-selection policy, shared with the simulator backend.
@@ -140,7 +174,8 @@ pub(crate) enum SubmitPath {
     Locked,
 }
 
-/// Racy observability snapshot of the scheduler (for tests and tools).
+/// Observability snapshot of the scheduler (for tests and tools). Taken
+/// under the scheduler lock, so internally consistent.
 #[derive(Debug, Clone)]
 pub struct SchedulerSnapshot {
     /// Ready tasks across all queues (submission rings included).
@@ -151,9 +186,6 @@ pub struct SchedulerSnapshot {
     /// Current process per core (`0` = none yet).
     pub per_core_pid: Vec<u64>,
 }
-
-/// Scan depth bound for steal scans (keeps the critical section short).
-const STEAL_SCAN_LIMIT: usize = 8;
 
 thread_local! {
     /// Reusable buffer for observability events produced inside the
@@ -176,16 +208,15 @@ impl Scheduler {
         let root: Shoff<SchedRoot> = seg
             .alloc_zeroed(std::mem::size_of::<SchedRoot>(), 0)?
             .cast();
-        // Zeroed SchedRoot is valid: empty queues, inactive processes,
-        // uninitialized rings, all-clear readiness masks.
+        // Zeroed SchedRoot is valid: empty queues, uninitialized rings.
+        let core = SchedCore::new(config.cpus, config.cpus_per_numa, MAX_PROCS);
         Ok(Scheduler {
             seg,
             root,
             // Waiters are at most one worker per CPU, plus headroom for
             // submitter threads taking the plain lock path.
-            lock: DtLock::new((), config.cpus + 64),
+            lock: DtLock::new(core, config.cpus + 64),
             cpus: config.cpus,
-            cpus_per_numa: config.cpus_per_numa,
             ring_cap: config.submit_ring_cap,
             policy,
         })
@@ -196,13 +227,11 @@ impl Scheduler {
         unsafe { self.seg.sref(self.root) }
     }
 
-    fn desc(&self, t: ReadyTask) -> &TaskDesc {
-        // SAFETY: ready tasks are alive while queued/owned by the scheduler.
-        unsafe { self.seg.sref(t) }
-    }
-
-    fn numa_of(&self, cpu: usize) -> usize {
-        cpu.checked_div(self.cpus_per_numa).unwrap_or(0)
+    fn store(&self) -> ShmStore<'_> {
+        ShmStore {
+            seg: &self.seg,
+            root: self.root(),
+        }
     }
 
     pub(crate) fn register_proc(&self, slot: u32, pid: u64) {
@@ -213,25 +242,38 @@ impl Scheduler {
             // fatal — the slot simply submits through the locked path.
             let _ = p.ring.init(&self.seg, self.ring_cap);
         }
-        p.pid.store(pid, Ordering::Relaxed);
-        p.app_priority.store(0, Ordering::Relaxed);
-        p.active.store(1, Ordering::Release);
+        let mut core = self.lock.lock();
+        core.register_proc(slot as usize, pid);
     }
 
-    pub(crate) fn unregister_proc(&self, slot: u32) {
-        let p = &self.root().procs[slot as usize];
-        assert!(
-            p.queue.is_empty() && p.ring.is_empty(),
-            "process detached with ready tasks still queued"
+    /// Unregisters a process slot (§3.3 unregistration).
+    ///
+    /// Drains the submission rings first (a detach must not strand the
+    /// process's in-flight lock-free submissions), then refuses with
+    /// [`NosvError::ProcessBusy`] while ready tasks of the process are
+    /// still queued **anywhere** — its process queue or the core/NUMA
+    /// queues its placed tasks routed to (the core counts them per slot).
+    /// A recoverable condition: the slot stays registered and usable.
+    pub(crate) fn unregister_proc(&self, slot: u32) -> Result<(), NosvError> {
+        let mut core = self.lock.lock();
+        self.drain_rings_locked(&mut core);
+        if core.proc_ready_count(slot as usize) > 0 {
+            return Err(NosvError::ProcessBusy);
+        }
+        // Internal invariant: the drain above emptied this slot's ring and
+        // nothing refills it while we hold the lock (a submit racing a
+        // detach of its own process is a caller bug).
+        debug_assert!(
+            self.root().procs[slot as usize].ring.is_empty(),
+            "submission ring refilled during detach"
         );
-        p.active.store(0, Ordering::Release);
-        p.pid.store(0, Ordering::Relaxed);
+        core.unregister_proc(slot as usize);
+        Ok(())
     }
 
     pub(crate) fn set_app_priority(&self, slot: u32, priority: i32) {
-        self.root().procs[slot as usize]
-            .app_priority
-            .store(priority as u32, Ordering::Relaxed);
+        let mut core = self.lock.lock();
+        core.set_app_priority(slot as usize, priority);
     }
 
     /// Whether any task is ready (fast, lock-free check for idle loops).
@@ -245,7 +287,8 @@ impl Scheduler {
     /// (which first drains every ring, so the fallback also amortizes).
     pub(crate) fn submit(&self, task: ReadyTask) -> SubmitPath {
         let root = self.root();
-        let d = self.desc(task);
+        // SAFETY: handle-owned descriptor, alive until destroy.
+        let d = unsafe { self.seg.sref(task) };
         let slot = d.slot.load(Ordering::Relaxed) as usize;
         // Count the task as ready *before* it becomes drainable: once the
         // ring push lands, a concurrent server can drain, pick, and
@@ -266,18 +309,20 @@ impl Scheduler {
             root.ring_mask.fetch_or(1 << slot, Ordering::Release);
             return SubmitPath::Ring;
         }
-        let g = self.lock.lock();
-        self.drain_rings_locked();
-        self.route_locked(task);
-        drop(g);
+        let mut core = self.lock.lock();
+        self.drain_rings_locked(&mut core);
+        let mut store = self.store();
+        core.route(&mut store, task);
+        drop(core);
         SubmitPath::Locked
     }
 
     /// Moves every ring entry into its destination queue. Caller holds the
     /// lock. One batch per lock hold: this is the paper's amortization —
     /// many lock-free submissions, one critical-section traversal.
-    fn drain_rings_locked(&self) {
+    fn drain_rings_locked(&self, core: &mut SchedCore) {
         let root = self.root();
+        let mut store = self.store();
         let mut mask = root.ring_mask.load(Ordering::Acquire);
         while mask != 0 {
             let slot = mask.trailing_zeros() as usize;
@@ -290,80 +335,17 @@ impl Scheduler {
             while let Some(raw) = p.ring.pop(&self.seg) {
                 // total_ready was counted at push time; routing moves the
                 // task between scheduler-internal homes.
-                self.route_locked(Shoff::from_raw(raw));
-            }
-        }
-    }
-
-    /// Routes a task to the queue its affinity designates and maintains
-    /// the readiness bitmaps. Caller holds the lock. Does not touch
-    /// `total_ready` (counted at submission).
-    fn route_locked(&self, task: ReadyTask) {
-        let root = self.root();
-        let d = self.desc(task);
-        let affinity = Affinity::decode(d.affinity.load(Ordering::Relaxed));
-        match affinity {
-            Affinity::Core { index, .. } => {
-                // Validated at build/submit time; never wrapped silently.
-                debug_assert!(index < self.cpus, "unvalidated core affinity");
-                root.cores[index].queue.push(&self.seg, task);
-                root.core_mask[index / 64].fetch_or(1 << (index % 64), Ordering::Relaxed);
-            }
-            Affinity::Numa { index, .. } => {
-                debug_assert!(index < self.numa_nodes(), "unvalidated NUMA affinity");
-                root.numas[index].push(&self.seg, task);
-                root.numa_mask.fetch_or(1 << index, Ordering::Relaxed);
-            }
-            Affinity::None => {
-                let slot = d.slot.load(Ordering::Relaxed) as usize;
-                root.procs[slot].queue.push(&self.seg, task);
-                root.proc_mask.fetch_or(1 << slot, Ordering::Relaxed);
+                core.route(&mut store, Shoff::from_raw(raw));
             }
         }
     }
 
     /// Re-inserts a task the scheduler already handed out (a vanished
     /// delegation target). Caller holds the lock.
-    fn requeue_locked(&self, task: ReadyTask) {
-        self.route_locked(task);
+    fn requeue_locked(&self, core: &mut SchedCore, task: ReadyTask) {
+        let mut store = self.store();
+        core.route(&mut store, task);
         self.root().total_ready.fetch_add(1, Ordering::Release);
-    }
-
-    // -- bitmap-maintaining pops (all under the lock) ----------------------
-
-    fn pop_core(&self, cpu: usize) -> Option<ReadyTask> {
-        let root = self.root();
-        let t = root.cores[cpu].queue.pop(&self.seg)?;
-        if root.cores[cpu].queue.is_empty() {
-            root.core_mask[cpu / 64].fetch_and(!(1 << (cpu % 64)), Ordering::Relaxed);
-        }
-        Some(t)
-    }
-
-    fn pop_numa(&self, node: usize) -> Option<ReadyTask> {
-        let root = self.root();
-        let t = root.numas[node].pop(&self.seg)?;
-        if root.numas[node].is_empty() {
-            root.numa_mask.fetch_and(!(1 << node), Ordering::Relaxed);
-        }
-        Some(t)
-    }
-
-    fn pop_proc(&self, slot: usize) -> Option<ReadyTask> {
-        let root = self.root();
-        let t = root.procs[slot].queue.pop(&self.seg)?;
-        if root.procs[slot].queue.is_empty() {
-            root.proc_mask.fetch_and(!(1 << slot), Ordering::Relaxed);
-        }
-        Some(t)
-    }
-
-    fn numa_nodes(&self) -> usize {
-        if self.cpus_per_numa == 0 {
-            1
-        } else {
-            self.cpus.div_ceil(self.cpus_per_numa)
-        }
     }
 
     /// Fetches the next task for `cpu`, either by winning the DTLock and
@@ -389,16 +371,23 @@ impl Scheduler {
                 // The server's batch: first move every lock-free
                 // submission into the queues, then schedule for ourselves
                 // and every waiting CPU under the same hold.
-                self.drain_rings_locked();
-                let mine = self.pick_for_cpu(cpu, now_ns, counters, obs, &mut deferred);
+                self.drain_rings_locked(&mut guard);
+                let mine = self.pick_for_cpu(&mut guard, cpu, now_ns, counters, obs, &mut deferred);
                 // Serve every waiting CPU we can see while we are the
                 // server — the DTLock delegation pattern (§3.4).
                 while let Some(meta) = guard.next_waiter_meta() {
-                    match self.pick_for_cpu(meta as usize, now_ns, counters, obs, &mut deferred) {
+                    match self.pick_for_cpu(
+                        &mut guard,
+                        meta as usize,
+                        now_ns,
+                        counters,
+                        obs,
+                        &mut deferred,
+                    ) {
                         Some(task) => {
                             if let Err(task) = guard.serve_next(task) {
                                 // Waiter vanished mid-publication: requeue.
-                                self.requeue_locked(task);
+                                self.requeue_locked(&mut guard, task);
                                 break;
                             }
                         }
@@ -414,200 +403,60 @@ impl Scheduler {
         }
     }
 
-    /// The scheduling decision for one CPU. Caller holds the lock;
-    /// observability events are pushed to `deferred`, not emitted.
+    /// The scheduling decision for one CPU — one call into the shared
+    /// core, plus the live backend's bookkeeping (ready count, counters,
+    /// deferred observability). Caller holds the lock.
     fn pick_for_cpu(
         &self,
+        core: &mut SchedCore,
         cpu: usize,
         now_ns: u64,
         counters: &Counters,
         obs: &ObsCollector,
         deferred: &mut Vec<ObsEvent>,
     ) -> Option<ReadyTask> {
-        let root = self.root();
-        let cpu = cpu % self.cpus;
-
-        // 1. This core's affinity queue (strict and best-effort alike).
-        let picked = self
-            .pop_core(cpu)
-            // 2. This core's NUMA node queue.
-            .or_else(|| self.pop_numa(self.numa_of(cpu)))
-            // 3. Process queues, by preference + quantum + priority.
-            .or_else(|| self.pick_from_processes(cpu, now_ns, counters))
-            // 4. Steal a best-effort task parked elsewhere.
-            .or_else(|| self.steal(cpu, now_ns, counters, obs, deferred));
-
-        let task = picked?;
-        root.total_ready.fetch_sub(1, Ordering::Release);
-
-        // Update the core's quantum accounting to the task's process.
-        let pid = self.desc(task).pid.load(Ordering::Relaxed);
-        let core = &root.cores[cpu];
-        if core.current_pid.load(Ordering::Relaxed) != pid {
-            core.current_pid.store(pid, Ordering::Relaxed);
-            core.since_ns.store(now_ns, Ordering::Relaxed);
+        let mut store = self.store();
+        let Pick { task, pid, source } = core.pick(&mut store, &*self.policy, cpu, now_ns)?;
+        self.root().total_ready.fetch_sub(1, Ordering::Release);
+        match source {
+            PickSource::Process {
+                quantum_expired: true,
+            } => {
+                counters.quantum_switches.fetch_add(1, Ordering::Relaxed);
+            }
+            PickSource::Steal => {
+                counters.affinity_steals.fetch_add(1, Ordering::Relaxed);
+                if obs.enabled() {
+                    // SAFETY: a task handed out by the scheduler is alive.
+                    let d = unsafe { self.seg.sref(task) };
+                    deferred.push(ObsEvent {
+                        t_ns: now_ns,
+                        cpu: (cpu % self.cpus) as u32,
+                        pid,
+                        task: TaskId(d.id.load(Ordering::Relaxed)),
+                        kind: ObsKind::Steal,
+                    });
+                }
+            }
+            _ => {}
         }
         Some(task)
     }
 
-    fn pick_from_processes(
-        &self,
-        cpu: usize,
-        now_ns: u64,
-        counters: &Counters,
-    ) -> Option<ReadyTask> {
-        let root = self.root();
-        // Fixed-size scratch: the candidate set is bounded by MAX_PROCS,
-        // so collection never allocates inside the critical section. The
-        // readiness bitmap walks straight from one non-empty queue to the
-        // next (ascending slot order, same order the full scan used).
-        let mut candidates = [CandidateProc {
-            pid: 0,
-            app_priority: 0,
-            top_task_priority: 0,
-        }; MAX_PROCS];
-        let mut slots = [0u32; MAX_PROCS];
-        let mut n = 0;
-        let mut mask = root.proc_mask.load(Ordering::Relaxed);
-        while mask != 0 {
-            let slot = mask.trailing_zeros() as usize;
-            mask &= mask - 1;
-            let p = &root.procs[slot];
-            if p.active.load(Ordering::Relaxed) == 1 {
-                if let Some(top) = p.queue.head_priority(&self.seg) {
-                    candidates[n] = CandidateProc {
-                        pid: p.pid.load(Ordering::Relaxed),
-                        app_priority: p.app_priority.load(Ordering::Relaxed) as i32,
-                        top_task_priority: top,
-                    };
-                    slots[n] = slot as u32;
-                    n += 1;
-                }
-            }
-        }
-        let candidates = &candidates[..n];
-        let core_state = CoreQuantum {
-            current_pid: root.cores[cpu].current_pid.load(Ordering::Relaxed),
-            since_ns: root.cores[cpu].since_ns.load(Ordering::Relaxed),
-        };
-        let mut rr = root.rr_cursor.load(Ordering::Relaxed);
-        let decision = self
-            .policy
-            .pick_process(&core_state, now_ns, candidates, &mut rr)?;
-        root.rr_cursor.store(rr, Ordering::Relaxed);
-        if decision.quantum_expired {
-            counters.quantum_switches.fetch_add(1, Ordering::Relaxed);
-        }
-        let idx = candidates.iter().position(|c| c.pid == decision.pid)?;
-        self.pop_proc(slots[idx] as usize)
-    }
-
-    /// Steals a best-effort affinity task from another core or NUMA queue.
-    /// Caller holds the lock; the Steal event goes to `deferred`.
-    ///
-    /// Victims are visited in the same rotated order the pre-bitmap
-    /// scheduler scanned (`cpu+1, cpu+2, … mod cpus`), but the bitmap
-    /// jumps over empty queues instead of probing each one.
-    fn steal(
-        &self,
-        cpu: usize,
-        now_ns: u64,
-        counters: &Counters,
-        obs: &ObsCollector,
-        deferred: &mut Vec<ObsEvent>,
-    ) -> Option<ReadyTask> {
-        let root = self.root();
-        let not_strict =
-            |d: &TaskDesc| !Affinity::decode(d.affinity.load(Ordering::Relaxed)).is_strict();
-        let pop_victim = |victim: usize| -> Option<ReadyTask> {
-            let t = root.cores[victim]
-                .queue
-                .pop_if(&self.seg, STEAL_SCAN_LIMIT, not_strict)?;
-            if root.cores[victim].queue.is_empty() {
-                root.core_mask[victim / 64].fetch_and(!(1 << (victim % 64)), Ordering::Relaxed);
-            }
-            Some(t)
-        };
-        let stolen = 'found: {
-            // Non-empty core queues after us, then before us (== the
-            // rotated (cpu+i) % cpus scan, skipping empty victims).
-            for victim in self
-                .set_core_bits(cpu + 1, self.cpus)
-                .chain(self.set_core_bits(0, cpu))
-            {
-                if let Some(t) = pop_victim(victim) {
-                    break 'found Some(t);
-                }
-            }
-            let my_numa = self.numa_of(cpu);
-            let mut nmask = root.numa_mask.load(Ordering::Relaxed) & !(1 << my_numa);
-            while nmask != 0 {
-                let n = nmask.trailing_zeros() as usize;
-                nmask &= nmask - 1;
-                if let Some(t) = root.numas[n].pop_if(&self.seg, STEAL_SCAN_LIMIT, not_strict) {
-                    if root.numas[n].is_empty() {
-                        root.numa_mask.fetch_and(!(1 << n), Ordering::Relaxed);
-                    }
-                    break 'found Some(t);
-                }
-            }
-            None
-        }?;
-        counters.affinity_steals.fetch_add(1, Ordering::Relaxed);
-        if obs.enabled() {
-            let d = self.desc(stolen);
-            deferred.push(ObsEvent {
-                t_ns: now_ns,
-                cpu: cpu as u32,
-                pid: d.pid.load(Ordering::Relaxed),
-                task: TaskId(d.id.load(Ordering::Relaxed)),
-                kind: ObsKind::Steal,
-            });
-        }
-        Some(stolen)
-    }
-
-    /// Iterates the set bits of the core readiness bitmap within
-    /// `[lo, hi)`, ascending. Word-at-a-time: empty words cost one load.
-    fn set_core_bits(&self, lo: usize, hi: usize) -> impl Iterator<Item = usize> + '_ {
-        let root = self.root();
-        let lo_word = lo / 64;
-        let hi_word = hi.div_ceil(64).min(CORE_MASK_WORDS);
-        (lo_word..hi_word).flat_map(move |w| {
-            let mut word = root.core_mask[w].load(Ordering::Relaxed);
-            // Trim bits outside [lo, hi) in the boundary words.
-            if w == lo / 64 {
-                word &= u64::MAX.checked_shl((lo % 64) as u32).unwrap_or(0);
-            }
-            if (w + 1) * 64 > hi {
-                let keep = hi - w * 64;
-                word &= u64::MAX.checked_shr(64 - keep as u32).unwrap_or(0);
-            }
-            std::iter::from_fn(move || {
-                if word == 0 {
-                    return None;
-                }
-                let bit = word.trailing_zeros() as usize;
-                word &= word - 1;
-                Some(w * 64 + bit)
-            })
-        })
-    }
-
-    /// Racy snapshot for observability.
+    /// Snapshot for observability (takes the scheduler lock).
     pub(crate) fn snapshot(&self) -> SchedulerSnapshot {
+        let core = self.lock.lock();
         let root = self.root();
         SchedulerSnapshot {
             total_ready: root.total_ready.load(Ordering::Relaxed),
-            per_process: root
-                .procs
-                .iter()
-                .filter(|p| p.active.load(Ordering::Relaxed) == 1)
-                .map(|p| (p.pid.load(Ordering::Relaxed), p.queue.len() + p.ring.len()))
+            per_process: (0..core.max_procs())
+                .filter(|&slot| core.proc_active(slot))
+                .map(|slot| {
+                    let p = &root.procs[slot];
+                    (core.proc_pid(slot), p.queue.len() + p.ring.len())
+                })
                 .collect(),
-            per_core_pid: (0..self.cpus)
-                .map(|c| root.cores[c].current_pid.load(Ordering::Relaxed))
-                .collect(),
+            per_core_pid: (0..self.cpus).map(|c| core.core_pid(c)).collect(),
         }
     }
 
@@ -615,30 +464,8 @@ impl Scheduler {
     /// queues (test support; takes the lock for an exact view).
     #[cfg(test)]
     fn assert_masks_consistent(&self) {
-        let g = self.lock.lock();
-        let root = self.root();
-        for slot in 0..MAX_PROCS {
-            assert_eq!(
-                root.proc_mask.load(Ordering::Relaxed) >> slot & 1 == 1,
-                !root.procs[slot].queue.is_empty(),
-                "proc_mask bit {slot} disagrees with queue emptiness"
-            );
-        }
-        for node in 0..MAX_NUMA {
-            assert_eq!(
-                root.numa_mask.load(Ordering::Relaxed) >> node & 1 == 1,
-                !root.numas[node].is_empty(),
-                "numa_mask bit {node} disagrees with queue emptiness"
-            );
-        }
-        for cpu in 0..MAX_CPUS {
-            assert_eq!(
-                root.core_mask[cpu / 64].load(Ordering::Relaxed) >> (cpu % 64) & 1 == 1,
-                !root.cores[cpu].queue.is_empty(),
-                "core_mask bit {cpu} disagrees with queue emptiness"
-            );
-        }
-        drop(g);
+        let core = self.lock.lock();
+        core.assert_masks_consistent(&self.store());
     }
 }
 
@@ -940,12 +767,69 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "ready tasks still queued")]
-    fn unregister_with_queued_tasks_panics() {
+    fn unregister_with_queued_tasks_is_a_recoverable_error() {
         let (seg, sched) = setup(1, 0, 1_000_000);
+        let c = Counters::default();
         sched.register_proc(0, 10);
         sched.submit(mk_task(&seg, 1, 0, 10, 0, Affinity::None));
-        sched.unregister_proc(0);
+        // The queued task blocks the detach — recoverably.
+        assert_eq!(sched.unregister_proc(0), Err(NosvError::ProcessBusy));
+        // The slot is still registered and schedulable.
+        let t = sched.get_task(0, 0, &c, &obs()).unwrap();
+        assert_eq!(id_of(&seg, t), 1);
+        // Drained: now the detach succeeds.
+        assert_eq!(sched.unregister_proc(0), Ok(()));
+    }
+
+    #[test]
+    fn unregister_counts_placed_tasks_in_other_queues() {
+        let (seg, sched) = setup(4, 2, 1_000_000);
+        let c = Counters::default();
+        sched.register_proc(0, 10);
+        // Placed tasks route to a core queue and a NUMA queue, NOT the
+        // process queue — they must still block the detach.
+        sched.submit(mk_task(
+            &seg,
+            1,
+            0,
+            10,
+            0,
+            Affinity::Core {
+                index: 2,
+                strict: true,
+            },
+        ));
+        sched.submit(mk_task(
+            &seg,
+            2,
+            0,
+            10,
+            0,
+            Affinity::Numa {
+                index: 1,
+                strict: true,
+            },
+        ));
+        assert_eq!(sched.unregister_proc(0), Err(NosvError::ProcessBusy));
+        assert!(sched.get_task(2, 0, &c, &obs()).is_some());
+        assert_eq!(
+            sched.unregister_proc(0),
+            Err(NosvError::ProcessBusy),
+            "one placed task still queued"
+        );
+        assert!(sched.get_task(3, 0, &c, &obs()).is_some());
+        assert_eq!(sched.unregister_proc(0), Ok(()));
+    }
+
+    #[test]
+    fn unregister_flushes_the_submission_ring_first() {
+        let (seg, sched) = setup(2, 0, 1_000_000);
+        sched.register_proc(0, 10);
+        // Sits in the lock-free ring until someone drains.
+        sched.submit(mk_task(&seg, 1, 0, 10, 0, Affinity::None));
+        // The detach drains the ring into the queue, then refuses.
+        assert_eq!(sched.unregister_proc(0), Err(NosvError::ProcessBusy));
+        sched.assert_masks_consistent();
     }
 
     /// Seeded property test: after every random submit / get_task step,

@@ -57,93 +57,15 @@ impl TaskState {
     }
 }
 
-/// Per-task scheduling affinity (§3.4's locality policy).
+/// Per-task scheduling affinity (§3.4's locality policy), shared with the
+/// simulator through the backend-agnostic scheduling core.
 ///
-/// `strict` affinity restricts execution to the named core/NUMA node;
-/// best-effort (`strict = false`) prefers it but allows any idle core to
-/// steal the task, trading locality for utilization.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Affinity {
-    /// No placement preference (the default).
-    #[default]
-    None,
-    /// Prefer or require a specific core.
-    Core {
-        /// Target core index.
-        index: usize,
-        /// Whether the placement is mandatory.
-        strict: bool,
-    },
-    /// Prefer or require a specific NUMA node.
-    Numa {
-        /// Target NUMA node index.
-        index: usize,
-        /// Whether the placement is mandatory.
-        strict: bool,
-    },
-}
-
-const AFF_KIND_NONE: u64 = 0;
-const AFF_KIND_CORE: u64 = 1;
-const AFF_KIND_NUMA: u64 = 2;
-const AFF_STRICT: u64 = 1 << 2;
-
-impl Affinity {
-    pub(crate) fn encode(self) -> u64 {
-        match self {
-            Affinity::None => AFF_KIND_NONE,
-            Affinity::Core { index, strict } => {
-                AFF_KIND_CORE | if strict { AFF_STRICT } else { 0 } | ((index as u64) << 8)
-            }
-            Affinity::Numa { index, strict } => {
-                AFF_KIND_NUMA | if strict { AFF_STRICT } else { 0 } | ((index as u64) << 8)
-            }
-        }
-    }
-
-    pub(crate) fn decode(raw: u64) -> Affinity {
-        let strict = raw & AFF_STRICT != 0;
-        let index = (raw >> 8) as usize;
-        match raw & 0b11 {
-            AFF_KIND_CORE => Affinity::Core { index, strict },
-            AFF_KIND_NUMA => Affinity::Numa { index, strict },
-            _ => Affinity::None,
-        }
-    }
-
-    /// Whether the affinity is strict (placement mandatory).
-    pub fn is_strict(self) -> bool {
-        matches!(
-            self,
-            Affinity::Core { strict: true, .. } | Affinity::Numa { strict: true, .. }
-        )
-    }
-
-    /// Checks this affinity against a runtime topology of `cpus` cores and
-    /// `numa_nodes` NUMA nodes.
-    ///
-    /// The runtime validates at *both* ends of a task's life —
-    /// [`crate::ProcessContext::build_task`] and
-    /// [`crate::TaskHandle::submit`] — and the scheduler then trusts the
-    /// index outright: an out-of-range affinity is an error surfaced to
-    /// the caller, never silently wrapped onto some other core.
-    pub fn validate(self, cpus: usize, numa_nodes: usize) -> Result<(), NosvError> {
-        match self {
-            Affinity::None => Ok(()),
-            Affinity::Core { index, .. } if index >= cpus => Err(NosvError::InvalidAffinity {
-                affinity: self,
-                reason: "core index beyond the runtime's CPUs",
-            }),
-            Affinity::Numa { index, .. } if index >= numa_nodes => {
-                Err(NosvError::InvalidAffinity {
-                    affinity: self,
-                    reason: "NUMA node index beyond the runtime's nodes",
-                })
-            }
-            _ => Ok(()),
-        }
-    }
-}
+/// Re-exported from [`nosv_core`]: the routing decision an affinity
+/// drives lives in `nosv_core::SchedCore`, so both backends place tasks
+/// identically. [`Affinity::validate`] (bounds-checking against a
+/// topology) returns `nosv_core::InvalidAffinity`, which converts into
+/// [`NosvError::InvalidAffinity`] via `?`.
+pub use nosv_core::Affinity;
 
 /// Run and completion callbacks, boxed host-side.
 ///
@@ -278,6 +200,11 @@ impl TaskSignal {
         while !*done {
             self.cv.wait(&mut done);
         }
+    }
+
+    /// Whether the task already completed (non-blocking).
+    pub(crate) fn is_done(&self) -> bool {
+        *self.done.lock()
     }
 
     /// Waits up to `timeout`; returns whether the task completed.
@@ -481,13 +408,17 @@ impl TaskHandle {
     /// keeps running after a timeout; the handle stays valid and can be
     /// waited again.
     ///
-    /// The deadline applies to the **external-thread path only**. Called
-    /// from *inside another task*, this behaves exactly like
-    /// [`TaskHandle::wait`]: the calling task pauses cooperatively and the
-    /// deadline is ignored — a paused task's thread is parked and cannot
-    /// be woken by a timer, only by a resubmission (§3.2). Callers that
-    /// need a bounded wait from task context should restructure so the
-    /// bounded wait happens on an external thread.
+    /// A bounded wait is only possible on the **external-thread path**.
+    /// Called from *inside another task*, a cooperative wait would pause
+    /// the calling task — and a paused task's thread is parked and cannot
+    /// be woken by a timer, only by a resubmission (§3.2), so the deadline
+    /// cannot be honoured. Earlier versions silently fell back to an
+    /// unbounded wait on this path; this now returns
+    /// [`NosvError::WaitTimeout`] **immediately** instead (unless the task
+    /// already completed, which still returns `Ok`). Callers that need a
+    /// bounded in-task wait should restructure so the bounded wait happens
+    /// on an external thread, or use [`TaskHandle::wait`] when an
+    /// unbounded cooperative wait is acceptable.
     ///
     /// ```
     /// use std::time::Duration;
@@ -517,9 +448,12 @@ impl TaskHandle {
     pub fn wait_timeout(&self, timeout: std::time::Duration) -> Result<(), NosvError> {
         if crate::worker::current_task_raw().is_some() {
             // In-task cooperative path: the deadline cannot be honoured
-            // (see above); fall back to the pause-based wait.
-            self.wait();
-            return Ok(());
+            // (see above). Report the unsupported path as a timeout
+            // instead of silently waiting forever.
+            if self.signal.is_done() {
+                return Ok(());
+            }
+            return Err(NosvError::WaitTimeout);
         }
         if self.signal.wait_timeout(timeout) {
             Ok(())
@@ -584,46 +518,6 @@ impl Drop for TaskHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn affinity_encode_decode_roundtrip() {
-        for a in [
-            Affinity::None,
-            Affinity::Core {
-                index: 0,
-                strict: true,
-            },
-            Affinity::Core {
-                index: 63,
-                strict: false,
-            },
-            Affinity::Numa {
-                index: 3,
-                strict: true,
-            },
-            Affinity::Numa {
-                index: 0,
-                strict: false,
-            },
-        ] {
-            assert_eq!(Affinity::decode(a.encode()), a, "{a:?}");
-        }
-    }
-
-    #[test]
-    fn strictness() {
-        assert!(!Affinity::None.is_strict());
-        assert!(Affinity::Core {
-            index: 1,
-            strict: true
-        }
-        .is_strict());
-        assert!(!Affinity::Numa {
-            index: 1,
-            strict: false
-        }
-        .is_strict());
-    }
 
     #[test]
     fn state_roundtrip() {

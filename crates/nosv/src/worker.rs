@@ -398,6 +398,33 @@ fn execute(rt: &Arc<RuntimeInner>, task: ReadyTask) {
 ///
 /// Panics if called from outside a task body.
 pub fn pause() {
+    pause_inner(false);
+}
+
+/// Yields the currently running task (the paper's `nosv_yield`): the task
+/// requeues itself **behind all equal-priority ready work** and takes a
+/// schedpoint, so other ready tasks — of any attached application — get
+/// the core first; the yielded task resumes (possibly on another core)
+/// once the scheduler picks it again.
+///
+/// The requeue decision is implemented once, in the backend-agnostic
+/// scheduling core (`nosv_core::SchedCore::yield_task`): queues are FIFO
+/// within a priority level, so the yield lands after every task of equal
+/// priority in both the live runtime and the simulator. Mechanically this
+/// is a pause plus an immediate self-resubmission, and is accounted as
+/// one pause + one resume in [`crate::RuntimeStats`].
+///
+/// With no other ready work, the task resumes immediately (after one
+/// round trip through the scheduler).
+///
+/// # Panics
+///
+/// Panics if called from outside a task body.
+pub fn yield_now() {
+    pause_inner(true);
+}
+
+fn pause_inner(yield_back: bool) {
     let (rt, me, core, task_raw) = with_tls(|w| {
         (
             Arc::clone(&w.rt),
@@ -427,6 +454,19 @@ pub fn pause() {
     d.attached_worker
         .store(me.index as u64 + 1, Ordering::Release);
     d.set_state(TaskState::Paused);
+
+    if yield_back {
+        // nosv_yield: resubmit ourselves right away through the dedicated
+        // yield path (one Paused->Ready attempt; losing the race to a
+        // concurrent external resubmission is success — we are requeued
+        // either way). The submission routes through the scheduling core,
+        // which requeues the task behind all equal-priority ready work;
+        // whichever worker pops it resume-hands the core back to this
+        // thread. A yield racing runtime teardown can fail with
+        // ShutdownInProgress — then nobody can resume us and the shutdown
+        // panic below reports it, exactly as for a stranded pause.
+        let _ = rt.submit_yielded(task);
+    }
 
     // Hand the core to a replacement worker of our process.
     let replacement = rt.worker_for_process(me.pid);

@@ -193,7 +193,7 @@ fn detached_process_cannot_build_tasks() {
     let t = app.spawn(|_| {});
     t.wait();
     t.destroy();
-    app.detach();
+    app.detach().expect("no tasks queued: detach succeeds");
     assert_eq!(
         app.build_task(TaskBuilder::new().run(|_| {})).err(),
         Some(NosvError::ProcessDetached)

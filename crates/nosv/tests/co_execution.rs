@@ -497,8 +497,11 @@ fn wait_timeout_external_and_in_task_paths() {
     assert_eq!(t.wait_timeout(Duration::from_secs(30)), Ok(()));
     t.destroy();
 
-    // In-task path: the deadline is ignored and the cooperative wait
-    // succeeds even though the child takes (much) longer than it.
+    // In-task path: a bounded wait cannot be honoured (a paused task's
+    // thread is woken by resubmission, not by a timer), so it reports
+    // WaitTimeout immediately instead of silently waiting forever — the
+    // documented behavior change of the nosv-core refactor. Once the
+    // child completed, the same call reports Ok without pausing.
     let ok = Arc::new(AtomicUsize::new(0));
     let app = Arc::new(app);
     let parent = {
@@ -509,7 +512,14 @@ fn wait_timeout_external_and_in_task_paths() {
                 std::thread::sleep(std::time::Duration::from_millis(20));
             });
             child.submit().unwrap();
-            // Zero timeout from task context: cooperative wait, Ok.
+            assert_eq!(
+                child.wait_timeout(Duration::from_secs(30)),
+                Err(NosvError::WaitTimeout),
+                "in-task bounded wait is an unsupported path"
+            );
+            // The unbounded cooperative wait still works…
+            child.wait();
+            // …and a completed child reports Ok even from task context.
             assert_eq!(child.wait_timeout(Duration::ZERO), Ok(()));
             child.destroy();
             ok.fetch_add(1, Ordering::Relaxed);
@@ -519,6 +529,80 @@ fn wait_timeout_external_and_in_task_paths() {
     parent.wait();
     parent.destroy();
     assert_eq!(ok.load(Ordering::Relaxed), 1);
+    drop(app);
+    rt.shutdown();
+}
+
+#[test]
+fn yield_requeues_behind_equal_priority_work() {
+    // One CPU, two equal-priority tasks: the first yields mid-body and
+    // must only resume after the second ran (nosv_yield lands *behind*
+    // equal-priority work, decided in the shared nosv-core routing).
+    let rt = runtime(1);
+    let app = rt.attach("yielder").unwrap();
+    let order: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+    let (tx, rx) = mpsc::channel::<()>();
+    let a = {
+        let order = Arc::clone(&order);
+        app.create_task(move |_| {
+            // Hold until task b is queued, so the yield has competition.
+            rx.recv().unwrap();
+            order.lock().push("a-before-yield");
+            yield_now();
+            order.lock().push("a-after-yield");
+        })
+    };
+    a.submit().unwrap();
+    let b = {
+        let order = Arc::clone(&order);
+        app.create_task(move |_| order.lock().push("b"))
+    };
+    b.submit().unwrap();
+    tx.send(()).unwrap();
+    a.wait();
+    b.wait();
+    assert_eq!(
+        *order.lock(),
+        vec!["a-before-yield", "b", "a-after-yield"],
+        "the yielded task must run again only after the queued equal-priority task"
+    );
+    // A yield is accounted as one pause + one resume.
+    let stats = rt.stats();
+    assert_eq!(stats.pauses, 1, "{stats:?}");
+    assert_eq!(stats.resumes, 1, "{stats:?}");
+    a.destroy();
+    b.destroy();
+    drop(app);
+    rt.shutdown();
+}
+
+#[test]
+fn detach_with_queued_tasks_is_recoverable() {
+    // A process whose tasks are still queued cannot detach — but the
+    // error is recoverable: the context stays attached and usable.
+    let rt = runtime(1);
+    let app = rt.attach("busy").unwrap();
+    let (tx, rx) = mpsc::channel::<()>();
+    // Occupy the only core so the second task stays queued.
+    let blocker = app.create_task(move |_| rx.recv().unwrap());
+    blocker.submit().unwrap();
+    let queued = app.create_task(|_| {});
+    queued.submit().unwrap();
+    // Whichever task the single core is (or will be) running, the other
+    // one still sits in the scheduler: the detach must refuse.
+    assert_eq!(app.detach(), Err(NosvError::ProcessBusy));
+    // Still attached: task creation keeps working.
+    let late = app.create_task(|_| {});
+    tx.send(()).unwrap();
+    late.submit().unwrap();
+    blocker.wait();
+    queued.wait();
+    late.wait();
+    for t in [blocker, queued, late] {
+        t.destroy();
+    }
+    assert_eq!(app.detach(), Ok(()), "drained process detaches cleanly");
+    assert_eq!(app.detach(), Ok(()), "detach stays idempotent");
     drop(app);
     rt.shutdown();
 }

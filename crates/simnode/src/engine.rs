@@ -6,51 +6,29 @@
 //! are the running thread of their core, and progress rates change with
 //! memory-bandwidth contention (recomputed with hysteresis to keep the
 //! event count bounded).
+//!
+//! In nOS-V mode the engine holds **no scheduling logic of its own**: it
+//! drives the same [`nosv_core::SchedCore`] state machine the live
+//! runtime's shared scheduler wraps, over a [`nosv_core::HeapStore`] of
+//! simulated task instances, fed virtual time; DLB borrower choice comes
+//! from [`nosv_core::lend`]. The engine models only what a backend owns:
+//! event timing, bandwidth contention, OS preemption, baselines.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use nosv::obs::{CounterKind, ObsEvent, ObsKind, TraceSink, NO_CPU};
-use nosv::policy::{CandidateProc, CoreQuantum, QuantumPolicy, SchedPolicy};
+use nosv::policy::SchedPolicy;
 use nosv::TaskId;
+use nosv_core::lend::{choose_borrower, LendCandidate};
+use nosv_core::{Affinity, HeapStore, PickSource, SchedCore};
 
 use crate::model::{AppModel, TaskModel};
 use crate::rng::SimRng;
+use crate::run::{SimOptions, SimResult};
 use crate::spec::NodeSpec;
 use crate::stats::{AppSimStats, SimStats};
 use crate::{AffinityMode, IdlePolicy, RuntimeMode};
-
-/// Simulation options.
-#[derive(Debug, Clone)]
-pub struct SimOptions {
-    /// RNG seed (task-duration jitter); same seed = identical results.
-    pub seed: u64,
-    /// Relative task-duration jitter in `[0, 0.5)`; breaks lockstep.
-    pub jitter: f64,
-    /// Abort if simulated time exceeds this (deadlock guard), ns.
-    pub max_sim_ns: u64,
-}
-
-impl Default for SimOptions {
-    fn default() -> Self {
-        SimOptions {
-            seed: 0x5eed,
-            jitter: 0.03,
-            max_sim_ns: 3_600_000_000_000, // one simulated hour
-        }
-    }
-}
-
-/// Result of a simulation run. Execution traces are no longer carried
-/// here: install a [`TraceSink`] through [`crate::SimSpec::sink`] to
-/// observe the run's `ObsEvent` stream.
-#[derive(Debug, Clone)]
-pub struct SimResult {
-    /// Time at which the last application finished, ns.
-    pub makespan_ns: u64,
-    /// Detailed statistics.
-    pub stats: SimStats,
-}
 
 const NOSV_FETCH_NS: u64 = 1_000; // central scheduler request cost (1 µs)
 /// An idle owner worker waits this long before lending its core (models
@@ -128,15 +106,18 @@ struct Core {
     lease: Option<usize>,
     /// Owner posted a reclaim request (DLB).
     reclaim: bool,
-    /// nOS-V per-core quantum state (reuses the real policy type).
-    quantum: CoreQuantum,
     /// Last application that executed on this core (nOS-V handoffs).
     last_app: Option<usize>,
 }
 
 struct AppRt {
-    /// Remaining tasks of the current phase: (count, profile).
+    /// Remaining tasks of the current phase, PerApp mode: (count, profile)
+    /// groups. Empty in nOS-V mode, where tasks are materialized into the
+    /// shared scheduling core's store instead.
     ready: Vec<(usize, TaskModel)>,
+    /// Tasks of this application queued in the nOS-V scheduling core's
+    /// store (the nOS-V-mode counterpart of `ready`).
+    queued: usize,
     phase: usize,
     /// Tasks popped but not yet completed.
     outstanding: usize,
@@ -148,12 +129,11 @@ struct AppRt {
     futex_blocked: Vec<Tid>,
     /// DLB: dormant borrowable thread on each core (by core index).
     dormant_on_core: Vec<Option<Tid>>,
-    priority: i32,
 }
 
 impl AppRt {
     fn ready_count(&self) -> usize {
-        self.ready.iter().map(|(n, _)| n).sum()
+        self.queued + self.ready.iter().map(|(n, _)| n).sum::<usize>()
     }
 }
 
@@ -178,7 +158,12 @@ struct Engine<'a> {
     models: &'a [AppModel],
     /// Per-socket: current quantized bandwidth factor and raw demand.
     socket_factor: Vec<f64>,
-    rr_cursor: u64,
+    /// The nOS-V scheduling state machine — the *same* `nosv_core` code
+    /// the live runtime's shared scheduler wraps. Only consulted in nOS-V
+    /// mode; fed virtual time.
+    sched: SchedCore,
+    /// Simulated task instances and their scheduler queues (nOS-V mode).
+    store: HeapStore<TaskModel>,
     rng: SimRng,
     /// Process-selection policy for nOS-V mode — the same trait object kind
     /// the live runtime's scheduler consults.
@@ -193,59 +178,9 @@ struct Engine<'a> {
     unfinished: usize,
 }
 
-/// Runs one simulation of `apps` co-executing on `node` under `mode`,
-/// using the canonical [`QuantumPolicy`] (built from the mode's quantum)
-/// for nOS-V-mode scheduling decisions.
-///
-/// # Panics
-///
-/// Panics if the configuration is inconsistent (e.g. `PerApp` assignment
-/// count differing from the application count) or if the simulation
-/// exceeds `opts.max_sim_ns` (indicative of a modelling deadlock).
-pub fn run_simulation(
-    node: &NodeSpec,
-    apps: &[AppModel],
-    mode: &RuntimeMode,
-    opts: &SimOptions,
-) -> SimResult {
-    let quantum_ns = match mode {
-        RuntimeMode::Nosv { quantum_ns, .. } => *quantum_ns,
-        RuntimeMode::PerApp { .. } => nosv::DEFAULT_QUANTUM_NS, // never consulted
-    };
-    run_simulation_inner(
-        node,
-        apps,
-        mode,
-        opts,
-        &QuantumPolicy::new(quantum_ns),
-        None,
-    )
-}
-
-/// Like [`run_simulation`], but scheduling the nOS-V-mode node through an
-/// arbitrary [`SchedPolicy`] — the **same trait** the live runtime's
-/// shared scheduler consults (`nosv::RuntimeBuilder::policy`), so one
-/// policy implementation is exercised identically in both backends.
-///
-/// The policy is the single source of truth for scheduling: the
-/// `quantum_ns` field of [`RuntimeMode::Nosv`] is **ignored** on this
-/// path (the policy's own [`SchedPolicy::quantum_ns`] governs), mirroring
-/// how `RuntimeBuilder::policy` overrides the builder's quantum. In
-/// `PerApp` modes the policy is never consulted.
-///
-/// To also observe the run through a [`TraceSink`], use
-/// [`crate::SimSpec`], which bundles policy and sink in one builder.
-pub fn run_simulation_with_policy(
-    node: &NodeSpec,
-    apps: &[AppModel],
-    mode: &RuntimeMode,
-    opts: &SimOptions,
-    policy: &dyn SchedPolicy,
-) -> SimResult {
-    run_simulation_inner(node, apps, mode, opts, policy, None)
-}
-
-/// The one implementation behind every public entry point.
+/// The one implementation behind every public entry point (see
+/// [`crate::run`] for the positional conveniences and [`crate::SimSpec`]
+/// for the builder).
 pub(crate) fn run_simulation_inner(
     node: &NodeSpec,
     apps: &[AppModel],
@@ -314,16 +249,17 @@ impl<'a> Engine<'a> {
                 owner: None,
                 lease: None,
                 reclaim: false,
-                quantum: CoreQuantum::default(),
                 last_app: None,
             })
             .collect();
 
+        let nosv_mode = matches!(mode, RuntimeMode::Nosv { .. });
         let mut apps: Vec<AppRt> = models
             .iter()
             .map(|m| {
                 let mut rt = AppRt {
                     ready: Vec::new(),
+                    queued: 0,
                     phase: 0,
                     outstanding: 0,
                     finished_ns: None,
@@ -331,9 +267,10 @@ impl<'a> Engine<'a> {
                     lock_waiters: VecDeque::new(),
                     futex_blocked: Vec::new(),
                     dormant_on_core: vec![None; ncores],
-                    priority: m.app_priority,
                 };
-                rt.ready = m.phases[0].groups.iter().map(|&(n, t)| (n, t)).collect();
+                if !nosv_mode {
+                    rt.ready = m.phases[0].groups.iter().map(|&(n, t)| (n, t)).collect();
+                }
                 rt
             })
             .collect();
@@ -403,7 +340,23 @@ impl<'a> Engine<'a> {
             ..Default::default()
         };
 
-        Engine {
+        // The shared scheduling core: one process slot per application,
+        // pid = app index + 1 (pid 0 is "none" in the policy), sockets as
+        // NUMA nodes. PerApp modes never consult it.
+        assert!(
+            models.len() <= 64,
+            "the scheduling core supports at most 64 applications"
+        );
+        let mut sched = SchedCore::new(ncores, node.cores_per_socket, models.len());
+        let store = HeapStore::new(ncores, node.sockets, models.len());
+        if nosv_mode {
+            for (app, m) in models.iter().enumerate() {
+                sched.register_proc(app, app as u64 + 1);
+                sched.set_app_priority(app, m.app_priority);
+            }
+        }
+
+        let mut eng = Engine {
             node,
             mode,
             opts,
@@ -415,13 +368,62 @@ impl<'a> Engine<'a> {
             apps,
             models,
             socket_factor: vec![1.0; node.sockets],
-            rr_cursor: 0,
+            sched,
+            store,
             rng: SimRng::seed_from_u64(opts.seed),
             policy,
             sink,
             next_task_id: 1,
             stats,
             unfinished: models.len(),
+        };
+        if nosv_mode {
+            for app in 0..models.len() {
+                eng.materialize_phase(app, 0);
+            }
+        }
+        eng
+    }
+
+    /// nOS-V mode: creates the task instances of `app`'s phase and routes
+    /// them into the scheduling core's queues — the simulator's
+    /// `nosv_submit`. Home-socket preference becomes the same [`Affinity`]
+    /// the live runtime encodes, so routing (and stealing) decisions are
+    /// the core's, not the engine's.
+    fn materialize_phase(&mut self, app: usize, phase: usize) {
+        let RuntimeMode::Nosv { affinity, .. } = self.mode else {
+            unreachable!("only nOS-V mode materializes into the core store")
+        };
+        let ngroups = self.models[app].phases[phase].groups.len();
+        for gi in 0..ngroups {
+            let (n, tm) = self.models[app].phases[phase].groups[gi];
+            // The core trusts NUMA indices outright, so an out-of-topology
+            // home is an eager configuration error (like the PerApp
+            // "assignment beyond node cores" assert).
+            if let Some(h) = tm.home_socket {
+                assert!(
+                    h < self.node.sockets,
+                    "application {} phase {phase}: task home_socket {h} beyond the node's {} sockets",
+                    self.models[app].name,
+                    self.node.sockets
+                );
+            }
+            let aff = match (affinity, tm.home_socket) {
+                (AffinityMode::Ignore, _) | (_, None) => Affinity::None,
+                (AffinityMode::Strict, Some(h)) => Affinity::Numa {
+                    index: h,
+                    strict: true,
+                },
+                (AffinityMode::BestEffort, Some(h)) => Affinity::Numa {
+                    index: h,
+                    strict: false,
+                },
+            };
+            for _ in 0..n {
+                let t = self.store.insert(app as u32, app as u64 + 1, 0, aff, tm);
+                self.sched.route(&mut self.store, t);
+            }
+            self.apps[app].queued += n;
         }
     }
 
@@ -855,7 +857,7 @@ impl<'a> Engine<'a> {
         let app = self.threads[t].app;
         let core = self.threads[t].core;
         let socket = self.cores[core].socket;
-        if let Some((task, work)) = self.pop_task(app, core, socket, AffinityMode::Ignore) {
+        if let Some((task, work)) = self.pop_task(app, core, socket) {
             self.begin_exec(t, task, work);
             return;
         }
@@ -909,21 +911,22 @@ impl<'a> Engine<'a> {
     }
 
     /// Wakes the neediest other application's dormant thread on `core`.
+    /// Eligibility (dormant thread here, not finished, not the lender) is
+    /// the engine's; *which* eligible application borrows is the shared
+    /// core's lending decision ([`choose_borrower`]).
     fn lend_to_any(&mut self, core: usize, exclude: Option<usize>) -> bool {
-        let mut best: Option<(usize, usize)> = None; // (ready, borrower)
-        for (b, rt) in self.apps.iter().enumerate() {
-            if Some(b) == exclude || rt.finished_ns.is_some() {
-                continue;
-            }
-            let ready = rt.ready_count();
-            if ready > 0
-                && rt.dormant_on_core[core].is_some()
-                && best.is_none_or(|(r, _)| ready > r)
-            {
-                best = Some((ready, b));
-            }
-        }
-        let Some((_, borrower)) = best else {
+        let candidates = self
+            .apps
+            .iter()
+            .enumerate()
+            .filter(|&(b, rt)| {
+                Some(b) != exclude && rt.finished_ns.is_none() && rt.dormant_on_core[core].is_some()
+            })
+            .map(|(b, rt)| LendCandidate {
+                app: b,
+                ready: rt.ready_count(),
+            });
+        let Some(borrower) = choose_borrower(candidates) else {
             return false;
         };
         let dormant = self.apps[borrower].dormant_on_core[core].expect("checked");
@@ -963,45 +966,21 @@ impl<'a> Engine<'a> {
 
     // ---- shared helpers ------------------------------------------------------------
 
-    /// Pops a task for `core` on `socket`, honouring the affinity mode.
-    /// Returns the instance and its effective work (jitter + NUMA penalty).
+    /// Turns a popped [`TaskModel`] into a running instance: effective
+    /// work (duration jitter + remote-NUMA penalty), engine task id, and
+    /// the [`ObsKind::Submit`] event.
     ///
     /// The pop is where the simulator models `nosv_submit` + scheduler
     /// fetch collapsing into one step, so this is where the task gets its
     /// id and its [`ObsKind::Submit`] event.
-    fn pop_task(
+    fn instantiate(
         &mut self,
+        tm: TaskModel,
         app: usize,
         core: usize,
         socket: usize,
-        affinity: AffinityMode,
-    ) -> Option<(TaskInst, f64)> {
-        let rtapp = &mut self.apps[app];
-        let pick = |groups: &Vec<(usize, TaskModel)>, want_local: bool| -> Option<usize> {
-            groups.iter().position(|&(n, ref tm)| {
-                n > 0
-                    && match (want_local, tm.home_socket) {
-                        (true, Some(h)) => h == socket,
-                        (true, None) => true,
-                        (false, _) => true,
-                    }
-            })
-        };
-        let idx = match affinity {
-            AffinityMode::Ignore => pick(&rtapp.ready, false),
-            AffinityMode::Strict => pick(&rtapp.ready, true),
-            AffinityMode::BestEffort => {
-                pick(&rtapp.ready, true).or_else(|| pick(&rtapp.ready, false))
-            }
-        }?;
-        let (count, tm) = &mut rtapp.ready[idx];
-        *count -= 1;
-        let tm = *tm;
-        if *count == 0 {
-            rtapp.ready.remove(idx);
-        }
-        rtapp.outstanding += 1;
-
+    ) -> (TaskInst, f64) {
+        self.apps[app].outstanding += 1;
         let remote = tm.home_socket.is_some_and(|h| h != socket);
         let jitter = if self.opts.jitter > 0.0 {
             1.0 + self.rng.range_f64(-self.opts.jitter, self.opts.jitter)
@@ -1016,7 +995,7 @@ impl<'a> Engine<'a> {
         let id = self.next_task_id;
         self.next_task_id += 1;
         self.emit(core, app, id, ObsKind::Submit);
-        Some((
+        (
             TaskInst {
                 id,
                 app,
@@ -1026,7 +1005,23 @@ impl<'a> Engine<'a> {
                 remote,
             },
             work,
-        ))
+        )
+    }
+
+    /// Pops a task of `app` for a PerApp-runtime worker (nOS-V mode goes
+    /// through the shared scheduling core instead — see
+    /// [`Engine::nosv_pick`]). Per-application runtimes have no placement
+    /// policy: the first remaining group serves.
+    fn pop_task(&mut self, app: usize, core: usize, socket: usize) -> Option<(TaskInst, f64)> {
+        let rtapp = &mut self.apps[app];
+        let idx = rtapp.ready.iter().position(|&(n, _)| n > 0)?;
+        let (count, tm) = &mut rtapp.ready[idx];
+        *count -= 1;
+        let tm = *tm;
+        if *count == 0 {
+            rtapp.ready.remove(idx);
+        }
+        Some(self.instantiate(tm, app, core, socket))
     }
 
     fn begin_exec(&mut self, t: Tid, task: TaskInst, work: f64) {
@@ -1108,12 +1103,18 @@ impl<'a> Engine<'a> {
             }
             return;
         }
-        self.apps[app].ready = self.models[app].phases[phase]
-            .groups
-            .iter()
-            .map(|&(n, t)| (n, t))
-            .collect();
-        // New work: wake whoever waits for it.
+        // New work: refill (PerApp groups, or the shared core's queues in
+        // nOS-V mode) and wake whoever waits for it.
+        match self.mode {
+            RuntimeMode::PerApp { .. } => {
+                self.apps[app].ready = self.models[app].phases[phase]
+                    .groups
+                    .iter()
+                    .map(|&(n, t)| (n, t))
+                    .collect();
+            }
+            RuntimeMode::Nosv { .. } => self.materialize_phase(app, phase),
+        }
         match self.mode {
             RuntimeMode::PerApp { dlb, .. } => {
                 let blocked = std::mem::take(&mut self.apps[app].futex_blocked);
@@ -1169,63 +1170,37 @@ impl<'a> Engine<'a> {
     // ---- nOS-V mode ------------------------------------------------------------------
 
     /// The node-wide scheduler decision for worker `t` (runs at the end of
-    /// its fetch overhead), reusing the real `nosv::policy` code.
+    /// its fetch overhead): **one call into the shared scheduling core** —
+    /// the same queue routing, candidate collection, policy consultation,
+    /// quantum accounting, and steal rotation the live runtime executes
+    /// under its delegation lock, here fed virtual time.
     fn nosv_pick(&mut self, t: Tid) {
-        let RuntimeMode::Nosv { affinity, .. } = self.mode else {
-            unreachable!()
-        };
+        debug_assert!(matches!(self.mode, RuntimeMode::Nosv { .. }));
         let core = self.threads[t].core;
         let socket = self.cores[core].socket;
 
-        // Candidates: applications with a task this core may take.
-        let mut candidates: Vec<CandidateProc> = Vec::new();
-        for (i, rtapp) in self.apps.iter().enumerate() {
-            if rtapp.finished_ns.is_some() {
-                continue;
-            }
-            let takeable = match affinity {
-                AffinityMode::Ignore | AffinityMode::BestEffort => rtapp.ready_count() > 0,
-                AffinityMode::Strict => rtapp
-                    .ready
-                    .iter()
-                    .any(|&(n, ref tm)| n > 0 && tm.home_socket.is_none_or(|h| h == socket)),
-            };
-            if takeable {
-                candidates.push(CandidateProc {
-                    // pid 0 is "none" in the policy; offset app ids by 1.
-                    pid: i as u64 + 1,
-                    app_priority: rtapp.priority,
-                    top_task_priority: 0,
-                });
-            }
-        }
-        let decision = self.policy.pick_process(
-            &self.cores[core].quantum,
-            self.now,
-            &candidates,
-            &mut self.rr_cursor,
-        );
-        let Some(decision) = decision else {
+        let Some(pick) = self
+            .sched
+            .pick(&mut self.store, self.policy, core, self.now)
+        else {
             // Nothing anywhere: idle until new work appears.
             self.block_current(t);
             return;
         };
-        if decision.quantum_expired {
+        if let PickSource::Process {
+            quantum_expired: true,
+        } = pick.source
+        {
             self.stats.quantum_switches += 1;
         }
-        let mut q = self.cores[core].quantum;
-        self.policy.apply_decision(&mut q, &decision, self.now);
-        self.cores[core].quantum = q;
-        let app = (decision.pid - 1) as usize;
-        let Some((task, work)) = self.pop_task(app, core, socket, *affinity) else {
-            // Raced with phase exhaustion inside this event: idle.
-            self.block_current(t);
-            return;
-        };
-        // A best-effort pop that landed away from the task's home socket
-        // is the simulator's analogue of the live scheduler's affinity
-        // steal.
-        if *affinity == AffinityMode::BestEffort && task.remote {
+        let app = (pick.pid - 1) as usize;
+        let tm = self.store.remove(pick.task);
+        self.apps[app].queued -= 1;
+        let (task, work) = self.instantiate(tm, app, core, socket);
+        // A steal in the core (a best-effort task taken from another
+        // node's queue) is the same affinity-steal the live scheduler
+        // reports.
+        if pick.source == PickSource::Steal {
             self.emit(core, app, task.id, ObsKind::Steal);
         }
         // Charge a cross-process handoff when the core changes application.
@@ -1254,6 +1229,7 @@ fn bw_speed(mem_frac: f64, factor: f64) -> f64 {
 mod tests {
     use super::*;
     use crate::model::Phase;
+    use crate::run::run_simulation;
     use crate::spec::CoreRange;
 
     fn opts() -> SimOptions {
@@ -1584,6 +1560,28 @@ mod tests {
             &opts(),
         );
         assert!(r.stats.lock_spin_ns > 0, "{:?}", r.stats);
+    }
+
+    #[test]
+    #[should_panic(expected = "home_socket")]
+    fn out_of_topology_home_socket_is_rejected_eagerly() {
+        let node = NodeSpec::tiny(1, 2); // one socket: home 3 is invalid
+        let app = AppModel::new(
+            "bad-home",
+            vec![Phase::uniform(
+                2,
+                TaskModel::memory(1_000_000, 5.0).on_socket(3),
+            )],
+        );
+        run_simulation(
+            &node,
+            &[app],
+            &RuntimeMode::Nosv {
+                quantum_ns: 20_000_000,
+                affinity: AffinityMode::BestEffort,
+            },
+            &opts(),
+        );
     }
 
     #[test]

@@ -21,9 +21,12 @@
 //! Runtimes are modelled at task granularity ([`RuntimeMode`]):
 //! per-application runtimes (with a scheduler lock, busy/futex idle
 //! policies, optional static partitions and DLB-style core lending) versus
-//! a single node-wide nOS-V scheduler — which reuses the *real* policy code
-//! from [`nosv::policy`], so the simulated co-execution behaves exactly
-//! like the implemented scheduler.
+//! a single node-wide nOS-V scheduler — which drives the *real*
+//! backend-agnostic scheduling core (`nosv_core::SchedCore`: the same
+//! queue routing, candidate collection, quantum accounting and steal
+//! rotation the live runtime's shared scheduler wraps, fed virtual time),
+//! so the simulated co-execution behaves exactly like the implemented
+//! scheduler — by construction, not convention.
 //!
 //! The simulation is single-threaded and fully deterministic for a given
 //! seed: every figure regenerates bit-identically.
@@ -33,19 +36,20 @@
 mod engine;
 mod model;
 mod rng;
+mod run;
 mod simspec;
 mod spec;
 mod stats;
 
-pub use engine::{run_simulation, run_simulation_with_policy, SimOptions, SimResult};
 pub use model::{AppModel, Phase, TaskModel};
+pub use run::{run_simulation, run_simulation_with_policy, SimOptions, SimResult};
 pub use simspec::SimSpec;
 pub use spec::{CoreRange, NodeSpec};
 pub use stats::{AppSimStats, SimStats};
 
-// The scheduling policy surface shared with the live runtime, re-exported
-// so simulator users can implement or instantiate policies without a
-// direct `nosv` dependency.
+// The scheduling policy surface shared with the live runtime (both are
+// re-exports of `nosv_core::policy`), so simulator users can implement or
+// instantiate policies without a direct `nosv` dependency.
 pub use nosv::policy::{CandidateProc, CoreQuantum, Decision, QuantumPolicy, SchedPolicy};
 
 // The observability surface shared with the live runtime (see `nosv::obs`):

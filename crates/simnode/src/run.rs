@@ -1,0 +1,96 @@
+//! Public entry points of the simulator: options, result, and the
+//! positional `run_simulation*` conveniences. The full builder surface
+//! (policy + sink) is [`crate::SimSpec`]; the engine itself lives in
+//! `engine.rs`.
+
+use nosv::policy::{QuantumPolicy, SchedPolicy};
+
+use crate::engine::run_simulation_inner;
+use crate::model::AppModel;
+use crate::spec::NodeSpec;
+use crate::stats::SimStats;
+use crate::RuntimeMode;
+
+/// Simulation options.
+#[derive(Debug, Clone)]
+pub struct SimOptions {
+    /// RNG seed (task-duration jitter); same seed = identical results.
+    pub seed: u64,
+    /// Relative task-duration jitter in `[0, 0.5)`; breaks lockstep.
+    pub jitter: f64,
+    /// Abort if simulated time exceeds this (deadlock guard), ns.
+    pub max_sim_ns: u64,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            seed: 0x5eed,
+            jitter: 0.03,
+            max_sim_ns: 3_600_000_000_000, // one simulated hour
+        }
+    }
+}
+
+/// Result of a simulation run. Execution traces are no longer carried
+/// here: install a [`nosv::obs::TraceSink`] through [`crate::SimSpec::sink`]
+/// to observe the run's `ObsEvent` stream.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Time at which the last application finished, ns.
+    pub makespan_ns: u64,
+    /// Detailed statistics.
+    pub stats: SimStats,
+}
+
+/// Runs one simulation of `apps` co-executing on `node` under `mode`,
+/// using the canonical [`QuantumPolicy`] (built from the mode's quantum)
+/// for nOS-V-mode scheduling decisions.
+///
+/// # Panics
+///
+/// Panics if the configuration is inconsistent (e.g. `PerApp` assignment
+/// count differing from the application count) or if the simulation
+/// exceeds `opts.max_sim_ns` (indicative of a modelling deadlock).
+pub fn run_simulation(
+    node: &NodeSpec,
+    apps: &[AppModel],
+    mode: &RuntimeMode,
+    opts: &SimOptions,
+) -> SimResult {
+    let quantum_ns = match mode {
+        RuntimeMode::Nosv { quantum_ns, .. } => *quantum_ns,
+        RuntimeMode::PerApp { .. } => nosv::DEFAULT_QUANTUM_NS, // never consulted
+    };
+    run_simulation_inner(
+        node,
+        apps,
+        mode,
+        opts,
+        &QuantumPolicy::new(quantum_ns),
+        None,
+    )
+}
+
+/// Like [`run_simulation`], but scheduling the nOS-V-mode node through an
+/// arbitrary [`SchedPolicy`] — the **same trait** the live runtime's
+/// shared scheduler consults (`nosv::RuntimeBuilder::policy`), so one
+/// policy implementation is exercised identically in both backends.
+///
+/// The policy is the single source of truth for scheduling: the
+/// `quantum_ns` field of [`RuntimeMode::Nosv`] is **ignored** on this
+/// path (the policy's own [`SchedPolicy::quantum_ns`] governs), mirroring
+/// how `RuntimeBuilder::policy` overrides the builder's quantum. In
+/// `PerApp` modes the policy is never consulted.
+///
+/// To also observe the run through a [`nosv::obs::TraceSink`], use
+/// [`crate::SimSpec`], which bundles policy and sink in one builder.
+pub fn run_simulation_with_policy(
+    node: &NodeSpec,
+    apps: &[AppModel],
+    mode: &RuntimeMode,
+    opts: &SimOptions,
+    policy: &dyn SchedPolicy,
+) -> SimResult {
+    run_simulation_inner(node, apps, mode, opts, policy, None)
+}

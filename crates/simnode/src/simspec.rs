@@ -9,8 +9,9 @@
 use nosv::obs::TraceSink;
 use nosv::policy::{QuantumPolicy, SchedPolicy};
 
-use crate::engine::{run_simulation_inner, SimOptions, SimResult};
+use crate::engine::run_simulation_inner;
 use crate::model::AppModel;
+use crate::run::{SimOptions, SimResult};
 use crate::spec::NodeSpec;
 use crate::RuntimeMode;
 

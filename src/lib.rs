@@ -1,11 +1,13 @@
 //! # nosv-repro: umbrella facade
 //!
 //! One dependency for the whole reproduction of *"nOS-V: Co-Executing HPC
-//! Applications Using System-Wide Task Scheduling"*: the live runtime
-//! ([`nosv`]), its substrate crates ([`nosv_shmem`], [`nosv_sync`]), the
-//! mini Nanos6-style data-flow runtime ([`nanos`]), the discrete-event
-//! node simulator ([`simnode`]), the evaluation pipeline ([`strategies`],
-//! [`mpisim`]) and the benchmark workloads ([`workloads`]).
+//! Applications Using System-Wide Task Scheduling"*: the backend-agnostic
+//! scheduling core ([`nosv_core`], driven by both backends), the live
+//! runtime ([`nosv`]), its substrate crates ([`nosv_shmem`],
+//! [`nosv_sync`]), the mini Nanos6-style data-flow runtime ([`nanos`]),
+//! the discrete-event node simulator ([`simnode`]), the evaluation
+//! pipeline ([`strategies`], [`mpisim`]) and the benchmark workloads
+//! ([`workloads`]).
 //!
 //! The working set is curated in [`prelude`]; the individual crates remain
 //! reachable under their own names for everything else.
@@ -57,6 +59,7 @@
 pub use mpisim;
 pub use nanos;
 pub use nosv;
+pub use nosv_core;
 pub use nosv_shmem;
 pub use nosv_sync;
 pub use simnode;

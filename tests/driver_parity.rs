@@ -1,0 +1,380 @@
+//! The driver-parity property of the `nosv-core` extraction: one seeded
+//! random op sequence (submit / pop / steal / quantum-expiry / yield /
+//! lend / unregister) is fed through the backend-agnostic scheduling core
+//! via **both** drivers —
+//!
+//! * the *live-scheduler driver*: the real `nosv::Scheduler` (delegation
+//!   lock, lock-free submission rings, intrusive shared-segment queues)
+//!   exposed through `nosv::testing::LiveDriver`, and
+//! * the *sim driver*: `nosv_core::SchedCore` over the heap store the
+//!   `simnode` engine uses,
+//!
+//! and the two decision streams must be **byte-identical**: every pop
+//! returns the same task id, pid, steal flag and quantum-switch flag;
+//! every unregister resolves busy/ok identically; every lending choice
+//! picks the same borrower. `policy_parity` proves the backends share the
+//! policy; this proves they share the *entire* scheduling state machine.
+
+use std::collections::HashMap;
+
+use nosv_repro::nosv::testing::LiveDriver;
+use nosv_repro::nosv_core::lend::{choose_borrower, LendCandidate};
+use nosv_repro::nosv_core::{Affinity, HeapStore, PickSource, QuantumPolicy, SchedCore};
+use nosv_repro::nosv_sync::SplitMix64;
+
+/// What one pop decided, as both drivers must report it.
+type PopRec = Option<(u64, u64, bool, bool)>; // (id, pid, stolen, quantum)
+
+/// The op surface both drivers expose to the fuzzer.
+trait Driver {
+    fn register(&mut self, slot: u32, pid: u64);
+    /// `true` = unregistered; `false` = refused (tasks still queued).
+    fn unregister(&mut self, slot: u32) -> bool;
+    fn set_app_priority(&mut self, slot: u32, priority: i32);
+    fn submit(&mut self, id: u64, slot: u32, pid: u64, priority: i32, affinity: Affinity);
+    fn pop(&mut self, cpu: usize, now_ns: u64) -> PopRec;
+}
+
+impl Driver for LiveDriver {
+    fn register(&mut self, slot: u32, pid: u64) {
+        LiveDriver::register(self, slot, pid);
+    }
+
+    fn unregister(&mut self, slot: u32) -> bool {
+        LiveDriver::unregister(self, slot).is_ok()
+    }
+
+    fn set_app_priority(&mut self, slot: u32, priority: i32) {
+        LiveDriver::set_app_priority(self, slot, priority);
+    }
+
+    fn submit(&mut self, id: u64, slot: u32, pid: u64, priority: i32, affinity: Affinity) {
+        LiveDriver::submit(self, id, slot, pid, priority, affinity);
+    }
+
+    fn pop(&mut self, cpu: usize, now_ns: u64) -> PopRec {
+        LiveDriver::pop(self, cpu, now_ns).map(|o| (o.id, o.pid, o.stolen, o.quantum_expired))
+    }
+}
+
+/// The simulator-side driver: the same `SchedCore` + heap store pairing
+/// `simnode`'s engine runs, minus the event loop.
+struct SimDriver {
+    core: SchedCore,
+    store: HeapStore<u64>,
+    policy: QuantumPolicy,
+}
+
+impl SimDriver {
+    fn new(cpus: usize, cpus_per_numa: usize, quantum_ns: u64, procs: usize) -> SimDriver {
+        let core = SchedCore::new(cpus, cpus_per_numa, procs);
+        let numa = core.numa_nodes();
+        SimDriver {
+            core,
+            store: HeapStore::new(cpus, numa, procs),
+            policy: QuantumPolicy::new(quantum_ns),
+        }
+    }
+}
+
+impl Driver for SimDriver {
+    fn register(&mut self, slot: u32, pid: u64) {
+        self.core.register_proc(slot as usize, pid);
+    }
+
+    fn unregister(&mut self, slot: u32) -> bool {
+        // Mirror of the live semantics: the core's per-slot ready count
+        // (proc queue *plus* placed tasks in core/NUMA queues) gates the
+        // detach. The live driver drains its submission rings first,
+        // which this store never needs (routing is immediate).
+        if self.core.proc_ready_count(slot as usize) > 0 {
+            return false;
+        }
+        self.core.unregister_proc(slot as usize);
+        true
+    }
+
+    fn set_app_priority(&mut self, slot: u32, priority: i32) {
+        self.core.set_app_priority(slot as usize, priority);
+    }
+
+    fn submit(&mut self, id: u64, slot: u32, pid: u64, priority: i32, affinity: Affinity) {
+        let t = self.store.insert(slot, pid, priority, affinity, id);
+        self.core.route(&mut self.store, t);
+    }
+
+    fn pop(&mut self, cpu: usize, now_ns: u64) -> PopRec {
+        let p = self.core.pick(&mut self.store, &self.policy, cpu, now_ns)?;
+        let stolen = p.source == PickSource::Steal;
+        let quantum = matches!(
+            p.source,
+            PickSource::Process {
+                quantum_expired: true
+            }
+        );
+        let pid = p.pid;
+        let id = self.store.remove(p.task);
+        Some((id, pid, stolen, quantum))
+    }
+}
+
+#[derive(Clone, Copy)]
+struct FuzzConfig {
+    cpus: usize,
+    cpus_per_numa: usize,
+    procs: usize,
+    quantum_ns: u64,
+    /// Live-driver submission ring capacity. With rings enabled, drains
+    /// batch per-slot (preserving per-slot FIFO but not cross-slot
+    /// interleaving), so placed tasks are restricted to slot 0 to keep
+    /// cross-slot arrival order out of the equation — the documented
+    /// batching caveat of the live submission path.
+    ring_cap: usize,
+}
+
+fn config_for(seed: u64) -> FuzzConfig {
+    let mut rng = SplitMix64::new(seed ^ 0xc0a1_e5ce);
+    FuzzConfig {
+        cpus: 1 + (rng.next_u64() % 6) as usize,
+        cpus_per_numa: [0usize, 2][(rng.next_u64() % 2) as usize],
+        procs: 1 + (rng.next_u64() % 3) as usize,
+        quantum_ns: 300 + rng.next_u64() % 500,
+        ring_cap: [0usize, 4, 256][(seed % 3) as usize],
+    }
+}
+
+/// Runs the seeded op sequence against one driver, recording every
+/// decision as a line of text. Op *generation* consumes the same RNG
+/// stream for both drivers; where an op depends on earlier outcomes
+/// (yield resubmissions, lend candidate counts, re-registration after a
+/// successful unregister), it depends only on *recorded decisions* — so
+/// the streams stay identical exactly as long as the decisions do.
+fn decision_stream(driver: &mut impl Driver, seed: u64, cfg: FuzzConfig) -> Vec<String> {
+    let mut rng = SplitMix64::new(seed);
+    let mut out = Vec::new();
+
+    let mut next_pid = 100u64;
+    let mut pid_of: Vec<u64> = Vec::new();
+    for slot in 0..cfg.procs {
+        pid_of.push(next_pid);
+        driver.register(slot as u32, next_pid);
+        next_pid += 1;
+    }
+    let numa_nodes = if cfg.cpus_per_numa == 0 {
+        1
+    } else {
+        cfg.cpus.div_ceil(cfg.cpus_per_numa)
+    };
+
+    let mut now = 0u64;
+    let mut next_id = 1u64;
+    // (slot, pid, priority, affinity) per live task id, for yields.
+    let mut attrs: HashMap<u64, (u32, u64, i32, Affinity)> = HashMap::new();
+    // Queued tasks per slot (how "needy" a process is, for lending).
+    let mut queued: Vec<usize> = vec![0; cfg.procs];
+
+    let submit = |driver: &mut dyn Driver,
+                  rng: &mut SplitMix64,
+                  next_id: &mut u64,
+                  queued: &mut Vec<usize>,
+                  attrs: &mut HashMap<u64, (u32, u64, i32, Affinity)>,
+                  pid_of: &[u64]| {
+        let slot = (rng.next_u64() % cfg.procs as u64) as u32;
+        let prio = (rng.next_u64() % 4) as i32;
+        let strict = rng.next_u64().is_multiple_of(2);
+        let kind = rng.next_u64() % 3;
+        // Placed tasks come from slot 0 when rings batch (see FuzzConfig).
+        let (slot, affinity) = match kind {
+            0 => (slot, Affinity::None),
+            1 => {
+                let s = if cfg.ring_cap == 0 { slot } else { 0 };
+                (
+                    s,
+                    Affinity::Core {
+                        index: (rng.next_u64() % cfg.cpus as u64) as usize,
+                        strict,
+                    },
+                )
+            }
+            _ => {
+                let s = if cfg.ring_cap == 0 { slot } else { 0 };
+                (
+                    s,
+                    Affinity::Numa {
+                        index: (rng.next_u64() % numa_nodes as u64) as usize,
+                        strict,
+                    },
+                )
+            }
+        };
+        let id = *next_id;
+        *next_id += 1;
+        let pid = pid_of[slot as usize];
+        driver.submit(id, slot, pid, prio, affinity);
+        attrs.insert(id, (slot, pid, prio, affinity));
+        queued[slot as usize] += 1;
+    };
+
+    let record_pop = |out: &mut Vec<String>,
+                      queued: &mut Vec<usize>,
+                      attrs: &HashMap<u64, (u32, u64, i32, Affinity)>,
+                      cpu: usize,
+                      now: u64,
+                      rec: PopRec|
+     -> PopRec {
+        match rec {
+            Some((id, pid, stolen, quantum)) => {
+                let slot = attrs[&id].0 as usize;
+                queued[slot] -= 1;
+                out.push(format!(
+                    "pop cpu={cpu} now={now} -> id={id} pid={pid} steal={stolen} quantum={quantum}"
+                ));
+            }
+            None => out.push(format!("pop cpu={cpu} now={now} -> none")),
+        }
+        rec
+    };
+
+    for _ in 0..600 {
+        now += rng.next_u64() % 300;
+        let op = rng.next_u64() % 100;
+        if op < 40 {
+            submit(
+                driver,
+                &mut rng,
+                &mut next_id,
+                &mut queued,
+                &mut attrs,
+                &pid_of,
+            );
+        } else if op < 70 {
+            let cpu = (rng.next_u64() % cfg.cpus as u64) as usize;
+            record_pop(
+                &mut out,
+                &mut queued,
+                &attrs,
+                cpu,
+                now,
+                driver.pop(cpu, now),
+            );
+        } else if op < 78 {
+            // Quantum expiry: jump time far past the quantum, then pop.
+            now += 3 * cfg.quantum_ns;
+            let cpu = (rng.next_u64() % cfg.cpus as u64) as usize;
+            record_pop(
+                &mut out,
+                &mut queued,
+                &attrs,
+                cpu,
+                now,
+                driver.pop(cpu, now),
+            );
+        } else if op < 84 {
+            // Yield: pop, then requeue the same task behind its equals.
+            let cpu = (rng.next_u64() % cfg.cpus as u64) as usize;
+            if let Some((id, ..)) = record_pop(
+                &mut out,
+                &mut queued,
+                &attrs,
+                cpu,
+                now,
+                driver.pop(cpu, now),
+            ) {
+                let (slot, pid, prio, aff) = attrs[&id];
+                driver.submit(id, slot, pid, prio, aff);
+                queued[slot as usize] += 1;
+                out.push(format!("yield id={id}"));
+            }
+        } else if op < 90 {
+            driver.set_app_priority(
+                (rng.next_u64() % cfg.procs as u64) as u32,
+                (rng.next_u64() % 3) as i32,
+            );
+        } else if op < 95 {
+            // Lend: the shared borrower choice over each driver's view of
+            // per-process neediness (tracked from its own decisions).
+            let exclude = (rng.next_u64() % cfg.procs as u64) as usize;
+            let cands: Vec<LendCandidate> = (0..cfg.procs)
+                .filter(|&s| s != exclude)
+                .map(|s| LendCandidate {
+                    app: s,
+                    ready: queued[s],
+                })
+                .collect();
+            let choice = choose_borrower(cands.iter().copied());
+            out.push(format!("lend exclude={exclude} -> {choice:?}"));
+        } else {
+            // Unregister; on success the slot re-registers with a new pid
+            // (detach + re-attach of a process).
+            let slot = (rng.next_u64() % cfg.procs as u64) as u32;
+            if driver.unregister(slot) {
+                out.push(format!("unregister slot={slot} -> ok"));
+                pid_of[slot as usize] = next_pid;
+                driver.register(slot, next_pid);
+                next_pid += 1;
+            } else {
+                out.push(format!("unregister slot={slot} -> busy"));
+            }
+        }
+    }
+
+    // Drain: sweep every CPU until a full round comes back empty, so the
+    // terminal decisions (including the last steals) are compared too.
+    now += 10 * cfg.quantum_ns;
+    for round in 0.. {
+        assert!(round < 10_000, "drain did not converge");
+        let mut progress = false;
+        for cpu in 0..cfg.cpus {
+            now += 50;
+            if record_pop(
+                &mut out,
+                &mut queued,
+                &attrs,
+                cpu,
+                now,
+                driver.pop(cpu, now),
+            )
+            .is_some()
+            {
+                progress = true;
+            }
+        }
+        if !progress {
+            break;
+        }
+    }
+    assert_eq!(queued.iter().sum::<usize>(), 0, "tasks left undrained");
+    out
+}
+
+#[test]
+fn live_and_sim_drivers_produce_byte_identical_decision_streams() {
+    for seed in 0..12u64 {
+        let cfg = config_for(seed);
+        let mut live = LiveDriver::new(cfg.cpus, cfg.cpus_per_numa, cfg.quantum_ns, cfg.ring_cap);
+        let mut sim = SimDriver::new(cfg.cpus, cfg.cpus_per_numa, cfg.quantum_ns, cfg.procs);
+        let live_stream = decision_stream(&mut live, seed, cfg);
+        let sim_stream = decision_stream(&mut sim, seed, cfg);
+        assert!(
+            !live_stream.is_empty(),
+            "seed {seed}: the op sequence recorded no decisions"
+        );
+        for (i, (l, s)) in live_stream.iter().zip(&sim_stream).enumerate() {
+            assert_eq!(
+                l, s,
+                "seed {seed} (cpus={} numa={} procs={} ring={}): decision {i} diverged",
+                cfg.cpus, cfg.cpus_per_numa, cfg.procs, cfg.ring_cap
+            );
+        }
+        assert_eq!(
+            live_stream.len(),
+            sim_stream.len(),
+            "seed {seed}: stream lengths diverged"
+        );
+        assert_eq!(
+            live_stream.join("\n").into_bytes(),
+            sim_stream.join("\n").into_bytes(),
+            "seed {seed}: streams not byte-identical"
+        );
+    }
+}
