@@ -1,0 +1,191 @@
+//! Scheduling throughput vs core count: does adding CPUs add capacity?
+//!
+//! The centralized delegation-lock scheduler *inverted* with scale: the
+//! committed `BENCH_sched.json` record shows 1 CPU × 1 producer at 1.21M
+//! tasks/s collapsing to 445k at 8 CPUs — every pick funnelled through
+//! one lock hold, every submission woke another contender. This bench
+//! pins the fix (idle-CPU direct dispatch + hungry-gated wakes +
+//! per-NUMA sharded scheduling cores) to numbers:
+//!
+//! * tasks/s over 1/2/4/8 CPUs, single-producer (one submitter thread —
+//!   the serial-submission case direct dispatch targets) and
+//!   many-producer (4 submitter threads hammering one process);
+//! * shards *off* (`sched_shards(1)`, the original single-lock core) vs
+//!   shards *on* (2 CPUs per NUMA node, one shard per node).
+//!
+//! Acceptance bars, evaluated on the default configuration and recorded
+//! in `BENCH_scaling.json` (override path with `BENCH_SCALING_OUT`):
+//!
+//! * 8-CPU single-producer throughput ≥ **2x** the 445k tasks/s the
+//!   pre-fix record measured for that corner;
+//! * throughput monotone-or-flat (within 10%) from 4 → 8 CPUs instead of
+//!   falling.
+//!
+//! Run with: `cargo bench -p bench --bench sched_scaling`
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use nosv::prelude::*;
+
+/// The 8-CPU single-producer tasks/s of the committed pre-fix record
+/// (`BENCH_sched.json`, cpus=8 procs=1 ring column) this bench's 2x bar
+/// is anchored to.
+const PRE_FIX_8CPU_RECORD: f64 = 444_688.0;
+
+#[derive(Clone, Copy)]
+struct Config {
+    cpus: usize,
+    /// Submitter threads (all on one process).
+    producers: usize,
+    /// `false` = `sched_shards(1)` (single-lock core);
+    /// `true` = 2 CPUs per NUMA node, one shard per node.
+    sharded: bool,
+}
+
+/// Tasks/sec of the full create+submit+execute+destroy lifecycle.
+fn throughput(cfg: &Config, budget: Duration) -> f64 {
+    let mut builder = Runtime::builder().cpus(cfg.cpus);
+    builder = if cfg.sharded {
+        builder.numa(2.min(cfg.cpus)) // one shard per 2-CPU node
+    } else {
+        builder.sched_shards(1)
+    };
+    let rt = Arc::new(builder.build().expect("valid config"));
+    let app = Arc::new(rt.attach("scaling").expect("attach"));
+    let stop = Arc::new(AtomicBool::new(false));
+    let completed = Arc::new(AtomicU64::new(0));
+
+    let t0 = Instant::now();
+    let submitters: Vec<_> = (0..cfg.producers)
+        .map(|_| {
+            let app = Arc::clone(&app);
+            let stop = Arc::clone(&stop);
+            let completed = Arc::clone(&completed);
+            std::thread::spawn(move || {
+                // Sliding submission window (same harness as
+                // sched_throughput, so the records are comparable).
+                const WINDOW: usize = 64;
+                let mut handles = std::collections::VecDeque::with_capacity(WINDOW);
+                while !stop.load(Ordering::Relaxed) {
+                    let t = app.create_task(|_| {});
+                    t.submit().expect("submit");
+                    handles.push_back(t);
+                    if handles.len() >= WINDOW {
+                        let t = handles.pop_front().unwrap();
+                        t.wait();
+                        t.destroy();
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                for t in handles {
+                    t.wait();
+                    t.destroy();
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+    while t0.elapsed() < budget {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    stop.store(true, Ordering::Relaxed);
+    for s in submitters {
+        s.join().expect("submitter panicked");
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let done = completed.load(Ordering::Relaxed);
+    drop(app);
+    rt.shutdown();
+    done as f64 / elapsed
+}
+
+fn main() {
+    println!("== sched_scaling: tasks/sec vs CPUs, shards on/off ==");
+    let budget = Duration::from_millis(
+        std::env::var("BENCH_SCALING_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(800),
+    );
+    let reps: usize = std::env::var("BENCH_SCALING_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let median = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    };
+
+    let mut rows: Vec<(Config, f64)> = Vec::new();
+    for &producers in &[1usize, 4] {
+        for &sharded in &[false, true] {
+            for &cpus in &[1usize, 2, 4, 8] {
+                let cfg = Config {
+                    cpus,
+                    producers,
+                    sharded,
+                };
+                let samples: Vec<f64> = (0..reps).map(|_| throughput(&cfg, budget)).collect();
+                let rate = median(samples);
+                println!(
+                    "  cpus={cpus} producers={producers} shards={}:  {rate:>9.0} tasks/s",
+                    if sharded { "on " } else { "off" },
+                );
+                rows.push((cfg, rate));
+            }
+        }
+    }
+
+    let rate_of = |cpus: usize, producers: usize, sharded: bool| -> f64 {
+        rows.iter()
+            .find(|(c, _)| c.cpus == cpus && c.producers == producers && c.sharded == sharded)
+            .map(|&(_, r)| r)
+            .expect("config measured")
+    };
+    // The bars run on the shards-off single-producer column: that is the
+    // pre-fix topology (one NUMA node, one lock), so the delta is the
+    // direct-dispatch/wake work, not a topology change.
+    let single_8 = rate_of(8, 1, false);
+    let single_4 = rate_of(4, 1, false);
+    let speedup = single_8 / PRE_FIX_8CPU_RECORD;
+    let meets_2x = speedup >= 2.0;
+    let monotone = single_8 >= 0.9 * single_4;
+    println!("  8-CPU single-producer: {single_8:.0}/s = {speedup:.2}x the pre-fix 445k record (bar: >= 2x) -> {meets_2x}");
+    println!(
+        "  4 -> 8 CPUs single-producer: {single_4:.0} -> {single_8:.0} tasks/s, monotone-or-flat(10%) -> {monotone}"
+    );
+    if !meets_2x || !monotone {
+        println!("  WARNING: scaling below the acceptance bars");
+    }
+
+    let out = std::env::var("BENCH_SCALING_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scaling.json").to_string()
+    });
+    let mut json = String::from(
+        "{\n  \"bench\": \"sched_scaling\",\n  \"unit\": \"tasks_per_sec\",\n  \"configs\": [\n",
+    );
+    for (i, (cfg, rate)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"cpus\": {}, \"producers\": {}, \"sharded\": {}, \"tasks_per_s\": {:.0}}}{}\n",
+            cfg.cpus,
+            cfg.producers,
+            cfg.sharded,
+            rate,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"single_producer_8cpu\": {single_8:.0},\n  \
+         \"pre_fix_8cpu_record\": {PRE_FIX_8CPU_RECORD:.0},\n  \
+         \"speedup_vs_record\": {speedup:.3},\n  \
+         \"meets_2x_bar\": {meets_2x},\n  \
+         \"single_producer_4cpu\": {single_4:.0},\n  \
+         \"monotone_4_to_8\": {monotone}\n}}\n"
+    ));
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("  wrote {out}"),
+        Err(e) => eprintln!("  failed to write {out}: {e}"),
+    }
+}

@@ -47,12 +47,15 @@ struct Sample {
 }
 
 /// Tasks/sec of the full submit+dispatch lifecycle under `cfg`, with the
-/// given ring capacity (0 = the pre-ring locked baseline).
+/// given ring capacity (0 = the pre-ring locked baseline, which also
+/// disables idle-CPU direct dispatch so it keeps measuring the original
+/// every-submit-takes-the-DtLock path).
 fn throughput(cfg: &Config, ring_cap: usize, budget: Duration) -> f64 {
     let rt = Arc::new(
         Runtime::builder()
             .cpus(cfg.cpus)
             .submit_ring(ring_cap)
+            .direct_dispatch(ring_cap != 0)
             .build()
             .expect("valid config"),
     );

@@ -33,12 +33,52 @@ pub fn choose_borrower(candidates: impl IntoIterator<Item = LendCandidate>) -> O
     best.map(|(_, app)| app)
 }
 
+/// Shard-aware borrower choice: each candidate's ready work arrives as
+/// per-shard counts (a sharded scheduler keeps one queue set per shard),
+/// and neediness is the **cross-shard total** — a process whose tasks
+/// happen to sit in one crowded shard is exactly as needy as one spread
+/// evenly. Tie-breaking and the no-ready-work rule match
+/// [`choose_borrower`], which this reduces to with one shard.
+pub fn choose_borrower_sharded<I, J>(candidates: I) -> Option<usize>
+where
+    I: IntoIterator<Item = (usize, J)>,
+    J: IntoIterator<Item = usize>,
+{
+    choose_borrower(
+        candidates
+            .into_iter()
+            .map(|(app, per_shard)| LendCandidate {
+                app,
+                ready: per_shard.into_iter().sum(),
+            }),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn cand(app: usize, ready: usize) -> LendCandidate {
         LendCandidate { app, ready }
+    }
+
+    #[test]
+    fn sharded_neediness_sums_across_shards() {
+        // App 1's 6 tasks sit in one shard; app 0's 5 are spread. App 1
+        // is needier by total, regardless of distribution.
+        assert_eq!(
+            choose_borrower_sharded([(0, vec![2, 2, 1]), (1, vec![0, 6, 0])]),
+            Some(1)
+        );
+        // Reduces to the unsharded rule with one shard.
+        assert_eq!(
+            choose_borrower_sharded([(0, vec![2]), (1, vec![9]), (2, vec![4])]),
+            Some(1)
+        );
+        assert_eq!(
+            choose_borrower_sharded([(0, vec![0, 0]), (1, vec![])]),
+            None
+        );
     }
 
     #[test]

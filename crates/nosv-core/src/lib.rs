@@ -24,6 +24,11 @@
 //!   builds on (and tests drive directly).
 //! * [`lend`] — DLB/LeWI-style CPU-lending decisions (which application
 //!   borrows an idle core).
+//! * [`ShardMap`] / [`ShardedCore`] — per-NUMA sharding of the scheduler:
+//!   the pure CPU/NUMA/submission → shard mapping both backends share,
+//!   plus the single-threaded-driver composition of N shard cores with
+//!   bitmap-guided cross-shard stealing (the live runtime composes the
+//!   same pieces itself, one shard lock at a time).
 //!
 //! Nothing in this crate blocks, allocates on the decision path (scratch
 //! buffers are preallocated), or reads a clock: callers pass `now_ns`. A
@@ -37,6 +42,8 @@ mod heap_store;
 pub mod lend;
 pub mod policy;
 mod sched;
+mod shard;
+mod sharded;
 
 pub use affinity::{Affinity, InvalidAffinity};
 pub use heap_store::{HeapStore, TaskRef};
@@ -45,6 +52,8 @@ pub use policy::{
     QuantumPolicy, SchedPolicy,
 };
 pub use sched::{Pick, PickSource, QueueId, SchedCore, TaskStore, STEAL_SCAN_LIMIT};
+pub use shard::{resolve_shards, ShardMap, MAX_SHARDS};
+pub use sharded::{ShardView, ShardedCore};
 
 /// Default process quantum: 20 ms, the value used for all experiments in
 /// the paper's evaluation (§5).

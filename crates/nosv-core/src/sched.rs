@@ -320,9 +320,16 @@ impl SchedCore {
         // The policy's Decision for process picks (None for local-queue
         // and steal picks, which consult no policy).
         let mut decision = None;
-        let (task, source) = if let Some(t) = self.pop_queue(store, QueueId::Core(cpu)) {
+        // Local pops are gated on the readiness bit, not just the store:
+        // under sharding, the global core/NUMA queue arrays are shared
+        // across shards but each queue is *owned* by exactly one shard
+        // (the one whose bit can be set), so a foreign shard's core must
+        // never pop a queue whose bit it does not hold. Within one shard
+        // the bits are exact (the driver serializes us), so this is also
+        // a free fast path.
+        let (task, source) = if let Some(t) = self.pop_queue_if_ready(store, QueueId::Core(cpu)) {
             (t, PickSource::CoreLocal)
-        } else if let Some(t) = self.pop_queue(store, QueueId::Numa(self.numa_of(cpu))) {
+        } else if let Some(t) = self.pop_queue_if_ready(store, QueueId::Numa(self.numa_of(cpu))) {
             (t, PickSource::NumaLocal)
         } else if let Some((t, d)) = self.pick_from_processes(store, policy, cpu, now_ns) {
             decision = Some(d);
@@ -365,6 +372,28 @@ impl SchedCore {
             self.clear_bit(queue);
         }
         Some(t)
+    }
+
+    /// [`SchedCore::pop_queue`] gated on the readiness bit (see
+    /// [`SchedCore::pick`] for why the bit, not the store, is authoritative
+    /// for whether *this* core may pop the queue).
+    fn pop_queue_if_ready<S: TaskStore>(
+        &mut self,
+        store: &mut S,
+        queue: QueueId,
+    ) -> Option<S::Task> {
+        if !self.bit_set(queue) {
+            return None;
+        }
+        self.pop_queue(store, queue)
+    }
+
+    fn bit_set(&self, queue: QueueId) -> bool {
+        match queue {
+            QueueId::Core(i) => self.core_mask[i / 64] >> (i % 64) & 1 == 1,
+            QueueId::Numa(i) => self.numa_mask >> i & 1 == 1,
+            QueueId::Proc(i) => self.proc_mask >> i & 1 == 1,
+        }
     }
 
     fn clear_bit(&mut self, queue: QueueId) {
@@ -447,6 +476,94 @@ impl SchedCore {
         None
     }
 
+    /// Pops one task for a CPU of a **different shard** — the victim side
+    /// of bitmap-guided cross-shard stealing. `stealer_numa` is the
+    /// stealing CPU's NUMA node.
+    ///
+    /// The remote CPU has no local claim on any of this core's queues, so
+    /// the scan is purely neediness-ordered and strictness-aware:
+    ///
+    /// 1. the first non-empty *active* process queue in ascending slot
+    ///    order (unconstrained tasks, never strict);
+    /// 2. the core queues in ascending order via the readiness word-walk,
+    ///    taking the first non-strict task ([`TaskStore::pop_stealable`]);
+    /// 3. the NUMA queues in ascending order, same filter — except the
+    ///    stealer's **own node's** queue, whose head is taken outright:
+    ///    a same-node CPU satisfies even a strict NUMA placement, and
+    ///    when a node straddles shards (misaligned explicit shard
+    ///    counts) this is the only route its foreign-shard CPUs have to
+    ///    that work.
+    ///
+    /// Strict tasks are otherwise never taken. The stolen task's quantum
+    /// accounting is the *caller's* shard's concern; this core's quanta
+    /// are untouched (a cross-shard steal does not restart anyone's
+    /// quantum clock — identical in both backends by construction).
+    pub fn steal_for_remote<S: TaskStore>(
+        &mut self,
+        store: &mut S,
+        limit: usize,
+        stealer_numa: usize,
+    ) -> Option<Pick<S::Task>> {
+        let task = self.steal_for_remote_task(store, limit, stealer_numa)?;
+        let pid = store.pid(task);
+        self.slot_counts[store.slot(task)] -= 1;
+        Some(Pick {
+            task,
+            pid,
+            source: PickSource::Steal,
+        })
+    }
+
+    fn steal_for_remote_task<S: TaskStore>(
+        &mut self,
+        store: &mut S,
+        limit: usize,
+        stealer_numa: usize,
+    ) -> Option<S::Task> {
+        let mut mask = self.proc_mask;
+        while mask != 0 {
+            let slot = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            if !self.procs[slot].active {
+                continue;
+            }
+            if let Some(t) = self.pop_queue(store, QueueId::Proc(slot)) {
+                return Some(t);
+            }
+        }
+        let mut pos = 0;
+        while let Some(victim) = self.next_core_bit(pos, self.cpus) {
+            let q = QueueId::Core(victim);
+            if let Some(t) = store.pop_stealable(q, limit) {
+                if store.queue_is_empty(q) {
+                    self.clear_bit(q);
+                }
+                return Some(t);
+            }
+            pos = victim + 1;
+        }
+        let mut nmask = self.numa_mask;
+        while nmask != 0 {
+            let n = nmask.trailing_zeros() as usize;
+            nmask &= nmask - 1;
+            let q = QueueId::Numa(n);
+            let t = if n == stealer_numa {
+                // The stealer belongs to this node: every task here —
+                // strict included — may run on it.
+                self.pop_queue(store, q)
+            } else {
+                store.pop_stealable(q, limit)
+            };
+            if let Some(t) = t {
+                if store.queue_is_empty(q) {
+                    self.clear_bit(q);
+                }
+                return Some(t);
+            }
+        }
+        None
+    }
+
     /// First set bit of the core readiness bitmap in `[lo, hi)`, if any.
     /// Word-at-a-time: empty words cost one load.
     fn next_core_bit(&self, lo: usize, hi: usize) -> Option<usize> {
@@ -477,26 +594,52 @@ impl SchedCore {
     ///
     /// Panics on any disagreement.
     pub fn assert_masks_consistent<S: TaskStore>(&self, store: &S) {
+        self.assert_masks_consistent_where(store, |_| true);
+    }
+
+    /// Like [`SchedCore::assert_masks_consistent`], restricted to the
+    /// queues `owns` selects. Under sharding, the global core/NUMA queue
+    /// arrays are shared between shards but each queue is owned by exactly
+    /// one — a shard's bitmaps are only authoritative for the queues it
+    /// owns, so the sharded drivers pass their ownership filter here.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any disagreement over an owned queue.
+    pub fn assert_masks_consistent_where<S: TaskStore>(
+        &self,
+        store: &S,
+        owns: impl Fn(QueueId) -> bool,
+    ) {
         for slot in 0..self.procs.len() {
-            assert_eq!(
-                self.proc_mask >> slot & 1 == 1,
-                !store.queue_is_empty(QueueId::Proc(slot)),
-                "proc_mask bit {slot} disagrees with queue emptiness"
-            );
+            let q = QueueId::Proc(slot);
+            if owns(q) {
+                assert_eq!(
+                    self.proc_mask >> slot & 1 == 1,
+                    !store.queue_is_empty(q),
+                    "proc_mask bit {slot} disagrees with queue emptiness"
+                );
+            }
         }
         for node in 0..self.numa_nodes() {
-            assert_eq!(
-                self.numa_mask >> node & 1 == 1,
-                !store.queue_is_empty(QueueId::Numa(node)),
-                "numa_mask bit {node} disagrees with queue emptiness"
-            );
+            let q = QueueId::Numa(node);
+            if owns(q) {
+                assert_eq!(
+                    self.numa_mask >> node & 1 == 1,
+                    !store.queue_is_empty(q),
+                    "numa_mask bit {node} disagrees with queue emptiness"
+                );
+            }
         }
         for cpu in 0..self.cpus {
-            assert_eq!(
-                self.core_mask[cpu / 64] >> (cpu % 64) & 1 == 1,
-                !store.queue_is_empty(QueueId::Core(cpu)),
-                "core_mask bit {cpu} disagrees with queue emptiness"
-            );
+            let q = QueueId::Core(cpu);
+            if owns(q) {
+                assert_eq!(
+                    self.core_mask[cpu / 64] >> (cpu % 64) & 1 == 1,
+                    !store.queue_is_empty(q),
+                    "core_mask bit {cpu} disagrees with queue emptiness"
+                );
+            }
         }
     }
 }

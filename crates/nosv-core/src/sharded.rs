@@ -1,0 +1,413 @@
+//! [`ShardedCore`]: N independent [`SchedCore`]s behind one façade, for
+//! single-threaded drivers.
+//!
+//! The live runtime cannot use this type directly — each of its shards
+//! lives behind its own delegation lock, so it composes [`ShardMap`],
+//! [`SchedCore::pick`] and [`SchedCore::steal_for_remote`] itself, taking
+//! one lock at a time. Single-threaded drivers (the `simnode` engine, the
+//! driver-parity fuzz) hold every shard at once, and this wrapper performs
+//! the *same composition in the same order*:
+//!
+//! * routing: placed tasks to the owner shard, unconstrained tasks
+//!   round-robin ([`ShardMap::route_shard`]);
+//! * picking: the CPU's home shard first, then the other shards in
+//!   rotation via [`SchedCore::steal_for_remote`] (reported as a
+//!   [`PickSource::Steal`]).
+//!
+//! Because the composition is pinned down here (and fuzzed against the
+//! live scheduler in `tests/driver_parity.rs`), sharded sim/live parity
+//! holds the same way single-core parity does.
+//!
+//! # Store layout
+//!
+//! All shards share **one** [`TaskStore`]; per-shard process queues are
+//! carved out of it by [`ShardView`], which remaps `QueueId::Proc(slot)`
+//! to `Proc(shard * max_procs + slot)`. Construct the store with
+//! `procs = max_procs * shards` process queues. Core and NUMA queues are
+//! global (each owned by exactly one shard) and pass through unmapped.
+
+use crate::affinity::Affinity;
+use crate::policy::SchedPolicy;
+use crate::sched::{Pick, QueueId, SchedCore, TaskStore, STEAL_SCAN_LIMIT};
+use crate::shard::ShardMap;
+
+/// A [`TaskStore`] view exposing shard `base/max_procs`'s process queues;
+/// see the module docs.
+pub struct ShardView<'a, S> {
+    inner: &'a mut S,
+    proc_base: usize,
+}
+
+impl<'a, S: TaskStore> ShardView<'a, S> {
+    /// Wraps `store`, remapping `Proc(slot)` to `Proc(shard * max_procs +
+    /// slot)`.
+    pub fn new(store: &'a mut S, shard: usize, max_procs: usize) -> ShardView<'a, S> {
+        ShardView {
+            inner: store,
+            proc_base: shard * max_procs,
+        }
+    }
+
+    #[inline]
+    fn map(&self, q: QueueId) -> QueueId {
+        match q {
+            QueueId::Proc(slot) => QueueId::Proc(self.proc_base + slot),
+            other => other,
+        }
+    }
+}
+
+impl<S: TaskStore> TaskStore for ShardView<'_, S> {
+    type Task = S::Task;
+
+    fn push(&mut self, queue: QueueId, task: S::Task) {
+        let q = self.map(queue);
+        self.inner.push(q, task);
+    }
+
+    fn pop(&mut self, queue: QueueId) -> Option<S::Task> {
+        let q = self.map(queue);
+        self.inner.pop(q)
+    }
+
+    fn pop_stealable(&mut self, queue: QueueId, limit: usize) -> Option<S::Task> {
+        let q = self.map(queue);
+        self.inner.pop_stealable(q, limit)
+    }
+
+    fn queue_is_empty(&self, queue: QueueId) -> bool {
+        self.inner.queue_is_empty(self.map(queue))
+    }
+
+    fn head_priority(&self, queue: QueueId) -> Option<i32> {
+        self.inner.head_priority(self.map(queue))
+    }
+
+    fn affinity(&self, task: S::Task) -> Affinity {
+        self.inner.affinity(task)
+    }
+
+    fn pid(&self, task: S::Task) -> u64 {
+        self.inner.pid(task)
+    }
+
+    fn slot(&self, task: S::Task) -> usize {
+        self.inner.slot(task)
+    }
+}
+
+/// N [`SchedCore`] shards driven as one scheduler (single-threaded
+/// drivers); see the module docs.
+pub struct ShardedCore {
+    shards: Vec<SchedCore>,
+    map: ShardMap,
+    max_procs: usize,
+    /// Round-robin cursor for unconstrained submissions.
+    rr_submit: u64,
+}
+
+impl ShardedCore {
+    /// A sharded core for `cpus` CPUs (`cpus_per_numa` per node, `0` =
+    /// one node), `max_procs` process slots and `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics where [`SchedCore::new`] or [`ShardMap::new`] would.
+    pub fn new(cpus: usize, cpus_per_numa: usize, max_procs: usize, shards: usize) -> ShardedCore {
+        let map = ShardMap::new(cpus, cpus_per_numa, shards);
+        ShardedCore {
+            shards: (0..shards)
+                .map(|_| SchedCore::new(cpus, cpus_per_numa, max_procs))
+                .collect(),
+            map,
+            max_procs,
+            rr_submit: 0,
+        }
+    }
+
+    /// The CPU/NUMA → shard mapping.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of NUMA nodes implied by the topology.
+    pub fn numa_nodes(&self) -> usize {
+        self.shards[0].numa_nodes()
+    }
+
+    /// One shard's state machine (tests, consistency checks).
+    pub fn shard(&self, s: usize) -> &SchedCore {
+        &self.shards[s]
+    }
+
+    /// Registers (or re-registers) a process slot in every shard.
+    pub fn register_proc(&mut self, slot: usize, pid: u64) {
+        for core in &mut self.shards {
+            core.register_proc(slot, pid);
+        }
+    }
+
+    /// Unregisters a process slot from every shard.
+    ///
+    /// The caller must have verified [`ShardedCore::proc_ready_count`] is
+    /// zero, as for [`SchedCore::unregister_proc`].
+    pub fn unregister_proc(&mut self, slot: usize) {
+        for core in &mut self.shards {
+            core.unregister_proc(slot);
+        }
+    }
+
+    /// Sets a process's application priority in every shard.
+    pub fn set_app_priority(&mut self, slot: usize, priority: i32) {
+        for core in &mut self.shards {
+            core.set_app_priority(slot, priority);
+        }
+    }
+
+    /// Queued (routed, not yet picked) tasks of `slot` across every shard.
+    pub fn proc_ready_count(&self, slot: usize) -> usize {
+        self.shards.iter().map(|c| c.proc_ready_count(slot)).sum()
+    }
+
+    /// Routes a ready task into its destination shard's queues; returns
+    /// the shard chosen.
+    pub fn route<S: TaskStore>(&mut self, store: &mut S, task: S::Task) -> usize {
+        let shard = self
+            .map
+            .route_shard(store.affinity(task), &mut self.rr_submit);
+        let mut view = ShardView::new(store, shard, self.max_procs);
+        self.shards[shard].route(&mut view, task);
+        shard
+    }
+
+    /// The scheduling decision for one CPU: its home shard's full pick
+    /// (core queue, NUMA queue, policy, in-shard steal), then the other
+    /// shards in rotation via cross-shard stealing.
+    pub fn pick<S: TaskStore>(
+        &mut self,
+        store: &mut S,
+        policy: &dyn SchedPolicy,
+        cpu: usize,
+        now_ns: u64,
+    ) -> Option<Pick<S::Task>> {
+        let home = self.map.shard_of_cpu(cpu % self.map.cpus());
+        {
+            let mut view = ShardView::new(store, home, self.max_procs);
+            if let Some(p) = self.shards[home].pick(&mut view, policy, cpu, now_ns) {
+                return Some(p);
+            }
+        }
+        let stealer_numa = self.shards[home].numa_of(cpu % self.map.cpus());
+        for victim in self.map.steal_rotation(home) {
+            let mut view = ShardView::new(store, victim, self.max_procs);
+            if let Some(p) =
+                self.shards[victim].steal_for_remote(&mut view, STEAL_SCAN_LIMIT, stealer_numa)
+            {
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    /// Asserts every shard's readiness bitmaps agree with a naive recount
+    /// of the queues it owns.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any disagreement.
+    pub fn assert_masks_consistent<S: TaskStore>(&self, store: &mut S) {
+        for (s, core) in self.shards.iter().enumerate() {
+            let view = ShardView::new(store, s, self.max_procs);
+            let map = self.map;
+            core.assert_masks_consistent_where(&view, |q| match q {
+                QueueId::Proc(_) => true,
+                QueueId::Core(c) => map.shard_of_cpu(c) == s,
+                QueueId::Numa(n) => map.shard_of_numa(n) == s,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap_store::HeapStore;
+    use crate::policy::QuantumPolicy;
+    use crate::sched::PickSource;
+
+    fn setup(
+        cpus: usize,
+        per_numa: usize,
+        shards: usize,
+    ) -> (ShardedCore, HeapStore<u64>, QuantumPolicy) {
+        let core = ShardedCore::new(cpus, per_numa, 8, shards);
+        let store = HeapStore::new(cpus, core.numa_nodes(), 8 * shards);
+        (core, store, QuantumPolicy::new(1_000_000))
+    }
+
+    fn submit(
+        core: &mut ShardedCore,
+        store: &mut HeapStore<u64>,
+        id: u64,
+        affinity: Affinity,
+    ) -> usize {
+        let t = store.insert(0, 10, 0, affinity, id);
+        core.route(store, t)
+    }
+
+    #[test]
+    fn single_shard_matches_unsharded_behaviour() {
+        let (mut core, mut store, policy) = setup(2, 0, 1);
+        core.register_proc(0, 10);
+        for id in 0..3 {
+            assert_eq!(submit(&mut core, &mut store, id, Affinity::None), 0);
+        }
+        for id in 0..3 {
+            let p = core.pick(&mut store, &policy, 0, 0).unwrap();
+            assert_eq!(store.remove(p.task), id);
+        }
+        assert!(core.pick(&mut store, &policy, 0, 0).is_none());
+    }
+
+    #[test]
+    fn unconstrained_tasks_round_robin_across_shards() {
+        let (mut core, mut store, _) = setup(4, 2, 2);
+        core.register_proc(0, 10);
+        let shards: Vec<usize> = (0..4)
+            .map(|id| submit(&mut core, &mut store, id, Affinity::None))
+            .collect();
+        assert_eq!(shards, vec![0, 1, 0, 1]);
+        core.assert_masks_consistent(&mut store);
+    }
+
+    #[test]
+    fn placed_tasks_route_to_owner_shard() {
+        let (mut core, mut store, policy) = setup(4, 2, 2);
+        core.register_proc(0, 10);
+        let s = submit(
+            &mut core,
+            &mut store,
+            1,
+            Affinity::Core {
+                index: 3,
+                strict: true,
+            },
+        );
+        assert_eq!(s, 1, "core 3 belongs to shard 1");
+        // Only CPU 3 may run a strict core task; CPU 0 (shard 0) must not
+        // steal it cross-shard.
+        assert!(core.pick(&mut store, &policy, 0, 0).is_none());
+        let p = core.pick(&mut store, &policy, 3, 0).unwrap();
+        assert_eq!(p.source, PickSource::CoreLocal);
+        core.assert_masks_consistent(&mut store);
+    }
+
+    #[test]
+    fn empty_home_shard_steals_cross_shard() {
+        let (mut core, mut store, policy) = setup(4, 2, 2);
+        core.register_proc(0, 10);
+        // Two unconstrained tasks: rr puts task 0 in shard 0, task 1 in
+        // shard 1. CPU 0 picks its home task, then cross-steals shard 1's.
+        submit(&mut core, &mut store, 0, Affinity::None);
+        submit(&mut core, &mut store, 1, Affinity::None);
+        let p0 = core.pick(&mut store, &policy, 0, 0).unwrap();
+        assert!(matches!(p0.source, PickSource::Process { .. }));
+        assert_eq!(store.remove(p0.task), 0);
+        let p1 = core.pick(&mut store, &policy, 0, 0).unwrap();
+        assert_eq!(p1.source, PickSource::Steal, "cross-shard steal");
+        assert_eq!(store.remove(p1.task), 1);
+        assert_eq!(core.proc_ready_count(0), 0);
+        core.assert_masks_consistent(&mut store);
+    }
+
+    #[test]
+    fn best_effort_placed_tasks_are_stolen_cross_shard() {
+        let (mut core, mut store, policy) = setup(4, 2, 2);
+        core.register_proc(0, 10);
+        submit(
+            &mut core,
+            &mut store,
+            7,
+            Affinity::Core {
+                index: 3,
+                strict: false,
+            },
+        );
+        // Shard 0's CPU 0 steals the best-effort task parked on core 3.
+        let p = core.pick(&mut store, &policy, 0, 0).unwrap();
+        assert_eq!(p.source, PickSource::Steal);
+        assert_eq!(store.remove(p.task), 7);
+        core.assert_masks_consistent(&mut store);
+    }
+
+    #[test]
+    fn strict_numa_task_owned_by_its_nodes_shard() {
+        let (mut core, mut store, policy) = setup(4, 2, 2);
+        core.register_proc(0, 10);
+        submit(
+            &mut core,
+            &mut store,
+            5,
+            Affinity::Numa {
+                index: 1,
+                strict: true,
+            },
+        );
+        // Node 0 CPUs find nothing (strict, not stealable cross-shard).
+        assert!(core.pick(&mut store, &policy, 0, 0).is_none());
+        assert!(core.pick(&mut store, &policy, 1, 0).is_none());
+        let p = core.pick(&mut store, &policy, 2, 0).unwrap();
+        assert_eq!(p.source, PickSource::NumaLocal);
+        core.assert_masks_consistent(&mut store);
+    }
+
+    #[test]
+    fn straddling_node_strict_numa_task_reaches_same_node_foreign_shard_cpu() {
+        // 6 CPUs, 3 nodes of 2, but only 2 shards: node 1 = CPUs {2, 3}
+        // straddles shard 0 = {0,1,2} and shard 1 = {3,4,5}. A strict
+        // Numa(1) task routes to node 1's owner shard (shard 0, via CPU
+        // 2). CPU 3 is in the other shard but on the right node: it must
+        // still be able to take the task — via the same-node cross-shard
+        // steal — while CPU 4 (wrong node) must not.
+        let (mut core, mut store, policy) = setup(6, 2, 2);
+        core.register_proc(0, 10);
+        let aff = Affinity::Numa {
+            index: 1,
+            strict: true,
+        };
+        assert_eq!(submit(&mut core, &mut store, 11, aff), 0, "owner shard");
+        assert!(
+            core.pick(&mut store, &policy, 4, 0).is_none(),
+            "wrong-node CPU must never see the strict task"
+        );
+        let p = core.pick(&mut store, &policy, 3, 0).unwrap();
+        assert_eq!(p.source, PickSource::Steal, "same-node cross-shard steal");
+        assert_eq!(store.remove(p.task), 11);
+        core.assert_masks_consistent(&mut store);
+
+        // And the owner shard's own node CPU still picks locally.
+        submit(&mut core, &mut store, 12, aff);
+        let p = core.pick(&mut store, &policy, 2, 0).unwrap();
+        assert_eq!(p.source, PickSource::NumaLocal);
+        assert_eq!(store.remove(p.task), 12);
+    }
+
+    #[test]
+    fn ready_counts_span_shards() {
+        let (mut core, mut store, policy) = setup(4, 2, 2);
+        core.register_proc(0, 10);
+        for id in 0..4 {
+            submit(&mut core, &mut store, id, Affinity::None);
+        }
+        assert_eq!(core.proc_ready_count(0), 4);
+        while let Some(p) = core.pick(&mut store, &policy, 1, 0) {
+            store.remove(p.task);
+        }
+        assert_eq!(core.proc_ready_count(0), 0);
+    }
+}

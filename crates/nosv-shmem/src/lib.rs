@@ -30,6 +30,10 @@
 //!   through which attached processes feed the shared scheduler without
 //!   touching its delegation lock. Zero-valid headers, slot arrays
 //!   allocated from the SLAB like every other in-segment object.
+//! * **Idle-CPU claim table** ([`ClaimTable`]): a bitmap plus per-CPU
+//!   handoff slots through which a submission CAS-claims an idle CPU and
+//!   hands its task straight over — no ring, no queue, no lock. The
+//!   direct-dispatch fast path of the sharded scheduler.
 //! * **Process registry** (`Registry`, §3.3): processes attach to the
 //!   segment at startup and detach at exit; the last process to detach is
 //!   told so it can tear the segment down, mirroring the unlink-on-last-exit
@@ -37,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+mod claim;
 mod layout;
 mod offset;
 mod registry;
@@ -44,6 +49,7 @@ mod ring;
 mod segment;
 mod slab;
 
+pub use claim::{ClaimTable, CLAIM_MAX_CPUS};
 pub use layout::{SegmentGeometry, CHUNK_SIZE, MAX_PROCS, NUM_CLASSES, SIZE_CLASSES};
 pub use offset::{AtomicShoff, Shoff};
 pub use registry::{AttachError, ProcessId};

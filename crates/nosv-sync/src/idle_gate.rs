@@ -89,6 +89,28 @@ impl IdleGate {
         self.epoch.load(Ordering::SeqCst)
     }
 
+    /// Like [`IdleGate::wait`], preceded by a bounded adaptive spin: up to
+    /// `rounds` backoff steps (escalating from `spin_loop` hints to OS
+    /// yields) watching the epoch before committing to the futex-style
+    /// sleep. A notification that lands during the spin is consumed
+    /// without any mutex, condvar or kernel transition — the "standby
+    /// worker" fast path that lets a fully idle runtime absorb a serial
+    /// task stream without paying one futex wake per task.
+    ///
+    /// `rounds == 0` is exactly [`IdleGate::wait`]. Callers should elect
+    /// at most one spinner at a time (see `CpuGates`), since every
+    /// additional spinner burns a core the workload could use.
+    pub fn wait_spin(&self, key: u64, rounds: u32) {
+        let mut backoff = crate::Backoff::new();
+        for _ in 0..rounds {
+            if self.epoch.load(Ordering::SeqCst) != key {
+                return;
+            }
+            backoff.snooze();
+        }
+        self.wait(key);
+    }
+
     /// Blocks until a notification arrives after `key` was captured.
     ///
     /// Returns immediately if one already has. Spurious returns are

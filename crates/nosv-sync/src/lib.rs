@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod backoff;
+mod cpu_gates;
 mod dtlock;
 mod idle_gate;
 mod mutex;
@@ -46,6 +47,7 @@ mod splitmix;
 mod ticket;
 
 pub use backoff::Backoff;
+pub use cpu_gates::CpuGates;
 pub use dtlock::{Acquired, DtGuard, DtLock};
 pub use idle_gate::IdleGate;
 pub use mutex::{Condvar, Mutex, MutexGuard};

@@ -106,6 +106,38 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Number of scheduler shards: independent scheduling cores, each
+    /// behind its own delegation lock, among which CPUs are split so
+    /// fetches of different shards never contend. `0` (the default) means
+    /// one shard per NUMA node; `1` reproduces the original single-lock
+    /// scheduler. At most 16 and never more than the CPU count.
+    ///
+    /// Placed tasks route to the shard owning their target core/node;
+    /// unconstrained tasks round-robin across shards (their global
+    /// cross-shard FIFO order is traded for scalability — FIFO still
+    /// holds within each shard); a CPU whose shard runs dry steals from
+    /// the other shards in rotation. The simulator shards identically
+    /// (`simnode::SimOptions::sched_shards`), so sim/live parity holds
+    /// per shard configuration.
+    pub fn sched_shards(mut self, shards: usize) -> Self {
+        self.config.sched_shards = shards;
+        self
+    }
+
+    /// Enables or disables idle-CPU direct dispatch (default: enabled).
+    ///
+    /// When enabled, a submission that finds a CPU idle and *armed* in
+    /// the claim table hands its task straight through that CPU's handoff
+    /// slot — one CAS plus one wake, bypassing rings, queues and locks
+    /// entirely. Unconstrained and matching-affinity tasks qualify;
+    /// everything else (and every submission when no CPU is armed) takes
+    /// the ring path. Disabling forces all submissions through the
+    /// ring/locked paths (the benchmark baseline).
+    pub fn direct_dispatch(mut self, enabled: bool) -> Self {
+        self.config.direct_dispatch = enabled;
+        self
+    }
+
     /// Installs a [`TraceSink`] to receive the runtime's [`crate::ObsEvent`]
     /// stream (submit/start/end/pause/resume/handoff/steal actions plus
     /// counter deltas at shutdown). Without a sink, tracing is off and the
@@ -168,6 +200,8 @@ impl std::fmt::Debug for RuntimeBuilder {
             .field("quantum_ns", &self.config.quantum_ns)
             .field("segment_size", &self.config.segment_size)
             .field("submit_ring_cap", &self.config.submit_ring_cap)
+            .field("sched_shards", &self.config.sched_shards)
+            .field("direct_dispatch", &self.config.direct_dispatch)
             .field("sink", &self.sink.is_some())
             .field("custom_policy", &self.policy.is_some())
             .finish()

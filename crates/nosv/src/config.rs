@@ -47,6 +47,13 @@ pub(crate) struct NosvConfig {
     /// `0` disables the rings and routes every submission through the
     /// locked path (the pre-ring behaviour, kept for benchmarking).
     pub submit_ring_cap: usize,
+    /// Number of scheduler shards; `0` = one per NUMA node (the
+    /// default), `1` = the original single-lock scheduler.
+    pub sched_shards: usize,
+    /// Whether submissions may hand tasks straight to idle CPUs through
+    /// the claim table (`true` by default; `false` forces every
+    /// submission through the ring/locked paths, kept for benchmarking).
+    pub direct_dispatch: bool,
 }
 
 impl Default for NosvConfig {
@@ -57,6 +64,8 @@ impl Default for NosvConfig {
             quantum_ns: DEFAULT_QUANTUM_NS,
             segment_size: 32 * 1024 * 1024,
             submit_ring_cap: DEFAULT_SUBMIT_RING_CAP,
+            sched_shards: 0,
+            direct_dispatch: true,
         }
     }
 }
@@ -69,6 +78,12 @@ impl NosvConfig {
         } else {
             self.cpus.div_ceil(self.cpus_per_numa)
         }
+    }
+
+    /// Effective scheduler shard count (`sched_shards` with `0` resolved
+    /// to the NUMA node count, clamped to the valid range).
+    pub fn resolved_shards(&self) -> usize {
+        nosv_core::resolve_shards(self.sched_shards, self.cpus, self.numa_nodes())
     }
 
     pub(crate) fn segment_config(&self) -> SegmentConfig {
@@ -104,6 +119,12 @@ impl NosvConfig {
         if self.submit_ring_cap > MAX_SUBMIT_RING_CAP {
             return fail("submission ring capacity above 65536 entries");
         }
+        if self.sched_shards > nosv_core::MAX_SHARDS {
+            return fail("more scheduler shards than supported (16)");
+        }
+        if self.sched_shards > self.cpus {
+            return fail("more scheduler shards than CPUs");
+        }
         Ok(())
     }
 }
@@ -127,6 +148,27 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(c.numa_nodes(), 2);
+    }
+
+    #[test]
+    fn shards_default_to_numa_nodes() {
+        let c = NosvConfig {
+            cpus: 8,
+            cpus_per_numa: 2,
+            ..Default::default()
+        };
+        assert_eq!(c.resolved_shards(), 4);
+        let single = NosvConfig {
+            cpus: 8,
+            ..Default::default()
+        };
+        assert_eq!(single.resolved_shards(), 1);
+        let explicit = NosvConfig {
+            cpus: 8,
+            sched_shards: 2,
+            ..Default::default()
+        };
+        assert_eq!(explicit.resolved_shards(), 2);
     }
 
     #[test]
@@ -168,6 +210,15 @@ mod tests {
             },
             NosvConfig {
                 submit_ring_cap: 1 << 20, // absurdly large
+                ..Default::default()
+            },
+            NosvConfig {
+                sched_shards: 64, // beyond MAX_SHARDS
+                ..Default::default()
+            },
+            NosvConfig {
+                cpus: 2,
+                sched_shards: 3, // more shards than CPUs
                 ..Default::default()
             },
         ];

@@ -114,6 +114,10 @@ pub enum CounterKind {
     RingSubmits,
     /// Submissions through the locked fallback path.
     LockedSubmits,
+    /// Submissions handed straight to an idle CPU (direct dispatch).
+    DirectDispatches,
+    /// Tasks stolen across scheduler shards.
+    ShardSteals,
     /// OS preemptions (simulator, oversubscribed baselines).
     Preemptions,
     /// Core-nanoseconds spent spinning on a held scheduler lock (simulator).
@@ -151,6 +155,8 @@ impl CounterKind {
             CounterKind::WorkersSpawned => "workers_spawned",
             CounterKind::RingSubmits => "ring_submits",
             CounterKind::LockedSubmits => "locked_submits",
+            CounterKind::DirectDispatches => "direct_dispatches",
+            CounterKind::ShardSteals => "shard_steals",
             CounterKind::Preemptions => "preemptions",
             CounterKind::LockSpinNs => "lock_spin_ns",
             CounterKind::IdleSpinNs => "idle_spin_ns",

@@ -8,7 +8,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use nosv_shmem::{ShmSegment, Shoff};
-use nosv_sync::{IdleGate, Mutex};
+use nosv_sync::{CpuGates, Mutex};
 
 use crate::builder::RuntimeBuilder;
 use crate::config::NosvConfig;
@@ -42,12 +42,27 @@ pub(crate) struct RuntimeInner {
     pub shutdown: AtomicBool,
     /// Tasks submitted but not yet completed (shutdown precondition).
     pub pending_tasks: AtomicU64,
+    /// Submissions currently inside their critical window (between the
+    /// pending-count bump and the enqueue-or-rollback). Shutdown waits
+    /// for this to reach zero after raising its flag, so the
+    /// `pending_tasks` assert never observes a transient increment a
+    /// racing submit is about to roll back — the race resolves
+    /// deterministically to `ShutdownInProgress`.
+    pub submit_inflight: AtomicU64,
+    /// Monotonic count of submit windows ever opened. Shutdown's stable
+    /// pending read snapshots it before draining `submit_inflight` and
+    /// re-checks it after reading the pending count: equality proves no
+    /// window opened since the snapshot, and any window open *at* the
+    /// pending read would have kept the drain spinning — so the read is
+    /// transient-free by construction.
+    pub submit_windows: AtomicU64,
     /// Descriptors created but not yet destroyed (leak check).
     pub live_descriptors: AtomicU64,
-    /// Event-counted gate idle workers sleep on. Submissions notify it
-    /// without taking any lock in the common (no sleeper) case; see
-    /// [`RuntimeInner::submit`].
-    pub idle_gate: IdleGate,
+    /// Per-CPU wake gates idle workers sleep on (one gate per core, so a
+    /// direct dispatch wakes exactly its target; a single elected standby
+    /// spins briefly before sleeping). Shared with the scheduler, which
+    /// delivers all wakeups.
+    pub gates: Arc<CpuGates>,
     /// Serializes process registration against shutdown (cold paths only;
     /// the submit hot path synchronizes with shutdown via SeqCst atomics
     /// instead — see [`RuntimeInner::submit`]).
@@ -128,10 +143,10 @@ impl RuntimeInner {
     /// resubmission of a paused task.
     ///
     /// This is the lock-free hot path: no runtime mutex is taken. The
-    /// enqueue is a push into the process's submission ring (drained in
-    /// batches by whoever holds the scheduler lock) and the wakeup is an
-    /// event-counted gate notification that costs two atomic operations
-    /// when no worker sleeps.
+    /// enqueue is a direct handoff to an idle CPU when one is armed, or a
+    /// push into the process's submission ring for the destination shard
+    /// (drained in batches by whoever holds that shard's lock) plus a
+    /// targeted per-CPU gate notification.
     pub(crate) fn submit(&self, desc: Shoff<TaskDesc>) -> Result<(), NosvError> {
         // SAFETY: handle-owned descriptor, alive until destroy.
         let d = unsafe { self.seg.sref(desc) };
@@ -143,6 +158,10 @@ impl RuntimeInner {
         // produced.
         let affinity = Affinity::decode(d.affinity.load(Ordering::Relaxed));
         affinity.validate(self.config.cpus, self.config.numa_nodes())?;
+        // Open the inflight window *before* any state the shutdown assert
+        // reads can change; see `submit_inflight`. The guard closes it on
+        // every exit path.
+        let _window = InflightWindow::open(self);
         // The state transition runs first: the wait for an in-progress
         // pause() below can spin for as long as the task body takes to
         // block, and must not stall the whole runtime.
@@ -169,7 +188,7 @@ impl RuntimeInner {
                 }
             }
         };
-        self.enqueue_ready(desc, from)
+        self.enqueue_ready(desc, from, affinity)
     }
 
     /// The yield self-resubmission (`nosv_yield`'s requeue half): exactly
@@ -186,30 +205,38 @@ impl RuntimeInner {
         // SAFETY: the descriptor belongs to the task running on the
         // calling worker thread; alive until destroy.
         let d = unsafe { self.seg.sref(desc) };
+        let _window = InflightWindow::open(self);
         if !d.transition(TaskState::Paused, TaskState::Ready) {
             return Ok(());
         }
-        self.enqueue_ready(desc, TaskState::Paused)
+        let affinity = Affinity::decode(d.affinity.load(Ordering::Relaxed));
+        self.enqueue_ready(desc, TaskState::Paused, affinity)
     }
 
     /// Enqueues a descriptor whose `Ready` transition (from `from`) the
     /// caller just performed: shutdown handshake, counters, the actual
-    /// scheduler insert, and the idle-gate wakeup.
-    fn enqueue_ready(&self, desc: Shoff<TaskDesc>, from: TaskState) -> Result<(), NosvError> {
+    /// scheduler insert, and the targeted wakeup. `affinity` is the
+    /// descriptor's decoded placement (decoded once by the caller).
+    fn enqueue_ready(
+        &self,
+        desc: Shoff<TaskDesc>,
+        from: TaskState,
+        affinity: Affinity,
+    ) -> Result<(), NosvError> {
         // SAFETY: as in the callers.
         let d = unsafe { self.seg.sref(desc) };
-        let affinity = Affinity::decode(d.affinity.load(Ordering::Relaxed));
         // Shutdown synchronization without a lock (store-buffer pairing):
         // we bump `pending_tasks` (SeqCst) *then* load the shutdown flag;
-        // `shutdown` stores the flag (SeqCst) *then* loads the pending
+        // `shutdown` stores the flag (SeqCst) *then* waits for the
+        // inflight window count to reach zero *then* loads the pending
         // count. In any SeqCst total order at least one side observes the
-        // other, so either we see the flag here — and roll the
-        // not-yet-enqueued transition back — or shutdown's pending check
-        // sees our increment and trips its "tasks still pending" assert.
-        // Either way no task is ever queued with no worker left to serve
-        // it. (A submit racing shutdown this closely is a program error by
-        // shutdown's precondition; the race resolves to an error, the
-        // assert, or both.)
+        // other: either we see the flag here — and roll the
+        // not-yet-enqueued transition back before our window closes, so
+        // the assert never sees the transient — or we raced ahead of the
+        // flag and the task is fully enqueued, which shutdown's
+        // precondition (no pending tasks) makes the caller's bug. Either
+        // way the race resolves deterministically: ShutdownInProgress
+        // here, or an honest "tasks still pending" there — never both.
         if self.shutdown.load(Ordering::SeqCst) {
             // Not yet enqueued: workers cannot have seen the descriptor,
             // so the rollback is invisible to everyone but racy state()
@@ -231,18 +258,28 @@ impl RuntimeInner {
             d.pid.load(Ordering::Relaxed),
             TaskId(d.id.load(Ordering::Relaxed)),
         );
-        match self.sched.submit(desc) {
-            SubmitPath::Ring => self.counters.ring_submits.fetch_add(1, Ordering::Relaxed),
-            SubmitPath::Locked => self.counters.locked_submits.fetch_add(1, Ordering::Relaxed),
-        };
-        // Wake exactly the sleepers this task needs: one worker for an
-        // unconstrained task (any core can take it, handing off if the
-        // pid differs), every sleeper for a placed task (only the target
-        // core/node's worker can execute a strict one, and which worker
-        // that is cannot be told apart on the gate).
-        match affinity {
-            Affinity::None => self.idle_gate.notify_one(),
-            _ => self.idle_gate.notify_all(),
+        match self.sched.submit_with(desc, affinity) {
+            // Handed straight to an idle CPU's claim slot: the scheduler
+            // already woke exactly that CPU, and the task was never
+            // queued.
+            SubmitPath::Direct => {
+                self.counters
+                    .direct_dispatches
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            // Queued: wake exactly the sleepers the task needs — the
+            // target core's gate for a placed task, one armed CPU for
+            // anything a steal can deliver (per-CPU gates make the wake
+            // targeted; the old single gate had to wake everyone for
+            // placed tasks).
+            SubmitPath::Ring => {
+                self.counters.ring_submits.fetch_add(1, Ordering::Relaxed);
+                self.sched.wake_for(affinity);
+            }
+            SubmitPath::Locked => {
+                self.counters.locked_submits.fetch_add(1, Ordering::Relaxed);
+                self.sched.wake_for(affinity);
+            }
         }
         Ok(())
     }
@@ -265,6 +302,29 @@ impl RuntimeInner {
         let cpu = worker::current_core().unwrap_or(0);
         self.seg.free_t(desc, cpu);
         self.live_descriptors.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// RAII counter of submissions inside their critical window (between the
+/// pending-count bump and the enqueue-or-rollback); see
+/// [`RuntimeInner::submit_inflight`].
+struct InflightWindow<'a> {
+    counter: &'a AtomicU64,
+}
+
+impl<'a> InflightWindow<'a> {
+    fn open(rt: &'a RuntimeInner) -> InflightWindow<'a> {
+        rt.submit_windows.fetch_add(1, Ordering::SeqCst);
+        rt.submit_inflight.fetch_add(1, Ordering::SeqCst);
+        InflightWindow {
+            counter: &rt.submit_inflight,
+        }
+    }
+}
+
+impl Drop for InflightWindow<'_> {
+    fn drop(&mut self) {
+        self.counter.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -295,7 +355,8 @@ impl Runtime {
         sink: Option<Arc<dyn TraceSink>>,
     ) -> Result<Runtime, NosvError> {
         let seg = ShmSegment::create(config.segment_config());
-        let sched = Scheduler::new(seg.clone(), &config, policy)?;
+        let gates = Arc::new(CpuGates::new(config.cpus));
+        let sched = Scheduler::new(seg.clone(), &config, policy, Arc::clone(&gates))?;
         Ok(Runtime {
             inner: Arc::new(RuntimeInner {
                 seg,
@@ -303,8 +364,10 @@ impl Runtime {
                 counters: Counters::default(),
                 shutdown: AtomicBool::new(false),
                 pending_tasks: AtomicU64::new(0),
+                submit_inflight: AtomicU64::new(0),
+                submit_windows: AtomicU64::new(0),
                 live_descriptors: AtomicU64::new(0),
-                idle_gate: IdleGate::new(),
+                gates,
                 life_mutex: Mutex::new(()),
                 obs: ObsCollector::new(sink),
                 next_task_id: AtomicU64::new(1),
@@ -401,17 +464,39 @@ impl Runtime {
         {
             // The life mutex serializes against attach; submissions are
             // serialized lock-free instead: the flag store (SeqCst) comes
-            // *before* the pending-count check, pairing with submit's
-            // increment-then-load order, so either a racing submit errors
-            // with ShutdownInProgress or the assert below sees its
-            // increment. See RuntimeInner::submit.
+            // first, then we wait for every in-flight submit window to
+            // close, and only then read the pending count. A submit whose
+            // window opened after the flag observes it, rolls its
+            // transient pending increment back before the window closes,
+            // and returns ShutdownInProgress — the assert below can no
+            // longer observe the transient, so the race resolves
+            // deterministically. See RuntimeInner::submit.
             let _gate = self.inner.life_mutex.lock();
             self.inner.shutdown.store(true, Ordering::SeqCst);
-            assert_eq!(
-                self.inner.pending_tasks.load(Ordering::SeqCst),
-                0,
-                "shutdown with tasks still pending"
-            );
+            // Read a *stable* pending count: a transient increment (a
+            // racing submit that will observe the flag and roll back)
+            // exists only while its inflight window is open. Snapshot the
+            // monotonic opened-window count, drain the open windows, read
+            // pending, and re-check the snapshot: if no window opened
+            // since the snapshot, a window open at the pending read would
+            // have had to open before the snapshot — and then the drain
+            // would still have been spinning on it. So an unchanged
+            // snapshot proves the read is transient-free. Windows opened
+            // after the flag always roll back and return
+            // ShutdownInProgress, so this terminates once racing
+            // submitters drain.
+            let pending = loop {
+                let opened = self.inner.submit_windows.load(Ordering::SeqCst);
+                while self.inner.submit_inflight.load(Ordering::SeqCst) != 0 {
+                    std::thread::yield_now();
+                }
+                let p = self.inner.pending_tasks.load(Ordering::SeqCst);
+                if self.inner.submit_windows.load(Ordering::SeqCst) == opened {
+                    break p;
+                }
+                std::thread::yield_now();
+            };
+            assert_eq!(pending, 0, "shutdown with tasks still pending");
         }
         self.shutdown_inner();
     }
@@ -421,9 +506,9 @@ impl Runtime {
             return;
         }
         self.inner.shutdown.store(true, Ordering::SeqCst);
-        // Wake every idle worker so it observes the flag; the gate's epoch
-        // bump catches workers between their flag check and their sleep.
-        self.inner.idle_gate.notify_all();
+        // Wake every idle worker so it observes the flag; the gates' epoch
+        // bumps catch workers between their flag check and their sleep.
+        self.inner.gates.notify_all();
         for w in self.inner.workers.lock().iter() {
             w.signal_shutdown();
         }
@@ -451,6 +536,8 @@ impl Runtime {
                 (CounterKind::WorkersSpawned, stats.workers_spawned),
                 (CounterKind::RingSubmits, stats.ring_submits),
                 (CounterKind::LockedSubmits, stats.locked_submits),
+                (CounterKind::DirectDispatches, stats.direct_dispatches),
+                (CounterKind::ShardSteals, stats.shard_steals),
             ] {
                 if delta > 0 {
                     self.inner

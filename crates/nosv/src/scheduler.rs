@@ -1,54 +1,71 @@
 //! The shared scheduler (paper §3.4): the live driver of the
-//! backend-agnostic scheduling core.
+//! backend-agnostic scheduling core — sharded, with idle-CPU direct
+//! dispatch.
 //!
 //! One instance per runtime. Since the `nosv-core` extraction, this module
 //! contains **no scheduling decisions**: queue routing, priority ordering,
 //! readiness bitmaps, candidate collection, quantum accounting, steal
-//! rotation, and yield requeueing all live in [`nosv_core::SchedCore`],
-//! the exact code the `simnode` discrete-event simulator drives. What
-//! remains here is the live backend's *concurrency shell*:
+//! rotation, yield requeueing and the shard mapping all live in
+//! `nosv-core` ([`SchedCore`], [`ShardMap`]), the exact code the `simnode`
+//! discrete-event simulator drives. What remains here is the live
+//! backend's *concurrency shell*:
 //!
-//! * the shared-memory layout (descriptor queues, per-process submission
-//!   rings) and the [`ShmStore`] adapter that exposes it to the core as a
-//!   [`TaskStore`];
-//! * the [`DtLock`] protecting the core: workers asking for tasks either
-//!   win the lock — becoming a transient *server* that picks tasks for
-//!   themselves and every waiting CPU with a consistent node-wide view —
-//!   or are served directly through their DTLock wait slot;
-//! * the lock-free submission path and its amortized batch drain;
+//! * **Per-NUMA shards.** The scheduling state is split into
+//!   [`ShardMap`]-mapped shards (one per NUMA node by default,
+//!   [`crate::RuntimeBuilder::sched_shards`] to override, `1` = the
+//!   original single-lock scheduler). Each shard is its own [`SchedCore`]
+//!   behind its own [`DtLock`], with its own per-process submission rings
+//!   and queues, so CPUs of different shards schedule concurrently
+//!   instead of convoying on one critical section. A CPU whose shard runs
+//!   dry steals from the other shards in rotation
+//!   ([`SchedCore::steal_for_remote`]), taking one victim lock at a time
+//!   and skipping shards whose ready counter is zero.
+//! * **Idle-CPU direct dispatch.** When a submission arrives while a CPU
+//!   sits idle and armed in the [`ClaimTable`], [`Scheduler::submit`]
+//!   CAS-claims that CPU and deposits the task straight into its per-CPU
+//!   handoff slot — no ring, no queue, no lock, no pick: one CAS plus one
+//!   gate notification (and not even a futex wake when the standby
+//!   spinner takes it). Unconstrained tasks claim any armed CPU
+//!   (preferring the standby); placed tasks claim their target core/node
+//!   (best-effort ones fall back to any armed CPU, the moral equivalent
+//!   of a steal). Everything else takes the ring path below.
+//! * the [`DtLock`] protecting each shard: workers asking for tasks
+//!   either win their shard's lock — becoming a transient *server* that
+//!   picks tasks for themselves and every waiting CPU of the shard with a
+//!   consistent view — or are served directly through their DTLock wait
+//!   slot;
+//! * the lock-free submission rings (now per process × shard) and their
+//!   amortized batch drains;
 //! * counters and deferred observability events.
 //!
-//! # The hot path: rings, bitmaps, no allocation
+//! # The hot path: claim CAS, rings, bitmaps, no allocation
 //!
-//! Three mechanisms keep the delegation-lock critical section — the one
-//! serialization point every CPU's fetch waits on — as short as the paper
-//! prescribes:
+//! Four mechanisms keep scheduling off the serial path:
 //!
-//! * **Lock-free submission.** [`Scheduler::submit`] does not take the
-//!   lock: it pushes the descriptor into the submitting process's
-//!   [`SubmitRing`] in the shared segment. Whoever next holds the lock
-//!   ([`Scheduler::get_task`]'s server, or a locked-path submitter) drains
-//!   *all* rings in one batch before scheduling, amortizing lock traffic
-//!   across many submissions. A full ring falls back to a bounded locked
-//!   enqueue (which may reorder the overflow relative to ring contents;
-//!   priority order within each queue is unaffected).
-//! * **Readiness bitmaps.** The core's non-empty masks over the core
-//!   queues, the NUMA queues, and the process slots let every scan —
-//!   candidate collection, steal victims — jump between non-empty queues
-//!   with `trailing_zeros` instead of walking `MAX_PROCS` slots and every
-//!   core queue per pick. The masks are part of the lock-protected core
-//!   state, so inside the critical section they are exact, not heuristics.
-//! * **No allocation in the critical section.** The core's candidate
-//!   scratch is preallocated; deferred observability events reuse a
-//!   thread-local buffer. The lock hold never touches the host allocator.
+//! * **Direct dispatch** (above) removes the queue round trip entirely
+//!   whenever a CPU is already waiting.
+//! * **Lock-free submission.** [`Scheduler::submit`] pushes the
+//!   descriptor into the submitting process's ring *for the destination
+//!   shard*. Whoever next holds that shard's lock drains all its dirty
+//!   rings in one batch before scheduling. A full ring falls back to a
+//!   bounded locked enqueue.
+//! * **Readiness bitmaps** (in the core) let every scan jump between
+//!   non-empty queues with `trailing_zeros`; per-shard ready counters let
+//!   cross-shard stealing skip empty shards without touching their locks.
+//! * **No allocation in any critical section** — candidate scratch is
+//!   preallocated, deferred observability events reuse a thread-local
+//!   buffer.
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use nosv_core::{Pick, PickSource, QueueId, SchedCore, SchedPolicy, TaskStore};
-use nosv_shmem::{ShmSegment, Shoff, SubmitRing, MAX_PROCS};
-use nosv_sync::{Acquired, DtLock};
+use nosv_core::{
+    Pick, PickSource, QueueId, SchedCore, SchedPolicy, ShardMap, TaskStore, MAX_SHARDS,
+    STEAL_SCAN_LIMIT,
+};
+use nosv_shmem::{ClaimTable, ShmSegment, Shoff, SubmitRing, MAX_PROCS};
+use nosv_sync::{Acquired, CpuGates, DtGuard, DtLock};
 
 use crate::config::NosvConfig;
 use crate::error::NosvError;
@@ -63,38 +80,58 @@ pub(crate) const MAX_CPUS: usize = 256;
 pub(crate) const MAX_NUMA: usize = 16;
 
 const _: () = assert!(MAX_PROCS <= 64 && MAX_NUMA <= 64);
+const _: () = assert!(MAX_NUMA <= MAX_SHARDS && MAX_SHARDS <= 64);
+const _: () = assert!(MAX_CPUS <= nosv_shmem::CLAIM_MAX_CPUS);
+
+/// Direct-dispatch claim attempts per submission before falling back to
+/// the ring path (bounds the CAS traffic a burst of submitters can spend
+/// racing each other over the same armed CPUs).
+const CLAIM_ATTEMPTS: usize = 4;
 
 /// A ready task travelling from the scheduler to a worker (possibly through
-/// a DTLock delegation slot).
+/// a DTLock delegation slot or a direct-dispatch handoff slot).
 pub(crate) type ReadyTask = Shoff<TaskDesc>;
 
 #[repr(C)]
 struct ProcSched {
-    queue: TaskQueue,
-    /// This process's lock-free submission ring (initialized at first
+    /// Per-shard process queues (unconstrained tasks of this process that
+    /// were routed to each shard).
+    queues: [TaskQueue; MAX_SHARDS],
+    /// Per-shard lock-free submission rings (initialized at first
     /// registration of the slot; reused across re-registrations).
-    ring: SubmitRing,
+    rings: [SubmitRing; MAX_SHARDS],
+}
+
+/// Per-shard hot counters, cache-line padded so shards never false-share.
+#[repr(C, align(64))]
+struct ShardHot {
+    /// Ready tasks accounted to this shard (queues + undrained rings).
+    ready: AtomicU64,
+    /// Bit per process slot whose submission ring for this shard may hold
+    /// entries. Set by producers after a push; cleared by the draining
+    /// lock holder before it empties the ring.
+    ring_mask: AtomicU64,
 }
 
 #[repr(C)]
 struct SchedRoot {
-    total_ready: AtomicU64,
-    /// Bit per process slot whose submission ring may hold entries. Set by
-    /// producers after a push; cleared by the draining lock holder before
-    /// it empties the ring (so a concurrent push re-dirties it).
-    ring_mask: AtomicU64,
+    shard_hot: [ShardHot; MAX_SHARDS],
+    /// Idle-CPU claim table (direct dispatch).
+    claim: ClaimTable,
     procs: [ProcSched; MAX_PROCS],
     cores: [TaskQueue; MAX_CPUS],
     numas: [TaskQueue; MAX_NUMA],
 }
 
-/// Adapter exposing the shared-segment queues to [`SchedCore`] as a
-/// [`TaskStore`]: intrusive descriptor queues, one per core/NUMA
-/// node/process slot. All mutation happens under the scheduler's DTLock
-/// (the queues use interior atomics only to be shareable).
+/// Adapter exposing one shard's view of the shared-segment queues to
+/// [`SchedCore`] as a [`TaskStore`]: the shard's own per-process queues,
+/// plus the global core/NUMA queue arrays (each of which is owned by
+/// exactly one shard — the core's readiness bits gate all access, so a
+/// queue is only ever touched under its owner's DTLock).
 struct ShmStore<'a> {
     seg: &'a ShmSegment,
     root: &'a SchedRoot,
+    shard: usize,
 }
 
 impl ShmStore<'_> {
@@ -102,7 +139,7 @@ impl ShmStore<'_> {
         match q {
             QueueId::Core(i) => &self.root.cores[i],
             QueueId::Numa(i) => &self.root.numas[i],
-            QueueId::Proc(i) => &self.root.procs[i].queue,
+            QueueId::Proc(i) => &self.root.procs[i].queues[self.shard],
         }
     }
 
@@ -153,13 +190,35 @@ impl TaskStore for ShmStore<'_> {
 pub(crate) struct Scheduler {
     seg: ShmSegment,
     root: Shoff<SchedRoot>,
-    /// The delegation lock *protecting the scheduling core*: decision
-    /// state (bitmaps, quantum accounting, process table, rr cursor) is
-    /// only reachable through a holder's guard.
-    lock: DtLock<SchedCore, ReadyTask>,
+    /// One delegation lock per shard, each *protecting its scheduling
+    /// core*: decision state (bitmaps, quantum accounting, process table,
+    /// rr cursor) is only reachable through a holder's guard.
+    shards: Box<[DtLock<SchedCore, ReadyTask>]>,
+    /// The CPU/NUMA/submission → shard mapping (shared with the sim).
+    map: ShardMap,
     cpus: usize,
+    cpus_per_numa: usize,
     /// Per-process submission ring capacity; `0` = rings disabled.
     ring_cap: usize,
+    /// Whether submissions may claim idle CPUs directly.
+    direct_dispatch: bool,
+    /// Round-robin cursor spreading unconstrained submissions over shards
+    /// (the same cursor discipline `nosv_core::ShardedCore` keeps).
+    rr_submit: AtomicU64,
+    /// Workers currently inside a fetch ([`Scheduler::get_task`], between
+    /// tasks). A hungry worker is guaranteed to observe freshly queued
+    /// work before it can commit to sleep (the park path re-checks
+    /// `has_ready` after arming), so stealable submissions skip their
+    /// wake entirely while anyone is hungry — a busy runtime absorbs a
+    /// burst with zero wake traffic. Workers executing task bodies do
+    /// *not* count (a long body must not suppress wakes of sleepers).
+    hungry: AtomicU64,
+    /// Per-CPU wake gates (host side of the claim table).
+    gates: Arc<CpuGates>,
+    /// Host hardware parallelism, the cap on wake chaining: waking more
+    /// workers than the machine can actually run in parallel converts
+    /// batched draining into context-switch thrash.
+    hw_threads: usize,
     /// The process-selection policy, shared with the simulator backend.
     policy: Arc<dyn SchedPolicy>,
 }
@@ -167,33 +226,34 @@ pub(crate) struct Scheduler {
 /// Which path a submission took (drives the runtime's counters).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum SubmitPath {
-    /// Pushed into the process's lock-free ring.
+    /// Deposited straight into an idle CPU's claim slot (never queued).
+    Direct,
+    /// Pushed into the process's lock-free ring for the destination shard.
     Ring,
-    /// Enqueued under the delegation lock (rings disabled, uninitialized
-    /// slot, or ring full).
+    /// Enqueued under the shard's delegation lock (rings disabled,
+    /// uninitialized slot, or ring full).
     Locked,
 }
 
 /// Observability snapshot of the scheduler (for tests and tools). Taken
-/// under the scheduler lock, so internally consistent.
+/// under **all** shard locks (acquired in ascending order), so internally
+/// consistent across shards.
 #[derive(Debug, Clone)]
 pub struct SchedulerSnapshot {
-    /// Ready tasks across all queues (submission rings included).
+    /// Ready tasks across all shards' queues (submission rings included).
     pub total_ready: u64,
-    /// `(pid, ready-task count)` for each attached process, counting both
-    /// its queue and its not-yet-drained submission ring.
+    /// `(pid, ready-task count)` for each attached process, counting its
+    /// queues and not-yet-drained submission rings in every shard.
     pub per_process: Vec<(u64, u64)>,
     /// Current process per core (`0` = none yet).
     pub per_core_pid: Vec<u64>,
 }
 
 thread_local! {
-    /// Reusable buffer for observability events produced inside the
-    /// critical section: they are deferred and emitted only after the lock
-    /// is released (an emit can drain a full worker buffer into the user's
-    /// sink, which must never run under the one lock every CPU's fetch
-    /// waits on). Thread-local so the buffer's capacity is reused across
-    /// calls without allocating while the lock is held.
+    /// Reusable buffer for observability events produced inside a critical
+    /// section: they are deferred and emitted only after the lock is
+    /// released (an emit can drain a full worker buffer into the user's
+    /// sink, which must never run under a lock CPUs' fetches wait on).
     static DEFERRED: RefCell<Vec<ObsEvent>> = const { RefCell::new(Vec::new()) };
 }
 
@@ -202,22 +262,40 @@ impl Scheduler {
         seg: ShmSegment,
         config: &NosvConfig,
         policy: Arc<dyn SchedPolicy>,
+        gates: Arc<CpuGates>,
     ) -> Result<Scheduler, NosvError> {
         debug_assert!(config.cpus <= MAX_CPUS, "config validated upstream");
         debug_assert!(config.numa_nodes() <= MAX_NUMA, "config validated upstream");
+        let shards_n = config.resolved_shards();
+        debug_assert!(shards_n <= MAX_SHARDS, "config validated upstream");
         let root: Shoff<SchedRoot> = seg
             .alloc_zeroed(std::mem::size_of::<SchedRoot>(), 0)?
             .cast();
-        // Zeroed SchedRoot is valid: empty queues, uninitialized rings.
-        let core = SchedCore::new(config.cpus, config.cpus_per_numa, MAX_PROCS);
+        // Zeroed SchedRoot is valid: empty queues, uninitialized rings,
+        // no armed CPUs.
+        let shards: Box<[DtLock<SchedCore, ReadyTask>]> = (0..shards_n)
+            .map(|_| {
+                let core = SchedCore::new(config.cpus, config.cpus_per_numa, MAX_PROCS);
+                // Waiters are at most one worker per CPU, plus headroom
+                // for submitter threads taking the plain lock path.
+                DtLock::new(core, config.cpus + 64)
+            })
+            .collect();
         Ok(Scheduler {
             seg,
             root,
-            // Waiters are at most one worker per CPU, plus headroom for
-            // submitter threads taking the plain lock path.
-            lock: DtLock::new(core, config.cpus + 64),
+            shards,
+            map: ShardMap::new(config.cpus, config.cpus_per_numa, shards_n),
             cpus: config.cpus,
+            cpus_per_numa: config.cpus_per_numa,
             ring_cap: config.submit_ring_cap,
+            direct_dispatch: config.direct_dispatch,
+            rr_submit: AtomicU64::new(0),
+            hungry: AtomicU64::new(0),
+            gates,
+            hw_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
             policy,
         })
     }
@@ -227,129 +305,354 @@ impl Scheduler {
         unsafe { self.seg.sref(self.root) }
     }
 
-    fn store(&self) -> ShmStore<'_> {
+    fn store(&self, shard: usize) -> ShmStore<'_> {
         ShmStore {
             seg: &self.seg,
             root: self.root(),
+            shard,
         }
+    }
+
+    /// Number of scheduler shards (tests, snapshots).
+    pub(crate) fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     pub(crate) fn register_proc(&self, slot: u32, pid: u64) {
         let p = &self.root().procs[slot as usize];
         if self.ring_cap > 0 {
-            // Idempotent: a re-registered slot reuses its existing ring
-            // (same capacity for every slot). Allocation failure is not
-            // fatal — the slot simply submits through the locked path.
-            let _ = p.ring.init(&self.seg, self.ring_cap);
+            for s in 0..self.shards.len() {
+                // Idempotent: a re-registered slot reuses its existing
+                // rings. Allocation failure is not fatal — the slot simply
+                // submits through the locked path.
+                let _ = p.rings[s].init(&self.seg, self.ring_cap);
+            }
         }
-        let mut core = self.lock.lock();
-        core.register_proc(slot as usize, pid);
+        for lock in self.shards.iter() {
+            let mut core = lock.lock();
+            core.register_proc(slot as usize, pid);
+        }
     }
 
     /// Unregisters a process slot (§3.3 unregistration).
     ///
-    /// Drains the submission rings first (a detach must not strand the
-    /// process's in-flight lock-free submissions), then refuses with
-    /// [`NosvError::ProcessBusy`] while ready tasks of the process are
-    /// still queued **anywhere** — its process queue or the core/NUMA
-    /// queues its placed tasks routed to (the core counts them per slot).
-    /// A recoverable condition: the slot stays registered and usable.
+    /// Walks the shards in order: drains the slot's submission rings (a
+    /// detach must not strand in-flight lock-free submissions), then
+    /// refuses with [`NosvError::ProcessBusy`] while ready tasks of the
+    /// process are queued **anywhere** — any shard's process queue or the
+    /// core/NUMA queues its placed tasks routed to. A recoverable
+    /// condition: the slot stays registered and usable. Only once every
+    /// shard reports zero does a second pass unregister the slot
+    /// everywhere (nothing can requeue between the passes: a submit
+    /// racing a detach of its own process is a caller bug).
     pub(crate) fn unregister_proc(&self, slot: u32) -> Result<(), NosvError> {
-        let mut core = self.lock.lock();
-        self.drain_rings_locked(&mut core);
-        if core.proc_ready_count(slot as usize) > 0 {
-            return Err(NosvError::ProcessBusy);
+        for (s, lock) in self.shards.iter().enumerate() {
+            let mut core = lock.lock();
+            self.drain_rings_locked(&mut core, s);
+            if core.proc_ready_count(slot as usize) > 0 {
+                return Err(NosvError::ProcessBusy);
+            }
+            debug_assert!(
+                self.root().procs[slot as usize].rings[s].is_empty(),
+                "submission ring refilled during detach"
+            );
         }
-        // Internal invariant: the drain above emptied this slot's ring and
-        // nothing refills it while we hold the lock (a submit racing a
-        // detach of its own process is a caller bug).
-        debug_assert!(
-            self.root().procs[slot as usize].ring.is_empty(),
-            "submission ring refilled during detach"
-        );
-        core.unregister_proc(slot as usize);
+        for lock in self.shards.iter() {
+            let mut core = lock.lock();
+            core.unregister_proc(slot as usize);
+        }
         Ok(())
     }
 
     pub(crate) fn set_app_priority(&self, slot: u32, priority: i32) {
-        let mut core = self.lock.lock();
-        core.set_app_priority(slot as usize, priority);
+        for lock in self.shards.iter() {
+            let mut core = lock.lock();
+            core.set_app_priority(slot as usize, priority);
+        }
     }
 
     /// Whether any task is ready (fast, lock-free check for idle loops).
-    /// Counts tasks still sitting in submission rings.
+    /// Counts tasks still sitting in submission rings. SeqCst loads: this
+    /// is the consumer side of the arming Dekker protocol (see
+    /// [`ClaimTable`]) — a worker re-checks it *after* arming, pairing
+    /// with the submitter's counter-bump-then-scan order.
     pub(crate) fn has_ready(&self) -> bool {
-        self.root().total_ready.load(Ordering::Acquire) > 0
+        let root = self.root();
+        (0..self.shards.len()).any(|s| root.shard_hot[s].ready.load(Ordering::SeqCst) > 0)
     }
 
-    /// Inserts a ready task into the scheduler: a lock-free push into the
-    /// submitting process's ring when possible, otherwise a locked enqueue
-    /// (which first drains every ring, so the fallback also amortizes).
+    /// Arms `cpu`'s direct-dispatch slot (the worker is about to commit
+    /// to idling). Callers must re-check [`Scheduler::has_ready`] *after*
+    /// arming and eventually call [`Scheduler::disarm_idle`].
+    pub(crate) fn arm_idle(&self, cpu: usize) {
+        self.root().claim.arm(cpu);
+    }
+
+    /// Disarms `cpu`'s slot, returning a directly dispatched task if one
+    /// was deposited since the arm.
+    pub(crate) fn disarm_idle(&self, cpu: usize) -> Option<ReadyTask> {
+        self.root().claim.disarm(cpu).map(Shoff::from_raw)
+    }
+
+    /// Inserts a ready task into the scheduler.
+    ///
+    /// In order of preference: a direct CAS handoff to an idle CPU (the
+    /// task is never queued at all), a lock-free push into the submitting
+    /// process's ring for the destination shard, or a locked enqueue
+    /// (which first drains the shard's rings, so the fallback also
+    /// amortizes).
     pub(crate) fn submit(&self, task: ReadyTask) -> SubmitPath {
+        // SAFETY: handle-owned descriptor, alive until destroy.
+        let d = unsafe { self.seg.sref(task) };
+        let affinity = Affinity::decode(d.affinity.load(Ordering::Relaxed));
+        self.submit_with(task, affinity)
+    }
+
+    /// [`Scheduler::submit`] with the descriptor's affinity already
+    /// decoded (the runtime's submit path decodes it once for validation
+    /// and passes it through).
+    pub(crate) fn submit_with(&self, task: ReadyTask, affinity: Affinity) -> SubmitPath {
         let root = self.root();
         // SAFETY: handle-owned descriptor, alive until destroy.
         let d = unsafe { self.seg.sref(task) };
         let slot = d.slot.load(Ordering::Relaxed) as usize;
+
+        if self.direct_dispatch && self.try_direct(affinity, task) {
+            return SubmitPath::Direct;
+        }
+
+        // One routing rule for every backend: ShardMap owns it (the sim
+        // drives the &mut-cursor flavor; this is the same rule over the
+        // shared atomic cursor).
+        let shard = self.map.route_shard_atomic(affinity, &self.rr_submit);
         // Count the task as ready *before* it becomes drainable: once the
         // ring push lands, a concurrent server can drain, pick, and
         // `fetch_sub` the counter — an increment ordered after that would
         // let it transiently wrap below zero, leaving has_ready() stuck
         // true until this thread resumes. The pre-increment's own
         // transient (ready count ahead of a not-yet-visible task) is
-        // benign: a fetch finds nothing and the worker retries.
-        root.total_ready.fetch_add(1, Ordering::Release);
+        // benign: a fetch finds nothing and the worker retries. SeqCst:
+        // the producer side of the arming Dekker protocol — bump, then
+        // scan/wake.
+        root.shard_hot[shard].ready.fetch_add(1, Ordering::SeqCst);
         if self.ring_cap > 0
             && slot < MAX_PROCS
-            && root.procs[slot].ring.push(&self.seg, task.raw())
+            && root.procs[slot].rings[shard].push(&self.seg, task.raw())
         {
             // Dirty-mark the slot only after the push: a server that
             // drains on an earlier mark either takes this entry or leaves
             // the re-marking to us, but a mark before the push could be
             // consumed by an empty drain and strand the entry.
-            root.ring_mask.fetch_or(1 << slot, Ordering::Release);
+            root.shard_hot[shard]
+                .ring_mask
+                .fetch_or(1 << slot, Ordering::Release);
             return SubmitPath::Ring;
         }
-        let mut core = self.lock.lock();
-        self.drain_rings_locked(&mut core);
-        let mut store = self.store();
+        let mut core = self.shards[shard].lock();
+        self.drain_rings_locked(&mut core, shard);
+        let mut store = self.store(shard);
         core.route(&mut store, task);
         drop(core);
         SubmitPath::Locked
     }
 
-    /// Moves every ring entry into its destination queue. Caller holds the
-    /// lock. One batch per lock hold: this is the paper's amortization —
-    /// many lock-free submissions, one critical-section traversal.
-    fn drain_rings_locked(&self, core: &mut SchedCore) {
+    /// The direct-dispatch attempt: CAS the task into a matching armed
+    /// CPU's claim slot and wake exactly that CPU. Returns `false` when
+    /// no eligible CPU could be claimed (the caller queues normally).
+    fn try_direct(&self, affinity: Affinity, task: ReadyTask) -> bool {
+        let claim = &self.root().claim;
+        let raw = task.raw();
+        match affinity {
+            Affinity::Core { index, strict } => {
+                if claim.try_claim(index, raw) {
+                    self.gates.notify(index);
+                    return true;
+                }
+                !strict && self.try_direct_any(raw)
+            }
+            Affinity::Numa { index, strict } => {
+                let (lo, hi) = self.numa_cpu_range(index);
+                for cpu in claim.armed_in(lo, hi).take(CLAIM_ATTEMPTS) {
+                    if claim.try_claim(cpu, raw) {
+                        self.gates.notify(cpu);
+                        return true;
+                    }
+                }
+                !strict && self.try_direct_any(raw)
+            }
+            Affinity::None => self.try_direct_any(raw),
+        }
+    }
+
+    fn try_direct_any(&self, raw: u64) -> bool {
+        // Only the *standby spinner* is claimed for can-run-anywhere
+        // work: it consumes the deposit without any futex transition,
+        // stays cache-hot across a serial stream, and — crucially — is a
+        // single consistent target. Scanning for *any* armed CPU here
+        // would spread a burst of submissions over every parked worker,
+        // paying one wakeup and one context switch per task where the
+        // ring path batches them through one server (measurably slower
+        // once workers outnumber hardware threads). Bursts therefore fall
+        // through to the ring after the standby is claimed, and
+        // `wake_for` keeps notifying the same lowest armed CPU, which
+        // drains the batch alone.
+        let claim = &self.root().claim;
+        if let Some(cpu) = self.gates.standby() {
+            if cpu < self.cpus && claim.try_claim(cpu, raw) {
+                self.gates.notify(cpu);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Wakes the sleeper(s) a freshly queued (ring/locked path) task
+    /// needs: the target core for a placed task, and for anything a
+    /// steal can deliver, one CPU — but **only when every CPU is armed**.
+    /// An un-armed CPU has a worker that is provably awake-or-arming, and
+    /// the Dekker protocol (our SeqCst ready-counter bump precedes the
+    /// mask scan; its SeqCst arm precedes its `has_ready` re-check)
+    /// guarantees that worker observes this task before committing to
+    /// sleep — so a busy runtime absorbs queued submissions with **zero**
+    /// wake cost. No armed CPUs at all means nobody is committed to
+    /// sleeping either.
+    pub(crate) fn wake_for(&self, affinity: Affinity) {
+        let claim = &self.root().claim;
+        let wake_any_unless_hungry = || {
+            if self.hungry.load(Ordering::SeqCst) > 0 {
+                return;
+            }
+            if let Some(cpu) = self.preferred_armed_cpu() {
+                self.gates.notify(cpu);
+            }
+        };
+        match affinity {
+            Affinity::None => wake_any_unless_hungry(),
+            Affinity::Core { index, strict } => {
+                // Cheap unconditional notify: only the target core may
+                // run a strict task, and it may be mid-arm.
+                self.gates.notify(index);
+                if !strict {
+                    wake_any_unless_hungry();
+                }
+            }
+            Affinity::Numa { index, strict } => {
+                let (lo, hi) = self.numa_cpu_range(index);
+                // Only a node CPU can run a strict task, and which armed
+                // node CPU will reach it first cannot be told apart here:
+                // wake every armed one.
+                let mut any = false;
+                for cpu in claim.armed_in(lo, hi) {
+                    self.gates.notify(cpu);
+                    any = true;
+                }
+                if !strict && !any {
+                    wake_any_unless_hungry();
+                }
+            }
+        }
+    }
+
+    /// Wake chaining: the worker pull loop calls this after a
+    /// *successful* fetch, **after** closing its hungry window. The
+    /// hungry-gated wake suppression means a burst may queue N tasks
+    /// with only the workers already awake consuming them; chaining lets
+    /// each successful fetch recruit one more parked CPU — a geometric
+    /// ramp-up — **capped at the host's hardware parallelism**, beyond
+    /// which extra awake workers only thrash an oversubscribed host (the
+    /// committed bench records quantify that collapse).
+    ///
+    /// The ordering closes the suppression race: this runs after
+    /// [`Scheduler::end_fetch`]'s SeqCst decrement, and a submitter
+    /// skips its wake only if it read the hungry count *before* that
+    /// decrement — in which case its SeqCst ready bump precedes this
+    /// call's `has_ready` load, which therefore sees the task. Either
+    /// the submitter wakes someone, or every fetcher it counted on
+    /// re-observes the work here.
+    pub(crate) fn chain_wake(&self) {
+        let claim = &self.root().claim;
+        let armed = claim.armed_count(self.cpus).min(self.cpus);
+        if armed == 0 || self.cpus - armed >= self.hw_threads || !self.has_ready() {
+            return;
+        }
+        if let Some(cpu) = self.preferred_armed_cpu() {
+            self.gates.notify(cpu);
+        }
+    }
+
+    /// The best CPU to wake for can-run-anywhere work: the standby (its
+    /// gate wake is futex-free while it spins), else the lowest armed.
+    fn preferred_armed_cpu(&self) -> Option<usize> {
+        self.gates
+            .standby()
+            .filter(|&c| c < self.cpus)
+            .or_else(|| self.root().claim.armed_in(0, self.cpus).next())
+    }
+
+    /// The CPU index range of a NUMA node (`cpus_per_numa == 0` = one
+    /// node spanning every CPU).
+    fn numa_cpu_range(&self, index: usize) -> (usize, usize) {
+        if self.cpus_per_numa == 0 {
+            (0, self.cpus)
+        } else {
+            (
+                index * self.cpus_per_numa,
+                ((index + 1) * self.cpus_per_numa).min(self.cpus),
+            )
+        }
+    }
+
+    /// Marks the calling worker hungry for the duration of a fetch; see
+    /// [`Scheduler::wake_for`]. Called by the worker pull loop around
+    /// [`Scheduler::get_task`].
+    pub(crate) fn begin_fetch(&self) {
+        self.hungry.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Ends the window opened by [`Scheduler::begin_fetch`].
+    pub(crate) fn end_fetch(&self) {
+        self.hungry.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Moves every ring entry of `shard` into its destination queue.
+    /// Caller holds the shard's lock. One batch per lock hold: this is
+    /// the paper's amortization — many lock-free submissions, one
+    /// critical-section traversal.
+    fn drain_rings_locked(&self, core: &mut SchedCore, shard: usize) {
         let root = self.root();
-        let mut store = self.store();
-        let mut mask = root.ring_mask.load(Ordering::Acquire);
+        let mut store = self.store(shard);
+        let hot = &root.shard_hot[shard];
+        let mut mask = hot.ring_mask.load(Ordering::Acquire);
         while mask != 0 {
             let slot = mask.trailing_zeros() as usize;
             mask &= mask - 1;
             // Clear the dirty bit *before* draining: a producer that pushes
             // while we drain re-sets it, so the entry is either taken by
             // this batch or advertised for the next holder.
-            root.ring_mask.fetch_and(!(1 << slot), Ordering::AcqRel);
-            let p = &root.procs[slot];
-            while let Some(raw) = p.ring.pop(&self.seg) {
-                // total_ready was counted at push time; routing moves the
-                // task between scheduler-internal homes.
+            hot.ring_mask.fetch_and(!(1 << slot), Ordering::AcqRel);
+            let ring = &root.procs[slot].rings[shard];
+            while let Some(raw) = ring.pop(&self.seg) {
+                // The ready counter was bumped at push time; routing moves
+                // the task between scheduler-internal homes.
                 core.route(&mut store, Shoff::from_raw(raw));
             }
         }
     }
 
     /// Re-inserts a task the scheduler already handed out (a vanished
-    /// delegation target). Caller holds the lock.
-    fn requeue_locked(&self, core: &mut SchedCore, task: ReadyTask) {
-        let mut store = self.store();
+    /// delegation target). Caller holds `shard`'s lock.
+    fn requeue_locked(&self, core: &mut SchedCore, shard: usize, task: ReadyTask) {
+        let mut store = self.store(shard);
         core.route(&mut store, task);
-        self.root().total_ready.fetch_add(1, Ordering::Release);
+        self.root().shard_hot[shard]
+            .ready
+            .fetch_add(1, Ordering::SeqCst);
     }
 
-    /// Fetches the next task for `cpu`, either by winning the DTLock and
-    /// scheduling (also serving all waiting CPUs), or by being served.
+    /// Fetches the next task for `cpu`: its home shard first (winning the
+    /// shard's DTLock and scheduling — also serving all waiting CPUs — or
+    /// being served), then the other shards in rotation via cross-shard
+    /// stealing.
     pub(crate) fn get_task(
         &self,
         cpu: usize,
@@ -360,64 +663,187 @@ impl Scheduler {
         if !self.has_ready() {
             return None;
         }
-        match self.lock.acquire(cpu as u64) {
+        let cpu = cpu % self.cpus;
+        let home = self.map.shard_of_cpu(cpu);
+        let mine = match self.shards[home].acquire(cpu as u64) {
             Acquired::Served(task) => {
                 counters.delegations_served.fetch_add(1, Ordering::Relaxed);
-                Some(task)
+                return Some(task);
             }
             Acquired::Holder(mut guard) => DEFERRED.with(|cell| {
                 let mut deferred = cell.borrow_mut();
                 debug_assert!(deferred.is_empty());
                 // The server's batch: first move every lock-free
-                // submission into the queues, then schedule for ourselves
-                // and every waiting CPU under the same hold.
-                self.drain_rings_locked(&mut guard);
-                let mine = self.pick_for_cpu(&mut guard, cpu, now_ns, counters, obs, &mut deferred);
+                // submission into the shard's queues, then schedule for
+                // ourselves and every waiting CPU under the same hold.
+                self.drain_rings_locked(&mut guard, home);
+                let mine =
+                    self.pick_for_cpu(&mut guard, home, cpu, now_ns, counters, obs, &mut deferred);
                 // Serve every waiting CPU we can see while we are the
                 // server — the DTLock delegation pattern (§3.4).
-                while let Some(meta) = guard.next_waiter_meta() {
-                    match self.pick_for_cpu(
-                        &mut guard,
-                        meta as usize,
-                        now_ns,
-                        counters,
-                        obs,
-                        &mut deferred,
-                    ) {
-                        Some(task) => {
-                            if let Err(task) = guard.serve_next(task) {
-                                // Waiter vanished mid-publication: requeue.
-                                self.requeue_locked(&mut guard, task);
-                                break;
-                            }
-                        }
-                        None => break,
-                    }
-                }
+                self.serve_waiters(&mut guard, home, now_ns, counters, obs, &mut deferred);
                 drop(guard);
                 for ev in deferred.drain(..) {
                     obs.emit(ev);
                 }
                 mine
             }),
+        };
+        match mine {
+            Some(task) => Some(task),
+            // Home shard dry: steal from the other shards in rotation.
+            None => self.cross_shard_steal(cpu, home, now_ns, counters, obs),
         }
+    }
+
+    /// Serves the waiting CPUs of `shard`'s lock while the caller holds
+    /// it — the DTLock delegation batch (§3.4). Waiters of this shard get
+    /// a full pick; a *foreign* CPU in the queue is a cross-shard stealer
+    /// and is served with **steal semantics** ([`SchedCore::
+    /// steal_for_remote`]: strictness-aware, no quantum restart, no
+    /// policy consult — exactly what it would have taken had it won the
+    /// lock itself), so delegation keeps batching across stealers instead
+    /// of degrading the shard into a ticket lock. The stealer's own
+    /// `Served` arm does the steal accounting; nothing is counted here.
+    fn serve_waiters(
+        &self,
+        guard: &mut DtGuard<'_, SchedCore, ReadyTask>,
+        shard: usize,
+        now_ns: u64,
+        counters: &Counters,
+        obs: &ObsCollector,
+        deferred: &mut Vec<ObsEvent>,
+    ) {
+        while let Some(meta) = guard.next_waiter_meta() {
+            let waiter_cpu = meta as usize % self.cpus;
+            let task = if self.map.shard_of_cpu(waiter_cpu) == shard {
+                self.pick_for_cpu(guard, shard, waiter_cpu, now_ns, counters, obs, deferred)
+            } else {
+                let mut store = self.store(shard);
+                let stealer_numa = guard.numa_of(waiter_cpu);
+                guard
+                    .steal_for_remote(&mut store, STEAL_SCAN_LIMIT, stealer_numa)
+                    .map(|Pick { task, .. }| {
+                        self.root().shard_hot[shard]
+                            .ready
+                            .fetch_sub(1, Ordering::SeqCst);
+                        task
+                    })
+            };
+            match task {
+                Some(task) => {
+                    if let Err(task) = guard.serve_next(task) {
+                        // Waiter vanished mid-publication: requeue.
+                        self.requeue_locked(guard, shard, task);
+                        break;
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// The cross-shard half of a fetch: visit the other shards in rotated
+    /// order, skip those advertising no ready work, and take one
+    /// non-strict task from the first that has any
+    /// ([`SchedCore::steal_for_remote`]). One victim lock at a time, and
+    /// never while holding another shard's lock.
+    ///
+    /// The stealer joins the victim's **delegation protocol** (a plain
+    /// `acquire`, publishing its CPU like any local waiter): an unslotted
+    /// ticket would break the victim server's delegation batch and cost
+    /// it a bounded probe spin per steal — exactly the convoy sharding
+    /// exists to remove. A served value counts as the steal; a win of the
+    /// lock steals directly and then serves the victim's own waiters
+    /// while it holds the shard anyway.
+    fn cross_shard_steal(
+        &self,
+        cpu: usize,
+        home: usize,
+        now_ns: u64,
+        counters: &Counters,
+        obs: &ObsCollector,
+    ) -> Option<ReadyTask> {
+        let root = self.root();
+        for victim in self.map.steal_rotation(home) {
+            if root.shard_hot[victim].ready.load(Ordering::SeqCst) == 0 {
+                continue;
+            }
+            let stolen = match self.shards[victim].acquire(cpu as u64) {
+                // The victim's server handed us a task through our wait
+                // slot — with steal semantics, since it recognized our
+                // foreign CPU (see serve_waiters). The accounting below
+                // is ours.
+                Acquired::Served(task) => Some(task),
+                Acquired::Holder(mut guard) => {
+                    self.drain_rings_locked(&mut guard, victim);
+                    let mut store = self.store(victim);
+                    let stealer_numa = guard.numa_of(cpu);
+                    let picked = guard.steal_for_remote(&mut store, STEAL_SCAN_LIMIT, stealer_numa);
+                    let stolen = picked.map(|Pick { task, .. }| {
+                        root.shard_hot[victim].ready.fetch_sub(1, Ordering::SeqCst);
+                        task
+                    });
+                    // While we hold the victim shard, serve its waiting
+                    // CPUs exactly as its own server would (§3.4) — a
+                    // stealer must not degrade the shard it visits into a
+                    // plain ticket lock.
+                    DEFERRED.with(|cell| {
+                        let mut deferred = cell.borrow_mut();
+                        self.serve_waiters(
+                            &mut guard,
+                            victim,
+                            now_ns,
+                            counters,
+                            obs,
+                            &mut deferred,
+                        );
+                        drop(guard);
+                        for ev in deferred.drain(..) {
+                            obs.emit(ev);
+                        }
+                    });
+                    stolen
+                }
+            };
+            if let Some(task) = stolen {
+                counters.shard_steals.fetch_add(1, Ordering::Relaxed);
+                if obs.enabled() {
+                    // SAFETY: a task handed out by the scheduler is alive.
+                    let d = unsafe { self.seg.sref(task) };
+                    obs.emit(ObsEvent {
+                        t_ns: now_ns,
+                        cpu: cpu as u32,
+                        pid: d.pid.load(Ordering::Relaxed),
+                        task: TaskId(d.id.load(Ordering::Relaxed)),
+                        kind: ObsKind::Steal,
+                    });
+                }
+                return Some(task);
+            }
+        }
+        None
     }
 
     /// The scheduling decision for one CPU — one call into the shared
     /// core, plus the live backend's bookkeeping (ready count, counters,
-    /// deferred observability). Caller holds the lock.
+    /// deferred observability). Caller holds `shard`'s lock.
+    #[allow(clippy::too_many_arguments)]
     fn pick_for_cpu(
         &self,
         core: &mut SchedCore,
+        shard: usize,
         cpu: usize,
         now_ns: u64,
         counters: &Counters,
         obs: &ObsCollector,
         deferred: &mut Vec<ObsEvent>,
     ) -> Option<ReadyTask> {
-        let mut store = self.store();
+        let mut store = self.store(shard);
         let Pick { task, pid, source } = core.pick(&mut store, &*self.policy, cpu, now_ns)?;
-        self.root().total_ready.fetch_sub(1, Ordering::Release);
+        self.root().shard_hot[shard]
+            .ready
+            .fetch_sub(1, Ordering::SeqCst);
         match source {
             PickSource::Process {
                 quantum_expired: true,
@@ -443,29 +869,49 @@ impl Scheduler {
         Some(task)
     }
 
-    /// Snapshot for observability (takes the scheduler lock).
+    /// Snapshot for observability. Acquires every shard lock in ascending
+    /// order (the only multi-lock site), so the view is consistent across
+    /// shards.
     pub(crate) fn snapshot(&self) -> SchedulerSnapshot {
-        let core = self.lock.lock();
+        let guards: Vec<DtGuard<'_, SchedCore, ReadyTask>> =
+            self.shards.iter().map(|l| l.lock()).collect();
         let root = self.root();
+        let total_ready = (0..self.shards.len())
+            .map(|s| root.shard_hot[s].ready.load(Ordering::Relaxed))
+            .sum();
+        let per_process = (0..guards[0].max_procs())
+            .filter(|&slot| guards[0].proc_active(slot))
+            .map(|slot| {
+                let p = &root.procs[slot];
+                let queued: u64 = (0..self.shards.len())
+                    .map(|s| p.queues[s].len() + p.rings[s].len())
+                    .sum();
+                (guards[0].proc_pid(slot), queued)
+            })
+            .collect();
+        let per_core_pid = (0..self.cpus)
+            .map(|c| guards[self.map.shard_of_cpu(c)].core_pid(c))
+            .collect();
         SchedulerSnapshot {
-            total_ready: root.total_ready.load(Ordering::Relaxed),
-            per_process: (0..core.max_procs())
-                .filter(|&slot| core.proc_active(slot))
-                .map(|slot| {
-                    let p = &root.procs[slot];
-                    (core.proc_pid(slot), p.queue.len() + p.ring.len())
-                })
-                .collect(),
-            per_core_pid: (0..self.cpus).map(|c| core.core_pid(c)).collect(),
+            total_ready,
+            per_process,
+            per_core_pid,
         }
     }
 
-    /// Asserts every readiness bitmap agrees with a naive recount of its
-    /// queues (test support; takes the lock for an exact view).
+    /// Asserts every shard's readiness bitmaps agree with a naive recount
+    /// of the queues it owns (test support; takes each shard's lock).
     #[cfg(test)]
     fn assert_masks_consistent(&self) {
-        let core = self.lock.lock();
-        core.assert_masks_consistent(&self.store());
+        for (s, lock) in self.shards.iter().enumerate() {
+            let core = lock.lock();
+            let map = self.map;
+            core.assert_masks_consistent_where(&self.store(s), |q| match q {
+                QueueId::Proc(_) => true,
+                QueueId::Core(c) => map.shard_of_cpu(c) == s,
+                QueueId::Numa(n) => map.shard_of_numa(n) == s,
+            });
+        }
     }
 }
 
@@ -480,7 +926,7 @@ mod tests {
     }
 
     fn setup(cpus: usize, cpus_per_numa: usize, quantum_ns: u64) -> (ShmSegment, Scheduler) {
-        setup_ring(cpus, cpus_per_numa, quantum_ns, 256)
+        setup_full(cpus, cpus_per_numa, quantum_ns, 256, 0)
     }
 
     fn setup_ring(
@@ -488,6 +934,16 @@ mod tests {
         cpus_per_numa: usize,
         quantum_ns: u64,
         ring_cap: usize,
+    ) -> (ShmSegment, Scheduler) {
+        setup_full(cpus, cpus_per_numa, quantum_ns, ring_cap, 0)
+    }
+
+    fn setup_full(
+        cpus: usize,
+        cpus_per_numa: usize,
+        quantum_ns: u64,
+        ring_cap: usize,
+        sched_shards: usize,
     ) -> (ShmSegment, Scheduler) {
         let seg = ShmSegment::create(SegmentConfig {
             size: 8 * 1024 * 1024,
@@ -498,10 +954,12 @@ mod tests {
             cpus_per_numa,
             quantum_ns,
             submit_ring_cap: ring_cap,
+            sched_shards,
             ..Default::default()
         };
         let policy = Arc::new(crate::policy::QuantumPolicy::new(quantum_ns));
-        let sched = Scheduler::new(seg.clone(), &cfg, policy).expect("segment fits");
+        let gates = Arc::new(CpuGates::new(cpus));
+        let sched = Scheduler::new(seg.clone(), &cfg, policy, gates).expect("segment fits");
         (seg, sched)
     }
 
@@ -592,6 +1050,7 @@ mod tests {
             match sched.submit(mk_task(&seg, id, 0, 10, 0, Affinity::None)) {
                 SubmitPath::Ring => ring += 1,
                 SubmitPath::Locked => locked += 1,
+                SubmitPath::Direct => unreachable!("no CPU is armed"),
             }
         }
         // Submissions 1–2 fill the ring; 3 overflows to the locked path,
@@ -705,8 +1164,9 @@ mod tests {
 
     #[test]
     fn numa_affinity_routes_to_node_cpus() {
-        // 4 CPUs, 2 per NUMA node.
+        // 4 CPUs, 2 per NUMA node (and so, by default, 2 shards).
         let (seg, sched) = setup(4, 2, 1_000_000);
+        assert_eq!(sched.shard_count(), 2, "default: one shard per node");
         let c = Counters::default();
         sched.register_proc(0, 10);
         sched.submit(mk_task(
@@ -832,18 +1292,195 @@ mod tests {
         sched.assert_masks_consistent();
     }
 
+    #[test]
+    fn direct_dispatch_claims_the_armed_target_cpu() {
+        let (seg, sched) = setup(2, 0, 1_000_000);
+        let c = Counters::default();
+        sched.register_proc(0, 10);
+        // CPU 1 goes idle and arms its claim slot; a task placed on it
+        // bypasses every queue and lands straight in the slot.
+        sched.arm_idle(1);
+        assert_eq!(
+            sched.submit(mk_task(
+                &seg,
+                7,
+                0,
+                10,
+                0,
+                Affinity::Core {
+                    index: 1,
+                    strict: true,
+                },
+            )),
+            SubmitPath::Direct
+        );
+        assert!(!sched.has_ready(), "the task was never queued");
+        let t = sched.disarm_idle(1).expect("deposited");
+        assert_eq!(id_of(&seg, t), 7);
+        // Nothing left for anyone else.
+        assert!(sched.get_task(0, 0, &c, &obs()).is_none());
+    }
+
+    #[test]
+    fn unconstrained_tasks_only_claim_the_standby_cpu() {
+        // Without a parked worker holding the standby role, unconstrained
+        // submissions must NOT scatter over armed CPUs (that spreads a
+        // burst over every parked worker — one wake per task); they take
+        // the ring. The standby fast path itself is exercised end-to-end
+        // in tests/direct_dispatch.rs, where real workers hold the role.
+        let (seg, sched) = setup(2, 0, 1_000_000);
+        let c = Counters::default();
+        sched.register_proc(0, 10);
+        sched.arm_idle(1);
+        assert_eq!(
+            sched.submit(mk_task(&seg, 7, 0, 10, 0, Affinity::None)),
+            SubmitPath::Ring
+        );
+        assert!(sched.disarm_idle(1).is_none(), "slot must stay empty");
+        assert_eq!(id_of(&seg, sched.get_task(0, 0, &c, &obs()).unwrap()), 7);
+    }
+
+    #[test]
+    fn strict_placed_tasks_only_claim_their_target() {
+        let (seg, sched) = setup(4, 2, 1_000_000);
+        sched.register_proc(0, 10);
+        sched.arm_idle(0); // wrong core
+        let strict_core = Affinity::Core {
+            index: 2,
+            strict: true,
+        };
+        assert_eq!(
+            sched.submit(mk_task(&seg, 1, 0, 10, 0, strict_core)),
+            SubmitPath::Ring,
+            "armed CPU 0 must not receive a strict core-2 task"
+        );
+        assert!(sched.disarm_idle(0).is_none());
+        // Now arm the target: the next strict task goes direct.
+        sched.arm_idle(2);
+        assert_eq!(
+            sched.submit(mk_task(&seg, 2, 0, 10, 0, strict_core)),
+            SubmitPath::Direct
+        );
+        let t = sched.disarm_idle(2).expect("deposited on the target");
+        assert_eq!(id_of(&seg, t), 2);
+    }
+
+    #[test]
+    fn best_effort_placed_tasks_claim_their_armed_target() {
+        let (seg, sched) = setup(4, 2, 1_000_000);
+        sched.register_proc(0, 10);
+        sched.arm_idle(2); // the preferred core is idle
+        assert_eq!(
+            sched.submit(mk_task(
+                &seg,
+                3,
+                0,
+                10,
+                0,
+                Affinity::Core {
+                    index: 2,
+                    strict: false,
+                },
+            )),
+            SubmitPath::Direct
+        );
+        assert_eq!(id_of(&seg, sched.disarm_idle(2).unwrap()), 3);
+    }
+
+    #[test]
+    fn numa_tasks_claim_an_armed_cpu_of_their_node() {
+        let (seg, sched) = setup(4, 2, 1_000_000);
+        sched.register_proc(0, 10);
+        sched.arm_idle(0); // node 0 — wrong node for the task below
+        sched.arm_idle(3); // node 1 — eligible
+        assert_eq!(
+            sched.submit(mk_task(
+                &seg,
+                9,
+                0,
+                10,
+                0,
+                Affinity::Numa {
+                    index: 1,
+                    strict: true,
+                },
+            )),
+            SubmitPath::Direct
+        );
+        assert!(sched.disarm_idle(0).is_none(), "wrong node never claimed");
+        assert_eq!(id_of(&seg, sched.disarm_idle(3).unwrap()), 9);
+    }
+
+    #[test]
+    fn disarmed_cpu_is_never_claimed() {
+        let (seg, sched) = setup(2, 0, 1_000_000);
+        let c = Counters::default();
+        sched.register_proc(0, 10);
+        sched.arm_idle(0);
+        assert!(sched.disarm_idle(0).is_none(), "nothing deposited yet");
+        // The claim window closed: submissions queue normally.
+        assert_eq!(
+            sched.submit(mk_task(&seg, 1, 0, 10, 0, Affinity::None)),
+            SubmitPath::Ring
+        );
+        assert_eq!(id_of(&seg, sched.get_task(0, 0, &c, &obs()).unwrap()), 1);
+    }
+
+    #[test]
+    fn sharded_cross_shard_steal_drains_everything() {
+        // 4 CPUs, 2 nodes, 2 shards: CPU 0 must be able to drain tasks
+        // routed to both shards (its own by pick, the other's by steal).
+        let (seg, sched) = setup(4, 2, 1_000_000);
+        let c = Counters::default();
+        sched.register_proc(0, 10);
+        for id in 0..6 {
+            sched.submit(mk_task(&seg, id, 0, 10, 0, Affinity::None));
+        }
+        let mut got: Vec<u64> = (0..6)
+            .map(|_| id_of(&seg, sched.get_task(0, 0, &c, &obs()).unwrap()))
+            .collect();
+        assert!(sched.get_task(0, 0, &c, &obs()).is_none());
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
+        assert!(
+            c.shard_steals.load(Ordering::Relaxed) > 0,
+            "half the tasks live in the foreign shard"
+        );
+        assert!(!sched.has_ready());
+        sched.assert_masks_consistent();
+    }
+
+    #[test]
+    fn explicit_shard_count_overrides_the_numa_default() {
+        let (seg, sched) = setup_full(4, 2, 1_000_000, 256, 1);
+        assert_eq!(sched.shard_count(), 1);
+        let c = Counters::default();
+        sched.register_proc(0, 10);
+        for id in 0..4 {
+            sched.submit(mk_task(&seg, id, 0, 10, 0, Affinity::None));
+        }
+        // Single shard: plain FIFO, no cross-shard steals.
+        for id in 0..4 {
+            assert_eq!(id_of(&seg, sched.get_task(0, 0, &c, &obs()).unwrap()), id);
+        }
+        assert_eq!(c.shard_steals.load(Ordering::Relaxed), 0);
+    }
+
     /// Seeded property test: after every random submit / get_task step,
-    /// each readiness bitmap must agree with a naive recount of its
-    /// queues' emptiness. Random affinities exercise core/NUMA/process
-    /// routing; random consumers exercise pops and (best-effort) steals.
+    /// each shard's readiness bitmaps must agree with a naive recount of
+    /// the queues it owns. Random affinities exercise core/NUMA/process
+    /// routing across shards; random consumers exercise pops, in-shard
+    /// steals and cross-shard steals.
     #[test]
     fn readiness_bitmaps_match_naive_recount_under_random_ops() {
         use nosv_sync::SplitMix64;
-        for seed in 0..8u64 {
+        for seed in 0..10u64 {
             let mut rng = SplitMix64::new(0x05ee_db17 ^ seed);
             let cpus = 1 + (rng.next_u64() % 6) as usize; // 1..=6
             let per_numa = [0usize, 2][(rng.next_u64() % 2) as usize];
-            let (seg, sched) = setup_ring(cpus, per_numa, 1_000_000, 4);
+            let shards = 1 + (rng.next_u64() % 3) as usize; // 1..=3
+            let shards = shards.min(cpus);
+            let (seg, sched) = setup_full(cpus, per_numa, 1_000_000, 4, shards);
             let c = Counters::default();
             let procs = 1 + (rng.next_u64() % 3) as u32;
             for slot in 0..procs {
@@ -886,7 +1523,8 @@ mod tests {
                     next_id += 1;
                     outstanding += 1;
                 } else {
-                    // A random CPU fetches (pop or steal, per affinity).
+                    // A random CPU fetches (pop, in-shard steal, or
+                    // cross-shard steal, per affinity and shard layout).
                     let cpu = (rng.next_u64() % cpus as u64) as usize;
                     if sched
                         .get_task(cpu, rng.next_u64() % 1_000, &c, &obs())

@@ -16,6 +16,8 @@ pub(crate) struct Counters {
     pub workers_spawned: AtomicU64,
     pub ring_submits: AtomicU64,
     pub locked_submits: AtomicU64,
+    pub direct_dispatches: AtomicU64,
+    pub shard_steals: AtomicU64,
 }
 
 impl Counters {
@@ -32,6 +34,8 @@ impl Counters {
             workers_spawned: self.workers_spawned.load(Ordering::Relaxed),
             ring_submits: self.ring_submits.load(Ordering::Relaxed),
             locked_submits: self.locked_submits.load(Ordering::Relaxed),
+            direct_dispatches: self.direct_dispatches.load(Ordering::Relaxed),
+            shard_steals: self.shard_steals.load(Ordering::Relaxed),
         }
     }
 }
@@ -73,4 +77,10 @@ pub struct RuntimeStats {
     /// Submissions that took the locked fallback path (rings disabled via
     /// [`crate::RuntimeBuilder::submit_ring`]`(0)`, or a full ring).
     pub locked_submits: u64,
+    /// Submissions handed straight to an idle CPU through its claim slot
+    /// (never queued, never picked — the direct-dispatch fast path).
+    pub direct_dispatches: u64,
+    /// Tasks taken from another scheduler shard by a CPU whose own shard
+    /// ran dry (bitmap-guided cross-shard stealing).
+    pub shard_steals: u64,
 }

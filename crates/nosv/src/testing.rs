@@ -50,8 +50,16 @@ pub struct LiveDriver {
 
 impl LiveDriver {
     /// A scheduler over a fresh segment with the canonical
-    /// [`QuantumPolicy`] of `quantum_ns`.
-    pub fn new(cpus: usize, cpus_per_numa: usize, quantum_ns: u64, ring_cap: usize) -> LiveDriver {
+    /// [`QuantumPolicy`] of `quantum_ns`, `ring_cap`-entry submission
+    /// rings and `sched_shards` scheduler shards (`0` = one per NUMA
+    /// node).
+    pub fn new(
+        cpus: usize,
+        cpus_per_numa: usize,
+        quantum_ns: u64,
+        ring_cap: usize,
+        sched_shards: usize,
+    ) -> LiveDriver {
         let seg = ShmSegment::create(SegmentConfig {
             size: 16 * 1024 * 1024,
             max_cpus: cpus,
@@ -61,16 +69,28 @@ impl LiveDriver {
             cpus_per_numa,
             quantum_ns,
             submit_ring_cap: ring_cap,
+            sched_shards,
             ..Default::default()
         };
-        let sched = Scheduler::new(seg.clone(), &cfg, Arc::new(QuantumPolicy::new(quantum_ns)))
-            .expect("segment fits");
+        let gates = Arc::new(nosv_sync::CpuGates::new(cpus));
+        let sched = Scheduler::new(
+            seg.clone(),
+            &cfg,
+            Arc::new(QuantumPolicy::new(quantum_ns)),
+            gates,
+        )
+        .expect("segment fits");
         LiveDriver {
             seg,
             sched,
             counters: Counters::default(),
             obs: ObsCollector::disabled(),
         }
+    }
+
+    /// Number of scheduler shards the driver runs with.
+    pub fn shard_count(&self) -> usize {
+        self.sched.shard_count()
     }
 
     /// Registers `pid` into `slot`.
@@ -108,19 +128,24 @@ impl LiveDriver {
     }
 
     /// One fetch for `cpu` at time `now_ns`, with the decision's
-    /// side-channel (steal / quantum switch) read off the counters.
+    /// side-channel (steal / quantum switch) read off the counters. An
+    /// in-shard affinity steal and a cross-shard steal both report
+    /// `stolen` (the sim driver reports both as `PickSource::Steal`).
     pub fn pop(&self, cpu: usize, now_ns: u64) -> Option<PopOutcome> {
-        let steals0 = self.counters.affinity_steals.load(Ordering::Relaxed);
+        let steals0 = self.counters.affinity_steals.load(Ordering::Relaxed)
+            + self.counters.shard_steals.load(Ordering::Relaxed);
         let quanta0 = self.counters.quantum_switches.load(Ordering::Relaxed);
         let task = self
             .sched
             .get_task(cpu, now_ns, &self.counters, &self.obs)?;
         // SAFETY: a task handed out by the scheduler is alive.
         let d = unsafe { self.seg.sref(task) };
+        let steals1 = self.counters.affinity_steals.load(Ordering::Relaxed)
+            + self.counters.shard_steals.load(Ordering::Relaxed);
         Some(PopOutcome {
             id: d.id.load(Ordering::Relaxed),
             pid: d.pid.load(Ordering::Relaxed),
-            stolen: self.counters.affinity_steals.load(Ordering::Relaxed) > steals0,
+            stolen: steals1 > steals0,
             quantum_expired: self.counters.quantum_switches.load(Ordering::Relaxed) > quanta0,
         })
     }

@@ -231,47 +231,110 @@ fn pull_loop(rt: &Arc<RuntimeInner>, me: &Arc<WorkerShared>) -> LoopExit {
         }
         let core = with_tls(|w| w.core.get()).expect("worker TLS missing");
         debug_assert_ne!(core, usize::MAX);
-        match rt.sched.get_task(core, rt.now_ns(), &rt.counters, &rt.obs) {
+        // The hungry window tells submitters a worker is between tasks
+        // and will observe their queue push before it can sleep, so they
+        // may skip their wake; see Scheduler::wake_for. A *successful*
+        // fetch stops checking, so after closing the window it chain-
+        // wakes a parked CPU if ready work remains (the post-decrement
+        // has_ready load pairs with the submitter's bump-then-skip; see
+        // Scheduler::chain_wake).
+        rt.sched.begin_fetch();
+        let fetched = rt.sched.get_task(core, rt.now_ns(), &rt.counters, &rt.obs);
+        rt.sched.end_fetch();
+        if fetched.is_some() {
+            rt.sched.chain_wake();
+        }
+        match fetched {
             Some(task) => {
-                // SAFETY: a task handed out by the scheduler is alive.
-                let d = unsafe { rt.seg.sref(task) };
-                let attached = d.attached_worker.swap(0, Ordering::AcqRel);
-                if attached != 0 {
-                    // Resume handoff: wake the thread attached to this
-                    // paused task on our core; park ourselves.
-                    resume_handoff(rt, me, core, task, attached as usize - 1);
-                    return LoopExit::Parked;
-                }
-                let pid = d.pid.load(Ordering::Relaxed);
-                if pid == me.pid {
-                    execute(rt, task);
-                } else {
-                    // Cross-process handoff: the task must run on a thread
-                    // of its creating process (§3.3).
-                    cross_process_handoff(rt, me, core, task, pid);
-                    return LoopExit::Parked;
+                if let Some(exit) = run_fetched(rt, me, core, task) {
+                    return exit;
                 }
             }
             None => {
                 // Idle: about to block, so make buffered trace events
                 // visible first (an idle worker may sleep indefinitely).
                 obs_flush_local();
-                // Sleep on the runtime's event-counted idle gate until a
-                // submission (or shutdown) notifies. The capture-check-wait
-                // protocol prevents lost wakeups without any timeout: a
-                // notification after `prepare_wait` makes `wait` return
-                // immediately, so a submission enqueued after our
-                // `has_ready` check can never strand us asleep.
-                let key = rt.idle_gate.prepare_wait();
+                // Park protocol (direct dispatch + lost-wakeup safety):
+                //
+                // 1. capture this core's gate epoch *first* — any
+                //    notification after this point (a claim deposit, a
+                //    queued submission's targeted wake, shutdown) makes
+                //    the eventual `wait` return immediately;
+                // 2. arm the claim slot — from here on a submission may
+                //    CAS its task straight to us;
+                // 3. re-check shutdown and ready work. Arming and the
+                //    ready counters are SeqCst on both sides (Dekker), so
+                //    a racing submitter either sees us armed (deposits or
+                //    wakes us) or we see its task here;
+                // 4. sleep; on any return, disarm — the swap atomically
+                //    tells a deposit apart from a plain wake.
+                let key = rt.gates.prepare_wait(core);
+                rt.sched.arm_idle(core);
                 if rt.shutdown.load(Ordering::Acquire) {
+                    // A racing deposit is impossible in an orderly
+                    // shutdown (no tasks pending); on the unclean path a
+                    // dropped deposit is no worse than a dropped queue.
+                    let _ = rt.sched.disarm_idle(core);
                     return LoopExit::Shutdown;
                 }
+                // Known limitation (pre-dating the sharded park path):
+                // has_ready is global, so while the only queued work is
+                // something this CPU can never take (a strict task for a
+                // busy core elsewhere), idle workers re-loop through
+                // fetches instead of committing to sleep. Transient —
+                // it lasts until the unclaimable task is consumed — but a
+                // per-CPU claimability mask would be needed to sleep
+                // through it.
                 if rt.sched.has_ready() {
+                    match rt.sched.disarm_idle(core) {
+                        Some(task) => {
+                            if let Some(exit) = run_fetched(rt, me, core, task) {
+                                return exit;
+                            }
+                        }
+                        None => continue,
+                    }
                     continue;
                 }
-                rt.idle_gate.wait(key);
+                rt.gates.wait(core, key);
+                if let Some(task) = rt.sched.disarm_idle(core) {
+                    if let Some(exit) = run_fetched(rt, me, core, task) {
+                        return exit;
+                    }
+                }
             }
         }
+    }
+}
+
+/// Handles one task obtained for `core` — from a scheduler fetch, a DTLock
+/// delegation, or a direct-dispatch deposit, which all deliver the same
+/// thing: a ready descriptor this worker now owns. Returns `Some` when the
+/// core was handed to another thread (this worker parked).
+fn run_fetched(
+    rt: &Arc<RuntimeInner>,
+    me: &Arc<WorkerShared>,
+    core: usize,
+    task: ReadyTask,
+) -> Option<LoopExit> {
+    // SAFETY: a task handed out by the scheduler is alive.
+    let d = unsafe { rt.seg.sref(task) };
+    let attached = d.attached_worker.swap(0, Ordering::AcqRel);
+    if attached != 0 {
+        // Resume handoff: wake the thread attached to this paused task on
+        // our core; park ourselves.
+        resume_handoff(rt, me, core, task, attached as usize - 1);
+        return Some(LoopExit::Parked);
+    }
+    let pid = d.pid.load(Ordering::Relaxed);
+    if pid == me.pid {
+        execute(rt, task);
+        None
+    } else {
+        // Cross-process handoff: the task must run on a thread of its
+        // creating process (§3.3).
+        cross_process_handoff(rt, me, core, task, pid);
+        Some(LoopExit::Parked)
     }
 }
 

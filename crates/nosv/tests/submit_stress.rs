@@ -78,7 +78,7 @@ fn check(cpus: usize, procs: usize, threads_per_proc: usize, per_thread: usize, 
     assert_eq!(stats.tasks_executed, total, "{label}: tasks_executed");
     assert_eq!(stats.tasks_submitted, total, "{label}: tasks_submitted");
     assert_eq!(
-        stats.ring_submits + stats.locked_submits,
+        stats.ring_submits + stats.locked_submits + stats.direct_dispatches,
         total,
         "{label}: every submission took exactly one path"
     );
@@ -105,7 +105,10 @@ fn tiny_ring_forces_overflow_fallback() {
     let (executed, stats) = hammer(2, 3, 2, 200, 2);
     assert_eq!(executed, total);
     assert_eq!(stats.tasks_executed, total);
-    assert_eq!(stats.ring_submits + stats.locked_submits, total);
+    assert_eq!(
+        stats.ring_submits + stats.locked_submits + stats.direct_dispatches,
+        total
+    );
     assert!(
         stats.locked_submits > 0,
         "a capacity-2 ring under 6 producers must overflow"

@@ -58,3 +58,68 @@ fn sleeping_workers_wake_by_notification_not_by_poll() {
         "median submit→start latency {median:?} suggests workers wake by polling"
     );
 }
+
+/// The idle→single-submit case the direct-dispatch + standby-spin work
+/// targets: a fully idle runtime receiving one task at a time.
+///
+/// Two regressions are caught:
+///
+/// * the task must reach a worker without the old "wake the whole herd"
+///   cost — direct dispatch claims one CPU, and with the standby spinner
+///   still warm it does not even pay a futex wake (so the serial stream's
+///   median latency stays far below a wake-per-task regime);
+/// * the fast path must actually be exercised: on an idle runtime the
+///   overwhelming share of these serial submissions ride the claim slots
+///   (`direct_dispatches` in the stats), not the ring.
+#[test]
+fn idle_runtime_single_submits_dispatch_directly_and_fast() {
+    const ROUNDS: usize = 120;
+    let rt = Runtime::builder().cpus(2).build().expect("valid");
+    let app = rt.attach("idle-serial").expect("attach");
+
+    let mut latencies: Vec<Duration> = Vec::with_capacity(ROUNDS);
+    for round in 0..ROUNDS {
+        // A short gap lets the worker that ran the previous task park
+        // again (arming its claim slot, possibly as the spinning
+        // standby); every tenth round idles long enough that the standby
+        // spin has expired and all workers are futex-asleep — the
+        // deep-idle flavor of the same case.
+        std::thread::sleep(if round % 10 == 0 {
+            Duration::from_millis(5)
+        } else {
+            Duration::from_micros(50)
+        });
+        let t0 = Instant::now();
+        let (tx, rx) = std::sync::mpsc::channel::<Instant>();
+        let t = app.create_task(move |_| {
+            let _ = tx.send(Instant::now());
+        });
+        t.submit().expect("submit");
+        t.wait_timeout(Duration::from_secs(10))
+            .unwrap_or_else(|e| panic!("round {round}: task never dispatched: {e}"));
+        let start = rx.recv().expect("body ran");
+        latencies.push(start.saturating_duration_since(t0));
+        t.destroy();
+    }
+    let stats = rt.stats();
+    drop(app);
+    rt.shutdown();
+
+    latencies.sort_unstable();
+    let median = latencies[ROUNDS / 2];
+    println!(
+        "idle single-submit: median {median:?}, direct {}/{}",
+        stats.direct_dispatches, ROUNDS
+    );
+    assert!(
+        median < Duration::from_millis(10),
+        "median idle→single-submit latency {median:?} — the claim/wake path regressed"
+    );
+    assert!(
+        stats.direct_dispatches >= (ROUNDS as u64) / 2,
+        "only {}/{} idle submissions went direct — workers are not arming, \
+         or submitters are not claiming",
+        stats.direct_dispatches,
+        ROUNDS
+    );
+}

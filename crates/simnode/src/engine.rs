@@ -21,7 +21,7 @@ use nosv::obs::{CounterKind, ObsEvent, ObsKind, TraceSink, NO_CPU};
 use nosv::policy::SchedPolicy;
 use nosv::TaskId;
 use nosv_core::lend::{choose_borrower, LendCandidate};
-use nosv_core::{Affinity, HeapStore, PickSource, SchedCore};
+use nosv_core::{resolve_shards, Affinity, HeapStore, PickSource, ShardedCore};
 
 use crate::model::{AppModel, TaskModel};
 use crate::rng::SimRng;
@@ -159,10 +159,12 @@ struct Engine<'a> {
     /// Per-socket: current quantized bandwidth factor and raw demand.
     socket_factor: Vec<f64>,
     /// The nOS-V scheduling state machine — the *same* `nosv_core` code
-    /// the live runtime's shared scheduler wraps. Only consulted in nOS-V
-    /// mode; fed virtual time.
-    sched: SchedCore,
-    /// Simulated task instances and their scheduler queues (nOS-V mode).
+    /// the live runtime's shared scheduler wraps, sharded the same way
+    /// (`opts.sched_shards`, default one shard per socket). Only
+    /// consulted in nOS-V mode; fed virtual time.
+    sched: ShardedCore,
+    /// Simulated task instances and their scheduler queues (nOS-V mode;
+    /// per-shard process queues carved out by the sharded core's views).
     store: HeapStore<TaskModel>,
     rng: SimRng,
     /// Process-selection policy for nOS-V mode — the same trait object kind
@@ -342,13 +344,16 @@ impl<'a> Engine<'a> {
 
         // The shared scheduling core: one process slot per application,
         // pid = app index + 1 (pid 0 is "none" in the policy), sockets as
-        // NUMA nodes. PerApp modes never consult it.
+        // NUMA nodes, sharded exactly as the live runtime shards
+        // (`sched_shards`, `0` = one shard per socket). PerApp modes
+        // never consult it.
         assert!(
             models.len() <= 64,
             "the scheduling core supports at most 64 applications"
         );
-        let mut sched = SchedCore::new(ncores, node.cores_per_socket, models.len());
-        let store = HeapStore::new(ncores, node.sockets, models.len());
+        let shards = resolve_shards(opts.sched_shards, ncores, node.sockets);
+        let mut sched = ShardedCore::new(ncores, node.cores_per_socket, models.len(), shards);
+        let store = HeapStore::new(ncores, node.sockets, models.len() * shards);
         if nosv_mode {
             for (app, m) in models.iter().enumerate() {
                 sched.register_proc(app, app as u64 + 1);

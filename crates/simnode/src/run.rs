@@ -20,6 +20,13 @@ pub struct SimOptions {
     pub jitter: f64,
     /// Abort if simulated time exceeds this (deadlock guard), ns.
     pub max_sim_ns: u64,
+    /// Scheduler shards of the nOS-V-mode shared scheduling core: `0`
+    /// (the default) = one shard per socket, `1` = the original
+    /// single-core scheduler. Mirrors
+    /// `nosv::RuntimeBuilder::sched_shards`, so a sharded live runtime
+    /// and its simulation route through identically sharded state.
+    /// Ignored by `PerApp` modes.
+    pub sched_shards: usize,
 }
 
 impl Default for SimOptions {
@@ -28,6 +35,7 @@ impl Default for SimOptions {
             seed: 0x5eed,
             jitter: 0.03,
             max_sim_ns: 3_600_000_000_000, // one simulated hour
+            sched_shards: 0,
         }
     }
 }

@@ -3,23 +3,29 @@
 //! lend / unregister) is fed through the backend-agnostic scheduling core
 //! via **both** drivers —
 //!
-//! * the *live-scheduler driver*: the real `nosv::Scheduler` (delegation
-//!   lock, lock-free submission rings, intrusive shared-segment queues)
-//!   exposed through `nosv::testing::LiveDriver`, and
-//! * the *sim driver*: `nosv_core::SchedCore` over the heap store the
+//! * the *live-scheduler driver*: the real `nosv::Scheduler` (per-shard
+//!   delegation locks, lock-free submission rings, intrusive
+//!   shared-segment queues, cross-shard stealing) exposed through
+//!   `nosv::testing::LiveDriver`, and
+//! * the *sim driver*: `nosv_core::ShardedCore` over the heap store the
 //!   `simnode` engine uses,
 //!
 //! and the two decision streams must be **byte-identical**: every pop
 //! returns the same task id, pid, steal flag and quantum-switch flag;
 //! every unregister resolves busy/ok identically; every lending choice
 //! picks the same borrower. `policy_parity` proves the backends share the
-//! policy; this proves they share the *entire* scheduling state machine.
+//! policy; this proves they share the *entire* scheduling state machine —
+//! including the shard routing (placed tasks to owner shards,
+//! unconstrained tasks round-robin) and the cross-shard steal rotation,
+//! fuzzed over `sched_shards ∈ {1, 2, 4}`.
 
 use std::collections::HashMap;
 
 use nosv_repro::nosv::testing::LiveDriver;
-use nosv_repro::nosv_core::lend::{choose_borrower, LendCandidate};
-use nosv_repro::nosv_core::{Affinity, HeapStore, PickSource, QuantumPolicy, SchedCore};
+use nosv_repro::nosv_core::lend::choose_borrower_sharded;
+use nosv_repro::nosv_core::{
+    Affinity, HeapStore, PickSource, QuantumPolicy, ShardMap, ShardedCore,
+};
 use nosv_repro::nosv_sync::SplitMix64;
 
 /// What one pop decided, as both drivers must report it.
@@ -57,21 +63,27 @@ impl Driver for LiveDriver {
     }
 }
 
-/// The simulator-side driver: the same `SchedCore` + heap store pairing
+/// The simulator-side driver: the same `ShardedCore` + heap store pairing
 /// `simnode`'s engine runs, minus the event loop.
 struct SimDriver {
-    core: SchedCore,
+    core: ShardedCore,
     store: HeapStore<u64>,
     policy: QuantumPolicy,
 }
 
 impl SimDriver {
-    fn new(cpus: usize, cpus_per_numa: usize, quantum_ns: u64, procs: usize) -> SimDriver {
-        let core = SchedCore::new(cpus, cpus_per_numa, procs);
+    fn new(
+        cpus: usize,
+        cpus_per_numa: usize,
+        quantum_ns: u64,
+        procs: usize,
+        shards: usize,
+    ) -> SimDriver {
+        let core = ShardedCore::new(cpus, cpus_per_numa, procs, shards);
         let numa = core.numa_nodes();
         SimDriver {
+            store: HeapStore::new(cpus, numa, procs * shards),
             core,
-            store: HeapStore::new(cpus, numa, procs),
             policy: QuantumPolicy::new(quantum_ns),
         }
     }
@@ -83,10 +95,11 @@ impl Driver for SimDriver {
     }
 
     fn unregister(&mut self, slot: u32) -> bool {
-        // Mirror of the live semantics: the core's per-slot ready count
-        // (proc queue *plus* placed tasks in core/NUMA queues) gates the
-        // detach. The live driver drains its submission rings first,
-        // which this store never needs (routing is immediate).
+        // Mirror of the live semantics: the cores' per-slot ready counts
+        // (proc queues in every shard *plus* placed tasks in core/NUMA
+        // queues) gate the detach. The live driver drains its submission
+        // rings first, which this store never needs (routing is
+        // immediate).
         if self.core.proc_ready_count(slot as usize) > 0 {
             return false;
         }
@@ -130,16 +143,22 @@ struct FuzzConfig {
     /// cross-slot arrival order out of the equation — the documented
     /// batching caveat of the live submission path.
     ring_cap: usize,
+    /// Scheduler shards, fuzzed over {1, 2, 4} (clamped to the CPU
+    /// count). Both drivers shard identically by construction; this test
+    /// proves it.
+    shards: usize,
 }
 
 fn config_for(seed: u64) -> FuzzConfig {
     let mut rng = SplitMix64::new(seed ^ 0xc0a1_e5ce);
+    let cpus = 1 + (rng.next_u64() % 6) as usize;
     FuzzConfig {
-        cpus: 1 + (rng.next_u64() % 6) as usize,
+        cpus,
         cpus_per_numa: [0usize, 2][(rng.next_u64() % 2) as usize],
         procs: 1 + (rng.next_u64() % 3) as usize,
         quantum_ns: 300 + rng.next_u64() % 500,
         ring_cap: [0usize, 4, 256][(seed % 3) as usize],
+        shards: [1usize, 2, 4][(seed / 3 % 3) as usize].min(cpus),
     }
 }
 
@@ -149,9 +168,17 @@ fn config_for(seed: u64) -> FuzzConfig {
 /// (yield resubmissions, lend candidate counts, re-registration after a
 /// successful unregister), it depends only on *recorded decisions* — so
 /// the streams stay identical exactly as long as the decisions do.
+///
+/// The harness additionally tracks, per process slot, how its queued
+/// tasks spread over the shards — replicating the shared routing rule
+/// ([`ShardMap::route_shard`] plus the round-robin cursor) — and feeds
+/// the per-shard counts to the shard-aware lending decision.
 fn decision_stream(driver: &mut impl Driver, seed: u64, cfg: FuzzConfig) -> Vec<String> {
     let mut rng = SplitMix64::new(seed);
     let mut out = Vec::new();
+
+    let map = ShardMap::new(cfg.cpus, cfg.cpus_per_numa, cfg.shards);
+    let mut rr_shard = 0u64;
 
     let mut next_pid = 100u64;
     let mut pid_of: Vec<u64> = Vec::new();
@@ -170,13 +197,34 @@ fn decision_stream(driver: &mut impl Driver, seed: u64, cfg: FuzzConfig) -> Vec<
     let mut next_id = 1u64;
     // (slot, pid, priority, affinity) per live task id, for yields.
     let mut attrs: HashMap<u64, (u32, u64, i32, Affinity)> = HashMap::new();
-    // Queued tasks per slot (how "needy" a process is, for lending).
-    let mut queued: Vec<usize> = vec![0; cfg.procs];
+    // Queued tasks per (slot, shard): how "needy" a process is and where
+    // its work sits, for shard-aware lending.
+    let mut queued: Vec<Vec<usize>> = vec![vec![0; cfg.shards]; cfg.procs];
+    // Shard each queued task id currently sits in (updated on yields).
+    let mut shard_of: HashMap<u64, usize> = HashMap::new();
+
+    // One bookkeeping point for every submission (fresh or yield): tick
+    // the routing cursor exactly as both drivers do internally.
+    fn note_submit(
+        map: &ShardMap,
+        queued: &mut [Vec<usize>],
+        shard_of: &mut HashMap<u64, usize>,
+        rr_shard: &mut u64,
+        id: u64,
+        slot: u32,
+        affinity: Affinity,
+    ) {
+        let shard = map.route_shard(affinity, rr_shard);
+        queued[slot as usize][shard] += 1;
+        shard_of.insert(id, shard);
+    }
 
     let submit = |driver: &mut dyn Driver,
                   rng: &mut SplitMix64,
                   next_id: &mut u64,
-                  queued: &mut Vec<usize>,
+                  queued: &mut Vec<Vec<usize>>,
+                  shard_of: &mut HashMap<u64, usize>,
+                  rr_shard: &mut u64,
                   attrs: &mut HashMap<u64, (u32, u64, i32, Affinity)>,
                   pid_of: &[u64]| {
         let slot = (rng.next_u64() % cfg.procs as u64) as u32;
@@ -212,11 +260,12 @@ fn decision_stream(driver: &mut impl Driver, seed: u64, cfg: FuzzConfig) -> Vec<
         let pid = pid_of[slot as usize];
         driver.submit(id, slot, pid, prio, affinity);
         attrs.insert(id, (slot, pid, prio, affinity));
-        queued[slot as usize] += 1;
+        note_submit(&map, queued, shard_of, rr_shard, id, slot, affinity);
     };
 
     let record_pop = |out: &mut Vec<String>,
-                      queued: &mut Vec<usize>,
+                      queued: &mut Vec<Vec<usize>>,
+                      shard_of: &mut HashMap<u64, usize>,
                       attrs: &HashMap<u64, (u32, u64, i32, Affinity)>,
                       cpu: usize,
                       now: u64,
@@ -225,7 +274,8 @@ fn decision_stream(driver: &mut impl Driver, seed: u64, cfg: FuzzConfig) -> Vec<
         match rec {
             Some((id, pid, stolen, quantum)) => {
                 let slot = attrs[&id].0 as usize;
-                queued[slot] -= 1;
+                let shard = shard_of.remove(&id).expect("popped task was tracked");
+                queued[slot][shard] -= 1;
                 out.push(format!(
                     "pop cpu={cpu} now={now} -> id={id} pid={pid} steal={stolen} quantum={quantum}"
                 ));
@@ -244,6 +294,8 @@ fn decision_stream(driver: &mut impl Driver, seed: u64, cfg: FuzzConfig) -> Vec<
                 &mut rng,
                 &mut next_id,
                 &mut queued,
+                &mut shard_of,
+                &mut rr_shard,
                 &mut attrs,
                 &pid_of,
             );
@@ -252,6 +304,7 @@ fn decision_stream(driver: &mut impl Driver, seed: u64, cfg: FuzzConfig) -> Vec<
             record_pop(
                 &mut out,
                 &mut queued,
+                &mut shard_of,
                 &attrs,
                 cpu,
                 now,
@@ -264,6 +317,7 @@ fn decision_stream(driver: &mut impl Driver, seed: u64, cfg: FuzzConfig) -> Vec<
             record_pop(
                 &mut out,
                 &mut queued,
+                &mut shard_of,
                 &attrs,
                 cpu,
                 now,
@@ -275,6 +329,7 @@ fn decision_stream(driver: &mut impl Driver, seed: u64, cfg: FuzzConfig) -> Vec<
             if let Some((id, ..)) = record_pop(
                 &mut out,
                 &mut queued,
+                &mut shard_of,
                 &attrs,
                 cpu,
                 now,
@@ -282,7 +337,15 @@ fn decision_stream(driver: &mut impl Driver, seed: u64, cfg: FuzzConfig) -> Vec<
             ) {
                 let (slot, pid, prio, aff) = attrs[&id];
                 driver.submit(id, slot, pid, prio, aff);
-                queued[slot as usize] += 1;
+                note_submit(
+                    &map,
+                    &mut queued,
+                    &mut shard_of,
+                    &mut rr_shard,
+                    id,
+                    slot,
+                    aff,
+                );
                 out.push(format!("yield id={id}"));
             }
         } else if op < 90 {
@@ -291,17 +354,15 @@ fn decision_stream(driver: &mut impl Driver, seed: u64, cfg: FuzzConfig) -> Vec<
                 (rng.next_u64() % 3) as i32,
             );
         } else if op < 95 {
-            // Lend: the shared borrower choice over each driver's view of
-            // per-process neediness (tracked from its own decisions).
+            // Lend: the shared shard-aware borrower choice over each
+            // driver's view of per-process, per-shard neediness (tracked
+            // from its own decisions).
             let exclude = (rng.next_u64() % cfg.procs as u64) as usize;
-            let cands: Vec<LendCandidate> = (0..cfg.procs)
-                .filter(|&s| s != exclude)
-                .map(|s| LendCandidate {
-                    app: s,
-                    ready: queued[s],
-                })
-                .collect();
-            let choice = choose_borrower(cands.iter().copied());
+            let choice = choose_borrower_sharded(
+                (0..cfg.procs)
+                    .filter(|&s| s != exclude)
+                    .map(|s| (s, queued[s].iter().copied())),
+            );
             out.push(format!("lend exclude={exclude} -> {choice:?}"));
         } else {
             // Unregister; on success the slot re-registers with a new pid
@@ -319,7 +380,8 @@ fn decision_stream(driver: &mut impl Driver, seed: u64, cfg: FuzzConfig) -> Vec<
     }
 
     // Drain: sweep every CPU until a full round comes back empty, so the
-    // terminal decisions (including the last steals) are compared too.
+    // terminal decisions (including the last in-shard and cross-shard
+    // steals) are compared too.
     now += 10 * cfg.quantum_ns;
     for round in 0.. {
         assert!(round < 10_000, "drain did not converge");
@@ -329,6 +391,7 @@ fn decision_stream(driver: &mut impl Driver, seed: u64, cfg: FuzzConfig) -> Vec<
             if record_pop(
                 &mut out,
                 &mut queued,
+                &mut shard_of,
                 &attrs,
                 cpu,
                 now,
@@ -343,16 +406,33 @@ fn decision_stream(driver: &mut impl Driver, seed: u64, cfg: FuzzConfig) -> Vec<
             break;
         }
     }
-    assert_eq!(queued.iter().sum::<usize>(), 0, "tasks left undrained");
+    assert_eq!(
+        queued.iter().flatten().sum::<usize>(),
+        0,
+        "tasks left undrained"
+    );
     out
 }
 
 #[test]
 fn live_and_sim_drivers_produce_byte_identical_decision_streams() {
-    for seed in 0..12u64 {
+    for seed in 0..18u64 {
         let cfg = config_for(seed);
-        let mut live = LiveDriver::new(cfg.cpus, cfg.cpus_per_numa, cfg.quantum_ns, cfg.ring_cap);
-        let mut sim = SimDriver::new(cfg.cpus, cfg.cpus_per_numa, cfg.quantum_ns, cfg.procs);
+        let mut live = LiveDriver::new(
+            cfg.cpus,
+            cfg.cpus_per_numa,
+            cfg.quantum_ns,
+            cfg.ring_cap,
+            cfg.shards,
+        );
+        assert_eq!(live.shard_count(), cfg.shards);
+        let mut sim = SimDriver::new(
+            cfg.cpus,
+            cfg.cpus_per_numa,
+            cfg.quantum_ns,
+            cfg.procs,
+            cfg.shards,
+        );
         let live_stream = decision_stream(&mut live, seed, cfg);
         let sim_stream = decision_stream(&mut sim, seed, cfg);
         assert!(
@@ -362,8 +442,8 @@ fn live_and_sim_drivers_produce_byte_identical_decision_streams() {
         for (i, (l, s)) in live_stream.iter().zip(&sim_stream).enumerate() {
             assert_eq!(
                 l, s,
-                "seed {seed} (cpus={} numa={} procs={} ring={}): decision {i} diverged",
-                cfg.cpus, cfg.cpus_per_numa, cfg.procs, cfg.ring_cap
+                "seed {seed} (cpus={} numa={} procs={} ring={} shards={}): decision {i} diverged",
+                cfg.cpus, cfg.cpus_per_numa, cfg.procs, cfg.ring_cap, cfg.shards
             );
         }
         assert_eq!(
