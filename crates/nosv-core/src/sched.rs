@@ -564,6 +564,68 @@ impl SchedCore {
         None
     }
 
+    /// Removes **every** queued task belonging to `slot` from every queue
+    /// this core owns and appends them to `out` — the crash-reclaim sweep.
+    ///
+    /// The slot's own process queue is drained outright (it only ever holds
+    /// that slot's tasks). Core and NUMA queues are filtered: each non-empty
+    /// queue is popped to a scratch buffer and the surviving tasks are
+    /// re-pushed in pop order, which reconstructs the original
+    /// descending-priority FIFO order exactly (push inserts behind all
+    /// equal-priority tasks). Readiness bitmaps and per-slot counts are
+    /// maintained throughout; afterwards [`SchedCore::proc_ready_count`]
+    /// for `slot` is zero and [`SchedCore::unregister_proc`] is safe.
+    ///
+    /// This is a cold path (a process died); it allocates scratch freely.
+    /// Under sharding, each shard calls this on its own core and only the
+    /// queues whose readiness bits it holds are touched — exactly the
+    /// queues it owns.
+    pub fn purge_slot<S: TaskStore>(&mut self, store: &mut S, slot: usize, out: &mut Vec<S::Task>) {
+        // The slot's process queue: everything in it is the slot's.
+        if self.bit_set(QueueId::Proc(slot)) {
+            while let Some(t) = store.pop(QueueId::Proc(slot)) {
+                self.slot_counts[slot] -= 1;
+                out.push(t);
+            }
+            self.clear_bit(QueueId::Proc(slot));
+        }
+        // Core and NUMA queues: filter the slot's placed tasks out.
+        let mut queues: Vec<QueueId> = Vec::new();
+        let mut pos = 0;
+        while let Some(cpu) = self.next_core_bit(pos, self.cpus) {
+            queues.push(QueueId::Core(cpu));
+            pos = cpu + 1;
+        }
+        let mut nmask = self.numa_mask;
+        while nmask != 0 {
+            let n = nmask.trailing_zeros() as usize;
+            nmask &= nmask - 1;
+            queues.push(QueueId::Numa(n));
+        }
+        let mut survivors: Vec<S::Task> = Vec::new();
+        for q in queues {
+            survivors.clear();
+            while let Some(t) = store.pop(q) {
+                if store.slot(t) == slot {
+                    self.slot_counts[slot] -= 1;
+                    out.push(t);
+                } else {
+                    survivors.push(t);
+                }
+            }
+            for &t in &survivors {
+                store.push(q, t);
+            }
+            if store.queue_is_empty(q) {
+                self.clear_bit(q);
+            }
+        }
+        debug_assert_eq!(
+            self.slot_counts[slot], 0,
+            "purge left tasks of the slot queued somewhere"
+        );
+    }
+
     /// First set bit of the core readiness bitmap in `[lo, hi)`, if any.
     /// Word-at-a-time: empty words cost one load.
     fn next_core_bit(&self, lo: usize, hi: usize) -> Option<usize> {
@@ -897,6 +959,101 @@ mod tests {
             0,
             "the override suppressed the quantum update"
         );
+    }
+
+    #[test]
+    fn purge_slot_reclaims_from_every_queue_and_preserves_survivors() {
+        let (mut core, mut store, policy) = setup(4, 2, 1_000_000);
+        core.register_proc(0, 10);
+        core.register_proc(1, 20);
+        // Dead slot 0: one unconstrained, one core-placed, one NUMA-placed.
+        let d0 = submit(&mut core, &mut store, 0, 10, 0, Affinity::None);
+        let d1 = submit(
+            &mut core,
+            &mut store,
+            0,
+            10,
+            0,
+            Affinity::Core {
+                index: 1,
+                strict: true,
+            },
+        );
+        let d2 = submit(
+            &mut core,
+            &mut store,
+            0,
+            10,
+            0,
+            Affinity::Numa {
+                index: 1,
+                strict: false,
+            },
+        );
+        // Survivor slot 1 shares the core and NUMA queues; its two
+        // equal-priority core tasks pin the FIFO-order check.
+        let s0 = submit(
+            &mut core,
+            &mut store,
+            1,
+            20,
+            0,
+            Affinity::Core {
+                index: 1,
+                strict: true,
+            },
+        );
+        let s1 = submit(
+            &mut core,
+            &mut store,
+            1,
+            20,
+            0,
+            Affinity::Core {
+                index: 1,
+                strict: true,
+            },
+        );
+        let s2 = submit(&mut core, &mut store, 1, 20, 0, Affinity::None);
+
+        let mut reclaimed = Vec::new();
+        core.purge_slot(&mut store, 0, &mut reclaimed);
+        assert_eq!(reclaimed.len(), 3);
+        for t in [d0, d1, d2] {
+            assert!(
+                reclaimed.contains(&t),
+                "task of the dead slot not reclaimed"
+            );
+            store.remove(t);
+        }
+        assert_eq!(core.proc_ready_count(0), 0, "detach-safe after purge");
+        core.unregister_proc(0);
+        core.assert_masks_consistent(&store);
+
+        // Survivors still schedule, in their original FIFO order.
+        assert_eq!(core.proc_ready_count(1), 3);
+        let p = core.pick(&mut store, &policy, 1, 0).unwrap();
+        assert_eq!((p.task, p.source), (s0, PickSource::CoreLocal));
+        let p = core.pick(&mut store, &policy, 1, 0).unwrap();
+        assert_eq!((p.task, p.source), (s1, PickSource::CoreLocal));
+        let p = core.pick(&mut store, &policy, 1, 0).unwrap();
+        assert_eq!(p.task, s2);
+        assert!(core.pick(&mut store, &policy, 1, 0).is_none());
+        core.assert_masks_consistent(&store);
+    }
+
+    #[test]
+    fn purge_slot_on_empty_slot_is_a_noop() {
+        let (mut core, mut store, _policy) = setup(2, 0, 1_000_000);
+        core.register_proc(0, 10);
+        core.register_proc(1, 20);
+        let keep = submit(&mut core, &mut store, 1, 20, 0, Affinity::None);
+        let mut reclaimed: Vec<crate::TaskRef> = Vec::new();
+        core.purge_slot(&mut store, 0, &mut reclaimed);
+        assert!(reclaimed.is_empty());
+        assert_eq!(core.proc_ready_count(1), 1);
+        let _ = keep;
+        core.assert_masks_consistent(&store);
     }
 
     #[test]

@@ -5,20 +5,35 @@
 //! SLAB-style allocator with per-CPU caches manages that fixed-size region
 //! so that *any* process can free memory allocated by *any other* process.
 //!
-//! This crate reproduces that substrate with one substitution, documented in
-//! `DESIGN.md`: the segment is a single in-process allocation instead of a
-//! `shm_open`/`mmap` mapping (the evaluation sandbox is a 1-CPU container
-//! where real multi-process co-execution cannot be demonstrated anyway).
-//! Everything else is built exactly as cross-process shared memory demands:
+//! This crate reproduces that substrate behind a **backing abstraction**
+//! (see `DESIGN.md` for the full rationale): a segment's bytes come from one
+//! of two interchangeable backings, chosen at creation.
+//!
+//! * **Heap backing** ([`ShmSegment::create`] / [`ShmSegment::open_or_create`]):
+//!   one chunk-aligned in-process allocation. This is what unit tests, the
+//!   discrete-event simulator, and single-process runtimes use — cheap,
+//!   deterministic, no OS namespace to clean up.
+//! * **OS-shared backing** ([`ShmSegment::create_named`] /
+//!   [`ShmSegment::attach_named`]): a real `memfd_create` (fallback
+//!   `shm_open`) object mapped `MAP_SHARED`, published under a name so a
+//!   *foreign OS process* can map the same physical pages and co-execute —
+//!   the paper's actual deployment model. Availability is probed at runtime
+//!   ([`os_backing_available`]); sandboxes without it keep working on the
+//!   heap backing.
+//!
+//! The two backings are indistinguishable above the mapping layer because
+//! everything is built exactly as cross-process shared memory demands:
 //!
 //! * **No host pointers inside the segment.** All intra-segment references
 //!   are [`Shoff<T>`] / [`AtomicShoff<T>`] — typed byte offsets from the
-//!   segment base — so the segment would remain valid if mapped at a
-//!   different address in every process.
+//!   segment base — so the segment stays valid when mapped at a different
+//!   address in every process (named attaches really do get different
+//!   addresses).
 //! * **Fixed-layout, zero-initializable metadata.** Headers, chunk tables,
 //!   the registry and all locks ([`nosv_sync::RawSpinMutex`]) are
 //!   plain-old-data and valid when zeroed, exactly as a fresh `ftruncate`d
-//!   POSIX segment would be.
+//!   POSIX segment is; an attacher rederives the full [`SegmentGeometry`]
+//!   from the header alone after a magic/version check.
 //! * **SLAB allocator with per-CPU magazines** (`SlabAlloc`, §3.5): the
 //!   region is split into 64 KiB chunks; each chunk serves one power-of-two
 //!   size class; per-CPU magazine caches absorb the fast path; the global
@@ -37,13 +52,17 @@
 //! * **Process registry** (`Registry`, §3.3): processes attach to the
 //!   segment at startup and detach at exit; the last process to detach is
 //!   told so it can tear the segment down, mirroring the unlink-on-last-exit
-//!   life cycle of the paper.
+//!   life cycle of the paper. Each slot carries the cross-process attach
+//!   record ([`SlotView`]) — OS pid, liveness heartbeat, [`JoinState`]
+//!   handshake word, progress counters — that `nosv`'s join handshake and
+//!   crash-reclaim sweeper operate on.
 
 #![warn(missing_docs)]
 
 mod claim;
 mod layout;
 mod offset;
+pub mod os;
 mod registry;
 mod ring;
 mod segment;
@@ -52,7 +71,8 @@ mod slab;
 pub use claim::{ClaimTable, CLAIM_MAX_CPUS};
 pub use layout::{SegmentGeometry, CHUNK_SIZE, MAX_PROCS, NUM_CLASSES, SIZE_CLASSES};
 pub use offset::{AtomicShoff, Shoff};
-pub use registry::{AttachError, ProcessId};
+pub use os::{os_backing_available, process_alive, MapError, OsBackend};
+pub use registry::{AttachError, JoinState, ProcessId, SlotView};
 pub use ring::{RingSlot, SubmitRing};
-pub use segment::{SegmentConfig, ShmSegment};
+pub use segment::{SegmentConfig, ShmSegment, CAP_GUEST_JOIN, SEGMENT_VERSION};
 pub use slab::{AllocError, AllocStats};

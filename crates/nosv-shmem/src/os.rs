@@ -1,0 +1,665 @@
+//! OS-shared segment backing: `memfd_create` / `shm_open` + `mmap(MAP_SHARED)`.
+//!
+//! This module is the thin layer that turns the position-independent segment
+//! into a *real* OS-shared mapping so independent processes can co-execute
+//! over it (paper §3.1: "a POSIX shared memory segment mapped by every
+//! participating process"). Everything above it — SLAB, rings, registry,
+//! claim table — is already offset-linked and zero-valid, so the only new
+//! machinery needed is creating, publishing, and attaching the mapping
+//! itself.
+//!
+//! Two backends, probed at runtime ([`os_backing_available`]):
+//!
+//! * **memfd** (preferred): `memfd_create` yields an anonymous kernel-backed
+//!   file that vanishes automatically when the last descriptor and mapping
+//!   are gone — no name to leak even on SIGKILL. A foreign process reaches
+//!   the memory by reopening `/proc/<creator-pid>/fd/<fd>`.
+//! * **shm_open** (fallback): a named `/dev/shm` object; the creating
+//!   process `shm_unlink`s it on drop.
+//!
+//! Discovery goes through a tiny *link file* in the temp directory
+//! (`nosv-seg-<name>`) recording the backend and how to reopen it. The link
+//! file is written **after** the creator fully initializes the segment
+//! header, so its existence is the cross-process "segment is ready"
+//! synchronization point; the creator removes it on drop. A stale link file
+//! left by a SIGKILLed creator is harmless: attaching through it fails
+//! (the `/proc` path is gone), it never resurrects a segment.
+//!
+//! All mappings are aligned to [`CHUNK_SIZE`] via an over-reserve +
+//! `MAP_FIXED` carve, matching the heap backing's alignment guarantee, so
+//! object pointers derived from offsets have identical alignment under both
+//! backings.
+
+#[cfg(target_os = "linux")]
+use std::ffi::CString;
+#[cfg(target_os = "linux")]
+use std::io::{Read, Write};
+#[cfg(target_os = "linux")]
+use std::path::PathBuf;
+#[cfg(target_os = "linux")]
+use std::sync::OnceLock;
+
+use crate::layout::CHUNK_SIZE;
+
+/// Failure to create or attach an OS-shared segment mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    /// Neither `memfd_create` nor `shm_open` works in this environment
+    /// (probe failed); only the in-process heap backing is available.
+    Unsupported,
+    /// Segment names are restricted to `[A-Za-z0-9._-]`, nonempty, ≤ 128
+    /// bytes.
+    BadName,
+    /// No segment is published under the requested name (no link file, or
+    /// the creating process is gone).
+    NotFound,
+    /// A segment is already published under the requested name.
+    AlreadyExists,
+    /// The mapping exists but its header does not validate (wrong magic,
+    /// size mismatch, or incompatible format version).
+    InvalidSegment(&'static str),
+    /// An OS call failed.
+    Os {
+        /// Which call failed (e.g. `"mmap"`).
+        call: &'static str,
+        /// The `errno` value it failed with.
+        errno: i32,
+    },
+}
+
+impl std::fmt::Display for MapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapError::Unsupported => {
+                write!(
+                    f,
+                    "OS-shared segment backing unavailable in this environment"
+                )
+            }
+            MapError::BadName => write!(f, "invalid segment name"),
+            MapError::NotFound => write!(f, "no segment published under this name"),
+            MapError::AlreadyExists => write!(f, "a segment is already published under this name"),
+            MapError::InvalidSegment(why) => write!(f, "segment failed validation: {why}"),
+            MapError::Os { call, errno } => write!(f, "{call} failed with errno {errno}"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// Which OS backend a mapping uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OsBackend {
+    /// `memfd_create` + `/proc/<pid>/fd/<fd>` reopen.
+    Memfd,
+    /// `shm_open` named object.
+    ShmOpen,
+}
+
+// ---- raw FFI ---------------------------------------------------------------
+//
+// Declared directly (the workspace deliberately has no external crates).
+// Constants are the x86-64/aarch64 Linux values.
+
+#[cfg(target_os = "linux")]
+mod ffi {
+    use std::os::raw::{c_char, c_int, c_long, c_uint, c_void};
+
+    pub const PROT_NONE: c_int = 0;
+    pub const PROT_READ: c_int = 1;
+    pub const PROT_WRITE: c_int = 2;
+    pub const MAP_SHARED: c_int = 0x01;
+    pub const MAP_PRIVATE: c_int = 0x02;
+    pub const MAP_FIXED: c_int = 0x10;
+    pub const MAP_ANONYMOUS: c_int = 0x20;
+    pub const O_RDWR: c_int = 2;
+    pub const O_CREAT: c_int = 0o100;
+    pub const O_EXCL: c_int = 0o200;
+    pub const SEEK_END: c_int = 2;
+    pub const SYS_MEMFD_CREATE: c_long = 319;
+    pub const ESRCH: c_int = 3;
+
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    extern "C" {
+        pub fn syscall(num: c_long, ...) -> c_long;
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        pub fn ftruncate(fd: c_int, len: i64) -> c_int;
+        pub fn close(fd: c_int) -> c_int;
+        pub fn open(path: *const c_char, flags: c_int, mode: c_uint) -> c_int;
+        pub fn lseek(fd: c_int, offset: i64, whence: c_int) -> i64;
+        pub fn kill(pid: c_int, sig: c_int) -> c_int;
+        pub fn shm_open(name: *const c_char, oflag: c_int, mode: c_uint) -> c_int;
+        pub fn shm_unlink(name: *const c_char) -> c_int;
+        pub fn __errno_location() -> *mut c_int;
+    }
+
+    pub fn errno() -> c_int {
+        // SAFETY: glibc/musl guarantee a valid thread-local errno slot.
+        unsafe { *__errno_location() }
+    }
+}
+
+#[cfg(target_os = "linux")]
+use ffi::*;
+
+/// Whether the given OS process is still alive (`kill(pid, 0)` probe).
+///
+/// `EPERM` counts as alive (the process exists, we may not signal it);
+/// only `ESRCH` — or an impossible pid — counts as dead.
+#[cfg(target_os = "linux")]
+pub fn process_alive(os_pid: u32) -> bool {
+    if os_pid == 0 || os_pid > i32::MAX as u32 {
+        return false;
+    }
+    // SAFETY: signal 0 performs only the existence/permission check.
+    let r = unsafe { kill(os_pid as i32, 0) };
+    r == 0 || errno() != ESRCH
+}
+
+/// Non-Linux stub: reports every pid dead (the OS backing is unavailable
+/// there, so no cross-process peers can exist).
+#[cfg(not(target_os = "linux"))]
+pub fn process_alive(_os_pid: u32) -> bool {
+    false
+}
+
+/// Path of the discovery link file for `name`.
+#[cfg(target_os = "linux")]
+fn link_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("nosv-seg-{name}"))
+}
+
+/// Validates a segment name: nonempty, ≤ 128 bytes, `[A-Za-z0-9._-]` only.
+pub(crate) fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 128
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+}
+
+/// An OS-shared mapping of a segment-sized region.
+///
+/// Owns the mapping (and, for the creator, the published name): dropping
+/// the creator's handle unmaps, closes the descriptor, removes the link
+/// file, and (for the shm backend) `shm_unlink`s the object. Attachers
+/// only unmap and close. With the memfd backend the kernel frees the
+/// memory itself once the last mapping and descriptor are gone — the
+/// paper's "last process to unregister deletes the segment" with no name
+/// left to leak.
+#[cfg(target_os = "linux")]
+pub(crate) struct OsMapping {
+    base: *mut u8,
+    len: usize,
+    fd: i32,
+    backend: OsBackend,
+    /// Link file for this mapping's name; removed on drop once published.
+    link: PathBuf,
+    published: std::sync::atomic::AtomicBool,
+    /// Creator with shm backend only: object name to `shm_unlink` on drop.
+    shm_name: Option<CString>,
+}
+
+#[cfg(target_os = "linux")]
+impl OsMapping {
+    pub(crate) fn base(&self) -> *mut u8 {
+        self.base
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    pub(crate) fn backend(&self) -> OsBackend {
+        self.backend
+    }
+
+    /// Creates the backing object and maps it, zero-filled, without
+    /// publishing it yet.
+    pub(crate) fn create(
+        name: &str,
+        len: usize,
+        backend: OsBackend,
+    ) -> Result<OsMapping, MapError> {
+        let (fd, shm_name) = match backend {
+            OsBackend::Memfd => (memfd_create_fd(name)?, None),
+            OsBackend::ShmOpen => {
+                // Uniquified by pid so a stale object from a crashed run
+                // never collides; the link file records the exact name.
+                let sname = CString::new(format!("/nosv-{name}.{}", std::process::id()))
+                    .map_err(|_| MapError::BadName)?;
+                // SAFETY: sname is a valid NUL-terminated string.
+                let fd = unsafe { shm_open(sname.as_ptr(), O_RDWR | O_CREAT | O_EXCL, 0o600) };
+                if fd < 0 {
+                    return Err(MapError::Os {
+                        call: "shm_open",
+                        errno: errno(),
+                    });
+                }
+                (fd, Some(sname))
+            }
+        };
+        // SAFETY: fd is a fresh descriptor we own.
+        if unsafe { ftruncate(fd, len as i64) } != 0 {
+            let e = errno();
+            cleanup_fd(fd, &shm_name);
+            return Err(MapError::Os {
+                call: "ftruncate",
+                errno: e,
+            });
+        }
+        let base = match map_chunk_aligned(fd, len) {
+            Ok(p) => p,
+            Err(e) => {
+                cleanup_fd(fd, &shm_name);
+                return Err(e);
+            }
+        };
+        Ok(OsMapping {
+            base,
+            len,
+            fd,
+            backend,
+            link: link_path(name),
+            published: std::sync::atomic::AtomicBool::new(false),
+            shm_name,
+        })
+    }
+
+    /// Publishes the mapping under the name it was created with, by
+    /// writing the link file.
+    ///
+    /// Call only after the segment header is fully initialized: the link
+    /// file's appearance is what makes the segment discoverable, so it is
+    /// the cross-process synchronization point. Fails with
+    /// [`MapError::AlreadyExists`] if another live segment already owns
+    /// the name.
+    pub(crate) fn publish(&self) -> Result<(), MapError> {
+        let path = self.link.clone();
+        if path.exists() {
+            // A link file whose creator is gone is stale; reclaim the name.
+            match read_link_file(&path) {
+                Ok(LinkRecord::Memfd { pid, .. }) | Ok(LinkRecord::Shm { pid, .. })
+                    if process_alive(pid) =>
+                {
+                    return Err(MapError::AlreadyExists)
+                }
+                _ => {
+                    let _ = std::fs::remove_file(&path);
+                }
+            }
+        }
+        let record = match (self.backend, &self.shm_name) {
+            (OsBackend::Memfd, _) => {
+                format!("memfd {} {} {}\n", std::process::id(), self.fd, self.len)
+            }
+            (OsBackend::ShmOpen, Some(sname)) => {
+                format!(
+                    "shm {} {} {}\n",
+                    sname.to_str().unwrap_or(""),
+                    std::process::id(),
+                    self.len
+                )
+            }
+            (OsBackend::ShmOpen, None) => unreachable!("shm backend always records its name"),
+        };
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        let write = (|| -> std::io::Result<()> {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(record.as_bytes())?;
+            f.sync_all()?;
+            std::fs::rename(&tmp, &path)
+        })();
+        if write.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(MapError::Os {
+                call: "link-file write",
+                errno: 0,
+            });
+        }
+        self.published
+            .store(true, std::sync::atomic::Ordering::Release);
+        Ok(())
+    }
+
+    /// Attaches to the segment published under `name`.
+    pub(crate) fn attach(name: &str) -> Result<OsMapping, MapError> {
+        let path = link_path(name);
+        let record = read_link_file(&path)?;
+        let (fd, backend) = match record {
+            LinkRecord::Memfd { pid, fd, .. } => {
+                let proc_path =
+                    CString::new(format!("/proc/{pid}/fd/{fd}")).map_err(|_| MapError::BadName)?;
+                // SAFETY: proc_path is a valid NUL-terminated string.
+                let f = unsafe { open(proc_path.as_ptr(), O_RDWR, 0) };
+                if f < 0 {
+                    // Creator (or its descriptor) is gone: the published
+                    // segment no longer exists.
+                    return Err(MapError::NotFound);
+                }
+                (f, OsBackend::Memfd)
+            }
+            LinkRecord::Shm { ref name, .. } => {
+                let sname = CString::new(name.as_str()).map_err(|_| MapError::BadName)?;
+                // SAFETY: sname is a valid NUL-terminated string.
+                let f = unsafe { shm_open(sname.as_ptr(), O_RDWR, 0) };
+                if f < 0 {
+                    return Err(MapError::NotFound);
+                }
+                (f, OsBackend::ShmOpen)
+            }
+        };
+        // SAFETY: fd is a descriptor we just opened.
+        let size = unsafe { lseek(fd, 0, SEEK_END) };
+        if size <= 0 {
+            // SAFETY: closing our own descriptor.
+            unsafe { close(fd) };
+            return Err(MapError::InvalidSegment("empty backing object"));
+        }
+        let len = size as usize;
+        let base = match map_chunk_aligned(fd, len) {
+            Ok(p) => p,
+            Err(e) => {
+                // SAFETY: closing our own descriptor.
+                unsafe { close(fd) };
+                return Err(e);
+            }
+        };
+        Ok(OsMapping {
+            base,
+            len,
+            fd,
+            backend,
+            link: path.to_path_buf(),
+            published: std::sync::atomic::AtomicBool::new(false),
+            shm_name: None,
+        })
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for OsMapping {
+    fn drop(&mut self) {
+        // SAFETY: base/len describe the mapping we created; fd is ours.
+        unsafe {
+            munmap(self.base.cast(), self.len);
+            close(self.fd);
+        }
+        if let Some(sname) = &self.shm_name {
+            // SAFETY: valid NUL-terminated string.
+            unsafe { shm_unlink(sname.as_ptr()) };
+        }
+        if self.published.load(std::sync::atomic::Ordering::Acquire) {
+            let _ = std::fs::remove_file(&self.link);
+        }
+    }
+}
+
+// SAFETY: the mapping is intentionally shared; all access above the raw
+// bytes goes through atomics and in-segment locks (same argument as the
+// heap backing).
+#[cfg(target_os = "linux")]
+unsafe impl Send for OsMapping {}
+#[cfg(target_os = "linux")]
+unsafe impl Sync for OsMapping {}
+
+#[cfg(target_os = "linux")]
+enum LinkRecord {
+    Memfd { pid: u32, fd: i32 },
+    Shm { name: String, pid: u32 },
+}
+
+#[cfg(target_os = "linux")]
+fn read_link_file(path: &std::path::Path) -> Result<LinkRecord, MapError> {
+    let mut text = String::new();
+    match std::fs::File::open(path) {
+        Ok(mut f) => {
+            if f.read_to_string(&mut text).is_err() {
+                return Err(MapError::NotFound);
+            }
+        }
+        Err(_) => return Err(MapError::NotFound),
+    }
+    let fields: Vec<&str> = text.split_whitespace().collect();
+    match fields.as_slice() {
+        ["memfd", pid, fd, _size] => match (pid.parse(), fd.parse()) {
+            (Ok(pid), Ok(fd)) => Ok(LinkRecord::Memfd { pid, fd }),
+            _ => Err(MapError::InvalidSegment("malformed link file")),
+        },
+        ["shm", name, pid, _size] => match pid.parse() {
+            Ok(pid) => Ok(LinkRecord::Shm {
+                name: (*name).to_string(),
+                pid,
+            }),
+            Err(_) => Err(MapError::InvalidSegment("malformed link file")),
+        },
+        _ => Err(MapError::InvalidSegment("malformed link file")),
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn memfd_create_fd(name: &str) -> Result<i32, MapError> {
+    let cname = CString::new(format!("nosv-{name}")).map_err(|_| MapError::BadName)?;
+    // SAFETY: memfd_create takes a name pointer and flags; no memory is
+    // touched beyond reading the NUL-terminated name.
+    let fd = unsafe { syscall(SYS_MEMFD_CREATE, cname.as_ptr(), 0u32) };
+    if fd < 0 {
+        return Err(MapError::Os {
+            call: "memfd_create",
+            errno: errno(),
+        });
+    }
+    Ok(fd as i32)
+}
+
+#[cfg(target_os = "linux")]
+fn cleanup_fd(fd: i32, shm_name: &Option<CString>) {
+    // SAFETY: fd is ours; sname (if any) is a valid string we created.
+    unsafe {
+        close(fd);
+        if let Some(sname) = shm_name {
+            shm_unlink(sname.as_ptr());
+        }
+    }
+}
+
+/// Maps `len` bytes of `fd` at a [`CHUNK_SIZE`]-aligned address: reserve
+/// `len + CHUNK_SIZE` of address space, `MAP_FIXED` the file at the first
+/// aligned address inside, trim the slack.
+#[cfg(target_os = "linux")]
+fn map_chunk_aligned(fd: i32, len: usize) -> Result<*mut u8, MapError> {
+    let reserve = len + CHUNK_SIZE;
+    // SAFETY: plain anonymous reservation; no existing mapping is clobbered
+    // because the kernel chooses the address.
+    let r = unsafe {
+        mmap(
+            std::ptr::null_mut(),
+            reserve,
+            PROT_NONE,
+            MAP_PRIVATE | MAP_ANONYMOUS,
+            -1,
+            0,
+        )
+    };
+    if r == MAP_FAILED {
+        return Err(MapError::Os {
+            call: "mmap",
+            errno: errno(),
+        });
+    }
+    let addr = r as usize;
+    let aligned = (addr + CHUNK_SIZE - 1) & !(CHUNK_SIZE - 1);
+    // SAFETY: [aligned, aligned+len) lies inside our fresh reservation, so
+    // MAP_FIXED replaces only address space we own.
+    let m = unsafe {
+        mmap(
+            aligned as *mut _,
+            len,
+            PROT_READ | PROT_WRITE,
+            MAP_SHARED | MAP_FIXED,
+            fd,
+            0,
+        )
+    };
+    if m == MAP_FAILED {
+        let e = errno();
+        // SAFETY: releasing our own reservation.
+        unsafe { munmap(r, reserve) };
+        return Err(MapError::Os {
+            call: "mmap",
+            errno: e,
+        });
+    }
+    // SAFETY: trimming leading/trailing slack of our own reservation.
+    unsafe {
+        if aligned > addr {
+            munmap(addr as *mut _, aligned - addr);
+        }
+        let end = aligned + len;
+        let reserve_end = addr + reserve;
+        if reserve_end > end {
+            munmap(end as *mut _, reserve_end - end);
+        }
+    }
+    Ok(aligned as *mut u8)
+}
+
+/// Probes which OS backend (if any) works here, caching the result.
+///
+/// The probe performs a real round trip — create a tiny object, map it,
+/// write and read a byte, tear it down — because environments exist where
+/// the calls link but are denied (seccomp sandboxes, read-only `/dev/shm`).
+#[cfg(target_os = "linux")]
+pub fn probe_os_backend() -> Option<OsBackend> {
+    static PROBE: OnceLock<Option<OsBackend>> = OnceLock::new();
+    *PROBE.get_or_init(|| {
+        for backend in [OsBackend::Memfd, OsBackend::ShmOpen] {
+            let name = format!("probe.{}", std::process::id());
+            if let Ok(m) = OsMapping::create(&name, CHUNK_SIZE, backend) {
+                // SAFETY: we own the fresh zero-filled mapping.
+                let ok = unsafe {
+                    m.base().write_volatile(0xA5);
+                    m.base().read_volatile() == 0xA5
+                };
+                if ok {
+                    return Some(backend);
+                }
+            }
+        }
+        None
+    })
+}
+
+/// Non-Linux stub: no OS backing.
+#[cfg(not(target_os = "linux"))]
+pub fn probe_os_backend() -> Option<OsBackend> {
+    None
+}
+
+/// Non-Linux stub of the mapping type: every operation reports
+/// [`MapError::Unsupported`], so the heap backing is the only one usable.
+#[cfg(not(target_os = "linux"))]
+pub(crate) struct OsMapping;
+
+#[cfg(not(target_os = "linux"))]
+impl OsMapping {
+    pub(crate) fn base(&self) -> *mut u8 {
+        unreachable!("OsMapping cannot be constructed off Linux")
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        unreachable!("OsMapping cannot be constructed off Linux")
+    }
+
+    pub(crate) fn backend(&self) -> OsBackend {
+        unreachable!("OsMapping cannot be constructed off Linux")
+    }
+
+    pub(crate) fn create(
+        _name: &str,
+        _len: usize,
+        _backend: OsBackend,
+    ) -> Result<OsMapping, MapError> {
+        Err(MapError::Unsupported)
+    }
+
+    pub(crate) fn publish(&self) -> Result<(), MapError> {
+        Err(MapError::Unsupported)
+    }
+
+    pub(crate) fn attach(_name: &str) -> Result<OsMapping, MapError> {
+        Err(MapError::Unsupported)
+    }
+}
+
+/// Whether an OS-shared backing (memfd or shm_open) is available, i.e.
+/// whether [`crate::ShmSegment::create_named`] /
+/// [`crate::ShmSegment::attach_named`] can work in this environment.
+pub fn os_backing_available() -> bool {
+    probe_os_backend().is_some()
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_is_stable() {
+        assert_eq!(probe_os_backend(), probe_os_backend());
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(valid_name("demo-seg_1.0"));
+        assert!(!valid_name(""));
+        assert!(!valid_name("has space"));
+        assert!(!valid_name("slash/y"));
+        assert!(!valid_name(&"x".repeat(129)));
+    }
+
+    #[test]
+    fn mapping_roundtrip_is_shared_and_aligned() {
+        let Some(backend) = probe_os_backend() else {
+            eprintln!("skipping: no OS backing available");
+            return;
+        };
+        let name = format!("os-test-{}", std::process::id());
+        let m = OsMapping::create(&name, 2 * CHUNK_SIZE, backend).unwrap();
+        assert_eq!(m.base() as usize % CHUNK_SIZE, 0, "chunk-aligned base");
+        m.publish().unwrap();
+        // A second mapping through the published name sees the same bytes.
+        unsafe { m.base().add(100).write_volatile(0x5C) };
+        let m2 = OsMapping::attach(&name).unwrap();
+        assert_eq!(m2.len(), 2 * CHUNK_SIZE);
+        assert_eq!(unsafe { m2.base().add(100).read_volatile() }, 0x5C);
+        unsafe { m2.base().add(200).write_volatile(0x7D) };
+        assert_eq!(unsafe { m.base().add(200).read_volatile() }, 0x7D);
+        // Publishing the same name again while alive is rejected.
+        let dup = OsMapping::create(&name, CHUNK_SIZE, backend).unwrap();
+        assert_eq!(dup.publish(), Err(MapError::AlreadyExists));
+        drop(m2);
+        drop(m);
+        // Creator gone: the link file is removed and attach fails cleanly.
+        match OsMapping::attach(&name) {
+            Err(MapError::NotFound) => {}
+            Err(other) => panic!("expected NotFound, got {other:?}"),
+            Ok(_) => panic!("attach after teardown must fail"),
+        }
+        drop(dup);
+    }
+
+    #[test]
+    fn liveness_probe() {
+        assert!(process_alive(std::process::id()));
+        assert!(!process_alive(0));
+    }
+}

@@ -42,15 +42,79 @@ impl std::error::Error for AttachError {}
 const SLOT_FREE: u32 = 0;
 const SLOT_CLAIMED: u32 = 1;
 
+/// Join-handshake state of an attached process (the `join_state` word of
+/// its registry slot). Plain host attachments stay at [`JoinState::None`];
+/// foreign-process guests walk `Requested → Active → (Leaving | Dead)`
+/// under the handshake protocol in `nosv::ipc`.
+#[repr(u32)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinState {
+    /// Not a guest (host attachment), the zero-valid default.
+    None = 0,
+    /// Guest has claimed the slot and awaits the host's acknowledgement.
+    Requested = 1,
+    /// Host acknowledged: submission rings are live, the guest may submit.
+    Active = 2,
+    /// Guest asked for a clean detach; the host unregisters it once its
+    /// queues drain.
+    Leaving = 3,
+    /// Host declared the guest dead (crash-reclaim in progress).
+    Dead = 4,
+}
+
+impl JoinState {
+    /// Decodes a raw `join_state` word; unknown values read as `Dead`
+    /// (the conservative interpretation for a shared word a buggy or
+    /// hostile peer could scribble).
+    pub fn from_u32(raw: u32) -> JoinState {
+        match raw {
+            0 => JoinState::None,
+            1 => JoinState::Requested,
+            2 => JoinState::Active,
+            3 => JoinState::Leaving,
+            _ => JoinState::Dead,
+        }
+    }
+}
+
 /// One registry slot, padded to [`PROC_SLOT_BYTES`]. Zero == free.
+///
+/// Beyond the claim state and logical pid, a slot carries the attach
+/// record the cross-process handshake and the crash-reclaim sweeper work
+/// from: the OS pid (liveness probe target), a heartbeat epoch the guest
+/// bumps while healthy, the join state, and submitted/completed counters
+/// through which a guest (which owns no workers) observes its tasks'
+/// progress.
 #[repr(C)]
 struct ProcSlot {
     state: AtomicU32,
-    _pad: u32,
+    join_state: AtomicU32,
     pid: AtomicU64,
+    os_pid: AtomicU64,
+    heartbeat: AtomicU64,
+    submitted: AtomicU64,
+    completed: AtomicU64,
 }
 
 const _: () = assert!(std::mem::size_of::<ProcSlot>() <= PROC_SLOT_BYTES);
+
+/// Snapshot of one registry slot's attach record (racy, for sweepers and
+/// diagnostics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotView {
+    /// Logical process id.
+    pub pid: u64,
+    /// OS pid recorded at attach (0 for pre-IPC attachments).
+    pub os_pid: u64,
+    /// Join-handshake state.
+    pub join_state: JoinState,
+    /// Liveness heartbeat epoch.
+    pub heartbeat: u64,
+    /// Tasks the process has submitted.
+    pub submitted: u64,
+    /// Tasks of the process the runtime has completed.
+    pub completed: u64,
+}
 
 fn slot(seg: &ShmSegment, i: usize) -> &ProcSlot {
     debug_assert!(i < MAX_PROCS);
@@ -63,6 +127,19 @@ fn slot(seg: &ShmSegment, i: usize) -> &ProcSlot {
 impl ShmSegment {
     /// Registers a logical process with the segment and returns its identity.
     pub fn attach(&self) -> Result<ProcessId, AttachError> {
+        self.attach_with(JoinState::None)
+    }
+
+    /// Registers a *foreign-process guest*: claims a slot like
+    /// [`ShmSegment::attach`] but records the caller's OS pid, seeds the
+    /// heartbeat, and enters [`JoinState::Requested`] so the host's
+    /// reactor can acknowledge the join (flipping it to
+    /// [`JoinState::Active`]).
+    pub fn attach_guest(&self) -> Result<ProcessId, AttachError> {
+        self.attach_with(JoinState::Requested)
+    }
+
+    fn attach_with(&self, join: JoinState) -> Result<ProcessId, AttachError> {
         for i in 0..MAX_PROCS {
             let s = slot(self, i);
             if s.state.load(Ordering::Relaxed) == SLOT_FREE
@@ -71,6 +148,13 @@ impl ShmSegment {
                     .is_ok()
             {
                 let pid = self.next_pid();
+                s.os_pid.store(std::process::id() as u64, Ordering::Relaxed);
+                s.heartbeat.store(1, Ordering::Relaxed);
+                s.submitted.store(0, Ordering::Relaxed);
+                s.completed.store(0, Ordering::Relaxed);
+                // The join state is published after the record is complete;
+                // its Release pairs with the reactor's Acquire scan.
+                s.join_state.store(join as u32, Ordering::Release);
                 s.pid.store(pid, Ordering::Release);
                 return Ok(ProcessId {
                     pid,
@@ -100,8 +184,90 @@ impl ShmSegment {
         );
         assert_eq!(s.state.load(Ordering::Relaxed), SLOT_CLAIMED);
         s.pid.store(0, Ordering::Relaxed);
+        s.os_pid.store(0, Ordering::Relaxed);
+        s.heartbeat.store(0, Ordering::Relaxed);
+        s.submitted.store(0, Ordering::Relaxed);
+        s.completed.store(0, Ordering::Relaxed);
+        s.join_state
+            .store(JoinState::None as u32, Ordering::Relaxed);
         s.state.store(SLOT_FREE, Ordering::Release);
         self.attached_count()
+    }
+
+    /// Snapshot of slot `i`'s attach record, or `None` when the slot is
+    /// free. Racy by nature (the sweep re-validates through
+    /// [`ShmSegment::set_join_state`]'s CAS before acting).
+    pub fn slot_view(&self, i: u32) -> Option<SlotView> {
+        if i as usize >= MAX_PROCS {
+            return None;
+        }
+        let s = slot(self, i as usize);
+        if s.state.load(Ordering::Acquire) != SLOT_CLAIMED {
+            return None;
+        }
+        Some(SlotView {
+            pid: s.pid.load(Ordering::Acquire),
+            os_pid: s.os_pid.load(Ordering::Relaxed),
+            join_state: JoinState::from_u32(s.join_state.load(Ordering::Acquire)),
+            heartbeat: s.heartbeat.load(Ordering::Relaxed),
+            submitted: s.submitted.load(Ordering::Relaxed),
+            completed: s.completed.load(Ordering::Acquire),
+        })
+    }
+
+    /// Transitions `id`'s join state `from → to` by CAS; `false` when the
+    /// slot is no longer `id`'s or the state has moved on. This is what
+    /// makes handshake/sweeper decisions race-safe over the racy
+    /// [`ShmSegment::slot_view`] snapshots.
+    pub fn set_join_state(&self, id: ProcessId, from: JoinState, to: JoinState) -> bool {
+        let s = slot(self, id.slot as usize);
+        if s.pid.load(Ordering::Acquire) != id.pid {
+            return false;
+        }
+        s.join_state
+            .compare_exchange(from as u32, to as u32, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Current join state of `id`, or `None` when the slot is no longer
+    /// `id`'s (freed or reused).
+    pub fn join_state(&self, id: ProcessId) -> Option<JoinState> {
+        let s = slot(self, id.slot as usize);
+        if s.state.load(Ordering::Acquire) != SLOT_CLAIMED
+            || s.pid.load(Ordering::Acquire) != id.pid
+        {
+            return None;
+        }
+        Some(JoinState::from_u32(s.join_state.load(Ordering::Acquire)))
+    }
+
+    /// Bumps `id`'s liveness heartbeat epoch (a no-op if the slot has been
+    /// reclaimed from under the caller).
+    pub fn bump_heartbeat(&self, id: ProcessId) {
+        let s = slot(self, id.slot as usize);
+        if s.pid.load(Ordering::Acquire) == id.pid {
+            s.heartbeat.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `n` to `id`'s submitted-task counter (no-op on a reclaimed
+    /// slot).
+    pub fn add_submitted(&self, id: ProcessId, n: u64) {
+        let s = slot(self, id.slot as usize);
+        if s.pid.load(Ordering::Acquire) == id.pid {
+            s.submitted.fetch_add(n, Ordering::Release);
+        }
+    }
+
+    /// Adds `n` to `id`'s completed-task counter (no-op on a reclaimed
+    /// slot). The Release pairs with a waiting guest's Acquire read in
+    /// [`ShmSegment::slot_view`], so a guest that observes
+    /// `completed == submitted` also observes its tasks' side effects.
+    pub fn add_completed(&self, id: ProcessId, n: u64) {
+        let s = slot(self, id.slot as usize);
+        if s.pid.load(Ordering::Acquire) == id.pid {
+            s.completed.fetch_add(n, Ordering::Release);
+        }
     }
 
     /// Number of processes currently attached (racy snapshot).
@@ -178,6 +344,81 @@ mod tests {
         let a = s.attach().unwrap();
         s.detach(a);
         s.detach(a);
+    }
+
+    #[test]
+    fn guest_attach_record_and_join_lifecycle() {
+        let s = seg();
+        let g = s.attach_guest().unwrap();
+        let view = s.slot_view(g.slot).unwrap();
+        assert_eq!(view.pid, g.pid);
+        assert_eq!(view.os_pid, std::process::id() as u64);
+        assert_eq!(view.join_state, JoinState::Requested);
+        assert_eq!(view.heartbeat, 1);
+        assert_eq!((view.submitted, view.completed), (0, 0));
+        // Handshake: host acknowledges, guest progresses, host completes.
+        assert!(s.set_join_state(g, JoinState::Requested, JoinState::Active));
+        assert!(!s.set_join_state(g, JoinState::Requested, JoinState::Active));
+        s.bump_heartbeat(g);
+        s.add_submitted(g, 3);
+        s.add_completed(g, 2);
+        let view = s.slot_view(g.slot).unwrap();
+        assert_eq!(view.heartbeat, 2);
+        assert_eq!((view.submitted, view.completed), (3, 2));
+        assert_eq!(s.join_state(g), Some(JoinState::Active));
+        // Detach zeroes the whole record.
+        s.detach(g);
+        assert_eq!(s.slot_view(g.slot), None);
+        assert_eq!(s.join_state(g), None);
+        assert!(!s.set_join_state(g, JoinState::Active, JoinState::Dead));
+        // Stale-id mutators are no-ops, not corruption.
+        s.bump_heartbeat(g);
+        s.add_submitted(g, 1);
+        let h = s.attach().unwrap();
+        assert_eq!(s.slot_view(h.slot).unwrap().submitted, 0);
+        s.detach(h);
+    }
+
+    /// Satellite: the attach/detach life cycle — including last-exit
+    /// teardown and re-attach after detach — over a *named* OS-shared
+    /// backing, where a second mapping is a genuinely distinct address
+    /// range rather than a cloned handle.
+    #[test]
+    fn named_backing_last_exit_teardown_and_reattach() {
+        if !crate::os_backing_available() {
+            eprintln!("skipping: no OS backing available");
+            return;
+        }
+        let name = format!("reg-test-{}", std::process::id());
+        let cfg = SegmentConfig {
+            size: 4 * 1024 * 1024,
+            max_cpus: 2,
+        };
+        let owner = ShmSegment::create_named(&name, cfg, 0).unwrap();
+        let peer = ShmSegment::attach_named(&name).unwrap();
+        let a = owner.attach().unwrap();
+        let b = peer.attach_guest().unwrap();
+        assert_ne!(a.pid, b.pid);
+        // Both mappings agree on the registry contents.
+        assert_eq!(owner.attached_pids(), peer.attached_pids());
+        assert_eq!(
+            owner.slot_view(b.slot).unwrap().join_state,
+            JoinState::Requested
+        );
+        // Detach through the *other* mapping than the one that attached.
+        assert_eq!(peer.detach(a), 1);
+        assert_eq!(owner.detach(b), 0, "last detacher sees zero remaining");
+        // Re-attach after detach over the same named backing: slots are
+        // reusable and pids never repeat.
+        let c = peer.attach().unwrap();
+        assert_ne!(c.pid, a.pid);
+        assert_ne!(c.pid, b.pid);
+        assert_eq!(owner.attached_count(), 1);
+        assert_eq!(peer.detach(c), 0);
+        // Last mapping out tears the name down (owner drop unpublishes).
+        drop(peer);
+        drop(owner);
+        assert!(ShmSegment::attach_named(&name).is_err());
     }
 
     #[test]

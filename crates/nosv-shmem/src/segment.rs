@@ -1,4 +1,5 @@
-//! The shared segment: creation, "mapping" handles, and raw access.
+//! The shared segment: creation, mapping handles (heap-backed or OS-shared),
+//! and raw access.
 
 use std::alloc::{alloc_zeroed, dealloc, Layout};
 use std::collections::HashMap;
@@ -8,8 +9,18 @@ use std::sync::{Arc, Mutex, OnceLock, Weak};
 
 use crate::layout::{SegmentGeometry, CHUNK_SIZE, HEADER_BYTES};
 use crate::offset::Shoff;
+use crate::os::{probe_os_backend, MapError, OsMapping};
 
 const MAGIC: u64 = 0x6e4f_5356_5348_4d31; // "nOSVSHM1"
+
+/// On-disk/in-memory format version stamped into the header at creation
+/// and checked on [`ShmSegment::attach_named`]: a process built against a
+/// different layout must not touch the segment.
+pub const SEGMENT_VERSION: u64 = 1;
+
+/// Capability bit: the owning runtime accepts foreign-process joins
+/// (handshake records in the registry, guest submission rings).
+pub const CAP_GUEST_JOIN: u64 = 1;
 
 /// Configuration for creating a segment.
 #[derive(Debug, Clone, Copy)]
@@ -44,11 +55,28 @@ pub(crate) struct Header {
     user_root: AtomicU64,
     /// Monotonic source of logical process ids.
     next_pid: AtomicU64,
+    /// Format version ([`SEGMENT_VERSION`]); checked on attach.
+    version: u64,
+    /// Capability bits advertised by the creator (e.g. [`CAP_GUEST_JOIN`]).
+    capabilities: u64,
+}
+
+const _: () = assert!(std::mem::size_of::<Header>() <= HEADER_BYTES);
+
+/// What actually holds the segment's bytes.
+///
+/// `Heap` is the in-process backing (tests, simulator, single-process
+/// runtimes): one chunk-aligned `alloc_zeroed` region, freed when the last
+/// handle drops. `Os` is a real OS-shared mapping (memfd or `/dev/shm`)
+/// that foreign processes can attach to by name — see [`crate::os`].
+enum SegmentBacking {
+    Heap { layout: Layout },
+    Os(OsMapping),
 }
 
 struct SegmentInner {
     base: NonNull<u8>,
-    layout: Layout,
+    backing: SegmentBacking,
     geometry: SegmentGeometry,
 }
 
@@ -60,8 +88,15 @@ unsafe impl Sync for SegmentInner {}
 
 impl Drop for SegmentInner {
     fn drop(&mut self) {
-        // SAFETY: `base` was allocated with exactly this layout in `create`.
-        unsafe { dealloc(self.base.as_ptr(), self.layout) };
+        match &self.backing {
+            SegmentBacking::Heap { layout } => {
+                // SAFETY: `base` was allocated with exactly this layout in
+                // `create`.
+                unsafe { dealloc(self.base.as_ptr(), *layout) };
+            }
+            // The OsMapping's own Drop unmaps, closes and unpublishes.
+            SegmentBacking::Os(_) => {}
+        }
     }
 }
 
@@ -102,25 +137,120 @@ impl ShmSegment {
         let seg = ShmSegment {
             inner: Arc::new(SegmentInner {
                 base,
-                layout,
+                backing: SegmentBacking::Heap { layout },
                 geometry,
             }),
         };
+        seg.init_fresh(config);
+        seg
+    }
+
+    /// Creates an OS-shared segment and publishes it under `name` so that
+    /// foreign processes can [`ShmSegment::attach_named`] it.
+    ///
+    /// The backing is `memfd_create` when available, `shm_open` otherwise
+    /// (probed once per process); [`MapError::Unsupported`] when neither
+    /// works — callers gate on [`crate::os_backing_available`] and fall
+    /// back to [`ShmSegment::create`]. The name must satisfy
+    /// `[A-Za-z0-9._-]+` (≤ 128 bytes) and not collide with a live
+    /// published segment.
+    ///
+    /// The segment is fully initialized (header stamped with
+    /// [`SEGMENT_VERSION`] and `capabilities`, SLAB carved) *before* the
+    /// name is published, so an attacher can never observe a half-built
+    /// segment.
+    pub fn create_named(
+        name: &str,
+        config: SegmentConfig,
+        capabilities: u64,
+    ) -> Result<ShmSegment, MapError> {
+        if !crate::os::valid_name(name) {
+            return Err(MapError::BadName);
+        }
+        let backend = probe_os_backend().ok_or(MapError::Unsupported)?;
+        let geometry = SegmentGeometry::compute(config.size, config.max_cpus).ok_or(
+            MapError::InvalidSegment("segment too small for its metadata"),
+        )?;
+        let mapping = OsMapping::create(name, config.size, backend)?;
+        let base = NonNull::new(mapping.base()).ok_or(MapError::InvalidSegment("null mapping"))?;
+        let seg = ShmSegment {
+            inner: Arc::new(SegmentInner {
+                base,
+                backing: SegmentBacking::Os(mapping),
+                geometry,
+            }),
+        };
+        seg.init_fresh_with(config, capabilities);
+        // Publish only now: the link file's appearance is the cross-process
+        // signal that the header and SLAB are ready.
+        match &seg.inner.backing {
+            SegmentBacking::Os(m) => m.publish()?,
+            SegmentBacking::Heap { .. } => unreachable!(),
+        }
+        Ok(seg)
+    }
+
+    /// Attaches to the OS-shared segment published under `name` — the
+    /// foreign-process counterpart of [`ShmSegment::create_named`].
+    ///
+    /// Validates magic, size and [`SEGMENT_VERSION`] against the mapped
+    /// header and rederives the geometry from it (deterministic given
+    /// `total_size` and `max_cpus`), exactly as the paper's startup
+    /// protocol rederives everything from the mapped POSIX segment.
+    pub fn attach_named(name: &str) -> Result<ShmSegment, MapError> {
+        if !crate::os::valid_name(name) {
+            return Err(MapError::BadName);
+        }
+        let mapping = OsMapping::attach(name)?;
+        // SAFETY: the mapping is at least a page; the header is repr(C)
+        // atomics/words at offset 0 and every bit pattern is a valid value.
+        let h = unsafe { &*(mapping.base() as *const Header) };
+        if h.magic.load(Ordering::Acquire) != MAGIC {
+            return Err(MapError::InvalidSegment("bad magic"));
+        }
+        if h.version != SEGMENT_VERSION {
+            return Err(MapError::InvalidSegment("incompatible segment version"));
+        }
+        if h.total_size != mapping.len() as u64 {
+            return Err(MapError::InvalidSegment(
+                "header size disagrees with mapping",
+            ));
+        }
+        let geometry = SegmentGeometry::compute(h.total_size as usize, h.max_cpus as usize)
+            .ok_or(MapError::InvalidSegment("geometry does not compute"))?;
+        let base = NonNull::new(mapping.base()).ok_or(MapError::InvalidSegment("null mapping"))?;
+        Ok(ShmSegment {
+            inner: Arc::new(SegmentInner {
+                base,
+                backing: SegmentBacking::Os(mapping),
+                geometry,
+            }),
+        })
+    }
+
+    /// Header + SLAB initialization of a freshly zeroed region.
+    fn init_fresh(&self, config: SegmentConfig) {
+        self.init_fresh_with(config, 0);
+    }
+
+    fn init_fresh_with(&self, config: SegmentConfig, capabilities: u64) {
         {
-            let h = seg.header();
-            // SAFETY-by-construction: region is zeroed; plain stores suffice
-            // before the segment is shared.
-            h.magic.store(MAGIC, Ordering::Relaxed);
+            let h = self.header();
             let hp = h as *const Header as *mut Header;
-            // SAFETY: we are the only owner during creation.
+            // SAFETY: we are the only owner during creation (nothing is
+            // published yet); the region is zeroed.
             unsafe {
                 (*hp).total_size = config.size as u64;
                 (*hp).max_cpus = config.max_cpus as u64;
+                (*hp).version = SEGMENT_VERSION;
+                (*hp).capabilities = capabilities;
             }
             h.next_pid.store(1, Ordering::Relaxed);
+            // The magic is stored last, with Release: an attacher's Acquire
+            // load of it orders all the plain header words above.
+            h.magic.store(MAGIC, Ordering::Release);
         }
-        crate::slab::init_slab(&seg);
-        seg
+        crate::slab::init_slab(self);
     }
 
     /// Opens the segment registered under `name`, creating and registering
@@ -154,8 +284,33 @@ impl ShmSegment {
     }
 
     /// Number of "mappings" (handles) currently alive, this one included.
+    ///
+    /// Counts only this process's handles: with an OS-shared backing,
+    /// foreign processes' mappings are invisible here (track them through
+    /// the registry instead).
     pub fn mapping_count(&self) -> usize {
         Arc::strong_count(&self.inner)
+    }
+
+    /// Whether this segment is a real OS-shared mapping (created by
+    /// [`ShmSegment::create_named`] or [`ShmSegment::attach_named`]) as
+    /// opposed to the in-process heap backing.
+    pub fn is_os_shared(&self) -> bool {
+        matches!(self.inner.backing, SegmentBacking::Os(_))
+    }
+
+    /// Which OS backend holds the bytes, when [`ShmSegment::is_os_shared`].
+    pub fn os_backend(&self) -> Option<crate::os::OsBackend> {
+        match &self.inner.backing {
+            SegmentBacking::Os(m) => Some(m.backend()),
+            SegmentBacking::Heap { .. } => None,
+        }
+    }
+
+    /// Capability bits stamped into the header at creation (e.g.
+    /// [`CAP_GUEST_JOIN`]).
+    pub fn capabilities(&self) -> u64 {
+        self.header().capabilities
     }
 
     /// Resolves a typed offset to a raw pointer into this mapping.
@@ -342,5 +497,59 @@ mod tests {
         let a = seg.next_pid();
         let b = seg.next_pid();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn heap_backing_reports_not_os_shared() {
+        let seg = ShmSegment::create(small());
+        assert!(!seg.is_os_shared());
+        assert_eq!(seg.os_backend(), None);
+        assert_eq!(seg.capabilities(), 0);
+    }
+
+    #[test]
+    fn named_segment_cross_mapping_roundtrip() {
+        if !crate::os_backing_available() {
+            eprintln!("skipping: no OS backing available");
+            return;
+        }
+        let name = format!("seg-test-{}", std::process::id());
+        let seg = ShmSegment::create_named(&name, small(), CAP_GUEST_JOIN).unwrap();
+        assert!(seg.is_os_shared());
+        assert!(seg.validate());
+        assert_eq!(seg.capabilities(), CAP_GUEST_JOIN);
+        // A named attach is a *separate mapping* (usually at a different
+        // address), which is what exercises position independence.
+        let other = ShmSegment::attach_named(&name).unwrap();
+        assert!(other.is_os_shared());
+        assert!(other.validate());
+        assert_eq!(other.size(), seg.size());
+        assert_eq!(other.geometry().n_chunks, seg.geometry().n_chunks);
+        assert_eq!(other.capabilities(), CAP_GUEST_JOIN);
+        // Objects allocated through one mapping are visible through — and
+        // freeable from — the other (§3.5's cross-process free).
+        let off = seg.alloc_zeroed(128, 0).unwrap();
+        unsafe { seg.resolve(off).write(0x42u8) };
+        assert_eq!(unsafe { *other.resolve(off) }, 0x42);
+        other.free(off, 1);
+        let stats = seg.alloc_stats();
+        assert_eq!(stats.total_allocs, stats.total_frees);
+        drop(other);
+        drop(seg);
+        // Owner gone: the name is unpublished.
+        assert!(ShmSegment::attach_named(&name).is_err());
+    }
+
+    #[test]
+    fn attach_unpublished_name_fails() {
+        assert!(ShmSegment::attach_named("never-published-name-xyz").is_err());
+    }
+
+    #[test]
+    fn create_named_rejects_bad_names() {
+        assert_eq!(
+            ShmSegment::create_named("bad name!", small(), 0).unwrap_err(),
+            MapError::BadName
+        );
     }
 }

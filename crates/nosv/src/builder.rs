@@ -138,6 +138,38 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Backs the segment with a *named* OS shared-memory object
+    /// (`memfd_create`, falling back to `shm_open`) instead of the
+    /// in-process heap, so foreign OS processes can co-execute by calling
+    /// [`crate::Runtime::join`]`(name)` — the paper's actual deployment
+    /// model (§3.1). The runtime also starts a reactor thread that
+    /// acknowledges join handshakes and reclaims tasks of crashed guests.
+    ///
+    /// Requires OS backing ([`nosv_shmem::os_backing_available`]) and
+    /// enabled submission rings; [`RuntimeBuilder::build`] fails with
+    /// [`NosvError::Segment`] / [`NosvError::InvalidConfig`] otherwise.
+    pub fn segment_name(mut self, name: impl Into<String>) -> Self {
+        self.config.segment_name = Some(name.into());
+        self
+    }
+
+    /// Period of the reactor's handshake/liveness sweep (default 2 ms).
+    /// Only meaningful together with [`RuntimeBuilder::segment_name`].
+    pub fn reclaim_tick(mut self, tick: Duration) -> Self {
+        self.config.reclaim_tick_ns = u64::try_from(tick.as_nanos()).unwrap_or(u64::MAX);
+        self
+    }
+
+    /// Extra grace period before a non-heartbeating guest is declared
+    /// dead and its queued tasks reclaimed. The default (zero) trusts the
+    /// OS pid probe alone: reclaim happens as soon as the guest's process
+    /// is gone. Only meaningful together with
+    /// [`RuntimeBuilder::segment_name`].
+    pub fn reclaim_grace(mut self, grace: Duration) -> Self {
+        self.config.reclaim_grace_ns = u64::try_from(grace.as_nanos()).unwrap_or(u64::MAX);
+        self
+    }
+
     /// Installs a [`TraceSink`] to receive the runtime's [`crate::ObsEvent`]
     /// stream (submit/start/end/pause/resume/handoff/steal actions plus
     /// counter deltas at shutdown). Without a sink, tracing is off and the
@@ -202,6 +234,9 @@ impl std::fmt::Debug for RuntimeBuilder {
             .field("submit_ring_cap", &self.config.submit_ring_cap)
             .field("sched_shards", &self.config.sched_shards)
             .field("direct_dispatch", &self.config.direct_dispatch)
+            .field("segment_name", &self.config.segment_name)
+            .field("reclaim_tick_ns", &self.config.reclaim_tick_ns)
+            .field("reclaim_grace_ns", &self.config.reclaim_grace_ns)
             .field("sink", &self.sink.is_some())
             .field("custom_policy", &self.policy.is_some())
             .finish()

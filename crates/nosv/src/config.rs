@@ -27,6 +27,10 @@ pub const DEFAULT_SUBMIT_RING_CAP: usize = 256;
 /// Largest accepted submission-ring capacity (entries per process).
 pub(crate) const MAX_SUBMIT_RING_CAP: usize = 1 << 16;
 
+/// Default reactor sweep period: 2 ms keeps join handshakes snappy while
+/// costing one wakeup of a sleeping thread per period.
+pub(crate) const DEFAULT_RECLAIM_TICK_NS: u64 = 2_000_000;
+
 /// Configuration of a [`crate::Runtime`]. Built only by
 /// [`crate::RuntimeBuilder`].
 #[derive(Debug, Clone)]
@@ -54,6 +58,18 @@ pub(crate) struct NosvConfig {
     /// the claim table (`true` by default; `false` forces every
     /// submission through the ring/locked paths, kept for benchmarking).
     pub direct_dispatch: bool,
+    /// When set, the segment is backed by a *named* OS shared-memory
+    /// object ([`nosv_shmem::ShmSegment::create_named`]) so foreign OS
+    /// processes can [`crate::Runtime::join`] it; `None` (the default)
+    /// keeps the in-process heap backing.
+    pub segment_name: Option<String>,
+    /// Period of the host reactor's liveness/handshake sweep in
+    /// nanoseconds (only meaningful with `segment_name`).
+    pub reclaim_tick_ns: u64,
+    /// Extra grace period before a non-responsive guest is declared dead.
+    /// `0` (the default) reclaims as soon as the guest's OS pid is gone —
+    /// the pid probe alone decides.
+    pub reclaim_grace_ns: u64,
 }
 
 impl Default for NosvConfig {
@@ -66,6 +82,9 @@ impl Default for NosvConfig {
             submit_ring_cap: DEFAULT_SUBMIT_RING_CAP,
             sched_shards: 0,
             direct_dispatch: true,
+            segment_name: None,
+            reclaim_tick_ns: DEFAULT_RECLAIM_TICK_NS,
+            reclaim_grace_ns: 0,
         }
     }
 }
@@ -124,6 +143,17 @@ impl NosvConfig {
         }
         if self.sched_shards > self.cpus {
             return fail("more scheduler shards than CPUs");
+        }
+        if let Some(name) = &self.segment_name {
+            if name.is_empty() {
+                return fail("segment name must be non-empty");
+            }
+            if self.submit_ring_cap == 0 {
+                return fail("named segments need submission rings (guests submit through them)");
+            }
+            if self.reclaim_tick_ns == 0 {
+                return fail("reclaim tick must be positive for named segments");
+            }
         }
         Ok(())
     }

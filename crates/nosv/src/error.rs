@@ -31,7 +31,18 @@ pub enum NosvError {
     /// [`crate::ProcessContext::detach`] found tasks of the process still
     /// queued in the scheduler. Wait for (or cancel) the outstanding work
     /// and detach again; the process stays attached and fully usable.
-    ProcessBusy,
+    ProcessBusy {
+        /// How many of the process's tasks were still queued (submit rings
+        /// plus scheduler queues) when the detach was refused.
+        queued: usize,
+    },
+    /// The shared-memory segment could not be created, published or
+    /// attached (OS backing unavailable, name collision, version or
+    /// geometry mismatch, handshake timeout, …).
+    Segment {
+        /// Human-readable description of the failure.
+        reason: String,
+    },
     /// A [`crate::TaskBuilder`] reached [`crate::ProcessContext::build_task`]
     /// without a `run` callback.
     MissingTaskBody,
@@ -79,8 +90,14 @@ impl fmt::Display for NosvError {
             NosvError::ProcessDetached => {
                 write!(f, "process context already detached from the runtime")
             }
-            NosvError::ProcessBusy => {
-                write!(f, "process cannot detach: ready tasks still queued")
+            NosvError::ProcessBusy { queued } => {
+                write!(
+                    f,
+                    "process cannot detach: {queued} ready task(s) still queued"
+                )
+            }
+            NosvError::Segment { reason } => {
+                write!(f, "shared segment error: {reason}")
             }
             NosvError::MissingTaskBody => {
                 write!(f, "task built without a run callback")
@@ -122,5 +139,13 @@ impl From<nosv_shmem::AllocError> for NosvError {
 impl From<nosv_shmem::AttachError> for NosvError {
     fn from(_: nosv_shmem::AttachError) -> Self {
         NosvError::TooManyProcesses
+    }
+}
+
+impl From<nosv_shmem::MapError> for NosvError {
+    fn from(e: nosv_shmem::MapError) -> Self {
+        NosvError::Segment {
+            reason: format!("{e}"),
+        }
     }
 }

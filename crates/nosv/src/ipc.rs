@@ -1,0 +1,335 @@
+//! Guest-process side of cross-OS-process co-execution (§3.1).
+//!
+//! A *host* runtime built with [`crate::RuntimeBuilder::segment_name`]
+//! backs its segment with a named OS shared-memory object
+//! (`memfd_create`, falling back to `shm_open`) and runs a reactor
+//! thread. A foreign OS process calls [`Runtime::join`] with the same
+//! name and receives a [`GuestProcess`]: an attached registry slot plus
+//! the published geometry block it needs to push task descriptors into
+//! the host scheduler's lock-free submission rings.
+//!
+//! What a guest can and cannot do follows from what lives where:
+//!
+//! * The segment itself — rings, queues, descriptors, registry, SLAB —
+//!   is shared, so guests allocate descriptors and push them into rings
+//!   directly, with the same lock-free protocol host submissions use.
+//! * Worker futexes, shard delegation locks and the scheduling policy
+//!   live in *host* memory. A guest can neither wake a worker nor drain
+//!   a ring; the host's reactor delivers wakes on guests' behalf every
+//!   tick, and workers drain the rings as usual.
+//! * Closures cannot cross the process boundary, so guest tasks are
+//!   *data-described*: a kernel id (resolved against the host's
+//!   [`Runtime::register_kernel`] table) plus one `u64` argument.
+//!
+//! The join handshake (`Requested → Active`), the liveness heartbeat,
+//! clean detach (`Active → Leaving`) and crash reclaim (`Active → Dead`)
+//! are described in `DESIGN.md` at the repository root.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use nosv_shmem::{process_alive, JoinState, ProcessId, ShmSegment, Shoff, CAP_GUEST_JOIN};
+
+use crate::error::NosvError;
+use crate::runtime::Runtime;
+use crate::scheduler::{guest_submit, GuestMeta};
+use crate::task::{Affinity, TaskDesc, TaskState};
+
+/// How long [`Runtime::join`] waits for the host to publish its geometry
+/// and acknowledge the handshake before giving up.
+const JOIN_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// How long [`GuestProcess::submit`] retries full rings before reporting
+/// [`NosvError::WaitTimeout`] (full rings mean the host is not draining).
+const SUBMIT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// How long a clean [`GuestProcess::detach`] waits for the host to drain
+/// and release the slot.
+const DETACH_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Poll interval for every wait loop in this module: long enough not to
+/// hammer the shared cache lines, short next to every timeout above.
+const POLL: Duration = Duration::from_micros(200);
+
+impl Runtime {
+    /// Joins a host runtime's named segment from a foreign OS process —
+    /// the guest-side constructor of cross-process co-execution. The host
+    /// must have been built with [`crate::RuntimeBuilder::segment_name`]
+    /// using the same `name`, and must have at least one process
+    /// [`Runtime::attach`]ed (attaching starts the workers that will
+    /// execute the guest's tasks).
+    ///
+    /// Blocks until the host's reactor acknowledges the attach handshake
+    /// (typically one reactor tick, ~2 ms). Errors:
+    ///
+    /// * [`NosvError::Segment`] — no such segment, geometry/version
+    ///   mismatch, the segment was not created for guest joins, or the
+    ///   host never published its scheduler;
+    /// * [`NosvError::TooManyProcesses`] — the registry is full;
+    /// * [`NosvError::WaitTimeout`] — the host did not acknowledge in
+    ///   time (the join request is withdrawn).
+    pub fn join(name: &str) -> Result<GuestProcess, NosvError> {
+        GuestProcess::join(name)
+    }
+}
+
+/// A process attached to *another OS process's* runtime over a named
+/// shared segment. Created by [`Runtime::join`].
+///
+/// The guest submits data-described tasks ([`GuestProcess::submit`])
+/// which host workers execute, waits for them with
+/// [`GuestProcess::wait_idle`], and leaves with [`GuestProcess::detach`]
+/// (also performed best-effort on drop). If the guest process dies
+/// instead, the host's reactor detects the dead pid, reclaims everything
+/// it left queued, and frees its slot — see
+/// [`crate::RuntimeStats::crash_reclaims`].
+pub struct GuestProcess {
+    seg: ShmSegment,
+    me: ProcessId,
+    meta: Shoff<GuestMeta>,
+    /// Cached shard count (from [`GuestMeta`]): rings are per-shard and
+    /// unconstrained submissions round-robin across them.
+    shards: usize,
+    rr: AtomicUsize,
+    next_seq: AtomicU64,
+    detached: AtomicBool,
+}
+
+impl GuestProcess {
+    fn join(name: &str) -> Result<GuestProcess, NosvError> {
+        let seg = ShmSegment::attach_named(name)?;
+        if seg.capabilities() & CAP_GUEST_JOIN == 0 {
+            return Err(NosvError::Segment {
+                reason: format!("segment '{name}' was not created for guest joins"),
+            });
+        }
+        let deadline = Instant::now() + JOIN_TIMEOUT;
+        // The host publishes its geometry block — and then the scheduler
+        // root inside it — right after creating the segment; both polls
+        // resolve almost immediately unless the host died mid-setup.
+        let meta = loop {
+            let m: Shoff<GuestMeta> = seg.user_root();
+            if m.raw() != 0 {
+                break m;
+            }
+            if Instant::now() >= deadline {
+                return Err(NosvError::Segment {
+                    reason: format!("segment '{name}': host never published its geometry"),
+                });
+            }
+            std::thread::sleep(POLL);
+        };
+        // SAFETY: published once, lives as long as the segment itself.
+        let m = unsafe { seg.sref(meta) };
+        while m.sched_root.load(Ordering::Acquire) == 0 {
+            if Instant::now() >= deadline {
+                return Err(NosvError::Segment {
+                    reason: format!("segment '{name}': host never published its scheduler"),
+                });
+            }
+            std::thread::sleep(POLL);
+        }
+        let shards = (m.shards.load(Ordering::Acquire) as usize).max(1);
+        let me = seg.attach_guest()?;
+        // Handshake: the host reactor registers the slot with its
+        // scheduler and acknowledges Requested → Active. Submitting
+        // before the ack would race slot registration, so we wait.
+        loop {
+            match seg.join_state(me) {
+                Some(JoinState::Active) => break,
+                Some(JoinState::Requested) => {
+                    if Instant::now() >= deadline {
+                        // Withdraw the request. If the CAS loses, the host
+                        // acked concurrently — loop once more and succeed;
+                        // if it wins, the host's reactor (if it ever comes
+                        // back) reclaims the Dead slot.
+                        if seg.set_join_state(me, JoinState::Requested, JoinState::Dead) {
+                            return Err(NosvError::WaitTimeout);
+                        }
+                    }
+                    std::thread::sleep(POLL);
+                }
+                // Freed, reused, or declared dead under us: the host
+                // rejected or tore down the slot.
+                _ => {
+                    return Err(NosvError::Segment {
+                        reason: format!("segment '{name}': join request was torn down"),
+                    })
+                }
+            }
+        }
+        Ok(GuestProcess {
+            seg,
+            me,
+            meta,
+            shards,
+            rr: AtomicUsize::new(0),
+            next_seq: AtomicU64::new(1),
+            detached: AtomicBool::new(false),
+        })
+    }
+
+    /// This guest's logical process id in the host runtime.
+    pub fn pid(&self) -> u64 {
+        self.me.pid
+    }
+
+    /// Tasks submitted but not yet completed by the host.
+    pub fn pending(&self) -> u64 {
+        match self.seg.slot_view(self.me.slot) {
+            Some(v) if v.pid == self.me.pid => v.submitted.saturating_sub(v.completed),
+            _ => 0,
+        }
+    }
+
+    /// Submits one data-described task: host workers run the kernel
+    /// registered under `kernel_id` ([`Runtime::register_kernel`]) with
+    /// `arg`. Tasks naming an unregistered kernel complete as no-ops.
+    ///
+    /// The submission is lock-free (the same ring protocol host
+    /// submissions use); full rings are retried across shards with
+    /// backoff. Errors:
+    ///
+    /// * [`NosvError::OutOfSharedMemory`] — the segment cannot hold
+    ///   another descriptor;
+    /// * [`NosvError::ProcessDetached`] — this guest detached, or the
+    ///   host declared it dead;
+    /// * [`NosvError::WaitTimeout`] — every ring stayed full (the host
+    ///   stopped draining).
+    pub fn submit(&self, kernel_id: u64, arg: u64) -> Result<(), NosvError> {
+        if self.detached.load(Ordering::Acquire) {
+            return Err(NosvError::ProcessDetached);
+        }
+        if kernel_id == u64::MAX {
+            // The descriptor stores kernel_id + 1 (0 marks host tasks).
+            return Err(NosvError::Segment {
+                reason: "kernel id u64::MAX is reserved".to_string(),
+            });
+        }
+        let desc: Shoff<TaskDesc> = self
+            .seg
+            .alloc_zeroed(std::mem::size_of::<TaskDesc>(), 0)?
+            .cast();
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: freshly allocated zeroed descriptor, exclusively ours
+        // until the ring push publishes it.
+        let d = unsafe { self.seg.sref(desc) };
+        d.id.store((self.me.pid << 32) | (seq & 0xffff_ffff), Ordering::Relaxed);
+        d.slot.store(self.me.slot, Ordering::Relaxed);
+        d.pid.store(self.me.pid, Ordering::Relaxed);
+        d.affinity.store(Affinity::None.encode(), Ordering::Relaxed);
+        d.metadata.store(arg, Ordering::Relaxed);
+        d.submits.store(1, Ordering::Relaxed);
+        d.kernel.store(kernel_id + 1, Ordering::Release);
+        d.set_state(TaskState::Ready);
+        // SAFETY: the meta block is published-once host state.
+        let meta = unsafe { self.seg.sref(self.meta) };
+        let deadline = Instant::now() + SUBMIT_TIMEOUT;
+        let start = self.rr.fetch_add(1, Ordering::Relaxed);
+        let mut attempt = 0usize;
+        loop {
+            let shard = (start + attempt) % self.shards;
+            if guest_submit(&self.seg, meta, shard, self.me.slot as usize, desc) {
+                self.seg.add_submitted(self.me, 1);
+                self.seg.bump_heartbeat(self.me);
+                return Ok(());
+            }
+            attempt += 1;
+            if attempt.is_multiple_of(self.shards) {
+                // Every ring full: the host is not draining. Check we are
+                // still welcome, back off, retry.
+                if self.seg.join_state(self.me) != Some(JoinState::Active) {
+                    self.seg.free_t(desc, 0);
+                    return Err(NosvError::ProcessDetached);
+                }
+                if Instant::now() >= deadline {
+                    self.seg.free_t(desc, 0);
+                    return Err(NosvError::WaitTimeout);
+                }
+                self.seg.bump_heartbeat(self.me);
+                std::thread::sleep(POLL);
+            }
+        }
+    }
+
+    /// Waits until every task this guest submitted has completed.
+    ///
+    /// Polls the registry's submitted/completed counters, bumping the
+    /// liveness heartbeat on the way. Returns
+    /// [`NosvError::WaitTimeout`] when `timeout` elapses first and
+    /// [`NosvError::ProcessDetached`] if the slot was torn down (e.g.
+    /// the host declared this guest dead).
+    pub fn wait_idle(&self, timeout: Duration) -> Result<(), NosvError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let view = self
+                .seg
+                .slot_view(self.me.slot)
+                .filter(|v| v.pid == self.me.pid)
+                .ok_or(NosvError::ProcessDetached)?;
+            if view.completed >= view.submitted {
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                return Err(NosvError::WaitTimeout);
+            }
+            self.seg.bump_heartbeat(self.me);
+            std::thread::sleep(POLL);
+        }
+    }
+
+    /// Detaches cleanly: asks the host to flush this guest's submission
+    /// rings into the queues, waits until its remaining tasks are
+    /// drained, and returns once the host has released the registry slot
+    /// (§3.3 unregistration). Idempotent; also attempted on drop.
+    ///
+    /// Returns [`NosvError::WaitTimeout`] if the host neither released
+    /// the slot in time nor died (a dead host ends the wait early — the
+    /// segment outlives it only as this process's private mapping).
+    pub fn detach(&self) -> Result<(), NosvError> {
+        if self.detached.swap(true, Ordering::AcqRel) {
+            return Ok(());
+        }
+        if !self
+            .seg
+            .set_join_state(self.me, JoinState::Active, JoinState::Leaving)
+        {
+            // Not Active anymore: the host tore the slot down already.
+            return Ok(());
+        }
+        // SAFETY: published-once host state.
+        let host_os_pid = unsafe { self.seg.sref(self.meta) }
+            .host_os_pid
+            .load(Ordering::Acquire);
+        let deadline = Instant::now() + DETACH_TIMEOUT;
+        // join_state() goes None once the host frees the slot.
+        while self.seg.join_state(self.me).is_some() {
+            if !process_alive(host_os_pid as u32) {
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                return Err(NosvError::WaitTimeout);
+            }
+            std::thread::sleep(POLL);
+        }
+        Ok(())
+    }
+}
+
+impl Drop for GuestProcess {
+    fn drop(&mut self) {
+        // Best-effort clean exit; if it fails (host gone, timeout), the
+        // host-side crash reclaim is the backstop.
+        let _ = self.detach();
+    }
+}
+
+impl std::fmt::Debug for GuestProcess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GuestProcess")
+            .field("pid", &self.me.pid)
+            .field("slot", &self.me.slot)
+            .field("detached", &self.detached.load(Ordering::Relaxed))
+            .finish()
+    }
+}

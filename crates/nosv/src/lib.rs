@@ -10,9 +10,13 @@
 //! ## The model
 //!
 //! * Applications attach to a [`Runtime`] as *logical processes*
-//!   ([`ProcessContext`]). In the original system these are OS processes
-//!   mapping a POSIX segment; here they are in-process attachments over the
-//!   same position-independent segment (see `nosv-shmem` and `DESIGN.md`).
+//!   ([`ProcessContext`]) — in-process attachments over a
+//!   position-independent segment. With
+//!   [`RuntimeBuilder::segment_name`], the segment is additionally backed
+//!   by a named OS shared-memory object and *foreign OS processes*
+//!   co-execute for real: they map the same segment with
+//!   [`Runtime::join`] and submit data-described tasks as a
+//!   [`GuestProcess`] (see `nosv-shmem` and `DESIGN.md`).
 //! * A process creates tasks ([`ProcessContext::create_task`] ≈
 //!   `nosv_create`), submits them ([`TaskHandle::submit`] ≈ `nosv_submit`),
 //!   may pause from inside a task body ([`pause`] ≈ `nosv_pause`) and
@@ -67,6 +71,7 @@
 mod builder;
 mod config;
 mod error;
+pub mod ipc;
 pub mod obs;
 mod queue;
 mod runtime;
@@ -89,6 +94,7 @@ pub use nosv_core::policy;
 pub use builder::RuntimeBuilder;
 pub use config::DEFAULT_SUBMIT_RING_CAP;
 pub use error::NosvError;
+pub use ipc::GuestProcess;
 pub use nosv_core::DEFAULT_QUANTUM_NS;
 pub use obs::{
     AsciiTimelineSink, ChromeTraceSink, CounterKind, MemorySink, ObsEvent, ObsKind, TraceSink,
@@ -114,7 +120,7 @@ pub mod prelude {
     };
     pub use crate::policy::{QuantumPolicy, SchedPolicy};
     pub use crate::{
-        pause, yield_now, Affinity, NosvError, ProcessContext, Runtime, RuntimeBuilder,
-        RuntimeStats, TaskBuilder, TaskCtx, TaskHandle, TaskId, TaskState,
+        pause, yield_now, Affinity, GuestProcess, NosvError, ProcessContext, Runtime,
+        RuntimeBuilder, RuntimeStats, TaskBuilder, TaskCtx, TaskHandle, TaskId, TaskState,
     };
 }

@@ -138,6 +138,8 @@ pub enum CounterKind {
     DepEdges,
     /// `nanos` tasks completed.
     TasksCompleted,
+    /// Queued tasks reclaimed from crashed guest processes.
+    CrashReclaims,
 }
 
 impl CounterKind {
@@ -167,6 +169,7 @@ impl CounterKind {
             CounterKind::ImmediatelyReady => "immediately_ready",
             CounterKind::DepEdges => "dep_edges",
             CounterKind::TasksCompleted => "tasks_completed",
+            CounterKind::CrashReclaims => "crash_reclaims",
         }
     }
 }
@@ -198,6 +201,17 @@ pub enum ObsKind {
     /// A best-effort-affinity task was stolen away from its preferred
     /// core/NUMA node.
     Steal,
+    /// A foreign OS process attached to the runtime's named segment
+    /// ([`ObsEvent::pid`] is the guest's *OS* pid). Tenant-lifetime
+    /// markers for ChromeTrace views of co-execution.
+    Attach,
+    /// An attached guest process detached cleanly ([`ObsEvent::pid`] is
+    /// the guest's OS pid).
+    Detach,
+    /// The crash-reclaim sweeper reclaimed a dead guest's queued tasks
+    /// ([`ObsEvent::pid`] is the dead guest's OS pid; the paired
+    /// [`ObsKind::Counter`] delta carries the task count).
+    CrashReclaim,
     /// A counter advanced by `delta`.
     Counter {
         /// Which counter.
@@ -218,6 +232,9 @@ impl ObsKind {
             ObsKind::Resume => "resume",
             ObsKind::Handoff => "handoff",
             ObsKind::Steal => "steal",
+            ObsKind::Attach => "attach",
+            ObsKind::Detach => "detach",
+            ObsKind::CrashReclaim => "crash_reclaim",
             ObsKind::Counter { .. } => "counter",
         }
     }
@@ -625,7 +642,13 @@ pub fn chrome_trace_json(events: &[ObsEvent]) -> String {
                 );
             }
             ObsKind::End => {} // folded into the Start/Resume slices
-            ObsKind::Submit | ObsKind::Pause | ObsKind::Handoff | ObsKind::Steal => {
+            ObsKind::Submit
+            | ObsKind::Pause
+            | ObsKind::Handoff
+            | ObsKind::Steal
+            | ObsKind::Attach
+            | ObsKind::Detach
+            | ObsKind::CrashReclaim => {
                 push(
                     format!(
                         "{{\"name\":\"{}\",\"cat\":\"sched\",\"ph\":\"i\",\"s\":\"t\",\

@@ -5,9 +5,9 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use nosv_shmem::{ShmSegment, Shoff};
+use nosv_shmem::{process_alive, JoinState, ProcessId, ShmSegment, Shoff, MAX_PROCS};
 use nosv_sync::{CpuGates, Mutex};
 
 use crate::builder::RuntimeBuilder;
@@ -15,13 +15,17 @@ use crate::config::NosvConfig;
 use crate::error::NosvError;
 use crate::obs::{CounterKind, ObsCollector, ObsEvent, ObsKind, TraceSink, NO_CPU};
 use crate::policy::SchedPolicy;
-use crate::scheduler::{Scheduler, SchedulerSnapshot, SubmitPath};
+use crate::scheduler::{GuestMeta, Scheduler, SchedulerSnapshot, SubmitPath};
 use crate::stats::{Counters, RuntimeStats};
 use crate::task::Affinity;
 use crate::task::{
     TaskBuilder, TaskCallbacks, TaskCtx, TaskDesc, TaskHandle, TaskId, TaskSignal, TaskState,
 };
 use crate::worker::{self, Assignment, WorkerShared};
+
+/// A host-registered kernel guests invoke by id; see
+/// [`Runtime::register_kernel`].
+pub(crate) type GuestKernel = Arc<dyn Fn(u64) + Send + Sync>;
 
 /// A logical process attached to the runtime.
 pub(crate) struct ProcInner {
@@ -68,6 +72,16 @@ pub(crate) struct RuntimeInner {
     /// instead — see [`RuntimeInner::submit`]).
     pub life_mutex: Mutex<()>,
     pub(crate) obs: ObsCollector,
+    /// Host-side kernel table for guest tasks: closures cannot cross the
+    /// process boundary, so guests describe work as a kernel id (looked
+    /// up here) plus one `u64` argument. See [`Runtime::register_kernel`].
+    guest_kernels: Mutex<HashMap<u64, GuestKernel>>,
+    /// The reactor thread (named segments only): acknowledges guest join
+    /// handshakes, completes clean detaches, and reclaims tasks of
+    /// crashed guests. The segment's futexes and the scheduler's
+    /// delegation locks live in host memory, so only a host thread can
+    /// provide these services to foreign processes.
+    reactor: Mutex<Option<JoinHandle<()>>>,
     next_task_id: AtomicU64,
     workers: Mutex<Vec<Arc<WorkerShared>>>,
     joins: Mutex<Vec<JoinHandle<()>>>,
@@ -303,6 +317,135 @@ impl RuntimeInner {
         self.seg.free_t(desc, cpu);
         self.live_descriptors.fetch_sub(1, Ordering::AcqRel);
     }
+
+    /// Looks up the kernel a guest task names (see
+    /// [`Runtime::register_kernel`]).
+    pub(crate) fn guest_kernel(&self, id: u64) -> Option<GuestKernel> {
+        self.guest_kernels.lock().get(&id).cloned()
+    }
+
+    /// One sweep of the reactor: process join handshakes, clean detaches,
+    /// and guest deaths across every registry slot. `first_dead` tracks
+    /// when each slot's process was first observed gone, implementing the
+    /// configured reclaim grace period.
+    fn reactor_tick(&self, first_dead: &mut HashMap<u32, Instant>, grace: Duration) {
+        for slot in 0..MAX_PROCS as u32 {
+            let Some(view) = self.seg.slot_view(slot) else {
+                first_dead.remove(&slot);
+                continue;
+            };
+            let id = ProcessId {
+                pid: view.pid,
+                slot,
+            };
+            match view.join_state {
+                // Host-attached process (ProcessContext): not the
+                // reactor's business.
+                JoinState::None => {}
+                JoinState::Requested => {
+                    if !process_alive(view.os_pid as u32) {
+                        // Died before the handshake completed: release
+                        // the slot (nothing can be queued yet, but the
+                        // reclaim path handles both cases uniformly).
+                        if self
+                            .seg
+                            .set_join_state(id, JoinState::Requested, JoinState::Dead)
+                        {
+                            self.crash_reclaim(id, view.os_pid);
+                        }
+                        continue;
+                    }
+                    // Make the slot schedulable *before* acknowledging:
+                    // an Active guest starts submitting immediately.
+                    self.sched.register_proc(slot, view.pid);
+                    // Requested only ever transitions here, so the CAS
+                    // cannot lose; it still guards against double acks if
+                    // two tick sources ever coexist.
+                    if self
+                        .seg
+                        .set_join_state(id, JoinState::Requested, JoinState::Active)
+                    {
+                        self.emit(ObsKind::Attach, NO_CPU, view.os_pid, TaskId(0));
+                    }
+                }
+                JoinState::Active => {
+                    if process_alive(view.os_pid as u32) {
+                        first_dead.remove(&slot);
+                    } else {
+                        let since = *first_dead.entry(slot).or_insert_with(Instant::now);
+                        // The CAS settles the race against a clean detach:
+                        // whichever of Active->Dead (here) and
+                        // Active->Leaving (guest) lands first decides how
+                        // the slot is torn down.
+                        if since.elapsed() >= grace
+                            && self
+                                .seg
+                                .set_join_state(id, JoinState::Active, JoinState::Dead)
+                        {
+                            first_dead.remove(&slot);
+                            self.crash_reclaim(id, view.os_pid);
+                        }
+                    }
+                }
+                JoinState::Leaving => match self.sched.unregister_proc(slot) {
+                    Ok(()) => {
+                        self.emit(ObsKind::Detach, NO_CPU, view.os_pid, TaskId(0));
+                        // Frees the registry slot; the guest observes
+                        // `join_state() == None` and completes its detach.
+                        self.seg.detach(id);
+                        first_dead.remove(&slot);
+                    }
+                    Err(_) => {
+                        // Ready tasks of the leaving guest still queued:
+                        // make sure workers are draining, retry next tick.
+                        self.sched.wake_for(Affinity::None);
+                    }
+                },
+                // Normally unobservable (crash_reclaim detaches in the
+                // same sweep that marks a slot Dead), but a guest that
+                // times out waiting for the handshake ack withdraws its
+                // request by marking its own slot Dead — reclaim those
+                // here.
+                JoinState::Dead => self.crash_reclaim(id, view.os_pid),
+            }
+        }
+        // Guests cannot operate the host-memory futexes workers sleep on;
+        // if their submissions are sitting in queues while every worker
+        // sleeps, deliver the wake on their behalf.
+        if self.sched.has_ready() {
+            self.sched.wake_for(Affinity::None);
+        }
+    }
+
+    /// Reclaims everything a dead guest left behind: drains its rings,
+    /// purges its tasks from every shard queue, frees the descriptors
+    /// (guest descriptors carry no host-side callbacks or signals, so the
+    /// slab block is the whole teardown), and releases the registry slot.
+    /// Counted in [`RuntimeStats::crash_reclaims`].
+    fn crash_reclaim(&self, id: ProcessId, os_pid: u64) {
+        let reclaimed = self.sched.reclaim_slot(id.slot);
+        let n = reclaimed.len() as u64;
+        for task in reclaimed {
+            self.seg.free_t(task, 0);
+        }
+        if n > 0 {
+            self.counters.crash_reclaims.fetch_add(n, Ordering::Relaxed);
+        }
+        self.emit(ObsKind::CrashReclaim, NO_CPU, os_pid, TaskId(0));
+        self.seg.detach(id);
+    }
+}
+
+/// Reactor thread body (named segments only); see
+/// [`RuntimeInner::reactor_tick`].
+fn reactor_main(rt: Arc<RuntimeInner>) {
+    let tick = Duration::from_nanos(rt.config.reclaim_tick_ns);
+    let grace = Duration::from_nanos(rt.config.reclaim_grace_ns);
+    let mut first_dead: HashMap<u32, Instant> = HashMap::new();
+    while !rt.shutdown.load(Ordering::Acquire) {
+        rt.reactor_tick(&mut first_dead, grace);
+        std::thread::sleep(tick);
+    }
 }
 
 /// RAII counter of submissions inside their critical window (between the
@@ -354,30 +497,67 @@ impl Runtime {
         policy: Arc<dyn SchedPolicy>,
         sink: Option<Arc<dyn TraceSink>>,
     ) -> Result<Runtime, NosvError> {
-        let seg = ShmSegment::create(config.segment_config());
+        let seg = match &config.segment_name {
+            // Named: an OS-shared object foreign processes can join.
+            Some(name) => {
+                ShmSegment::create_named(name, config.segment_config(), nosv_shmem::CAP_GUEST_JOIN)?
+            }
+            None => ShmSegment::create(config.segment_config()),
+        };
         let gates = Arc::new(CpuGates::new(config.cpus));
         let sched = Scheduler::new(seg.clone(), &config, policy, Arc::clone(&gates))?;
+        let inner = Arc::new(RuntimeInner {
+            seg,
+            sched,
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+            pending_tasks: AtomicU64::new(0),
+            submit_inflight: AtomicU64::new(0),
+            submit_windows: AtomicU64::new(0),
+            live_descriptors: AtomicU64::new(0),
+            gates,
+            life_mutex: Mutex::new(()),
+            obs: ObsCollector::new(sink),
+            guest_kernels: Mutex::new(HashMap::new()),
+            reactor: Mutex::new(None),
+            next_task_id: AtomicU64::new(1),
+            workers: Mutex::new(Vec::new()),
+            joins: Mutex::new(Vec::new()),
+            procs: Mutex::new(HashMap::new()),
+            workers_started: AtomicBool::new(false),
+            start: Instant::now(),
+            config,
+        });
+        if inner.config.segment_name.is_some() {
+            // Publish the geometry guests need to drive the scheduler
+            // from outside (they rederive everything else from the
+            // segment header). All fields are stored before the
+            // user-root CAS (Release) publishes the block.
+            let meta: Shoff<GuestMeta> = inner
+                .seg
+                .alloc_zeroed(std::mem::size_of::<GuestMeta>(), 0)?
+                .cast();
+            // SAFETY: freshly allocated zeroed block, exclusively ours
+            // until published.
+            let m = unsafe { inner.seg.sref(meta) };
+            m.shards
+                .store(inner.sched.shard_count() as u64, Ordering::Relaxed);
+            m.ring_cap
+                .store(inner.config.submit_ring_cap as u64, Ordering::Relaxed);
+            m.host_os_pid
+                .store(std::process::id() as u64, Ordering::Relaxed);
+            m.sched_root
+                .store(inner.sched.root_raw(), Ordering::Release);
+            inner.seg.init_user_root_once(|| meta);
+            let rt = Arc::clone(&inner);
+            let handle = std::thread::Builder::new()
+                .name("nosv-reactor".to_string())
+                .spawn(move || reactor_main(rt))
+                .expect("failed to spawn reactor thread");
+            *inner.reactor.lock() = Some(handle);
+        }
         Ok(Runtime {
-            inner: Arc::new(RuntimeInner {
-                seg,
-                sched,
-                counters: Counters::default(),
-                shutdown: AtomicBool::new(false),
-                pending_tasks: AtomicU64::new(0),
-                submit_inflight: AtomicU64::new(0),
-                submit_windows: AtomicU64::new(0),
-                live_descriptors: AtomicU64::new(0),
-                gates,
-                life_mutex: Mutex::new(()),
-                obs: ObsCollector::new(sink),
-                next_task_id: AtomicU64::new(1),
-                workers: Mutex::new(Vec::new()),
-                joins: Mutex::new(Vec::new()),
-                procs: Mutex::new(HashMap::new()),
-                workers_started: AtomicBool::new(false),
-                start: Instant::now(),
-                config,
-            }),
+            inner,
             shut_down: AtomicBool::new(false),
         })
     }
@@ -452,6 +632,23 @@ impl Runtime {
         self.inner.obs.enabled()
     }
 
+    /// Registers (or replaces) the guest-task kernel named `id`.
+    ///
+    /// Closures cannot cross an OS process boundary, so tasks submitted
+    /// by a joined guest ([`crate::GuestProcess::submit`]) are *data-
+    /// described*: a kernel id plus one `u64` argument. A host worker
+    /// executes the closure registered here under that id; tasks naming
+    /// an unregistered id complete as no-ops. Kernels run on worker
+    /// threads and must not block on other tasks (they have no
+    /// [`crate::TaskCtx`], so they cannot pause).
+    ///
+    /// Only meaningful on named-segment runtimes
+    /// ([`RuntimeBuilder::segment_name`]), though calling it on any
+    /// runtime is harmless.
+    pub fn register_kernel(&self, id: u64, kernel: impl Fn(u64) + Send + Sync + 'static) {
+        self.inner.guest_kernels.lock().insert(id, Arc::new(kernel));
+    }
+
     /// Stops all workers and tears the runtime down. Idempotent; later
     /// [`Runtime::attach`] and task submissions on shared handles return
     /// [`NosvError::ShutdownInProgress`].
@@ -506,6 +703,11 @@ impl Runtime {
             return;
         }
         self.inner.shutdown.store(true, Ordering::SeqCst);
+        // The reactor exits within one tick of the flag; joining it first
+        // means no attach/reclaim can interleave with worker teardown.
+        if let Some(reactor) = self.inner.reactor.lock().take() {
+            let _ = reactor.join();
+        }
         // Wake every idle worker so it observes the flag; the gates' epoch
         // bumps catch workers between their flag check and their sleep.
         self.inner.gates.notify_all();
@@ -538,6 +740,7 @@ impl Runtime {
                 (CounterKind::LockedSubmits, stats.locked_submits),
                 (CounterKind::DirectDispatches, stats.direct_dispatches),
                 (CounterKind::ShardSteals, stats.shard_steals),
+                (CounterKind::CrashReclaims, stats.crash_reclaims),
             ] {
                 if delta > 0 {
                     self.inner
@@ -736,21 +939,55 @@ impl ProcessContext {
         // again because no task of this pid can exist anymore.
         Ok(())
     }
+
+    /// Drop-path teardown when ready tasks are still queued: reclaim them
+    /// from the scheduler and cancel them — callbacks dropped unexecuted,
+    /// signals completed so `wait()`ing threads unblock, handles left
+    /// destroyable (state `Completed`, descriptor freed by the handle as
+    /// usual) — then detach. The explicit [`ProcessContext::detach`] keeps
+    /// the recoverable refusal; dropping the context is the owner's
+    /// statement that the queued work is abandoned.
+    fn cancel_queued_and_detach(&self) {
+        // Drop gives exclusive access, but keep the teardown behind the
+        // same gate the detach path uses so it stays single-entry.
+        self.state.store(CTX_DETACHING, Ordering::Release);
+        for task in self.rt.sched.reclaim_slot(self.proc.slot) {
+            // SAFETY: handle-owned descriptor, reclaimed from the queues
+            // before any worker could fetch it; alive until destroy.
+            let d = unsafe { self.rt.seg.sref(task) };
+            let cbs_raw = d.callbacks.swap(0, Ordering::AcqRel);
+            if cbs_raw != 0 {
+                // SAFETY: uniquely taken by the swap.
+                drop(unsafe { Box::from_raw(cbs_raw as *mut TaskCallbacks) });
+            }
+            d.set_state(TaskState::Completed);
+            self.rt.pending_tasks.fetch_sub(1, Ordering::SeqCst);
+            let sig_raw = d.signal.swap(0, Ordering::AcqRel);
+            if sig_raw != 0 {
+                // SAFETY: as above. Completing resubmits paused waiters
+                // and wakes blocked wait() calls.
+                unsafe { Arc::from_raw(sig_raw as *const TaskSignal) }.complete();
+            }
+        }
+        self.proc.active.store(false, Ordering::Release);
+        self.rt.seg.detach(ProcessId {
+            pid: self.proc.pid,
+            slot: self.proc.slot,
+        });
+        self.state.store(CTX_DETACHED, Ordering::Release);
+    }
 }
 
 impl Drop for ProcessContext {
     fn drop(&mut self) {
-        // Dropping a context whose tasks are still queued is a program
-        // error (tasks must complete and be destroyed first); the explicit
-        // detach() path reports it recoverably, the drop path flags it in
-        // debug builds and leaves the slot registered (leaking it) rather
-        // than pulling the scheduler state out from under queued tasks.
-        let result = self.detach_inner();
-        debug_assert!(
-            result.is_ok(),
-            "ProcessContext {} dropped with ready tasks still queued",
-            self.proc.pid
-        );
+        // Tasks still queued at drop are cancelled (earlier versions
+        // leaked the registry slot under a debug assert): the owner is
+        // walking away, so the queued work is reclaimed from the
+        // scheduler, its callbacks dropped, and its waiters unblocked
+        // before the slot is released.
+        if let Err(NosvError::ProcessBusy { .. }) = self.detach_inner() {
+            self.cancel_queued_and_detach();
+        }
     }
 }
 

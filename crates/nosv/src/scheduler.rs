@@ -123,6 +123,58 @@ struct SchedRoot {
     numas: [TaskQueue; MAX_NUMA],
 }
 
+/// Guest-visible scheduler geometry, allocated in the segment by the host
+/// of a *named* segment and published through the header's user-root
+/// anchor ([`ShmSegment::init_user_root_once`]). A joining guest rederives
+/// everything it needs to submit — where the scheduler root lives, how
+/// many shards there are, the ring capacity — from this one block; nothing
+/// is exchanged out of band.
+#[repr(C)]
+pub(crate) struct GuestMeta {
+    /// Raw `Shoff<SchedRoot>`; 0 until the host publishes it (guests poll).
+    pub sched_root: AtomicU64,
+    /// Number of scheduler shards.
+    pub shards: AtomicU64,
+    /// Per-process submission ring capacity (entries).
+    pub ring_cap: AtomicU64,
+    /// OS pid of the hosting process (diagnostics; lets a guest notice a
+    /// dead host).
+    pub host_os_pid: AtomicU64,
+}
+
+/// Pushes a guest task into the scheduler's lock-free submission machinery
+/// — the guest-side twin of the ring branch of [`Scheduler::submit_with`],
+/// as a free function because a guest process has no [`Scheduler`]
+/// instance (the shard locks, claim gates and policy are host-heap state
+/// it cannot reach). Same ordering discipline: SeqCst ready bump before
+/// the push (the producer side of the arming Dekker protocol), dirty-mark
+/// after it. Returns `false` on a full ring **after rolling the ready
+/// count back** — a guest has no locked fallback, so the caller retries
+/// with backoff.
+pub(crate) fn guest_submit(
+    seg: &ShmSegment,
+    meta: &GuestMeta,
+    shard: usize,
+    slot: usize,
+    task: Shoff<TaskDesc>,
+) -> bool {
+    let root: Shoff<SchedRoot> = Shoff::from_raw(meta.sched_root.load(Ordering::Acquire));
+    debug_assert!(root.raw() != 0, "guest submitted before the host published");
+    // SAFETY: the published root is allocated once and lives until the
+    // segment itself is torn down.
+    let root = unsafe { seg.sref(root) };
+    let hot = &root.shard_hot[shard];
+    hot.ready.fetch_add(1, Ordering::SeqCst);
+    if root.procs[slot].rings[shard].push(seg, task.raw()) {
+        hot.ring_mask.fetch_or(1 << slot, Ordering::Release);
+        true
+    } else {
+        // Roll the optimistic bump back so has_ready() cannot stick true.
+        hot.ready.fetch_sub(1, Ordering::SeqCst);
+        false
+    }
+}
+
 /// Adapter exposing one shard's view of the shared-segment queues to
 /// [`SchedCore`] as a [`TaskStore`]: the shard's own per-process queues,
 /// plus the global core/NUMA queue arrays (each of which is owned by
@@ -318,6 +370,12 @@ impl Scheduler {
         self.shards.len()
     }
 
+    /// Raw offset of the in-segment scheduler root — the value the host
+    /// publishes in [`GuestMeta::sched_root`] so guests can submit.
+    pub(crate) fn root_raw(&self) -> u64 {
+        self.root.raw()
+    }
+
     pub(crate) fn register_proc(&self, slot: u32, pid: u64) {
         let p = &self.root().procs[slot as usize];
         if self.ring_cap > 0 {
@@ -346,22 +404,56 @@ impl Scheduler {
     /// everywhere (nothing can requeue between the passes: a submit
     /// racing a detach of its own process is a caller bug).
     pub(crate) fn unregister_proc(&self, slot: u32) -> Result<(), NosvError> {
+        let mut queued = 0usize;
         for (s, lock) in self.shards.iter().enumerate() {
             let mut core = lock.lock();
             self.drain_rings_locked(&mut core, s);
-            if core.proc_ready_count(slot as usize) > 0 {
-                return Err(NosvError::ProcessBusy);
-            }
+            queued += core.proc_ready_count(slot as usize);
             debug_assert!(
                 self.root().procs[slot as usize].rings[s].is_empty(),
                 "submission ring refilled during detach"
             );
+        }
+        if queued > 0 {
+            // The sum over *all* shards, so the caller knows exactly how
+            // much work is still outstanding.
+            return Err(NosvError::ProcessBusy { queued });
         }
         for lock in self.shards.iter() {
             let mut core = lock.lock();
             core.unregister_proc(slot as usize);
         }
         Ok(())
+    }
+
+    /// Forcibly reclaims every queued task of `slot` and unregisters it —
+    /// the crash-reclaim path (a guest died without detaching) and the
+    /// cancel path (a busy [`crate::ProcessContext`] is dropped). Walks
+    /// the shards one lock at a time: drains the slot's rings so no
+    /// in-flight lock-free submission is stranded, purges the slot from
+    /// every queue the shard owns ([`SchedCore::purge_slot`] — process,
+    /// core and NUMA queues alike, preserving the FIFO order of
+    /// survivors), settles the ready counters, and unregisters. Returns
+    /// the reclaimed descriptors; the caller decides their fate (free
+    /// through the SLAB for guest tasks, cancel-and-signal for host
+    /// tasks). Tasks already *executing* are not touched — they complete
+    /// normally.
+    pub(crate) fn reclaim_slot(&self, slot: u32) -> Vec<ReadyTask> {
+        let root = self.root();
+        let mut out = Vec::new();
+        for (s, lock) in self.shards.iter().enumerate() {
+            let mut core = lock.lock();
+            self.drain_rings_locked(&mut core, s);
+            let before = out.len();
+            let mut store = self.store(s);
+            core.purge_slot(&mut store, slot as usize, &mut out);
+            let taken = (out.len() - before) as u64;
+            if taken > 0 {
+                root.shard_hot[s].ready.fetch_sub(taken, Ordering::SeqCst);
+            }
+            core.unregister_proc(slot as usize);
+        }
+        out
     }
 
     pub(crate) fn set_app_priority(&self, slot: u32, priority: i32) {
@@ -1232,8 +1324,12 @@ mod tests {
         let c = Counters::default();
         sched.register_proc(0, 10);
         sched.submit(mk_task(&seg, 1, 0, 10, 0, Affinity::None));
-        // The queued task blocks the detach — recoverably.
-        assert_eq!(sched.unregister_proc(0), Err(NosvError::ProcessBusy));
+        // The queued task blocks the detach — recoverably, and the error
+        // reports how much work is outstanding.
+        assert_eq!(
+            sched.unregister_proc(0),
+            Err(NosvError::ProcessBusy { queued: 1 })
+        );
         // The slot is still registered and schedulable.
         let t = sched.get_task(0, 0, &c, &obs()).unwrap();
         assert_eq!(id_of(&seg, t), 1);
@@ -1270,11 +1366,14 @@ mod tests {
                 strict: true,
             },
         ));
-        assert_eq!(sched.unregister_proc(0), Err(NosvError::ProcessBusy));
+        assert_eq!(
+            sched.unregister_proc(0),
+            Err(NosvError::ProcessBusy { queued: 2 })
+        );
         assert!(sched.get_task(2, 0, &c, &obs()).is_some());
         assert_eq!(
             sched.unregister_proc(0),
-            Err(NosvError::ProcessBusy),
+            Err(NosvError::ProcessBusy { queued: 1 }),
             "one placed task still queued"
         );
         assert!(sched.get_task(3, 0, &c, &obs()).is_some());
@@ -1288,8 +1387,61 @@ mod tests {
         // Sits in the lock-free ring until someone drains.
         sched.submit(mk_task(&seg, 1, 0, 10, 0, Affinity::None));
         // The detach drains the ring into the queue, then refuses.
-        assert_eq!(sched.unregister_proc(0), Err(NosvError::ProcessBusy));
+        assert_eq!(
+            sched.unregister_proc(0),
+            Err(NosvError::ProcessBusy { queued: 1 })
+        );
         sched.assert_masks_consistent();
+    }
+
+    #[test]
+    fn reclaim_slot_takes_queued_tasks_from_every_queue() {
+        // 4 CPUs, 2 nodes, 2 shards: tasks of the doomed slot land in
+        // process queues of both shards, a core queue and a NUMA queue —
+        // plus one still sitting in a submission ring.
+        let (seg, sched) = setup(4, 2, 1_000_000);
+        let c = Counters::default();
+        sched.register_proc(0, 10);
+        sched.register_proc(1, 20);
+        sched.submit(mk_task(&seg, 1, 0, 10, 0, Affinity::None));
+        sched.submit(mk_task(&seg, 2, 0, 10, 0, Affinity::None));
+        sched.submit(mk_task(
+            &seg,
+            3,
+            0,
+            10,
+            0,
+            Affinity::Core {
+                index: 2,
+                strict: true,
+            },
+        ));
+        sched.submit(mk_task(
+            &seg,
+            4,
+            0,
+            10,
+            0,
+            Affinity::Numa {
+                index: 1,
+                strict: true,
+            },
+        ));
+        // A survivor task of another process must stay queued.
+        sched.submit(mk_task(&seg, 100, 1, 20, 0, Affinity::None));
+
+        let reclaimed = sched.reclaim_slot(0);
+        let mut ids: Vec<u64> = reclaimed.iter().map(|&t| id_of(&seg, t)).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 3, 4]);
+        sched.assert_masks_consistent();
+        // The survivor is still schedulable; nothing else is.
+        let t = sched.get_task(0, 0, &c, &obs()).unwrap();
+        assert_eq!(id_of(&seg, t), 100);
+        assert!(!sched.has_ready());
+        // The slot is gone: re-registering works (fresh state).
+        sched.register_proc(0, 30);
+        assert_eq!(sched.unregister_proc(0), Ok(()));
     }
 
     #[test]

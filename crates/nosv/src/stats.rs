@@ -18,6 +18,7 @@ pub(crate) struct Counters {
     pub locked_submits: AtomicU64,
     pub direct_dispatches: AtomicU64,
     pub shard_steals: AtomicU64,
+    pub crash_reclaims: AtomicU64,
 }
 
 impl Counters {
@@ -36,6 +37,7 @@ impl Counters {
             locked_submits: self.locked_submits.load(Ordering::Relaxed),
             direct_dispatches: self.direct_dispatches.load(Ordering::Relaxed),
             shard_steals: self.shard_steals.load(Ordering::Relaxed),
+            crash_reclaims: self.crash_reclaims.load(Ordering::Relaxed),
         }
     }
 }
@@ -83,4 +85,7 @@ pub struct RuntimeStats {
     /// Tasks taken from another scheduler shard by a CPU whose own shard
     /// ran dry (bitmap-guided cross-shard stealing).
     pub shard_steals: u64,
+    /// Queued tasks reclaimed (cancelled and freed) from guest processes
+    /// that died without detaching — the crash-reclaim sweeper's work.
+    pub crash_reclaims: u64,
 }

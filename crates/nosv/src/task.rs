@@ -114,6 +114,13 @@ pub(crate) struct TaskDesc {
     /// Raw `Arc<TaskSignal>` used to wake host-side waiters on completion.
     /// Like `callbacks`, only touched by the creating process's side.
     pub signal: AtomicU64,
+    /// Guest-task kernel selector: 0 for host tasks (zero-valid, so every
+    /// pre-existing descriptor is a host task), `kernel_id + 1` for tasks
+    /// submitted by a joined guest process. Guest descriptors carry *data*,
+    /// not pointers: the host resolves the id against its registered kernel
+    /// table ([`crate::Runtime::register_kernel`]) and runs the kernel with
+    /// the task's `metadata` word as argument.
+    pub kernel: AtomicU64,
 }
 
 impl TaskDesc {

@@ -326,6 +326,15 @@ fn run_fetched(
         resume_handoff(rt, me, core, task, attached as usize - 1);
         return Some(LoopExit::Parked);
     }
+    // Guest tasks are data-described (kernel id + argument, no host
+    // pointers) and runnable on *any* worker: they must branch off before
+    // the pid comparison below, whose cross-process handoff would wait for
+    // a worker of the guest's logical process — which has none in this
+    // OS process.
+    if d.kernel.load(Ordering::Acquire) != 0 {
+        execute_guest(rt, task);
+        return None;
+    }
     let pid = d.pid.load(Ordering::Relaxed);
     if pid == me.pid {
         execute(rt, task);
@@ -386,6 +395,43 @@ fn cross_process_handoff(
     let target = rt.worker_for_process(pid);
     rt.park_worker(me);
     target.assign(Assignment::RunTask { core, task });
+}
+
+/// Executes a *guest* task: resolves its kernel id against the host's
+/// registered kernel table and runs the kernel with the descriptor's
+/// metadata word as argument. Guest descriptors carry no callbacks, no
+/// signal and no pending-count entry; completion is reported through the
+/// guest's registry slot (where the guest polls `completed == submitted`)
+/// and the descriptor is freed here — the cross-process SLAB free of
+/// §3.5, since the descriptor was allocated by a different OS process.
+/// An unknown kernel id completes as a no-op rather than poisoning the
+/// worker: the segment is shared state a buggy guest could scribble.
+fn execute_guest(rt: &Arc<RuntimeInner>, task: ReadyTask) {
+    // SAFETY: a task handed out by the scheduler is alive; guest
+    // descriptors stay alive until this function frees them.
+    let d = unsafe { rt.seg.sref(task) };
+    d.set_state(TaskState::Running);
+    let id = TaskId(d.id.load(Ordering::Relaxed));
+    let pid = d.pid.load(Ordering::Relaxed);
+    let slot = d.slot.load(Ordering::Relaxed);
+    let arg = d.metadata.load(Ordering::Relaxed);
+    let kernel_sel = d.kernel.load(Ordering::Acquire);
+    let core = with_tls(|w| w.core.get()).expect("worker TLS missing");
+    rt.emit(ObsKind::Start { remote: false }, core as u32, pid, id);
+    if let Some(kernel) = rt.guest_kernel(kernel_sel - 1) {
+        // No TLS current_task on purpose: guest kernels must not pause
+        // (their "process" has no worker threads to hand the core to).
+        kernel(arg);
+    }
+    d.set_state(TaskState::Completed);
+    rt.emit(ObsKind::End, core as u32, pid, id);
+    rt.counters.tasks_executed.fetch_add(1, Ordering::Relaxed);
+    // Report completion through the guest's registry slot (Release there
+    // pairs with the guest's Acquire poll, so the guest also observes the
+    // kernel's side effects). A no-op if the slot was reclaimed — a guest
+    // that already detached or died is not waiting.
+    rt.seg.add_completed(nosv_shmem::ProcessId { pid, slot }, 1);
+    rt.seg.free_t(task, core);
 }
 
 /// Executes a task body on the calling worker thread.

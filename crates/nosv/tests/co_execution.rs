@@ -590,7 +590,10 @@ fn detach_with_queued_tasks_is_recoverable() {
     queued.submit().unwrap();
     // Whichever task the single core is (or will be) running, the other
     // one still sits in the scheduler: the detach must refuse.
-    assert_eq!(app.detach(), Err(NosvError::ProcessBusy));
+    assert!(matches!(
+        app.detach(),
+        Err(NosvError::ProcessBusy { queued }) if (1..=2).contains(&queued)
+    ));
     // Still attached: task creation keeps working.
     let late = app.create_task(|_| {});
     tx.send(()).unwrap();

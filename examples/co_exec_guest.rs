@@ -1,0 +1,29 @@
+//! Cross-OS-process co-execution, guest side.
+//!
+//! Joins the named segment the `co_exec_host` example published (the
+//! name arrives as `argv[1]`), submits data-described tasks into the
+//! host's scheduler, waits for them, and detaches cleanly. Normally
+//! spawned *by* the host example rather than run directly.
+
+use std::time::Duration;
+
+use nosv::prelude::*;
+
+fn main() {
+    let Some(name) = std::env::args().nth(1) else {
+        eprintln!("usage: co_exec_guest <segment-name>");
+        eprintln!("(spawned by the co_exec_host example; not usually run by hand)");
+        return;
+    };
+    let guest = Runtime::join(&name).expect("join host segment");
+    println!("guest: joined '{name}' as logical pid {}", guest.pid());
+    // Kernel 1 sums its argument on the host: 1 + 2 + … + 100 = 5050.
+    for i in 1..=100u64 {
+        guest.submit(1, i).expect("submit");
+    }
+    guest
+        .wait_idle(Duration::from_secs(30))
+        .expect("host never drained our tasks");
+    guest.detach().expect("clean detach");
+    println!("guest: 100 tasks done, detached");
+}
