@@ -1,0 +1,33 @@
+//! Minimal deterministic RNG (splitmix64) — local copy so `nosv-check`
+//! depends on nothing, not even `nosv-sync` (which optionally depends on us).
+
+/// SplitMix64: tiny, fast, full-period 64-bit generator. Good enough for
+/// schedule randomization; never used for anything security-relevant.
+pub(crate) struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be non-zero.
+    pub(crate) fn next_below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// Mix a base seed with a schedule index into an independent stream seed.
+pub(crate) fn mix(seed: u64, index: u64) -> u64 {
+    let mut r = SplitMix64::new(seed ^ index.wrapping_mul(0xA076_1D64_78BD_642F));
+    r.next_u64()
+}

@@ -1,0 +1,84 @@
+//! Virtual-thread spawn/join/yield shims.
+//!
+//! Inside an active exploration these create and join *virtual* threads
+//! under the model scheduler; outside one they fall through to
+//! `std::thread`, so enabling the `model` feature never changes behavior of
+//! code that happens to run without a checker.
+
+use std::sync::{Arc, Mutex as StdMutex};
+
+use crate::sched;
+
+/// Spawn a thread. Under an active exploration this registers a virtual
+/// thread with the scheduler; otherwise it is `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    if sched::in_model() {
+        let result: Arc<StdMutex<Option<T>>> = Arc::new(StdMutex::new(None));
+        let slot = result.clone();
+        let tid = sched::spawn_thread(move || {
+            let value = f();
+            *slot.lock().unwrap() = Some(value);
+        });
+        JoinHandle(Inner::Model { tid, result })
+    } else {
+        JoinHandle(Inner::Std(std::thread::spawn(f)))
+    }
+}
+
+/// Yield the processor. Under an active exploration this is a preemption
+/// point that also deprioritizes the caller, so model runs of spin loops
+/// hand the schedule to peers instead of hitting the step bound.
+pub fn yield_now() {
+    if sched::in_model() {
+        sched::yield_explicit();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// Spin-loop hint; scheduled exactly like [`yield_now`] under the model.
+pub fn spin_loop() {
+    if sched::in_model() {
+        sched::yield_explicit();
+    } else {
+        std::hint::spin_loop();
+    }
+}
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        tid: usize,
+        result: Arc<StdMutex<Option<T>>>,
+    },
+}
+
+/// Handle to a spawned (virtual or real) thread.
+pub struct JoinHandle<T>(Inner<T>);
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and return its result.
+    ///
+    /// In model runs a panicking child aborts the whole schedule (the
+    /// checker records the panic as the schedule's failure), so the `Err`
+    /// arm is only observable on the `std` fallthrough path.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Inner::Std(h) => h.join(),
+            Inner::Model { tid, result } => {
+                sched::join_thread(tid);
+                match result.lock().unwrap().take() {
+                    Some(v) => Ok(v),
+                    // The child panicked; the scheduler has already
+                    // recorded the failure and flagged the abort — unwind
+                    // this thread too.
+                    None => Err(Box::new("nosv-check: joined thread panicked")),
+                }
+            }
+        }
+    }
+}

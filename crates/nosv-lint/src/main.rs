@@ -1,0 +1,45 @@
+//! CLI driver for [`nosv_lint`]: `cargo run -p nosv-lint [paths…]`.
+//!
+//! With no arguments, lints the protocol crates (`nosv-sync`, `nosv-shmem`,
+//! `nosv-check`). With arguments, lints exactly those files/directories.
+//! Exits non-zero when any violation is found.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn default_roots() -> Vec<PathBuf> {
+    let crates = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("nosv-lint lives under crates/")
+        .to_path_buf();
+    ["nosv-sync", "nosv-shmem", "nosv-check"]
+        .iter()
+        .map(|c| crates.join(c).join("src"))
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<PathBuf> = std::env::args_os().skip(1).map(PathBuf::from).collect();
+    let roots = if args.is_empty() {
+        default_roots()
+    } else {
+        args
+    };
+    match nosv_lint::lint_paths(&roots) {
+        Ok(violations) if violations.is_empty() => {
+            eprintln!("nosv-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            eprintln!("nosv-lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("nosv-lint: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! End-to-end tests for the `nosv-lint` binary: each seeded fixture must
+//! fail with its rule tag, the clean fixture must pass, and — the real
+//! acceptance gate — the committed tree must lint clean in default mode.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run_lint(args: &[&Path]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_nosv-lint"))
+        .args(args)
+        .output()
+        .expect("nosv-lint binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn seeded_repr_violation_fails() {
+    let out = run_lint(&[&fixture("bad_repr.rs")]);
+    assert!(!out.status.success());
+    assert!(stdout(&out).contains("[repr-layout]"), "{}", stdout(&out));
+}
+
+#[test]
+fn seeded_field_violations_fail() {
+    let out = run_lint(&[&fixture("bad_fields.rs")]);
+    assert!(!out.status.success());
+    let text = stdout(&out);
+    // One per offending field: raw pointer, Vec, usize.
+    assert_eq!(text.matches("[segment-field]").count(), 3, "{text}");
+}
+
+#[test]
+fn seeded_safety_violations_fail() {
+    let out = run_lint(&[&fixture("bad_safety.rs")]);
+    assert!(!out.status.success());
+    let text = stdout(&out);
+    // One per unjustified site: unsafe impl, unsafe fn, unsafe block.
+    assert_eq!(text.matches("[missing-safety]").count(), 3, "{text}");
+}
+
+#[test]
+fn seeded_ordering_violation_fails() {
+    let out = run_lint(&[&fixture("bad_ordering.rs")]);
+    assert!(!out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("[implicit-ordering]"), "{text}");
+}
+
+#[test]
+fn clean_fixture_passes() {
+    let out = run_lint(&[&fixture("clean.rs")]);
+    assert!(out.status.success(), "{}", stdout(&out));
+}
+
+#[test]
+fn committed_tree_is_clean() {
+    let out = run_lint(&[]);
+    assert!(out.status.success(), "{}", stdout(&out));
+}

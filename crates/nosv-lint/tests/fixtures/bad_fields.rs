@@ -1,0 +1,9 @@
+//! Seeded violations: pointers, containers and `usize` in a `#[repr(C)]`
+//! struct, none of which are stable across address spaces.
+
+#[repr(C)]
+pub struct ClaimTable {
+    slots: *mut u64,
+    spare: Vec<u64>,
+    len: usize,
+}

@@ -1,0 +1,8 @@
+//! Seeded violation: atomic operations whose ordering argument neither
+//! names `Ordering::…` nor is a recognized forwarded parameter.
+
+use std::sync::atomic::AtomicU64;
+
+pub fn bump(x: &AtomicU64, relaxed: std::sync::atomic::Ordering) -> u64 {
+    x.fetch_add(1, relaxed)
+}

@@ -1,0 +1,6 @@
+//! Seeded violation: a segment-resident type without `#[repr(C)]`.
+
+pub struct SubmitRing {
+    head: u64,
+    tail: u64,
+}

@@ -1,0 +1,10 @@
+//! Seeded violations: `unsafe` impl, fn and block, all missing their
+//! `// SAFETY:` / `# Safety` justification.
+
+pub struct Wrapper(u32);
+
+unsafe impl Send for Wrapper {}
+
+pub unsafe fn poke(p: *mut u32) {
+    unsafe { *p = 1 };
+}

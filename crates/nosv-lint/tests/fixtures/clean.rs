@@ -1,0 +1,26 @@
+//! A fixture that exercises every rule class without violating any:
+//! repr(C) segment type with position-independent fields, justified
+//! `unsafe`, and explicit orderings throughout.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[repr(C)]
+pub struct SubmitRing {
+    head: AtomicU64,
+    tail: AtomicU64,
+}
+
+// SAFETY: SubmitRing is a pair of atomics; shared access is always safe.
+unsafe impl Sync for SubmitRing {}
+
+/// # Safety
+///
+/// `p` must point to a live, readable `u64`.
+pub unsafe fn read_raw(p: *const u64) -> u64 {
+    // SAFETY: the caller guarantees `p` is valid (function contract).
+    unsafe { *p }
+}
+
+pub fn advance(r: &SubmitRing) -> u64 {
+    r.head.fetch_add(1, Ordering::AcqRel)
+}

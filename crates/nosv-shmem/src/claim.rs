@@ -36,7 +36,7 @@
 //! order one side sees the other, so a task is never queued with its only
 //! eligible CPU committed to an unnotified sleep.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use nosv_sync::hint::{AtomicU64, Ordering};
 
 /// Most CPUs a claim table covers (matches the scheduler's array bound).
 pub const CLAIM_MAX_CPUS: usize = 256;
@@ -216,7 +216,7 @@ mod tests {
     /// attempts, and the owner's disarm sees exactly that deposit.
     #[test]
     fn exactly_one_claimer_wins() {
-        const ROUNDS: usize = 2_000;
+        const ROUNDS: usize = if cfg!(miri) { 50 } else { 2_000 };
         const CLAIMERS: usize = 4;
         let t: Arc<ClaimTable> = Arc::from(table());
         let wins = Arc::new(AtomicUsize::new(0));

@@ -1,8 +1,8 @@
 //! Position-independent typed offsets into a shared segment.
 
+use nosv_sync::hint::{AtomicU64, Ordering};
 use std::fmt;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A typed byte offset from the base of a shared segment.
 ///

@@ -30,15 +30,16 @@
 //! object pointers derived from offsets have identical alignment under both
 //! backings.
 
-#[cfg(target_os = "linux")]
+#[cfg(all(target_os = "linux", not(miri)))]
 use std::ffi::CString;
-#[cfg(target_os = "linux")]
+#[cfg(all(target_os = "linux", not(miri)))]
 use std::io::{Read, Write};
-#[cfg(target_os = "linux")]
+#[cfg(all(target_os = "linux", not(miri)))]
 use std::path::PathBuf;
-#[cfg(target_os = "linux")]
+#[cfg(all(target_os = "linux", not(miri)))]
 use std::sync::OnceLock;
 
+#[cfg(all(target_os = "linux", not(miri)))]
 use crate::layout::CHUNK_SIZE;
 
 /// Failure to create or attach an OS-shared segment mapping.
@@ -101,7 +102,7 @@ pub enum OsBackend {
 // Declared directly (the workspace deliberately has no external crates).
 // Constants are the x86-64/aarch64 Linux values.
 
-#[cfg(target_os = "linux")]
+#[cfg(all(target_os = "linux", not(miri)))]
 mod ffi {
     use std::os::raw::{c_char, c_int, c_long, c_uint, c_void};
 
@@ -148,14 +149,14 @@ mod ffi {
     }
 }
 
-#[cfg(target_os = "linux")]
+#[cfg(all(target_os = "linux", not(miri)))]
 use ffi::*;
 
 /// Whether the given OS process is still alive (`kill(pid, 0)` probe).
 ///
 /// `EPERM` counts as alive (the process exists, we may not signal it);
 /// only `ESRCH` — or an impossible pid — counts as dead.
-#[cfg(target_os = "linux")]
+#[cfg(all(target_os = "linux", not(miri)))]
 pub fn process_alive(os_pid: u32) -> bool {
     if os_pid == 0 || os_pid > i32::MAX as u32 {
         return false;
@@ -165,15 +166,15 @@ pub fn process_alive(os_pid: u32) -> bool {
     r == 0 || errno() != ESRCH
 }
 
-/// Non-Linux stub: reports every pid dead (the OS backing is unavailable
+/// Non-Linux / Miri stub: reports every pid dead (the OS backing is unavailable
 /// there, so no cross-process peers can exist).
-#[cfg(not(target_os = "linux"))]
+#[cfg(any(not(target_os = "linux"), miri))]
 pub fn process_alive(_os_pid: u32) -> bool {
     false
 }
 
 /// Path of the discovery link file for `name`.
-#[cfg(target_os = "linux")]
+#[cfg(all(target_os = "linux", not(miri)))]
 fn link_path(name: &str) -> PathBuf {
     std::env::temp_dir().join(format!("nosv-seg-{name}"))
 }
@@ -196,7 +197,7 @@ pub(crate) fn valid_name(name: &str) -> bool {
 /// memory itself once the last mapping and descriptor are gone — the
 /// paper's "last process to unregister deletes the segment" with no name
 /// left to leak.
-#[cfg(target_os = "linux")]
+#[cfg(all(target_os = "linux", not(miri)))]
 pub(crate) struct OsMapping {
     base: *mut u8,
     len: usize,
@@ -209,7 +210,7 @@ pub(crate) struct OsMapping {
     shm_name: Option<CString>,
 }
 
-#[cfg(target_os = "linux")]
+#[cfg(all(target_os = "linux", not(miri)))]
 impl OsMapping {
     pub(crate) fn base(&self) -> *mut u8 {
         self.base
@@ -386,7 +387,7 @@ impl OsMapping {
     }
 }
 
-#[cfg(target_os = "linux")]
+#[cfg(all(target_os = "linux", not(miri)))]
 impl Drop for OsMapping {
     fn drop(&mut self) {
         // SAFETY: base/len describe the mapping we created; fd is ours.
@@ -407,18 +408,18 @@ impl Drop for OsMapping {
 // SAFETY: the mapping is intentionally shared; all access above the raw
 // bytes goes through atomics and in-segment locks (same argument as the
 // heap backing).
-#[cfg(target_os = "linux")]
+#[cfg(all(target_os = "linux", not(miri)))]
 unsafe impl Send for OsMapping {}
-#[cfg(target_os = "linux")]
+#[cfg(all(target_os = "linux", not(miri)))]
 unsafe impl Sync for OsMapping {}
 
-#[cfg(target_os = "linux")]
+#[cfg(all(target_os = "linux", not(miri)))]
 enum LinkRecord {
     Memfd { pid: u32, fd: i32 },
     Shm { name: String, pid: u32 },
 }
 
-#[cfg(target_os = "linux")]
+#[cfg(all(target_os = "linux", not(miri)))]
 fn read_link_file(path: &std::path::Path) -> Result<LinkRecord, MapError> {
     let mut text = String::new();
     match std::fs::File::open(path) {
@@ -446,7 +447,7 @@ fn read_link_file(path: &std::path::Path) -> Result<LinkRecord, MapError> {
     }
 }
 
-#[cfg(target_os = "linux")]
+#[cfg(all(target_os = "linux", not(miri)))]
 fn memfd_create_fd(name: &str) -> Result<i32, MapError> {
     let cname = CString::new(format!("nosv-{name}")).map_err(|_| MapError::BadName)?;
     // SAFETY: memfd_create takes a name pointer and flags; no memory is
@@ -461,7 +462,7 @@ fn memfd_create_fd(name: &str) -> Result<i32, MapError> {
     Ok(fd as i32)
 }
 
-#[cfg(target_os = "linux")]
+#[cfg(all(target_os = "linux", not(miri)))]
 fn cleanup_fd(fd: i32, shm_name: &Option<CString>) {
     // SAFETY: fd is ours; sname (if any) is a valid string we created.
     unsafe {
@@ -475,7 +476,7 @@ fn cleanup_fd(fd: i32, shm_name: &Option<CString>) {
 /// Maps `len` bytes of `fd` at a [`CHUNK_SIZE`]-aligned address: reserve
 /// `len + CHUNK_SIZE` of address space, `MAP_FIXED` the file at the first
 /// aligned address inside, trim the slack.
-#[cfg(target_os = "linux")]
+#[cfg(all(target_os = "linux", not(miri)))]
 fn map_chunk_aligned(fd: i32, len: usize) -> Result<*mut u8, MapError> {
     let reserve = len + CHUNK_SIZE;
     // SAFETY: plain anonymous reservation; no existing mapping is clobbered
@@ -538,7 +539,7 @@ fn map_chunk_aligned(fd: i32, len: usize) -> Result<*mut u8, MapError> {
 /// The probe performs a real round trip — create a tiny object, map it,
 /// write and read a byte, tear it down — because environments exist where
 /// the calls link but are denied (seccomp sandboxes, read-only `/dev/shm`).
-#[cfg(target_os = "linux")]
+#[cfg(all(target_os = "linux", not(miri)))]
 pub fn probe_os_backend() -> Option<OsBackend> {
     static PROBE: OnceLock<Option<OsBackend>> = OnceLock::new();
     *PROBE.get_or_init(|| {
@@ -559,18 +560,18 @@ pub fn probe_os_backend() -> Option<OsBackend> {
     })
 }
 
-/// Non-Linux stub: no OS backing.
-#[cfg(not(target_os = "linux"))]
+/// Non-Linux / Miri stub: no OS backing (Miri has no shared-memory shims).
+#[cfg(any(not(target_os = "linux"), miri))]
 pub fn probe_os_backend() -> Option<OsBackend> {
     None
 }
 
-/// Non-Linux stub of the mapping type: every operation reports
+/// Non-Linux / Miri stub of the mapping type: every operation reports
 /// [`MapError::Unsupported`], so the heap backing is the only one usable.
-#[cfg(not(target_os = "linux"))]
+#[cfg(any(not(target_os = "linux"), miri))]
 pub(crate) struct OsMapping;
 
-#[cfg(not(target_os = "linux"))]
+#[cfg(any(not(target_os = "linux"), miri))]
 impl OsMapping {
     pub(crate) fn base(&self) -> *mut u8 {
         unreachable!("OsMapping cannot be constructed off Linux")
@@ -608,7 +609,7 @@ pub fn os_backing_available() -> bool {
     probe_os_backend().is_some()
 }
 
-#[cfg(all(test, target_os = "linux"))]
+#[cfg(all(test, target_os = "linux", not(miri)))]
 mod tests {
     use super::*;
 
@@ -637,11 +638,16 @@ mod tests {
         assert_eq!(m.base() as usize % CHUNK_SIZE, 0, "chunk-aligned base");
         m.publish().unwrap();
         // A second mapping through the published name sees the same bytes.
+        // SAFETY: offsets 100/200 are in-bounds of the two-chunk mapping,
+        // which outlives every access below.
         unsafe { m.base().add(100).write_volatile(0x5C) };
         let m2 = OsMapping::attach(&name).unwrap();
         assert_eq!(m2.len(), 2 * CHUNK_SIZE);
+        // SAFETY: same in-bounds offset, read through the second mapping.
         assert_eq!(unsafe { m2.base().add(100).read_volatile() }, 0x5C);
+        // SAFETY: in-bounds; `m2` is alive for the write and read below.
         unsafe { m2.base().add(200).write_volatile(0x7D) };
+        // SAFETY: in-bounds read back through the original mapping.
         assert_eq!(unsafe { m.base().add(200).read_volatile() }, 0x7D);
         // Publishing the same name again while alive is rejected.
         let dup = OsMapping::create(&name, CHUNK_SIZE, backend).unwrap();

@@ -7,7 +7,7 @@
 //! unregister will delete the whole shared memory segment" — surfaced here
 //! as the remaining-count return of [`ShmSegment::detach`].
 
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use nosv_sync::hint::{AtomicU32, AtomicU64, Ordering};
 
 use crate::layout::{MAX_PROCS, PROC_SLOT_BYTES};
 use crate::offset::Shoff;

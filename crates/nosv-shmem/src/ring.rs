@@ -30,7 +30,7 @@
 //! [`SubmitRing::init`] allocates the slot array — exactly the
 //! zero-validity contract every in-segment structure here follows.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use nosv_sync::hint::{AtomicU64, Ordering};
 
 use crate::offset::{AtomicShoff, Shoff};
 use crate::segment::ShmSegment;
@@ -300,7 +300,7 @@ mod tests {
     #[test]
     fn multi_producer_delivery_is_exactly_once_and_fifo_per_producer() {
         const PRODUCERS: u64 = 4;
-        const PER_PRODUCER: u64 = 5_000;
+        const PER_PRODUCER: u64 = if cfg!(miri) { 100 } else { 5_000 };
         let s = seg();
         let r = ring(&s, 8) as *const SubmitRing as usize;
         let seen = Arc::new(

@@ -1,10 +1,10 @@
 //! The shared segment: creation, mapping handles (heap-backed or OS-shared),
 //! and raw access.
 
+use nosv_sync::hint::{AtomicU64, Ordering};
 use std::alloc::{alloc_zeroed, dealloc, Layout};
 use std::collections::HashMap;
 use std::ptr::NonNull;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, Weak};
 
 use crate::layout::{SegmentGeometry, CHUNK_SIZE, HEADER_BYTES};
@@ -444,7 +444,10 @@ mod tests {
         assert_eq!(seg.mapping_count(), 2);
         // Both handles see the same memory.
         let off = Shoff::<u64>::from_raw(seg.geometry().data_off as u64);
+        // SAFETY: data_off is in-bounds and chunk-aligned; both handles map
+        // the same live segment.
         unsafe { seg.resolve(off).write(0xdead_beef) };
+        // SAFETY: reads the word just written, through the second handle.
         assert_eq!(unsafe { *seg2.resolve(off) }, 0xdead_beef);
         drop(seg2);
         assert_eq!(seg.mapping_count(), 1);
@@ -529,7 +532,9 @@ mod tests {
         // Objects allocated through one mapping are visible through — and
         // freeable from — the other (§3.5's cross-process free).
         let off = seg.alloc_zeroed(128, 0).unwrap();
+        // SAFETY: `off` was just allocated, so it is in-bounds and unshared.
         unsafe { seg.resolve(off).write(0x42u8) };
+        // SAFETY: reads the byte just written, through the other mapping.
         assert_eq!(unsafe { *other.resolve(off) }, 0x42);
         other.free(off, 1);
         let stats = seg.alloc_stats();

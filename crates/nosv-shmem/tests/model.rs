@@ -1,0 +1,320 @@
+//! Model-checked protocol suites for `nosv-shmem` (run via `nosv-check`).
+//!
+//! The segment-resident protocols — the MPSC submit ring, the idle-CPU
+//! claim table and the process-registry join state machine — are compiled
+//! against `nosv_sync::hint`, so under the `model` feature every atomic
+//! operation is a preemption point and the checker can enumerate or sample
+//! interleavings. Each schedule builds a fresh heap-backed segment,
+//! runs one bounded scenario and asserts its invariant:
+//!
+//! * **SubmitRing** — every pushed value is popped exactly once, in FIFO
+//!   order per producer;
+//! * **ClaimTable** — an armed slot is won by exactly one claimer, and the
+//!   owner's disarm observes exactly the winning deposit;
+//! * **registry** — the join handshake's `Requested → Active` ack and the
+//!   sweeper's `Requested → Dead` crash-reclaim are mutually exclusive,
+//!   and a reclaimed slot cannot be resurrected or corrupted by stale
+//!   operations keyed to the dead process.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo test -p nosv-shmem --features model --test model
+//! ```
+//!
+//! On failure the checker prints a `NOSV_CHECK_SEED`/`NOSV_CHECK_SCHEDULE`
+//! pair; exporting both replays exactly the failing schedule.
+
+#![cfg(feature = "model")]
+
+use std::sync::Arc;
+
+use nosv_check::{explore, Config, Report, Strategy};
+use nosv_shmem::{ClaimTable, JoinState, SegmentConfig, ShmSegment, SubmitRing};
+use nosv_sync::hint::thread;
+
+/// Prints a one-line exploration summary (visible with `--nocapture`).
+fn summarize(name: &str, r: &Report) {
+    eprintln!(
+        "{name}: {} schedules ({} distinct{}), {} failures",
+        r.schedules,
+        r.distinct_schedules,
+        if r.complete { ", complete" } else { "" },
+        r.failures.len(),
+    );
+}
+
+/// Asserts the sampled schedules were overwhelmingly distinct.
+fn assert_mostly_distinct(r: &Report) {
+    assert!(
+        r.distinct_schedules * 10 >= r.schedules * 9,
+        "only {} of {} schedules distinct: scenario too small for sampling",
+        r.distinct_schedules,
+        r.schedules
+    );
+}
+
+fn seg() -> ShmSegment {
+    // Smallest geometry that still fits a couple of chunks: one fresh
+    // segment is zeroed per schedule, so size directly scales suite time.
+    ShmSegment::create(SegmentConfig {
+        size: 256 * 1024,
+        max_cpus: 2,
+    })
+}
+
+fn ring(seg: &ShmSegment, capacity: usize) -> &SubmitRing {
+    let off = seg
+        .alloc_zeroed(std::mem::size_of::<SubmitRing>(), 0)
+        .expect("segment has room for a ring header");
+    // SAFETY: freshly allocated, zeroed, in-bounds; SubmitRing is zero-valid.
+    let r: &SubmitRing = unsafe { seg.sref(off.cast()) };
+    r.init(seg, capacity).unwrap();
+    r
+}
+
+// ---------------------------------------------------------------------------
+// SubmitRing: exactly-once, FIFO per producer
+// ---------------------------------------------------------------------------
+
+/// `producers` threads each push `per_producer` tagged values (retrying
+/// while the ring is full); the main virtual thread is the single
+/// consumer. Invariants: every value arrives exactly once and each
+/// producer's values arrive in push order.
+fn ring_round(producers: usize, per_producer: u64, capacity: usize) {
+    let s = seg();
+    let r = ring(&s, capacity);
+    let addr = r as *const SubmitRing as usize;
+    let total = producers as u64 * per_producer;
+
+    let handles: Vec<_> = (0..producers as u64)
+        .map(|p| {
+            let s = s.clone();
+            thread::spawn(move || {
+                // SAFETY: the ring lives in the segment mapping, which the
+                // cloned handle keeps alive for the thread's lifetime.
+                let r = unsafe { &*(addr as *const SubmitRing) };
+                for i in 0..per_producer {
+                    let value = 100 * (p + 1) + i;
+                    while !r.push(&s, value) {
+                        thread::yield_now();
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let mut popped = Vec::with_capacity(total as usize);
+    while popped.len() < total as usize {
+        match r.pop(&s) {
+            Some(v) => popped.push(v),
+            None => thread::yield_now(),
+        }
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(r.pop(&s), None, "ring must be empty after draining");
+
+    // Exactly once: the popped multiset equals the pushed set.
+    let mut sorted = popped.clone();
+    sorted.sort_unstable();
+    let expected: Vec<u64> = (1..=producers as u64)
+        .flat_map(|p| (0..per_producer).map(move |i| 100 * p + i))
+        .collect();
+    assert_eq!(sorted, expected, "lost or duplicated values");
+
+    // FIFO per producer: each producer's values appear in push order.
+    for p in 1..=producers as u64 {
+        let seq: Vec<u64> = popped.iter().copied().filter(|v| v / 100 == p).collect();
+        assert!(
+            seq.windows(2).all(|w| w[0] < w[1]),
+            "producer {p} values reordered: {seq:?}"
+        );
+    }
+}
+
+/// Randomized sweep: two producers contending for a two-slot ring, so
+/// wraparound and the full-ring fail-retry path are both exercised.
+#[test]
+fn ring_exactly_once_random() {
+    let cfg = Config::from_env(Strategy::Random { schedules: 4000 });
+    let r = explore(cfg, || ring_round(2, 2, 2)).assert_ok();
+    summarize("ring_exactly_once_random", &r);
+    assert_mostly_distinct(&r);
+}
+
+/// Bounded DFS of the single-producer case (two values through a two-slot
+/// ring against a concurrent consumer).
+#[test]
+fn ring_spsc_dfs() {
+    let cfg = Config::from_env(Strategy::Dfs {
+        max_schedules: 2500,
+    });
+    let r = explore(cfg, || ring_round(1, 2, 2)).assert_ok();
+    summarize("ring_spsc_dfs", &r);
+}
+
+// ---------------------------------------------------------------------------
+// ClaimTable: exactly one claimer wins an armed slot
+// ---------------------------------------------------------------------------
+
+/// Two CPUs arm their handoff slots; per CPU, two claimers race a CAS
+/// deposit while the owner (main) disarms concurrently. Invariant: per
+/// armed slot, claim wins and the disarm observation agree — either one
+/// claimer won and the disarm returns exactly its deposit, or the disarm
+/// emptied the slot first and every claim failed.
+fn claim_round(rounds: usize) {
+    let table: Arc<ClaimTable> = Arc::from(
+        // SAFETY: ClaimTable is repr(C), all-atomic, zero-valid.
+        unsafe { Box::<ClaimTable>::new(std::mem::zeroed()) },
+    );
+    for _ in 0..rounds {
+        for cpu in 0..2 {
+            table.arm(cpu);
+        }
+        let claimers: Vec<_> = (0..2usize)
+            .flat_map(|cpu| {
+                (0..2u64).map({
+                    let table = &table;
+                    move |c| {
+                        let table = Arc::clone(table);
+                        let task = 8 * (c + 1);
+                        thread::spawn(move || table.try_claim(cpu, task).then_some(task))
+                    }
+                })
+            })
+            .collect();
+        let deposits: Vec<Option<u64>> = (0..2).map(|cpu| table.disarm(cpu)).collect();
+        // 2 claimers per cpu, in spawn order (cpu 0 first).
+        let wins: Vec<Option<u64>> = claimers.into_iter().map(|h| h.join().unwrap()).collect();
+
+        for cpu in 0..2 {
+            let cpu_wins: Vec<u64> = wins[cpu * 2..cpu * 2 + 2]
+                .iter()
+                .flatten()
+                .copied()
+                .collect();
+            assert!(
+                cpu_wins.len() <= 1,
+                "cpu {cpu}: both claimers won the same arming"
+            );
+            match deposits[cpu] {
+                // Disarm raced in before any claim; late claims must fail.
+                None => {
+                    assert!(
+                        cpu_wins.is_empty(),
+                        "cpu {cpu}: claim won but the deposit vanished"
+                    );
+                    assert!(!table.try_claim(cpu, 800), "disarmed slot claimable");
+                }
+                Some(v) => assert_eq!(
+                    cpu_wins,
+                    vec![v],
+                    "cpu {cpu}: disarm saw a deposit nobody made"
+                ),
+            }
+        }
+        assert!(!table.any_armed(2), "hint bits leaked past the round");
+    }
+}
+
+/// Randomized sweep: two rounds of the two-CPU, four-claimer race.
+#[test]
+fn claim_single_winner_random() {
+    let cfg = Config::from_env(Strategy::Random { schedules: 3000 });
+    let r = explore(cfg, || claim_round(2)).assert_ok();
+    summarize("claim_single_winner_random", &r);
+}
+
+/// Bounded DFS of one round (claimers are straight-line CAS attempts, so
+/// the space is small enough to enumerate meaningfully).
+#[test]
+fn claim_single_winner_dfs() {
+    let cfg = Config::from_env(Strategy::Dfs {
+        max_schedules: 4000,
+    });
+    let r = explore(cfg, || claim_round(1)).assert_ok();
+    summarize("claim_single_winner_dfs", &r);
+}
+
+// ---------------------------------------------------------------------------
+// Registry: join handshake vs. crash-reclaim
+// ---------------------------------------------------------------------------
+
+/// A guest attaches (Requested) and records some progress. The host's
+/// reactor acks `Requested → Active` while a sweeper that believes the
+/// guest crashed races `Requested → Dead` + detach. Invariants: exactly
+/// one transition wins; after a reclaim the slot is genuinely free —
+/// stale operations keyed to the dead process are inert no-ops and a new
+/// occupant's record starts clean (no slot resurrection).
+fn registry_round() {
+    let s = seg();
+    let g = s.attach_guest().unwrap();
+    s.add_submitted(g, 2);
+    s.add_completed(g, 1);
+
+    let host = {
+        let s = s.clone();
+        thread::spawn(move || s.set_join_state(g, JoinState::Requested, JoinState::Active))
+    };
+    let sweeper = {
+        let s = s.clone();
+        thread::spawn(move || {
+            if s.set_join_state(g, JoinState::Requested, JoinState::Dead) {
+                s.detach(g);
+                true
+            } else {
+                false
+            }
+        })
+    };
+    let acked = host.join().unwrap();
+    let swept = sweeper.join().unwrap();
+    assert!(
+        acked ^ swept,
+        "ack and crash-reclaim must win exactly once between them \
+         (acked={acked}, swept={swept})"
+    );
+
+    if swept {
+        // The slot is free; operations keyed to the dead guest are no-ops.
+        assert_eq!(s.join_state(g), None);
+        s.bump_heartbeat(g);
+        s.add_submitted(g, 7);
+        assert!(!s.set_join_state(g, JoinState::Dead, JoinState::Active));
+        // A new occupant (possibly reusing the same slot index) starts
+        // clean, and stale dead-guest mutators still cannot touch it.
+        let h = s.attach().unwrap();
+        s.add_completed(g, 9);
+        let view = s.slot_view(h.slot).unwrap();
+        assert_eq!(view.join_state, JoinState::None);
+        assert_eq!(view.heartbeat, 1);
+        assert_eq!((view.submitted, view.completed), (0, 0));
+        s.detach(h);
+    } else {
+        assert_eq!(s.join_state(g), Some(JoinState::Active));
+        let view = s.slot_view(g.slot).unwrap();
+        assert_eq!((view.submitted, view.completed), (2, 1));
+        s.detach(g);
+    }
+    assert_eq!(s.attached_count(), 0, "slot leaked past the schedule");
+}
+
+/// Randomized sweep of the handshake/reclaim race.
+#[test]
+fn registry_join_vs_reclaim_random() {
+    let cfg = Config::from_env(Strategy::Random { schedules: 1500 });
+    let r = explore(cfg, registry_round).assert_ok();
+    summarize("registry_join_vs_reclaim_random", &r);
+}
+
+/// Bounded DFS of the same race (both racers are short CAS sequences).
+#[test]
+fn registry_join_vs_reclaim_dfs() {
+    let cfg = Config::from_env(Strategy::Dfs {
+        max_schedules: 4000,
+    });
+    let r = explore(cfg, registry_round).assert_ok();
+    summarize("registry_join_vs_reclaim_dfs", &r);
+}

@@ -1,7 +1,10 @@
 //! Bounded exponential backoff for spin loops.
+//!
+//! Spins and yields route through [`crate::hint`], so under the `model`
+//! feature every backoff step is a preemption point that deprioritizes the
+//! spinner — the checker schedules its peers instead of replaying the spin.
 
-use std::hint;
-use std::thread;
+use crate::hint;
 
 /// Exponential backoff helper for contended spin loops.
 ///
@@ -60,7 +63,14 @@ impl Backoff {
     /// to be running.
     #[inline]
     pub fn spin(&mut self) {
-        let spins = 1u32 << self.step.min(Self::YIELD_THRESHOLD);
+        let spins = if cfg!(feature = "model") {
+            // One preemption point per backoff step is all the checker
+            // needs; replaying the exponential count only burns schedule
+            // steps.
+            1
+        } else {
+            1u32 << self.step.min(Self::YIELD_THRESHOLD)
+        };
         for _ in 0..spins {
             hint::spin_loop();
         }
@@ -76,12 +86,16 @@ impl Backoff {
     #[inline]
     pub fn snooze(&mut self) {
         if self.step <= Self::YIELD_THRESHOLD {
-            let spins = 1u32 << self.step;
+            let spins = if cfg!(feature = "model") {
+                1
+            } else {
+                1u32 << self.step
+            };
             for _ in 0..spins {
                 hint::spin_loop();
             }
         } else {
-            thread::yield_now();
+            hint::thread::yield_now();
         }
         if self.step <= Self::MAX_STEP {
             self.step += 1;

@@ -17,8 +17,7 @@
 //! sleeps immediately; only one core ever burns spin cycles, and only
 //! briefly.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
+use crate::hint::{AtomicU64, Ordering};
 use crate::{IdleGate, Padded};
 
 /// Backoff rounds the standby spinner invests before sleeping. Backoff

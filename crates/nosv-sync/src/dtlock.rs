@@ -60,8 +60,8 @@
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
+use crate::hint::{AtomicU32, AtomicU64, Ordering};
 use crate::{Backoff, Padded};
 
 const SLOT_EMPTY: u32 = 0;
@@ -183,29 +183,38 @@ impl<D, V> DtLock<D, V> {
         // `serving`: our turn can arrive with the slot still unclaimed
         // (servers stop delegating at an unpublished ticket), in which
         // case we own the lock outright and never touch the slot.
-        let mut backoff = Backoff::new();
-        loop {
-            if self.serving.load(Ordering::Acquire) == ticket {
-                return Acquired::Holder(DtGuard {
-                    lock: self,
-                    ticket,
-                    served: 0,
-                });
+        #[cfg(not(nosv_check_mutations))]
+        {
+            let mut backoff = Backoff::new();
+            loop {
+                if self.serving.load(Ordering::Acquire) == ticket {
+                    return Acquired::Holder(DtGuard {
+                        lock: self,
+                        ticket,
+                        served: 0,
+                    });
+                }
+                if slot
+                    .state
+                    .compare_exchange_weak(
+                        SLOT_EMPTY,
+                        SLOT_CLAIMING,
+                        Ordering::Acquire,
+                        Ordering::Relaxed,
+                    )
+                    .is_ok()
+                {
+                    break;
+                }
+                backoff.snooze();
             }
-            if slot
-                .state
-                .compare_exchange_weak(
-                    SLOT_EMPTY,
-                    SLOT_CLAIMING,
-                    Ordering::Acquire,
-                    Ordering::Relaxed,
-                )
-                .is_ok()
-            {
-                break;
-            }
-            backoff.snooze();
         }
+        // MUTATION (behind `--cfg nosv_check_mutations`, never in real
+        // builds): re-introduce the pre-PR-1 ring-wraparound bug by
+        // publishing directly over the ring slot without the exclusive
+        // EMPTY -> CLAIMING claim, as if `ticket % capacity` were
+        // collision-free. The model-test suite asserts nosv-check catches
+        // the resulting value loss.
         slot.meta.store(meta, Ordering::Relaxed);
         slot.ticket.store(ticket, Ordering::Relaxed);
         slot.state.store(SLOT_WAITING, Ordering::Release);
@@ -425,7 +434,7 @@ mod tests {
     #[test]
     fn lock_is_mutually_exclusive() {
         const THREADS: usize = 4;
-        const ITERS: usize = 5_000;
+        const ITERS: usize = if cfg!(miri) { 100 } else { 5_000 };
         let lock = Arc::new(DtLock::<usize, ()>::new(0, THREADS));
         let handles: Vec<_> = (0..THREADS)
             .map(|_| {
@@ -450,7 +459,7 @@ mod tests {
     #[test]
     fn delegation_delivers_each_item_exactly_once() {
         const THREADS: usize = 4;
-        const PER_THREAD: usize = 2_000;
+        const PER_THREAD: usize = if cfg!(miri) { 50 } else { 2_000 };
         const TOTAL: usize = THREADS * PER_THREAD;
 
         let queue: Vec<u64> = (0..TOTAL as u64).collect();
@@ -512,7 +521,7 @@ mod tests {
     #[test]
     fn tiny_ring_wraparound_loses_nothing() {
         const THREADS: usize = 4;
-        const PER_THREAD: usize = 10_000;
+        const PER_THREAD: usize = if cfg!(miri) { 100 } else { 10_000 };
         const TOTAL: usize = THREADS * PER_THREAD;
 
         let queue: Vec<u64> = (0..TOTAL as u64).collect();

@@ -1,0 +1,53 @@
+//! The sync facade every protocol in this crate (and `nosv-shmem`) is
+//! written against.
+//!
+//! In a normal build this module is a zero-cost re-export of
+//! `std::sync::atomic` plus the crate's own [`Mutex`]/[`Condvar`] facade and
+//! `std::thread` — the types are *the same types*, so release codegen is
+//! bit-identical to using `std` directly.
+//!
+//! With the `model` feature enabled, the same names resolve to the
+//! `nosv-check` model checker's shims instead: every atomic operation,
+//! mutex acquisition, condvar wait, spawn and yield becomes a preemption
+//! point of a deterministic schedule explorer (see the `nosv-check` crate
+//! docs). The model types are `#[repr(transparent)]` wrappers over the real
+//! atomics, so the layout of `#[repr(C)]` segment-resident structs is
+//! unchanged, and outside an active exploration every operation falls
+//! through to the real one — enabling the feature never changes what
+//! correct code *does*, only what the checker can observe.
+//!
+//! Rules for code in this crate and `nosv-shmem` (enforced by `nosv-lint`):
+//! atomics, `fence`, `spin_loop`, `yield_now` and thread spawns in protocol
+//! code come from this module, never from `std` directly.
+
+/// Memory orderings are always the real `std` orderings; the model checker
+/// records them but explores sequentially consistent interleavings.
+pub use std::sync::atomic::Ordering;
+
+#[cfg(not(feature = "model"))]
+mod imp {
+    pub use crate::mutex::{Condvar, Mutex, MutexGuard};
+    pub use std::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicU64, AtomicUsize};
+
+    /// Thread shims: `spawn`, `yield_now`, `JoinHandle`.
+    pub mod thread {
+        pub use std::thread::{spawn, yield_now, JoinHandle};
+    }
+
+    /// Spin-loop hint (`std::hint::spin_loop`).
+    #[inline(always)]
+    pub fn spin_loop() {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(feature = "model")]
+mod imp {
+    pub use nosv_check::thread;
+    pub use nosv_check::thread::spin_loop;
+    pub use nosv_check::{
+        fence, AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Condvar, Mutex, MutexGuard,
+    };
+}
+
+pub use imp::*;

@@ -53,9 +53,7 @@
 //! consumer.join().unwrap();
 //! ```
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
-use crate::{Condvar, Mutex};
+use crate::hint::{AtomicU64, Condvar, Mutex, Ordering};
 
 /// An event-counted gate for idle threads; see the module docs for the
 /// protocol and its lost-wakeup argument.
@@ -239,7 +237,7 @@ mod tests {
     /// paper over a lost notification, a single loss deadlocks the test.
     #[test]
     fn no_lost_wakeups_under_contention() {
-        const EVENTS: u64 = 20_000;
+        const EVENTS: u64 = if cfg!(miri) { 300 } else { 20_000 };
         let gate = Arc::new(IdleGate::new());
         let pending = Arc::new(AtomicU64::new(0));
 

@@ -38,6 +38,7 @@
 mod backoff;
 mod cpu_gates;
 mod dtlock;
+pub mod hint;
 mod idle_gate;
 mod mutex;
 mod padded;

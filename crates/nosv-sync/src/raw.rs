@@ -1,7 +1,6 @@
 //! A plain-old-data spinlock for placement inside shared-memory segments.
 
-use std::sync::atomic::{AtomicU32, Ordering};
-
+use crate::hint::{AtomicU32, Ordering};
 use crate::Backoff;
 
 /// A spinlock whose entire state is a single `AtomicU32`.
@@ -104,6 +103,7 @@ mod tests {
         assert_eq!(std::mem::size_of::<RawSpinMutex>(), 4);
         assert_eq!(std::mem::align_of::<RawSpinMutex>(), 4);
         // Zeroed state must be the unlocked state.
+        // SAFETY: RawSpinMutex is a bare atomic word; all-zero is valid.
         let m: RawSpinMutex = unsafe { std::mem::zeroed() };
         assert!(!m.is_locked());
         assert!(m.try_lock());
@@ -112,11 +112,12 @@ mod tests {
     #[test]
     fn with_provides_exclusion() {
         const THREADS: usize = 4;
-        const ITERS: usize = 5_000;
+        const ITERS: usize = if cfg!(miri) { 100 } else { 5_000 };
         struct Shared {
             mutex: RawSpinMutex,
             counter: std::cell::UnsafeCell<usize>,
         }
+        // SAFETY: every access to `counter` goes through `mutex`.
         unsafe impl Sync for Shared {}
         let shared = Arc::new(Shared {
             mutex: RawSpinMutex::new(),
@@ -127,6 +128,7 @@ mod tests {
                 let s = Arc::clone(&shared);
                 thread::spawn(move || {
                     for _ in 0..ITERS {
+                        // SAFETY: `with` holds the lock across the increment.
                         s.mutex.with(|| unsafe { *s.counter.get() += 1 });
                     }
                 })
@@ -135,6 +137,7 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+        // SAFETY: all workers are joined, so no concurrent access remains.
         assert_eq!(unsafe { *shared.counter.get() }, THREADS * ITERS);
     }
 

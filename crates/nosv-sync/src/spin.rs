@@ -2,8 +2,8 @@
 
 use std::cell::UnsafeCell;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicBool, Ordering};
 
+use crate::hint::{AtomicBool, Ordering};
 use crate::Backoff;
 
 /// A simple TTAS spinlock guarding a `T`.
@@ -119,7 +119,7 @@ mod tests {
     #[test]
     fn mutual_exclusion_counter() {
         const THREADS: usize = 4;
-        const ITERS: usize = 10_000;
+        const ITERS: usize = if cfg!(miri) { 200 } else { 10_000 };
         let lock = Arc::new(SpinLock::new(0usize));
         let handles: Vec<_> = (0..THREADS)
             .map(|_| {
