@@ -348,8 +348,13 @@ mod tests {
     fn affinity_eliminates_remote_accesses() {
         let plain = run_distributed(DistStrategy::Nosv, &cfg());
         let affine = run_distributed(DistStrategy::NosvAffinity, &cfg());
+        // Floor calibrated to sticky per-submitter shard routing: unpinned
+        // tasks stay in their submitter's shard and migrate through steals
+        // alone (~29% here), where the old round-robin cursor scattered
+        // them at submit time (~33%). The paper's claim is qualitative —
+        // migration is substantial without affinity and zero with it.
         assert!(
-            plain.hpccg_remote_fraction > 0.3,
+            plain.hpccg_remote_fraction > 0.25,
             "unpinned co-execution must migrate tasks: {}",
             plain.hpccg_remote_fraction
         );

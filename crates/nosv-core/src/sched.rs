@@ -295,6 +295,19 @@ impl SchedCore {
         }
     }
 
+    /// Routes a whole batch of ready tasks in submission order — the
+    /// in-shard half of batch submission ([`crate::ShardedCore`] and the
+    /// live runtime both thread batches through here, so a batch lands
+    /// identically in both backends). Semantically a plain loop over
+    /// [`SchedCore::route`]; the win is at the call site, which pays its
+    /// per-enqueue overhead (a delegation-lock acquisition in the live
+    /// runtime) once per batch instead of once per task.
+    pub fn enqueue_batch<S: TaskStore>(&mut self, store: &mut S, tasks: &[S::Task]) {
+        for &task in tasks {
+            self.route(store, task);
+        }
+    }
+
     /// Requeues a yielding task behind all equal-priority ready work — the
     /// paper's `nosv_yield`. Queues are FIFO within a priority level, so
     /// the requeue is exactly a fresh routing; having it here (once) is

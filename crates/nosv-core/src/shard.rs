@@ -16,11 +16,13 @@
 //!   node's first CPU (`shard_of_numa`). Each core/NUMA queue therefore
 //!   has exactly one owning shard and is only ever touched under that
 //!   shard's lock.
-//! * **Unconstrained tasks** round-robin across shards (the caller keeps
-//!   the cursor), spreading load so shards stay busy without stealing.
-//!   With `shards == 1` this degenerates to today's single-queue routing
-//!   (and a process's unconstrained tasks stay globally FIFO; with more
-//!   shards, FIFO holds per shard — the documented trade for scalability).
+//! * **Unconstrained tasks** route *stickily per submitter*: a pure hash
+//!   of the submitter's identity (`submitter % shards`) picks the shard,
+//!   so one producer thread's whole stream lands in one shard — its FIFO
+//!   order survives sharding, its delegation batches stay intact, and the
+//!   mapping needs no shared cursor. Distinct submitters spread across
+//!   shards by their ids; steal rotation rebalances any residual skew.
+//!   With `shards == 1` this degenerates to the single-queue routing.
 //! * **Steal rotation**: a CPU whose shard is empty visits the other
 //!   shards in rotated order (`home+1, home+2, … mod shards`), mirroring
 //!   the in-shard victim rotation.
@@ -91,8 +93,7 @@ impl ShardMap {
     }
 
     /// Owner shard of a *placed* task's target, `None` for unconstrained
-    /// tasks — the placement half of the routing rule, shared by both
-    /// cursor flavors below.
+    /// tasks — the placement half of the routing rule.
     #[inline]
     pub fn placed_shard(&self, affinity: Affinity) -> Option<usize> {
         match affinity {
@@ -103,32 +104,21 @@ impl ShardMap {
     }
 
     /// Destination shard of a submission: placed tasks go to the shard
-    /// owning their target; unconstrained tasks round-robin through the
-    /// caller's cursor (incremented here, once per unconstrained task —
-    /// both backends share the cursor discipline, so routing is
-    /// deterministic given the submission order).
+    /// owning their target; unconstrained tasks go to the shard their
+    /// *submitter* hashes to (`submitter % shards`).
+    ///
+    /// The sticky-per-submitter rule is a pure function of its arguments —
+    /// no shared cursor — so every backend (live lock-free submit, locked
+    /// fallback, simulator, parity fuzz) routes identically by
+    /// construction. One producer thread's unconstrained stream stays in
+    /// one shard: its FIFO order is preserved and its delegation batches
+    /// are not scattered (the round-robin cursor this replaces sprayed
+    /// consecutive submissions of one producer across every shard, which
+    /// measurably *hurt* many-producer throughput).
     #[inline]
-    pub fn route_shard(&self, affinity: Affinity, rr_cursor: &mut u64) -> usize {
-        self.placed_shard(affinity).unwrap_or_else(|| {
-            let s = (*rr_cursor % self.shards as u64) as usize;
-            *rr_cursor = rr_cursor.wrapping_add(1);
-            s
-        })
-    }
-
-    /// [`ShardMap::route_shard`] over a shared atomic cursor — the live
-    /// runtime's lock-free submit path. Same rule, same cursor sequence
-    /// (each unconstrained submission consumes one tick).
-    #[inline]
-    pub fn route_shard_atomic(
-        &self,
-        affinity: Affinity,
-        rr_cursor: &std::sync::atomic::AtomicU64,
-    ) -> usize {
-        self.placed_shard(affinity).unwrap_or_else(|| {
-            (rr_cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed) % self.shards as u64)
-                as usize
-        })
+    pub fn route_shard(&self, affinity: Affinity, submitter: u64) -> usize {
+        self.placed_shard(affinity)
+            .unwrap_or_else(|| (submitter % self.shards as u64) as usize)
     }
 
     /// The other shards in steal order for a CPU of `home`:
@@ -197,23 +187,23 @@ mod tests {
     }
 
     #[test]
-    fn unconstrained_round_robins() {
+    fn unconstrained_routes_stick_to_the_submitter() {
         let m = ShardMap::new(4, 0, 2);
-        let mut rr = 0;
-        let got: Vec<usize> = (0..5)
-            .map(|_| m.route_shard(Affinity::None, &mut rr))
-            .collect();
-        assert_eq!(got, vec![0, 1, 0, 1, 0]);
-        // Placed tasks never touch the cursor.
-        let before = rr;
-        m.route_shard(
-            Affinity::Core {
-                index: 3,
-                strict: true,
-            },
-            &mut rr,
-        );
-        assert_eq!(rr, before);
+        // One submitter's whole unconstrained stream lands in one shard.
+        for _ in 0..5 {
+            assert_eq!(m.route_shard(Affinity::None, 0), 0);
+            assert_eq!(m.route_shard(Affinity::None, 1), 1);
+        }
+        // Submitter ids spread across shards by modulo.
+        assert_eq!(m.route_shard(Affinity::None, 2), 0);
+        assert_eq!(m.route_shard(Affinity::None, 7), 1);
+        // Placed tasks ignore the submitter entirely.
+        let placed = Affinity::Core {
+            index: 3,
+            strict: true,
+        };
+        assert_eq!(m.route_shard(placed, 0), m.route_shard(placed, 1));
+        assert_eq!(m.route_shard(placed, 0), 1, "core 3 belongs to shard 1");
     }
 
     #[test]

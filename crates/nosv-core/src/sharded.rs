@@ -9,7 +9,7 @@
 //! the *same composition in the same order*:
 //!
 //! * routing: placed tasks to the owner shard, unconstrained tasks
-//!   round-robin ([`ShardMap::route_shard`]);
+//!   sticky per submitter ([`ShardMap::route_shard`]);
 //! * picking: the CPU's home shard first, then the other shards in
 //!   rotation via [`SchedCore::steal_for_remote`] (reported as a
 //!   [`PickSource::Steal`]).
@@ -102,8 +102,6 @@ pub struct ShardedCore {
     shards: Vec<SchedCore>,
     map: ShardMap,
     max_procs: usize,
-    /// Round-robin cursor for unconstrained submissions.
-    rr_submit: u64,
 }
 
 impl ShardedCore {
@@ -121,7 +119,6 @@ impl ShardedCore {
                 .collect(),
             map,
             max_procs,
-            rr_submit: 0,
         }
     }
 
@@ -175,14 +172,40 @@ impl ShardedCore {
     }
 
     /// Routes a ready task into its destination shard's queues; returns
-    /// the shard chosen.
-    pub fn route<S: TaskStore>(&mut self, store: &mut S, task: S::Task) -> usize {
-        let shard = self
-            .map
-            .route_shard(store.affinity(task), &mut self.rr_submit);
+    /// the shard chosen. `submitter` identifies the producer (application
+    /// index in the simulator, producer-thread tag in the live runtime):
+    /// unconstrained tasks stick to `submitter % shards`
+    /// ([`ShardMap::route_shard`]).
+    pub fn route<S: TaskStore>(&mut self, store: &mut S, task: S::Task, submitter: u64) -> usize {
+        let shard = self.map.route_shard(store.affinity(task), submitter);
         let mut view = ShardView::new(store, shard, self.max_procs);
         self.shards[shard].route(&mut view, task);
         shard
+    }
+
+    /// Routes a whole batch from one submitter in submission order.
+    ///
+    /// Placed tasks still go to their owner shards; the unconstrained
+    /// remainder all shares the submitter's sticky shard, where it is
+    /// enqueued through [`SchedCore::enqueue_batch`] — the same
+    /// composition the live runtime's batch submission performs, pinned
+    /// down here for parity.
+    pub fn route_batch<S: TaskStore>(&mut self, store: &mut S, tasks: &[S::Task], submitter: u64) {
+        let sticky = self.map.route_shard(Affinity::None, submitter);
+        let mut unconstrained = Vec::with_capacity(tasks.len());
+        for &task in tasks {
+            match self.map.placed_shard(store.affinity(task)) {
+                Some(shard) => {
+                    let mut view = ShardView::new(store, shard, self.max_procs);
+                    self.shards[shard].route(&mut view, task);
+                }
+                None => unconstrained.push(task),
+            }
+        }
+        if !unconstrained.is_empty() {
+            let mut view = ShardView::new(store, sticky, self.max_procs);
+            self.shards[sticky].enqueue_batch(&mut view, &unconstrained);
+        }
     }
 
     /// The scheduling decision for one CPU: its home shard's full pick
@@ -256,8 +279,18 @@ mod tests {
         id: u64,
         affinity: Affinity,
     ) -> usize {
+        submit_from(core, store, id, affinity, 0)
+    }
+
+    fn submit_from(
+        core: &mut ShardedCore,
+        store: &mut HeapStore<u64>,
+        id: u64,
+        affinity: Affinity,
+        submitter: u64,
+    ) -> usize {
         let t = store.insert(0, 10, 0, affinity, id);
-        core.route(store, t)
+        core.route(store, t, submitter)
     }
 
     #[test]
@@ -275,13 +308,52 @@ mod tests {
     }
 
     #[test]
-    fn unconstrained_tasks_round_robin_across_shards() {
+    fn unconstrained_tasks_stick_to_their_submitters_shard() {
         let (mut core, mut store, _) = setup(4, 2, 2);
         core.register_proc(0, 10);
         let shards: Vec<usize> = (0..4)
-            .map(|id| submit(&mut core, &mut store, id, Affinity::None))
+            .map(|id| submit_from(&mut core, &mut store, id, Affinity::None, id))
             .collect();
-        assert_eq!(shards, vec![0, 1, 0, 1]);
+        assert_eq!(shards, vec![0, 1, 0, 1], "submitter id % shards");
+        // One submitter never scatters across shards.
+        for id in 4..8 {
+            assert_eq!(
+                submit_from(&mut core, &mut store, id, Affinity::None, 1),
+                1
+            );
+        }
+        core.assert_masks_consistent(&mut store);
+    }
+
+    #[test]
+    fn route_batch_matches_per_task_routing() {
+        let (mut core, mut store, policy) = setup(4, 2, 2);
+        core.register_proc(0, 10);
+        // Mixed batch: unconstrained tasks follow submitter 1's sticky
+        // shard, the placed task its owner shard — exactly as if routed
+        // one by one.
+        let placed = Affinity::Core {
+            index: 0,
+            strict: true,
+        };
+        let tasks: Vec<_> = [
+            (0u64, Affinity::None),
+            (1, placed),
+            (2, Affinity::None),
+        ]
+        .iter()
+        .map(|&(id, aff)| store.insert(0, 10, 0, aff, id))
+        .collect();
+        core.route_batch(&mut store, &tasks, 1);
+        assert_eq!(core.shard(1).proc_ready_count(0), 2, "unconstrained pair");
+        // CPU 0 (shard 0) takes its strict core task locally.
+        let p = core.pick(&mut store, &policy, 0, 0).unwrap();
+        assert_eq!(store.remove(p.task), 1);
+        // CPU 2 (shard 1) drains the sticky pair in FIFO order.
+        let p = core.pick(&mut store, &policy, 2, 0).unwrap();
+        assert_eq!(store.remove(p.task), 0);
+        let p = core.pick(&mut store, &policy, 2, 0).unwrap();
+        assert_eq!(store.remove(p.task), 2);
         core.assert_masks_consistent(&mut store);
     }
 
@@ -311,10 +383,11 @@ mod tests {
     fn empty_home_shard_steals_cross_shard() {
         let (mut core, mut store, policy) = setup(4, 2, 2);
         core.register_proc(0, 10);
-        // Two unconstrained tasks: rr puts task 0 in shard 0, task 1 in
-        // shard 1. CPU 0 picks its home task, then cross-steals shard 1's.
-        submit(&mut core, &mut store, 0, Affinity::None);
-        submit(&mut core, &mut store, 1, Affinity::None);
+        // Two unconstrained tasks from distinct submitters: task 0 lands
+        // in shard 0, task 1 in shard 1. CPU 0 picks its home task, then
+        // cross-steals shard 1's.
+        submit_from(&mut core, &mut store, 0, Affinity::None, 0);
+        submit_from(&mut core, &mut store, 1, Affinity::None, 1);
         let p0 = core.pick(&mut store, &policy, 0, 0).unwrap();
         assert!(matches!(p0.source, PickSource::Process { .. }));
         assert_eq!(store.remove(p0.task), 0);
@@ -402,7 +475,7 @@ mod tests {
         let (mut core, mut store, policy) = setup(4, 2, 2);
         core.register_proc(0, 10);
         for id in 0..4 {
-            submit(&mut core, &mut store, id, Affinity::None);
+            submit_from(&mut core, &mut store, id, Affinity::None, id);
         }
         assert_eq!(core.proc_ready_count(0), 4);
         while let Some(p) = core.pick(&mut store, &policy, 1, 0) {

@@ -73,6 +73,6 @@ pub use layout::{SegmentGeometry, CHUNK_SIZE, MAX_PROCS, NUM_CLASSES, SIZE_CLASS
 pub use offset::{AtomicShoff, Shoff};
 pub use os::{os_backing_available, process_alive, MapError, OsBackend};
 pub use registry::{AttachError, JoinState, ProcessId, SlotView};
-pub use ring::{RingSlot, SubmitRing};
+pub use ring::{LaneRing, RingSlot, SubmitRing, MAX_SUBMIT_LANES};
 pub use segment::{SegmentConfig, ShmSegment, CAP_GUEST_JOIN, SEGMENT_VERSION};
 pub use slab::{AllocError, AllocStats};

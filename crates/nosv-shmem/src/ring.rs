@@ -23,7 +23,16 @@
 //! [`SubmitRing::push`] fails fast so the caller can take its bounded
 //! fallback path (the runtime falls back to a locked enqueue). Pops are
 //! only ever issued by the scheduler-lock holder, which is what makes the
-//! single-consumer restriction free.
+//! single-consumer restriction free. Batch producers reserve N
+//! consecutive positions with one CAS ([`SubmitRing::push_n`]), trading
+//! the per-slot turn check for an Acquire read of the consumer cursor.
+//!
+//! [`LaneRing`] fans one process's submission channel out over a small
+//! array of rings (*lanes*), one per producer thread (hashed when threads
+//! exceed lanes), so concurrent producers stop contending on a single
+//! tail word; a dirty-lane bitmap tells the consumer which lanes to
+//! drain, mirroring the scheduler's per-process `ring_mask` discipline
+//! one level down.
 //!
 //! A zeroed `SubmitRing` is a valid *uninitialized* ring (capacity 0,
 //! null buffer): pushes fail and pops return `None` until
@@ -174,8 +183,72 @@ impl SubmitRing {
         let value = slot.value.load(Ordering::Relaxed);
         // Release the slot for the producer one lap ahead.
         slot.seq.store(pos + cap, Ordering::Release);
-        self.head.store(pos + 1, Ordering::Relaxed);
+        // Release so a batch producer that observes the new head through
+        // its Acquire load in `push_n` also observes every slot release
+        // (`seq` store above) made before it — that is what lets `push_n`
+        // treat `cap - (tail - head)` slots as free without touching each
+        // slot's sequence word.
+        self.head.store(pos + 1, Ordering::Release);
         Some(value)
+    }
+
+    /// Pushes a batch of values with **one** tail reservation: claims
+    /// `min(values.len(), free)` consecutive positions in a single CAS and
+    /// publishes them in order. Returns how many values were pushed (a
+    /// prefix of `values`); `0` when the ring is full or uninitialized.
+    ///
+    /// Free-slot accounting: the producer reads `head` (Acquire) and
+    /// treats `cap - (tail - head)` slots as claimable. The consumer
+    /// stores `head` with Release *after* releasing the slot sequence
+    /// words, so every slot inside the claimed window is guaranteed
+    /// already released for this lap — no per-slot turn check is needed.
+    /// Interoperates freely with concurrent [`SubmitRing::push`] callers
+    /// (both claim positions through the same `tail` CAS).
+    pub fn push_n(&self, seg: &ShmSegment, values: &[u64]) -> usize {
+        if values.is_empty() {
+            return 0;
+        }
+        let cap = self.cap.load(Ordering::Acquire);
+        if cap == 0 {
+            return 0;
+        }
+        let mask = cap - 1;
+        let buf = self.buf.load(Ordering::Acquire);
+        let mut pos = self.tail.load(Ordering::Relaxed);
+        loop {
+            let head = self.head.load(Ordering::Acquire);
+            if head > pos {
+                // Stale tail snapshot: another producer advanced the tail
+                // past our read and the consumer drained beyond it.
+                pos = self.tail.load(Ordering::Relaxed);
+                continue;
+            }
+            let free = cap - (pos - head);
+            let k = (values.len() as u64).min(free);
+            if k == 0 {
+                return 0; // full (possibly conservatively: head may lag)
+            }
+            match self.tail.compare_exchange_weak(
+                pos,
+                pos + k,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    for (i, &v) in values[..k as usize].iter().enumerate() {
+                        let off = Self::slot_off(buf, pos + i as u64, mask);
+                        // SAFETY: `buf` is a live slot array of `cap`
+                        // entries; the mask keeps the index in range, and
+                        // positions `pos..pos+k` are exclusively ours.
+                        let slot = unsafe { seg.sref(off) };
+                        slot.value.store(v, Ordering::Relaxed);
+                        slot.seq.store(pos + i as u64 + 1, Ordering::Release);
+                    }
+                    return k as usize;
+                }
+                Err(current) => pos = current,
+            }
+        }
     }
 
     /// Racy occupancy estimate (exact when quiescent).
@@ -197,6 +270,162 @@ impl std::fmt::Debug for SubmitRing {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SubmitRing")
             .field("capacity", &self.capacity())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// Largest supported lane count per [`LaneRing`] (the in-segment array is
+/// sized for it).
+pub const MAX_SUBMIT_LANES: usize = 8;
+
+/// A small array of [`SubmitRing`] *lanes* plus a dirty-lane bitmap:
+/// the per-producer fan-out of one process's submission channel.
+///
+/// With a single ring, every producer thread of a process CAS-contends on
+/// one `tail` word; with lanes, each producer hashes to its own lane
+/// (`tag % lanes`, where `tag` is a per-producer-thread id), so disjoint
+/// producers claim slots on disjoint cache lines. FIFO holds **per lane**
+/// — and therefore per producer thread, since a producer's tag is stable —
+/// while cross-lane order is decided by the consumer's drain order (the
+/// same trade the sharded scheduler already documents for cross-shard
+/// order).
+///
+/// Producers mark their lane in `lane_mask` (Release) *after* a
+/// successful push; the single consumer clears the bitmap (AcqRel swap in
+/// [`LaneRing::take_dirty`]) *before* draining the lanes it saw, so a
+/// concurrent push either lands in a drained-later position or re-marks
+/// the bitmap — a value is never stranded behind a cleared bit.
+///
+/// `repr(C)`, offset-linked and zero-valid: a zeroed `LaneRing` has zero
+/// lanes, pushes fail and drains see nothing until [`LaneRing::init`].
+#[repr(C)]
+pub struct LaneRing {
+    /// Number of active lanes (a power of two ≤ [`MAX_SUBMIT_LANES`]);
+    /// `0` until initialized.
+    lanes: AtomicU64,
+    /// Bit per lane that may hold entries; see the type docs for the
+    /// marking discipline.
+    lane_mask: AtomicU64,
+    rings: [SubmitRing; MAX_SUBMIT_LANES],
+}
+
+impl LaneRing {
+    /// Allocates `lanes` rings of `capacity` slots each and publishes the
+    /// lane count. Idempotent: an initialized `LaneRing` is left untouched
+    /// (the existing lane count wins).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lanes` is zero, not a power of two, or above
+    /// [`MAX_SUBMIT_LANES`]; or when `capacity` is not a power of two.
+    pub fn init(&self, seg: &ShmSegment, lanes: usize, capacity: usize) -> Result<(), AllocError> {
+        assert!(
+            lanes.is_power_of_two() && lanes <= MAX_SUBMIT_LANES,
+            "lane count must be a power of two at most {MAX_SUBMIT_LANES}, got {lanes}"
+        );
+        if self.lanes.load(Ordering::Acquire) != 0 {
+            return Ok(());
+        }
+        for ring in &self.rings[..lanes] {
+            ring.init(seg, capacity)?;
+        }
+        // Publishing a nonzero lane count is what makes the lanes visible
+        // to producers; Release pairs with their Acquire load.
+        self.lanes.store(lanes as u64, Ordering::Release);
+        Ok(())
+    }
+
+    /// Whether [`LaneRing::init`] has run.
+    #[inline]
+    pub fn is_init(&self) -> bool {
+        self.lanes.load(Ordering::Acquire) != 0
+    }
+
+    /// Number of active lanes, `0` when uninitialized.
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        self.lanes.load(Ordering::Acquire) as usize
+    }
+
+    /// The lane a producer with identity `tag` pushes to.
+    #[inline]
+    pub fn lane_of(&self, tag: u64) -> usize {
+        let lanes = self.lanes.load(Ordering::Acquire);
+        if lanes == 0 {
+            0
+        } else {
+            (tag & (lanes - 1)) as usize
+        }
+    }
+
+    /// Pushes `value` into producer `tag`'s lane and marks the lane dirty;
+    /// `false` when that lane is full or the `LaneRing` is uninitialized
+    /// (the caller takes its fallback path — a full lane does **not**
+    /// spill into a sibling lane, preserving per-producer FIFO).
+    pub fn push(&self, seg: &ShmSegment, tag: u64, value: u64) -> bool {
+        let lanes = self.lanes.load(Ordering::Acquire);
+        if lanes == 0 {
+            return false;
+        }
+        let lane = (tag & (lanes - 1)) as usize;
+        if !self.rings[lane].push(seg, value) {
+            return false;
+        }
+        self.lane_mask.fetch_or(1 << lane, Ordering::Release);
+        true
+    }
+
+    /// Batch push into producer `tag`'s lane: one tail reservation for the
+    /// whole prefix ([`SubmitRing::push_n`]), one dirty-mark. Returns how
+    /// many values were pushed.
+    pub fn push_n(&self, seg: &ShmSegment, tag: u64, values: &[u64]) -> usize {
+        let lanes = self.lanes.load(Ordering::Acquire);
+        if lanes == 0 {
+            return 0;
+        }
+        let lane = (tag & (lanes - 1)) as usize;
+        let pushed = self.rings[lane].push_n(seg, values);
+        if pushed > 0 {
+            self.lane_mask.fetch_or(1 << lane, Ordering::Release);
+        }
+        pushed
+    }
+
+    /// Clears and returns the dirty-lane bitmap (single consumer only).
+    ///
+    /// AcqRel: the Acquire half makes the marked lanes' pushes visible,
+    /// the Release half orders the clear before the drain so a producer
+    /// racing with the drain re-marks rather than being missed. The caller
+    /// must drain every lane whose bit is set.
+    #[inline]
+    pub fn take_dirty(&self) -> u64 {
+        self.lane_mask.swap(0, Ordering::AcqRel)
+    }
+
+    /// Direct access to lane `i` (consumer drain / tests).
+    #[inline]
+    pub fn lane(&self, i: usize) -> &SubmitRing {
+        &self.rings[i]
+    }
+
+    /// Racy occupancy estimate across all lanes (exact when quiescent).
+    pub fn len(&self) -> u64 {
+        let lanes = self.lanes.load(Ordering::Acquire) as usize;
+        self.rings[..lanes].iter().map(|r| r.len()).sum()
+    }
+
+    /// Whether every lane is currently empty (racy).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for LaneRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LaneRing")
+            .field("lanes", &self.lanes())
             .field("len", &self.len())
             .finish()
     }
@@ -293,6 +522,188 @@ mod tests {
     fn non_power_of_two_capacity_panics() {
         let s = seg();
         let _ = ring(&s, 6);
+    }
+
+    #[test]
+    fn push_n_reserves_a_prefix_and_preserves_fifo() {
+        let s = seg();
+        let r = ring(&s, 8);
+        assert_eq!(r.push_n(&s, &[1, 2, 3]), 3);
+        assert!(r.push(&s, 4));
+        // Only 4 slots free: a 6-value batch pushes a 4-value prefix.
+        assert_eq!(r.push_n(&s, &[5, 6, 7, 8, 9, 10]), 4);
+        assert_eq!(r.push_n(&s, &[99]), 0, "full ring pushes nothing");
+        for v in 1..=8u64 {
+            assert_eq!(r.pop(&s), Some(v));
+        }
+        assert_eq!(r.pop(&s), None);
+        // After a pop cycle the freed slots are claimable again.
+        assert_eq!(r.push_n(&s, &[11, 12]), 2);
+        assert_eq!(r.pop(&s), Some(11));
+        assert_eq!(r.pop(&s), Some(12));
+    }
+
+    #[test]
+    fn push_n_on_uninitialized_or_empty_input_is_benign() {
+        let s = seg();
+        let uninit = ring(&s, 0);
+        assert_eq!(uninit.push_n(&s, &[1, 2]), 0);
+        let r = ring(&s, 4);
+        assert_eq!(r.push_n(&s, &[]), 0);
+        assert!(r.is_empty());
+    }
+
+    /// Batch and single producers interleave on one ring across laps:
+    /// exactly-once delivery and per-producer order must hold.
+    #[test]
+    fn push_n_interoperates_with_push_across_laps() {
+        let s = seg();
+        let r = ring(&s, 4);
+        let mut expect = Vec::new();
+        let mut next = 0u64;
+        for _ in 0..500 {
+            let batch: Vec<u64> = (next..next + 3).collect();
+            let pushed = r.push_n(&s, &batch);
+            next += pushed as u64;
+            expect.extend(&batch[..pushed]);
+            if r.push(&s, u64::MAX) {
+                expect.push(u64::MAX);
+            }
+            while let Some(v) = r.pop(&s) {
+                assert_eq!(v, expect.remove(0));
+            }
+        }
+        assert!(expect.is_empty());
+    }
+
+    #[test]
+    fn lane_ring_zero_valid_and_idempotent_init() {
+        let s = seg();
+        let off = s.alloc_zeroed(std::mem::size_of::<LaneRing>(), 0).unwrap();
+        // SAFETY: zeroed LaneRing is a valid uninitialized lane ring.
+        let lr: &LaneRing = unsafe { s.sref(off.cast()) };
+        assert!(!lr.is_init());
+        assert!(!lr.push(&s, 0, 7));
+        assert_eq!(lr.push_n(&s, 0, &[1]), 0);
+        assert_eq!(lr.take_dirty(), 0);
+        lr.init(&s, 4, 8).unwrap();
+        assert_eq!(lr.lanes(), 4);
+        lr.init(&s, 2, 8).unwrap(); // must not clobber the live lanes
+        assert_eq!(lr.lanes(), 4);
+    }
+
+    #[test]
+    fn lanes_separate_producers_and_mark_dirty_bits() {
+        let s = seg();
+        let off = s.alloc_zeroed(std::mem::size_of::<LaneRing>(), 0).unwrap();
+        // SAFETY: as above.
+        let lr: &LaneRing = unsafe { s.sref(off.cast()) };
+        lr.init(&s, 4, 8).unwrap();
+        // Tags 0 and 5 land in lanes 0 and 1; tag 4 shares lane 0 (hash).
+        assert!(lr.push(&s, 0, 10));
+        assert!(lr.push(&s, 5, 20));
+        assert!(lr.push(&s, 4, 11));
+        assert_eq!(lr.lane_of(4), 0);
+        assert_eq!(lr.len(), 3);
+        let dirty = lr.take_dirty();
+        assert_eq!(dirty, 0b11, "lanes 0 and 1 marked");
+        assert_eq!(lr.take_dirty(), 0, "bitmap cleared by the first take");
+        // Per-lane FIFO: lane 0 holds tag-0 then tag-4 pushes.
+        assert_eq!(lr.lane(0).pop(&s), Some(10));
+        assert_eq!(lr.lane(0).pop(&s), Some(11));
+        assert_eq!(lr.lane(1).pop(&s), Some(20));
+        assert!(lr.is_empty());
+    }
+
+    #[test]
+    fn lane_full_does_not_spill_to_sibling_lanes() {
+        let s = seg();
+        let off = s.alloc_zeroed(std::mem::size_of::<LaneRing>(), 0).unwrap();
+        // SAFETY: as above.
+        let lr: &LaneRing = unsafe { s.sref(off.cast()) };
+        lr.init(&s, 2, 2).unwrap();
+        assert!(lr.push(&s, 0, 1));
+        assert!(lr.push(&s, 0, 2));
+        assert!(!lr.push(&s, 0, 3), "lane 0 full: fail fast, no spill");
+        assert!(lr.push(&s, 1, 4), "lane 1 unaffected");
+        assert_eq!(lr.push_n(&s, 0, &[5, 6]), 0);
+        assert_eq!(lr.push_n(&s, 1, &[7, 8]), 1, "one slot left in lane 1");
+    }
+
+    /// Concurrent producers on distinct lanes plus batch pushes: every
+    /// value exactly once, FIFO per producer.
+    #[test]
+    fn lane_ring_multi_producer_exactly_once() {
+        const PRODUCERS: u64 = 4;
+        const PER_PRODUCER: u64 = if cfg!(miri) { 60 } else { 3_000 };
+        const BATCH: usize = 8;
+        let s = seg();
+        let off = s.alloc_zeroed(std::mem::size_of::<LaneRing>(), 0).unwrap();
+        // SAFETY: the LaneRing lives in the segment for the whole test.
+        let lr: &LaneRing = unsafe { s.sref(off.cast()) };
+        lr.init(&s, 2, 8).unwrap(); // 4 producers share 2 lanes
+        let lr_addr = lr as *const LaneRing as usize;
+
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let s = s.clone();
+                thread::spawn(move || {
+                    // SAFETY: as above.
+                    let lr = unsafe { &*(lr_addr as *const LaneRing) };
+                    let mut i = 0;
+                    while i < PER_PRODUCER {
+                        let hi = (i + BATCH as u64).min(PER_PRODUCER);
+                        let batch: Vec<u64> =
+                            (i..hi).map(|j| p * PER_PRODUCER + j).collect();
+                        let pushed = lr.push_n(&s, p, &batch);
+                        i += pushed as u64;
+                        if pushed == 0 {
+                            thread::yield_now(); // full: consumer will drain
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        let consumer = {
+            let s = s.clone();
+            thread::spawn(move || {
+                // SAFETY: as above.
+                let lr = unsafe { &*(lr_addr as *const LaneRing) };
+                let mut last = vec![None::<u64>; PRODUCERS as usize];
+                let mut got = 0;
+                while got < PRODUCERS * PER_PRODUCER {
+                    let dirty = lr.take_dirty();
+                    if dirty == 0 {
+                        thread::yield_now();
+                        continue;
+                    }
+                    for lane in 0..lr.lanes() {
+                        if dirty & (1 << lane) == 0 {
+                            continue;
+                        }
+                        while let Some(v) = lr.lane(lane).pop(&s) {
+                            let p = (v / PER_PRODUCER) as usize;
+                            let i = v % PER_PRODUCER;
+                            if let Some(prev) = last[p] {
+                                assert!(i > prev, "producer {p} reordered");
+                            }
+                            last[p] = Some(i);
+                            got += 1;
+                        }
+                    }
+                }
+                // Drained everything: each producer's last index is final.
+                for (p, l) in last.iter().enumerate() {
+                    assert_eq!(*l, Some(PER_PRODUCER - 1), "producer {p} lost values");
+                }
+            })
+        };
+
+        for p in producers {
+            p.join().unwrap();
+        }
+        consumer.join().unwrap();
     }
 
     /// Many producers, one consumer, a tiny ring: every pushed value must

@@ -9,6 +9,16 @@
 //!
 //! * **SubmitRing** — every pushed value is popped exactly once, in FIFO
 //!   order per producer;
+//! * **SubmitRing::push_n** — the reserve-N batch push hands out each
+//!   accepted slot exactly once across wraparound (no slot resurrection)
+//!   and never reorders a producer's accepted prefix;
+//! * **LaneRing** — per-lane exactly-once under lane-claim races (two
+//!   producers hashed to one lane) and no task stranded behind a cleared
+//!   dirty bit (mark-after-push vs. swap-before-drain);
+//! * **batch split** — the ready-counter discipline around a split batch
+//!   (ring prefix + locked overflow, counter *not* rolled back) never
+//!   strands work invisibly: a server woken by the counter finds every
+//!   task, and the counter returns to zero;
 //! * **ClaimTable** — an armed slot is won by exactly one claimer, and the
 //!   owner's disarm observes exactly the winning deposit;
 //! * **registry** — the join handshake's `Requested → Active` ack and the
@@ -30,8 +40,8 @@
 use std::sync::Arc;
 
 use nosv_check::{explore, Config, Report, Strategy};
-use nosv_shmem::{ClaimTable, JoinState, SegmentConfig, ShmSegment, SubmitRing};
-use nosv_sync::hint::thread;
+use nosv_shmem::{ClaimTable, JoinState, LaneRing, SegmentConfig, ShmSegment, SubmitRing};
+use nosv_sync::hint::{thread, AtomicU64, Mutex, Ordering};
 
 /// Prints a one-line exploration summary (visible with `--nocapture`).
 fn summarize(name: &str, r: &Report) {
@@ -153,6 +163,300 @@ fn ring_spsc_dfs() {
     });
     let r = explore(cfg, || ring_round(1, 2, 2)).assert_ok();
     summarize("ring_spsc_dfs", &r);
+}
+
+// ---------------------------------------------------------------------------
+// SubmitRing::push_n: reserve-N without slot resurrection
+// ---------------------------------------------------------------------------
+
+/// One producer feeds `1..=total` through retrying `push_n` calls over the
+/// remaining suffix while the consumer pops concurrently from a
+/// `capacity`-slot ring. The concurrent pops advance `head` mid-reservation
+/// and force wraparound, so every reserve-N edge is hit: stale-tail retry,
+/// partial acceptance, slot reuse. Invariant: the consumer sees exactly
+/// `1, 2, …, total` in order — a resurrected (reused-slot) value, a
+/// double-handed slot or a dropped suffix all break the sequence.
+fn push_n_round(total: u64, capacity: usize) {
+    let s = seg();
+    let r = ring(&s, capacity);
+    let addr = r as *const SubmitRing as usize;
+
+    let producer = {
+        let s = s.clone();
+        thread::spawn(move || {
+            // SAFETY: the ring lives in the segment mapping, which the
+            // cloned handle keeps alive for the thread's lifetime.
+            let r = unsafe { &*(addr as *const SubmitRing) };
+            let values: Vec<u64> = (1..=total).collect();
+            let mut idx = 0usize;
+            while idx < values.len() {
+                let k = r.push_n(&s, &values[idx..]);
+                if k == 0 {
+                    thread::yield_now();
+                }
+                idx += k;
+            }
+        })
+    };
+
+    let mut popped = Vec::with_capacity(total as usize);
+    while popped.len() < total as usize {
+        match r.pop(&s) {
+            Some(v) => popped.push(v),
+            None => thread::yield_now(),
+        }
+    }
+    producer.join().unwrap();
+    assert_eq!(r.pop(&s), None, "ring must be empty after draining");
+    let expected: Vec<u64> = (1..=total).collect();
+    assert_eq!(
+        popped, expected,
+        "reserve-N lost, duplicated or resurrected a slot"
+    );
+}
+
+/// Randomized sweep: five values through a two-slot ring (two-plus wraps,
+/// every call a potential split).
+#[test]
+fn push_n_no_slot_resurrection_random() {
+    let cfg = Config::from_env(Strategy::Random { schedules: 4000 });
+    let r = explore(cfg, || push_n_round(5, 2)).assert_ok();
+    summarize("push_n_no_slot_resurrection_random", &r);
+    assert_mostly_distinct(&r);
+}
+
+/// Bounded DFS of the minimal split (three values, two slots: the first
+/// call must be accepted partially or retried against a moving head).
+#[test]
+fn push_n_split_dfs() {
+    let cfg = Config::from_env(Strategy::Dfs {
+        max_schedules: 4000,
+    });
+    let r = explore(cfg, || push_n_round(3, 2)).assert_ok();
+    summarize("push_n_split_dfs", &r);
+}
+
+// ---------------------------------------------------------------------------
+// LaneRing: per-lane exactly-once, no task stranded behind a cleared bit
+// ---------------------------------------------------------------------------
+
+fn lane_ring(seg: &ShmSegment, lanes: usize, capacity: usize) -> &LaneRing {
+    let off = seg
+        .alloc_zeroed(std::mem::size_of::<LaneRing>(), 0)
+        .expect("segment has room for a lane-ring header");
+    // SAFETY: freshly allocated, zeroed, in-bounds; LaneRing is zero-valid.
+    let lr: &LaneRing = unsafe { seg.sref(off.cast()) };
+    lr.init(seg, lanes, capacity).unwrap();
+    lr
+}
+
+/// Producers with the given tags each push `per_producer` tagged values;
+/// the single consumer drains **only** lanes whose dirty bit it takes
+/// (exactly the scheduler's drain discipline). A task stranded behind a
+/// cleared bit — the failure the mark-after-push / swap-before-drain
+/// pairing exists to prevent — leaves the consumer spinning on an empty
+/// mask and fails the schedule. Invariants: exactly-once delivery, FIFO
+/// per producer (tags hashing to a shared lane race their slot claims but
+/// never reorder an individual producer).
+fn lane_round(tags: &[u64], per_producer: u64, lanes: usize, capacity: usize) {
+    let s = seg();
+    let lr = lane_ring(&s, lanes, capacity);
+    let addr = lr as *const LaneRing as usize;
+    let total = tags.len() as u64 * per_producer;
+
+    let handles: Vec<_> = tags
+        .iter()
+        .enumerate()
+        .map(|(p, &tag)| {
+            let s = s.clone();
+            thread::spawn(move || {
+                // SAFETY: the lane ring lives in the segment mapping, which
+                // the cloned handle keeps alive for the thread's lifetime.
+                let lr = unsafe { &*(addr as *const LaneRing) };
+                for i in 0..per_producer {
+                    let value = 100 * (p as u64 + 1) + i;
+                    while !lr.push(&s, tag, value) {
+                        thread::yield_now();
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let mut popped = Vec::with_capacity(total as usize);
+    while popped.len() < total as usize {
+        let dirty = lr.take_dirty();
+        if dirty == 0 {
+            thread::yield_now();
+            continue;
+        }
+        let mut bits = dirty;
+        while bits != 0 {
+            let lane = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            while let Some(v) = lr.lane(lane).pop(&s) {
+                popped.push(v);
+            }
+        }
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    for lane in 0..lanes {
+        assert_eq!(lr.lane(lane).pop(&s), None, "lane {lane} not drained");
+    }
+
+    // Exactly once: the popped multiset equals the pushed set.
+    let mut sorted = popped.clone();
+    sorted.sort_unstable();
+    let expected: Vec<u64> = (1..=tags.len() as u64)
+        .flat_map(|p| (0..per_producer).map(move |i| 100 * p + i))
+        .collect();
+    assert_eq!(sorted, expected, "lost or duplicated values");
+
+    // FIFO per producer: each producer's values appear in push order.
+    for p in 1..=tags.len() as u64 {
+        let seq: Vec<u64> = popped.iter().copied().filter(|v| v / 100 == p).collect();
+        assert!(
+            seq.windows(2).all(|w| w[0] < w[1]),
+            "producer {p} values reordered: {seq:?}"
+        );
+    }
+}
+
+/// Randomized sweep: three producers over two lanes — tags 0 and 2 share
+/// lane 0 (hashed lane sharing, racing slot claims) while tag 1 owns
+/// lane 1, with two-slot lanes forcing full-lane retries throughout.
+#[test]
+fn lane_ring_exactly_once_random() {
+    let cfg = Config::from_env(Strategy::Random { schedules: 3500 });
+    let r = explore(cfg, || lane_round(&[0, 1, 2], 2, 2, 2)).assert_ok();
+    summarize("lane_ring_exactly_once_random", &r);
+    assert_mostly_distinct(&r);
+}
+
+/// Bounded DFS of the shared-lane race alone: two producers hashed to one
+/// lane of a two-lane ring, dirty-bit handoff against a concurrent drain.
+#[test]
+fn lane_ring_shared_lane_dfs() {
+    let cfg = Config::from_env(Strategy::Dfs {
+        max_schedules: 2500,
+    });
+    let r = explore(cfg, || lane_round(&[0, 2], 2, 2, 2)).assert_ok();
+    summarize("lane_ring_shared_lane_dfs", &r);
+}
+
+// ---------------------------------------------------------------------------
+// Batch split: the ready counter never loses the wake
+// ---------------------------------------------------------------------------
+
+/// Models `Scheduler::submit_batch`'s counter discipline around a split
+/// batch. Each producer: one ready-counter add for its whole batch
+/// (SeqCst, *before* anything is drainable), one reserve-N lane push, and
+/// the rejected suffix appended to the locked overflow queue — with **no
+/// counter rollback** on the split, exactly as the scheduler does (the
+/// overflow lands in the same shard). The server loops on the counter
+/// (the wake condition), draining dirty lanes and the overflow queue.
+///
+/// Invariants: the server finds every task of every batch exactly once
+/// (a wake advertised by the counter is never lost to the split), and
+/// the counter returns to zero (no phantom ready state left behind to
+/// spin a future server).
+fn batch_split_round(batches: &[&[u64]], capacity: usize) {
+    let s = seg();
+    let lr = lane_ring(&s, 1, capacity);
+    let addr = lr as *const LaneRing as usize;
+    let ready = Arc::new(AtomicU64::new(0));
+    let locked: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let total: usize = batches.iter().map(|b| b.len()).sum();
+
+    let handles: Vec<_> = batches
+        .iter()
+        .map(|&batch| {
+            let s = s.clone();
+            let ready = Arc::clone(&ready);
+            let locked = Arc::clone(&locked);
+            let batch = batch.to_vec();
+            thread::spawn(move || {
+                // SAFETY: the lane ring lives in the segment mapping, which
+                // the cloned handle keeps alive for the thread's lifetime.
+                let lr = unsafe { &*(addr as *const LaneRing) };
+                // One add for the whole batch, before it becomes drainable.
+                ready.fetch_add(batch.len() as u64, Ordering::SeqCst);
+                let pushed = lr.push_n(&s, 0, &batch);
+                if pushed < batch.len() {
+                    // The split: no rollback — the suffix goes under the
+                    // lock into the same shard's queues.
+                    locked.lock().extend_from_slice(&batch[pushed..]);
+                }
+            })
+        })
+        .collect();
+
+    let mut got = Vec::with_capacity(total);
+    while got.len() < total {
+        // The wake condition a server checks before serving.
+        if ready.load(Ordering::SeqCst) == 0 {
+            thread::yield_now();
+            continue;
+        }
+        let mut found = 0u64;
+        if lr.take_dirty() != 0 {
+            while let Some(v) = lr.lane(0).pop(&s) {
+                got.push(v);
+                found += 1;
+            }
+        }
+        let overflow = std::mem::take(&mut *locked.lock());
+        found += overflow.len() as u64;
+        got.extend(overflow);
+        if found == 0 {
+            // Counter ahead of a not-yet-visible push: benign transient,
+            // the server retries (this is the documented pre-add window).
+            thread::yield_now();
+        } else {
+            ready.fetch_sub(found, Ordering::SeqCst);
+        }
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(
+        ready.load(Ordering::SeqCst),
+        0,
+        "counter out of balance after the drain"
+    );
+    assert_eq!(lr.lane(0).pop(&s), None, "task stranded in the lane");
+    assert!(locked.lock().is_empty(), "task stranded in the overflow");
+    let mut sorted = got;
+    sorted.sort_unstable();
+    let mut expected: Vec<u64> = batches.iter().flat_map(|b| b.iter().copied()).collect();
+    expected.sort_unstable();
+    assert_eq!(sorted, expected, "batch member lost or duplicated");
+}
+
+/// Randomized sweep: two contending batches through a two-slot lane —
+/// every schedule splits at least one batch between ring and overflow.
+#[test]
+fn batch_split_wake_not_lost_random() {
+    let cfg = Config::from_env(Strategy::Random { schedules: 3500 });
+    let r = explore(cfg, || {
+        batch_split_round(&[&[1, 2, 3], &[4, 5, 6]], 2)
+    })
+    .assert_ok();
+    summarize("batch_split_wake_not_lost_random", &r);
+    assert_mostly_distinct(&r);
+}
+
+/// Bounded DFS of the single-batch split (three members, two slots) racing
+/// one server.
+#[test]
+fn batch_split_wake_not_lost_dfs() {
+    let cfg = Config::from_env(Strategy::Dfs {
+        max_schedules: 4000,
+    });
+    let r = explore(cfg, || batch_split_round(&[&[1, 2, 3]], 2)).assert_ok();
+    summarize("batch_split_wake_not_lost_dfs", &r);
 }
 
 // ---------------------------------------------------------------------------

@@ -27,12 +27,34 @@ use crate::{IdleGate, Padded};
 /// between serial tasks, short enough to be invisible when idle for real.
 const STANDBY_SPIN_ROUNDS: u32 = 64;
 
+/// Failed standby claims by *other* CPUs a sticky holder's reservation
+/// survives before the role migrates. Without stickiness, a serial task
+/// stream on a few-CPU runtime thrashes the election: the consumer that
+/// just ran a task re-parks a beat after its neighbours, finds the role
+/// taken, and the deposit target — and the task's cache home — hops cores
+/// on every task. Eight misses bounds how long a vanished holder (e.g. one
+/// now busy on a long task) can hold the role hostage.
+const STANDBY_STICKY_MISSES: u64 = 8;
+
+/// Low half of the packed standby word: current holder CPU + 1 (0 = the
+/// role is free).
+const STANDBY_HOLDER_MASK: u64 = 0xffff_ffff;
+
 /// One [`IdleGate`] per CPU plus the standby election; see the module
 /// docs.
 pub struct CpuGates {
     gates: Box<[Padded<IdleGate>]>,
-    /// CPU index + 1 of the elected standby spinner; 0 = none.
+    /// Packed election word: low 32 bits = current standby CPU + 1 (0 =
+    /// none spinning), high 32 bits = *sticky* last holder CPU + 1. A free
+    /// role stays reserved for the sticky holder so a serial stream keeps
+    /// one cache-hot consumer; see [`STANDBY_STICKY_MISSES`].
     standby: AtomicU64,
+    /// Failed claims by non-sticky CPUs since the sticky holder last held
+    /// the role; reaching [`STANDBY_STICKY_MISSES`] allows a takeover.
+    misses: AtomicU64,
+    /// Times the role changed hands between different CPUs (the
+    /// re-election frequency the stickiness bounds).
+    elections: AtomicU64,
 }
 
 impl CpuGates {
@@ -41,6 +63,8 @@ impl CpuGates {
         CpuGates {
             gates: (0..cpus).map(|_| Padded::new(IdleGate::new())).collect(),
             standby: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            elections: AtomicU64::new(0),
         }
     }
 
@@ -58,18 +82,52 @@ impl CpuGates {
     /// Blocks `cpu` until its gate is notified after `key` was captured.
     ///
     /// At most one CPU at a time — the standby — prefixes the sleep with
-    /// the bounded adaptive spin; everyone else sleeps immediately.
+    /// the bounded adaptive spin; everyone else sleeps immediately. The
+    /// role is *sticky*: releasing it leaves a reservation for this CPU,
+    /// and other idle CPUs only take the role over after the sticky
+    /// holder missed [`STANDBY_STICKY_MISSES`] chances to reclaim it — so
+    /// a serial stream keeps depositing to one cache-hot consumer instead
+    /// of re-electing on every task.
     pub fn wait(&self, cpu: usize, key: u64) {
         let me = cpu as u64 + 1;
-        if self
-            .standby
-            .compare_exchange(0, me, Ordering::SeqCst, Ordering::SeqCst)
-            .is_ok()
-        {
+        if self.try_claim_standby(me) {
             self.gates[cpu].wait_spin(key, STANDBY_SPIN_ROUNDS);
-            self.standby.store(0, Ordering::SeqCst);
+            // Release the role but stay the sticky (reserved) holder.
+            self.standby.store(me << 32, Ordering::SeqCst);
         } else {
             self.gates[cpu].wait(key);
+        }
+    }
+
+    /// One election attempt by CPU `me` (index + 1); see [`CpuGates::wait`].
+    fn try_claim_standby(&self, me: u64) -> bool {
+        loop {
+            let cur = self.standby.load(Ordering::SeqCst);
+            if cur & STANDBY_HOLDER_MASK != 0 {
+                return false; // someone is spinning already
+            }
+            let sticky = cur >> 32;
+            if sticky != 0
+                && sticky != me
+                && self.misses.fetch_add(1, Ordering::SeqCst) + 1 < STANDBY_STICKY_MISSES
+            {
+                // Free but reserved: leave it for the sticky holder until
+                // it has provably stopped coming back.
+                return false;
+            }
+            let next = (me << 32) | me;
+            if self
+                .standby
+                .compare_exchange(cur, next, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                self.misses.store(0, Ordering::SeqCst);
+                if sticky != me {
+                    self.elections.fetch_add(1, Ordering::Relaxed);
+                }
+                return true;
+            }
+            // Lost the race; re-evaluate against the new word.
         }
     }
 
@@ -78,10 +136,19 @@ impl CpuGates {
     /// costs the futex path).
     #[inline]
     pub fn standby(&self) -> Option<usize> {
-        match self.standby.load(Ordering::SeqCst) {
+        match self.standby.load(Ordering::SeqCst) & STANDBY_HOLDER_MASK {
             0 => None,
             c => Some(c as usize - 1),
         }
+    }
+
+    /// Times the standby role has changed hands between different CPUs
+    /// since construction. Stickiness exists to keep this low: a serial
+    /// stream should re-elect at most once per [`STANDBY_STICKY_MISSES`]
+    /// foreign claim attempts, not once per task.
+    #[inline]
+    pub fn standby_elections(&self) -> u64 {
+        self.elections.load(Ordering::Relaxed)
     }
 
     /// Notifies `cpu`'s gate (wakes its sleeper, or turns its standby
@@ -168,5 +235,31 @@ mod tests {
         let key = gates.prepare_wait(0);
         gates.notify(0);
         gates.wait(0, key); // must not block
+    }
+
+    #[test]
+    fn standby_sticks_until_the_miss_budget_runs_out() {
+        // Pre-notified keys make every wait return immediately, so the
+        // election machinery can be driven single-threaded.
+        let claim = |gates: &CpuGates, cpu: usize| {
+            let key = gates.prepare_wait(cpu);
+            gates.notify(cpu);
+            gates.wait(cpu, key);
+        };
+        let gates = CpuGates::new(2);
+        claim(&gates, 0);
+        assert_eq!(gates.standby_elections(), 1, "first claim is an election");
+        assert_eq!(gates.standby(), None, "role released after the wait");
+        // The free role stays reserved for CPU 0: CPU 1's claims miss...
+        for _ in 0..STANDBY_STICKY_MISSES - 1 {
+            claim(&gates, 1);
+        }
+        assert_eq!(gates.standby_elections(), 1, "reservation held");
+        // ...until the budget is exhausted, then the takeover happens.
+        claim(&gates, 1);
+        assert_eq!(gates.standby_elections(), 2, "bounded takeover");
+        // The new sticky holder reclaims election-free.
+        claim(&gates, 1);
+        assert_eq!(gates.standby_elections(), 2);
     }
 }

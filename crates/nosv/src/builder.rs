@@ -106,6 +106,23 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Number of submission *lanes* per (process × shard): each producer
+    /// thread hashes onto its own lane of the submission ring, so
+    /// concurrent submitters from one process stop contending on a single
+    /// ring tail. The ring capacity set by [`RuntimeBuilder::submit_ring`]
+    /// is per lane.
+    ///
+    /// Must be zero or a power of two, at most
+    /// [`nosv_shmem::MAX_SUBMIT_LANES`] (8). `0` (the default) resolves to
+    /// [`crate::DEFAULT_SUBMIT_LANES`] (4). `1` reproduces the original
+    /// single-ring layout. Within a lane, submissions stay FIFO; across
+    /// lanes of one process no order is promised (concurrent producers
+    /// never had one).
+    pub fn submit_lanes(mut self, lanes: usize) -> Self {
+        self.config.submit_lanes = lanes;
+        self
+    }
+
     /// Number of scheduler shards: independent scheduling cores, each
     /// behind its own delegation lock, among which CPUs are split so
     /// fetches of different shards never contend. `0` (the default) means
@@ -232,6 +249,7 @@ impl std::fmt::Debug for RuntimeBuilder {
             .field("quantum_ns", &self.config.quantum_ns)
             .field("segment_size", &self.config.segment_size)
             .field("submit_ring_cap", &self.config.submit_ring_cap)
+            .field("submit_lanes", &self.config.submit_lanes)
             .field("sched_shards", &self.config.sched_shards)
             .field("direct_dispatch", &self.config.direct_dispatch)
             .field("segment_name", &self.config.segment_name)

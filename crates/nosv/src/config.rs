@@ -19,13 +19,18 @@ pub(crate) const MAX_QUANTUM_NS: u64 = 600_000_000_000;
 /// plus a handful of task descriptors cannot fit.
 pub(crate) const MIN_SEGMENT_SIZE: usize = 1024 * 1024;
 
-/// Default per-process submission-ring capacity (entries). Large enough
-/// that a batch-draining server keeps up with bursts; small enough that
-/// 64 process slots cost well under a megabyte of segment.
+/// Default per-process submission-ring capacity (entries per lane). Large
+/// enough that a batch-draining server keeps up with bursts; small enough
+/// that 64 process slots cost well under a megabyte of segment per lane.
 pub const DEFAULT_SUBMIT_RING_CAP: usize = 256;
 
-/// Largest accepted submission-ring capacity (entries per process).
+/// Largest accepted submission-ring capacity (entries per lane).
 pub(crate) const MAX_SUBMIT_RING_CAP: usize = 1 << 16;
+
+/// Default per-(process × shard) submission-lane count: enough that the
+/// common few-producer process never shares a lane, cheap enough that the
+/// idle lanes cost only their slot arrays.
+pub const DEFAULT_SUBMIT_LANES: usize = 4;
 
 /// Default reactor sweep period: 2 ms keeps join handshakes snappy while
 /// costing one wakeup of a sleeping thread per period.
@@ -51,6 +56,10 @@ pub(crate) struct NosvConfig {
     /// `0` disables the rings and routes every submission through the
     /// locked path (the pre-ring behaviour, kept for benchmarking).
     pub submit_ring_cap: usize,
+    /// Submission lanes per (process × shard): each producer thread hashes
+    /// to its own lane so concurrent submitters stop contending on one ring
+    /// tail. `0` (the default) resolves to [`DEFAULT_SUBMIT_LANES`].
+    pub submit_lanes: usize,
     /// Number of scheduler shards; `0` = one per NUMA node (the
     /// default), `1` = the original single-lock scheduler.
     pub sched_shards: usize,
@@ -80,6 +89,7 @@ impl Default for NosvConfig {
             quantum_ns: DEFAULT_QUANTUM_NS,
             segment_size: 32 * 1024 * 1024,
             submit_ring_cap: DEFAULT_SUBMIT_RING_CAP,
+            submit_lanes: 0,
             sched_shards: 0,
             direct_dispatch: true,
             segment_name: None,
@@ -103,6 +113,17 @@ impl NosvConfig {
     /// to the NUMA node count, clamped to the valid range).
     pub fn resolved_shards(&self) -> usize {
         nosv_core::resolve_shards(self.sched_shards, self.cpus, self.numa_nodes())
+    }
+
+    /// Effective submission-lane count per (process × shard): `0` resolves
+    /// to [`DEFAULT_SUBMIT_LANES`], everything else passes through
+    /// (`validate` has already checked it is a power of two within range).
+    pub fn resolved_lanes(&self) -> usize {
+        if self.submit_lanes == 0 {
+            DEFAULT_SUBMIT_LANES
+        } else {
+            self.submit_lanes
+        }
     }
 
     pub(crate) fn segment_config(&self) -> SegmentConfig {
@@ -137,6 +158,12 @@ impl NosvConfig {
         }
         if self.submit_ring_cap > MAX_SUBMIT_RING_CAP {
             return fail("submission ring capacity above 65536 entries");
+        }
+        if self.submit_lanes != 0 && !self.submit_lanes.is_power_of_two() {
+            return fail("submission lanes must be zero (auto) or a power of two");
+        }
+        if self.submit_lanes > nosv_shmem::MAX_SUBMIT_LANES {
+            return fail("more submission lanes than supported (8)");
         }
         if self.sched_shards > nosv_core::MAX_SHARDS {
             return fail("more scheduler shards than supported (16)");
@@ -202,6 +229,18 @@ mod tests {
     }
 
     #[test]
+    fn lanes_resolve_to_default_when_auto() {
+        let auto = NosvConfig::default();
+        assert_eq!(auto.resolved_lanes(), DEFAULT_SUBMIT_LANES);
+        let explicit = NosvConfig {
+            submit_lanes: 8,
+            ..Default::default()
+        };
+        explicit.validate().expect("8 lanes is valid");
+        assert_eq!(explicit.resolved_lanes(), 8);
+    }
+
+    #[test]
     fn single_numa_when_unconfigured() {
         let c = NosvConfig {
             cpus: 16,
@@ -240,6 +279,14 @@ mod tests {
             },
             NosvConfig {
                 submit_ring_cap: 1 << 20, // absurdly large
+                ..Default::default()
+            },
+            NosvConfig {
+                submit_lanes: 3, // not a power of two
+                ..Default::default()
+            },
+            NosvConfig {
+                submit_lanes: 16, // beyond MAX_SUBMIT_LANES
                 ..Default::default()
             },
             NosvConfig {

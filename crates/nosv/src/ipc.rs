@@ -25,14 +25,14 @@
 //! clean detach (`Active → Leaving`) and crash reclaim (`Active → Dead`)
 //! are described in `DESIGN.md` at the repository root.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use nosv_shmem::{process_alive, JoinState, ProcessId, ShmSegment, Shoff, CAP_GUEST_JOIN};
 
 use crate::error::NosvError;
 use crate::runtime::Runtime;
-use crate::scheduler::{guest_submit, GuestMeta};
+use crate::scheduler::{guest_submit, producer_tag, GuestMeta};
 use crate::task::{Affinity, TaskDesc, TaskState};
 
 /// How long [`Runtime::join`] waits for the host to publish its geometry
@@ -88,9 +88,10 @@ pub struct GuestProcess {
     me: ProcessId,
     meta: Shoff<GuestMeta>,
     /// Cached shard count (from [`GuestMeta`]): rings are per-shard and
-    /// unconstrained submissions round-robin across them.
+    /// a guest thread's unconstrained submissions stick to the shard its
+    /// producer tag hashes to (spilling to the next shard only on a full
+    /// lane).
     shards: usize,
-    rr: AtomicUsize,
     next_seq: AtomicU64,
     detached: AtomicBool,
 }
@@ -163,7 +164,6 @@ impl GuestProcess {
             me,
             meta,
             shards,
-            rr: AtomicUsize::new(0),
             next_seq: AtomicU64::new(1),
             detached: AtomicBool::new(false),
         })
@@ -225,11 +225,15 @@ impl GuestProcess {
         // SAFETY: the meta block is published-once host state.
         let meta = unsafe { self.seg.sref(self.meta) };
         let deadline = Instant::now() + SUBMIT_TIMEOUT;
-        let start = self.rr.fetch_add(1, Ordering::Relaxed);
+        // Sticky shard routing, same rule as the host's submit path: this
+        // thread's whole stream lands in one shard (and one lane within
+        // it), spilling to the next shard only when its lane is full.
+        let tag = producer_tag();
+        let start = (tag % self.shards as u64) as usize;
         let mut attempt = 0usize;
         loop {
             let shard = (start + attempt) % self.shards;
-            if guest_submit(&self.seg, meta, shard, self.me.slot as usize, desc) {
+            if guest_submit(&self.seg, meta, shard, self.me.slot as usize, tag, desc) {
                 self.seg.add_submitted(self.me, 1);
                 self.seg.bump_heartbeat(self.me);
                 return Ok(());

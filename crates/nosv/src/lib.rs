@@ -92,7 +92,7 @@ mod worker;
 pub use nosv_core::policy;
 
 pub use builder::RuntimeBuilder;
-pub use config::DEFAULT_SUBMIT_RING_CAP;
+pub use config::{DEFAULT_SUBMIT_LANES, DEFAULT_SUBMIT_RING_CAP};
 pub use error::NosvError;
 pub use ipc::GuestProcess;
 pub use nosv_core::DEFAULT_QUANTUM_NS;
@@ -103,7 +103,7 @@ pub use policy::{QuantumPolicy, SchedPolicy};
 pub use runtime::{ProcessContext, Runtime};
 pub use scheduler::SchedulerSnapshot;
 pub use stats::RuntimeStats;
-pub use task::{Affinity, TaskBuilder, TaskCtx, TaskHandle, TaskId, TaskState};
+pub use task::{Affinity, BatchHandle, TaskBatch, TaskBuilder, TaskCtx, TaskHandle, TaskId, TaskState};
 pub use worker::{pause, yield_now};
 
 /// One-import working set for the builder-first API.
@@ -120,7 +120,8 @@ pub mod prelude {
     };
     pub use crate::policy::{QuantumPolicy, SchedPolicy};
     pub use crate::{
-        pause, yield_now, Affinity, GuestProcess, NosvError, ProcessContext, Runtime,
-        RuntimeBuilder, RuntimeStats, TaskBuilder, TaskCtx, TaskHandle, TaskId, TaskState,
+        pause, yield_now, Affinity, BatchHandle, GuestProcess, NosvError, ProcessContext,
+        Runtime, RuntimeBuilder, RuntimeStats, TaskBatch, TaskBuilder, TaskCtx, TaskHandle,
+        TaskId, TaskState,
     };
 }

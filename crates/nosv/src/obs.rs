@@ -140,6 +140,9 @@ pub enum CounterKind {
     TasksCompleted,
     /// Queued tasks reclaimed from crashed guest processes.
     CrashReclaims,
+    /// Standby-spinner role migrations between CPUs (sticky election;
+    /// should stay far below tasks executed on a steady stream).
+    StandbyElections,
 }
 
 impl CounterKind {
@@ -170,6 +173,7 @@ impl CounterKind {
             CounterKind::DepEdges => "dep_edges",
             CounterKind::TasksCompleted => "tasks_completed",
             CounterKind::CrashReclaims => "crash_reclaims",
+            CounterKind::StandbyElections => "standby_elections",
         }
     }
 }

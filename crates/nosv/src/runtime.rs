@@ -15,11 +15,12 @@ use crate::config::NosvConfig;
 use crate::error::NosvError;
 use crate::obs::{CounterKind, ObsCollector, ObsEvent, ObsKind, TraceSink, NO_CPU};
 use crate::policy::SchedPolicy;
-use crate::scheduler::{GuestMeta, Scheduler, SchedulerSnapshot, SubmitPath};
+use crate::scheduler::{producer_tag, GuestMeta, Scheduler, SchedulerSnapshot, SubmitPath};
 use crate::stats::{Counters, RuntimeStats};
 use crate::task::Affinity;
 use crate::task::{
-    TaskBuilder, TaskCallbacks, TaskCtx, TaskDesc, TaskHandle, TaskId, TaskSignal, TaskState,
+    BatchHandle, BatchShared, TaskBatch, TaskBuilder, TaskCallbacks, TaskCtx, TaskDesc, TaskHandle,
+    TaskId, TaskSignal, TaskState,
 };
 use crate::worker::{self, Assignment, WorkerShared};
 
@@ -610,7 +611,7 @@ impl Runtime {
 
     /// Snapshot of the runtime counters.
     pub fn stats(&self) -> RuntimeStats {
-        self.inner.counters.snapshot()
+        self.inner.counters.snapshot_with(&self.inner.gates)
     }
 
     /// Snapshot of the shared scheduler's queues and per-core process
@@ -722,7 +723,7 @@ impl Runtime {
         // holds the complete action stream. Report the final counter deltas
         // through the same stream and let the sink materialize its output.
         if self.inner.obs.enabled() {
-            let stats = self.inner.counters.snapshot();
+            let stats = self.inner.counters.snapshot_with(&self.inner.gates);
             for (counter, delta) in [
                 (CounterKind::TasksExecuted, stats.tasks_executed),
                 (CounterKind::TasksSubmitted, stats.tasks_submitted),
@@ -741,6 +742,7 @@ impl Runtime {
                 (CounterKind::DirectDispatches, stats.direct_dispatches),
                 (CounterKind::ShardSteals, stats.shard_steals),
                 (CounterKind::CrashReclaims, stats.crash_reclaims),
+                (CounterKind::StandbyElections, stats.standby_elections),
             ] {
                 if delta > 0 {
                     self.inner
@@ -873,6 +875,153 @@ impl ProcessContext {
         })
     }
 
+    /// Creates and submits a whole [`TaskBatch`] in one call, amortizing
+    /// the per-submission costs across the batch: one ring tail
+    /// reservation for the queued members ([`nosv_shmem::LaneRing`]'s
+    /// reserve-N push), one ready-counter update, one claim-table pass
+    /// handing the leading members to idle CPUs, and at most one server
+    /// wake — where `count` individual [`TaskHandle::submit`] calls pay
+    /// each of those `count` times.
+    ///
+    /// Members share one body and one completion latch (the returned
+    /// [`BatchHandle`]); they have no individual handles, and their
+    /// descriptors are reclaimed by the workers that execute them. An
+    /// empty batch returns an already-complete handle.
+    ///
+    /// Errors as [`ProcessContext::build_task`]
+    /// ([`NosvError::MissingTaskBody`], [`NosvError::InvalidAffinity`],
+    /// [`NosvError::ProcessDetached`], [`NosvError::OutOfSharedMemory`]),
+    /// plus [`NosvError::ShutdownInProgress`] when racing shutdown; on any
+    /// error nothing was enqueued.
+    pub fn submit_all(&self, batch: TaskBatch) -> Result<BatchHandle, NosvError> {
+        let Some(body) = batch.body else {
+            return Err(NosvError::MissingTaskBody);
+        };
+        batch
+            .affinity
+            .validate(self.rt.config.cpus, self.rt.config.numa_nodes())?;
+        if !self.proc.active.load(Ordering::Acquire) {
+            return Err(NosvError::ProcessDetached);
+        }
+        let signal = TaskSignal::new();
+        if batch.count == 0 {
+            signal.complete();
+            return Ok(BatchHandle {
+                rt: Arc::clone(&self.rt),
+                signal,
+                count: 0,
+            });
+        }
+        let n = batch.count as u64;
+        let shared = Arc::new(BatchShared {
+            body,
+            remaining: AtomicU64::new(n),
+            signal: Arc::clone(&signal),
+        });
+        let cpu = worker::current_core().unwrap_or(0);
+        // Materialize every member before anything becomes visible to the
+        // scheduler, so an allocation failure can unwind without a single
+        // task having been enqueued.
+        let mut descs: Vec<Shoff<TaskDesc>> = Vec::with_capacity(batch.count);
+        let free_all = |descs: &[Shoff<TaskDesc>]| {
+            for &desc in descs {
+                // SAFETY: allocated below, never enqueued — exclusively ours.
+                let d = unsafe { self.rt.seg.sref(desc) };
+                let raw = d.batch.swap(0, Ordering::AcqRel);
+                if raw != 0 {
+                    // SAFETY: uniquely taken by the swap.
+                    drop(unsafe { Arc::from_raw(raw as *const BatchShared) });
+                }
+                self.rt.seg.free_t(desc, cpu);
+            }
+        };
+        for i in 0..batch.count {
+            let desc: Shoff<TaskDesc> =
+                match self.rt.seg.alloc_zeroed(std::mem::size_of::<TaskDesc>(), cpu) {
+                    Ok(block) => block.cast(),
+                    Err(e) => {
+                        free_all(&descs);
+                        return Err(e.into());
+                    }
+                };
+            let id = TaskId(self.rt.next_task_id.fetch_add(1, Ordering::Relaxed));
+            // SAFETY: freshly allocated zeroed descriptor, exclusively ours.
+            let d = unsafe { self.rt.seg.sref(desc) };
+            d.id.store(id.0, Ordering::Relaxed);
+            d.slot.store(self.proc.slot, Ordering::Relaxed);
+            d.pid.store(self.proc.pid, Ordering::Relaxed);
+            d.priority.store(batch.priority as u32, Ordering::Relaxed);
+            d.affinity.store(batch.affinity.encode(), Ordering::Relaxed);
+            d.metadata
+                .store(batch.metadata.wrapping_add(i as u64), Ordering::Relaxed);
+            d.submits.store(1, Ordering::Relaxed);
+            d.batch.store(
+                Arc::into_raw(Arc::clone(&shared)) as u64,
+                Ordering::Release,
+            );
+            // Born Ready: the whole batch is enqueued below in one go, and
+            // no handle exists through which a Created member could leak.
+            d.set_state(TaskState::Ready);
+            descs.push(desc);
+        }
+        // Same shutdown handshake as the single-task path, one window for
+        // the whole batch: bump pending (SeqCst), load the flag, roll the
+        // never-enqueued members back if it is up.
+        let _window = InflightWindow::open(&self.rt);
+        self.rt.pending_tasks.fetch_add(n, Ordering::SeqCst);
+        if self.rt.shutdown.load(Ordering::SeqCst) {
+            self.rt.pending_tasks.fetch_sub(n, Ordering::SeqCst);
+            free_all(&descs);
+            return Err(NosvError::ShutdownInProgress);
+        }
+        self.rt.live_descriptors.fetch_add(n, Ordering::AcqRel);
+        self.rt
+            .counters
+            .tasks_submitted
+            .fetch_add(n, Ordering::Relaxed);
+        if self.rt.obs.enabled() {
+            let obs_cpu = worker::current_core().map_or(crate::obs::NO_CPU, |c| c as u32);
+            for &desc in &descs {
+                // SAFETY: ours until the scheduler insert below.
+                let d = unsafe { self.rt.seg.sref(desc) };
+                self.rt.emit(
+                    ObsKind::Submit,
+                    obs_cpu,
+                    self.proc.pid,
+                    TaskId(d.id.load(Ordering::Relaxed)),
+                );
+            }
+        }
+        let paths = self.rt.sched.submit_batch(
+            &descs,
+            batch.affinity,
+            self.proc.slot as usize,
+            producer_tag(),
+        );
+        self.rt
+            .counters
+            .direct_dispatches
+            .fetch_add(paths.direct, Ordering::Relaxed);
+        self.rt
+            .counters
+            .ring_submits
+            .fetch_add(paths.ring, Ordering::Relaxed);
+        self.rt
+            .counters
+            .locked_submits
+            .fetch_add(paths.locked, Ordering::Relaxed);
+        // Direct members woke their claimed CPUs inside submit_batch; the
+        // queued remainder needs exactly one server wake.
+        if paths.ring + paths.locked > 0 {
+            self.rt.sched.wake_for(batch.affinity);
+        }
+        Ok(BatchHandle {
+            rt: Arc::clone(&self.rt),
+            signal,
+            count: batch.count,
+        })
+    }
+
     /// Convenience: create, submit, and return the handle.
     ///
     /// # Panics
@@ -955,6 +1104,23 @@ impl ProcessContext {
             // SAFETY: handle-owned descriptor, reclaimed from the queues
             // before any worker could fetch it; alive until destroy.
             let d = unsafe { self.rt.seg.sref(task) };
+            let batch_raw = d.batch.swap(0, Ordering::AcqRel);
+            if batch_raw != 0 {
+                // Batch member: no handle owns it, so the cancellation
+                // frees the descriptor and counts the member down itself —
+                // waiters on the batch latch unblock once every member has
+                // either executed or been cancelled here.
+                d.set_state(TaskState::Completed);
+                self.rt.pending_tasks.fetch_sub(1, Ordering::SeqCst);
+                self.rt.seg.free_t(task, 0);
+                self.rt.live_descriptors.fetch_sub(1, Ordering::AcqRel);
+                // SAFETY: uniquely taken by the swap.
+                let shared = unsafe { Arc::from_raw(batch_raw as *const crate::task::BatchShared) };
+                if shared.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    shared.signal.complete();
+                }
+                continue;
+            }
             let cbs_raw = d.callbacks.swap(0, Ordering::AcqRel);
             if cbs_raw != 0 {
                 // SAFETY: uniquely taken by the swap.

@@ -64,7 +64,7 @@ use nosv_core::{
     Pick, PickSource, QueueId, SchedCore, SchedPolicy, ShardMap, TaskStore, MAX_SHARDS,
     STEAL_SCAN_LIMIT,
 };
-use nosv_shmem::{ClaimTable, ShmSegment, Shoff, SubmitRing, MAX_PROCS};
+use nosv_shmem::{ClaimTable, LaneRing, ShmSegment, Shoff, MAX_PROCS};
 use nosv_sync::{Acquired, CpuGates, DtGuard, DtLock};
 
 use crate::config::NosvConfig;
@@ -92,14 +92,35 @@ const CLAIM_ATTEMPTS: usize = 4;
 /// a DTLock delegation slot or a direct-dispatch handoff slot).
 pub(crate) type ReadyTask = Shoff<TaskDesc>;
 
+/// Process-wide producer-identity allocator; see [`producer_tag`].
+static NEXT_PRODUCER: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// This thread's producer identity, assigned on first use.
+    static PRODUCER_TAG: u64 = NEXT_PRODUCER.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A stable identity for the calling producer thread, used for both lane
+/// selection within a [`LaneRing`] (disjoint producers push on disjoint
+/// cache lines) and sticky unconstrained shard routing
+/// ([`ShardMap::route_shard`]: one producer's stream stays in one shard).
+/// Registration is implicit — the first submission from a thread claims
+/// the next id — and ids are never reused, which is fine for hashing.
+pub(crate) fn producer_tag() -> u64 {
+    PRODUCER_TAG.with(|t| *t)
+}
+
 #[repr(C)]
 struct ProcSched {
     /// Per-shard process queues (unconstrained tasks of this process that
     /// were routed to each shard).
     queues: [TaskQueue; MAX_SHARDS],
-    /// Per-shard lock-free submission rings (initialized at first
-    /// registration of the slot; reused across re-registrations).
-    rings: [SubmitRing; MAX_SHARDS],
+    /// Per-shard laned submission rings (initialized at first
+    /// registration of the slot; reused across re-registrations). Each
+    /// producer thread pushes into its own lane ([`LaneRing`]), so
+    /// concurrent producers of one process stop CAS-contending on a
+    /// single ring tail.
+    rings: [LaneRing; MAX_SHARDS],
 }
 
 /// Per-shard hot counters, cache-line padded so shards never false-share.
@@ -146,9 +167,10 @@ pub(crate) struct GuestMeta {
 /// — the guest-side twin of the ring branch of [`Scheduler::submit_with`],
 /// as a free function because a guest process has no [`Scheduler`]
 /// instance (the shard locks, claim gates and policy are host-heap state
-/// it cannot reach). Same ordering discipline: SeqCst ready bump before
+/// it cannot reach). `submitter` is the guest thread's [`producer_tag`],
+/// selecting its lane. Same ordering discipline: SeqCst ready bump before
 /// the push (the producer side of the arming Dekker protocol), dirty-mark
-/// after it. Returns `false` on a full ring **after rolling the ready
+/// after it. Returns `false` on a full lane **after rolling the ready
 /// count back** — a guest has no locked fallback, so the caller retries
 /// with backoff.
 pub(crate) fn guest_submit(
@@ -156,6 +178,7 @@ pub(crate) fn guest_submit(
     meta: &GuestMeta,
     shard: usize,
     slot: usize,
+    submitter: u64,
     task: Shoff<TaskDesc>,
 ) -> bool {
     let root: Shoff<SchedRoot> = Shoff::from_raw(meta.sched_root.load(Ordering::Acquire));
@@ -165,7 +188,7 @@ pub(crate) fn guest_submit(
     let root = unsafe { seg.sref(root) };
     let hot = &root.shard_hot[shard];
     hot.ready.fetch_add(1, Ordering::SeqCst);
-    if root.procs[slot].rings[shard].push(seg, task.raw()) {
+    if root.procs[slot].rings[shard].push(seg, submitter, task.raw()) {
         hot.ring_mask.fetch_or(1 << slot, Ordering::Release);
         true
     } else {
@@ -250,13 +273,13 @@ pub(crate) struct Scheduler {
     map: ShardMap,
     cpus: usize,
     cpus_per_numa: usize,
-    /// Per-process submission ring capacity; `0` = rings disabled.
+    /// Per-process, per-lane submission ring capacity; `0` = rings
+    /// disabled.
     ring_cap: usize,
+    /// Lanes per [`LaneRing`] (a power of two).
+    lanes: usize,
     /// Whether submissions may claim idle CPUs directly.
     direct_dispatch: bool,
-    /// Round-robin cursor spreading unconstrained submissions over shards
-    /// (the same cursor discipline `nosv_core::ShardedCore` keeps).
-    rr_submit: AtomicU64,
     /// Workers currently inside a fetch ([`Scheduler::get_task`], between
     /// tasks). A hungry worker is guaranteed to observe freshly queued
     /// work before it can commit to sleep (the park path re-checks
@@ -285,6 +308,18 @@ pub(crate) enum SubmitPath {
     /// Enqueued under the shard's delegation lock (rings disabled,
     /// uninitialized slot, or ring full).
     Locked,
+}
+
+/// Per-path breakdown of one [`Scheduler::submit_batch`] call (drives the
+/// runtime's counters; the parts always sum to the batch size).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct BatchSubmit {
+    /// Leading tasks handed straight to armed CPUs (one notify each).
+    pub direct: u64,
+    /// Tasks placed in the submitter's ring lane by the reserve-N push.
+    pub ring: u64,
+    /// Overflow enqueued under the shard lock.
+    pub locked: u64,
 }
 
 /// Observability snapshot of the scheduler (for tests and tools). Taken
@@ -341,8 +376,8 @@ impl Scheduler {
             cpus: config.cpus,
             cpus_per_numa: config.cpus_per_numa,
             ring_cap: config.submit_ring_cap,
+            lanes: config.resolved_lanes(),
             direct_dispatch: config.direct_dispatch,
-            rr_submit: AtomicU64::new(0),
             hungry: AtomicU64::new(0),
             gates,
             hw_threads: std::thread::available_parallelism()
@@ -383,7 +418,7 @@ impl Scheduler {
                 // Idempotent: a re-registered slot reuses its existing
                 // rings. Allocation failure is not fatal — the slot simply
                 // submits through the locked path.
-                let _ = p.rings[s].init(&self.seg, self.ring_cap);
+                let _ = p.rings[s].init(&self.seg, self.lanes, self.ring_cap);
             }
         }
         for lock in self.shards.iter() {
@@ -490,9 +525,14 @@ impl Scheduler {
     ///
     /// In order of preference: a direct CAS handoff to an idle CPU (the
     /// task is never queued at all), a lock-free push into the submitting
-    /// process's ring for the destination shard, or a locked enqueue
+    /// process's ring lane for the destination shard, or a locked enqueue
     /// (which first drains the shard's rings, so the fallback also
     /// amortizes).
+    ///
+    /// Production paths go through [`Scheduler::submit_with`] /
+    /// [`Scheduler::submit_from`]; this affinity-decoding convenience
+    /// shell survives for the unit tests below.
+    #[cfg(test)]
     pub(crate) fn submit(&self, task: ReadyTask) -> SubmitPath {
         // SAFETY: handle-owned descriptor, alive until destroy.
         let d = unsafe { self.seg.sref(task) };
@@ -502,8 +542,21 @@ impl Scheduler {
 
     /// [`Scheduler::submit`] with the descriptor's affinity already
     /// decoded (the runtime's submit path decodes it once for validation
-    /// and passes it through).
+    /// and passes it through). The calling thread's [`producer_tag`] is
+    /// the submitter identity.
     pub(crate) fn submit_with(&self, task: ReadyTask, affinity: Affinity) -> SubmitPath {
+        self.submit_from(task, affinity, producer_tag())
+    }
+
+    /// [`Scheduler::submit_with`] with an explicit submitter identity
+    /// (tests and the parity harness pin it down; the runtime passes the
+    /// calling thread's tag).
+    pub(crate) fn submit_from(
+        &self,
+        task: ReadyTask,
+        affinity: Affinity,
+        submitter: u64,
+    ) -> SubmitPath {
         let root = self.root();
         // SAFETY: handle-owned descriptor, alive until destroy.
         let d = unsafe { self.seg.sref(task) };
@@ -513,10 +566,10 @@ impl Scheduler {
             return SubmitPath::Direct;
         }
 
-        // One routing rule for every backend: ShardMap owns it (the sim
-        // drives the &mut-cursor flavor; this is the same rule over the
-        // shared atomic cursor).
-        let shard = self.map.route_shard_atomic(affinity, &self.rr_submit);
+        // One routing rule for every backend: ShardMap owns it (a pure
+        // function of affinity and submitter, so the sim and the parity
+        // fuzz route identically with no shared cursor).
+        let shard = self.map.route_shard(affinity, submitter);
         // Count the task as ready *before* it becomes drainable: once the
         // ring push lands, a concurrent server can drain, pick, and
         // `fetch_sub` the counter — an increment ordered after that would
@@ -529,12 +582,14 @@ impl Scheduler {
         root.shard_hot[shard].ready.fetch_add(1, Ordering::SeqCst);
         if self.ring_cap > 0
             && slot < MAX_PROCS
-            && root.procs[slot].rings[shard].push(&self.seg, task.raw())
+            && root.procs[slot].rings[shard].push(&self.seg, submitter, task.raw())
         {
             // Dirty-mark the slot only after the push: a server that
             // drains on an earlier mark either takes this entry or leaves
             // the re-marking to us, but a mark before the push could be
-            // consumed by an empty drain and strand the entry.
+            // consumed by an empty drain and strand the entry. (The lane
+            // bit inside the LaneRing follows the same discipline one
+            // level down.)
             root.shard_hot[shard]
                 .ring_mask
                 .fetch_or(1 << slot, Ordering::Release);
@@ -546,6 +601,109 @@ impl Scheduler {
         core.route(&mut store, task);
         drop(core);
         SubmitPath::Locked
+    }
+
+    /// Batch submission: inserts `tasks` (all of one process `slot`,
+    /// sharing `affinity`, in submission order) paying the per-submission
+    /// costs once per batch instead of once per task.
+    ///
+    /// * **Claim pass** — one walk of the armed CPUs matching `affinity`
+    ///   hands off up to `min(N, armed, hw_threads)` leading tasks
+    ///   directly, one gate notify each (capped at the host's hardware
+    ///   parallelism: on an oversubscribed host, waking more workers than
+    ///   cores converts the batch into context-switch thrash).
+    /// * **Ring pass** — the remainder takes **one** ready-counter add,
+    ///   one reserve-N lane push ([`LaneRing::push_n`]) and one dirty
+    ///   mark.
+    /// * **Locked pass** — whatever the lane could not hold is enqueued
+    ///   under a single lock hold through [`SchedCore::enqueue_batch`]
+    ///   (the same composition the simulator's `route_batch` performs).
+    ///
+    /// The caller issues one [`Scheduler::wake_for`] when `ring + locked
+    /// > 0` — at most one server wake per batch.
+    pub(crate) fn submit_batch(
+        &self,
+        tasks: &[ReadyTask],
+        affinity: Affinity,
+        slot: usize,
+        submitter: u64,
+    ) -> BatchSubmit {
+        let root = self.root();
+        let mut out = BatchSubmit::default();
+        let mut idx = 0usize;
+
+        if self.direct_dispatch {
+            idx = self.try_direct_batch(affinity, tasks);
+            out.direct = idx as u64;
+        }
+        if idx == tasks.len() {
+            return out;
+        }
+        let rest = &tasks[idx..];
+        let shard = self.map.route_shard(affinity, submitter);
+        // One ready add for the whole remainder; same pre-push ordering
+        // contract as `submit_from` (SeqCst bump before the entries become
+        // drainable). A shortfall is *not* rolled back: the slice the lane
+        // rejects is enqueued under the lock into the same shard, so every
+        // counted task does end up drainable there.
+        root.shard_hot[shard]
+            .ready
+            .fetch_add(rest.len() as u64, Ordering::SeqCst);
+        let mut pushed = 0usize;
+        if self.ring_cap > 0 && slot < MAX_PROCS {
+            // One tail reservation for the whole prefix the lane can hold.
+            let raws: Vec<u64> = rest.iter().map(|t| t.raw()).collect();
+            pushed = root.procs[slot].rings[shard].push_n(&self.seg, submitter, &raws);
+            if pushed > 0 {
+                root.shard_hot[shard]
+                    .ring_mask
+                    .fetch_or(1 << slot, Ordering::Release);
+            }
+        }
+        out.ring = pushed as u64;
+        if pushed < rest.len() {
+            let overflow = &rest[pushed..];
+            let mut core = self.shards[shard].lock();
+            self.drain_rings_locked(&mut core, shard);
+            let mut store = self.store(shard);
+            core.enqueue_batch(&mut store, overflow);
+            drop(core);
+            out.locked = overflow.len() as u64;
+        }
+        out
+    }
+
+    /// The claim pass of [`Scheduler::submit_batch`]: hands the leading
+    /// tasks to armed CPUs matching `affinity`, one notify per claimed
+    /// CPU, and returns how many were handed off. Unlike the single-task
+    /// path (which only claims the standby for unconstrained work, to
+    /// keep serial streams on one cache-hot consumer), a batch *wants*
+    /// its tasks consumed in parallel — every claimed CPU gets one task
+    /// to start on while the queued remainder is drained — but never
+    /// recruits more workers than the host has hardware threads.
+    fn try_direct_batch(&self, affinity: Affinity, tasks: &[ReadyTask]) -> usize {
+        let claim = &self.root().claim;
+        // A placed batch only hands off inside its placement window (for
+        // strict affinity that is a correctness rule; for best-effort the
+        // queued remainder batches through one server rather than paying
+        // one wake per task — see `try_direct_any`).
+        let (lo, hi) = match affinity {
+            Affinity::Core { index, .. } => (index, index + 1),
+            Affinity::Numa { index, .. } => self.numa_cpu_range(index),
+            Affinity::None => (0, self.cpus),
+        };
+        let budget = tasks.len().min(self.hw_threads);
+        let mut idx = 0usize;
+        for cpu in claim.armed_in(lo, hi) {
+            if idx >= budget {
+                break;
+            }
+            if claim.try_claim(cpu, tasks[idx].raw()) {
+                self.gates.notify(cpu);
+                idx += 1;
+            }
+        }
+        idx
     }
 
     /// The direct-dispatch attempt: CAS the task into a matching armed
@@ -612,6 +770,21 @@ impl Scheduler {
         let claim = &self.root().claim;
         let wake_any_unless_hungry = || {
             if self.hungry.load(Ordering::SeqCst) > 0 {
+                return;
+            }
+            // Recruiting cap, same rule as `chain_wake`: once `hw_threads`
+            // workers are already awake the hardware is saturated and an
+            // extra wake only adds preemption — on an oversubscribed host
+            // the un-capped wake made every submission futex-ping-pong
+            // between two workers (each wake targeting the one currently
+            // armed), collapsing single-producer throughput at `cpus`
+            // slightly above the core count. Liveness is preserved by the
+            // same Dekker argument as the all-armed suppression above: an
+            // awake worker only commits to sleep after arming *and*
+            // re-checking `has_ready`, which observes our SeqCst ready
+            // bump.
+            let armed = claim.armed_count(self.cpus).min(self.cpus);
+            if self.cpus - armed >= self.hw_threads {
                 return;
             }
             if let Some(cpu) = self.preferred_armed_cpu() {
@@ -711,6 +884,9 @@ impl Scheduler {
     /// the paper's amortization — many lock-free submissions, one
     /// critical-section traversal.
     fn drain_rings_locked(&self, core: &mut SchedCore, shard: usize) {
+        /// Pops per lock hold between batch enqueues (bounds the stack
+        /// buffer; the loop continues until the lane is dry either way).
+        const DRAIN_CHUNK: usize = 64;
         let root = self.root();
         let mut store = self.store(shard);
         let hot = &root.shard_hot[shard];
@@ -722,11 +898,34 @@ impl Scheduler {
             // while we drain re-sets it, so the entry is either taken by
             // this batch or advertised for the next holder.
             hot.ring_mask.fetch_and(!(1 << slot), Ordering::AcqRel);
-            let ring = &root.procs[slot].rings[shard];
-            while let Some(raw) = ring.pop(&self.seg) {
-                // The ready counter was bumped at push time; routing moves
-                // the task between scheduler-internal homes.
-                core.route(&mut store, Shoff::from_raw(raw));
+            let lanes = &root.procs[slot].rings[shard];
+            // Same discipline one level down: take (clear) the dirty-lane
+            // bitmap, then drain the lanes it named; racing producers
+            // re-mark both levels after their push.
+            let mut dirty = lanes.take_dirty();
+            while dirty != 0 {
+                let lane = dirty.trailing_zeros() as usize;
+                dirty &= dirty - 1;
+                let ring = lanes.lane(lane);
+                let mut buf = [Shoff::from_raw(0); DRAIN_CHUNK];
+                loop {
+                    let mut n = 0;
+                    while n < DRAIN_CHUNK {
+                        match ring.pop(&self.seg) {
+                            Some(raw) => {
+                                buf[n] = Shoff::from_raw(raw);
+                                n += 1;
+                            }
+                            None => break,
+                        }
+                    }
+                    if n == 0 {
+                        break;
+                    }
+                    // The ready counter was bumped at push time; routing
+                    // moves the tasks between scheduler-internal homes.
+                    core.enqueue_batch(&mut store, &buf[..n]);
+                }
             }
         }
     }
@@ -1585,8 +1784,10 @@ mod tests {
         let (seg, sched) = setup(4, 2, 1_000_000);
         let c = Counters::default();
         sched.register_proc(0, 10);
+        // Distinct submitter tags land the unconstrained tasks in both
+        // shards (sticky routing: one thread would stay in one shard).
         for id in 0..6 {
-            sched.submit(mk_task(&seg, id, 0, 10, 0, Affinity::None));
+            sched.submit_from(mk_task(&seg, id, 0, 10, 0, Affinity::None), Affinity::None, id);
         }
         let mut got: Vec<u64> = (0..6)
             .map(|_| id_of(&seg, sched.get_task(0, 0, &c, &obs()).unwrap()))

@@ -22,6 +22,8 @@ pub(crate) struct Counters {
 }
 
 impl Counters {
+    /// Snapshot of the counter block alone; [`Counters::snapshot_with`]
+    /// folds in the values that live outside it.
     pub(crate) fn snapshot(&self) -> RuntimeStats {
         RuntimeStats {
             tasks_executed: self.tasks_executed.load(Ordering::Relaxed),
@@ -38,6 +40,16 @@ impl Counters {
             direct_dispatches: self.direct_dispatches.load(Ordering::Relaxed),
             shard_steals: self.shard_steals.load(Ordering::Relaxed),
             crash_reclaims: self.crash_reclaims.load(Ordering::Relaxed),
+            standby_elections: 0,
+        }
+    }
+
+    /// Full snapshot: the counter block plus the election count, which
+    /// lives in the gates (the only writer is the election CAS itself).
+    pub(crate) fn snapshot_with(&self, gates: &nosv_sync::CpuGates) -> RuntimeStats {
+        RuntimeStats {
+            standby_elections: gates.standby_elections(),
+            ..self.snapshot()
         }
     }
 }
@@ -88,4 +100,9 @@ pub struct RuntimeStats {
     /// Queued tasks reclaimed (cancelled and freed) from guest processes
     /// that died without detaching — the crash-reclaim sweeper's work.
     pub crash_reclaims: u64,
+    /// Times the standby-spinner role migrated between CPUs. The sticky
+    /// election exists to keep this far below [`RuntimeStats::tasks_executed`]
+    /// on a serial stream (re-electing per task was the 2–4 CPU
+    /// single-producer throughput dip).
+    pub standby_elections: u64,
 }

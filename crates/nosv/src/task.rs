@@ -121,6 +121,14 @@ pub(crate) struct TaskDesc {
     /// table ([`crate::Runtime::register_kernel`]) and runs the kernel with
     /// the task's `metadata` word as argument.
     pub kernel: AtomicU64,
+    /// Raw `Arc<BatchShared>` for batch members (zero-valid: 0 = an
+    /// individually created task). Like `callbacks`/`signal`, only ever
+    /// dereferenced inside the creating process, and uniquely taken (by
+    /// swap) by the executing worker or the cancellation path. Batch
+    /// members carry no per-task callbacks, signal, or handle: the shared
+    /// block holds the one body and the one completion latch, and the
+    /// worker frees the descriptor after running it.
+    pub batch: AtomicU64,
 }
 
 impl TaskDesc {
@@ -307,6 +315,204 @@ impl TaskBuilder {
 impl Default for TaskBuilder {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// The body every member of a [`TaskBatch`] runs (shared, so `Fn` rather
+/// than the single-task `FnOnce`; each invocation receives its member's
+/// own [`TaskCtx`]).
+pub(crate) type BatchBody = Arc<dyn Fn(&TaskCtx) + Send + Sync + 'static>;
+
+/// Host-side state shared by every member of one submitted batch: the one
+/// body closure, the countdown to completion, and the latch
+/// [`BatchHandle::wait`] blocks on. Descriptors hold one raw `Arc` strong
+/// reference each (`TaskDesc::batch`); the last finishing member fires the
+/// latch.
+pub(crate) struct BatchShared {
+    pub body: BatchBody,
+    /// Members not yet finished (executed or cancelled). The member whose
+    /// decrement reaches zero completes `signal`.
+    pub remaining: AtomicU64,
+    pub signal: Arc<TaskSignal>,
+}
+
+/// Builder for a *batch* of `count` sibling tasks sharing one body and one
+/// set of scheduling attributes, submitted in a single
+/// [`crate::ProcessContext::submit_all`] call that pays the per-submission
+/// costs (ring sequencing, ready accounting, wakeups) once per batch
+/// instead of once per task.
+///
+/// Member `i` observes `metadata + i` through [`TaskCtx::metadata`], so the
+/// shared body can tell members apart. Members keep the submission order of
+/// their lane (FIFO per producer thread) but have no individual handles:
+/// the batch completes as a unit through the returned
+/// [`crate::BatchHandle`], and the runtime reclaims each member's
+/// descriptor as it finishes.
+///
+/// ```
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// use std::sync::Arc;
+/// use nosv::prelude::*;
+///
+/// # fn main() -> Result<(), NosvError> {
+/// let rt = Runtime::builder().cpus(2).build()?;
+/// let app = rt.attach("batch-demo")?;
+/// let sum = Arc::new(AtomicU64::new(0));
+/// let s = Arc::clone(&sum);
+/// let batch = app.submit_all(
+///     TaskBatch::new(64).run(move |ctx| {
+///         s.fetch_add(ctx.metadata(), Ordering::Relaxed);
+///     }),
+/// )?;
+/// batch.wait();
+/// assert_eq!(sum.load(Ordering::Relaxed), (0..64).sum::<u64>());
+/// drop(app);
+/// rt.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+pub struct TaskBatch {
+    pub(crate) count: usize,
+    pub(crate) priority: i32,
+    pub(crate) affinity: Affinity,
+    pub(crate) metadata: u64,
+    pub(crate) body: Option<BatchBody>,
+}
+
+impl TaskBatch {
+    /// Starts a batch of `count` tasks with default attributes (priority
+    /// 0, no affinity, metadata base 0).
+    pub fn new(count: usize) -> TaskBatch {
+        TaskBatch {
+            count,
+            priority: 0,
+            affinity: Affinity::None,
+            metadata: 0,
+            body: None,
+        }
+    }
+
+    /// Number of member tasks.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the batch has no members (submitting one completes
+    /// immediately).
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Priority shared by every member (higher executes first within the
+    /// process).
+    pub fn priority(mut self, p: i32) -> Self {
+        self.priority = p;
+        self
+    }
+
+    /// [`Affinity`] shared by every member.
+    pub fn affinity(mut self, a: Affinity) -> Self {
+        self.affinity = a;
+        self
+    }
+
+    /// Metadata base: member `i` observes `base + i` via
+    /// [`TaskCtx::metadata`].
+    pub fn metadata(mut self, base: u64) -> Self {
+        self.metadata = base;
+        self
+    }
+
+    /// The body every member runs (shared, hence `Fn`; receives each
+    /// member's own [`TaskCtx`]).
+    pub fn run(mut self, f: impl Fn(&TaskCtx) + Send + Sync + 'static) -> Self {
+        self.body = Some(Arc::new(f));
+        self
+    }
+}
+
+impl fmt::Debug for TaskBatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TaskBatch")
+            .field("count", &self.count)
+            .field("priority", &self.priority)
+            .field("affinity", &self.affinity)
+            .field("has_body", &self.body.is_some())
+            .finish()
+    }
+}
+
+/// Completion handle for one submitted [`TaskBatch`]; returned by
+/// [`crate::ProcessContext::submit_all`].
+///
+/// Unlike [`TaskHandle`], there is nothing to destroy: member descriptors
+/// are freed by the workers that execute them (or by cancellation), so the
+/// handle is just the batch-wide completion latch.
+pub struct BatchHandle {
+    pub(crate) rt: Arc<crate::runtime::RuntimeInner>,
+    pub(crate) signal: Arc<TaskSignal>,
+    pub(crate) count: usize,
+}
+
+impl BatchHandle {
+    /// Number of member tasks submitted.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the batch was empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Whether every member has finished (non-blocking).
+    pub fn is_complete(&self) -> bool {
+        self.signal.is_done()
+    }
+
+    /// Blocks until every member's body has completed.
+    ///
+    /// Safe to call from anywhere: from an external thread it blocks on
+    /// the latch; from *inside a task* it pauses the calling task instead
+    /// of pinning its worker thread (exactly like [`TaskHandle::wait`]).
+    pub fn wait(&self) {
+        if let Some(caller_raw) = crate::worker::current_task_raw() {
+            loop {
+                if !self.signal.register_task_waiter(&self.rt, caller_raw) {
+                    return; // already completed
+                }
+                crate::pause();
+            }
+        }
+        self.signal.wait();
+    }
+
+    /// Blocks until the batch completes or `timeout` elapses, returning
+    /// [`NosvError::WaitTimeout`] in the latter case. As with
+    /// [`TaskHandle::wait_timeout`], a bounded wait is only possible on
+    /// the external-thread path; called from inside a task it returns
+    /// [`NosvError::WaitTimeout`] immediately unless already complete.
+    pub fn wait_timeout(&self, timeout: std::time::Duration) -> Result<(), NosvError> {
+        if crate::worker::current_task_raw().is_some() {
+            if self.signal.is_done() {
+                return Ok(());
+            }
+            return Err(NosvError::WaitTimeout);
+        }
+        if self.signal.wait_timeout(timeout) {
+            Ok(())
+        } else {
+            Err(NosvError::WaitTimeout)
+        }
+    }
+}
+
+impl fmt::Debug for BatchHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BatchHandle")
+            .field("count", &self.count)
+            .field("complete", &self.is_complete())
+            .finish()
     }
 }
 

@@ -108,9 +108,52 @@ impl LiveDriver {
         self.sched.set_app_priority(slot, priority);
     }
 
-    /// Builds a descriptor in the segment and submits it (ring or locked
-    /// path, as the real runtime would).
-    pub fn submit(&self, id: u64, slot: u32, pid: u64, priority: i32, affinity: Affinity) {
+    /// Builds a descriptor in the segment and submits it as `submitter`
+    /// (ring-lane or locked path, as the real runtime would; the
+    /// submitter tag drives lane choice and sticky shard routing exactly
+    /// like a producer thread's tag does).
+    pub fn submit(
+        &self,
+        id: u64,
+        slot: u32,
+        pid: u64,
+        priority: i32,
+        affinity: Affinity,
+        submitter: u64,
+    ) {
+        let off = self.make_desc(id, slot, pid, priority, affinity);
+        self.sched.submit_from(off, affinity, submitter);
+    }
+
+    /// Builds `ids.len()` descriptors sharing one attribute set and
+    /// submits them through the real batch path
+    /// (`Scheduler::submit_batch`: one reserve-N lane push, locked
+    /// overflow through `SchedCore::enqueue_batch`).
+    pub fn submit_batch(
+        &self,
+        ids: &[u64],
+        slot: u32,
+        pid: u64,
+        priority: i32,
+        affinity: Affinity,
+        submitter: u64,
+    ) {
+        let descs: Vec<Shoff<TaskDesc>> = ids
+            .iter()
+            .map(|&id| self.make_desc(id, slot, pid, priority, affinity))
+            .collect();
+        self.sched
+            .submit_batch(&descs, affinity, slot as usize, submitter);
+    }
+
+    fn make_desc(
+        &self,
+        id: u64,
+        slot: u32,
+        pid: u64,
+        priority: i32,
+        affinity: Affinity,
+    ) -> Shoff<TaskDesc> {
         let off: Shoff<TaskDesc> = self
             .seg
             .alloc_zeroed(std::mem::size_of::<TaskDesc>(), 0)
@@ -124,7 +167,7 @@ impl LiveDriver {
         d.priority.store(priority as u32, Ordering::Relaxed);
         d.affinity.store(affinity.encode(), Ordering::Relaxed);
         d.set_state(TaskState::Ready);
-        self.sched.submit(off);
+        off
     }
 
     /// One fetch for `cpu` at time `now_ns`, with the decision's

@@ -434,20 +434,11 @@ fn execute_guest(rt: &Arc<RuntimeInner>, task: ReadyTask) {
     rt.seg.free_t(task, core);
 }
 
-/// Executes a task body on the calling worker thread.
-fn execute(rt: &Arc<RuntimeInner>, task: ReadyTask) {
-    // SAFETY: task alive until destroy, which the state machine forbids
-    // before completion.
-    let d = unsafe { rt.seg.sref(task) };
-    d.set_state(TaskState::Running);
-    let id = TaskId(d.id.load(Ordering::Relaxed));
-    let pid = d.pid.load(Ordering::Relaxed);
-    let metadata = d.metadata.load(Ordering::Relaxed);
-    let core = with_tls(|w| w.core.get()).expect("worker TLS missing");
-    // A best-effort-affinity task executing away from its preferred
-    // core/NUMA node is a *remote* execution (the lowercase cells of the
-    // Fig. 10 timeline); strict affinities never run remotely.
-    let remote = match Affinity::decode(d.affinity.load(Ordering::Relaxed)) {
+/// Whether executing on `core` counts as a *remote* execution for the
+/// task's affinity (the lowercase cells of the Fig. 10 timeline); strict
+/// affinities never run remotely.
+fn is_remote(rt: &RuntimeInner, d: &TaskDesc, core: usize) -> bool {
+    match Affinity::decode(d.affinity.load(Ordering::Relaxed)) {
         Affinity::None => false,
         Affinity::Core { index, .. } => index != core,
         Affinity::Numa { index, .. } => {
@@ -455,7 +446,27 @@ fn execute(rt: &Arc<RuntimeInner>, task: ReadyTask) {
             let numa_of_core = core.checked_div(per_numa).unwrap_or(0);
             index != numa_of_core
         }
-    };
+    }
+}
+
+/// Executes a task body on the calling worker thread.
+fn execute(rt: &Arc<RuntimeInner>, task: ReadyTask) {
+    // SAFETY: task alive until destroy, which the state machine forbids
+    // before completion.
+    let d = unsafe { rt.seg.sref(task) };
+    // Batch members branch off before the callbacks swap: they carry the
+    // shared batch block instead of per-task callbacks and a signal.
+    let batch_raw = d.batch.swap(0, Ordering::AcqRel);
+    if batch_raw != 0 {
+        execute_batch_member(rt, task, batch_raw);
+        return;
+    }
+    d.set_state(TaskState::Running);
+    let id = TaskId(d.id.load(Ordering::Relaxed));
+    let pid = d.pid.load(Ordering::Relaxed);
+    let metadata = d.metadata.load(Ordering::Relaxed);
+    let core = with_tls(|w| w.core.get()).expect("worker TLS missing");
+    let remote = is_remote(rt, d, core);
     rt.emit(ObsKind::Start { remote }, core as u32, pid, id);
 
     let cbs_raw = d.callbacks.swap(0, Ordering::AcqRel);
@@ -494,6 +505,49 @@ fn execute(rt: &Arc<RuntimeInner>, task: ReadyTask) {
         // SAFETY: produced by Arc::into_raw at creation; taken exactly once.
         let sig = unsafe { Arc::from_raw(sig_raw as *const TaskSignal) };
         sig.complete();
+    }
+}
+
+/// Executes one member of a [`crate::TaskBatch`]: runs the batch's shared
+/// body with this member's context, frees the descriptor (batch members
+/// have no handle to destroy them), and counts the member down on the
+/// shared latch — the last one completes it. `shared_raw` is the raw
+/// `Arc<BatchShared>` the caller uniquely took from the descriptor.
+fn execute_batch_member(rt: &Arc<RuntimeInner>, task: ReadyTask, shared_raw: u64) {
+    // SAFETY: a task handed out by the scheduler is alive; batch member
+    // descriptors stay alive until this function frees them.
+    let d = unsafe { rt.seg.sref(task) };
+    d.set_state(TaskState::Running);
+    let id = TaskId(d.id.load(Ordering::Relaxed));
+    let pid = d.pid.load(Ordering::Relaxed);
+    let metadata = d.metadata.load(Ordering::Relaxed);
+    let core = with_tls(|w| w.core.get()).expect("worker TLS missing");
+    let remote = is_remote(rt, d, core);
+    rt.emit(ObsKind::Start { remote }, core as u32, pid, id);
+    // SAFETY: produced by Arc::into_raw in submit_all; uniquely taken by
+    // the caller's swap.
+    let shared = unsafe { Arc::from_raw(shared_raw as *const crate::task::BatchShared) };
+    with_tls(|w| w.current_task.set(task.raw()));
+    let ctx = TaskCtx {
+        task_id: id,
+        pid,
+        metadata,
+    };
+    (shared.body)(&ctx);
+    with_tls(|w| w.current_task.set(0));
+    d.set_state(TaskState::Completed);
+    // The core may have changed if the body paused and resumed elsewhere.
+    let end_core = with_tls(|w| w.core.get()).unwrap_or(core);
+    rt.emit(ObsKind::End, end_core as u32, pid, id);
+    rt.counters.tasks_executed.fetch_add(1, Ordering::Relaxed);
+    // Pending drops before the latch can fire (see `execute`); the
+    // descriptor is freed before our countdown so that once the latch
+    // fires, every member's memory is provably back in the slab.
+    rt.pending_tasks.fetch_sub(1, Ordering::AcqRel);
+    rt.seg.free_t(task, end_core);
+    rt.live_descriptors.fetch_sub(1, Ordering::AcqRel);
+    if shared.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        shared.signal.complete();
     }
 }
 

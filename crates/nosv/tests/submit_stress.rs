@@ -4,8 +4,9 @@
 //! concurrently while the workers drain. Every task must execute exactly
 //! once, every handle must observe completion, and the runtime counters
 //! must balance — under the default ring capacity, under a tiny ring that
-//! forces constant overflow onto the locked fallback path, and with rings
-//! disabled outright.
+//! forces constant overflow onto the locked fallback path, with rings
+//! disabled outright, and across the lane-count × batch-size grid of the
+//! per-producer-lane submission path.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -14,7 +15,7 @@ use nosv::prelude::*;
 
 /// Drives `threads_per_proc * procs` concurrent submitters, each creating
 /// and submitting `tasks_per_thread` tasks; returns the observed execution
-/// count and the final stats.
+/// count and the final stats. `lanes` of 0 keeps the default lane count.
 fn hammer(
     cpus: usize,
     procs: usize,
@@ -22,10 +23,22 @@ fn hammer(
     tasks_per_thread: usize,
     ring_cap: usize,
 ) -> (u64, RuntimeStats) {
+    hammer_lanes(cpus, procs, threads_per_proc, tasks_per_thread, ring_cap, 0)
+}
+
+fn hammer_lanes(
+    cpus: usize,
+    procs: usize,
+    threads_per_proc: usize,
+    tasks_per_thread: usize,
+    ring_cap: usize,
+    lanes: usize,
+) -> (u64, RuntimeStats) {
     let rt = Arc::new(
         Runtime::builder()
             .cpus(cpus)
             .submit_ring(ring_cap)
+            .submit_lanes(lanes)
             .build()
             .expect("valid config"),
     );
@@ -125,4 +138,100 @@ fn single_cpu_oversubscribed() {
     // Every submitter, worker and handoff fights over one core: the
     // harshest interleaving for the wake/drain protocol.
     check(1, 2, 3, 150, nosv::DEFAULT_SUBMIT_RING_CAP);
+}
+
+/// Like [`hammer`] but submitting through [`TaskBatch`]es of `batch_size`
+/// instead of individual handles.
+fn hammer_batched(
+    cpus: usize,
+    threads_per_proc: usize,
+    batches_per_thread: usize,
+    batch_size: usize,
+    lanes: usize,
+) -> (u64, RuntimeStats) {
+    let rt = Arc::new(
+        Runtime::builder()
+            .cpus(cpus)
+            .submit_lanes(lanes)
+            .build()
+            .expect("valid config"),
+    );
+    let executed = Arc::new(AtomicU64::new(0));
+    let app = Arc::new(rt.attach("batch-stress").expect("attach"));
+    let submitters: Vec<_> = (0..threads_per_proc)
+        .map(|_| {
+            let app = Arc::clone(&app);
+            let executed = Arc::clone(&executed);
+            std::thread::spawn(move || {
+                let mut handles = Vec::with_capacity(batches_per_thread);
+                for _ in 0..batches_per_thread {
+                    let executed = Arc::clone(&executed);
+                    let h = app
+                        .submit_all(TaskBatch::new(batch_size).run(move |_| {
+                            executed.fetch_add(1, Ordering::Relaxed);
+                        }))
+                        .expect("submit_all");
+                    handles.push(h);
+                }
+                for h in handles {
+                    h.wait();
+                    assert!(h.is_complete());
+                }
+            })
+        })
+        .collect();
+    for s in submitters {
+        s.join().expect("submitter thread panicked");
+    }
+    drop(app);
+    let stats = rt.stats();
+    rt.shutdown();
+    (executed.load(Ordering::Relaxed), stats)
+}
+
+/// The lane grid: every lane count (single shared lane, the default, the
+/// max) must preserve exactly-once execution and balanced counters under
+/// concurrent producers — including more producers than lanes (hashed
+/// sharing).
+#[test]
+fn lane_grid_exactly_once() {
+    for lanes in [1usize, 4, 8] {
+        let total = (4 * 200) as u64;
+        let (executed, stats) = hammer_lanes(2, 1, 4, 200, nosv::DEFAULT_SUBMIT_RING_CAP, lanes);
+        let label = format!("lanes={lanes}");
+        assert_eq!(executed, total, "{label}: body execution count");
+        assert_eq!(stats.tasks_executed, total, "{label}: tasks_executed");
+        assert_eq!(stats.tasks_submitted, total, "{label}: tasks_submitted");
+        assert_eq!(
+            stats.ring_submits + stats.locked_submits + stats.direct_dispatches,
+            total,
+            "{label}: every submission took exactly one path"
+        );
+    }
+}
+
+/// The lane × batch-size grid: batch submission must be exactly-once with
+/// balanced counters for every combination of lane count and batch size
+/// (including degenerate batches of one and batches far larger than a
+/// lane's capacity, which exercise the reserve-N overflow split).
+#[test]
+fn batch_grid_exactly_once() {
+    for lanes in [1usize, 4, 8] {
+        for batch_size in [1usize, 16, 256] {
+            // Keep the per-config task count comparable across sizes.
+            let batches_per_thread = (512 / batch_size).max(1);
+            let threads = 4;
+            let total = (threads * batches_per_thread * batch_size) as u64;
+            let (executed, stats) = hammer_batched(2, threads, batches_per_thread, batch_size, lanes);
+            let label = format!("lanes={lanes} batch={batch_size}");
+            assert_eq!(executed, total, "{label}: body execution count");
+            assert_eq!(stats.tasks_executed, total, "{label}: tasks_executed");
+            assert_eq!(stats.tasks_submitted, total, "{label}: tasks_submitted");
+            assert_eq!(
+                stats.ring_submits + stats.locked_submits + stats.direct_dispatches,
+                total,
+                "{label}: every batch member took exactly one path"
+            );
+        }
+    }
 }

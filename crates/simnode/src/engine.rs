@@ -424,10 +424,14 @@ impl<'a> Engine<'a> {
                     strict: false,
                 },
             };
-            for _ in 0..n {
-                let t = self.store.insert(app as u32, app as u64 + 1, 0, aff, tm);
-                self.sched.route(&mut self.store, t);
-            }
+            // One group is one batch from one submitter (the application):
+            // threaded through the shared `route_batch` composition so the
+            // sim exercises the exact enqueue order the live runtime's
+            // batch submission produces (parity by construction).
+            let batch: Vec<_> = (0..n)
+                .map(|_| self.store.insert(app as u32, app as u64 + 1, 0, aff, tm))
+                .collect();
+            self.sched.route_batch(&mut self.store, &batch, app as u64);
             self.apps[app].queued += n;
         }
     }

@@ -1,10 +1,10 @@
 //! The driver-parity property of the `nosv-core` extraction: one seeded
-//! random op sequence (submit / pop / steal / quantum-expiry / yield /
-//! lend / unregister) is fed through the backend-agnostic scheduling core
-//! via **both** drivers —
+//! random op sequence (submit / batch-submit / pop / steal /
+//! quantum-expiry / yield / lend / unregister) is fed through the
+//! backend-agnostic scheduling core via **both** drivers —
 //!
 //! * the *live-scheduler driver*: the real `nosv::Scheduler` (per-shard
-//!   delegation locks, lock-free submission rings, intrusive
+//!   delegation locks, lock-free per-producer submission lanes, intrusive
 //!   shared-segment queues, cross-shard stealing) exposed through
 //!   `nosv::testing::LiveDriver`, and
 //! * the *sim driver*: `nosv_core::ShardedCore` over the heap store the
@@ -16,8 +16,11 @@
 //! picks the same borrower. `policy_parity` proves the backends share the
 //! policy; this proves they share the *entire* scheduling state machine —
 //! including the shard routing (placed tasks to owner shards,
-//! unconstrained tasks round-robin) and the cross-shard steal rotation,
-//! fuzzed over `sched_shards ∈ {1, 2, 4}`.
+//! unconstrained tasks sticky to their submitter: `submitter % shards`,
+//! no shared cursor) and the cross-shard steal rotation, fuzzed over
+//! `sched_shards ∈ {1, 2, 4}`, with batch submissions exercising the
+//! reserve-N lane push and `SchedCore::enqueue_batch` against the sim's
+//! `route_batch`.
 
 use std::collections::HashMap;
 
@@ -31,13 +34,36 @@ use nosv_repro::nosv_sync::SplitMix64;
 /// What one pop decided, as both drivers must report it.
 type PopRec = Option<(u64, u64, bool, bool)>; // (id, pid, stolen, quantum)
 
-/// The op surface both drivers expose to the fuzzer.
+/// The op surface both drivers expose to the fuzzer. Every submission
+/// carries the submitter tag that drives lane choice and sticky shard
+/// routing; the harness uses one tag per process slot (one producer
+/// thread per process), which keeps per-slot FIFO meaningful across the
+/// live driver's per-lane drains.
 trait Driver {
     fn register(&mut self, slot: u32, pid: u64);
     /// `true` = unregistered; `false` = refused (tasks still queued).
     fn unregister(&mut self, slot: u32) -> bool;
     fn set_app_priority(&mut self, slot: u32, priority: i32);
-    fn submit(&mut self, id: u64, slot: u32, pid: u64, priority: i32, affinity: Affinity);
+    fn submit(
+        &mut self,
+        id: u64,
+        slot: u32,
+        pid: u64,
+        priority: i32,
+        affinity: Affinity,
+        submitter: u64,
+    );
+    /// One batch: `ids` share slot / priority / affinity and must land in
+    /// submission order.
+    fn submit_batch(
+        &mut self,
+        ids: &[u64],
+        slot: u32,
+        pid: u64,
+        priority: i32,
+        affinity: Affinity,
+        submitter: u64,
+    );
     fn pop(&mut self, cpu: usize, now_ns: u64) -> PopRec;
 }
 
@@ -54,8 +80,28 @@ impl Driver for LiveDriver {
         LiveDriver::set_app_priority(self, slot, priority);
     }
 
-    fn submit(&mut self, id: u64, slot: u32, pid: u64, priority: i32, affinity: Affinity) {
-        LiveDriver::submit(self, id, slot, pid, priority, affinity);
+    fn submit(
+        &mut self,
+        id: u64,
+        slot: u32,
+        pid: u64,
+        priority: i32,
+        affinity: Affinity,
+        submitter: u64,
+    ) {
+        LiveDriver::submit(self, id, slot, pid, priority, affinity, submitter);
+    }
+
+    fn submit_batch(
+        &mut self,
+        ids: &[u64],
+        slot: u32,
+        pid: u64,
+        priority: i32,
+        affinity: Affinity,
+        submitter: u64,
+    ) {
+        LiveDriver::submit_batch(self, ids, slot, pid, priority, affinity, submitter);
     }
 
     fn pop(&mut self, cpu: usize, now_ns: u64) -> PopRec {
@@ -111,9 +157,33 @@ impl Driver for SimDriver {
         self.core.set_app_priority(slot as usize, priority);
     }
 
-    fn submit(&mut self, id: u64, slot: u32, pid: u64, priority: i32, affinity: Affinity) {
+    fn submit(
+        &mut self,
+        id: u64,
+        slot: u32,
+        pid: u64,
+        priority: i32,
+        affinity: Affinity,
+        submitter: u64,
+    ) {
         let t = self.store.insert(slot, pid, priority, affinity, id);
-        self.core.route(&mut self.store, t);
+        self.core.route(&mut self.store, t, submitter);
+    }
+
+    fn submit_batch(
+        &mut self,
+        ids: &[u64],
+        slot: u32,
+        pid: u64,
+        priority: i32,
+        affinity: Affinity,
+        submitter: u64,
+    ) {
+        let tasks: Vec<_> = ids
+            .iter()
+            .map(|&id| self.store.insert(slot, pid, priority, affinity, id))
+            .collect();
+        self.core.route_batch(&mut self.store, &tasks, submitter);
     }
 
     fn pop(&mut self, cpu: usize, now_ns: u64) -> PopRec {
@@ -137,11 +207,11 @@ struct FuzzConfig {
     cpus_per_numa: usize,
     procs: usize,
     quantum_ns: u64,
-    /// Live-driver submission ring capacity. With rings enabled, drains
-    /// batch per-slot (preserving per-slot FIFO but not cross-slot
-    /// interleaving), so placed tasks are restricted to slot 0 to keep
-    /// cross-slot arrival order out of the equation — the documented
-    /// batching caveat of the live submission path.
+    /// Live-driver submission ring capacity (per lane). With rings
+    /// enabled, drains batch per-slot (preserving per-slot FIFO but not
+    /// cross-slot interleaving), so placed tasks are restricted to slot 0
+    /// to keep cross-slot arrival order out of the equation — the
+    /// documented batching caveat of the live submission path.
     ring_cap: usize,
     /// Scheduler shards, fuzzed over {1, 2, 4} (clamped to the CPU
     /// count). Both drivers shard identically by construction; this test
@@ -162,6 +232,13 @@ fn config_for(seed: u64) -> FuzzConfig {
     }
 }
 
+/// The harness models one producer thread per process: slot `s` always
+/// submits as tag `s`, so its unconstrained work sticks to shard
+/// `s % shards` and its ring traffic stays in one lane (per-slot FIFO).
+fn submitter_for(slot: u32) -> u64 {
+    slot as u64
+}
+
 /// Runs the seeded op sequence against one driver, recording every
 /// decision as a line of text. Op *generation* consumes the same RNG
 /// stream for both drivers; where an op depends on earlier outcomes
@@ -171,14 +248,14 @@ fn config_for(seed: u64) -> FuzzConfig {
 ///
 /// The harness additionally tracks, per process slot, how its queued
 /// tasks spread over the shards — replicating the shared routing rule
-/// ([`ShardMap::route_shard`] plus the round-robin cursor) — and feeds
-/// the per-shard counts to the shard-aware lending decision.
+/// ([`ShardMap::route_shard`], a pure function of affinity and submitter
+/// tag) — and feeds the per-shard counts to the shard-aware lending
+/// decision.
 fn decision_stream(driver: &mut impl Driver, seed: u64, cfg: FuzzConfig) -> Vec<String> {
     let mut rng = SplitMix64::new(seed);
     let mut out = Vec::new();
 
     let map = ShardMap::new(cfg.cpus, cfg.cpus_per_numa, cfg.shards);
-    let mut rr_shard = 0u64;
 
     let mut next_pid = 100u64;
     let mut pid_of: Vec<u64> = Vec::new();
@@ -203,41 +280,35 @@ fn decision_stream(driver: &mut impl Driver, seed: u64, cfg: FuzzConfig) -> Vec<
     // Shard each queued task id currently sits in (updated on yields).
     let mut shard_of: HashMap<u64, usize> = HashMap::new();
 
-    // One bookkeeping point for every submission (fresh or yield): tick
-    // the routing cursor exactly as both drivers do internally.
+    // One bookkeeping point for every submission (fresh, batched or
+    // yield): replicate the sticky routing rule both drivers apply.
     fn note_submit(
         map: &ShardMap,
         queued: &mut [Vec<usize>],
         shard_of: &mut HashMap<u64, usize>,
-        rr_shard: &mut u64,
         id: u64,
         slot: u32,
         affinity: Affinity,
     ) {
-        let shard = map.route_shard(affinity, rr_shard);
+        let shard = map.route_shard(affinity, submitter_for(slot));
         queued[slot as usize][shard] += 1;
         shard_of.insert(id, shard);
     }
 
-    let submit = |driver: &mut dyn Driver,
-                  rng: &mut SplitMix64,
-                  next_id: &mut u64,
-                  queued: &mut Vec<Vec<usize>>,
-                  shard_of: &mut HashMap<u64, usize>,
-                  rr_shard: &mut u64,
-                  attrs: &mut HashMap<u64, (u32, u64, i32, Affinity)>,
-                  pid_of: &[u64]| {
+    // Picks (slot, priority, affinity) for a fresh submission. Placed
+    // tasks come from slot 0 when rings batch (see FuzzConfig).
+    let pick_attrs = |rng: &mut SplitMix64| {
         let slot = (rng.next_u64() % cfg.procs as u64) as u32;
         let prio = (rng.next_u64() % 4) as i32;
         let strict = rng.next_u64().is_multiple_of(2);
         let kind = rng.next_u64() % 3;
-        // Placed tasks come from slot 0 when rings batch (see FuzzConfig).
-        let (slot, affinity) = match kind {
-            0 => (slot, Affinity::None),
+        match kind {
+            0 => (slot, prio, Affinity::None),
             1 => {
                 let s = if cfg.ring_cap == 0 { slot } else { 0 };
                 (
                     s,
+                    prio,
                     Affinity::Core {
                         index: (rng.next_u64() % cfg.cpus as u64) as usize,
                         strict,
@@ -248,19 +319,14 @@ fn decision_stream(driver: &mut impl Driver, seed: u64, cfg: FuzzConfig) -> Vec<
                 let s = if cfg.ring_cap == 0 { slot } else { 0 };
                 (
                     s,
+                    prio,
                     Affinity::Numa {
                         index: (rng.next_u64() % numa_nodes as u64) as usize,
                         strict,
                     },
                 )
             }
-        };
-        let id = *next_id;
-        *next_id += 1;
-        let pid = pid_of[slot as usize];
-        driver.submit(id, slot, pid, prio, affinity);
-        attrs.insert(id, (slot, pid, prio, affinity));
-        note_submit(&map, queued, shard_of, rr_shard, id, slot, affinity);
+        }
     };
 
     let record_pop = |out: &mut Vec<String>,
@@ -288,17 +354,28 @@ fn decision_stream(driver: &mut impl Driver, seed: u64, cfg: FuzzConfig) -> Vec<
     for _ in 0..600 {
         now += rng.next_u64() % 300;
         let op = rng.next_u64() % 100;
-        if op < 40 {
-            submit(
-                driver,
-                &mut rng,
-                &mut next_id,
-                &mut queued,
-                &mut shard_of,
-                &mut rr_shard,
-                &mut attrs,
-                &pid_of,
-            );
+        if op < 32 {
+            // Single submission.
+            let (slot, prio, affinity) = pick_attrs(&mut rng);
+            let id = next_id;
+            next_id += 1;
+            let pid = pid_of[slot as usize];
+            driver.submit(id, slot, pid, prio, affinity, submitter_for(slot));
+            attrs.insert(id, (slot, pid, prio, affinity));
+            note_submit(&map, &mut queued, &mut shard_of, id, slot, affinity);
+        } else if op < 40 {
+            // Batch submission: 2–7 tasks through the reserve-N path
+            // (under ring_cap 4 a batch of >4 splits ring/locked).
+            let (slot, prio, affinity) = pick_attrs(&mut rng);
+            let n = 2 + (rng.next_u64() % 6) as usize;
+            let ids: Vec<u64> = (0..n as u64).map(|i| next_id + i).collect();
+            next_id += n as u64;
+            let pid = pid_of[slot as usize];
+            driver.submit_batch(&ids, slot, pid, prio, affinity, submitter_for(slot));
+            for &id in &ids {
+                attrs.insert(id, (slot, pid, prio, affinity));
+                note_submit(&map, &mut queued, &mut shard_of, id, slot, affinity);
+            }
         } else if op < 70 {
             let cpu = (rng.next_u64() % cfg.cpus as u64) as usize;
             record_pop(
@@ -336,16 +413,8 @@ fn decision_stream(driver: &mut impl Driver, seed: u64, cfg: FuzzConfig) -> Vec<
                 driver.pop(cpu, now),
             ) {
                 let (slot, pid, prio, aff) = attrs[&id];
-                driver.submit(id, slot, pid, prio, aff);
-                note_submit(
-                    &map,
-                    &mut queued,
-                    &mut shard_of,
-                    &mut rr_shard,
-                    id,
-                    slot,
-                    aff,
-                );
+                driver.submit(id, slot, pid, prio, aff, submitter_for(slot));
+                note_submit(&map, &mut queued, &mut shard_of, id, slot, aff);
                 out.push(format!("yield id={id}"));
             }
         } else if op < 90 {
