@@ -137,7 +137,7 @@ fn bench_task_lifecycle() {
     report("create_submit_run_destroy", || {
         let t = app.create_task(|_| {});
         t.submit().expect("fresh submit");
-        t.wait();
+        t.wait().unwrap();
         t.destroy();
     });
     report("create_destroy_only", || {

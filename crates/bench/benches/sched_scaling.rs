@@ -132,13 +132,13 @@ fn throughput(cfg: &Config, budget: Duration) -> (f64, RuntimeStats) {
                         handles.push_back(t);
                         if handles.len() >= WINDOW {
                             let t = handles.pop_front().unwrap();
-                            t.wait();
+                            t.wait().unwrap();
                             t.destroy();
                             completed.fetch_add(1, Ordering::Relaxed);
                         }
                     }
                     for t in handles {
-                        t.wait();
+                        t.wait().unwrap();
                         t.destroy();
                         completed.fetch_add(1, Ordering::Relaxed);
                     }
@@ -154,12 +154,12 @@ fn throughput(cfg: &Config, budget: Duration) -> (f64, RuntimeStats) {
                             .expect("submit_all");
                         handles.push_back(h);
                         if handles.len() >= WINDOW {
-                            handles.pop_front().unwrap().wait();
+                            handles.pop_front().unwrap().wait().unwrap();
                             completed.fetch_add(BATCH as u64, Ordering::Relaxed);
                         }
                     }
                     for h in handles {
-                        h.wait();
+                        h.wait().unwrap();
                         completed.fetch_add(BATCH as u64, Ordering::Relaxed);
                     }
                 }
@@ -226,7 +226,11 @@ fn main() {
                     if let Some(f) = &filter {
                         let label = format!(
                             "mode={} cpus={cpus} producers={producers} shards={}",
-                            if mode == Mode::Batched { "batched" } else { "single" },
+                            if mode == Mode::Batched {
+                                "batched"
+                            } else {
+                                "single"
+                            },
                             if sharded { "on" } else { "off" },
                         );
                         if !f.split_whitespace().all(|tok| label.contains(tok)) {
@@ -258,15 +262,20 @@ fn main() {
         return;
     }
 
-    let row_of = |cpus: usize, producers: usize, sharded: bool, mode: Mode| -> &(Config, f64, RuntimeStats) {
+    let row_of = |cpus: usize,
+                  producers: usize,
+                  sharded: bool,
+                  mode: Mode|
+     -> &(Config, f64, RuntimeStats) {
         rows.iter()
             .find(|(c, _, _)| {
                 c.cpus == cpus && c.producers == producers && c.sharded == sharded && c.mode == mode
             })
             .expect("config measured")
     };
-    let rate_of =
-        |cpus: usize, producers: usize, sharded: bool, mode: Mode| row_of(cpus, producers, sharded, mode).1;
+    let rate_of = |cpus: usize, producers: usize, sharded: bool, mode: Mode| {
+        row_of(cpus, producers, sharded, mode).1
+    };
 
     // The single-producer bars run on the shards-off column: that is the
     // pre-fix topology (one NUMA node, one lock), so the delta is the
@@ -286,7 +295,8 @@ fn main() {
 
     // The lane/batch headline: many-producer batched submission at 8
     // CPUs (best of the 4- and 8-producer columns — both are "many").
-    let batched_many_8 = rate_of(8, 4, false, Mode::Batched).max(rate_of(8, 8, false, Mode::Batched));
+    let batched_many_8 =
+        rate_of(8, 4, false, Mode::Batched).max(rate_of(8, 8, false, Mode::Batched));
     let meets_3m = batched_many_8 >= BATCHED_BAR;
     println!(
         "  8-CPU many-producer batched: {batched_many_8:.0}/s (bar: >= {BATCHED_BAR:.0}) -> {meets_3m}"

@@ -86,13 +86,13 @@ fn throughput(cfg: &Config, ring_cap: usize, budget: Duration) -> f64 {
                         handles.push_back(t);
                         if handles.len() >= WINDOW {
                             let t = handles.pop_front().unwrap();
-                            t.wait();
+                            t.wait().unwrap();
                             t.destroy();
                             completed.fetch_add(1, Ordering::Relaxed);
                         }
                     }
                     for t in handles {
-                        t.wait();
+                        t.wait().unwrap();
                         t.destroy();
                         completed.fetch_add(1, Ordering::Relaxed);
                     }

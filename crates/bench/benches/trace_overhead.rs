@@ -38,7 +38,7 @@ fn lifecycle_ns(rt: &Runtime, drain: impl Fn()) -> (f64, u64) {
     let op = || {
         let t = app.create_task(|_| {});
         t.submit().expect("fresh submit");
-        t.wait();
+        t.wait().unwrap();
         t.destroy();
     };
     // Warm up and probe the per-op cost.

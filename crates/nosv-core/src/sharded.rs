@@ -317,10 +317,7 @@ mod tests {
         assert_eq!(shards, vec![0, 1, 0, 1], "submitter id % shards");
         // One submitter never scatters across shards.
         for id in 4..8 {
-            assert_eq!(
-                submit_from(&mut core, &mut store, id, Affinity::None, 1),
-                1
-            );
+            assert_eq!(submit_from(&mut core, &mut store, id, Affinity::None, 1), 1);
         }
         core.assert_masks_consistent(&mut store);
     }
@@ -336,14 +333,10 @@ mod tests {
             index: 0,
             strict: true,
         };
-        let tasks: Vec<_> = [
-            (0u64, Affinity::None),
-            (1, placed),
-            (2, Affinity::None),
-        ]
-        .iter()
-        .map(|&(id, aff)| store.insert(0, 10, 0, aff, id))
-        .collect();
+        let tasks: Vec<_> = [(0u64, Affinity::None), (1, placed), (2, Affinity::None)]
+            .iter()
+            .map(|&(id, aff)| store.insert(0, 10, 0, aff, id))
+            .collect();
         core.route_batch(&mut store, &tasks, 1);
         assert_eq!(core.shard(1).proc_ready_count(0), 2, "unconstrained pair");
         // CPU 0 (shard 0) takes its strict core task locally.

@@ -22,6 +22,11 @@
 //!    atomic operation names an `Ordering::…` at the call site, or
 //!    transparently forwards a parameter named `order`/`ordering`/
 //!    `success`/`failure` — no defaults smuggled through helper wrappers.
+//! 5. **Crash-point coverage** ([`Rule::UncoveredCrashPoint`], cross-file,
+//!    see [`lint_crash_point_coverage`]): every named
+//!    `crash_point("…")` in the protocol sources must appear in at least
+//!    one chaos or model test fixture — a crash point nobody kills a
+//!    participant at is an untested claim about recoverability.
 //!
 //! The scanner is deliberately line-oriented and conservative: it
 //! understands doc/line comments, `#[cfg(test)] mod` regions (exempt from
@@ -43,6 +48,8 @@ pub enum Rule {
     MissingSafety,
     /// An atomic operation without an explicit `Ordering`.
     ImplicitOrdering,
+    /// A named crash point no chaos/model test fixture exercises.
+    UncoveredCrashPoint,
 }
 
 impl Rule {
@@ -53,6 +60,7 @@ impl Rule {
             Rule::SegmentField => "segment-field",
             Rule::MissingSafety => "missing-safety",
             Rule::ImplicitOrdering => "implicit-ordering",
+            Rule::UncoveredCrashPoint => "uncovered-crash-point",
         }
     }
 }
@@ -146,6 +154,74 @@ pub fn lint_paths(paths: &[PathBuf]) -> std::io::Result<Vec<Violation>> {
     for f in files {
         let src = std::fs::read_to_string(&f)?;
         out.extend(lint_source(&f, &src));
+    }
+    Ok(out)
+}
+
+/// Extracts the names of `crash_point("…")` call sites from one source
+/// string as `(1-based line, name)` pairs. Comment lines are skipped, so
+/// prose *about* a crash point (and the facade's own docs) never counts
+/// as declaring one.
+pub fn crash_point_names(src: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        if is_comment_line(line) {
+            continue;
+        }
+        let code = split_comment(line).0;
+        let mut from = 0;
+        while let Some(pos) = code[from..].find("crash_point(\"") {
+            let start = from + pos + "crash_point(\"".len();
+            let Some(len) = code[start..].find('"') else {
+                break;
+            };
+            out.push((i + 1, code[start..start + len].to_string()));
+            from = start + len;
+        }
+    }
+    out
+}
+
+/// Cross-file rule [`Rule::UncoveredCrashPoint`]: every crash point named
+/// in the sources under `src_roots` must appear — as a plain string — in
+/// at least one `.rs` file under `fixture_roots` (the chaos kill matrix
+/// and the model suites). The fixture match is textual on purpose: a
+/// kill-matrix array entry, a model-test fixture, or a fixture comment
+/// tying a scenario to its point all count, and all of them break loudly
+/// when the point is renamed.
+pub fn lint_crash_point_coverage(
+    src_roots: &[PathBuf],
+    fixture_roots: &[PathBuf],
+) -> std::io::Result<Vec<Violation>> {
+    let mut src_files = Vec::new();
+    for r in src_roots {
+        collect_rs_files(r, &mut src_files)?;
+    }
+    src_files.sort();
+    let mut fixture_files = Vec::new();
+    for r in fixture_roots {
+        collect_rs_files(r, &mut fixture_files)?;
+    }
+    let mut corpus = String::new();
+    for f in &fixture_files {
+        corpus.push_str(&std::fs::read_to_string(f)?);
+        corpus.push('\n');
+    }
+    let mut out = Vec::new();
+    for f in src_files {
+        let src = std::fs::read_to_string(&f)?;
+        for (line, name) in crash_point_names(&src) {
+            if !corpus.contains(&name) {
+                out.push(Violation {
+                    file: f.clone(),
+                    line,
+                    rule: Rule::UncoveredCrashPoint,
+                    message: format!(
+                        "crash point `{name}` appears in no chaos or model test fixture"
+                    ),
+                });
+            }
+        }
     }
     Ok(out)
 }
@@ -653,6 +729,25 @@ mod tests {
              }\n",
         );
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn crash_point_names_extracts_calls_not_prose() {
+        let names = crash_point_names(
+            "// The `ring.push.reserved` point is documented here.\n\
+             fn push() {\n\
+                 crash_point(\"ring.push.reserved\");\n\
+                 crash_point(\"ring.lane.unmarked\"); // after the mark\n\
+             }\n\
+             /// crash_point(\"doc.example.ignored\")\n",
+        );
+        assert_eq!(
+            names,
+            vec![
+                (3, "ring.push.reserved".to_string()),
+                (4, "ring.lane.unmarked".to_string()),
+            ]
+        );
     }
 
     #[test]

@@ -1,42 +1,87 @@
 //! CLI driver for [`nosv_lint`]: `cargo run -p nosv-lint [paths…]`.
 //!
 //! With no arguments, lints the protocol crates (`nosv-sync`, `nosv-shmem`,
-//! `nosv-check`). With arguments, lints exactly those files/directories.
-//! Exits non-zero when any violation is found.
+//! `nosv-check`) with the per-file rules AND checks crash-point coverage
+//! (every `crash_point("…")` in the protocol sources — including the
+//! runtime crate's IPC and scheduler paths — must appear in a chaos or
+//! model test fixture). With arguments, lints exactly those
+//! files/directories with the per-file rules. With
+//! `coverage <src>… --fixtures <dir>…`, runs only the coverage rule over
+//! explicit roots (used by the self-test fixtures). Exits non-zero when
+//! any violation is found.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-fn default_roots() -> Vec<PathBuf> {
-    let crates = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+fn crates_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .parent()
         .expect("nosv-lint lives under crates/")
-        .to_path_buf();
+        .to_path_buf()
+}
+
+fn default_roots() -> Vec<PathBuf> {
     ["nosv-sync", "nosv-shmem", "nosv-check"]
         .iter()
-        .map(|c| crates.join(c).join("src"))
+        .map(|c| crates_dir().join(c).join("src"))
         .collect()
+}
+
+/// Sources scanned for `crash_point("…")` names: the protocol crates plus
+/// the runtime crate (its IPC join and guest-submit paths carry points the
+/// kill matrix must cover).
+fn coverage_src_roots() -> Vec<PathBuf> {
+    ["nosv-sync", "nosv-shmem", "nosv"]
+        .iter()
+        .map(|c| crates_dir().join(c).join("src"))
+        .collect()
+}
+
+/// Where coverage may live: each crate's integration-test directory (the
+/// chaos kill matrix in `nosv/tests/chaos.rs`, the model suites in
+/// `nosv-sync/tests` and `nosv-shmem/tests`).
+fn coverage_fixture_roots() -> Vec<PathBuf> {
+    ["nosv-sync", "nosv-shmem", "nosv"]
+        .iter()
+        .map(|c| crates_dir().join(c).join("tests"))
+        .collect()
+}
+
+fn report(violations: Vec<nosv_lint::Violation>) -> ExitCode {
+    if violations.is_empty() {
+        eprintln!("nosv-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            println!("{v}");
+        }
+        eprintln!("nosv-lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
 }
 
 fn main() -> ExitCode {
     let args: Vec<PathBuf> = std::env::args_os().skip(1).map(PathBuf::from).collect();
-    let roots = if args.is_empty() {
-        default_roots()
+    let result = if args.first().is_some_and(|a| a.as_os_str() == "coverage") {
+        let rest = &args[1..];
+        let split = rest
+            .iter()
+            .position(|a| a.as_os_str() == "--fixtures")
+            .unwrap_or(rest.len());
+        nosv_lint::lint_crash_point_coverage(&rest[..split], rest.get(split + 1..).unwrap_or(&[]))
+    } else if args.is_empty() {
+        nosv_lint::lint_paths(&default_roots()).and_then(|mut v| {
+            v.extend(nosv_lint::lint_crash_point_coverage(
+                &coverage_src_roots(),
+                &coverage_fixture_roots(),
+            )?);
+            Ok(v)
+        })
     } else {
-        args
+        nosv_lint::lint_paths(&args)
     };
-    match nosv_lint::lint_paths(&roots) {
-        Ok(violations) if violations.is_empty() => {
-            eprintln!("nosv-lint: clean");
-            ExitCode::SUCCESS
-        }
-        Ok(violations) => {
-            for v in &violations {
-                println!("{v}");
-            }
-            eprintln!("nosv-lint: {} violation(s)", violations.len());
-            ExitCode::FAILURE
-        }
+    match result {
+        Ok(violations) => report(violations),
         Err(e) => {
             eprintln!("nosv-lint: error: {e}");
             ExitCode::FAILURE

@@ -62,6 +62,36 @@ fn clean_fixture_passes() {
 }
 
 #[test]
+fn uncovered_crash_point_fails() {
+    let out = run_lint(&[
+        Path::new("coverage"),
+        &fixture("chaos_src"),
+        Path::new("--fixtures"),
+        &fixture("chaos_cover_partial"),
+    ]);
+    assert!(!out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("[uncovered-crash-point]"), "{text}");
+    assert!(text.contains("demo.push.published"), "{text}");
+    // The covered point is not reported.
+    assert!(!text.contains("demo.push.reserved"), "{text}");
+}
+
+#[test]
+fn fully_covered_crash_points_pass() {
+    let out = run_lint(&[
+        Path::new("coverage"),
+        &fixture("chaos_src"),
+        Path::new("--fixtures"),
+        &fixture("chaos_cover_full"),
+    ]);
+    assert!(out.status.success(), "{}", stdout(&out));
+}
+
+/// Default mode runs the per-file rules *and* crash-point coverage over
+/// the real tree: every `crash_point("…")` in the protocol and runtime
+/// sources must be exercised by the chaos kill matrix or a model suite.
+#[test]
 fn committed_tree_is_clean() {
     let out = run_lint(&[]);
     assert!(out.status.success(), "{}", stdout(&out));

@@ -1,0 +1,3 @@
+//! Coverage fixture naming every point of `chaos_src/protocol.rs`.
+
+const POINTS: &[&str] = &["demo.push.reserved", "demo.push.published"];

@@ -1,0 +1,5 @@
+//! Coverage fixture naming only the *first* point of
+//! `chaos_src/protocol.rs`; the publish-side point is left uncovered
+//! (and deliberately unnamed here — the coverage match is textual).
+
+const POINTS: &[&str] = &["demo.push.reserved"];

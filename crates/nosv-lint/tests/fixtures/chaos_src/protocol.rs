@@ -1,0 +1,8 @@
+//! Seeded fixture for the crash-point coverage rule: two named points,
+//! of which the partial-coverage fixture dir mentions only the first.
+
+fn push(x: u64) {
+    crash_point("demo.push.reserved");
+    publish(x);
+    crash_point("demo.push.published");
+}

@@ -7,7 +7,7 @@
 //! unregister will delete the whole shared memory segment" — surfaced here
 //! as the remaining-count return of [`ShmSegment::detach`].
 
-use nosv_sync::hint::{AtomicU32, AtomicU64, Ordering};
+use nosv_sync::hint::{crash_point, AtomicU32, AtomicU64, Ordering};
 
 use crate::layout::{MAX_PROCS, PROC_SLOT_BYTES};
 use crate::offset::Shoff;
@@ -148,7 +148,15 @@ impl ShmSegment {
                     .is_ok()
             {
                 let pid = self.next_pid();
+                // Death here leaves the worst half-open shape: the slot is
+                // CLAIMED but carries no os_pid to probe — only the
+                // reactor's time bound can free it (`reclaim_half_open`).
+                crash_point("registry.claim.won");
                 s.os_pid.store(std::process::id() as u64, Ordering::Relaxed);
+                // Death here is the probeable half-open shape: os_pid is
+                // recorded, so a sweeper can test liveness and free the
+                // slot as soon as the process is gone.
+                crash_point("registry.record.published");
                 s.heartbeat.store(1, Ordering::Relaxed);
                 s.submitted.store(0, Ordering::Relaxed);
                 s.completed.store(0, Ordering::Relaxed);
@@ -192,6 +200,52 @@ impl ShmSegment {
             .store(JoinState::None as u32, Ordering::Relaxed);
         s.state.store(SLOT_FREE, Ordering::Release);
         self.attached_count()
+    }
+
+    /// Frees a *half-open* registry slot: one whose attacher claimed the
+    /// state word but died before publishing its pid (the window between
+    /// the claim CAS and the `pid` Release store in `attach_with`).
+    /// Without repair such a slot is leaked forever — no [`ProcessId`]
+    /// names it, so neither [`ShmSegment::detach`] nor the join-state
+    /// machinery can ever touch it.
+    ///
+    /// Returns `true` when the slot matched the half-open shape
+    /// (`CLAIMED`, `pid == 0`, join state [`JoinState::None`] or
+    /// [`JoinState::Requested`]) and was freed.
+    ///
+    /// # Contract
+    ///
+    /// The half-open shape is also what every *live* attacher exhibits
+    /// for the few instructions between its claim CAS and its pid
+    /// publish, and nothing in the record can distinguish the two — so
+    /// the caller must first establish the attacher is really gone:
+    /// either the recorded `os_pid` is nonzero and its process is dead,
+    /// or the slot has held the shape for a time bound generous next to
+    /// an attach's instruction count (the reactor uses the join
+    /// timeout). Calling this against a live mid-attach process loses
+    /// its slot record and corrupts the registry.
+    pub fn reclaim_half_open(&self, i: u32) -> bool {
+        if i as usize >= MAX_PROCS {
+            return false;
+        }
+        let s = slot(self, i as usize);
+        if s.state.load(Ordering::Acquire) != SLOT_CLAIMED || s.pid.load(Ordering::Acquire) != 0 {
+            return false;
+        }
+        match JoinState::from_u32(s.join_state.load(Ordering::Acquire)) {
+            JoinState::None | JoinState::Requested => {}
+            // A published join state with pid == 0 is not a shape
+            // attach_with can leave; treat it as not ours to free.
+            _ => return false,
+        }
+        s.os_pid.store(0, Ordering::Relaxed);
+        s.heartbeat.store(0, Ordering::Relaxed);
+        s.submitted.store(0, Ordering::Relaxed);
+        s.completed.store(0, Ordering::Relaxed);
+        s.join_state
+            .store(JoinState::None as u32, Ordering::Relaxed);
+        s.state.store(SLOT_FREE, Ordering::Release);
+        true
     }
 
     /// Snapshot of slot `i`'s attach record, or `None` when the slot is
@@ -419,6 +473,55 @@ mod tests {
         drop(peer);
         drop(owner);
         assert!(ShmSegment::attach_named(&name).is_err());
+    }
+
+    /// Crash-point fixture: covers `registry.claim.won` and
+    /// `registry.record.published` — an attacher dying between the claim
+    /// CAS and the pid publish leaves a half-open slot that only
+    /// `reclaim_half_open` can free.
+    #[test]
+    fn half_open_slot_repair() {
+        let s = seg();
+        // Emulate a death at registry.claim.won: state claimed, record
+        // untouched (pid == 0, os_pid == 0).
+        let dead = slot(&s, 0);
+        dead.state
+            .compare_exchange(SLOT_FREE, SLOT_CLAIMED, Ordering::AcqRel, Ordering::Relaxed)
+            .unwrap();
+        // The half-open slot is invisible to attach (claimed) yet counted.
+        assert_eq!(s.attached_count(), 1);
+        let live = s.attach().unwrap();
+        assert_ne!(live.slot, 0, "attach must skip the half-open slot");
+        // Repair refuses live slots and out-of-range indices…
+        assert!(!s.reclaim_half_open(live.slot));
+        assert!(!s.reclaim_half_open(MAX_PROCS as u32));
+        assert!(!s.reclaim_half_open(5), "free slot is not half-open");
+        // …frees the half-open one…
+        assert!(s.reclaim_half_open(0));
+        assert!(!s.reclaim_half_open(0), "already freed");
+        assert_eq!(s.attached_count(), 1);
+        // …and the slot is fully reusable afterwards.
+        let reused = s.attach_guest().unwrap();
+        assert_eq!(reused.slot, 0);
+        assert_eq!(
+            s.slot_view(0).unwrap().join_state,
+            JoinState::Requested,
+            "reused slot carries a fresh record"
+        );
+        // Emulate the later window (registry.record.published): os_pid
+        // stored, join state possibly Requested, pid still unpublished.
+        s.detach(reused);
+        let dead = slot(&s, 0);
+        dead.state
+            .compare_exchange(SLOT_FREE, SLOT_CLAIMED, Ordering::AcqRel, Ordering::Relaxed)
+            .unwrap();
+        dead.os_pid.store(999_999, Ordering::Relaxed);
+        dead.join_state
+            .store(JoinState::Requested as u32, Ordering::Release);
+        assert!(s.reclaim_half_open(0));
+        assert_eq!(s.slot_view(0), None);
+        s.detach(live);
+        assert_eq!(s.attached_count(), 0);
     }
 
     #[test]

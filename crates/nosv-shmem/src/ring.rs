@@ -39,7 +39,7 @@
 //! [`SubmitRing::init`] allocates the slot array — exactly the
 //! zero-validity contract every in-segment structure here follows.
 
-use nosv_sync::hint::{AtomicU64, Ordering};
+use nosv_sync::hint::{crash_point, AtomicU64, Ordering};
 
 use crate::offset::{AtomicShoff, Shoff};
 use crate::segment::ShmSegment;
@@ -146,6 +146,11 @@ impl SubmitRing {
                         Ordering::Relaxed,
                     ) {
                         Ok(_) => {
+                            // A producer dying here has claimed position
+                            // `pos` forever but will never publish it: the
+                            // consumer wedges at `seq == pos` until
+                            // `repair_stranded` retires the reservation.
+                            crash_point("ring.push.reserved");
                             slot.value.store(value, Ordering::Relaxed);
                             slot.seq.store(pos + 1, Ordering::Release);
                             return true;
@@ -235,7 +240,13 @@ impl SubmitRing {
                 Ordering::Relaxed,
             ) {
                 Ok(_) => {
+                    // A producer dying between here and the last `seq`
+                    // store below strands the unpublished suffix of its
+                    // reservation (`NOSV_CRASH_POINT=ring.push_n.publish:2`
+                    // dies after publishing exactly one slot).
+                    crash_point("ring.push_n.reserved");
                     for (i, &v) in values[..k as usize].iter().enumerate() {
+                        crash_point("ring.push_n.publish");
                         let off = Self::slot_off(buf, pos + i as u64, mask);
                         // SAFETY: `buf` is a live slot array of `cap`
                         // entries; the mask keeps the index in range, and
@@ -247,6 +258,93 @@ impl SubmitRing {
                     return k as usize;
                 }
                 Err(current) => pos = current,
+            }
+        }
+    }
+
+    /// Sweeps every claimed-but-undrained position of the ring, recovering
+    /// published values and force-retiring reservations a **dead producer**
+    /// claimed but never published — the sequence-number repair for the
+    /// `ring.push.reserved` / `ring.push_n.reserved` crash windows, where a
+    /// killed producer's unpublished slot (`seq == pos`) wedges `pop`
+    /// forever and makes every later entry unreachable.
+    ///
+    /// Published values found behind the wedge are appended to `recovered`
+    /// (the caller decides their fate — the runtime frees the descriptors
+    /// like any other crash-reclaimed task); the return value is the number
+    /// of stranded reservations retired. Afterwards the ring is empty and
+    /// fully reusable.
+    ///
+    /// # Contract
+    ///
+    /// The caller must be the single consumer **and** must guarantee no
+    /// producer is alive (the runtime calls this under the shard lock while
+    /// reclaiming a process whose OS pid is gone). A live producer mid-push
+    /// is indistinguishable from a dead one — repairing under it would hand
+    /// its slot to the next lap while it still thinks it owns it.
+    pub fn repair_stranded(&self, seg: &ShmSegment, recovered: &mut Vec<u64>) -> u64 {
+        let cap = self.cap.load(Ordering::Acquire);
+        if cap == 0 {
+            return 0;
+        }
+        let mask = cap - 1;
+        let buf = self.buf.load(Ordering::Acquire);
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        let mut stranded = 0;
+        for pos in head..tail {
+            // SAFETY: `buf` is a live slot array of `cap` entries; the mask
+            // keeps the index in range.
+            let slot = unsafe { seg.sref(Self::slot_off(buf, pos, mask)) };
+            if slot.seq.load(Ordering::Acquire) == pos + 1 {
+                recovered.push(slot.value.load(Ordering::Relaxed));
+            } else {
+                // `seq == pos`: reserved (tail CAS won) but never
+                // published — the corpse's claim. Retire it.
+                stranded += 1;
+            }
+            slot.seq.store(pos + cap, Ordering::Release);
+        }
+        self.head.store(tail, Ordering::Release);
+        stranded
+    }
+
+    /// Test-only fault injection: claims one position exactly as `push`
+    /// does and then "dies" — no value store, no sequence publish. Leaves
+    /// the ring in precisely the state a producer killed at the
+    /// `ring.push.reserved` crash point leaves behind, so downstream test
+    /// suites can drive [`SubmitRing::repair_stranded`] (and the model
+    /// checker can enumerate its interleavings) without process kills.
+    /// Returns `false` when the ring is full or uninitialized (no position
+    /// was claimed). Never call this outside a test: the claim is
+    /// unrecoverable except through repair.
+    #[doc(hidden)]
+    pub fn strand_one(&self, seg: &ShmSegment) -> bool {
+        let cap = self.cap.load(Ordering::Acquire);
+        if cap == 0 {
+            return false;
+        }
+        let mask = cap - 1;
+        let buf = self.buf.load(Ordering::Acquire);
+        let mut pos = self.tail.load(Ordering::Relaxed);
+        loop {
+            // SAFETY: as in `push`.
+            let slot = unsafe { seg.sref(Self::slot_off(buf, pos, mask)) };
+            let seq = slot.seq.load(Ordering::Acquire);
+            match seq.cmp(&pos) {
+                std::cmp::Ordering::Equal => {
+                    match self.tail.compare_exchange_weak(
+                        pos,
+                        pos + 1,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => return true, // claimed; die before publishing
+                        Err(current) => pos = current,
+                    }
+                }
+                std::cmp::Ordering::Less => return false,
+                std::cmp::Ordering::Greater => pos = self.tail.load(Ordering::Relaxed),
             }
         }
     }
@@ -372,6 +470,10 @@ impl LaneRing {
         if !self.rings[lane].push(seg, value) {
             return false;
         }
+        // A producer dying here has published its entry but not the dirty
+        // bit: mask-guided drains never visit the lane, so the entry sits
+        // until a full sweep (`repair_stranded` visits every lane).
+        crash_point("ring.lane.unmarked");
         self.lane_mask.fetch_or(1 << lane, Ordering::Release);
         true
     }
@@ -407,6 +509,23 @@ impl LaneRing {
     #[inline]
     pub fn lane(&self, i: usize) -> &SubmitRing {
         &self.rings[i]
+    }
+
+    /// Sweeps **every** lane — the dirty bitmap is deliberately ignored,
+    /// because a dead producer may have died between its push and its
+    /// dirty-mark (`ring.lane.unmarked`) — recovering published entries
+    /// into `recovered` and retiring stranded reservations; see
+    /// [`SubmitRing::repair_stranded`] for the per-lane semantics and the
+    /// dead-producers contract. Clears the dirty bitmap (every lane is left
+    /// empty). Returns the number of stranded reservations retired.
+    pub fn repair_stranded(&self, seg: &ShmSegment, recovered: &mut Vec<u64>) -> u64 {
+        let lanes = self.lanes.load(Ordering::Acquire) as usize;
+        let mut stranded = 0;
+        for ring in &self.rings[..lanes] {
+            stranded += ring.repair_stranded(seg, recovered);
+        }
+        self.lane_mask.store(0, Ordering::Release);
+        stranded
     }
 
     /// Racy occupancy estimate across all lanes (exact when quiescent).
@@ -653,8 +772,7 @@ mod tests {
                     let mut i = 0;
                     while i < PER_PRODUCER {
                         let hi = (i + BATCH as u64).min(PER_PRODUCER);
-                        let batch: Vec<u64> =
-                            (i..hi).map(|j| p * PER_PRODUCER + j).collect();
+                        let batch: Vec<u64> = (i..hi).map(|j| p * PER_PRODUCER + j).collect();
                         let pushed = lr.push_n(&s, p, &batch);
                         i += pushed as u64;
                         if pushed == 0 {
@@ -704,6 +822,100 @@ mod tests {
             p.join().unwrap();
         }
         consumer.join().unwrap();
+    }
+
+    /// The `ring.push.reserved` crash window: a producer claims a position
+    /// (tail CAS) and dies before publishing the sequence word. The claim
+    /// wedges `pop`; `repair_stranded` retires it, recovers the published
+    /// entries stuck behind it, and leaves the ring fully reusable.
+    #[test]
+    fn repair_retires_stranded_reservation_and_recovers_survivors() {
+        let s = seg();
+        let r = ring(&s, 8);
+        assert!(r.push(&s, 1));
+        // Dead producer: wins the position claim, never publishes (the
+        // test has private access, so the death is two missing stores).
+        assert_eq!(r.tail.fetch_add(1, Ordering::Relaxed), 1);
+        assert!(r.push(&s, 3), "a later producer lands behind the corpse");
+        assert_eq!(r.pop(&s), Some(1));
+        assert_eq!(r.pop(&s), None, "stranded reservation must wedge pop");
+        let mut recovered = Vec::new();
+        assert_eq!(r.repair_stranded(&s, &mut recovered), 1);
+        assert_eq!(recovered, vec![3], "published survivor recovered");
+        assert!(r.is_empty());
+        // The retired slot is claimable again on the next lap.
+        for v in 10..18u64 {
+            assert!(r.push(&s, v), "ring not reusable after repair");
+        }
+        for v in 10..18u64 {
+            assert_eq!(r.pop(&s), Some(v));
+        }
+    }
+
+    /// The `ring.push_n.reserved`/`ring.push_n.publish` windows: a batch
+    /// reservation dies mid-publication, stranding its suffix.
+    #[test]
+    fn repair_retires_partially_published_batch() {
+        let s = seg();
+        let r = ring(&s, 4);
+        // Dead batch producer: reserves three positions, publishes one.
+        let pos = r.tail.fetch_add(3, Ordering::Relaxed);
+        assert_eq!(pos, 0);
+        let buf = r.buf.load(Ordering::Acquire);
+        // SAFETY: freshly initialized slot array, in range.
+        let slot = unsafe { s.sref(SubmitRing::slot_off(buf, 0, 3)) };
+        slot.value.store(7, Ordering::Relaxed);
+        slot.seq.store(1, Ordering::Release);
+        assert_eq!(r.pop(&s), Some(7));
+        assert_eq!(r.pop(&s), None, "unpublished suffix wedges the ring");
+        let mut recovered = Vec::new();
+        assert_eq!(r.repair_stranded(&s, &mut recovered), 2);
+        assert!(recovered.is_empty());
+        assert!(r.is_empty());
+        assert!(r.push(&s, 9));
+        assert_eq!(r.pop(&s), Some(9));
+    }
+
+    #[test]
+    fn repair_on_uninitialized_or_clean_ring_is_benign() {
+        let s = seg();
+        let mut recovered = Vec::new();
+        let uninit = ring(&s, 0);
+        assert_eq!(uninit.repair_stranded(&s, &mut recovered), 0);
+        let r = ring(&s, 4);
+        assert_eq!(r.repair_stranded(&s, &mut recovered), 0);
+        assert!(recovered.is_empty());
+        r.push(&s, 5);
+        assert_eq!(r.repair_stranded(&s, &mut recovered), 0);
+        assert_eq!(recovered, vec![5], "clean entries recovered, none stranded");
+    }
+
+    /// The `ring.lane.unmarked` window: an entry published without its
+    /// dirty bit is invisible to mask-guided drains; the lane sweep must
+    /// find it regardless of the bitmap, and repair every lane.
+    #[test]
+    fn lane_repair_sweeps_all_lanes_ignoring_dirty_bits() {
+        let s = seg();
+        let off = s.alloc_zeroed(std::mem::size_of::<LaneRing>(), 0).unwrap();
+        // SAFETY: zeroed LaneRing is a valid uninitialized lane ring.
+        let lr: &LaneRing = unsafe { s.sref(off.cast()) };
+        lr.init(&s, 2, 4).unwrap();
+        // Lane 0: published entry whose dirty-mark never happened.
+        assert!(lr.lane(0).push(&s, 21));
+        // Lane 1: stranded reservation plus a published survivor.
+        assert!(lr.push(&s, 1, 31));
+        assert_eq!(lr.lane(1).tail.fetch_add(1, Ordering::Relaxed), 1);
+        assert!(lr.push(&s, 1, 32));
+        // Consumer already took the dirty bits (and found only lane 1).
+        assert_eq!(lr.take_dirty(), 0b10);
+        let mut recovered = Vec::new();
+        assert_eq!(lr.repair_stranded(&s, &mut recovered), 1);
+        recovered.sort_unstable();
+        assert_eq!(recovered, vec![21, 31, 32]);
+        assert!(lr.is_empty());
+        assert_eq!(lr.take_dirty(), 0, "repair clears the bitmap");
+        assert!(lr.push(&s, 0, 40), "lanes reusable after repair");
+        assert_eq!(lr.lane(0).pop(&s), Some(40));
     }
 
     /// Many producers, one consumer, a tiny ring: every pushed value must

@@ -15,6 +15,11 @@
 //! * **LaneRing** — per-lane exactly-once under lane-claim races (two
 //!   producers hashed to one lane) and no task stranded behind a cleared
 //!   dirty bit (mark-after-push vs. swap-before-drain);
+//! * **stranded-slot repair** — a producer dying mid-push (claimed
+//!   position, unpublished sequence word; or published lane entry with no
+//!   dirty-mark) wedges nothing permanently: `repair_stranded` retires
+//!   the corpse's claims, recovers every published value exactly once and
+//!   leaves the ring reusable;
 //! * **batch split** — the ready-counter discipline around a split batch
 //!   (ring prefix + locked overflow, counter *not* rolled back) never
 //!   strands work invisibly: a server woken by the counter finds every
@@ -347,6 +352,188 @@ fn lane_ring_shared_lane_dfs() {
 }
 
 // ---------------------------------------------------------------------------
+// Stranded-slot repair: recovery from a producer dying mid-push
+// ---------------------------------------------------------------------------
+// Model fixtures for the `ring.push.reserved`, `ring.push_n.reserved`,
+// `ring.push_n.publish` and `ring.lane.unmarked` crash points: the dead
+// producer is emulated by `strand_one` (position claimed, never published)
+// and by a direct lane push with no dirty-mark, so the checker can race
+// live producers and the consumer against the corpse's leftovers.
+
+/// One producer pushes a value, strands a claim (dies at
+/// `ring.push.reserved`) and exits; a second producer keeps pushing around
+/// the corpse; the consumer drains what it can, then — with both
+/// producers joined, per the repair contract — runs `repair_stranded`.
+/// Invariants: exactly one stranded reservation retired, every published
+/// value arrives exactly once via pop-or-recovery, and the ring is
+/// empty and reusable afterwards.
+///
+/// `capacity` must cover every claim (`live_values + 2`): once a claim is
+/// stranded, slots past it never free, so an undersized ring would wedge
+/// the live producer's retry loop — the exact wedge the *runtime* escapes
+/// via its locked overflow queue, which this ring-only scenario lacks.
+fn ring_repair_round(live_values: u64, capacity: usize) {
+    assert!(capacity as u64 >= live_values + 2);
+    let s = seg();
+    let r = ring(&s, capacity);
+    let addr = r as *const SubmitRing as usize;
+
+    let corpse = {
+        let s = s.clone();
+        thread::spawn(move || {
+            // SAFETY: the ring lives in the segment mapping, which the
+            // cloned handle keeps alive for the thread's lifetime.
+            let r = unsafe { &*(addr as *const SubmitRing) };
+            while !r.push(&s, 1) {
+                thread::yield_now();
+            }
+            while !r.strand_one(&s) {
+                thread::yield_now();
+            }
+            // Dead: the claim above is never published.
+        })
+    };
+    let live = {
+        let s = s.clone();
+        thread::spawn(move || {
+            // SAFETY: as above.
+            let r = unsafe { &*(addr as *const SubmitRing) };
+            for v in 0..live_values {
+                while !r.push(&s, 100 + v) {
+                    thread::yield_now();
+                }
+            }
+        })
+    };
+
+    // Drain opportunistically while the producers run, so the consumer
+    // races both the corpse's claim and the live pushes.
+    let mut got = Vec::new();
+    for _ in 0..4 {
+        while let Some(v) = r.pop(&s) {
+            got.push(v);
+        }
+        thread::yield_now();
+    }
+    corpse.join().unwrap();
+    live.join().unwrap();
+    while let Some(v) = r.pop(&s) {
+        got.push(v);
+    }
+
+    // All producers are dead: the repair contract holds.
+    let mut recovered = Vec::new();
+    let stranded = r.repair_stranded(&s, &mut recovered);
+    assert_eq!(stranded, 1, "exactly the corpse's claim is retired");
+    got.extend(recovered);
+    got.sort_unstable();
+    let mut expected = vec![1u64];
+    expected.extend((0..live_values).map(|v| 100 + v));
+    assert_eq!(got, expected, "pop + recovery must see each value once");
+    assert!(r.is_empty());
+    assert!(r.push(&s, 9), "ring must be reusable after repair");
+    assert_eq!(r.pop(&s), Some(9));
+}
+
+/// The `ring.lane.unmarked` window on top of a stranded claim: lane 0
+/// holds a value published without its dirty-mark (producer died between
+/// push and `fetch_or`) plus a stranded claim; lane 1 has a live producer.
+/// The consumer's mask-guided drain can never see the unmarked value; the
+/// post-mortem lane sweep must recover it regardless of the bitmap.
+fn lane_repair_round() {
+    let s = seg();
+    let lr = lane_ring(&s, 2, 2);
+    let addr = lr as *const LaneRing as usize;
+
+    let corpse = {
+        let s = s.clone();
+        thread::spawn(move || {
+            // SAFETY: the lane ring lives in the segment mapping, which
+            // the cloned handle keeps alive for the thread's lifetime.
+            let lr = unsafe { &*(addr as *const LaneRing) };
+            // Published but never marked: invisible to take_dirty().
+            while !lr.lane(0).push(&s, 21) {
+                thread::yield_now();
+            }
+            while !lr.lane(0).strand_one(&s) {
+                thread::yield_now();
+            }
+        })
+    };
+    let live = {
+        let s = s.clone();
+        thread::spawn(move || {
+            // SAFETY: as above.
+            let lr = unsafe { &*(addr as *const LaneRing) };
+            while !lr.push(&s, 1, 31) {
+                thread::yield_now();
+            }
+        })
+    };
+
+    // Mask-guided drain, exactly the scheduler's discipline: only lanes
+    // whose dirty bit we take. Value 21 must stay invisible here.
+    let mut got = Vec::new();
+    for _ in 0..4 {
+        let mut dirty = lr.take_dirty();
+        while dirty != 0 {
+            let lane = dirty.trailing_zeros() as usize;
+            dirty &= dirty - 1;
+            while let Some(v) = lr.lane(lane).pop(&s) {
+                got.push(v);
+            }
+        }
+        thread::yield_now();
+    }
+    corpse.join().unwrap();
+    live.join().unwrap();
+    assert!(
+        !got.contains(&21),
+        "unmarked value leaked into a masked drain"
+    );
+
+    let mut recovered = Vec::new();
+    let stranded = lr.repair_stranded(&s, &mut recovered);
+    assert_eq!(stranded, 1);
+    got.extend(recovered);
+    got.sort_unstable();
+    assert_eq!(got, vec![21, 31], "sweep must find the unmarked value");
+    assert!(lr.is_empty());
+    assert_eq!(lr.take_dirty(), 0, "repair clears the bitmap");
+    assert!(lr.push(&s, 0, 40), "lanes must be reusable after repair");
+    assert_eq!(lr.lane(0).pop(&s), Some(40));
+}
+
+/// Randomized sweep: two live values race the corpse's claim for slots —
+/// pops, pushes and the strand interleave freely.
+#[test]
+fn ring_repair_stranded_random() {
+    let cfg = Config::from_env(Strategy::Random { schedules: 3000 });
+    let r = explore(cfg, || ring_repair_round(2, 4)).assert_ok();
+    summarize("ring_repair_stranded_random", &r);
+    assert_mostly_distinct(&r);
+}
+
+/// Bounded DFS of the minimal corpse-vs-consumer race (one live value).
+#[test]
+fn ring_repair_stranded_dfs() {
+    let cfg = Config::from_env(Strategy::Dfs {
+        max_schedules: 4000,
+    });
+    let r = explore(cfg, || ring_repair_round(1, 4)).assert_ok();
+    summarize("ring_repair_stranded_dfs", &r);
+}
+
+/// Randomized sweep of the unmarked-lane recovery.
+#[test]
+fn lane_repair_unmarked_random() {
+    let cfg = Config::from_env(Strategy::Random { schedules: 3000 });
+    let r = explore(cfg, lane_repair_round).assert_ok();
+    summarize("lane_repair_unmarked_random", &r);
+    assert_mostly_distinct(&r);
+}
+
+// ---------------------------------------------------------------------------
 // Batch split: the ready counter never loses the wake
 // ---------------------------------------------------------------------------
 
@@ -440,10 +627,7 @@ fn batch_split_round(batches: &[&[u64]], capacity: usize) {
 #[test]
 fn batch_split_wake_not_lost_random() {
     let cfg = Config::from_env(Strategy::Random { schedules: 3500 });
-    let r = explore(cfg, || {
-        batch_split_round(&[&[1, 2, 3], &[4, 5, 6]], 2)
-    })
-    .assert_ok();
+    let r = explore(cfg, || batch_split_round(&[&[1, 2, 3], &[4, 5, 6]], 2)).assert_ok();
     summarize("batch_split_wake_not_lost_random", &r);
     assert_mostly_distinct(&r);
 }

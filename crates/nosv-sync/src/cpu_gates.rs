@@ -85,7 +85,7 @@ impl CpuGates {
     /// the bounded adaptive spin; everyone else sleeps immediately. The
     /// role is *sticky*: releasing it leaves a reservation for this CPU,
     /// and other idle CPUs only take the role over after the sticky
-    /// holder missed [`STANDBY_STICKY_MISSES`] chances to reclaim it — so
+    /// holder missed `STANDBY_STICKY_MISSES` chances to reclaim it — so
     /// a serial stream keeps depositing to one cache-hot consumer instead
     /// of re-electing on every task.
     pub fn wait(&self, cpu: usize, key: u64) {
@@ -144,7 +144,7 @@ impl CpuGates {
 
     /// Times the standby role has changed hands between different CPUs
     /// since construction. Stickiness exists to keep this low: a serial
-    /// stream should re-elect at most once per [`STANDBY_STICKY_MISSES`]
+    /// stream should re-elect at most once per `STANDBY_STICKY_MISSES`
     /// foreign claim attempts, not once per task.
     #[inline]
     pub fn standby_elections(&self) -> u64 {

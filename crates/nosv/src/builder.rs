@@ -187,6 +187,42 @@ impl RuntimeBuilder {
         self
     }
 
+    /// How long a guest's [`crate::Runtime::join`] waits for this host to
+    /// publish its geometry and acknowledge the handshake (default 5 s).
+    /// Published to guests through the segment's geometry block, so the
+    /// host configures the timeout once for every guest; a guest can
+    /// still override its own copy with the `NOSV_IPC_JOIN_TIMEOUT_MS`
+    /// environment variable. The same bound also limits how long the
+    /// reactor tolerates a half-open registry claim (a process that died
+    /// between claiming a slot and publishing its record) before
+    /// repairing the slot.
+    ///
+    /// Must be positive and at most ten minutes. Only meaningful together
+    /// with [`RuntimeBuilder::segment_name`].
+    pub fn join_timeout(mut self, timeout: Duration) -> Self {
+        self.config.join_timeout_ns = u64::try_from(timeout.as_nanos()).unwrap_or(u64::MAX);
+        self
+    }
+
+    /// How long a guest's [`crate::GuestProcess::submit`] retries full
+    /// rings before reporting [`NosvError::WaitTimeout`] (default 5 s).
+    /// Published to guests; overridable per guest via
+    /// `NOSV_IPC_SUBMIT_TIMEOUT_MS`. Must be positive and at most ten
+    /// minutes.
+    pub fn submit_timeout(mut self, timeout: Duration) -> Self {
+        self.config.submit_timeout_ns = u64::try_from(timeout.as_nanos()).unwrap_or(u64::MAX);
+        self
+    }
+
+    /// How long a guest's clean [`crate::GuestProcess::detach`] waits for
+    /// this host to drain and release its slot (default 5 s). Published
+    /// to guests; overridable per guest via `NOSV_IPC_DETACH_TIMEOUT_MS`.
+    /// Must be positive and at most ten minutes.
+    pub fn detach_timeout(mut self, timeout: Duration) -> Self {
+        self.config.detach_timeout_ns = u64::try_from(timeout.as_nanos()).unwrap_or(u64::MAX);
+        self
+    }
+
     /// Installs a [`TraceSink`] to receive the runtime's [`crate::ObsEvent`]
     /// stream (submit/start/end/pause/resume/handoff/steal actions plus
     /// counter deltas at shutdown). Without a sink, tracing is off and the
@@ -255,6 +291,9 @@ impl std::fmt::Debug for RuntimeBuilder {
             .field("segment_name", &self.config.segment_name)
             .field("reclaim_tick_ns", &self.config.reclaim_tick_ns)
             .field("reclaim_grace_ns", &self.config.reclaim_grace_ns)
+            .field("join_timeout_ns", &self.config.join_timeout_ns)
+            .field("submit_timeout_ns", &self.config.submit_timeout_ns)
+            .field("detach_timeout_ns", &self.config.detach_timeout_ns)
             .field("sink", &self.sink.is_some())
             .field("custom_policy", &self.policy.is_some())
             .finish()

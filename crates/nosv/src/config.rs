@@ -36,6 +36,16 @@ pub const DEFAULT_SUBMIT_LANES: usize = 4;
 /// costing one wakeup of a sleeping thread per period.
 pub(crate) const DEFAULT_RECLAIM_TICK_NS: u64 = 2_000_000;
 
+/// Default guest IPC timeout (join handshake, full-ring submit retry,
+/// clean detach): 5 s — generous next to the ~2 ms reactor tick that
+/// normally resolves each wait, short enough that a wedged host turns
+/// into an error instead of a hang.
+pub(crate) const DEFAULT_IPC_TIMEOUT_NS: u64 = 5_000_000_000;
+
+/// IPC timeouts beyond this (ten minutes) are rejected as unit mistakes,
+/// same rationale as [`MAX_QUANTUM_NS`].
+pub(crate) const MAX_IPC_TIMEOUT_NS: u64 = 600_000_000_000;
+
 /// Configuration of a [`crate::Runtime`]. Built only by
 /// [`crate::RuntimeBuilder`].
 #[derive(Debug, Clone)]
@@ -79,6 +89,19 @@ pub(crate) struct NosvConfig {
     /// `0` (the default) reclaims as soon as the guest's OS pid is gone —
     /// the pid probe alone decides.
     pub reclaim_grace_ns: u64,
+    /// How long a guest's [`crate::Runtime::join`] waits for the host to
+    /// publish its geometry and acknowledge the handshake. Published to
+    /// guests through the geometry block; it also bounds how long the
+    /// host's reactor tolerates a half-open registry claim (an attacher
+    /// that died between claiming a slot and publishing its pid) before
+    /// repairing it.
+    pub join_timeout_ns: u64,
+    /// How long a guest's submit retries full rings before reporting
+    /// [`crate::NosvError::WaitTimeout`]. Published to guests.
+    pub submit_timeout_ns: u64,
+    /// How long a guest's clean detach waits for the host to drain and
+    /// release its slot. Published to guests.
+    pub detach_timeout_ns: u64,
 }
 
 impl Default for NosvConfig {
@@ -95,6 +118,9 @@ impl Default for NosvConfig {
             segment_name: None,
             reclaim_tick_ns: DEFAULT_RECLAIM_TICK_NS,
             reclaim_grace_ns: 0,
+            join_timeout_ns: DEFAULT_IPC_TIMEOUT_NS,
+            submit_timeout_ns: DEFAULT_IPC_TIMEOUT_NS,
+            detach_timeout_ns: DEFAULT_IPC_TIMEOUT_NS,
         }
     }
 }
@@ -170,6 +196,17 @@ impl NosvConfig {
         }
         if self.sched_shards > self.cpus {
             return fail("more scheduler shards than CPUs");
+        }
+        let ipc_timeouts = [
+            self.join_timeout_ns,
+            self.submit_timeout_ns,
+            self.detach_timeout_ns,
+        ];
+        if ipc_timeouts.contains(&0) {
+            return fail("IPC timeouts (join/submit/detach) must be positive");
+        }
+        if ipc_timeouts.iter().any(|&ns| ns > MAX_IPC_TIMEOUT_NS) {
+            return fail("IPC timeout above ten minutes; check the time unit");
         }
         if let Some(name) = &self.segment_name {
             if name.is_empty() {
@@ -296,6 +333,18 @@ mod tests {
             NosvConfig {
                 cpus: 2,
                 sched_shards: 3, // more shards than CPUs
+                ..Default::default()
+            },
+            NosvConfig {
+                join_timeout_ns: 0,
+                ..Default::default()
+            },
+            NosvConfig {
+                submit_timeout_ns: u64::MAX, // unit mistake
+                ..Default::default()
+            },
+            NosvConfig {
+                detach_timeout_ns: 0,
                 ..Default::default()
             },
         ];

@@ -74,6 +74,18 @@ pub enum NosvError {
     /// completed. The task keeps running; wait again or keep the handle
     /// alive until completion before destroying it.
     WaitTimeout,
+    /// The host process behind a joined segment died. Reported by guest
+    /// operations ([`crate::GuestProcess::submit`],
+    /// [`crate::GuestProcess::wait_idle`], the join handshake) instead of
+    /// waiting out their timeout: a dead host will never drain a ring,
+    /// complete a task or acknowledge a handshake.
+    HostDead,
+    /// The task's body panicked. Only that task failed: the worker caught
+    /// the unwind, the runtime keeps scheduling, and every other task is
+    /// unaffected. Reported by [`crate::TaskHandle::wait`] /
+    /// [`crate::TaskHandle::wait_timeout`]; counted in
+    /// [`crate::RuntimeStats::task_panics`].
+    TaskPanicked,
 }
 
 impl fmt::Display for NosvError {
@@ -114,6 +126,12 @@ impl fmt::Display for NosvError {
             NosvError::NotInTask => write!(f, "pause() called outside a task context"),
             NosvError::WaitTimeout => {
                 write!(f, "timed out waiting for task completion")
+            }
+            NosvError::HostDead => {
+                write!(f, "host process behind the joined segment died")
+            }
+            NosvError::TaskPanicked => {
+                write!(f, "task body panicked (only this task failed)")
             }
         }
     }

@@ -29,27 +29,73 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use nosv_shmem::{process_alive, JoinState, ProcessId, ShmSegment, Shoff, CAP_GUEST_JOIN};
+use nosv_sync::hint::crash_point;
+use nosv_sync::Backoff;
 
 use crate::error::NosvError;
 use crate::runtime::Runtime;
 use crate::scheduler::{guest_submit, producer_tag, GuestMeta};
 use crate::task::{Affinity, TaskDesc, TaskState};
 
-/// How long [`Runtime::join`] waits for the host to publish its geometry
-/// and acknowledge the handshake before giving up.
-const JOIN_TIMEOUT: Duration = Duration::from_secs(5);
+/// Guest-side fallback for every IPC timeout, used when neither the
+/// host's published value ([`GuestMeta`], set through
+/// [`crate::RuntimeBuilder::join_timeout`] and friends) nor an
+/// environment override is available — a host predating the published
+/// fields, or a wait that happens before the geometry block is mapped.
+const DEFAULT_TIMEOUT: Duration = Duration::from_secs(5);
 
-/// How long [`GuestProcess::submit`] retries full rings before reporting
-/// [`NosvError::WaitTimeout`] (full rings mean the host is not draining).
-const SUBMIT_TIMEOUT: Duration = Duration::from_secs(5);
+/// Reads a guest-side `NOSV_IPC_*_TIMEOUT_MS` override (milliseconds).
+/// Unset, empty, unparsable or zero values are ignored. Overrides beat
+/// the host-published timeout: the guest knows its own latency budget
+/// better than the host does, and the chaos harness shrinks them to keep
+/// kill-matrix wall-clock bounded.
+fn env_timeout_ms(var: &str) -> Option<Duration> {
+    let raw = std::env::var(var).ok()?;
+    let ms: u64 = raw.trim().parse().ok()?;
+    (ms > 0).then(|| Duration::from_millis(ms))
+}
 
-/// How long a clean [`GuestProcess::detach`] waits for the host to drain
-/// and release the slot.
-const DETACH_TIMEOUT: Duration = Duration::from_secs(5);
+/// Resolves one IPC timeout: environment override, then the
+/// host-published value (`0` = host never set it), then the default.
+fn resolve_timeout(var: &str, published_ns: u64) -> Duration {
+    env_timeout_ms(var).unwrap_or(if published_ns > 0 {
+        Duration::from_nanos(published_ns)
+    } else {
+        DEFAULT_TIMEOUT
+    })
+}
 
-/// Poll interval for every wait loop in this module: long enough not to
-/// hammer the shared cache lines, short next to every timeout above.
-const POLL: Duration = Duration::from_micros(200);
+/// Bounded exponential backoff for the guest's wait loops: spin briefly
+/// (the host's reactor usually answers within one ~2 ms tick), then
+/// sleep with a doubling period capped at 2 ms — so a wait resolves in
+/// microseconds when the host is fast, and a stalled host costs a few
+/// hundred wakeups per second instead of a hot spin on shared cache
+/// lines.
+struct WaitBackoff {
+    spin: Backoff,
+    sleep: Duration,
+}
+
+impl WaitBackoff {
+    const FIRST_SLEEP: Duration = Duration::from_micros(50);
+    const MAX_SLEEP: Duration = Duration::from_millis(2);
+
+    fn new() -> WaitBackoff {
+        WaitBackoff {
+            spin: Backoff::new(),
+            sleep: WaitBackoff::FIRST_SLEEP,
+        }
+    }
+
+    fn wait(&mut self) {
+        if !self.spin.is_yielding() {
+            self.spin.snooze();
+            return;
+        }
+        std::thread::sleep(self.sleep);
+        self.sleep = (self.sleep * 2).min(WaitBackoff::MAX_SLEEP);
+    }
+}
 
 impl Runtime {
     /// Joins a host runtime's named segment from a foreign OS process —
@@ -66,8 +112,17 @@ impl Runtime {
     ///   mismatch, the segment was not created for guest joins, or the
     ///   host never published its scheduler;
     /// * [`NosvError::TooManyProcesses`] — the registry is full;
+    /// * [`NosvError::HostDead`] — the host process died before
+    ///   acknowledging (the join request is withdrawn);
     /// * [`NosvError::WaitTimeout`] — the host did not acknowledge in
     ///   time (the join request is withdrawn).
+    ///
+    /// The handshake, submit-retry and detach timeouts default to the
+    /// values the host configured ([`crate::RuntimeBuilder::join_timeout`]
+    /// and friends, published through the segment's geometry block); the
+    /// environment variables `NOSV_IPC_JOIN_TIMEOUT_MS`,
+    /// `NOSV_IPC_SUBMIT_TIMEOUT_MS` and `NOSV_IPC_DETACH_TIMEOUT_MS`
+    /// override them on the guest side (milliseconds, zero ignored).
     pub fn join(name: &str) -> Result<GuestProcess, NosvError> {
         GuestProcess::join(name)
     }
@@ -92,6 +147,14 @@ pub struct GuestProcess {
     /// producer tag hashes to (spilling to the next shard only on a full
     /// lane).
     shards: usize,
+    /// OS pid of the host, from [`GuestMeta`]: every blocking guest path
+    /// probes it so a dead host turns into [`NosvError::HostDead`]
+    /// instead of a full timeout wait.
+    host_os_pid: u64,
+    /// Resolved IPC timeouts (environment override, else host-published,
+    /// else default) — see [`resolve_timeout`].
+    submit_timeout: Duration,
+    detach_timeout: Duration,
     next_seq: AtomicU64,
     detached: AtomicBool,
 }
@@ -104,10 +167,14 @@ impl GuestProcess {
                 reason: format!("segment '{name}' was not created for guest joins"),
             });
         }
-        let deadline = Instant::now() + JOIN_TIMEOUT;
+        let start = Instant::now();
+        // Until the geometry block is mapped the host's published timeout
+        // is unreadable, so the pre-meta deadline uses the override/default.
+        let mut deadline = start + resolve_timeout("NOSV_IPC_JOIN_TIMEOUT_MS", 0);
         // The host publishes its geometry block — and then the scheduler
         // root inside it — right after creating the segment; both polls
         // resolve almost immediately unless the host died mid-setup.
+        let mut backoff = WaitBackoff::new();
         let meta = loop {
             let m: Shoff<GuestMeta> = seg.user_root();
             if m.raw() != 0 {
@@ -118,7 +185,7 @@ impl GuestProcess {
                     reason: format!("segment '{name}': host never published its geometry"),
                 });
             }
-            std::thread::sleep(POLL);
+            backoff.wait();
         };
         // SAFETY: published once, lives as long as the segment itself.
         let m = unsafe { seg.sref(meta) };
@@ -128,17 +195,47 @@ impl GuestProcess {
                     reason: format!("segment '{name}': host never published its scheduler"),
                 });
             }
-            std::thread::sleep(POLL);
+            backoff.wait();
         }
+        // The whole geometry block is visible now: adopt the host's
+        // configured timeouts (the join deadline still counts from entry,
+        // so a published value cannot extend a wait already under way by
+        // more than its own length).
+        let host_os_pid = m.host_os_pid.load(Ordering::Acquire);
+        deadline = start
+            + resolve_timeout(
+                "NOSV_IPC_JOIN_TIMEOUT_MS",
+                m.join_timeout_ns.load(Ordering::Acquire),
+            );
+        let submit_timeout = resolve_timeout(
+            "NOSV_IPC_SUBMIT_TIMEOUT_MS",
+            m.submit_timeout_ns.load(Ordering::Acquire),
+        );
+        let detach_timeout = resolve_timeout(
+            "NOSV_IPC_DETACH_TIMEOUT_MS",
+            m.detach_timeout_ns.load(Ordering::Acquire),
+        );
         let shards = (m.shards.load(Ordering::Acquire) as usize).max(1);
         let me = seg.attach_guest()?;
+        // Death here leaves the slot in Requested with a valid record:
+        // the reactor's Requested-arm pid probe reclaims it.
+        crash_point("ipc.join.requested");
         // Handshake: the host reactor registers the slot with its
         // scheduler and acknowledges Requested → Active. Submitting
         // before the ack would race slot registration, so we wait.
+        let mut backoff = WaitBackoff::new();
         loop {
             match seg.join_state(me) {
                 Some(JoinState::Active) => break,
                 Some(JoinState::Requested) => {
+                    // A dead host will never acknowledge; withdrawing
+                    // immediately beats waiting out the deadline. The
+                    // withdraw CAS below keeps the teardown race-safe.
+                    if !process_alive(host_os_pid as u32)
+                        && seg.set_join_state(me, JoinState::Requested, JoinState::Dead)
+                    {
+                        return Err(NosvError::HostDead);
+                    }
                     if Instant::now() >= deadline {
                         // Withdraw the request. If the CAS loses, the host
                         // acked concurrently — loop once more and succeed;
@@ -148,7 +245,7 @@ impl GuestProcess {
                             return Err(NosvError::WaitTimeout);
                         }
                     }
-                    std::thread::sleep(POLL);
+                    backoff.wait();
                 }
                 // Freed, reused, or declared dead under us: the host
                 // rejected or tore down the slot.
@@ -164,6 +261,9 @@ impl GuestProcess {
             me,
             meta,
             shards,
+            host_os_pid,
+            submit_timeout,
+            detach_timeout,
             next_seq: AtomicU64::new(1),
             detached: AtomicBool::new(false),
         })
@@ -194,6 +294,8 @@ impl GuestProcess {
     ///   another descriptor;
     /// * [`NosvError::ProcessDetached`] — this guest detached, or the
     ///   host declared it dead;
+    /// * [`NosvError::HostDead`] — the host process died (nobody will
+    ///   drain the rings again);
     /// * [`NosvError::WaitTimeout`] — every ring stayed full (the host
     ///   stopped draining).
     pub fn submit(&self, kernel_id: u64, arg: u64) -> Result<(), NosvError> {
@@ -224,13 +326,14 @@ impl GuestProcess {
         d.set_state(TaskState::Ready);
         // SAFETY: the meta block is published-once host state.
         let meta = unsafe { self.seg.sref(self.meta) };
-        let deadline = Instant::now() + SUBMIT_TIMEOUT;
+        let deadline = Instant::now() + self.submit_timeout;
         // Sticky shard routing, same rule as the host's submit path: this
         // thread's whole stream lands in one shard (and one lane within
         // it), spilling to the next shard only when its lane is full.
         let tag = producer_tag();
         let start = (tag % self.shards as u64) as usize;
         let mut attempt = 0usize;
+        let mut backoff = WaitBackoff::new();
         loop {
             let shard = (start + attempt) % self.shards;
             if guest_submit(&self.seg, meta, shard, self.me.slot as usize, tag, desc) {
@@ -241,17 +344,23 @@ impl GuestProcess {
             attempt += 1;
             if attempt.is_multiple_of(self.shards) {
                 // Every ring full: the host is not draining. Check we are
-                // still welcome, back off, retry.
+                // still welcome and the host still breathes, back off,
+                // retry.
                 if self.seg.join_state(self.me) != Some(JoinState::Active) {
                     self.seg.free_t(desc, 0);
                     return Err(NosvError::ProcessDetached);
+                }
+                if !process_alive(self.host_os_pid as u32) {
+                    // Nobody will ever drain these rings again.
+                    self.seg.free_t(desc, 0);
+                    return Err(NosvError::HostDead);
                 }
                 if Instant::now() >= deadline {
                     self.seg.free_t(desc, 0);
                     return Err(NosvError::WaitTimeout);
                 }
                 self.seg.bump_heartbeat(self.me);
-                std::thread::sleep(POLL);
+                backoff.wait();
             }
         }
     }
@@ -260,11 +369,14 @@ impl GuestProcess {
     ///
     /// Polls the registry's submitted/completed counters, bumping the
     /// liveness heartbeat on the way. Returns
-    /// [`NosvError::WaitTimeout`] when `timeout` elapses first and
+    /// [`NosvError::WaitTimeout`] when `timeout` elapses first,
     /// [`NosvError::ProcessDetached`] if the slot was torn down (e.g.
-    /// the host declared this guest dead).
+    /// the host declared this guest dead), and [`NosvError::HostDead`]
+    /// if the host process died with tasks still pending (they will
+    /// never complete).
     pub fn wait_idle(&self, timeout: Duration) -> Result<(), NosvError> {
         let deadline = Instant::now() + timeout;
+        let mut backoff = WaitBackoff::new();
         loop {
             let view = self
                 .seg
@@ -274,11 +386,14 @@ impl GuestProcess {
             if view.completed >= view.submitted {
                 return Ok(());
             }
+            if !process_alive(self.host_os_pid as u32) {
+                return Err(NosvError::HostDead);
+            }
             if Instant::now() >= deadline {
                 return Err(NosvError::WaitTimeout);
             }
             self.seg.bump_heartbeat(self.me);
-            std::thread::sleep(POLL);
+            backoff.wait();
         }
     }
 
@@ -301,20 +416,20 @@ impl GuestProcess {
             // Not Active anymore: the host tore the slot down already.
             return Ok(());
         }
-        // SAFETY: published-once host state.
-        let host_os_pid = unsafe { self.seg.sref(self.meta) }
-            .host_os_pid
-            .load(Ordering::Acquire);
-        let deadline = Instant::now() + DETACH_TIMEOUT;
+        let deadline = Instant::now() + self.detach_timeout;
+        let mut backoff = WaitBackoff::new();
         // join_state() goes None once the host frees the slot.
         while self.seg.join_state(self.me).is_some() {
-            if !process_alive(host_os_pid as u32) {
+            if !process_alive(self.host_os_pid as u32) {
+                // A dead host can no longer drain or release anything;
+                // the segment lives on only as this process's private
+                // mapping, so leaving now is as clean as it gets.
                 return Ok(());
             }
             if Instant::now() >= deadline {
                 return Err(NosvError::WaitTimeout);
             }
-            std::thread::sleep(POLL);
+            backoff.wait();
         }
         Ok(())
     }

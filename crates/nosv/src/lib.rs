@@ -57,7 +57,7 @@
 //!     )?
 //! };
 //! task.submit()?;
-//! task.wait();
+//! task.wait()?;
 //! assert_eq!(ran.load(Ordering::Relaxed), 1);
 //! task.destroy();
 //! drop(app);
@@ -103,7 +103,9 @@ pub use policy::{QuantumPolicy, SchedPolicy};
 pub use runtime::{ProcessContext, Runtime};
 pub use scheduler::SchedulerSnapshot;
 pub use stats::RuntimeStats;
-pub use task::{Affinity, BatchHandle, TaskBatch, TaskBuilder, TaskCtx, TaskHandle, TaskId, TaskState};
+pub use task::{
+    Affinity, BatchHandle, TaskBatch, TaskBuilder, TaskCtx, TaskHandle, TaskId, TaskState,
+};
 pub use worker::{pause, yield_now};
 
 /// One-import working set for the builder-first API.
@@ -120,8 +122,8 @@ pub mod prelude {
     };
     pub use crate::policy::{QuantumPolicy, SchedPolicy};
     pub use crate::{
-        pause, yield_now, Affinity, BatchHandle, GuestProcess, NosvError, ProcessContext,
-        Runtime, RuntimeBuilder, RuntimeStats, TaskBatch, TaskBuilder, TaskCtx, TaskHandle,
-        TaskId, TaskState,
+        pause, yield_now, Affinity, BatchHandle, GuestProcess, NosvError, ProcessContext, Runtime,
+        RuntimeBuilder, RuntimeStats, TaskBatch, TaskBuilder, TaskCtx, TaskHandle, TaskId,
+        TaskState,
     };
 }

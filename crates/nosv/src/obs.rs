@@ -58,7 +58,7 @@
 //! let app = rt.attach("demo")?;
 //! let t = app.create_task(|_| {});
 //! t.submit()?;
-//! t.wait();
+//! t.wait()?;
 //! t.destroy();
 //! drop(app);
 //! rt.shutdown(); // flushes every buffered event into the sink
@@ -143,6 +143,12 @@ pub enum CounterKind {
     /// Standby-spinner role migrations between CPUs (sticky election;
     /// should stay far below tasks executed on a steady stream).
     StandbyElections,
+    /// Task bodies that panicked (each failed only its own task).
+    TaskPanics,
+    /// Stranded ring reservations force-retired by crash reclaim.
+    StrandedSlotRepairs,
+    /// Dead waiters evicted from shard delegation locks.
+    DeadWaiterEvictions,
 }
 
 impl CounterKind {
@@ -174,6 +180,9 @@ impl CounterKind {
             CounterKind::TasksCompleted => "tasks_completed",
             CounterKind::CrashReclaims => "crash_reclaims",
             CounterKind::StandbyElections => "standby_elections",
+            CounterKind::TaskPanics => "task_panics",
+            CounterKind::StrandedSlotRepairs => "stranded_slot_repairs",
+            CounterKind::DeadWaiterEvictions => "dead_waiter_evictions",
         }
     }
 }
@@ -216,6 +225,10 @@ pub enum ObsKind {
     /// ([`ObsEvent::pid`] is the dead guest's OS pid; the paired
     /// [`ObsKind::Counter`] delta carries the task count).
     CrashReclaim,
+    /// A task body panicked; the task failed ([`ObsEvent::task`] names
+    /// it, [`ObsEvent::cpu`] is where it ran) and its waiters observe
+    /// [`crate::NosvError::TaskPanicked`]. The worker survives.
+    TaskFailed,
     /// A counter advanced by `delta`.
     Counter {
         /// Which counter.
@@ -239,6 +252,7 @@ impl ObsKind {
             ObsKind::Attach => "attach",
             ObsKind::Detach => "detach",
             ObsKind::CrashReclaim => "crash_reclaim",
+            ObsKind::TaskFailed => "task_failed",
             ObsKind::Counter { .. } => "counter",
         }
     }
@@ -316,7 +330,7 @@ impl<S: TraceSink + ?Sized> TraceSink for Arc<S> {
 /// let rt = Runtime::builder().cpus(1).sink(sink.clone()).build()?;
 /// let app = rt.attach("demo")?;
 /// let t = app.spawn(|_| {});
-/// t.wait();
+/// t.wait()?;
 /// t.destroy();
 /// drop(app);
 /// rt.shutdown();
@@ -652,7 +666,8 @@ pub fn chrome_trace_json(events: &[ObsEvent]) -> String {
             | ObsKind::Steal
             | ObsKind::Attach
             | ObsKind::Detach
-            | ObsKind::CrashReclaim => {
+            | ObsKind::CrashReclaim
+            | ObsKind::TaskFailed => {
                 push(
                     format!(
                         "{{\"name\":\"{}\",\"cat\":\"sched\",\"ph\":\"i\",\"s\":\"t\",\

@@ -335,14 +335,34 @@ impl RuntimeInner {
                 first_dead.remove(&slot);
                 continue;
             };
+            if view.pid == 0 {
+                // Half-open claim: the attacher died (or is still racing)
+                // between its claim CAS and its pid publish. A recorded
+                // os_pid whose process is gone frees the slot at once;
+                // otherwise nothing in the record distinguishes a corpse
+                // from an attacher mid-flight, so the join timeout — an
+                // eternity next to an attach's handful of stores — has to
+                // elapse first.
+                let dead_now = view.os_pid != 0 && !process_alive(view.os_pid as u32);
+                let since = *first_dead.entry(slot).or_insert_with(Instant::now);
+                let bound = Duration::from_nanos(self.config.join_timeout_ns);
+                if (dead_now || since.elapsed() >= bound) && self.seg.reclaim_half_open(slot) {
+                    first_dead.remove(&slot);
+                    self.emit(ObsKind::CrashReclaim, NO_CPU, view.os_pid, TaskId(0));
+                }
+                continue;
+            }
             let id = ProcessId {
                 pid: view.pid,
                 slot,
             };
             match view.join_state {
                 // Host-attached process (ProcessContext): not the
-                // reactor's business.
-                JoinState::None => {}
+                // reactor's business (its record is complete — the
+                // half-open branch above never saw it publish).
+                JoinState::None => {
+                    first_dead.remove(&slot);
+                }
                 JoinState::Requested => {
                     if !process_alive(view.os_pid as u32) {
                         // Died before the handshake completed: release
@@ -424,14 +444,22 @@ impl RuntimeInner {
     /// slab block is the whole teardown), and releases the registry slot.
     /// Counted in [`RuntimeStats::crash_reclaims`].
     fn crash_reclaim(&self, id: ProcessId, os_pid: u64) {
-        let reclaimed = self.sched.reclaim_slot(id.slot);
-        let n = reclaimed.len() as u64;
-        for task in reclaimed {
+        let report = self.sched.reclaim_slot(id.slot);
+        let n = report.tasks.len() as u64;
+        for task in report.tasks {
             self.seg.free_t(task, 0);
         }
         if n > 0 {
             self.counters.crash_reclaims.fetch_add(n, Ordering::Relaxed);
         }
+        if report.stranded > 0 {
+            self.counters
+                .stranded_slot_repairs
+                .fetch_add(report.stranded, Ordering::Relaxed);
+        }
+        // `counter_leak` needs no counter of its own: the settle already
+        // repaired `ready`, and the leaked bumps had no descriptor behind
+        // them to free or report.
         self.emit(ObsKind::CrashReclaim, NO_CPU, os_pid, TaskId(0));
         self.seg.detach(id);
     }
@@ -547,6 +575,12 @@ impl Runtime {
                 .store(inner.config.submit_ring_cap as u64, Ordering::Relaxed);
             m.host_os_pid
                 .store(std::process::id() as u64, Ordering::Relaxed);
+            m.join_timeout_ns
+                .store(inner.config.join_timeout_ns, Ordering::Relaxed);
+            m.submit_timeout_ns
+                .store(inner.config.submit_timeout_ns, Ordering::Relaxed);
+            m.detach_timeout_ns
+                .store(inner.config.detach_timeout_ns, Ordering::Relaxed);
             m.sched_root
                 .store(inner.sched.root_raw(), Ordering::Release);
             inner.seg.init_user_root_once(|| meta);
@@ -611,7 +645,9 @@ impl Runtime {
 
     /// Snapshot of the runtime counters.
     pub fn stats(&self) -> RuntimeStats {
-        self.inner.counters.snapshot_with(&self.inner.gates)
+        self.inner
+            .counters
+            .snapshot_with(&self.inner.gates, self.inner.sched.dtlock_evictions())
     }
 
     /// Snapshot of the shared scheduler's queues and per-core process
@@ -723,7 +759,10 @@ impl Runtime {
         // holds the complete action stream. Report the final counter deltas
         // through the same stream and let the sink materialize its output.
         if self.inner.obs.enabled() {
-            let stats = self.inner.counters.snapshot_with(&self.inner.gates);
+            let stats = self
+                .inner
+                .counters
+                .snapshot_with(&self.inner.gates, self.inner.sched.dtlock_evictions());
             for (counter, delta) in [
                 (CounterKind::TasksExecuted, stats.tasks_executed),
                 (CounterKind::TasksSubmitted, stats.tasks_submitted),
@@ -743,6 +782,15 @@ impl Runtime {
                 (CounterKind::ShardSteals, stats.shard_steals),
                 (CounterKind::CrashReclaims, stats.crash_reclaims),
                 (CounterKind::StandbyElections, stats.standby_elections),
+                (CounterKind::TaskPanics, stats.task_panics),
+                (
+                    CounterKind::StrandedSlotRepairs,
+                    stats.stranded_slot_repairs,
+                ),
+                (
+                    CounterKind::DeadWaiterEvictions,
+                    stats.dead_waiter_evictions,
+                ),
             ] {
                 if delta > 0 {
                     self.inner
@@ -936,14 +984,17 @@ impl ProcessContext {
             }
         };
         for i in 0..batch.count {
-            let desc: Shoff<TaskDesc> =
-                match self.rt.seg.alloc_zeroed(std::mem::size_of::<TaskDesc>(), cpu) {
-                    Ok(block) => block.cast(),
-                    Err(e) => {
-                        free_all(&descs);
-                        return Err(e.into());
-                    }
-                };
+            let desc: Shoff<TaskDesc> = match self
+                .rt
+                .seg
+                .alloc_zeroed(std::mem::size_of::<TaskDesc>(), cpu)
+            {
+                Ok(block) => block.cast(),
+                Err(e) => {
+                    free_all(&descs);
+                    return Err(e.into());
+                }
+            };
             let id = TaskId(self.rt.next_task_id.fetch_add(1, Ordering::Relaxed));
             // SAFETY: freshly allocated zeroed descriptor, exclusively ours.
             let d = unsafe { self.rt.seg.sref(desc) };
@@ -955,10 +1006,8 @@ impl ProcessContext {
             d.metadata
                 .store(batch.metadata.wrapping_add(i as u64), Ordering::Relaxed);
             d.submits.store(1, Ordering::Relaxed);
-            d.batch.store(
-                Arc::into_raw(Arc::clone(&shared)) as u64,
-                Ordering::Release,
-            );
+            d.batch
+                .store(Arc::into_raw(Arc::clone(&shared)) as u64, Ordering::Release);
             // Born Ready: the whole batch is enqueued below in one go, and
             // no handle exists through which a Created member could leak.
             d.set_state(TaskState::Ready);
@@ -1100,7 +1149,7 @@ impl ProcessContext {
         // Drop gives exclusive access, but keep the teardown behind the
         // same gate the detach path uses so it stays single-entry.
         self.state.store(CTX_DETACHING, Ordering::Release);
-        for task in self.rt.sched.reclaim_slot(self.proc.slot) {
+        for task in self.rt.sched.reclaim_slot(self.proc.slot).tasks {
             // SAFETY: handle-owned descriptor, reclaimed from the queues
             // before any worker could fetch it; alive until destroy.
             let d = unsafe { self.rt.seg.sref(task) };

@@ -65,6 +65,7 @@ use nosv_core::{
     STEAL_SCAN_LIMIT,
 };
 use nosv_shmem::{ClaimTable, LaneRing, ShmSegment, Shoff, MAX_PROCS};
+use nosv_sync::hint::crash_point;
 use nosv_sync::{Acquired, CpuGates, DtGuard, DtLock};
 
 use crate::config::NosvConfig;
@@ -121,6 +122,18 @@ struct ProcSched {
     /// concurrent producers of one process stop CAS-contending on a
     /// single ring tail.
     rings: [LaneRing; MAX_SHARDS],
+    /// Per-shard count of this slot's ring-path ready-counter bumps not
+    /// yet matched by a drain pop. Producers increment *before* the ready
+    /// bump; drains decrement by the number of entries they pop; the
+    /// host's locked fallback decrements when a push bounces to the lock.
+    /// In steady state the counter therefore tracks exactly the slot's
+    /// in-ring (or in-flight) contributions to `ShardHot::ready` — and at
+    /// crash reclaim, after the rings are drained and repaired, whatever
+    /// remains is precisely the ready over-count a producer dying between
+    /// its bump and a drainable push leaked (the
+    /// `sched.guest_submit.counted` / `ring.push.reserved` windows).
+    /// Zero-valid like everything else in the segment.
+    contrib: [AtomicU64; MAX_SHARDS],
 }
 
 /// Per-shard hot counters, cache-line padded so shards never false-share.
@@ -161,6 +174,13 @@ pub(crate) struct GuestMeta {
     /// OS pid of the hosting process (diagnostics; lets a guest notice a
     /// dead host).
     pub host_os_pid: AtomicU64,
+    /// Host-configured guest IPC timeouts in nanoseconds (join handshake,
+    /// full-ring submit retry, clean detach). Guests adopt these after
+    /// mapping the block; 0 means "host predates the field" and falls
+    /// back to the guest-side default.
+    pub join_timeout_ns: AtomicU64,
+    pub submit_timeout_ns: AtomicU64,
+    pub detach_timeout_ns: AtomicU64,
 }
 
 /// Pushes a guest task into the scheduler's lock-free submission machinery
@@ -187,13 +207,23 @@ pub(crate) fn guest_submit(
     // segment itself is torn down.
     let root = unsafe { seg.sref(root) };
     let hot = &root.shard_hot[shard];
+    let proc = &root.procs[slot];
+    // Contribution first, ready second: a producer dying anywhere after
+    // the ready bump leaves its +1 covered by `contrib`, which crash
+    // reclaim settles against the counter (see [`ProcSched::contrib`]).
+    proc.contrib[shard].fetch_add(1, Ordering::SeqCst);
     hot.ready.fetch_add(1, Ordering::SeqCst);
-    if root.procs[slot].rings[shard].push(seg, submitter, task.raw()) {
+    // The worst counter-leak window: ready says a task exists, but no
+    // ring slot was ever claimed — invisible to ring repair, caught only
+    // by the contribution residue.
+    crash_point("sched.guest_submit.counted");
+    if proc.rings[shard].push(seg, submitter, task.raw()) {
         hot.ring_mask.fetch_or(1 << slot, Ordering::Release);
         true
     } else {
-        // Roll the optimistic bump back so has_ready() cannot stick true.
+        // Roll the optimistic bumps back so has_ready() cannot stick true.
         hot.ready.fetch_sub(1, Ordering::SeqCst);
+        proc.contrib[shard].fetch_sub(1, Ordering::SeqCst);
         false
     }
 }
@@ -322,6 +352,24 @@ pub(crate) struct BatchSubmit {
     pub locked: u64,
 }
 
+/// What [`Scheduler::reclaim_slot`] took back from a dead (or cancelled)
+/// process, split by how it was found (drives the runtime's reclaim
+/// counters and the crash-reclaim observability event).
+#[derive(Debug, Default)]
+pub(crate) struct ReclaimReport {
+    /// Every descriptor recovered for the caller to dispose of: purged
+    /// queue entries plus ring entries recovered from behind stranded
+    /// reservations.
+    pub tasks: Vec<ReadyTask>,
+    /// Ring reservations the dead producer claimed but never published,
+    /// force-retired by the sequence repair.
+    pub stranded: u64,
+    /// Ready-counter bumps with no ring entry behind them at all (the
+    /// producer died between its bump and its push), settled from the
+    /// contribution residue.
+    pub counter_leak: u64,
+}
+
 /// Observability snapshot of the scheduler (for tests and tools). Taken
 /// under **all** shard locks (acquired in ascending order), so internally
 /// consistent across shards.
@@ -421,6 +469,12 @@ impl Scheduler {
                 let _ = p.rings[s].init(&self.seg, self.lanes, self.ring_cap);
             }
         }
+        for s in 0..self.shards.len() {
+            // A fresh claim starts with no ring contributions (reclaim
+            // zeroes the residue; a clean detach leaves none — the store
+            // is defensive self-healing for anything that slipped).
+            p.contrib[s].store(0, Ordering::SeqCst);
+        }
         for lock in self.shards.iter() {
             let mut core = lock.lock();
             core.register_proc(slot as usize, pid);
@@ -448,6 +502,11 @@ impl Scheduler {
                 self.root().procs[slot as usize].rings[s].is_empty(),
                 "submission ring refilled during detach"
             );
+            debug_assert_eq!(
+                self.root().procs[slot as usize].contrib[s].load(Ordering::SeqCst),
+                0,
+                "clean detach with a leftover ring contribution"
+            );
         }
         if queued > 0 {
             // The sum over *all* shards, so the caller knows exactly how
@@ -473,22 +532,53 @@ impl Scheduler {
     /// through the SLAB for guest tasks, cancel-and-signal for host
     /// tasks). Tasks already *executing* are not touched — they complete
     /// normally.
-    pub(crate) fn reclaim_slot(&self, slot: u32) -> Vec<ReadyTask> {
+    /// On top of the queue purge, each shard pass repairs the slot's
+    /// submission rings ([`LaneRing::repair_stranded`] — safe here: the
+    /// slot's producers are dead, and the shard lock makes us the sole
+    /// consumer) and settles the ready counter from the slot's
+    /// contribution residue, which covers all three crash windows at
+    /// once: values published behind a stranded reservation (recovered
+    /// and returned with the purged tasks), reservations never published
+    /// (retired, counted in [`ReclaimReport::stranded`]), and ready bumps
+    /// that never reached a ring at all ([`ReclaimReport::counter_leak`]).
+    pub(crate) fn reclaim_slot(&self, slot: u32) -> ReclaimReport {
         let root = self.root();
-        let mut out = Vec::new();
+        let mut report = ReclaimReport::default();
+        let out = &mut report.tasks;
         for (s, lock) in self.shards.iter().enumerate() {
             let mut core = lock.lock();
             self.drain_rings_locked(&mut core, s);
+            let mut recovered = Vec::new();
+            let stranded =
+                root.procs[slot as usize].rings[s].repair_stranded(&self.seg, &mut recovered);
+            // Whatever the drain and the repair did not hand back is the
+            // over-count the corpse leaked into `ready`; the recovered
+            // and stranded entries are still in here too (never popped).
+            let residual = root.procs[slot as usize].contrib[s].swap(0, Ordering::SeqCst);
+            debug_assert!(
+                residual >= stranded + recovered.len() as u64,
+                "contribution residue must cover every unreaped ring entry"
+            );
             let before = out.len();
             let mut store = self.store(s);
-            core.purge_slot(&mut store, slot as usize, &mut out);
+            core.purge_slot(&mut store, slot as usize, out);
             let taken = (out.len() - before) as u64;
-            if taken > 0 {
-                root.shard_hot[s].ready.fetch_sub(taken, Ordering::SeqCst);
+            let settle = taken + residual;
+            if settle > 0 {
+                root.shard_hot[s].ready.fetch_sub(settle, Ordering::SeqCst);
             }
+            report.counter_leak += residual.saturating_sub(stranded + recovered.len() as u64);
+            report.stranded += stranded;
+            out.extend(recovered.into_iter().map(Shoff::from_raw));
             core.unregister_proc(slot as usize);
         }
-        out
+        report
+    }
+
+    /// Dead waiters evicted across all shard delegation locks (feeds
+    /// [`crate::RuntimeStats::dead_waiter_evictions`]).
+    pub(crate) fn dtlock_evictions(&self) -> u64 {
+        self.shards.iter().map(|l| l.evictions()).sum()
     }
 
     pub(crate) fn set_app_priority(&self, slot: u32, priority: i32) {
@@ -579,11 +669,15 @@ impl Scheduler {
         // benign: a fetch finds nothing and the worker retries. SeqCst:
         // the producer side of the arming Dekker protocol — bump, then
         // scan/wake.
+        let use_ring = self.ring_cap > 0 && slot < MAX_PROCS;
+        if use_ring {
+            // Contribution before the bump, exactly as in `guest_submit`:
+            // if this thread dies after the bump, crash reclaim of `slot`
+            // settles the counter from the residue.
+            root.procs[slot].contrib[shard].fetch_add(1, Ordering::SeqCst);
+        }
         root.shard_hot[shard].ready.fetch_add(1, Ordering::SeqCst);
-        if self.ring_cap > 0
-            && slot < MAX_PROCS
-            && root.procs[slot].rings[shard].push(&self.seg, submitter, task.raw())
-        {
+        if use_ring && root.procs[slot].rings[shard].push(&self.seg, submitter, task.raw()) {
             // Dirty-mark the slot only after the push: a server that
             // drains on an earlier mark either takes this entry or leaves
             // the re-marking to us, but a mark before the push could be
@@ -594,6 +688,12 @@ impl Scheduler {
                 .ring_mask
                 .fetch_or(1 << slot, Ordering::Release);
             return SubmitPath::Ring;
+        }
+        if use_ring {
+            // Bounced to the locked path: the ready bump stays (the task
+            // is still headed for this shard) but it is no longer a ring
+            // contribution of `slot`.
+            root.procs[slot].contrib[shard].fetch_sub(1, Ordering::SeqCst);
         }
         let mut core = self.shards[shard].lock();
         self.drain_rings_locked(&mut core, shard);
@@ -646,11 +746,17 @@ impl Scheduler {
         // drainable). A shortfall is *not* rolled back: the slice the lane
         // rejects is enqueued under the lock into the same shard, so every
         // counted task does end up drainable there.
+        let use_ring = self.ring_cap > 0 && slot < MAX_PROCS;
+        if use_ring {
+            // One contribution add for the whole remainder, before the
+            // bump (same crash-accounting order as the single-task path).
+            root.procs[slot].contrib[shard].fetch_add(rest.len() as u64, Ordering::SeqCst);
+        }
         root.shard_hot[shard]
             .ready
             .fetch_add(rest.len() as u64, Ordering::SeqCst);
         let mut pushed = 0usize;
-        if self.ring_cap > 0 && slot < MAX_PROCS {
+        if use_ring {
             // One tail reservation for the whole prefix the lane can hold.
             let raws: Vec<u64> = rest.iter().map(|t| t.raw()).collect();
             pushed = root.procs[slot].rings[shard].push_n(&self.seg, submitter, &raws);
@@ -658,6 +764,12 @@ impl Scheduler {
                 root.shard_hot[shard]
                     .ring_mask
                     .fetch_or(1 << slot, Ordering::Release);
+            }
+            if pushed < rest.len() {
+                // The rejected suffix goes through the lock below: keep
+                // its ready bumps, return its ring contributions.
+                root.procs[slot].contrib[shard]
+                    .fetch_sub((rest.len() - pushed) as u64, Ordering::SeqCst);
             }
         }
         out.ring = pushed as u64;
@@ -902,6 +1014,7 @@ impl Scheduler {
             // Same discipline one level down: take (clear) the dirty-lane
             // bitmap, then drain the lanes it named; racing producers
             // re-mark both levels after their push.
+            let mut drained = 0u64;
             let mut dirty = lanes.take_dirty();
             while dirty != 0 {
                 let lane = dirty.trailing_zeros() as usize;
@@ -922,10 +1035,17 @@ impl Scheduler {
                     if n == 0 {
                         break;
                     }
+                    drained += n as u64;
                     // The ready counter was bumped at push time; routing
                     // moves the tasks between scheduler-internal homes.
                     core.enqueue_batch(&mut store, &buf[..n]);
                 }
+            }
+            if drained > 0 {
+                // Every popped entry's producer made a matching contrib
+                // increment happens-before its publish, so this never
+                // takes the counter below a concurrent producer's add.
+                root.procs[slot].contrib[shard].fetch_sub(drained, Ordering::SeqCst);
             }
         }
     }
@@ -1580,6 +1700,71 @@ mod tests {
     }
 
     #[test]
+    fn reclaim_settles_counter_leaks_and_stranded_slots() {
+        let (seg, sched) = setup(2, 0, 1_000_000);
+        sched.register_proc(0, 10);
+        // A normally queued task of the doomed slot (ring path).
+        sched.submit(mk_task(&seg, 1, 0, 10, 0, Affinity::None));
+        let root = sched.root();
+        // A producer dying at `sched.guest_submit.counted`: counted, but
+        // no ring slot was ever claimed.
+        root.procs[0].contrib[0].fetch_add(1, Ordering::SeqCst);
+        root.shard_hot[0].ready.fetch_add(1, Ordering::SeqCst);
+        // A producer dying at `ring.push.reserved`: counted and claimed,
+        // never published — this wedges the producer's lane.
+        root.procs[0].contrib[0].fetch_add(1, Ordering::SeqCst);
+        root.shard_hot[0].ready.fetch_add(1, Ordering::SeqCst);
+        assert!(root.procs[0].rings[0].lane(0).strand_one(&seg));
+
+        let report = sched.reclaim_slot(0);
+        let ids: Vec<u64> = report.tasks.iter().map(|&t| id_of(&seg, t)).collect();
+        assert_eq!(ids, vec![1], "only the real task has a descriptor");
+        assert_eq!(report.stranded, 1, "the unpublished claim is retired");
+        assert_eq!(report.counter_leak, 1, "the push-less bump is settled");
+        // The counters are exact again: nothing ready, nothing residual.
+        assert!(!sched.has_ready());
+        assert_eq!(root.procs[0].contrib[0].load(Ordering::SeqCst), 0);
+        sched.assert_masks_consistent();
+        // The slot — wedged lane included — is fully reusable.
+        let c = Counters::default();
+        sched.register_proc(0, 30);
+        sched.submit(mk_task(&seg, 2, 0, 30, 0, Affinity::None));
+        let t = sched.get_task(0, 0, &c, &obs()).unwrap();
+        assert_eq!(id_of(&seg, t), 2);
+        assert!(!sched.has_ready());
+        assert_eq!(sched.unregister_proc(0), Ok(()));
+    }
+
+    #[test]
+    fn reclaim_recovers_values_published_behind_a_stranded_claim() {
+        let (seg, sched) = setup(2, 0, 1_000_000);
+        sched.register_proc(0, 10);
+        let root = sched.root();
+        let lane = root.procs[0].rings[0].lane(0);
+        // Dead producer history, oldest first: one drained-normally task,
+        // then a stranded claim, then a published-but-unreachable task.
+        sched.submit(mk_task(&seg, 1, 0, 10, 0, Affinity::None));
+        root.procs[0].contrib[0].fetch_add(1, Ordering::SeqCst);
+        root.shard_hot[0].ready.fetch_add(1, Ordering::SeqCst);
+        assert!(lane.strand_one(&seg));
+        // This one publishes fine but sits behind the corpse's claim.
+        sched.submit_from(
+            mk_task(&seg, 2, 0, 10, 0, Affinity::None),
+            Affinity::None,
+            0,
+        );
+
+        let report = sched.reclaim_slot(0);
+        let mut ids: Vec<u64> = report.tasks.iter().map(|&t| id_of(&seg, t)).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2], "the wedged-in value is recovered");
+        assert_eq!(report.stranded, 1);
+        assert_eq!(report.counter_leak, 0);
+        assert!(!sched.has_ready());
+        sched.assert_masks_consistent();
+    }
+
+    #[test]
     fn unregister_flushes_the_submission_ring_first() {
         let (seg, sched) = setup(2, 0, 1_000_000);
         sched.register_proc(0, 10);
@@ -1629,10 +1814,12 @@ mod tests {
         // A survivor task of another process must stay queued.
         sched.submit(mk_task(&seg, 100, 1, 20, 0, Affinity::None));
 
-        let reclaimed = sched.reclaim_slot(0);
-        let mut ids: Vec<u64> = reclaimed.iter().map(|&t| id_of(&seg, t)).collect();
+        let report = sched.reclaim_slot(0);
+        let mut ids: Vec<u64> = report.tasks.iter().map(|&t| id_of(&seg, t)).collect();
         ids.sort_unstable();
         assert_eq!(ids, vec![1, 2, 3, 4]);
+        assert_eq!(report.stranded, 0);
+        assert_eq!(report.counter_leak, 0);
         sched.assert_masks_consistent();
         // The survivor is still schedulable; nothing else is.
         let t = sched.get_task(0, 0, &c, &obs()).unwrap();
@@ -1787,7 +1974,11 @@ mod tests {
         // Distinct submitter tags land the unconstrained tasks in both
         // shards (sticky routing: one thread would stay in one shard).
         for id in 0..6 {
-            sched.submit_from(mk_task(&seg, id, 0, 10, 0, Affinity::None), Affinity::None, id);
+            sched.submit_from(
+                mk_task(&seg, id, 0, 10, 0, Affinity::None),
+                Affinity::None,
+                id,
+            );
         }
         let mut got: Vec<u64> = (0..6)
             .map(|_| id_of(&seg, sched.get_task(0, 0, &c, &obs()).unwrap()))

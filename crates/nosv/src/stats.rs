@@ -19,6 +19,8 @@ pub(crate) struct Counters {
     pub direct_dispatches: AtomicU64,
     pub shard_steals: AtomicU64,
     pub crash_reclaims: AtomicU64,
+    pub task_panics: AtomicU64,
+    pub stranded_slot_repairs: AtomicU64,
 }
 
 impl Counters {
@@ -40,15 +42,24 @@ impl Counters {
             direct_dispatches: self.direct_dispatches.load(Ordering::Relaxed),
             shard_steals: self.shard_steals.load(Ordering::Relaxed),
             crash_reclaims: self.crash_reclaims.load(Ordering::Relaxed),
+            task_panics: self.task_panics.load(Ordering::Relaxed),
+            stranded_slot_repairs: self.stranded_slot_repairs.load(Ordering::Relaxed),
             standby_elections: 0,
+            dead_waiter_evictions: 0,
         }
     }
 
-    /// Full snapshot: the counter block plus the election count, which
-    /// lives in the gates (the only writer is the election CAS itself).
-    pub(crate) fn snapshot_with(&self, gates: &nosv_sync::CpuGates) -> RuntimeStats {
+    /// Full snapshot: the counter block plus the values that live outside
+    /// it — the election count in the gates (written only by the election
+    /// CAS) and the eviction count summed over the shard DTLocks.
+    pub(crate) fn snapshot_with(
+        &self,
+        gates: &nosv_sync::CpuGates,
+        dead_waiter_evictions: u64,
+    ) -> RuntimeStats {
         RuntimeStats {
             standby_elections: gates.standby_elections(),
+            dead_waiter_evictions,
             ..self.snapshot()
         }
     }
@@ -100,9 +111,22 @@ pub struct RuntimeStats {
     /// Queued tasks reclaimed (cancelled and freed) from guest processes
     /// that died without detaching — the crash-reclaim sweeper's work.
     pub crash_reclaims: u64,
+    /// Task bodies that panicked. Each failed only its own task
+    /// ([`crate::NosvError::TaskPanicked`] from the waiter's side); the
+    /// worker and the runtime carry on.
+    pub task_panics: u64,
+    /// Ring reservations a dead producer claimed but never published,
+    /// force-retired by crash reclaim's sequence repair (each one would
+    /// otherwise wedge its submission lane forever).
+    pub stranded_slot_repairs: u64,
     /// Times the standby-spinner role migrated between CPUs. The sticky
     /// election exists to keep this far below [`RuntimeStats::tasks_executed`]
     /// on a serial stream (re-electing per task was the 2–4 CPU
     /// single-producer throughput dip).
     pub standby_elections: u64,
+    /// Dead waiters evicted from shard delegation locks: DTLock tickets
+    /// whose holder abandoned the wait (timeout or death) and whose slot
+    /// a releaser or the abandoner itself reaped, keeping the serve order
+    /// moving past the corpse.
+    pub dead_waiter_evictions: u64,
 }

@@ -7,7 +7,7 @@
 //! [`TaskHandle`] owns the descriptor between `create` and `destroy`.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use nosv_shmem::{AtomicShoff, Shoff};
@@ -161,6 +161,10 @@ impl TaskDesc {
 pub(crate) struct TaskSignal {
     pub done: Mutex<bool>,
     pub cv: Condvar,
+    /// Whether the body panicked (for a batch: whether *any* member's
+    /// did). Stored before `complete` raises the done latch, so a waiter
+    /// that observed completion also observes the flag.
+    panicked: AtomicBool,
     /// `(runtime, descriptor offset)` of paused tasks to resubmit.
     waiters: Mutex<Vec<(Arc<crate::runtime::RuntimeInner>, u64)>>,
 }
@@ -170,8 +174,19 @@ impl TaskSignal {
         Arc::new(TaskSignal {
             done: Mutex::new(false),
             cv: Condvar::new(),
+            panicked: AtomicBool::new(false),
             waiters: Mutex::new(Vec::new()),
         })
+    }
+
+    /// Records that the body panicked. Must precede `complete`.
+    pub(crate) fn mark_panicked(&self) {
+        self.panicked.store(true, Ordering::Release);
+    }
+
+    /// Whether the body panicked (meaningful once the task completed).
+    pub(crate) fn panicked(&self) -> bool {
+        self.panicked.load(Ordering::Acquire)
     }
 
     pub(crate) fn complete(&self) {
@@ -253,7 +268,7 @@ impl TaskSignal {
 ///         .run(|ctx| assert_eq!(ctx.metadata(), 0xfeed)),
 /// )?;
 /// task.submit()?;
-/// task.wait();
+/// task.wait()?;
 /// task.destroy();
 /// drop(app);
 /// rt.shutdown();
@@ -364,7 +379,7 @@ pub(crate) struct BatchShared {
 ///         s.fetch_add(ctx.metadata(), Ordering::Relaxed);
 ///     }),
 /// )?;
-/// batch.wait();
+/// batch.wait()?;
 /// assert_eq!(sum.load(Ordering::Relaxed), (0..64).sum::<u64>());
 /// drop(app);
 /// rt.shutdown();
@@ -470,21 +485,34 @@ impl BatchHandle {
         self.signal.is_done()
     }
 
-    /// Blocks until every member's body has completed.
+    /// Blocks until every member's body has completed. Returns
+    /// [`NosvError::TaskPanicked`] when *any* member's body panicked —
+    /// every other member still ran to completion (a panic fails only
+    /// its own task), and the batch's memory is reclaimed as usual.
     ///
     /// Safe to call from anywhere: from an external thread it blocks on
     /// the latch; from *inside a task* it pauses the calling task instead
     /// of pinning its worker thread (exactly like [`TaskHandle::wait`]).
-    pub fn wait(&self) {
+    pub fn wait(&self) -> Result<(), NosvError> {
         if let Some(caller_raw) = crate::worker::current_task_raw() {
             loop {
                 if !self.signal.register_task_waiter(&self.rt, caller_raw) {
-                    return; // already completed
+                    return self.completion_outcome(); // already completed
                 }
                 crate::pause();
             }
         }
         self.signal.wait();
+        self.completion_outcome()
+    }
+
+    /// Outcome of the completed batch: `Ok` or the panic report.
+    fn completion_outcome(&self) -> Result<(), NosvError> {
+        if self.signal.panicked() {
+            Err(NosvError::TaskPanicked)
+        } else {
+            Ok(())
+        }
     }
 
     /// Blocks until the batch completes or `timeout` elapses, returning
@@ -495,12 +523,12 @@ impl BatchHandle {
     pub fn wait_timeout(&self, timeout: std::time::Duration) -> Result<(), NosvError> {
         if crate::worker::current_task_raw().is_some() {
             if self.signal.is_done() {
-                return Ok(());
+                return self.completion_outcome();
             }
             return Err(NosvError::WaitTimeout);
         }
         if self.signal.wait_timeout(timeout) {
-            Ok(())
+            self.completion_outcome()
         } else {
             Err(NosvError::WaitTimeout)
         }
@@ -596,24 +624,38 @@ impl TaskHandle {
         self.rt.submit(self.desc)
     }
 
-    /// Blocks until the task's body has completed.
+    /// Blocks until the task's body has completed. Returns `Ok(())` on a
+    /// normal completion and [`NosvError::TaskPanicked`] when the body
+    /// panicked — the panic failed *only this task* (the worker caught
+    /// it; the runtime keeps scheduling), and the completed task can be
+    /// destroyed as usual.
     ///
     /// Safe to call from anywhere: from an external thread it blocks on a
     /// latch; from *inside another task* it pauses the calling task instead
     /// of pinning its worker thread and core (the paper's `nosv_pause`
     /// "wait for an event" pattern), and resumes when this task completes.
-    pub fn wait(&self) {
+    pub fn wait(&self) -> Result<(), NosvError> {
         if let Some(caller_raw) = crate::worker::current_task_raw() {
             // Cooperative path: pause the calling task; completion of this
             // task resubmits it.
             loop {
                 if !self.signal.register_task_waiter(&self.rt, caller_raw) {
-                    return; // already completed
+                    return self.completion_outcome(); // already completed
                 }
                 crate::pause();
             }
         }
         self.signal.wait();
+        self.completion_outcome()
+    }
+
+    /// Outcome of a completed task: `Ok` or the panic report.
+    fn completion_outcome(&self) -> Result<(), NosvError> {
+        if self.signal.panicked() {
+            Err(NosvError::TaskPanicked)
+        } else {
+            Ok(())
+        }
     }
 
     /// Blocks until the task's body has completed or `timeout` elapses,
@@ -664,12 +706,12 @@ impl TaskHandle {
             // (see above). Report the unsupported path as a timeout
             // instead of silently waiting forever.
             if self.signal.is_done() {
-                return Ok(());
+                return self.completion_outcome();
             }
             return Err(NosvError::WaitTimeout);
         }
         if self.signal.wait_timeout(timeout) {
-            Ok(())
+            self.completion_outcome()
         } else {
             Err(NosvError::WaitTimeout)
         }

@@ -21,6 +21,7 @@
 //! "oversubscription idle" baseline — nOS-V never busy-waits for work).
 
 use std::cell::{Cell, RefCell};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -178,6 +179,28 @@ fn obs_flush_local() {
             w.rt.obs.drain_batch(&mut buf);
         }
     });
+}
+
+/// Panic payload `pause_inner` throws when the runtime shuts down under a
+/// paused task. The task-body `catch_unwind` re-throws it unchanged: it is
+/// a worker-protocol failure (the thread must keep unwinding — its core
+/// belongs to a replacement worker), not a task-body failure to absorb.
+/// Thrown via `panic_any` so the payload stays a `&'static str` the
+/// default panic hook prints verbatim.
+const SHUTDOWN_WHILE_PAUSED: &str = "runtime shut down while a task was paused";
+
+/// Runs a task body, absorbing its panic. Returns whether it panicked.
+/// Protocol unwinds ([`SHUTDOWN_WHILE_PAUSED`]) are re-thrown.
+fn run_isolated(body: impl FnOnce()) -> bool {
+    match catch_unwind(AssertUnwindSafe(body)) {
+        Ok(()) => false,
+        Err(payload) => {
+            if payload.downcast_ref::<&'static str>() == Some(&SHUTDOWN_WHILE_PAUSED) {
+                std::panic::resume_unwind(payload);
+            }
+            true
+        }
+    }
 }
 
 enum LoopExit {
@@ -421,7 +444,15 @@ fn execute_guest(rt: &Arc<RuntimeInner>, task: ReadyTask) {
     if let Some(kernel) = rt.guest_kernel(kernel_sel - 1) {
         // No TLS current_task on purpose: guest kernels must not pause
         // (their "process" has no worker threads to hand the core to).
-        kernel(arg);
+        if run_isolated(|| kernel(arg)) {
+            // A guest cannot observe the panic (its registry slot has no
+            // failure channel), but the task must still complete below —
+            // a skipped `completed` bump would wedge the guest's
+            // wait_idle — and the worker must survive a kernel a buggy
+            // guest picked.
+            rt.counters.task_panics.fetch_add(1, Ordering::Relaxed);
+            rt.emit(ObsKind::TaskFailed, core as u32, pid, id);
+        }
     }
     d.set_state(TaskState::Completed);
     rt.emit(ObsKind::End, core as u32, pid, id);
@@ -481,14 +512,23 @@ fn execute(rt: &Arc<RuntimeInner>, task: ReadyTask) {
         pid,
         metadata,
     };
-    if let Some(run) = cbs.run.take() {
-        run(&ctx);
-    }
+    let panicked = run_isolated(|| {
+        if let Some(run) = cbs.run.take() {
+            run(&ctx);
+        }
+    });
     with_tls(|w| w.current_task.set(0));
 
     d.set_state(TaskState::Completed);
     // The core may have changed if the body paused and resumed elsewhere.
     let end_core = with_tls(|w| w.core.get()).unwrap_or(core);
+    if panicked {
+        // The panic failed only this task: it still completes (so the
+        // handle can be waited and destroyed), but waiters observe
+        // TaskPanicked through the signal's flag.
+        rt.counters.task_panics.fetch_add(1, Ordering::Relaxed);
+        rt.emit(ObsKind::TaskFailed, end_core as u32, pid, id);
+    }
     rt.emit(ObsKind::End, end_core as u32, pid, id);
     // Order matters: the pending count must drop *before* any completion
     // notification fires — both the user's completion callback (through
@@ -504,6 +544,9 @@ fn execute(rt: &Arc<RuntimeInner>, task: ReadyTask) {
     if sig_raw != 0 {
         // SAFETY: produced by Arc::into_raw at creation; taken exactly once.
         let sig = unsafe { Arc::from_raw(sig_raw as *const TaskSignal) };
+        if panicked {
+            sig.mark_panicked();
+        }
         sig.complete();
     }
 }
@@ -533,11 +576,18 @@ fn execute_batch_member(rt: &Arc<RuntimeInner>, task: ReadyTask, shared_raw: u64
         pid,
         metadata,
     };
-    (shared.body)(&ctx);
+    let panicked = run_isolated(|| (shared.body)(&ctx));
     with_tls(|w| w.current_task.set(0));
     d.set_state(TaskState::Completed);
     // The core may have changed if the body paused and resumed elsewhere.
     let end_core = with_tls(|w| w.core.get()).unwrap_or(core);
+    if panicked {
+        // Only this member failed; the batch still completes, and its
+        // waiters observe TaskPanicked through the shared latch's flag.
+        rt.counters.task_panics.fetch_add(1, Ordering::Relaxed);
+        rt.emit(ObsKind::TaskFailed, end_core as u32, pid, id);
+        shared.signal.mark_panicked();
+    }
     rt.emit(ObsKind::End, end_core as u32, pid, id);
     rt.counters.tasks_executed.fetch_add(1, Ordering::Relaxed);
     // Pending drops before the latch can fire (see `execute`); the
@@ -641,6 +691,11 @@ fn pause_inner(yield_back: bool) {
             with_tls(|w| w.core.set(new_core));
         }
         Some(_) => unreachable!("paused thread received a non-Resume assignment"),
-        None => panic!("runtime shut down while a task was paused"),
+        // Thrown as a protocol unwind so the task-body catch_unwind in
+        // `execute` re-throws instead of absorbing it as a task failure:
+        // this thread's core already belongs to the replacement worker,
+        // so continuing the worker loop would break the one-runnable-
+        // worker-per-core invariant.
+        None => std::panic::panic_any(SHUTDOWN_WHILE_PAUSED),
     }
 }

@@ -66,7 +66,7 @@ fn builder_defaults_build_and_run() {
     assert_eq!(rt.cpus(), 4);
     let app = rt.attach("defaults").expect("attach");
     let t = app.spawn(|_| {});
-    t.wait();
+    t.wait().unwrap();
     t.destroy();
     drop(app);
     rt.shutdown();
@@ -79,7 +79,7 @@ fn attach_after_shutdown_is_an_error() {
     {
         let app = rt.attach("pre").expect("attach before shutdown works");
         let t = app.spawn(|_| {});
-        t.wait();
+        t.wait().unwrap();
         t.destroy();
     }
     rt.shutdown();
@@ -152,7 +152,7 @@ fn out_of_range_affinities_are_errors() {
         )
         .expect("valid affinity");
     ok.submit().expect("submit");
-    ok.wait();
+    ok.wait().unwrap();
     ok.destroy();
     drop(app);
     rt.shutdown();
@@ -178,8 +178,8 @@ fn double_submit_is_an_invalid_state_error() {
         })
     ));
     tx.send(()).unwrap();
-    blocker.wait();
-    t.wait();
+    blocker.wait().unwrap();
+    t.wait().unwrap();
     blocker.destroy();
     t.destroy();
     drop(app);
@@ -191,7 +191,7 @@ fn detached_process_cannot_build_tasks() {
     let rt = Runtime::builder().cpus(1).build().expect("valid");
     let app = rt.attach("detacher").expect("attach");
     let t = app.spawn(|_| {});
-    t.wait();
+    t.wait().unwrap();
     t.destroy();
     app.detach().expect("no tasks queued: detach succeeds");
     assert_eq!(
@@ -237,7 +237,7 @@ fn custom_policy_drives_the_live_runtime() {
         }
     }
     for t in &tasks {
-        t.wait();
+        t.wait().unwrap();
     }
     assert_eq!(done.load(Ordering::Relaxed), 400);
     assert!(
@@ -249,5 +249,73 @@ fn custom_policy_drives_the_live_runtime() {
         t.destroy();
     }
     drop((a, b));
+    rt.shutdown();
+}
+
+#[test]
+fn task_panic_fails_only_that_task() {
+    let rt = Runtime::builder().cpus(2).build().expect("valid");
+    let app = rt.attach("panicky").expect("attach");
+    let bad = app.spawn(|_| panic!("boom (expected: this test panics a task body)"));
+    let done = Arc::new(AtomicUsize::new(0));
+    let mut good = Vec::new();
+    for _ in 0..16 {
+        let d = Arc::clone(&done);
+        good.push(app.spawn(move |_| {
+            d.fetch_add(1, Ordering::Relaxed);
+        }));
+    }
+    assert_eq!(bad.wait(), Err(NosvError::TaskPanicked));
+    for t in &good {
+        assert_eq!(t.wait(), Ok(()));
+    }
+    assert_eq!(done.load(Ordering::Relaxed), 16);
+    assert_eq!(rt.stats().task_panics, 1);
+    // A panicked task still completed: its descriptor is reclaimable.
+    bad.destroy();
+    for t in good {
+        t.destroy();
+    }
+    drop(app);
+    rt.shutdown();
+}
+
+#[test]
+fn batch_member_panic_fails_the_batch_but_runs_every_member() {
+    let rt = Runtime::builder().cpus(2).build().expect("valid");
+    let app = rt.attach("batch-panic").expect("attach");
+    let ran = Arc::new(AtomicUsize::new(0));
+    let r = Arc::clone(&ran);
+    let batch = app
+        .submit_all(TaskBatch::new(8).run(move |ctx| {
+            r.fetch_add(1, Ordering::Relaxed);
+            if ctx.metadata() == 3 {
+                panic!("boom (expected: this test panics one batch member)");
+            }
+        }))
+        .expect("submit");
+    assert_eq!(batch.wait(), Err(NosvError::TaskPanicked));
+    assert_eq!(ran.load(Ordering::Relaxed), 8);
+    assert_eq!(rt.stats().task_panics, 1);
+    drop(app);
+    rt.shutdown();
+}
+
+#[test]
+fn cooperative_wait_on_panicked_task_reports_the_failure() {
+    // wait() from inside another task takes the cooperative (pull-while-
+    // waiting) path; the panic must surface there too.
+    let rt = Runtime::builder().cpus(2).build().expect("valid");
+    let app = rt.attach("coop-panic").expect("attach");
+    let bad = app.spawn(|_| panic!("boom (expected: this test panics a task body)"));
+    let (tx, rx) = std::sync::mpsc::channel();
+    let waiter = app.spawn(move |_| {
+        tx.send(bad.wait()).unwrap();
+        bad.destroy();
+    });
+    assert_eq!(rx.recv().unwrap(), Err(NosvError::TaskPanicked));
+    waiter.wait().unwrap();
+    waiter.destroy();
+    drop(app);
     rt.shutdown();
 }

@@ -49,7 +49,7 @@ fn three_processes_co_execute_to_completion() {
         }
     }
     for t in &handles {
-        t.wait();
+        t.wait().unwrap();
     }
     for c in &counters {
         assert_eq!(c.load(Ordering::Relaxed), per_app);
@@ -89,7 +89,7 @@ fn pause_and_resume_roundtrip() {
     rx.recv().unwrap();
     // The task is pausing or paused; resubmission unblocks it (§3.2).
     t.submit().unwrap();
-    t.wait();
+    t.wait().unwrap();
     assert_eq!(phase.load(Ordering::SeqCst), 2);
     let stats = rt.stats();
     assert_eq!(stats.pauses, 1);
@@ -127,7 +127,7 @@ fn many_concurrent_pauses_resume_correctly() {
         tasks[i].submit().unwrap();
     }
     for t in &tasks {
-        t.wait();
+        t.wait().unwrap();
     }
     assert_eq!(resumed.load(Ordering::Relaxed), n);
     assert_eq!(rt.stats().pauses, n as u64);
@@ -167,10 +167,10 @@ fn task_priorities_order_execution() {
     }
     tx.send(()).unwrap();
     for t in &tasks {
-        t.wait();
+        t.wait().unwrap();
     }
     assert_eq!(*order.lock(), vec![9, 5, 3, 1, 0]);
-    blocker.wait();
+    blocker.wait().unwrap();
     blocker.destroy();
     for t in tasks {
         t.destroy();
@@ -201,7 +201,7 @@ fn strict_core_affinity_executes_on_that_core() {
         tasks.push(t);
     }
     for t in &tasks {
-        t.wait();
+        t.wait().unwrap();
     }
     let ids: Vec<_> = tasks.iter().map(|t| t.id()).collect();
     for t in tasks {
@@ -250,7 +250,7 @@ fn quantum_forces_sharing_between_processes() {
         }
     }
     for t in &tasks {
-        t.wait();
+        t.wait().unwrap();
     }
     let stats = rt.stats();
     assert!(
@@ -287,7 +287,7 @@ fn delegation_serves_waiting_cpus() {
             tasks.push(t);
         }
         for t in &tasks {
-            t.wait();
+            t.wait().unwrap();
         }
         total += tasks.len() as u64;
         for t in tasks {
@@ -325,7 +325,7 @@ fn metadata_reaches_the_task() {
         .unwrap()
     };
     t.submit().unwrap();
-    t.wait();
+    t.wait().unwrap();
     assert_eq!(seen.load(Ordering::SeqCst), 0xdead_beef);
     t.destroy();
     drop(app);
@@ -345,7 +345,7 @@ fn completion_callback_fires_before_wait_returns() {
         .unwrap()
     };
     t.submit().unwrap();
-    t.wait();
+    t.wait().unwrap();
     assert_eq!(flag.load(Ordering::SeqCst), 7);
     t.destroy();
     drop(app);
@@ -370,7 +370,7 @@ fn tasks_submitted_from_inside_tasks() {
                         d.fetch_add(1, Ordering::Relaxed);
                     });
                     child.submit().unwrap();
-                    child.wait();
+                    child.wait().unwrap();
                     child.destroy();
                 }
             });
@@ -379,7 +379,7 @@ fn tasks_submitted_from_inside_tasks() {
         })
         .collect();
     for t in &roots {
-        t.wait();
+        t.wait().unwrap();
     }
     assert_eq!(done.load(Ordering::Relaxed), 80);
     for t in roots {
@@ -410,7 +410,7 @@ fn trace_records_full_lifecycle() {
     let (rt, sink) = traced_runtime(2);
     let app = rt.attach("traced").unwrap();
     let t = app.spawn(|_| {});
-    t.wait();
+    t.wait().unwrap();
     let id = t.id();
     t.destroy();
     drop(app);
@@ -463,7 +463,7 @@ fn cross_runtime_emission_reaches_the_right_sink() {
         tb.destroy();
     });
     t.submit().unwrap();
-    t.wait();
+    t.wait().unwrap();
     t.destroy();
     drop(app_a);
     rt_a.shutdown();
@@ -518,7 +518,7 @@ fn wait_timeout_external_and_in_task_paths() {
                 "in-task bounded wait is an unsupported path"
             );
             // The unbounded cooperative wait still works…
-            child.wait();
+            child.wait().unwrap();
             // …and a completed child reports Ok even from task context.
             assert_eq!(child.wait_timeout(Duration::ZERO), Ok(()));
             child.destroy();
@@ -526,7 +526,7 @@ fn wait_timeout_external_and_in_task_paths() {
         })
     };
     parent.submit().unwrap();
-    parent.wait();
+    parent.wait().unwrap();
     parent.destroy();
     assert_eq!(ok.load(Ordering::Relaxed), 1);
     drop(app);
@@ -559,8 +559,8 @@ fn yield_requeues_behind_equal_priority_work() {
     };
     b.submit().unwrap();
     tx.send(()).unwrap();
-    a.wait();
-    b.wait();
+    a.wait().unwrap();
+    b.wait().unwrap();
     assert_eq!(
         *order.lock(),
         vec!["a-before-yield", "b", "a-after-yield"],
@@ -598,9 +598,9 @@ fn detach_with_queued_tasks_is_recoverable() {
     let late = app.create_task(|_| {});
     tx.send(()).unwrap();
     late.submit().unwrap();
-    blocker.wait();
-    queued.wait();
-    late.wait();
+    blocker.wait().unwrap();
+    queued.wait().unwrap();
+    late.wait().unwrap();
     for t in [blocker, queued, late] {
         t.destroy();
     }
@@ -629,7 +629,7 @@ fn stress_two_apps_small_tasks() {
         }
     }
     for t in &tasks {
-        t.wait();
+        t.wait().unwrap();
     }
     assert_eq!(count.load(Ordering::Relaxed), 2 * n);
     for t in tasks {

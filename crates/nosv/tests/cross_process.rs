@@ -93,7 +93,7 @@ fn guest_co_executes_over_named_segment() {
     let mut child = spawn_guest(&name, "clean");
     // The host co-executes its own (closure-based) tasks concurrently.
     let mine = app.spawn(|_| {});
-    mine.wait();
+    mine.wait().unwrap();
     mine.destroy();
     let status = child.wait().expect("guest wait failed");
     assert!(status.success(), "guest process failed: {status}");

@@ -37,7 +37,7 @@ fn stress(cpus: usize, submitters: usize, rounds: usize, burst: usize) -> (u64, 
                         handles.push(t);
                     }
                     for t in handles {
-                        t.wait();
+                        t.wait().unwrap();
                         t.destroy();
                     }
                     // Let the workers drain and park so the next burst
@@ -93,7 +93,7 @@ fn idle_runtime_serial_stream_rides_the_claim_slots() {
     for _ in 0..TASKS {
         let t = app.create_task(|_| {});
         t.submit().expect("submit");
-        t.wait();
+        t.wait().unwrap();
         t.destroy();
         std::thread::sleep(Duration::from_micros(50));
     }
@@ -124,7 +124,7 @@ fn disabling_direct_dispatch_forces_the_queue_paths() {
     for _ in 0..50 {
         let t = app.create_task(|_| {});
         t.submit().expect("submit");
-        t.wait();
+        t.wait().unwrap();
         t.destroy();
     }
     let stats = rt.stats();
@@ -164,7 +164,7 @@ fn placed_tasks_direct_dispatch_to_their_target_core() {
             )
             .expect("build");
         t.submit().expect("submit");
-        t.wait();
+        t.wait().unwrap();
         t.destroy();
     }
     let stats = rt.stats();

@@ -77,7 +77,7 @@ fn run(shape: &Shape) -> (Vec<ObsEvent>, RuntimeStats) {
         handles[idx].submit().expect("resubmit");
     }
     for t in &handles {
-        t.wait();
+        t.wait().unwrap();
     }
     for t in handles {
         t.destroy();

@@ -71,7 +71,7 @@ fn racing_submit_resolves_to_shutdown_in_progress_not_the_assert() {
                 // pending) or the worker may have finished the task first.
                 accepted += 1;
                 if shutdown_outcome.is_ok() {
-                    task.wait();
+                    task.wait().unwrap();
                     task.destroy();
                 } else {
                     // The assert fired mid-shutdown; workers were never

@@ -64,7 +64,7 @@ fn hammer_lanes(
                         handles.push(t);
                     }
                     for t in &handles {
-                        t.wait();
+                        t.wait().unwrap();
                         assert_eq!(t.state(), TaskState::Completed);
                     }
                     for t in handles {
@@ -174,7 +174,7 @@ fn hammer_batched(
                     handles.push(h);
                 }
                 for h in handles {
-                    h.wait();
+                    h.wait().unwrap();
                     assert!(h.is_complete());
                 }
             })
@@ -222,7 +222,8 @@ fn batch_grid_exactly_once() {
             let batches_per_thread = (512 / batch_size).max(1);
             let threads = 4;
             let total = (threads * batches_per_thread * batch_size) as u64;
-            let (executed, stats) = hammer_batched(2, threads, batches_per_thread, batch_size, lanes);
+            let (executed, stats) =
+                hammer_batched(2, threads, batches_per_thread, batch_size, lanes);
             let label = format!("lanes={lanes} batch={batch_size}");
             assert_eq!(executed, total, "{label}: body execution count");
             assert_eq!(stats.tasks_executed, total, "{label}: tasks_executed");

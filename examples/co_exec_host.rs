@@ -67,7 +67,7 @@ fn main() {
         })
         .collect();
     for t in tasks {
-        t.wait();
+        t.wait().unwrap();
         t.destroy();
     }
 

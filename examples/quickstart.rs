@@ -43,7 +43,7 @@ fn main() -> Result<(), NosvError> {
         }
     }
     for t in &tasks {
-        t.wait();
+        t.wait().unwrap();
     }
     println!("executed {} tasks", counter.load(Ordering::Relaxed));
 
@@ -58,7 +58,7 @@ fn main() -> Result<(), NosvError> {
     paused.submit()?;
     rx.recv().unwrap();
     paused.submit()?; // unblock it
-    paused.wait();
+    paused.wait().unwrap();
     paused.destroy();
 
     for t in tasks {

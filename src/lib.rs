@@ -28,7 +28,7 @@
 //!     .collect::<Result<_, _>>()?;
 //! for t in &tasks {
 //!     t.submit()?;
-//!     t.wait();
+//!     t.wait()?;
 //! }
 //! tasks.into_iter().for_each(TaskHandle::destroy);
 //! drop((alpha, beta));

@@ -155,7 +155,7 @@ fn many_small_apps_run_to_completion() {
             })
             .collect();
         for t in &tasks {
-            t.wait();
+            t.wait().unwrap();
         }
         for t in tasks {
             t.destroy();

@@ -89,7 +89,7 @@ fn live_stream(w: &Workload) -> Vec<ObsEvent> {
         }
     }
     for t in &handles {
-        t.wait();
+        t.wait().unwrap();
     }
     for t in handles {
         t.destroy();
@@ -171,7 +171,7 @@ fn one_sink_value_serves_both_backends() {
         .expect("valid");
     let app = rt.attach("shared").expect("attach");
     let t = app.spawn(|_| {});
-    t.wait();
+    t.wait().unwrap();
     t.destroy();
     drop(app);
     rt.shutdown();

@@ -130,7 +130,7 @@ fn live_trace(apps: usize, tasks_per_app: usize) -> Vec<Record> {
         }
     }
     for t in &handles {
-        t.wait();
+        t.wait().unwrap();
     }
     for t in handles {
         t.destroy();
